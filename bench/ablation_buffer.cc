@@ -1,0 +1,57 @@
+// Ablation — sensitivity to the buffer size (§7's methodology).
+//
+// The paper deliberately ran with a small 600 kB buffer "to compensate for
+// the small database volume": materialization pays off because evaluating
+// functions over a cold object graph faults constantly, while the compact
+// GMR stays resident. This ablation sweeps the buffer size and shows how
+// the advantage shrinks as the whole database becomes memory-resident —
+// the regime in which incremental-computation systems (rather than
+// disk-based materialization) took over historically.
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t num_cuboids = args.quick ? 800 : 4000;
+
+  std::printf("# Ablation: buffer size vs materialization benefit\n");
+  std::printf("# %zu cuboids, 20 ops, Qmix {Qbw 1.0}, Umix {S 1.0}, "
+              "Pup 0.5; times in simulated seconds\n",
+              num_cuboids);
+  std::printf("buffer_pages,WithoutGMR,WithGMR,gain\n");
+
+  for (size_t pages : {50u, 150u, 400u, 1000u, 4000u}) {
+    double times[2];
+    int i = 0;
+    for (ProgramVersion v :
+         {ProgramVersion::kWithoutGmr, ProgramVersion::kWithGmr}) {
+      GeoBench::Config cfg;
+      cfg.num_cuboids = num_cuboids;
+      cfg.buffer_pages = pages;
+      cfg.version = v;
+      cfg.seed = 20;
+      GeoBench bench(cfg);
+      if (!bench.setup_status().ok()) {
+        Fail(bench.setup_status(), ProgramVersionName(v));
+      }
+      OperationMix mix;
+      mix.query_mix = {{1.0, OpKind::kBackwardQuery}};
+      mix.update_mix = {{1.0, OpKind::kScale}};
+      mix.update_probability = 0.5;
+      mix.num_ops = 20;
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), ProgramVersionName(v));
+      times[i++] = *t;
+    }
+    std::printf("%zu,%.4g,%.4g,%.1f\n", pages, times[0], times[1],
+                times[0] / times[1]);
+  }
+  std::printf("# expected: the gain collapses as the buffer approaches the "
+              "database size — §7's 600 kB buffer (150 pages) sits firmly "
+              "in the I/O-bound regime the paper targets\n");
+  return 0;
+}

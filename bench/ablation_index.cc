@@ -1,0 +1,132 @@
+// Ablation — GMR storage structure choice (§3.3).
+//
+// The paper proposes a multi-dimensional structure (grid file) for GMRs of
+// low arity and conventional indexes beyond that. This ablation measures
+// the three access paths on the same workload:
+//   * hash index        — exact argument lookups (forward queries)
+//   * B+-tree           — one-dimensional result ranges (backward queries)
+//   * grid file         — combined argument/result box queries
+// over growing GMR sizes, reporting real microseconds per operation
+// (in-memory structures; no simulated I/O involved).
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "index/bplus_tree.h"
+#include "index/grid_file.h"
+#include "index/hash_index.h"
+
+using namespace gom;
+
+namespace {
+
+volatile uint64_t g_sink = 0;
+
+double MicrosPer(const std::function<void()>& fn, int reps) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         reps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: index structures for GMR access paths (§3.3)\n");
+  std::printf("# columns: microseconds per operation (real time)\n");
+  std::printf(
+      "rows,hash_insert,hash_lookup,btree_insert,btree_range100,"
+      "grid_insert,grid_box,scan_range\n");
+
+  for (size_t n : {1000u, 10000u, 100000u}) {
+    Rng rng(n);
+    std::vector<std::pair<double, double>> data;  // (arg key, result)
+    data.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      data.emplace_back(static_cast<double>(i),
+                        rng.UniformDouble(0, 10000));
+    }
+
+    HashIndex hash;
+    double hash_insert = MicrosPer(
+        [&, i = size_t(0)]() mutable {
+          (void)hash.Insert({Value::Ref(Oid(i)),
+                             Value::Float(data[i].second)},
+                            i);
+          ++i;
+        },
+        n) /
+        1.0;
+    double hash_lookup = MicrosPer(
+        [&]() {
+          size_t i = rng.UniformInt(0, n - 1);
+          (void)hash.Lookup({Value::Ref(Oid(i)),
+                             Value::Float(data[i].second)});
+        },
+        10000);
+
+    BPlusTree btree;
+    double btree_insert = MicrosPer(
+        [&, i = size_t(0)]() mutable {
+          (void)btree.Insert(data[i].second, i);
+          ++i;
+        },
+        n);
+    double btree_range = MicrosPer(
+        [&]() {
+          double lo = rng.UniformDouble(0, 9000);
+          size_t count = 0;
+          btree.RangeScan(lo, lo + 100, true, true,
+                          [&](double, uint64_t) { return ++count < 10000; });
+        },
+        2000);
+
+    // The grid file's directory grows multiplicatively with the scales —
+    // the §3.3 limitation. Beyond ~10k entries the directory rebuilds
+    // dominate, so the sweep stops there (reported as -1).
+    double grid_insert = -1, grid_box = -1;
+    if (n <= 10000) {
+      GridFile grid(2, 64);
+      grid_insert = MicrosPer(
+          [&, i = size_t(0)]() mutable {
+            (void)grid.Insert({data[i].first, data[i].second}, i);
+            ++i;
+          },
+          n);
+      grid_box = MicrosPer(
+          [&]() {
+            double lo = rng.UniformDouble(0, 9000);
+            double alo = rng.UniformDouble(0, n * 0.9);
+            size_t count = 0;
+            grid.RangeQuery({alo, lo}, {alo + n * 0.1, lo + 100},
+                            [&](const std::vector<double>&, uint64_t) {
+                              return ++count < 10000;
+                            });
+          },
+          500);
+    }
+
+    // Baseline: an unindexed scan answering the range query.
+    double scan = MicrosPer(
+        [&]() {
+          double lo = rng.UniformDouble(0, 9000);
+          size_t count = 0;
+          for (const auto& [k, v] : data) {
+            if (v >= lo && v <= lo + 100) ++count;
+          }
+          g_sink += count;  // defeat dead-code elimination
+        },
+        200);
+
+    std::printf("%zu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", n, hash_insert,
+                hash_lookup, btree_insert, btree_range, grid_insert,
+                grid_box, scan);
+  }
+  std::printf("# expected: hash wins forward lookups; B+-tree ranges beat "
+              "scans by orders of magnitude at scale; the grid file "
+              "competes on combined boxes but degrades with "
+              "dimensionality (why §3.3 limits it to arity <= 3-4)\n");
+  return 0;
+}

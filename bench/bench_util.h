@@ -1,0 +1,81 @@
+#ifndef GOMFM_BENCH_BENCH_UTIL_H_
+#define GOMFM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/driver.h"
+
+namespace gom::bench {
+
+/// Command-line scaling: `--quick` shrinks the databases and op counts so
+/// the whole suite runs in seconds (shapes are preserved; absolute
+/// simulated times shrink accordingly).
+struct BenchArgs {
+  bool quick = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--quick") args.quick = true;
+    }
+    return args;
+  }
+};
+
+/// One curve of a figure.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+inline void PrintHeader(const std::string& figure,
+                        const std::string& profile) {
+  std::printf("# %s\n", figure.c_str());
+  std::printf("# profile: %s\n", profile.c_str());
+  std::printf("# times are simulated seconds (user time of the paper's "
+              "testbed model)\n");
+}
+
+inline void PrintTable(const std::string& x_label,
+                       const std::vector<double>& xs,
+                       const std::vector<Series>& series) {
+  std::printf("%s", x_label.c_str());
+  for (const Series& s : series) std::printf(",%s", s.name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%.4g", xs[i]);
+    for (const Series& s : series) {
+      std::printf(",%.4g", i < s.values.size() ? s.values[i] : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Reports the crossover ("break-even") x between two curves: the first x
+/// where `challenger` exceeds `baseline`, if any.
+inline void PrintBreakEven(const std::string& challenger_name,
+                           const std::string& baseline_name,
+                           const std::vector<double>& xs,
+                           const std::vector<double>& challenger,
+                           const std::vector<double>& baseline) {
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (challenger[i] > baseline[i]) {
+      std::printf("# break-even %s vs %s at x = %.4g\n",
+                  challenger_name.c_str(), baseline_name.c_str(), xs[i]);
+      return;
+    }
+  }
+  std::printf("# no break-even: %s stays below %s over the sweep\n",
+              challenger_name.c_str(), baseline_name.c_str());
+}
+
+inline void Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "FAILED (%s): %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace gom::bench
+
+#endif  // GOMFM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Figure 7 — Performance of GMR under varying update probabilities (§7.1).
+//
+// Profile (paper): #ops = 40, Qmix = {(.5, Qbw), (.5, Qfw)},
+// Umix = {(.5, I), (.5, S)}, Pup = 0 → 1 step .05; database of 8000
+// Cuboids; program versions WithoutGMR, WithGMR (immediate), InfoHiding.
+//
+// Expected shape: both materialized versions outperform WithoutGMR up to
+// very high update probabilities; the paper reports break-even ≈ 0.9 for
+// WithGMR and ≈ 0.95 for InfoHiding.
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t num_cuboids = args.quick ? 800 : 8000;
+  const size_t num_ops = 40;
+
+  PrintHeader("Figure 7 — GMR under varying update probabilities",
+              "#ops 40, Qmix {Qbw .5, Qfw .5}, Umix {I .5, S .5}, "
+              "Pup 0..1 step .05, " +
+                  std::to_string(num_cuboids) + " cuboids");
+
+  std::vector<double> pups;
+  for (int i = 0; i <= 20; ++i) pups.push_back(i * 0.05);
+
+  std::vector<ProgramVersion> versions = {ProgramVersion::kWithoutGmr,
+                                          ProgramVersion::kWithGmr,
+                                          ProgramVersion::kInfoHiding};
+  std::vector<Series> series;
+  for (ProgramVersion v : versions) {
+    Series s;
+    s.name = ProgramVersionName(v);
+    for (double pup : pups) {
+      GeoBench::Config cfg;
+      cfg.num_cuboids = num_cuboids;
+      cfg.version = v;
+      cfg.seed = 42;
+      GeoBench bench(cfg);
+      if (!bench.setup_status().ok()) Fail(bench.setup_status(), s.name.c_str());
+
+      OperationMix mix;
+      mix.query_mix = {{0.5, OpKind::kBackwardQuery},
+                       {0.5, OpKind::kForwardQuery}};
+      mix.update_mix = {{0.5, OpKind::kInsert}, {0.5, OpKind::kScale}};
+      mix.update_probability = pup;
+      mix.num_ops = num_ops;
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), s.name.c_str());
+      s.values.push_back(*t);
+    }
+    series.push_back(std::move(s));
+  }
+
+  PrintTable("Pup", pups, series);
+  PrintBreakEven("WithGMR", "WithoutGMR", pups, series[1].values,
+                 series[0].values);
+  PrintBreakEven("InfoHiding", "WithoutGMR", pups, series[2].values,
+                 series[0].values);
+  return 0;
+}

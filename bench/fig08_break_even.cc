@@ -1,0 +1,58 @@
+// Figure 8 — Determining the break-even point of function materialization
+// (§7.1).
+//
+// Profile: #ops = 500, each operation either a backward query (Qbw) or a
+// scale (S), Pup swept from 0.94 to 1.0 (increments .02, .02, then .002).
+// Paper: break-even WithGMR vs WithoutGMR ≈ 0.96, InfoHiding ≈ 0.975.
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t num_cuboids = args.quick ? 800 : 8000;
+  const size_t num_ops = args.quick ? 100 : 500;
+
+  PrintHeader("Figure 8 — break-even of function materialization",
+              "#ops " + std::to_string(num_ops) +
+                  ", Qmix {Qbw 1.0}, Umix {S 1.0}, Pup .94..1.0");
+
+  std::vector<double> pups = {0.94, 0.96, 0.98};
+  for (double p = 0.982; p <= 1.0001; p += 0.002) pups.push_back(p);
+
+  std::vector<ProgramVersion> versions = {ProgramVersion::kWithoutGmr,
+                                          ProgramVersion::kWithGmr,
+                                          ProgramVersion::kInfoHiding};
+  std::vector<Series> series;
+  for (ProgramVersion v : versions) {
+    Series s;
+    s.name = ProgramVersionName(v);
+    for (double pup : pups) {
+      GeoBench::Config cfg;
+      cfg.num_cuboids = num_cuboids;
+      cfg.version = v;
+      cfg.seed = 7;
+      GeoBench bench(cfg);
+      if (!bench.setup_status().ok()) Fail(bench.setup_status(), s.name.c_str());
+      OperationMix mix;
+      mix.query_mix = {{1.0, OpKind::kBackwardQuery}};
+      mix.update_mix = {{1.0, OpKind::kScale}};
+      mix.update_probability = pup;
+      mix.num_ops = num_ops;
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), s.name.c_str());
+      s.values.push_back(*t);
+    }
+    series.push_back(std::move(s));
+  }
+
+  PrintTable("Pup", pups, series);
+  PrintBreakEven("WithGMR", "WithoutGMR", pups, series[1].values,
+                 series[0].values);
+  PrintBreakEven("InfoHiding", "WithoutGMR", pups, series[2].values,
+                 series[0].values);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 9 — Cost of forward queries (§7.1).
+//
+// Profile: only forward queries, their count swept 200 → 2000; no updates.
+// Paper: the GMR constitutes a gain of about a factor 4 to 5.
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t num_cuboids = args.quick ? 800 : 8000;
+
+  PrintHeader("Figure 9 — cost of forward queries",
+              "Qmix {Qfw 1.0}, Pup 0, #ops 200..2000, " +
+                  std::to_string(num_cuboids) + " cuboids");
+
+  std::vector<double> counts;
+  for (int n = 200; n <= 2000; n += 200) counts.push_back(n);
+
+  std::vector<ProgramVersion> versions = {ProgramVersion::kWithoutGmr,
+                                          ProgramVersion::kWithGmr};
+  std::vector<Series> series;
+  for (ProgramVersion v : versions) {
+    Series s;
+    s.name = ProgramVersionName(v);
+    for (double n : counts) {
+      GeoBench::Config cfg;
+      cfg.num_cuboids = num_cuboids;
+      cfg.version = v;
+      cfg.seed = 9;
+      GeoBench bench(cfg);
+      if (!bench.setup_status().ok()) Fail(bench.setup_status(), s.name.c_str());
+      OperationMix mix;
+      mix.query_mix = {{1.0, OpKind::kForwardQuery}};
+      mix.update_probability = 0.0;
+      mix.num_ops = static_cast<size_t>(n);
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), s.name.c_str());
+      s.values.push_back(*t);
+    }
+    series.push_back(std::move(s));
+  }
+
+  PrintTable("forward_queries", counts, series);
+  double total_without = 0, total_with = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total_without += series[0].values[i];
+    total_with += series[1].values[i];
+  }
+  std::printf("# average gain factor: %.2f (paper: ~4-5)\n",
+              total_without / total_with);
+  return 0;
+}

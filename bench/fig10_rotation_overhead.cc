@@ -1,0 +1,76 @@
+// Figure 10 — Invalidation overhead incurred by materialized volume (§7.1).
+//
+// Profile: only rotations, swept 250 → 2500. Four configurations:
+// WithoutGMR, WithGMR (immediate rematerialization: every rotate performs
+// 12 invalidation/rematerialization rounds), Lazy (all results invalidated
+// up front, RRR/ObjDepFct empty — only the in-object checks remain) and
+// InfoHiding (rotate declared irrelevant to volume).
+//
+// Paper: WithGMR ≈ 10× WithoutGMR; Lazy and InfoHiding run very close to
+// WithoutGMR.
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t num_cuboids = args.quick ? 800 : 8000;
+  const int max_rotations = args.quick ? 500 : 2500;
+  const int step = args.quick ? 100 : 250;
+
+  PrintHeader("Figure 10 — invalidation overhead of materialized volume",
+              "Umix {R 1.0}, Pup 1.0, #ops 250..2500, " +
+                  std::to_string(num_cuboids) + " cuboids");
+
+  std::vector<double> counts;
+  for (int n = step; n <= max_rotations; n += step) counts.push_back(n);
+
+  struct Variant {
+    std::string name;
+    ProgramVersion version;
+    bool pre_invalidate;
+  };
+  std::vector<Variant> variants = {
+      {"WithoutGMR", ProgramVersion::kWithoutGmr, false},
+      {"WithGMR", ProgramVersion::kWithGmr, false},
+      {"Lazy", ProgramVersion::kLazy, true},
+      {"InfoHiding", ProgramVersion::kInfoHiding, false},
+  };
+
+  std::vector<Series> series;
+  for (const Variant& variant : variants) {
+    Series s;
+    s.name = variant.name;
+    for (double n : counts) {
+      GeoBench::Config cfg;
+      cfg.num_cuboids = num_cuboids;
+      cfg.version = variant.version;
+      cfg.pre_invalidate = variant.pre_invalidate;
+      cfg.seed = 10;
+      GeoBench bench(cfg);
+      if (!bench.setup_status().ok()) Fail(bench.setup_status(), s.name.c_str());
+      OperationMix mix;
+      mix.update_mix = {{1.0, OpKind::kRotate}};
+      mix.update_probability = 1.0;
+      mix.num_ops = static_cast<size_t>(n);
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), s.name.c_str());
+      s.values.push_back(*t);
+    }
+    series.push_back(std::move(s));
+  }
+
+  PrintTable("rotations", counts, series);
+  size_t last = counts.size() - 1;
+  std::printf("# WithGMR / WithoutGMR factor at %d rotations: %.1f "
+              "(paper: ~10)\n",
+              max_rotations, series[1].values[last] / series[0].values[last]);
+  std::printf("# Lazy / WithoutGMR factor: %.2f (paper: ~1)\n",
+              series[2].values[last] / series[0].values[last]);
+  std::printf("# InfoHiding / WithoutGMR factor: %.2f (paper: ~1)\n",
+              series[3].values[last] / series[0].values[last]);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 11 — The benefits of information hiding (§7.1).
+//
+// Profile: #ops = 400 updates; the probability of a scale rises 0 → 1 in
+// steps of .05 while rotate falls 1 → 0.
+//
+// Paper: WithoutGMR and WithGMR are nearly flat; InfoHiding starts near
+// WithoutGMR (rotations are detected as irrelevant) and climbs towards —
+// but stays well below — WithGMR, because each scale induces one
+// invalidation instead of twelve.
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const size_t num_cuboids = args.quick ? 800 : 8000;
+  const size_t num_ops = args.quick ? 80 : 400;
+
+  PrintHeader("Figure 11 — benefits of information hiding",
+              "#ops " + std::to_string(num_ops) +
+                  ", Umix {S p, R 1-p}, p = 0..1 step .05, Pup 1.0");
+
+  std::vector<double> scale_shares;
+  for (int i = 0; i <= 20; ++i) scale_shares.push_back(i * 0.05);
+
+  std::vector<ProgramVersion> versions = {ProgramVersion::kWithoutGmr,
+                                          ProgramVersion::kWithGmr,
+                                          ProgramVersion::kInfoHiding};
+  std::vector<Series> series;
+  for (ProgramVersion v : versions) {
+    Series s;
+    s.name = ProgramVersionName(v);
+    for (double share : scale_shares) {
+      GeoBench::Config cfg;
+      cfg.num_cuboids = num_cuboids;
+      cfg.version = v;
+      cfg.seed = 11;
+      GeoBench bench(cfg);
+      if (!bench.setup_status().ok()) Fail(bench.setup_status(), s.name.c_str());
+      OperationMix mix;
+      mix.update_mix = {{share, OpKind::kScale},
+                        {1.0 - share, OpKind::kRotate}};
+      if (share == 0.0) mix.update_mix = {{1.0, OpKind::kRotate}};
+      if (share == 1.0) mix.update_mix = {{1.0, OpKind::kScale}};
+      mix.update_probability = 1.0;
+      mix.num_ops = num_ops;
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), s.name.c_str());
+      s.values.push_back(*t);
+    }
+    series.push_back(std::move(s));
+  }
+
+  PrintTable("scale_share", scale_shares, series);
+  std::printf("# InfoHiding at p=0 vs WithoutGMR: %.2fx (paper: ~1)\n",
+              series[2].values.front() / series[0].values.front());
+  std::printf("# InfoHiding at p=1 vs WithGMR: %.2fx (paper: well below "
+              "1)\n",
+              series[2].values.back() / series[1].values.back());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 13 — Cost of backward queries on ranking (§7.2).
+//
+// Profile: company of 20 departments × 100 employees, 1000 projects, 10
+// jobs per employee; #ops = 10 per update probability; Qmix = {Qbw,r},
+// Umix = {P (promote)}; Pup = 0 → 1 step .1. Versions: WithoutGMR,
+// Immediate, Lazy.
+//
+// Paper: both GMR versions outperform WithoutGMR for Pup < 0.95; Lazy and
+// Immediate coincide except at Pup = 1.0 (backward queries force all
+// results valid anyway).
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  CompanyConfig company;
+  if (args.quick) {
+    company.departments = 5;
+    company.employees_per_department = 20;
+    company.projects = 100;
+    company.jobs_per_employee = 5;
+  }
+
+  PrintHeader("Figure 13 — cost of backward queries on ranking",
+              "#ops 10, Qmix {Qbw,r 1.0}, Umix {P 1.0}, Pup 0..1 step .1");
+
+  std::vector<double> pups;
+  for (int i = 0; i <= 10; ++i) pups.push_back(i * 0.1);
+
+  struct Variant {
+    std::string name;
+    ProgramVersion version;
+  };
+  std::vector<Variant> variants = {
+      {"WithoutGMR", ProgramVersion::kWithoutGmr},
+      {"Immediate", ProgramVersion::kWithGmr},
+      {"Lazy", ProgramVersion::kLazy},
+  };
+  std::vector<Series> series;
+  for (const Variant& variant : variants) {
+    Series s;
+    s.name = variant.name;
+    for (double pup : pups) {
+      CompanyBench::Config cfg;
+      cfg.company = company;
+      cfg.version = variant.version;
+      cfg.seed = 13;
+      CompanyBench bench(cfg);
+      if (!bench.setup_status().ok()) Fail(bench.setup_status(), s.name.c_str());
+      OperationMix mix;
+      mix.query_mix = {{1.0, OpKind::kRankingBackward}};
+      mix.update_mix = {{1.0, OpKind::kPromote}};
+      mix.update_probability = pup;
+      mix.num_ops = 10;
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), s.name.c_str());
+      s.values.push_back(*t);
+    }
+    series.push_back(std::move(s));
+  }
+
+  PrintTable("Pup", pups, series);
+  PrintBreakEven("Immediate", "WithoutGMR", pups, series[1].values,
+                 series[0].values);
+  PrintBreakEven("Lazy", "WithoutGMR", pups, series[2].values,
+                 series[0].values);
+  return 0;
+}

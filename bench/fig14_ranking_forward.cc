@@ -1,0 +1,76 @@
+// Figure 14 — Cost of forward queries on ranking (§7.2).
+//
+// Profile: same company database; #ops = 1000; Qmix = {Qfw,r},
+// Umix = {P}; Pup = 0 → 1 step .1. Versions: WithoutGMR, Immediate, Lazy.
+//
+// Paper: Lazy gains a factor 2–12 over Immediate (invalidated rankings are
+// recomputed only when accessed); break-even vs WithoutGMR at Pup ≈ .1 for
+// Immediate and ≈ .2 for Lazy; the Lazy curve falls again for Pup ≥ .6.
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  CompanyConfig company;
+  size_t num_ops = 1000;
+  if (args.quick) {
+    company.departments = 5;
+    company.employees_per_department = 20;
+    company.projects = 100;
+    company.jobs_per_employee = 5;
+    num_ops = 200;
+  }
+
+  PrintHeader("Figure 14 — cost of forward queries on ranking",
+              "#ops " + std::to_string(num_ops) +
+                  ", Qmix {Qfw,r 1.0}, Umix {P 1.0}, Pup 0..1 step .1");
+
+  std::vector<double> pups;
+  for (int i = 0; i <= 10; ++i) pups.push_back(i * 0.1);
+
+  struct Variant {
+    std::string name;
+    ProgramVersion version;
+  };
+  std::vector<Variant> variants = {
+      {"WithoutGMR", ProgramVersion::kWithoutGmr},
+      {"Immediate", ProgramVersion::kWithGmr},
+      {"Lazy", ProgramVersion::kLazy},
+  };
+  std::vector<Series> series;
+  for (const Variant& variant : variants) {
+    Series s;
+    s.name = variant.name;
+    for (double pup : pups) {
+      CompanyBench::Config cfg;
+      cfg.company = company;
+      cfg.version = variant.version;
+      cfg.seed = 14;
+      CompanyBench bench(cfg);
+      if (!bench.setup_status().ok()) Fail(bench.setup_status(), s.name.c_str());
+      OperationMix mix;
+      mix.query_mix = {{1.0, OpKind::kRankingForward}};
+      mix.update_mix = {{1.0, OpKind::kPromote}};
+      mix.update_probability = pup;
+      mix.num_ops = num_ops;
+      auto t = bench.RunMix(mix);
+      if (!t.ok()) Fail(t.status(), s.name.c_str());
+      s.values.push_back(*t);
+    }
+    series.push_back(std::move(s));
+  }
+
+  PrintTable("Pup", pups, series);
+  double max_gain = 0;
+  for (size_t i = 0; i < pups.size(); ++i) {
+    if (series[2].values[i] > 0) {
+      max_gain = std::max(max_gain, series[1].values[i] / series[2].values[i]);
+    }
+  }
+  std::printf("# max Immediate/Lazy factor: %.1f (paper: 2-12)\n", max_gain);
+  return 0;
+}

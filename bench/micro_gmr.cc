@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark): throughput of the core operations —
+// GMR forward lookup, backward range, invalidation, rematerialization,
+// interpreter evaluation and static path extraction.
+//
+// These measure REAL time of the in-memory implementation (the simulated
+// clock still ticks underneath but is ignored here).
+
+#include <benchmark/benchmark.h>
+
+#include "funclang/path_extraction.h"
+#include "workload/driver.h"
+
+using namespace gom;
+using namespace gom::workload;
+
+namespace {
+
+struct MicroEnv {
+  MicroEnv() : env(4096) {
+    geo = *CuboidSchema::Declare(&env.schema, &env.registry);
+    Rng rng(1);
+    Oid iron = *geo.MakeMaterial(&env.om, "Iron", 7.86);
+    for (int i = 0; i < 2000; ++i) {
+      cuboids.push_back(*geo.MakeCuboid(&env.om, rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20), iron));
+    }
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(geo.cuboid)};
+    spec.functions = {geo.volume};
+    gmr_id = *env.mgr.Materialize(spec);
+    env.InstallNotifier(NotifyLevel::kObjDep);
+  }
+
+  Environment env;
+  CuboidSchema geo;
+  std::vector<Oid> cuboids;
+  GmrId gmr_id = kInvalidGmrId;
+};
+
+MicroEnv& Shared() {
+  static MicroEnv* env = new MicroEnv();
+  return *env;
+}
+
+void BM_InterpreterVolume(benchmark::State& state) {
+  MicroEnv& m = Shared();
+  Rng rng(2);
+  for (auto _ : state) {
+    Oid c = m.cuboids[rng.UniformInt(0, m.cuboids.size() - 1)];
+    auto v = m.env.interp.Invoke(m.geo.volume, {Value::Ref(c)});
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_InterpreterVolume);
+
+void BM_ForwardLookupHit(benchmark::State& state) {
+  MicroEnv& m = Shared();
+  Rng rng(3);
+  for (auto _ : state) {
+    Oid c = m.cuboids[rng.UniformInt(0, m.cuboids.size() - 1)];
+    auto v = m.env.mgr.ForwardLookup(m.geo.volume, {Value::Ref(c)});
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ForwardLookupHit);
+
+void BM_BackwardRange(benchmark::State& state) {
+  MicroEnv& m = Shared();
+  Rng rng(4);
+  for (auto _ : state) {
+    double lo = rng.UniformDouble(0, 7000);
+    auto rows = m.env.mgr.BackwardRange(m.geo.volume, lo, lo + 50, true, true);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_BackwardRange);
+
+void BM_InvalidateRematerialize(benchmark::State& state) {
+  MicroEnv& m = Shared();
+  Rng rng(5);
+  for (auto _ : state) {
+    // One relevant coordinate write = one invalidation + rematerialization.
+    Oid c = m.cuboids[rng.UniformInt(0, m.cuboids.size() - 1)];
+    Oid v1 = m.env.om.GetAttribute(c, "V1")->as_ref();
+    benchmark::DoNotOptimize(
+        m.env.om.SetAttribute(v1, "X", Value::Float(rng.UniformDouble(0, 5))));
+  }
+}
+BENCHMARK(BM_InvalidateRematerialize);
+
+void BM_IrrelevantUpdate(benchmark::State& state) {
+  MicroEnv& m = Shared();
+  Rng rng(6);
+  for (auto _ : state) {
+    // set_Value is outside RelAttr(volume): the in-object check suffices.
+    Oid c = m.cuboids[rng.UniformInt(0, m.cuboids.size() - 1)];
+    benchmark::DoNotOptimize(m.env.om.SetAttribute(
+        c, "Value", Value::Float(rng.UniformDouble(0, 5))));
+  }
+}
+BENCHMARK(BM_IrrelevantUpdate);
+
+void BM_PathExtraction(benchmark::State& state) {
+  // Fresh analyzer each round — measures the full analysis of weight
+  // (which inlines volume → length/width/height → dist).
+  MicroEnv& m = Shared();
+  for (auto _ : state) {
+    funclang::PathAnalyzer analyzer(&m.env.schema, &m.env.registry);
+    auto analysis = analyzer.Analyze(m.geo.weight);
+    benchmark::DoNotOptimize(analysis);
+  }
+}
+BENCHMARK(BM_PathExtraction);
+
+void BM_RrrProbe(benchmark::State& state) {
+  MicroEnv& m = Shared();
+  Rng rng(7);
+  for (auto _ : state) {
+    Oid c = m.cuboids[rng.UniformInt(0, m.cuboids.size() - 1)];
+    auto entries = m.env.mgr.rrr().EntriesFor(c);
+    benchmark::DoNotOptimize(entries);
+  }
+}
+BENCHMARK(BM_RrrProbe);
+
+}  // namespace

@@ -1,0 +1,37 @@
+#ifndef GOMFM_COMMON_RNG_H_
+#define GOMFM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gom {
+
+/// Deterministic pseudo-random source used by workload generators and
+/// benchmarks. All experiments seed it explicitly so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Weights need not sum to 1; they must be non-negative and not all zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_COMMON_RNG_H_

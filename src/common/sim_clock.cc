@@ -1,0 +1,10 @@
+#include "common/sim_clock.h"
+
+namespace gom {
+
+const CostModel& CostModel::Default() {
+  static const CostModel kDefault;
+  return kDefault;
+}
+
+}  // namespace gom

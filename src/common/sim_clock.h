@@ -1,0 +1,51 @@
+#ifndef GOMFM_COMMON_SIM_CLOCK_H_
+#define GOMFM_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace gom {
+
+/// Simulated wall clock. The storage substrate and the interpreter charge
+/// simulated time to this clock (disk latencies, per-operation CPU costs);
+/// benchmarks report `seconds()` as the "user time" of the 1991 paper.
+///
+/// The clock is deterministic: two runs of the same seeded workload produce
+/// identical times, which makes the figure reproductions stable.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Charges `s` simulated seconds. Negative charges are ignored.
+  void Advance(double s) {
+    if (s > 0) seconds_ += s;
+  }
+
+  double seconds() const { return seconds_; }
+
+  /// Resets the clock to zero (used between benchmark series points).
+  void Reset() { seconds_ = 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+/// Cost-model constants mirroring the paper's testbed (§7): a DEC disk with
+/// 25 ms average access time, a DECstation 3100 class CPU, and a 600 kB
+/// buffer. CPU costs are coarse per-event charges; the curves are dominated
+/// by I/O counts, exactly as in the paper.
+struct CostModel {
+  /// Simulated time for one page transfer (read on fault or dirty write-back).
+  double disk_access_seconds = 0.025;
+  /// CPU charge per object attribute access / elementary update.
+  double cpu_object_op_seconds = 4e-6;
+  /// CPU charge per interpreted function-language AST node evaluation.
+  double cpu_eval_node_seconds = 2e-6;
+  /// CPU charge per index probe or GMR-manager table lookup.
+  double cpu_index_op_seconds = 3e-6;
+
+  static const CostModel& Default();
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_COMMON_SIM_CLOCK_H_

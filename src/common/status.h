@@ -1,0 +1,144 @@
+#ifndef GOMFM_COMMON_STATUS_H_
+#define GOMFM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gom {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions on its API paths; fallible operations return `Status` or
+/// `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kTypeMismatch,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("Ok", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); errors carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Dereferencing a
+/// non-OK result is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — mirrors absl::StatusOr ergonomics.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit construction from an error status; `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `Result<T>`.
+#define GOMFM_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::gom::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Evaluates a `Result<T>` expression, propagating errors, and binds the
+/// unwrapped value to `lhs`.
+#define GOMFM_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto GOMFM_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!GOMFM_CONCAT_(_res_, __LINE__).ok())                \
+    return GOMFM_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(GOMFM_CONCAT_(_res_, __LINE__)).value()
+
+#define GOMFM_CONCAT_INNER_(a, b) a##b
+#define GOMFM_CONCAT_(a, b) GOMFM_CONCAT_INNER_(a, b)
+
+}  // namespace gom
+
+#endif  // GOMFM_COMMON_STATUS_H_

@@ -1,0 +1,122 @@
+#ifndef GOMFM_FUNCLANG_AST_H_
+#define GOMFM_FUNCLANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gom/type.h"
+#include "gom/value.h"
+
+namespace gom::funclang {
+
+/// The GOM function language.
+///
+/// Materialized functions must be side-effect free (Def. 3.1), so the
+/// language is expression-oriented: a function body is a sequence of local
+/// bindings followed by a `return`. Having function bodies as data gives us
+/// what the paper's schema analyzer gets from GOM sources: (a) the tracking
+/// interpreter records every object accessed during a materialization (the
+/// RRR mechanism of §4.1), and (b) the appendix's path-extraction analysis
+/// computes `RelAttr(f)` statically (§5.1, Appendix).
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp : uint8_t { kNeg, kNot, kSin, kCos, kSqrt, kAbs };
+
+/// Aggregates and iteration forms over collections. The source expression
+/// must evaluate to a reference to a set-/list-structured object or to a
+/// transient composite.
+enum class AggregateOp : uint8_t { kSum, kAvg, kCount, kMin, kMax };
+
+enum class ExprKind : uint8_t {
+  kConst,      // literal value
+  kVar,        // parameter or let-bound variable
+  kAttr,       // base.A
+  kBinary,     // lhs op rhs
+  kUnary,      // op operand
+  kIf,         // if cond then a else b (an expression)
+  kCall,       // invocation of another registered (funclang) function
+  kAggregate,  // agg(source, var, body); kCount ignores body
+  kSelect,     // composite of elements of source for which pred holds
+  kMap,        // composite of body values, one per element of source
+  kFlatten,    // concatenation of the composite-of-composites source
+  kMakeComposite,  // [e1, ..., en]
+  kAt,         // element `index` of a composite
+  kContains,   // true iff source collection contains the element value
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // kConst
+  Value literal;
+
+  // kVar: variable name; kAttr: attribute name.
+  std::string name;
+
+  // kAttr/kUnary/kFlatten: operand in `children[0]`.
+  // kBinary: children[0], children[1].
+  // kIf: cond, then, else.
+  // kCall: arguments.
+  // kAggregate/kSelect/kMap: children[0] = source, children[1] = body/pred
+  //   (absent for kCount), with element variable `var`.
+  // kContains: children[0] = collection, children[1] = element.
+  // kMakeComposite: all children.
+  // kAt: children[0] = composite.
+  std::vector<ExprPtr> children;
+
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNeg;
+  AggregateOp aggregate_op = AggregateOp::kSum;
+
+  // kCall: callee function name (resolved through the registry at use).
+  std::string callee;
+
+  // kAggregate/kSelect/kMap: iteration variable name.
+  std::string var;
+
+  // kAt: element index.
+  size_t index = 0;
+};
+
+/// `v := e` or `return e` — the statement forms of the appendix analysis.
+struct Stmt {
+  enum class Kind : uint8_t { kLet, kReturn };
+  Kind kind;
+  std::string var;  // kLet only
+  ExprPtr expr;
+};
+
+/// A function body: statements executed in order; evaluation ends at the
+/// (required, final) return.
+struct Block {
+  std::vector<Stmt> stmts;
+};
+
+/// One formal parameter. By convention type-associated operations take the
+/// receiver as the first parameter named "self".
+struct Param {
+  std::string name;
+  TypeRef type;
+};
+
+}  // namespace gom::funclang
+
+#endif  // GOMFM_FUNCLANG_AST_H_

@@ -1,0 +1,164 @@
+#include "funclang/builder.h"
+
+namespace gom::funclang {
+
+namespace {
+std::shared_ptr<Expr> Node(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr Lit(Value v) {
+  auto e = Node(ExprKind::kConst);
+  e->literal = std::move(v);
+  return e;
+}
+ExprPtr F(double d) { return Lit(Value::Float(d)); }
+ExprPtr I(int64_t i) { return Lit(Value::Int(i)); }
+ExprPtr B(bool b) { return Lit(Value::Bool(b)); }
+ExprPtr S(std::string s) { return Lit(Value::String(std::move(s))); }
+
+ExprPtr Var(std::string name) {
+  auto e = Node(ExprKind::kVar);
+  e->name = std::move(name);
+  return e;
+}
+ExprPtr Self() { return Var("self"); }
+
+ExprPtr Attr(ExprPtr base, std::string attr) {
+  auto e = Node(ExprKind::kAttr);
+  e->children = {std::move(base)};
+  e->name = std::move(attr);
+  return e;
+}
+
+ExprPtr Path(ExprPtr base, const std::vector<std::string>& attrs) {
+  ExprPtr cur = std::move(base);
+  for (const std::string& a : attrs) cur = Attr(cur, a);
+  return cur;
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr a, ExprPtr b) {
+  auto e = Node(ExprKind::kBinary);
+  e->binary_op = op;
+  e->children = {std::move(a), std::move(b)};
+  return e;
+}
+ExprPtr Add(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAdd, a, b); }
+ExprPtr Sub(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kSub, a, b); }
+ExprPtr Mul(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kMul, a, b); }
+ExprPtr Div(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kDiv, a, b); }
+ExprPtr Lt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLt, a, b); }
+ExprPtr Le(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLe, a, b); }
+ExprPtr Gt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGt, a, b); }
+ExprPtr Ge(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGe, a, b); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kEq, a, b); }
+ExprPtr Ne(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kNe, a, b); }
+ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAnd, a, b); }
+ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kOr, a, b); }
+
+ExprPtr Unary(UnaryOp op, ExprPtr operand) {
+  auto e = Node(ExprKind::kUnary);
+  e->unary_op = op;
+  e->children = {std::move(operand)};
+  return e;
+}
+ExprPtr Neg(ExprPtr e) { return Unary(UnaryOp::kNeg, std::move(e)); }
+ExprPtr Not(ExprPtr e) { return Unary(UnaryOp::kNot, std::move(e)); }
+ExprPtr Sin(ExprPtr e) { return Unary(UnaryOp::kSin, std::move(e)); }
+ExprPtr Cos(ExprPtr e) { return Unary(UnaryOp::kCos, std::move(e)); }
+ExprPtr Sqrt(ExprPtr e) { return Unary(UnaryOp::kSqrt, std::move(e)); }
+ExprPtr Abs(ExprPtr e) { return Unary(UnaryOp::kAbs, std::move(e)); }
+
+ExprPtr IfE(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) {
+  auto e = Node(ExprKind::kIf);
+  e->children = {std::move(cond), std::move(then_e), std::move(else_e)};
+  return e;
+}
+
+ExprPtr CallF(std::string callee, std::vector<ExprPtr> args) {
+  auto e = Node(ExprKind::kCall);
+  e->callee = std::move(callee);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Aggregate(AggregateOp op, ExprPtr source, std::string var,
+                  ExprPtr body) {
+  auto e = Node(ExprKind::kAggregate);
+  e->aggregate_op = op;
+  e->var = std::move(var);
+  e->children = {std::move(source)};
+  if (body != nullptr) e->children.push_back(std::move(body));
+  return e;
+}
+ExprPtr SumOver(ExprPtr src, std::string var, ExprPtr body) {
+  return Aggregate(AggregateOp::kSum, std::move(src), std::move(var),
+                   std::move(body));
+}
+ExprPtr AvgOver(ExprPtr src, std::string var, ExprPtr body) {
+  return Aggregate(AggregateOp::kAvg, std::move(src), std::move(var),
+                   std::move(body));
+}
+ExprPtr MinOver(ExprPtr src, std::string var, ExprPtr body) {
+  return Aggregate(AggregateOp::kMin, std::move(src), std::move(var),
+                   std::move(body));
+}
+ExprPtr MaxOver(ExprPtr src, std::string var, ExprPtr body) {
+  return Aggregate(AggregateOp::kMax, std::move(src), std::move(var),
+                   std::move(body));
+}
+ExprPtr CountOf(ExprPtr src) {
+  return Aggregate(AggregateOp::kCount, std::move(src), "_", nullptr);
+}
+
+ExprPtr SelectFrom(ExprPtr source, std::string var, ExprPtr pred) {
+  auto e = Node(ExprKind::kSelect);
+  e->var = std::move(var);
+  e->children = {std::move(source), std::move(pred)};
+  return e;
+}
+
+ExprPtr MapOver(ExprPtr source, std::string var, ExprPtr body) {
+  auto e = Node(ExprKind::kMap);
+  e->var = std::move(var);
+  e->children = {std::move(source), std::move(body)};
+  return e;
+}
+
+ExprPtr Flatten(ExprPtr source) {
+  auto e = Node(ExprKind::kFlatten);
+  e->children = {std::move(source)};
+  return e;
+}
+
+ExprPtr MakeComposite(std::vector<ExprPtr> elems) {
+  auto e = Node(ExprKind::kMakeComposite);
+  e->children = std::move(elems);
+  return e;
+}
+
+ExprPtr At(ExprPtr composite, size_t index) {
+  auto e = Node(ExprKind::kAt);
+  e->children = {std::move(composite)};
+  e->index = index;
+  return e;
+}
+
+ExprPtr Contains(ExprPtr collection, ExprPtr element) {
+  auto e = Node(ExprKind::kContains);
+  e->children = {std::move(collection), std::move(element)};
+  return e;
+}
+
+Stmt Let(std::string var, ExprPtr e) {
+  return Stmt{Stmt::Kind::kLet, std::move(var), std::move(e)};
+}
+Stmt Ret(ExprPtr e) { return Stmt{Stmt::Kind::kReturn, "", std::move(e)}; }
+
+Block Body(ExprPtr result) { return Block{{Ret(std::move(result))}}; }
+Block Body(std::vector<Stmt> stmts) { return Block{std::move(stmts)}; }
+
+}  // namespace gom::funclang

@@ -1,0 +1,81 @@
+#ifndef GOMFM_FUNCLANG_BUILDER_H_
+#define GOMFM_FUNCLANG_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "funclang/ast.h"
+
+namespace gom::funclang {
+
+/// Fluent constructors for function-language ASTs. These mirror the surface
+/// syntax of the paper's examples, e.g. `volume`:
+///
+///   Ret(Mul(Mul(CallF("length", {Self()}), CallF("width", {Self()})),
+///           CallF("height", {Self()})))
+
+ExprPtr Lit(Value v);
+ExprPtr F(double d);      // float literal
+ExprPtr I(int64_t i);     // int literal
+ExprPtr B(bool b);        // bool literal
+ExprPtr S(std::string s); // string literal
+
+ExprPtr Var(std::string name);
+ExprPtr Self();  // Var("self")
+
+ExprPtr Attr(ExprPtr base, std::string attr);
+/// Attribute chain: Path(Self(), {"V1", "X"}) == self.V1.X
+ExprPtr Path(ExprPtr base, const std::vector<std::string>& attrs);
+
+ExprPtr Binary(BinaryOp op, ExprPtr a, ExprPtr b);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+
+ExprPtr Unary(UnaryOp op, ExprPtr e);
+ExprPtr Neg(ExprPtr e);
+ExprPtr Not(ExprPtr e);
+ExprPtr Sin(ExprPtr e);
+ExprPtr Cos(ExprPtr e);
+ExprPtr Sqrt(ExprPtr e);
+ExprPtr Abs(ExprPtr e);
+
+ExprPtr IfE(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+
+/// Call of another registered funclang function, by name.
+ExprPtr CallF(std::string callee, std::vector<ExprPtr> args);
+
+ExprPtr Aggregate(AggregateOp op, ExprPtr source, std::string var,
+                  ExprPtr body);
+ExprPtr SumOver(ExprPtr source, std::string var, ExprPtr body);
+ExprPtr AvgOver(ExprPtr source, std::string var, ExprPtr body);
+ExprPtr MinOver(ExprPtr source, std::string var, ExprPtr body);
+ExprPtr MaxOver(ExprPtr source, std::string var, ExprPtr body);
+ExprPtr CountOf(ExprPtr source);
+
+ExprPtr SelectFrom(ExprPtr source, std::string var, ExprPtr pred);
+ExprPtr MapOver(ExprPtr source, std::string var, ExprPtr body);
+ExprPtr Flatten(ExprPtr source);
+ExprPtr MakeComposite(std::vector<ExprPtr> elems);
+ExprPtr At(ExprPtr composite, size_t index);
+ExprPtr Contains(ExprPtr collection, ExprPtr element);
+
+Stmt Let(std::string var, ExprPtr e);
+Stmt Ret(ExprPtr e);
+
+/// Convenience: a single-return body.
+Block Body(ExprPtr result);
+Block Body(std::vector<Stmt> stmts);
+
+}  // namespace gom::funclang
+
+#endif  // GOMFM_FUNCLANG_BUILDER_H_

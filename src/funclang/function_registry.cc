@@ -1,0 +1,61 @@
+#include "funclang/function_registry.h"
+
+namespace gom::funclang {
+
+Result<FunctionId> FunctionRegistry::Register(FunctionDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("function name must not be empty");
+  }
+  if (by_name_.count(def.name)) {
+    return Status::AlreadyExists("function '" + def.name +
+                                 "' already registered");
+  }
+  if (!def.is_native()) {
+    if (def.body.stmts.empty() ||
+        def.body.stmts.back().kind != Stmt::Kind::kReturn) {
+      return Status::InvalidArgument("function '" + def.name +
+                                     "' body must end with a return");
+    }
+    for (size_t i = 0; i + 1 < def.body.stmts.size(); ++i) {
+      if (def.body.stmts[i].kind == Stmt::Kind::kReturn) {
+        return Status::InvalidArgument("function '" + def.name +
+                                       "': return must be the last statement");
+      }
+    }
+  }
+  def.id = static_cast<FunctionId>(defs_.size());
+  by_name_.emplace(def.name, def.id);
+  defs_.push_back(std::move(def));
+  return defs_.back().id;
+}
+
+Result<const FunctionDef*> FunctionRegistry::Get(FunctionId id) const {
+  if (id >= defs_.size()) {
+    return Status::NotFound("unknown function id " + std::to_string(id));
+  }
+  return &defs_[id];
+}
+
+Result<const FunctionDef*> FunctionRegistry::Find(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no function named '" + name + "'");
+  }
+  return &defs_[it->second];
+}
+
+Result<FunctionId> FunctionRegistry::FindId(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no function named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string FunctionRegistry::NameOf(FunctionId id) const {
+  if (id < defs_.size()) return defs_[id].name;
+  return "fct#" + std::to_string(id);
+}
+
+}  // namespace gom::funclang

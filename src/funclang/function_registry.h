@@ -1,0 +1,73 @@
+#ifndef GOMFM_FUNCLANG_FUNCTION_REGISTRY_H_
+#define GOMFM_FUNCLANG_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "funclang/ast.h"
+#include "gom/ids.h"
+
+namespace gom::funclang {
+
+class EvalContext;
+
+/// Implementation of a function in native C++ rather than in the function
+/// language. Natives receive the evaluation context so queries can record
+/// accessed objects; update operations may mutate through the object
+/// manager. Natives are opaque to the static path analysis, so functions
+/// intended for materialization should be written in the AST language.
+using NativeFn =
+    std::function<Result<Value>(EvalContext&, const std::vector<Value>&)>;
+
+/// A registered function or type-associated operation.
+struct FunctionDef {
+  FunctionId id = kInvalidFunctionId;
+  std::string name;
+  /// Formal parameters; type-associated operations put the receiver first,
+  /// named "self".
+  std::vector<Param> params;
+  TypeRef result_type;
+
+  /// AST body (side-effect-free function language). Ignored when `native`
+  /// is set.
+  Block body;
+  NativeFn native;
+
+  /// False for native update operations (scale, rotate, promote, ...).
+  /// Only side-effect-free functions may be materialized.
+  bool side_effect_free = true;
+
+  bool is_native() const { return static_cast<bool>(native); }
+};
+
+/// Registry of all functions known to the object base. FunctionIds are
+/// dense indexes, stable for the registry's lifetime.
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+  FunctionRegistry(const FunctionRegistry&) = delete;
+  FunctionRegistry& operator=(const FunctionRegistry&) = delete;
+
+  /// Registers `def` (its `id` field is assigned). Names must be unique.
+  Result<FunctionId> Register(FunctionDef def);
+
+  Result<const FunctionDef*> Get(FunctionId id) const;
+  Result<const FunctionDef*> Find(const std::string& name) const;
+  Result<FunctionId> FindId(const std::string& name) const;
+
+  /// Display name for diagnostics ("fct#7" if unknown).
+  std::string NameOf(FunctionId id) const;
+
+  size_t size() const { return defs_.size(); }
+
+ private:
+  std::vector<FunctionDef> defs_;
+  std::unordered_map<std::string, FunctionId> by_name_;
+};
+
+}  // namespace gom::funclang
+
+#endif  // GOMFM_FUNCLANG_FUNCTION_REGISTRY_H_

@@ -1,0 +1,454 @@
+#include "funclang/path_extraction.h"
+
+namespace gom::funclang {
+
+std::string PathExpr::ToString() const {
+  std::string out = root;
+  for (const std::string& a : attrs) {
+    out += ".";
+    out += a;
+  }
+  if (elements_of) out += ".elements()";
+  return out;
+}
+
+PathSet RewritePath(const PathExpr& path, const RewriteSystem& r) {
+  auto it = r.rules.find(path.root);
+  if (it == r.rules.end()) return {path};
+  PathSet out;
+  for (const PathExpr& repl : it->second) {
+    if (repl.elements_of && (!path.attrs.empty() || path.elements_of)) {
+      // A replacement ending in an element access cannot be extended; the
+      // replacement itself is still an access.
+      out.insert(repl);
+      continue;
+    }
+    PathExpr combined = repl;
+    combined.attrs.insert(combined.attrs.end(), path.attrs.begin(),
+                          path.attrs.end());
+    combined.elements_of = path.elements_of || repl.elements_of;
+    out.insert(std::move(combined));
+  }
+  return out;
+}
+
+PathSet ApplyRules(const PathSet& paths, const RewriteSystem& r) {
+  PathSet out;
+  for (const PathExpr& p : paths) {
+    PathSet rewritten = RewritePath(p, r);
+    out.insert(rewritten.begin(), rewritten.end());
+  }
+  return out;
+}
+
+Extraction Combine(const Extraction& e1, const Extraction& e2) {
+  Extraction out;
+  // P := (P2 ⊙ R1) ∪ P1
+  out.paths = ApplyRules(e2.paths, e1.rules);
+  out.paths.insert(e1.paths.begin(), e1.paths.end());
+  // R := (R2 ⊙ R1) ∪ (R1 \ {x→z ∈ R1 | x is rewritten by R2})
+  for (const auto& [var, repls] : e2.rules.rules) {
+    out.rules.rules[var] = ApplyRules(repls, e1.rules);
+  }
+  for (const auto& [var, repls] : e1.rules.rules) {
+    if (!e2.rules.Rewrites(var)) out.rules.rules[var] = repls;
+  }
+  return out;
+}
+
+namespace {
+
+TypeRef LiteralType(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBool:
+      return TypeRef::Bool();
+    case ValueKind::kInt:
+      return TypeRef::Int();
+    case ValueKind::kFloat:
+      return TypeRef::Float();
+    case ValueKind::kString:
+      return TypeRef::String();
+    default:
+      return TypeRef::Any();
+  }
+}
+
+TypeRef UnifyTypes(const TypeRef& a, const TypeRef& b) {
+  if (a == b) return a;
+  bool a_num = a.tag == TypeRef::Tag::kInt || a.tag == TypeRef::Tag::kFloat;
+  bool b_num = b.tag == TypeRef::Tag::kInt || b.tag == TypeRef::Tag::kFloat;
+  if (a_num && b_num) return TypeRef::Float();
+  return TypeRef::Any();
+}
+
+}  // namespace
+
+Result<TypeRef> PathAnalyzer::AttrType(const TypeRef& base,
+                                       const std::string& attr, Scope& scope) {
+  if (!base.is_object()) {
+    return Status::FailedPrecondition(
+        "attribute '" + attr + "' accessed on a statically untyped value");
+  }
+  GOMFM_ASSIGN_OR_RETURN(auto resolved,
+                         schema_->ResolveAttribute(base.object_type, attr));
+  scope.out->rel_attr.insert({base.object_type, resolved.first});
+  return resolved.second;
+}
+
+Status PathAnalyzer::RecordElementsAccess(const ExprInfo& src, Scope& scope) {
+  if (src.type.is_object()) {
+    GOMFM_ASSIGN_OR_RETURN(const TypeDescriptor* desc,
+                           schema_->Get(src.type.object_type));
+    if (desc->kind != StructKind::kTuple) {
+      scope.out->rel_attr.insert({src.type.object_type, kElementsOfAttr});
+    }
+  }
+  return Status::Ok();
+}
+
+Result<PathAnalyzer::ExprInfo> PathAnalyzer::AnalyzeExpr(const Expr& e,
+                                                         Scope& scope,
+                                                         int depth) {
+  if (depth > 64) {
+    return Status::FailedPrecondition("expression nesting limit exceeded");
+  }
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return ExprInfo{{}, {}, LiteralType(e.literal), TypeRef::Any()};
+
+    case ExprKind::kVar: {
+      auto it = scope.var_types.find(e.name);
+      if (it == scope.var_types.end()) {
+        return Status::InvalidArgument("unbound variable '" + e.name +
+                                       "' in analysis");
+      }
+      ExprInfo info;
+      info.results.insert(PathExpr{e.name, {}, false});
+      info.type = it->second;
+      if (info.type.is_object()) {
+        auto desc = schema_->Get(info.type.object_type);
+        if (desc.ok() && (*desc)->kind != StructKind::kTuple) {
+          info.elem_type = (*desc)->element_type;
+        }
+      }
+      return info;
+    }
+
+    case ExprKind::kAttr: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo base,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      GOMFM_ASSIGN_OR_RETURN(TypeRef attr_type,
+                             AttrType(base.type, e.name, scope));
+      ExprInfo info;
+      info.accessed = base.accessed;
+      for (const PathExpr& r : base.results) {
+        if (r.elements_of) continue;  // cannot extend an element access
+        PathExpr extended = r;
+        extended.attrs.push_back(e.name);
+        info.accessed.insert(extended);
+        info.results.insert(std::move(extended));
+      }
+      info.type = attr_type;
+      if (attr_type.is_object()) {
+        auto desc = schema_->Get(attr_type.object_type);
+        if (desc.ok() && (*desc)->kind != StructKind::kTuple) {
+          info.elem_type = (*desc)->element_type;
+        }
+      }
+      return info;
+    }
+
+    case ExprKind::kBinary: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo lhs,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo rhs,
+                             AnalyzeExpr(*e.children[1], scope, depth + 1));
+      ExprInfo info;
+      info.accessed = lhs.accessed;
+      info.accessed.insert(rhs.accessed.begin(), rhs.accessed.end());
+      switch (e.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+          info.type = (lhs.type.tag == TypeRef::Tag::kInt &&
+                       rhs.type.tag == TypeRef::Tag::kInt)
+                          ? TypeRef::Int()
+                          : TypeRef::Float();
+          break;
+        case BinaryOp::kDiv:
+          info.type = TypeRef::Float();
+          break;
+        default:
+          info.type = TypeRef::Bool();
+      }
+      return info;
+    }
+
+    case ExprKind::kUnary: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo operand,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      ExprInfo info;
+      info.accessed = std::move(operand.accessed);
+      switch (e.unary_op) {
+        case UnaryOp::kNot:
+          info.type = TypeRef::Bool();
+          break;
+        case UnaryOp::kNeg:
+        case UnaryOp::kAbs:
+          info.type = operand.type.tag == TypeRef::Tag::kInt
+                          ? TypeRef::Int()
+                          : TypeRef::Float();
+          break;
+        default:
+          info.type = TypeRef::Float();
+      }
+      return info;
+    }
+
+    case ExprKind::kIf: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo cond,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo then_i,
+                             AnalyzeExpr(*e.children[1], scope, depth + 1));
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo else_i,
+                             AnalyzeExpr(*e.children[2], scope, depth + 1));
+      ExprInfo info;
+      info.accessed = cond.accessed;
+      info.accessed.insert(then_i.accessed.begin(), then_i.accessed.end());
+      info.accessed.insert(else_i.accessed.begin(), else_i.accessed.end());
+      info.results = then_i.results;
+      info.results.insert(else_i.results.begin(), else_i.results.end());
+      info.type = UnifyTypes(then_i.type, else_i.type);
+      info.elem_type = UnifyTypes(then_i.elem_type, else_i.elem_type);
+      return info;
+    }
+
+    case ExprKind::kCall: {
+      GOMFM_ASSIGN_OR_RETURN(FunctionId callee_id,
+                             registry_->FindId(e.callee));
+      GOMFM_ASSIGN_OR_RETURN(const FunctionDef* callee,
+                             registry_->Get(callee_id));
+      if (e.children.size() != callee->params.size()) {
+        return Status::InvalidArgument("call of '" + e.callee +
+                                       "' with wrong arity");
+      }
+      std::vector<ExprInfo> args;
+      ExprInfo info;
+      for (const ExprPtr& child : e.children) {
+        GOMFM_ASSIGN_OR_RETURN(ExprInfo a,
+                               AnalyzeExpr(*child, scope, depth + 1));
+        info.accessed.insert(a.accessed.begin(), a.accessed.end());
+        args.push_back(std::move(a));
+      }
+      // Inline the callee: its analysis is expressed over its parameter
+      // names; substitute the argument result paths.
+      GOMFM_ASSIGN_OR_RETURN(FunctionAnalysis sub, Analyze(callee_id));
+      scope.out->rel_attr.insert(sub.rel_attr.begin(), sub.rel_attr.end());
+      RewriteSystem subst;
+      for (size_t i = 0; i < callee->params.size(); ++i) {
+        subst.rules[callee->params[i].name] = args[i].results;
+      }
+      auto import_path = [&](const PathExpr& p) -> PathSet {
+        if (subst.Rewrites(p.root)) return RewritePath(p, subst);
+        // A path rooted at an iteration variable of the callee: import it
+        // under a qualified name and carry its type over.
+        PathExpr renamed = p;
+        renamed.root = e.callee + "::" + p.root;
+        auto rt = sub.root_types.find(p.root);
+        if (rt != sub.root_types.end()) {
+          scope.out->root_types[renamed.root] = rt->second;
+        }
+        return {renamed};
+      };
+      for (const PathExpr& p : sub.paths) {
+        PathSet imported = import_path(p);
+        info.accessed.insert(imported.begin(), imported.end());
+      }
+      for (const PathExpr& p : sub.result_paths) {
+        PathSet imported = import_path(p);
+        info.results.insert(imported.begin(), imported.end());
+      }
+      info.type = callee->result_type;
+      if (info.type.is_object()) {
+        auto desc = schema_->Get(info.type.object_type);
+        if (desc.ok() && (*desc)->kind != StructKind::kTuple) {
+          info.elem_type = (*desc)->element_type;
+        }
+      }
+      return info;
+    }
+
+    case ExprKind::kAggregate:
+    case ExprKind::kSelect:
+    case ExprKind::kMap: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo src,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      GOMFM_RETURN_IF_ERROR(RecordElementsAccess(src, scope));
+      ExprInfo info;
+      info.accessed = src.accessed;
+      for (const PathExpr& r : src.results) {
+        PathExpr ep = r;
+        ep.elements_of = true;
+        info.accessed.insert(std::move(ep));
+      }
+      // Determine the element type for the iteration variable.
+      TypeRef elem = src.elem_type;
+      bool has_body = e.children.size() > 1;
+      if (has_body) {
+        if (scope.var_types.count(e.var)) {
+          return Status::Unimplemented(
+              "iteration variable '" + e.var +
+              "' shadows an enclosing binding; rename it");
+        }
+        scope.var_types[e.var] = elem;
+        scope.out->root_types[e.var] = elem;
+        auto body = AnalyzeExpr(*e.children[1], scope, depth + 1);
+        scope.var_types.erase(e.var);
+        GOMFM_RETURN_IF_ERROR(body.status());
+        info.accessed.insert(body->accessed.begin(), body->accessed.end());
+        if (e.kind == ExprKind::kMap) info.elem_type = body->type;
+        if (e.kind == ExprKind::kSelect) info.elem_type = elem;
+      }
+      if (e.kind == ExprKind::kAggregate) {
+        info.type = e.aggregate_op == AggregateOp::kCount ? TypeRef::Int()
+                                                          : TypeRef::Float();
+      } else {
+        info.type = TypeRef::Any();  // transient composite
+      }
+      return info;
+    }
+
+    case ExprKind::kFlatten: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo src,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      GOMFM_RETURN_IF_ERROR(RecordElementsAccess(src, scope));
+      ExprInfo info;
+      info.accessed = std::move(src.accessed);
+      // If the inner elements are set-structured objects, flattening reads
+      // their elements.
+      if (src.elem_type.is_object()) {
+        auto desc = schema_->Get(src.elem_type.object_type);
+        if (desc.ok() && (*desc)->kind != StructKind::kTuple) {
+          scope.out->rel_attr.insert(
+              {src.elem_type.object_type, kElementsOfAttr});
+          info.elem_type = (*desc)->element_type;
+        }
+      }
+      info.type = TypeRef::Any();
+      return info;
+    }
+
+    case ExprKind::kMakeComposite: {
+      ExprInfo info;
+      for (const ExprPtr& child : e.children) {
+        GOMFM_ASSIGN_OR_RETURN(ExprInfo c,
+                               AnalyzeExpr(*child, scope, depth + 1));
+        info.accessed.insert(c.accessed.begin(), c.accessed.end());
+      }
+      info.type = TypeRef::Any();
+      return info;
+    }
+
+    case ExprKind::kAt: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo src,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      ExprInfo info;
+      info.accessed = std::move(src.accessed);
+      info.type = TypeRef::Any();
+      return info;
+    }
+
+    case ExprKind::kContains: {
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo coll,
+                             AnalyzeExpr(*e.children[0], scope, depth + 1));
+      GOMFM_ASSIGN_OR_RETURN(ExprInfo needle,
+                             AnalyzeExpr(*e.children[1], scope, depth + 1));
+      GOMFM_RETURN_IF_ERROR(RecordElementsAccess(coll, scope));
+      ExprInfo info;
+      info.accessed = coll.accessed;
+      for (const PathExpr& r : coll.results) {
+        PathExpr ep = r;
+        ep.elements_of = true;
+        info.accessed.insert(std::move(ep));
+      }
+      info.accessed.insert(needle.accessed.begin(), needle.accessed.end());
+      info.type = TypeRef::Bool();
+      return info;
+    }
+  }
+  return Status::Internal("unknown expression kind in analysis");
+}
+
+Result<FunctionAnalysis> PathAnalyzer::Analyze(FunctionId f) {
+  auto cached = cache_.find(f);
+  if (cached != cache_.end()) return cached->second;
+  if (in_progress_.count(f)) {
+    return Status::FailedPrecondition(
+        "recursive functions cannot be analyzed: " + registry_->NameOf(f));
+  }
+  GOMFM_ASSIGN_OR_RETURN(const FunctionDef* def, registry_->Get(f));
+  if (def->is_native()) {
+    return Status::FailedPrecondition("native function '" + def->name +
+                                      "' is opaque to path extraction");
+  }
+  in_progress_.insert(f);
+
+  FunctionAnalysis analysis;
+  Scope scope;
+  scope.out = &analysis;
+  for (const Param& p : def->params) {
+    scope.var_types[p.name] = p.type;
+    analysis.root_types[p.name] = p.type;
+  }
+
+  Extraction acc;  // E(s1) ⊙ … ⊙ E(sk)
+  Status failure = Status::Ok();
+  for (const Stmt& stmt : def->body.stmts) {
+    auto info = AnalyzeExpr(*stmt.expr, scope, 0);
+    if (!info.ok()) {
+      failure = info.status();
+      break;
+    }
+    if (stmt.kind == Stmt::Kind::kReturn) {
+      Extraction ret{info->accessed, {}};
+      acc = Combine(acc, ret);
+      analysis.result_paths = ApplyRules(info->results, acc.rules);
+      break;
+    }
+    Extraction let_e{info->accessed, {}};
+    let_e.rules.rules[stmt.var] = info->results;
+    acc = Combine(acc, let_e);
+    scope.var_types[stmt.var] = info->type;
+  }
+  in_progress_.erase(f);
+  if (!failure.ok()) return failure;
+
+  analysis.paths = acc.paths;
+
+  // Derive RelAttr contributions from the final typed paths as well — this
+  // cross-checks the direct collection and covers roots only reachable via
+  // rewriting. Unknown-typed steps are skipped (already collected directly).
+  for (const PathExpr& p : analysis.paths) {
+    auto rt = analysis.root_types.find(p.root);
+    if (rt == analysis.root_types.end()) continue;
+    TypeRef t = rt->second;
+    for (const std::string& attr : p.attrs) {
+      if (!t.is_object()) break;
+      auto resolved = schema_->ResolveAttribute(t.object_type, attr);
+      if (!resolved.ok()) break;
+      analysis.rel_attr.insert({t.object_type, resolved->first});
+      t = resolved->second;
+    }
+    if (p.elements_of && t.is_object()) {
+      auto desc = schema_->Get(t.object_type);
+      if (desc.ok() && (*desc)->kind != StructKind::kTuple) {
+        analysis.rel_attr.insert({t.object_type, kElementsOfAttr});
+      }
+    }
+  }
+
+  cache_.emplace(f, analysis);
+  return analysis;
+}
+
+}  // namespace gom::funclang

@@ -1,0 +1,135 @@
+#ifndef GOMFM_FUNCLANG_PATH_EXTRACTION_H_
+#define GOMFM_FUNCLANG_PATH_EXTRACTION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "funclang/function_registry.h"
+#include "funclang/interpreter.h"
+#include "gom/schema.h"
+
+namespace gom::funclang {
+
+/// ------------------------------------------------------------------------
+/// The appendix's formal method for extracting the relevant path expressions
+/// of a materialized function, built on path extraction structures
+/// E(S) = (P, R) and the ⊙ combinator of Definition 8.1.
+///
+/// A path expression `root.A1.…​.Ak` states that the value reachable from
+/// the variable `root` over the attribute chain A1…Ak is used by the
+/// analyzed code. `elements_of` marks a trailing access to the *elements*
+/// of a set-/list-valued path (our generalization for aggregate/iteration
+/// forms, which the paper's functions use through GOM's set operations).
+/// ------------------------------------------------------------------------
+
+struct PathExpr {
+  std::string root;
+  std::vector<std::string> attrs;
+  bool elements_of = false;
+
+  bool operator==(const PathExpr& o) const {
+    return root == o.root && attrs == o.attrs && elements_of == o.elements_of;
+  }
+  bool operator<(const PathExpr& o) const {
+    if (root != o.root) return root < o.root;
+    if (attrs != o.attrs) return attrs < o.attrs;
+    return elements_of < o.elements_of;
+  }
+
+  /// "self.V1.X" or "self.Deps.elements()".
+  std::string ToString() const;
+};
+
+using PathSet = std::set<PathExpr>;
+
+/// A term rewriting system with rules `v → p` (Huet-style, as in the
+/// appendix), generalized to set-valued right-hand sides so that both
+/// branches of a conditional assignment can be tracked conservatively.
+struct RewriteSystem {
+  std::map<std::string, PathSet> rules;
+
+  bool Rewrites(const std::string& var) const { return rules.count(var) > 0; }
+};
+
+/// Applies `r` to `path` (the path's root is replaced by every replacement,
+/// keeping the attribute suffix). A path whose root has no rule is returned
+/// unchanged.
+PathSet RewritePath(const PathExpr& path, const RewriteSystem& r);
+
+/// P ⊙ R of Definition 8.1 (lifted to sets of replacements).
+PathSet ApplyRules(const PathSet& paths, const RewriteSystem& r);
+
+/// A path extraction structure E(S) = (P, R).
+struct Extraction {
+  PathSet paths;
+  RewriteSystem rules;
+};
+
+/// E1 ⊙ E2 of Definition 8.1: the extraction structure of "S1; S2" given
+/// E1 = E(S1) and E2 = E(S2):
+///   (P2 ⊙ R1 ∪ P1,  (R2 ⊙ R1) ∪ (R1 \ {x→z ∈ R1 | x rewritten by R2}))
+Extraction Combine(const Extraction& e1, const Extraction& e2);
+
+/// Result of analyzing one function.
+struct FunctionAnalysis {
+  /// Relevant path expressions, rooted at the function's parameters and at
+  /// iteration variables introduced by aggregates (after full rewriting).
+  PathSet paths;
+
+  /// Paths the function's return value may alias (used when inlining the
+  /// function at call sites during analysis).
+  PathSet result_paths;
+
+  /// Static type of every path root.
+  std::map<std::string, TypeRef> root_types;
+
+  /// RelAttr(f) (Def. 5.1), i.e. the paths cut to (type, attribute) pairs,
+  /// plus (set-type, kElementsOfAttr) entries for element accesses.
+  std::set<RelevantProperty> rel_attr;
+};
+
+/// Static analyzer computing RelAttr(f) from function bodies — the
+/// machinery GOM gets by analyzing the function implementation (§5.1 and
+/// the appendix). Functions must be non-recursive and must only call
+/// funclang (non-native) functions; violations yield kFailedPrecondition.
+class PathAnalyzer {
+ public:
+  PathAnalyzer(const Schema* schema, const FunctionRegistry* registry)
+      : schema_(schema), registry_(registry) {}
+
+  /// Analyzes `f`, caching the result for reuse by callers of `f`.
+  Result<FunctionAnalysis> Analyze(FunctionId f);
+
+ private:
+  /// What analyzing an expression yields.
+  struct ExprInfo {
+    PathSet accessed;  // paths read during evaluation
+    PathSet results;   // paths the expression's value may alias
+    TypeRef type;      // static result type
+    TypeRef elem_type; // element type for collection-valued expressions
+  };
+
+  struct Scope {
+    std::map<std::string, TypeRef> var_types;
+    FunctionAnalysis* out;  // root_types and rel_attr sink
+  };
+
+  Result<ExprInfo> AnalyzeExpr(const Expr& e, Scope& scope, int depth);
+
+  Result<TypeRef> AttrType(const TypeRef& base, const std::string& attr,
+                           Scope& scope);
+
+  /// Records the element access of a collection-typed source expression.
+  Status RecordElementsAccess(const ExprInfo& src, Scope& scope);
+
+  const Schema* schema_;
+  const FunctionRegistry* registry_;
+  std::map<FunctionId, FunctionAnalysis> cache_;
+  std::set<FunctionId> in_progress_;  // recursion guard
+};
+
+}  // namespace gom::funclang
+
+#endif  // GOMFM_FUNCLANG_PATH_EXTRACTION_H_

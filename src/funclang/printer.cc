@@ -1,0 +1,158 @@
+#include "funclang/printer.h"
+
+namespace gom::funclang {
+
+namespace {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kNot:
+      return "not ";
+    case UnaryOp::kSin:
+      return "sin";
+    case UnaryOp::kCos:
+      return "cos";
+    case UnaryOp::kSqrt:
+      return "sqrt";
+    case UnaryOp::kAbs:
+      return "abs";
+  }
+  return "?";
+}
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kSum:
+      return "sum";
+    case AggregateOp::kAvg:
+      return "avg";
+    case AggregateOp::kCount:
+      return "count";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return e.literal.ToString();
+    case ExprKind::kVar:
+      return e.name;
+    case ExprKind::kAttr:
+      return ExprToString(*e.children[0]) + "." + e.name;
+    case ExprKind::kBinary:
+      return "(" + ExprToString(*e.children[0]) + " " +
+             BinaryOpName(e.binary_op) + " " + ExprToString(*e.children[1]) +
+             ")";
+    case ExprKind::kUnary: {
+      std::string op = UnaryOpName(e.unary_op);
+      std::string operand = ExprToString(*e.children[0]);
+      if (e.unary_op == UnaryOp::kNeg || e.unary_op == UnaryOp::kNot) {
+        return op + operand;
+      }
+      return op + "(" + operand + ")";
+    }
+    case ExprKind::kIf:
+      return "(if " + ExprToString(*e.children[0]) + " then " +
+             ExprToString(*e.children[1]) + " else " +
+             ExprToString(*e.children[2]) + ")";
+    case ExprKind::kCall: {
+      std::string out = e.callee + "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToString(*e.children[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kAggregate: {
+      std::string out = AggregateOpName(e.aggregate_op);
+      out += "(" + ExprToString(*e.children[0]);
+      if (e.children.size() > 1) {
+        out += "; " + e.var + ": " + ExprToString(*e.children[1]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kSelect:
+      return "{" + e.var + " in " + ExprToString(*e.children[0]) + " | " +
+             ExprToString(*e.children[1]) + "}";
+    case ExprKind::kMap:
+      return "map(" + ExprToString(*e.children[0]) + "; " + e.var + ": " +
+             ExprToString(*e.children[1]) + ")";
+    case ExprKind::kFlatten:
+      return "flatten(" + ExprToString(*e.children[0]) + ")";
+    case ExprKind::kMakeComposite: {
+      std::string out = "[";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToString(*e.children[i]);
+      }
+      return out + "]";
+    }
+    case ExprKind::kAt:
+      return ExprToString(*e.children[0]) + "[" + std::to_string(e.index) +
+             "]";
+    case ExprKind::kContains:
+      return "(" + ExprToString(*e.children[1]) + " in " +
+             ExprToString(*e.children[0]) + ")";
+  }
+  return "?";
+}
+
+std::string FunctionToString(const FunctionDef& def) {
+  std::string out = "define " + def.name + "(";
+  for (size_t i = 0; i < def.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += def.params[i].name + ": " + def.params[i].type.ToString();
+  }
+  out += ") is";
+  if (def.is_native()) return out + " <native>;";
+  for (const Stmt& stmt : def.body.stmts) {
+    out += "\n  ";
+    if (stmt.kind == Stmt::Kind::kLet) {
+      out += stmt.var + " := " + ExprToString(*stmt.expr) + ";";
+    } else {
+      out += "return " + ExprToString(*stmt.expr) + ";";
+    }
+  }
+  return out;
+}
+
+}  // namespace gom::funclang

@@ -1,0 +1,21 @@
+#ifndef GOMFM_FUNCLANG_PRINTER_H_
+#define GOMFM_FUNCLANG_PRINTER_H_
+
+#include <string>
+
+#include "funclang/ast.h"
+#include "funclang/function_registry.h"
+
+namespace gom::funclang {
+
+/// Renders an expression in a GOMql-like surface syntax, e.g.
+/// "(self.V1.dist(self.V2) * self.V1.dist(self.V4))".
+std::string ExprToString(const Expr& e);
+
+/// Renders a whole function definition, e.g.
+/// "define volume(self) is return (length(self) * ...);".
+std::string FunctionToString(const FunctionDef& def);
+
+}  // namespace gom::funclang
+
+#endif  // GOMFM_FUNCLANG_PRINTER_H_

@@ -1,0 +1,78 @@
+#include "gmr/dependency_tables.h"
+
+namespace gom {
+
+const FidSet DependencyTables::kEmpty;
+
+void DependencyTables::AddSchemaDep(const funclang::RelevantProperty& prop,
+                                    FunctionId f) {
+  schema_dep_[{prop.type, prop.attr}].insert(f);
+  rewritten_types_.insert(prop.type);
+}
+
+void DependencyTables::AddRelAttr(
+    const std::set<funclang::RelevantProperty>& rel_attr, FunctionId f) {
+  for (const funclang::RelevantProperty& prop : rel_attr) {
+    AddSchemaDep(prop, f);
+  }
+}
+
+const FidSet& DependencyTables::SchemaDepFct(TypeId type, AttrId attr) const {
+  auto it = schema_dep_.find({type, attr});
+  return it == schema_dep_.end() ? kEmpty : it->second;
+}
+
+bool DependencyTables::TypeIsRewritten(TypeId type) const {
+  return rewritten_types_.count(type) > 0;
+}
+
+void DependencyTables::AddInvalidated(TypeId type, FunctionId op,
+                                      FunctionId f) {
+  invalidated_[{type, op}].insert(f);
+}
+
+const FidSet& DependencyTables::InvalidatedFct(TypeId type,
+                                               FunctionId op) const {
+  auto it = invalidated_.find({type, op});
+  return it == invalidated_.end() ? kEmpty : it->second;
+}
+
+Status DependencyTables::AddCompensatingAction(TypeId type, FunctionId op,
+                                               FunctionId f,
+                                               FunctionId action) {
+  auto key = std::make_pair(std::make_pair(type, op), f);
+  if (ca_.count(key)) {
+    return Status::AlreadyExists(
+        "compensating action already declared for this (operation, function)");
+  }
+  ca_.emplace(key, action);
+  compensated_[{type, op}].insert(f);
+  return Status::Ok();
+}
+
+const FidSet& DependencyTables::CompensatedFct(TypeId type,
+                                               FunctionId op) const {
+  auto it = compensated_.find({type, op});
+  return it == compensated_.end() ? kEmpty : it->second;
+}
+
+Result<FunctionId> DependencyTables::CompensatingAction(TypeId type,
+                                                        FunctionId op,
+                                                        FunctionId f) const {
+  auto it = ca_.find({{type, op}, f});
+  if (it == ca_.end()) {
+    return Status::NotFound("no compensating action declared");
+  }
+  return it->second;
+}
+
+void DependencyTables::RemoveFunction(FunctionId f) {
+  for (auto& [key, fids] : schema_dep_) fids.erase(f);
+  for (auto& [key, fids] : invalidated_) fids.erase(f);
+  for (auto& [key, fids] : compensated_) fids.erase(f);
+  for (auto it = ca_.begin(); it != ca_.end();) {
+    it = it->first.second == f ? ca_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace gom

@@ -1,0 +1,88 @@
+#ifndef GOMFM_GMR_DEPENDENCY_TABLES_H_
+#define GOMFM_GMR_DEPENDENCY_TABLES_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "funclang/interpreter.h"
+#include "gom/ids.h"
+
+namespace gom {
+
+using FidSet = std::set<FunctionId>;
+
+/// The compiled dependency knowledge the paper's schema rewrite bakes into
+/// the modified update operations:
+///
+///  * SchemaDepFct(t.set_A) (Definition 5.2) — materialized functions with
+///    t.A ∈ RelAttr(f). We extend the domain with (t, kElementsOfAttr) for
+///    t.insert/t.remove on set-/list-structured types.
+///  * InvalidatedFct(t.u) (Definition 5.3) — materialized functions whose
+///    results a public operation u of a strictly encapsulated type affects
+///    (supplied by the database programmer).
+///  * The CA table and CompensatedFct(t.u) (Definitions 5.4/5.5) —
+///    compensating actions per (update operation, materialized function).
+///
+/// In GOM these sets are inserted as set-valued constants into recompiled
+/// operation bodies; here the update-notification glue reads them on each
+/// event, which is the same computation without a compiler in the loop.
+class DependencyTables {
+ public:
+  DependencyTables() = default;
+
+  // --- SchemaDepFct --------------------------------------------------------
+
+  /// Registers t.A ∈ RelAttr(f) (or (t, kElementsOfAttr) membership).
+  void AddSchemaDep(const funclang::RelevantProperty& prop, FunctionId f);
+
+  /// Registers all of `rel_attr` for `f` (output of the path analyzer).
+  void AddRelAttr(const std::set<funclang::RelevantProperty>& rel_attr,
+                  FunctionId f);
+
+  /// SchemaDepFct(t.set_A); empty set when no materialized function
+  /// depends on the property (the operation needs no rewriting, §5.1).
+  const FidSet& SchemaDepFct(TypeId type, AttrId attr) const;
+
+  /// True when any function depends on any property of `type` — i.e. the
+  /// type's update operations were rewritten at all.
+  bool TypeIsRewritten(TypeId type) const;
+
+  // --- InvalidatedFct ------------------------------------------------------
+
+  void AddInvalidated(TypeId type, FunctionId op, FunctionId f);
+  const FidSet& InvalidatedFct(TypeId type, FunctionId op) const;
+
+  // --- Compensating actions ------------------------------------------------
+
+  /// Registers compensating action `action` for update operation (type, op)
+  /// and materialized function `f` (one action per pair).
+  Status AddCompensatingAction(TypeId type, FunctionId op, FunctionId f,
+                               FunctionId action);
+
+  /// CompensatedFct(t.u) = π_MatFct σ_UpdOp=t.u CA (Definition 5.5).
+  const FidSet& CompensatedFct(TypeId type, FunctionId op) const;
+
+  /// The compensating action for (t.u, f); kNotFound when none declared.
+  Result<FunctionId> CompensatingAction(TypeId type, FunctionId op,
+                                        FunctionId f) const;
+
+  /// Drops every entry mentioning `f` (function dematerialized).
+  void RemoveFunction(FunctionId f);
+
+ private:
+  static const FidSet kEmpty;
+
+  std::map<std::pair<TypeId, AttrId>, FidSet> schema_dep_;
+  std::set<TypeId> rewritten_types_;
+  std::map<std::pair<TypeId, FunctionId>, FidSet> invalidated_;
+  std::map<std::pair<TypeId, FunctionId>, FidSet> compensated_;
+  // CA: ((type, update op), materialized fn) → compensating action.
+  std::map<std::pair<std::pair<TypeId, FunctionId>, FunctionId>, FunctionId>
+      ca_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_DEPENDENCY_TABLES_H_

@@ -1,0 +1,185 @@
+#ifndef GOMFM_GMR_GMR_H_
+#define GOMFM_GMR_GMR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "gom/type.h"
+#include "gom/value.h"
+#include "index/bplus_tree.h"
+#include "index/hash_index.h"
+#include "storage/chunked_record.h"
+
+namespace gom {
+
+using GmrId = uint32_t;
+inline constexpr GmrId kInvalidGmrId = UINT32_MAX;
+using RowId = uint64_t;
+inline constexpr RowId kInvalidRowId = UINT64_MAX;
+
+/// §6.2: restriction of an atomic argument. Functions with atomic argument
+/// types cannot be materialized for all values; float arguments must be
+/// value-restricted, int arguments may be value- or range-restricted.
+struct ArgRestriction {
+  enum class Kind : uint8_t { kNone, kValues, kIntRange };
+  Kind kind = Kind::kNone;
+  std::vector<Value> values;  // kValues
+  int64_t lo = 0, hi = 0;     // kIntRange (inclusive)
+
+  static ArgRestriction None() { return {}; }
+  static ArgRestriction Values(std::vector<Value> vs) {
+    return {Kind::kValues, std::move(vs), 0, 0};
+  }
+  static ArgRestriction IntRange(int64_t lo, int64_t hi) {
+    return {Kind::kIntRange, {}, lo, hi};
+  }
+
+  /// True when `v` is inside the restricted argument domain.
+  Result<bool> Admits(const Value& v) const;
+
+  /// Enumerates the restricted domain (kValues and kIntRange only).
+  Result<std::vector<Value>> Enumerate() const;
+};
+
+/// Declaration of a generalized materialization relation
+/// ⟨⟨f1, …, fm⟩⟩ : [O1:t1, …, On:tn, f1:tn+1, V1:bool, …, fm:tn+m, Vm:bool]
+/// (Definition 3.1), optionally p-restricted (Definition 6.1).
+struct GmrSpec {
+  std::string name;
+  /// Shared argument types t1…tn of all member functions.
+  std::vector<TypeRef> arg_types;
+  /// Per-argument domain restrictions (atomic arguments only); parallel to
+  /// `arg_types`, missing entries mean unrestricted.
+  std::vector<ArgRestriction> arg_restrictions;
+  /// The member functions f1…fm.
+  std::vector<FunctionId> functions;
+  /// Restriction predicate p : t1,…,tn → bool, or kInvalidFunctionId.
+  FunctionId predicate = kInvalidFunctionId;
+  /// Complete (one entry per qualifying argument combination) vs
+  /// incrementally set-up extension used as a result cache (§3.2).
+  bool complete = true;
+  /// Row cap for incrementally set-up GMRs (0 = unlimited); exceeding it
+  /// evicts the least recently used entry.
+  size_t max_rows = 0;
+
+  /// Snapshot mode (the Adiba/Lindsay-style alternative §1 relates to):
+  /// no reverse references, no invalidation — updates cost nothing and
+  /// reads may be stale until an explicit GmrManager::Refresh() recomputes
+  /// the extension wholesale.
+  bool snapshot = false;
+
+  size_t arity() const { return arg_types.size(); }
+  size_t function_count() const { return functions.size(); }
+};
+
+/// One GMR extension: rows [args | result_j, valid_j], kept *consistent*
+/// (Definition 3.2: every valid result equals the current function value).
+///
+/// Physical design per §3.1/§3.3: rows are stored in their own segment,
+/// disassociated from the argument objects (the CS-beats-CT result of
+/// Jhingran's POSTGRES study); a hash index over the argument combination
+/// serves forward queries and one ordered index per numeric result column
+/// serves backward range queries. Reads and writes of rows touch their
+/// pages through the buffer pool, charging simulated I/O.
+class Gmr {
+ public:
+  Gmr(GmrId id, GmrSpec spec, StorageManager* storage, SimClock* clock,
+      const CostModel& cost);
+
+  Gmr(const Gmr&) = delete;
+  Gmr& operator=(const Gmr&) = delete;
+
+  struct Row {
+    std::vector<Value> args;
+    std::vector<Value> results;  // parallel to spec().functions
+    std::vector<bool> valid;
+    bool live = true;
+    uint64_t last_access = 0;  // recency for bounded caches
+  };
+
+  GmrId id() const { return id_; }
+  const GmrSpec& spec() const { return spec_; }
+
+  /// Index of `f` in the function list; kNotFound if not a member.
+  Result<size_t> FunctionIndex(FunctionId f) const;
+
+  /// Inserts a row for `args` with all results invalid. kAlreadyExists when
+  /// a row for the argument combination exists. May evict the LRU row when
+  /// the spec's `max_rows` cap is hit.
+  Result<RowId> Insert(std::vector<Value> args);
+
+  /// Row for an argument combination (charges an index probe), kNotFound
+  /// when absent.
+  Result<RowId> FindRow(const std::vector<Value>& args) const;
+
+  /// Reads a row, touching its pages.
+  Result<const Row*> Get(RowId row);
+
+  /// Stores a freshly (re)computed result and marks it valid.
+  Status SetResult(RowId row, size_t fn_idx, Value result);
+
+  /// Marks one result invalid (lazy rematerialization, §3.1).
+  Status InvalidateResult(RowId row, size_t fn_idx);
+
+  /// Removes the whole row (argument object deleted / predicate now false).
+  Status Remove(RowId row);
+
+  /// Ordered scan over *valid* results of column `fn_idx` within
+  /// [lo, hi] (backward range query). `cb` returns false to stop.
+  void ScanValidRange(size_t fn_idx, double lo, double hi, bool lo_inclusive,
+                      bool hi_inclusive,
+                      const std::function<bool(RowId, const Row&)>& cb);
+
+  /// Iterates all live rows (no storage touch — callers Get() what they
+  /// read). Mutating the GMR during iteration is not allowed.
+  void ForEachRow(const std::function<bool(RowId, const Row&)>& cb) const;
+
+  /// RowIds of rows whose result `fn_idx` is invalid.
+  std::vector<RowId> InvalidRows(size_t fn_idx) const;
+
+  /// Observed [min, max] of the valid results in column `fn_idx`
+  /// (planner statistics); kFailedPrecondition when the column has no
+  /// valid numeric results.
+  Result<std::pair<double, double>> ValueRange(size_t fn_idx) const;
+
+  size_t live_rows() const { return live_rows_; }
+  uint64_t invalidation_count() const { return invalidations_; }
+  uint64_t lookup_count() const { return lookups_; }
+
+  /// Consistency probe for tests: a Definition-3.2-consistent extension
+  /// never has valid == true with a null result.
+  Status CheckWellFormed() const;
+
+ private:
+  Status WriteBack(RowId row);
+  Status IndexResult(RowId row, size_t fn_idx, const Value& v);
+  Status UnindexResult(RowId row, size_t fn_idx, const Value& v);
+  Status EvictLru();
+
+  GmrId id_;
+  GmrSpec spec_;
+  StorageManager* storage_;
+  SimClock* clock_;
+  CostModel cost_;
+  ChunkedRecordStore rows_store_;
+
+  std::vector<Row> rows_;
+  std::vector<ChunkedRecordStore::Handle> handles_;
+  HashIndex arg_index_;
+  /// One ordered index per function column (numeric results only; nullptr
+  /// for columns with non-numeric result types).
+  std::vector<std::unique_ptr<BPlusTree>> result_indexes_;
+
+  size_t live_rows_ = 0;
+  uint64_t access_counter_ = 0;
+  uint64_t invalidations_ = 0;
+  mutable uint64_t lookups_ = 0;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_GMR_H_

@@ -1,0 +1,218 @@
+#ifndef GOMFM_GMR_GMR_MANAGER_H_
+#define GOMFM_GMR_GMR_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "funclang/interpreter.h"
+#include "funclang/path_extraction.h"
+#include "gmr/dependency_tables.h"
+#include "gmr/gmr.h"
+#include "gmr/rrr.h"
+#include "gom/object_manager.h"
+
+namespace gom {
+
+/// When to recompute an invalidated result (§3.1).
+enum class RematStrategy : uint8_t {
+  /// Invalidated results are recomputed as soon as the invalidation occurs.
+  kImmediate,
+  /// Invalidated results are only flagged; recomputation happens at the
+  /// next access (or an explicit RematerializeAllInvalid()).
+  kLazy,
+};
+
+struct GmrManagerOptions {
+  RematStrategy remat = RematStrategy::kImmediate;
+  /// §4.1: mark RRR entries instead of removing them on invalidation, so a
+  /// re-used object resurrects its entry instead of delete+insert churn.
+  bool second_chance_rrr = false;
+};
+
+/// The GMR manager: owns all GMR extensions, the RRR and the dependency
+/// tables; implements materialization, the invalidation / rematerialization
+/// algorithms of §4, compensating actions (§5.4), restricted-GMR predicate
+/// maintenance (§6.1) and the retrieval operations of §3.2.
+class GmrManager {
+ public:
+  struct Stats {
+    uint64_t invalidations = 0;        // results flagged or recomputed
+    uint64_t rematerializations = 0;   // function recomputations
+    uint64_t compensations = 0;        // compensating-action invocations
+    uint64_t forward_hits = 0;         // forward lookups answered validly
+    uint64_t forward_invalid = 0;      // forward lookups hitting invalid rows
+    uint64_t forward_misses = 0;       // forward lookups with no row
+    uint64_t backward_queries = 0;
+    uint64_t blind_references = 0;     // RRR entries found dangling (§4.2)
+    uint64_t rows_created = 0;
+    uint64_t rows_removed = 0;
+  };
+
+  GmrManager(ObjectManager* om, funclang::Interpreter* interp,
+             const funclang::FunctionRegistry* registry,
+             StorageManager* storage, GmrManagerOptions options = {});
+
+  GmrManager(const GmrManager&) = delete;
+  GmrManager& operator=(const GmrManager&) = delete;
+
+  // --- Materialization (§3) -------------------------------------------------
+
+  /// Creates the GMR ⟨⟨f1,…,fm⟩⟩ described by `spec`, derives SchemaDepFct
+  /// from the static analysis of each member function (and the restriction
+  /// predicate), and — for complete specs — populates the extension for
+  /// every qualifying argument combination.
+  Result<GmrId> Materialize(GmrSpec spec);
+
+  /// Drops the GMR: rows, reverse references, ObjDepFct marks and
+  /// dependency entries.
+  Status Dematerialize(GmrId id);
+
+  Result<Gmr*> Get(GmrId id);
+  /// (GMR, column) of a materialized function; kNotFound otherwise.
+  Result<std::pair<GmrId, size_t>> Locate(FunctionId f) const;
+  bool IsMaterialized(FunctionId f) const { return columns_.count(f) > 0; }
+
+  // --- Update notifications (§4) --------------------------------------------
+
+  /// Version-1 invalidation: consider every materialized function.
+  Status Invalidate(Oid o);
+
+  /// Invalidates results of the functions in `relevant` that used `o`
+  /// (the rewritten operations pass ObjDepFct ∩ SchemaDepFct, §5.2).
+  Status Invalidate(Oid o, const FidSet& relevant);
+
+  /// `o` of type `type` was created: extend complete GMRs (§4.2).
+  Status NewObject(Oid o, TypeId type);
+
+  /// `o` is about to be deleted: drop rows it is an argument of (§4.2).
+  Status ForgetObject(Oid o);
+
+  /// Runs the compensating actions declared for (type of receiver, op) and
+  /// the functions in `relevant`, *before* the update executes (§5.4).
+  /// `op_args` are the update operation's arguments (without the receiver).
+  Status Compensate(Oid receiver, TypeId type, FunctionId op,
+                    const std::vector<Value>& op_args, const FidSet& relevant);
+
+  // --- Retrieval (§3.2) -----------------------------------------------------
+
+  /// f(args) through the GMR: valid results are returned directly; invalid
+  /// or missing results are (re)computed, updating the GMR per its policy.
+  /// Falls back to plain evaluation when f is not materialized or its
+  /// arguments fall outside a restriction.
+  Result<Value> ForwardLookup(FunctionId f, std::vector<Value> args);
+
+  /// Backward range query: argument combinations with lo ⋞ f(args) ⋞ hi.
+  /// Requires a complete GMR; invalid results in f's column are recomputed
+  /// first so the answer is correct under lazy rematerialization.
+  Result<std::vector<std::vector<Value>>> BackwardRange(FunctionId f,
+                                                        double lo, double hi,
+                                                        bool lo_inclusive,
+                                                        bool hi_inclusive);
+
+  /// Recomputes every invalid result in f's column.
+  Status EnsureColumnValid(FunctionId f);
+
+  /// Lazy-rematerialization catch-up for all GMRs ("when the load of the
+  /// object base management system falls below a threshold").
+  Status RematerializeAllInvalid();
+
+  /// Recomputes a snapshot GMR wholesale: newly qualifying argument
+  /// combinations are added, combinations whose objects disappeared are
+  /// dropped, and every result is recomputed from the current state.
+  /// (Also usable on regular GMRs as a consistency repair.)
+  Status Refresh(GmrId id);
+
+  /// Flags every result of the GMR invalid and drops its reverse
+  /// references and ObjDepFct marks — the starting state of Fig. 10's
+  /// "Lazy" configuration ("all materialized volume results had been
+  /// invalidated before the benchmark was started — this causes the RRR
+  /// and the sets ObjDepFct to be empty").
+  Status InvalidateAllResults(GmrId id);
+
+  // --- Knobs / introspection -------------------------------------------------
+
+  void set_remat_strategy(RematStrategy s) { options_.remat = s; }
+  RematStrategy remat_strategy() const { return options_.remat; }
+
+  DependencyTables& deps() { return deps_; }
+  const DependencyTables& deps() const { return deps_; }
+  Rrr& rrr() { return rrr_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Registers the RelAttr-derived SchemaDepFct entries for a *native*
+  /// materialized function whose dependencies cannot be extracted
+  /// statically (the DB programmer supplies them, as with InvalidatedFct).
+  void DeclareRelAttr(FunctionId f,
+                      const std::set<funclang::RelevantProperty>& rel_attr) {
+    deps_.AddRelAttr(rel_attr, f);
+  }
+
+  /// Installs the §3.2 call mapping on the interpreter: nested untraced
+  /// invocations of materialized functions are answered through
+  /// ForwardLookup. Re-entrant calls issued while the manager itself is
+  /// computing (e.g. a lazy recomputation triggered by the lookup) fall
+  /// through to plain evaluation.
+  void InstallCallInterception();
+
+ private:
+  Result<Value> ComputeTracked(FunctionId f, const std::vector<Value>& args,
+                               funclang::Trace* trace);
+
+  /// Inserts reverse references (and ObjDepFct marks) for every object the
+  /// trace touched during (re)materialization of f(args).
+  Status RecordReverseRefs(FunctionId f, const std::vector<Value>& args,
+                           const funclang::Trace& trace);
+
+  /// Removes one reverse reference, unmarking ObjDepFct when it was the
+  /// last entry for (object, function).
+  Status RemoveReverseRef(const Rrr::Entry& entry);
+
+  /// Computes and stores all member-function results of a row.
+  Status MaterializeRow(Gmr* gmr, RowId row);
+
+  /// §4.1 invalidation of one RRR entry under the active strategy.
+  Status HandleFunctionEntry(Gmr* gmr, size_t fn_idx, const Rrr::Entry& entry);
+
+  /// §6.1 predicate maintenance for one RRR entry of a restriction
+  /// predicate.
+  Status HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry);
+
+  /// Enumerates all argument combinations of the spec's (restricted)
+  /// domains; object-typed positions range over the type extension.
+  Status EnumerateCombos(
+      const GmrSpec& spec,
+      const std::function<Status(const std::vector<Value>&)>& fn);
+  Status EnumerateCombosFixed(
+      const GmrSpec& spec, size_t fixed_pos, const Value& fixed,
+      const std::function<Status(const std::vector<Value>&)>& fn);
+
+  /// Creates a row for `args` (predicate permitting). With
+  /// `force_materialize` (initial population: the materialize statement is
+  /// an explicit command, so results are computed eagerly regardless of
+  /// the REmaterialization strategy) or under the immediate strategy the
+  /// row's results are computed; otherwise it is left invalid for lazy
+  /// computation on first access.
+  Status AdmitCombo(Gmr* gmr, const std::vector<Value>& args,
+                    bool force_materialize = false);
+
+  ObjectManager* om_;
+  funclang::Interpreter* interp_;
+  const funclang::FunctionRegistry* registry_;
+  GmrManagerOptions options_;
+
+  std::vector<std::unique_ptr<Gmr>> gmrs_;
+  std::map<FunctionId, std::pair<GmrId, size_t>> columns_;
+  std::map<FunctionId, GmrId> predicates_;
+
+  DependencyTables deps_;
+  Rrr rrr_;
+  funclang::PathAnalyzer analyzer_;
+  Stats stats_;
+  int compute_depth_ = 0;  // re-entrancy guard for call interception
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_GMR_MANAGER_H_

@@ -1,0 +1,174 @@
+#include "gmr/rrr.h"
+
+namespace gom {
+
+Rrr::Rrr(StorageManager* storage, SimClock* clock, const CostModel& cost,
+         bool second_chance)
+    : storage_(storage),
+      clock_(clock),
+      cost_(cost),
+      second_chance_(second_chance),
+      segment_(storage->CreateSegment("rrr")) {}
+
+std::vector<uint8_t> Rrr::Encode(const Entry& e) {
+  std::vector<uint8_t> out;
+  Value::Ref(e.object).Serialize(&out);
+  Value::Int(e.function).Serialize(&out);
+  for (const Value& a : e.args) a.Serialize(&out);
+  return out;
+}
+
+Status Rrr::ProbeIndex(Oid o) {
+  (void)o;
+  ++probes_;
+  clock_->Advance(cost_.cpu_index_op_seconds);
+  // The RRR's hash directory spans hundreds of pages for a realistically
+  // sized database (one entry per (object, function, arguments) triple) and
+  // competes with the data working set for the small buffer of §7, so
+  // random lookups effectively always fault. We model each probe as one
+  // unbuffered disk access — this is what makes RRR lookups the dominant
+  // update penalty that §5.2's ObjDepFct marking and §5.3's operation-level
+  // invalidation exist to avoid.
+  clock_->Advance(cost_.disk_access_seconds);
+  return Status::Ok();
+}
+
+Result<bool> Rrr::Insert(Oid o, FunctionId f, const std::vector<Value>& args) {
+  clock_->Advance(cost_.cpu_index_op_seconds);
+  auto& entries = by_object_[o];
+  for (Stored& stored : entries) {
+    if (stored.entry.function == f && stored.entry.args == args) {
+      if (stored.entry.marked) {
+        // Second chance (§4.1): resurrecting a marked entry flips a bit —
+        // no index insertion — which is exactly the churn this policy
+        // avoids for objects re-used after updates.
+        stored.entry.marked = false;
+        ++size_;
+        return true;
+      }
+      return false;  // already present
+    }
+  }
+  Entry entry{o, f, args, false};
+  GOMFM_ASSIGN_OR_RETURN(Rid rid,
+                         storage_->InsertRecord(segment_, Encode(entry)));
+  entries.push_back(Stored{std::move(entry), rid});
+  ++size_;
+  // Registering the new entry in the RRR's by-object hash index touches a
+  // random (effectively uncached) index page, like a lookup probe. This is
+  // the dominant cost of immediate rematerialization: every recomputation
+  // re-inserts the reverse references of all objects it visited.
+  clock_->Advance(cost_.disk_access_seconds);
+  return true;
+}
+
+Result<std::vector<Rrr::Entry>> Rrr::EntriesFor(Oid o) {
+  GOMFM_RETURN_IF_ERROR(ProbeIndex(o));
+  std::vector<Entry> out;
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) return out;
+  for (const Stored& stored : it->second) {
+    if (stored.entry.marked) continue;
+    GOMFM_RETURN_IF_ERROR(storage_->TouchRecord(stored.rid));
+    out.push_back(stored.entry);
+  }
+  return out;
+}
+
+Status Rrr::Remove(Oid o, FunctionId f, const std::vector<Value>& args) {
+  clock_->Advance(cost_.cpu_index_op_seconds);
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) {
+    return Status::NotFound("RRR: no entries for " + o.ToString());
+  }
+  for (auto sit = it->second.begin(); sit != it->second.end(); ++sit) {
+    if (sit->entry.function != f || sit->entry.args != args ||
+        sit->entry.marked) {
+      continue;
+    }
+    if (second_chance_) {
+      sit->entry.marked = true;
+    } else {
+      GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(sit->rid));
+      it->second.erase(sit);
+      if (it->second.empty()) by_object_.erase(it);
+    }
+    --size_;
+    return Status::Ok();
+  }
+  return Status::NotFound("RRR: entry not found");
+}
+
+Status Rrr::RemoveAllFor(Oid o) {
+  clock_->Advance(cost_.cpu_index_op_seconds);
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) return Status::Ok();
+  for (const Stored& stored : it->second) {
+    GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(stored.rid));
+    if (!stored.entry.marked) --size_;
+  }
+  by_object_.erase(it);
+  return Status::Ok();
+}
+
+bool Rrr::Contains(Oid o, FunctionId f,
+                   const std::vector<Value>& args) const {
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) return false;
+  for (const Stored& stored : it->second) {
+    if (!stored.entry.marked && stored.entry.function == f &&
+        stored.entry.args == args) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Rrr::CountFor(Oid o, FunctionId f) const {
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) return 0;
+  size_t n = 0;
+  for (const Stored& stored : it->second) {
+    if (!stored.entry.marked && stored.entry.function == f) ++n;
+  }
+  return n;
+}
+
+Result<std::vector<Oid>> Rrr::RemoveFunction(FunctionId f) {
+  std::vector<Oid> last_refs_gone;
+  for (auto it = by_object_.begin(); it != by_object_.end();) {
+    bool removed_any = false;
+    for (auto sit = it->second.begin(); sit != it->second.end();) {
+      if (sit->entry.function == f) {
+        GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(sit->rid));
+        if (!sit->entry.marked) --size_;
+        sit = it->second.erase(sit);
+        removed_any = true;
+      } else {
+        ++sit;
+      }
+    }
+    if (removed_any && CountFor(it->first, f) == 0) {
+      last_refs_gone.push_back(it->first);
+    }
+    it = it->second.empty() ? by_object_.erase(it) : std::next(it);
+  }
+  return last_refs_gone;
+}
+
+Status Rrr::Sweep() {
+  for (auto it = by_object_.begin(); it != by_object_.end();) {
+    for (auto sit = it->second.begin(); sit != it->second.end();) {
+      if (sit->entry.marked) {
+        GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(sit->rid));
+        sit = it->second.erase(sit);
+      } else {
+        ++sit;
+      }
+    }
+    it = it->second.empty() ? by_object_.erase(it) : std::next(it);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom

@@ -1,0 +1,103 @@
+#ifndef GOMFM_GMR_RRR_H_
+#define GOMFM_GMR_RRR_H_
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "gom/value.h"
+#include "storage/storage_manager.h"
+
+namespace gom {
+
+/// The Reverse Reference Relation (Definition 4.1): tuples
+/// [O : OID, F : FunctionId, A : ⟨args⟩] recording that object O was
+/// accessed during the materialization of F with argument list A. Since GOM
+/// keeps references uni-directional, the RRR is the only way to find the
+/// materialized results an updated object influences.
+///
+/// Arguments are GMR argument values (object references, or atomic values
+/// for restricted GMRs with atomic argument types).
+///
+/// Physical model: entries are records in their own segment and lookups by
+/// object probe a paged hash index — so every RRR probe and entry touch
+/// costs simulated I/O, reproducing the table-lookup penalty that motivates
+/// the ObjDepFct optimization (§5.2).
+///
+/// `second_chance` switches entry removal to *marking* (the paper's second
+/// chance alternative in §4.1): a marked entry is resurrected when the same
+/// reverse reference is re-inserted, avoiding a delete/insert churn for
+/// objects that keep being re-used after updates. `Sweep()` performs the
+/// periodic reorganization that physically drops marked entries.
+class Rrr {
+ public:
+  struct Entry {
+    Oid object;
+    FunctionId function;
+    std::vector<Value> args;
+    bool marked = false;
+  };
+
+  Rrr(StorageManager* storage, SimClock* clock, const CostModel& cost,
+      bool second_chance = false);
+
+  Rrr(const Rrr&) = delete;
+  Rrr& operator=(const Rrr&) = delete;
+
+  /// Inserts [o, f, args] if not present; returns true when newly inserted
+  /// (a marked duplicate is unmarked instead).
+  Result<bool> Insert(Oid o, FunctionId f, const std::vector<Value>& args);
+
+  /// All (unmarked) entries for `o`. Probes the index and touches the entry
+  /// records. The returned copies stay valid across subsequent mutation.
+  Result<std::vector<Entry>> EntriesFor(Oid o);
+
+  /// Removes (or marks, under second chance) the entry. kNotFound if absent.
+  Status Remove(Oid o, FunctionId f, const std::vector<Value>& args);
+
+  /// Removes every entry whose first attribute is `o` (object deletion).
+  Status RemoveAllFor(Oid o);
+
+  bool Contains(Oid o, FunctionId f, const std::vector<Value>& args) const;
+
+  /// Number of unmarked entries [o, f, *] — used to decide when the last
+  /// reverse reference of (o, f) disappeared and ObjDepFct can be unmarked.
+  size_t CountFor(Oid o, FunctionId f) const;
+
+  /// Physically removes marked entries (periodic RRR reorganization).
+  Status Sweep();
+
+  /// Removes every entry of function `f` (dematerialization); returns the
+  /// objects whose last reverse reference for `f` disappeared.
+  Result<std::vector<Oid>> RemoveFunction(FunctionId f);
+
+  size_t size() const { return size_; }
+  uint64_t probe_count() const { return probes_; }
+
+ private:
+  struct Stored {
+    Entry entry;
+    Rid rid;
+  };
+
+  /// Touches the index page responsible for `o` (simulated hash directory).
+  Status ProbeIndex(Oid o);
+
+  static std::vector<uint8_t> Encode(const Entry& e);
+
+  StorageManager* storage_;
+  SimClock* clock_;
+  CostModel cost_;
+  bool second_chance_;
+  SegmentId segment_;
+
+  std::unordered_map<Oid, std::list<Stored>, OidHash> by_object_;
+  size_t size_ = 0;  // unmarked entries
+  uint64_t probes_ = 0;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_RRR_H_

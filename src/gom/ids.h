@@ -1,0 +1,60 @@
+#ifndef GOMFM_GOM_IDS_H_
+#define GOMFM_GOM_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gom {
+
+/// Object identifier. OIDs are system-generated, never reused, and remain
+/// invariant for an object's lifetime (GOM §2). OID 0 is the nil reference.
+struct Oid {
+  uint64_t raw = 0;
+
+  constexpr Oid() = default;
+  constexpr explicit Oid(uint64_t r) : raw(r) {}
+
+  constexpr bool nil() const { return raw == 0; }
+  constexpr bool operator==(const Oid& o) const { return raw == o.raw; }
+  constexpr bool operator!=(const Oid& o) const { return raw != o.raw; }
+  constexpr bool operator<(const Oid& o) const { return raw < o.raw; }
+
+  /// "id42", matching the paper's notation.
+  std::string ToString() const { return "id" + std::to_string(raw); }
+};
+
+inline constexpr Oid kNilOid{};
+
+struct OidHash {
+  size_t operator()(const Oid& o) const { return std::hash<uint64_t>()(o.raw); }
+};
+
+/// Identifier of a declared object type in the schema.
+using TypeId = uint32_t;
+inline constexpr TypeId kInvalidTypeId = UINT32_MAX;
+
+/// Index of an attribute within a tuple type (inherited attributes first).
+using AttrId = uint32_t;
+inline constexpr AttrId kInvalidAttrId = UINT32_MAX;
+
+/// Pseudo-attribute denoting the element membership of a set-/list-
+/// structured type. A relevant property (t, kElementsOfAttr) means "the
+/// function's result depends on which elements t-instances contain", i.e.
+/// it is invalidated by t.insert / t.remove.
+inline constexpr AttrId kElementsOfAttr = UINT32_MAX - 1;
+
+/// Identifier of a registered function / type-associated operation.
+using FunctionId = uint32_t;
+inline constexpr FunctionId kInvalidFunctionId = UINT32_MAX;
+
+/// Pseudo operation ids naming the built-in elementary updates `t.insert`
+/// and `t.remove` of set-/list-structured types, used as update-operation
+/// keys in the compensating-action table (§5.4) alongside real operation
+/// FunctionIds.
+inline constexpr FunctionId kElementInsertOp = UINT32_MAX - 2;
+inline constexpr FunctionId kElementRemoveOp = UINT32_MAX - 3;
+
+}  // namespace gom
+
+#endif  // GOMFM_GOM_IDS_H_

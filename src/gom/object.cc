@@ -1,0 +1,48 @@
+#include "gom/object.h"
+
+#include <cstring>
+
+namespace gom {
+
+bool Object::MarkUsedBy(FunctionId f) {
+  auto it = std::lower_bound(obj_dep_fct.begin(), obj_dep_fct.end(), f);
+  if (it != obj_dep_fct.end() && *it == f) return false;
+  obj_dep_fct.insert(it, f);
+  return true;
+}
+
+bool Object::UnmarkUsedBy(FunctionId f) {
+  auto it = std::lower_bound(obj_dep_fct.begin(), obj_dep_fct.end(), f);
+  if (it == obj_dep_fct.end() || *it != f) return false;
+  obj_dep_fct.erase(it);
+  return true;
+}
+
+std::vector<uint8_t> Object::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(SerializedSize());
+  out.push_back(static_cast<uint8_t>(kind));
+  auto append_u32 = [&out](uint32_t v) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    out.insert(out.end(), p, p + 4);
+  };
+  append_u32(type);
+  const std::vector<Value>& payload =
+      kind == StructKind::kTuple ? fields : elements;
+  append_u32(static_cast<uint32_t>(payload.size()));
+  for (const Value& v : payload) v.Serialize(&out);
+  append_u32(static_cast<uint32_t>(obj_dep_fct.size()));
+  for (FunctionId f : obj_dep_fct) append_u32(f);
+  return out;
+}
+
+size_t Object::SerializedSize() const {
+  size_t n = 1 + 4 + 4 + 4;
+  const std::vector<Value>& payload =
+      kind == StructKind::kTuple ? fields : elements;
+  for (const Value& v : payload) n += v.SerializedSize();
+  n += obj_dep_fct.size() * 4;
+  return n;
+}
+
+}  // namespace gom

@@ -1,0 +1,58 @@
+#ifndef GOMFM_GOM_OBJECT_H_
+#define GOMFM_GOM_OBJECT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.h"
+#include "gom/ids.h"
+#include "gom/type.h"
+#include "gom/value.h"
+
+namespace gom {
+
+/// In-memory representation of one database object.
+///
+/// The authoritative state lives here; `ObjectManager` writes a serialized
+/// copy through the storage substrate so that page-level I/O behaviour
+/// (placement, clustering, faults) is simulated faithfully.
+///
+/// `obj_dep_fct` is the set-valued attribute `ObjDepFct` of §5.2: the
+/// identifiers of all materialized functions that used this object during
+/// their materialization. It lets the rewritten update operations decide
+/// locally — without an RRR lookup — whether any invalidation is needed.
+class Object {
+ public:
+  Oid oid;
+  TypeId type = kInvalidTypeId;
+  StructKind kind = StructKind::kTuple;
+
+  /// Attribute values (tuple-structured objects), indexed by AttrId.
+  std::vector<Value> fields;
+
+  /// Elements (set- and list-structured objects). For sets the order is
+  /// incidental and duplicates are rejected on insert; lists keep order and
+  /// allow duplicates.
+  std::vector<Value> elements;
+
+  /// ObjDepFct — sorted, duplicate-free.
+  std::vector<FunctionId> obj_dep_fct;
+
+  bool IsUsedBy(FunctionId f) const {
+    return std::binary_search(obj_dep_fct.begin(), obj_dep_fct.end(), f);
+  }
+  /// Returns true when newly inserted.
+  bool MarkUsedBy(FunctionId f);
+  /// Returns true when the entry existed.
+  bool UnmarkUsedBy(FunctionId f);
+
+  /// Binary encoding of the persistent state (type tag + payload values);
+  /// `ObjDepFct` is bookkeeping and is included so its storage footprint is
+  /// modelled, as the paper stores it within the object.
+  std::vector<uint8_t> Serialize() const;
+  size_t SerializedSize() const;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GOM_OBJECT_H_

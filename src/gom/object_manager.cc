@@ -1,0 +1,430 @@
+#include "gom/object_manager.h"
+
+#include <cassert>
+
+namespace gom {
+
+const std::vector<Oid> ObjectManager::kEmptyExtent;
+
+namespace {
+// Leave headroom for the slotted-page header and slot entry.
+constexpr size_t kMaxChunkBytes =
+    kPageSize - Page::kHeaderSize - 8 * Page::kSlotEntrySize;
+
+// Object records are padded to a quantum so small growth — in particular
+// the in-object ObjDepFct marks (§5.2) — updates in place instead of
+// relocating the record and destroying the creation-order clustering.
+constexpr size_t kRecordQuantum = 32;
+
+std::vector<uint8_t> PadToQuantum(std::vector<uint8_t> bytes) {
+  size_t padded = (bytes.size() / kRecordQuantum + 1) * kRecordQuantum;
+  bytes.resize(padded, 0);
+  return bytes;
+}
+}  // namespace
+
+ObjectManager::ObjectManager(Schema* schema, StorageManager* storage,
+                             SimClock* clock, const CostModel& cost)
+    : schema_(schema), storage_(storage), clock_(clock), cost_(cost) {}
+
+Result<Object*> ObjectManager::Lookup(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  return &it->second;
+}
+
+Result<const Object*> ObjectManager::Lookup(Oid oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  return &it->second;
+}
+
+SegmentId ObjectManager::SegmentFor(TypeId type) {
+  auto it = segments_.find(type);
+  if (it != segments_.end()) return it->second;
+  SegmentId seg = storage_->CreateSegment(schema_->TypeName(type));
+  segments_.emplace(type, seg);
+  return seg;
+}
+
+std::vector<std::vector<uint8_t>> ObjectManager::Chunk(
+    const std::vector<uint8_t>& bytes) {
+  std::vector<std::vector<uint8_t>> chunks;
+  size_t off = 0;
+  do {
+    size_t len = std::min(kMaxChunkBytes, bytes.size() - off);
+    chunks.emplace_back(bytes.begin() + off, bytes.begin() + off + len);
+    off += len;
+  } while (off < bytes.size());
+  return chunks;
+}
+
+Status ObjectManager::CheckValueConforms(const Value& value,
+                                         const TypeRef& expected) const {
+  if (value.is_null()) return Status::Ok();  // nil is substitutable anywhere
+  if (expected.tag == TypeRef::Tag::kAny) return Status::Ok();
+  TypeRef actual;
+  switch (value.kind()) {
+    case ValueKind::kBool:
+      actual = TypeRef::Bool();
+      break;
+    case ValueKind::kInt:
+      actual = TypeRef::Int();
+      break;
+    case ValueKind::kFloat:
+      actual = TypeRef::Float();
+      break;
+    case ValueKind::kString:
+      actual = TypeRef::String();
+      break;
+    case ValueKind::kRef: {
+      auto type = TypeOf(value.as_ref());
+      if (!type.ok()) {
+        return Status::InvalidArgument("dangling reference " +
+                                       value.as_ref().ToString());
+      }
+      actual = TypeRef::Object(*type);
+      break;
+    }
+    case ValueKind::kComposite:
+      return Status::TypeMismatch("composite values cannot be stored in "
+                                  "typed attributes");
+    case ValueKind::kNull:
+      return Status::Ok();
+  }
+  if (!schema_->Conforms(actual, expected)) {
+    return Status::TypeMismatch("value of type " + actual.ToString() +
+                                " does not conform to " + expected.ToString());
+  }
+  return Status::Ok();
+}
+
+Result<Oid> ObjectManager::CreateTuple(TypeId type, std::vector<Value> fields) {
+  GOMFM_ASSIGN_OR_RETURN(const TypeDescriptor* desc, schema_->Get(type));
+  if (desc->kind != StructKind::kTuple) {
+    return Status::InvalidArgument("CreateTuple on non-tuple type '" +
+                                   desc->name + "'");
+  }
+  if (fields.size() > desc->attributes.size()) {
+    return Status::InvalidArgument("too many initializers for '" + desc->name +
+                                   "'");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    GOMFM_RETURN_IF_ERROR(
+        CheckValueConforms(fields[i], desc->attributes[i].type));
+  }
+  fields.resize(desc->attributes.size());
+
+  Object obj;
+  obj.oid = Oid(next_oid_++);
+  obj.type = type;
+  obj.kind = StructKind::kTuple;
+  obj.fields = std::move(fields);
+
+  SegmentId seg = SegmentFor(type);
+  Placement placement{seg, {}};
+  for (const auto& chunk : Chunk(PadToQuantum(obj.Serialize()))) {
+    GOMFM_ASSIGN_OR_RETURN(Rid rid, storage_->InsertRecord(seg, chunk));
+    placement.chunks.push_back(rid);
+  }
+  Oid oid = obj.oid;
+  objects_.emplace(oid, std::move(obj));
+  placements_.emplace(oid, std::move(placement));
+  if (extents_.size() <= type) extents_.resize(type + 1);
+  extents_[type].push_back(oid);
+  ++created_;
+  clock_->Advance(cost_.cpu_object_op_seconds);
+  if (notifier_ != nullptr) notifier_->AfterCreate(oid, type);
+  return oid;
+}
+
+Result<Oid> ObjectManager::CreateCollection(TypeId type) {
+  GOMFM_ASSIGN_OR_RETURN(const TypeDescriptor* desc, schema_->Get(type));
+  if (desc->kind == StructKind::kTuple) {
+    return Status::InvalidArgument("CreateCollection on tuple type '" +
+                                   desc->name + "'");
+  }
+  Object obj;
+  obj.oid = Oid(next_oid_++);
+  obj.type = type;
+  obj.kind = desc->kind;
+
+  SegmentId seg = SegmentFor(type);
+  Placement placement{seg, {}};
+  for (const auto& chunk : Chunk(PadToQuantum(obj.Serialize()))) {
+    GOMFM_ASSIGN_OR_RETURN(Rid rid, storage_->InsertRecord(seg, chunk));
+    placement.chunks.push_back(rid);
+  }
+  Oid oid = obj.oid;
+  objects_.emplace(oid, std::move(obj));
+  placements_.emplace(oid, std::move(placement));
+  if (extents_.size() <= type) extents_.resize(type + 1);
+  extents_[type].push_back(oid);
+  ++created_;
+  clock_->Advance(cost_.cpu_object_op_seconds);
+  if (notifier_ != nullptr) notifier_->AfterCreate(oid, type);
+  return oid;
+}
+
+Status ObjectManager::Delete(Oid oid) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  if (notifier_ != nullptr) notifier_->BeforeDelete(oid, obj->type);
+  // Remove storage records.
+  auto pit = placements_.find(oid);
+  assert(pit != placements_.end());
+  for (const Rid& rid : pit->second.chunks) {
+    GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(rid));
+  }
+  placements_.erase(pit);
+  // Remove from the extent.
+  std::vector<Oid>& extent = extents_[obj->type];
+  for (auto it = extent.begin(); it != extent.end(); ++it) {
+    if (*it == oid) {
+      extent.erase(it);
+      break;
+    }
+  }
+  objects_.erase(oid);
+  ++deleted_;
+  clock_->Advance(cost_.cpu_object_op_seconds);
+  return Status::Ok();
+}
+
+Status ObjectManager::TouchForRead(Oid oid) {
+  auto pit = placements_.find(oid);
+  if (pit == placements_.end()) {
+    return Status::NotFound("no object " + oid.ToString());
+  }
+  clock_->Advance(cost_.cpu_object_op_seconds);
+  for (const Rid& rid : pit->second.chunks) {
+    GOMFM_RETURN_IF_ERROR(storage_->TouchRecord(rid));
+  }
+  return Status::Ok();
+}
+
+Status ObjectManager::WriteBack(Object& obj) {
+  auto pit = placements_.find(obj.oid);
+  assert(pit != placements_.end());
+  Placement& placement = pit->second;
+  auto chunks = Chunk(PadToQuantum(obj.Serialize()));
+  if (chunks.size() == placement.chunks.size()) {
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      GOMFM_ASSIGN_OR_RETURN(
+          Rid rid,
+          storage_->UpdateRecord(placement.segment, placement.chunks[i],
+                                 chunks[i]));
+      placement.chunks[i] = rid;
+    }
+  } else {
+    for (const Rid& rid : placement.chunks) {
+      GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(rid));
+    }
+    placement.chunks.clear();
+    for (const auto& chunk : chunks) {
+      GOMFM_ASSIGN_OR_RETURN(Rid rid,
+                             storage_->InsertRecord(placement.segment, chunk));
+      placement.chunks.push_back(rid);
+    }
+  }
+  ++updates_;
+  clock_->Advance(cost_.cpu_object_op_seconds);
+  return Status::Ok();
+}
+
+Result<Value> ObjectManager::GetAttribute(Oid oid, AttrId attr) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  if (obj->kind != StructKind::kTuple || attr >= obj->fields.size()) {
+    return Status::InvalidArgument("bad attribute access on " +
+                                   oid.ToString());
+  }
+  GOMFM_RETURN_IF_ERROR(TouchForRead(oid));
+  return obj->fields[attr];
+}
+
+Result<Value> ObjectManager::GetAttribute(Oid oid,
+                                          const std::string& attr_name) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  GOMFM_ASSIGN_OR_RETURN(auto resolved,
+                         schema_->ResolveAttribute(obj->type, attr_name));
+  return GetAttribute(oid, resolved.first);
+}
+
+Status ObjectManager::SetAttribute(Oid oid, AttrId attr, Value value) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  GOMFM_ASSIGN_OR_RETURN(const TypeDescriptor* desc, schema_->Get(obj->type));
+  if (obj->kind != StructKind::kTuple || attr >= obj->fields.size()) {
+    return Status::InvalidArgument("bad attribute write on " + oid.ToString());
+  }
+  GOMFM_RETURN_IF_ERROR(
+      CheckValueConforms(value, desc->attributes[attr].type));
+
+  ElementaryUpdate update{ElementaryUpdate::Kind::kSetAttribute,
+                          oid,
+                          obj->type,
+                          attr,
+                          &value,
+                          operation_depth_};
+  if (notifier_ != nullptr) notifier_->BeforeElementaryUpdate(update);
+  obj->fields[attr] = std::move(value);
+  GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  update.value = &obj->fields[attr];
+  if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
+  return Status::Ok();
+}
+
+Status ObjectManager::SetAttribute(Oid oid, const std::string& attr_name,
+                                   Value value) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  GOMFM_ASSIGN_OR_RETURN(auto resolved,
+                         schema_->ResolveAttribute(obj->type, attr_name));
+  return SetAttribute(oid, resolved.first, std::move(value));
+}
+
+Result<std::vector<Value>> ObjectManager::GetElements(Oid oid) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  if (obj->kind == StructKind::kTuple) {
+    return Status::InvalidArgument("GetElements on tuple object " +
+                                   oid.ToString());
+  }
+  GOMFM_RETURN_IF_ERROR(TouchForRead(oid));
+  return obj->elements;
+}
+
+Result<size_t> ObjectManager::ElementCount(Oid oid) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  if (obj->kind == StructKind::kTuple) {
+    return Status::InvalidArgument("ElementCount on tuple object " +
+                                   oid.ToString());
+  }
+  GOMFM_RETURN_IF_ERROR(TouchForRead(oid));
+  return obj->elements.size();
+}
+
+Status ObjectManager::InsertElement(Oid oid, Value element) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  GOMFM_ASSIGN_OR_RETURN(const TypeDescriptor* desc, schema_->Get(obj->type));
+  if (obj->kind == StructKind::kTuple) {
+    return Status::InvalidArgument("InsertElement on tuple object " +
+                                   oid.ToString());
+  }
+  GOMFM_RETURN_IF_ERROR(CheckValueConforms(element, desc->element_type));
+  if (obj->kind == StructKind::kSet) {
+    for (const Value& e : obj->elements) {
+      if (e == element) {
+        return Status::AlreadyExists("element already in set " +
+                                     oid.ToString());
+      }
+    }
+  }
+  ElementaryUpdate update{ElementaryUpdate::Kind::kInsertElement,
+                          oid,
+                          obj->type,
+                          kInvalidAttrId,
+                          &element,
+                          operation_depth_};
+  if (notifier_ != nullptr) notifier_->BeforeElementaryUpdate(update);
+  obj->elements.push_back(std::move(element));
+  GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  update.value = &obj->elements.back();
+  if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
+  return Status::Ok();
+}
+
+Status ObjectManager::RemoveElement(Oid oid, const Value& element) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  if (obj->kind == StructKind::kTuple) {
+    return Status::InvalidArgument("RemoveElement on tuple object " +
+                                   oid.ToString());
+  }
+  auto it = obj->elements.begin();
+  for (; it != obj->elements.end(); ++it) {
+    if (*it == element) break;
+  }
+  if (it == obj->elements.end()) {
+    return Status::NotFound("element not in collection " + oid.ToString());
+  }
+  ElementaryUpdate update{ElementaryUpdate::Kind::kRemoveElement,
+                          oid,
+                          obj->type,
+                          kInvalidAttrId,
+                          &element,
+                          operation_depth_};
+  if (notifier_ != nullptr) notifier_->BeforeElementaryUpdate(update);
+  obj->elements.erase(it);
+  GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
+  return Status::Ok();
+}
+
+Result<TypeId> ObjectManager::TypeOf(Oid oid) const {
+  GOMFM_ASSIGN_OR_RETURN(const Object* obj, Lookup(oid));
+  return obj->type;
+}
+
+const std::vector<Oid>& ObjectManager::ExtentExact(TypeId type) const {
+  if (type >= extents_.size()) return kEmptyExtent;
+  return extents_[type];
+}
+
+std::vector<Oid> ObjectManager::Extent(TypeId type) const {
+  std::vector<Oid> out;
+  for (TypeId t : schema_->SubtypesOf(type)) {
+    const std::vector<Oid>& direct = ExtentExact(t);
+    out.insert(out.end(), direct.begin(), direct.end());
+  }
+  return out;
+}
+
+Status ObjectManager::MarkUsedBy(Oid oid, FunctionId f) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  if (obj->MarkUsedBy(f)) {
+    GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  }
+  return Status::Ok();
+}
+
+Status ObjectManager::UnmarkUsedBy(Oid oid, FunctionId f) {
+  GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
+  if (obj->UnmarkUsedBy(f)) {
+    GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  }
+  return Status::Ok();
+}
+
+Result<bool> ObjectManager::IsUsedBy(Oid oid, FunctionId f) const {
+  GOMFM_ASSIGN_OR_RETURN(const Object* obj, Lookup(oid));
+  return obj->IsUsedBy(f);
+}
+
+Result<const std::vector<FunctionId>*> ObjectManager::UsedBy(Oid oid) const {
+  GOMFM_ASSIGN_OR_RETURN(const Object* obj, Lookup(oid));
+  return &obj->obj_dep_fct;
+}
+
+Status ObjectManager::BeginOperation(Oid self, FunctionId op,
+                                     const std::vector<Value>& args) {
+  GOMFM_ASSIGN_OR_RETURN(const Object* obj, Lookup(self));
+  if (notifier_ != nullptr) {
+    notifier_->BeforeOperation(self, obj->type, op, args);
+  }
+  ++operation_depth_;
+  return Status::Ok();
+}
+
+Status ObjectManager::EndOperation(Oid self, FunctionId op) {
+  if (operation_depth_ == 0) {
+    return Status::FailedPrecondition("EndOperation without BeginOperation");
+  }
+  --operation_depth_;
+  GOMFM_ASSIGN_OR_RETURN(const Object* obj, Lookup(self));
+  if (notifier_ != nullptr) notifier_->AfterOperation(self, obj->type, op);
+  return Status::Ok();
+}
+
+Result<const Object*> ObjectManager::Peek(Oid oid) const { return Lookup(oid); }
+
+}  // namespace gom

@@ -1,0 +1,216 @@
+#ifndef GOMFM_GOM_OBJECT_MANAGER_H_
+#define GOMFM_GOM_OBJECT_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "gom/object.h"
+#include "gom/schema.h"
+#include "storage/storage_manager.h"
+
+namespace gom {
+
+/// One elementary update as seen by the notification mechanism (§4.3).
+/// GOM's object base state changes only through `t.create`, `t.delete`,
+/// `t.set_A`, `t.insert` and `t.remove`; this struct describes one such
+/// invocation.
+struct ElementaryUpdate {
+  enum class Kind : uint8_t { kSetAttribute, kInsertElement, kRemoveElement };
+
+  Kind kind;
+  Oid oid;
+  TypeId type = kInvalidTypeId;
+  /// Attribute index (kSetAttribute only).
+  AttrId attr = kInvalidAttrId;
+  /// New attribute value / inserted / removed element. Valid only during the
+  /// callback.
+  const Value* value = nullptr;
+  /// Nesting depth of public-operation invocations at the time of the
+  /// update: 0 = a direct client update, >0 = performed from inside a
+  /// type-associated operation (relevant for strict encapsulation, §5.3).
+  int operation_depth = 0;
+};
+
+/// The seam produced by the paper's *schema rewrite* (§4.3, Figures 4–6):
+/// every modified elementary update operation informs the GMR manager.
+/// Instead of recompiling operations we route all elementary updates (and
+/// public-operation brackets) through this interface; the registered
+/// implementation decides — using the compiled dependency tables — whether
+/// the GMR manager must act.
+class UpdateNotifier {
+ public:
+  virtual ~UpdateNotifier() = default;
+
+  /// Fired before the object base is mutated (compensating actions must see
+  /// the pre-update state, §5.4).
+  virtual void BeforeElementaryUpdate(const ElementaryUpdate& update) {
+    (void)update;
+  }
+  /// Fired after the mutation (invalidation happens after the update so
+  /// that immediate rematerialization sees the new state, §4.3).
+  virtual void AfterElementaryUpdate(const ElementaryUpdate& update) {
+    (void)update;
+  }
+  virtual void AfterCreate(Oid oid, TypeId type) { (void)oid, (void)type; }
+  virtual void BeforeDelete(Oid oid, TypeId type) { (void)oid, (void)type; }
+
+  /// Brackets around a public type-associated operation (`scale`, `rotate`,
+  /// `insert` on Workpieces, ...). Only meaningful for strictly
+  /// encapsulated types.
+  virtual void BeforeOperation(Oid self, TypeId type, FunctionId op,
+                               const std::vector<Value>& args) {
+    (void)self, (void)type, (void)op, (void)args;
+  }
+  virtual void AfterOperation(Oid self, TypeId type, FunctionId op) {
+    (void)self, (void)type, (void)op;
+  }
+};
+
+/// The object manager: creates, stores, reads and updates objects, keeps
+/// type extensions, and fires update notifications.
+///
+/// I/O model: the authoritative object state is cached in memory while a
+/// serialized copy lives in the paged store, one segment per type. Every
+/// logical object access touches the object's page(s) through the buffer
+/// pool, so page faults — which dominate the paper's measurements — are
+/// charged exactly where a disk-based system would incur them. Objects
+/// whose encoding exceeds a page are chunked across records.
+class ObjectManager {
+ public:
+  /// All pointers must outlive the manager.
+  ObjectManager(Schema* schema, StorageManager* storage, SimClock* clock,
+                const CostModel& cost = CostModel::Default());
+
+  ObjectManager(const ObjectManager&) = delete;
+  ObjectManager& operator=(const ObjectManager&) = delete;
+
+  /// Installs the update notifier (nullptr to remove).
+  void SetNotifier(UpdateNotifier* notifier) { notifier_ = notifier; }
+
+  // --- Creation / deletion ------------------------------------------------
+
+  /// Creates a tuple-structured instance. `fields` must match the type's
+  /// attribute list (checked); missing trailing fields default to null.
+  Result<Oid> CreateTuple(TypeId type, std::vector<Value> fields);
+
+  /// Creates an empty set- or list-structured instance.
+  Result<Oid> CreateCollection(TypeId type);
+
+  /// Deletes the object (t.delete). Fires BeforeDelete.
+  Status Delete(Oid oid);
+
+  // --- Tuple attribute access (built-in A / set_A operations) --------------
+
+  Result<Value> GetAttribute(Oid oid, AttrId attr);
+  Result<Value> GetAttribute(Oid oid, const std::string& attr_name);
+
+  Status SetAttribute(Oid oid, AttrId attr, Value value);
+  Status SetAttribute(Oid oid, const std::string& attr_name, Value value);
+
+  // --- Set/list element access (t.insert / t.remove) -----------------------
+
+  /// Copies the element list out (touching the object's pages).
+  Result<std::vector<Value>> GetElements(Oid oid);
+
+  /// Inserts into a set (duplicate elements rejected with kAlreadyExists)
+  /// or appends to a list.
+  Status InsertElement(Oid oid, Value element);
+
+  /// Removes the first element equal to `element`; kNotFound if absent.
+  Status RemoveElement(Oid oid, const Value& element);
+
+  Result<size_t> ElementCount(Oid oid);
+
+  // --- Catalog ------------------------------------------------------------
+
+  Result<TypeId> TypeOf(Oid oid) const;
+  bool Exists(Oid oid) const { return objects_.count(oid) > 0; }
+
+  /// Direct instances of `type`, in creation order.
+  const std::vector<Oid>& ExtentExact(TypeId type) const;
+
+  /// Instances of `type` and all its subtypes (the extension ext(t)).
+  std::vector<Oid> Extent(TypeId type) const;
+
+  // --- ObjDepFct (§5.2) -----------------------------------------------------
+
+  Status MarkUsedBy(Oid oid, FunctionId f);
+  Status UnmarkUsedBy(Oid oid, FunctionId f);
+  Result<bool> IsUsedBy(Oid oid, FunctionId f) const;
+  /// The object's ObjDepFct; pointer valid until the object changes.
+  Result<const std::vector<FunctionId>*> UsedBy(Oid oid) const;
+
+  // --- Public-operation bracketing (§5.3) -----------------------------------
+
+  /// Marks entry into a public type-associated operation on `self`. While
+  /// inside, elementary updates carry `operation_depth > 0`.
+  Status BeginOperation(Oid self, FunctionId op, const std::vector<Value>& args);
+  Status EndOperation(Oid self, FunctionId op);
+  int operation_depth() const { return operation_depth_; }
+
+  // --- Introspection / plumbing --------------------------------------------
+
+  /// Raw object pointer without I/O charge; for internal bookkeeping only
+  /// (tests, dump tools). Logical reads must use the accessors above.
+  Result<const Object*> Peek(Oid oid) const;
+
+  Schema* schema() { return schema_; }
+  const Schema* schema() const { return schema_; }
+  SimClock* clock() { return clock_; }
+  StorageManager* storage() { return storage_; }
+
+  uint64_t created_count() const { return created_; }
+  uint64_t deleted_count() const { return deleted_; }
+  uint64_t update_count() const { return updates_; }
+  size_t live_objects() const { return objects_.size(); }
+
+ private:
+  struct Placement {
+    SegmentId segment;
+    std::vector<Rid> chunks;
+  };
+
+  Result<Object*> Lookup(Oid oid);
+  Result<const Object*> Lookup(Oid oid) const;
+
+  /// Charges one object access: CPU + page touches of all chunks.
+  Status TouchForRead(Oid oid);
+
+  /// Serializes the object and updates (or relocates) its storage records.
+  Status WriteBack(Object& obj);
+
+  /// Lazily creates the segment for `type` and returns it.
+  SegmentId SegmentFor(TypeId type);
+
+  /// Breaks `bytes` into chunk payloads that fit in a page record.
+  static std::vector<std::vector<uint8_t>> Chunk(
+      const std::vector<uint8_t>& bytes);
+
+  Status CheckValueConforms(const Value& value, const TypeRef& expected) const;
+
+  Schema* schema_;
+  StorageManager* storage_;
+  SimClock* clock_;
+  CostModel cost_;
+  UpdateNotifier* notifier_ = nullptr;
+
+  std::unordered_map<Oid, Object, OidHash> objects_;
+  std::unordered_map<Oid, Placement, OidHash> placements_;
+  std::unordered_map<TypeId, SegmentId> segments_;
+  std::vector<std::vector<Oid>> extents_;  // indexed by TypeId
+
+  uint64_t next_oid_ = 1;
+  int operation_depth_ = 0;
+  uint64_t created_ = 0;
+  uint64_t deleted_ = 0;
+  uint64_t updates_ = 0;
+
+  static const std::vector<Oid> kEmptyExtent;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GOM_OBJECT_MANAGER_H_

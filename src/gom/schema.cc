@@ -1,0 +1,170 @@
+#include "gom/schema.h"
+
+namespace gom {
+
+Result<TypeId> Schema::DeclareTupleType(const TupleTypeSpec& spec) {
+  if (by_name_.count(spec.name)) {
+    return Status::AlreadyExists("type '" + spec.name + "' already declared");
+  }
+  TypeDescriptor desc;
+  desc.id = static_cast<TypeId>(types_.size());
+  desc.name = spec.name;
+  desc.kind = StructKind::kTuple;
+  desc.supertype = spec.supertype;
+  desc.strictly_encapsulated = spec.strictly_encapsulated;
+
+  if (spec.supertype != kInvalidTypeId) {
+    if (spec.supertype >= types_.size()) {
+      return Status::InvalidArgument("unknown supertype for '" + spec.name +
+                                     "'");
+    }
+    const TypeDescriptor& super = types_[spec.supertype];
+    if (super.kind != StructKind::kTuple) {
+      return Status::InvalidArgument(
+          "tuple type '" + spec.name + "' cannot inherit from non-tuple '" +
+          super.name + "'");
+    }
+    desc.attributes = super.attributes;  // inherited attributes first
+    desc.public_clause = super.public_clause;
+    desc.operations = super.operations;
+  }
+  for (const Attribute& attr : spec.own_attributes) {
+    if (desc.AttrIndex(attr.name) != kInvalidAttrId) {
+      return Status::AlreadyExists("attribute '" + attr.name +
+                                   "' duplicated in type '" + spec.name + "'");
+    }
+    desc.attributes.push_back(attr);
+  }
+  for (const std::string& member : spec.public_members) {
+    desc.public_clause.insert(member);
+  }
+  by_name_.emplace(spec.name, desc.id);
+  types_.push_back(std::move(desc));
+  return types_.back().id;
+}
+
+Result<TypeId> Schema::DeclareCollection(const std::string& name,
+                                         TypeRef element, StructKind kind) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("type '" + name + "' already declared");
+  }
+  if (element.is_object() && element.object_type >= types_.size()) {
+    return Status::InvalidArgument("unknown element type for '" + name + "'");
+  }
+  TypeDescriptor desc;
+  desc.id = static_cast<TypeId>(types_.size());
+  desc.name = name;
+  desc.kind = kind;
+  desc.element_type = element;
+  by_name_.emplace(name, desc.id);
+  types_.push_back(std::move(desc));
+  return types_.back().id;
+}
+
+Result<TypeId> Schema::DeclareSetType(const std::string& name, TypeRef element) {
+  return DeclareCollection(name, element, StructKind::kSet);
+}
+
+Result<TypeId> Schema::DeclareListType(const std::string& name,
+                                       TypeRef element) {
+  return DeclareCollection(name, element, StructKind::kList);
+}
+
+Status Schema::AttachOperation(TypeId type, const std::string& op_name,
+                               FunctionId fn, bool make_public) {
+  TypeDescriptor* desc = GetMutable(type);
+  if (desc == nullptr) {
+    return Status::InvalidArgument("AttachOperation: unknown type");
+  }
+  desc->operations[op_name] = fn;
+  if (make_public) desc->public_clause.insert(op_name);
+  return Status::Ok();
+}
+
+Status Schema::MakePublic(TypeId type, const std::string& member) {
+  TypeDescriptor* desc = GetMutable(type);
+  if (desc == nullptr) return Status::InvalidArgument("MakePublic: unknown type");
+  desc->public_clause.insert(member);
+  return Status::Ok();
+}
+
+Status Schema::SetStrictlyEncapsulated(TypeId type, bool on) {
+  TypeDescriptor* desc = GetMutable(type);
+  if (desc == nullptr) {
+    return Status::InvalidArgument("SetStrictlyEncapsulated: unknown type");
+  }
+  desc->strictly_encapsulated = on;
+  return Status::Ok();
+}
+
+Result<const TypeDescriptor*> Schema::Get(TypeId id) const {
+  if (id >= types_.size()) {
+    return Status::NotFound("unknown type id " + std::to_string(id));
+  }
+  return &types_[id];
+}
+
+TypeDescriptor* Schema::GetMutable(TypeId id) {
+  if (id >= types_.size()) return nullptr;
+  return &types_[id];
+}
+
+Result<TypeId> Schema::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no type named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::IsSubtypeOf(TypeId t, TypeId super) const {
+  if (super == kInvalidTypeId) return true;  // ANY is the implicit root
+  while (t != kInvalidTypeId) {
+    if (t == super) return true;
+    if (t >= types_.size()) return false;
+    t = types_[t].supertype;
+  }
+  return false;
+}
+
+bool Schema::Conforms(const TypeRef& actual, const TypeRef& expected) const {
+  if (expected.tag == TypeRef::Tag::kAny) return true;
+  if (actual.tag != expected.tag) {
+    // int is substitutable where float is expected (numeric widening).
+    return actual.tag == TypeRef::Tag::kInt &&
+           expected.tag == TypeRef::Tag::kFloat;
+  }
+  if (actual.tag != TypeRef::Tag::kObject) return true;
+  return IsSubtypeOf(actual.object_type, expected.object_type);
+}
+
+Result<std::pair<AttrId, TypeRef>> Schema::ResolveAttribute(
+    TypeId type, const std::string& attr_name) const {
+  GOMFM_ASSIGN_OR_RETURN(const TypeDescriptor* desc, Get(type));
+  if (desc->kind != StructKind::kTuple) {
+    return Status::InvalidArgument("type '" + desc->name +
+                                   "' is not tuple-structured");
+  }
+  AttrId idx = desc->AttrIndex(attr_name);
+  if (idx == kInvalidAttrId) {
+    return Status::NotFound("type '" + desc->name + "' has no attribute '" +
+                            attr_name + "'");
+  }
+  return std::make_pair(idx, desc->attributes[idx].type);
+}
+
+std::vector<TypeId> Schema::SubtypesOf(TypeId t) const {
+  std::vector<TypeId> out;
+  for (const TypeDescriptor& desc : types_) {
+    if (IsSubtypeOf(desc.id, t)) out.push_back(desc.id);
+  }
+  return out;
+}
+
+std::string Schema::TypeName(TypeId id) const {
+  if (id == kInvalidTypeId) return "ANY";
+  if (id >= types_.size()) return "?";
+  return types_[id].name;
+}
+
+}  // namespace gom

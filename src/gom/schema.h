@@ -1,0 +1,89 @@
+#ifndef GOMFM_GOM_SCHEMA_H_
+#define GOMFM_GOM_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gom/type.h"
+
+namespace gom {
+
+/// Builder-style declaration of a tuple type.
+struct TupleTypeSpec {
+  std::string name;
+  TypeId supertype = kInvalidTypeId;
+  std::vector<Attribute> own_attributes;
+  std::vector<std::string> public_members;
+  bool strictly_encapsulated = false;
+};
+
+/// The schema (type system) of an object base: all declared types with
+/// single inheritance, subtyping and substitutability under strong typing.
+/// A subtype instance is always substitutable for a supertype instance.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(const Schema&) = delete;
+  Schema& operator=(const Schema&) = delete;
+
+  /// Declares a tuple-structured type. Inherited attributes of the supertype
+  /// are prepended to the new type's attribute list.
+  Result<TypeId> DeclareTupleType(const TupleTypeSpec& spec);
+
+  /// Declares a set-structured type `{element}`.
+  Result<TypeId> DeclareSetType(const std::string& name, TypeRef element);
+
+  /// Declares a list-structured type `<element>`.
+  Result<TypeId> DeclareListType(const std::string& name, TypeRef element);
+
+  /// Registers a type-associated operation (declared in the type frame).
+  /// `make_public` adds it to the public clause.
+  Status AttachOperation(TypeId type, const std::string& op_name,
+                         FunctionId fn, bool make_public = true);
+
+  /// Adds `member` to the type's public clause after declaration.
+  Status MakePublic(TypeId type, const std::string& member);
+
+  /// Marks the type strictly encapsulated (§5.3).
+  Status SetStrictlyEncapsulated(TypeId type, bool on);
+
+  Result<const TypeDescriptor*> Get(TypeId id) const;
+  TypeDescriptor* GetMutable(TypeId id);
+
+  /// Looks a type up by name; kNotFound if absent.
+  Result<TypeId> Find(const std::string& name) const;
+
+  /// True when `t` equals `super` or transitively inherits from it.
+  /// Everything is a subtype of ANY (pass kInvalidTypeId for ANY).
+  bool IsSubtypeOf(TypeId t, TypeId super) const;
+
+  /// True when a value of type `actual` may be stored where `expected` is
+  /// required (substitutability under strong typing).
+  bool Conforms(const TypeRef& actual, const TypeRef& expected) const;
+
+  /// Resolves an attribute by name; returns its index and type.
+  Result<std::pair<AttrId, TypeRef>> ResolveAttribute(
+      TypeId type, const std::string& attr_name) const;
+
+  /// All declared type ids whose supertype chain contains `t` (including
+  /// `t` itself). Used to enumerate the extension of a type.
+  std::vector<TypeId> SubtypesOf(TypeId t) const;
+
+  size_t type_count() const { return types_.size(); }
+
+  /// Human-readable type name, or "ANY"/"?" for the root/invalid ids.
+  std::string TypeName(TypeId id) const;
+
+ private:
+  Result<TypeId> DeclareCollection(const std::string& name, TypeRef element,
+                                   StructKind kind);
+
+  std::vector<TypeDescriptor> types_;
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GOM_SCHEMA_H_

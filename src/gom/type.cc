@@ -1,0 +1,37 @@
+#include "gom/type.h"
+
+namespace gom {
+
+std::string TypeRef::ToString() const {
+  switch (tag) {
+    case Tag::kVoid:
+      return "void";
+    case Tag::kBool:
+      return "bool";
+    case Tag::kInt:
+      return "int";
+    case Tag::kFloat:
+      return "float";
+    case Tag::kString:
+      return "string";
+    case Tag::kObject:
+      return "type#" + std::to_string(object_type);
+    case Tag::kAny:
+      return "ANY";
+  }
+  return "?";
+}
+
+AttrId TypeDescriptor::AttrIndex(const std::string& attr_name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name == attr_name) return static_cast<AttrId>(i);
+  }
+  return kInvalidAttrId;
+}
+
+FunctionId TypeDescriptor::OperationId(const std::string& op_name) const {
+  auto it = operations.find(op_name);
+  return it == operations.end() ? kInvalidFunctionId : it->second;
+}
+
+}  // namespace gom

@@ -1,0 +1,108 @@
+#ifndef GOMFM_GOM_TYPE_H_
+#define GOMFM_GOM_TYPE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "gom/ids.h"
+#include "gom/value.h"
+
+namespace gom {
+
+/// Reference to a type in an attribute/parameter/result position: either a
+/// builtin atomic type or a declared object type.
+struct TypeRef {
+  enum class Tag : uint8_t {
+    kVoid,
+    kBool,
+    kInt,
+    kFloat,
+    kString,
+    kObject,  // a declared tuple/set/list type; see `object_type`
+    kAny,     // the implicit supertype ANY
+  };
+
+  Tag tag = Tag::kVoid;
+  TypeId object_type = kInvalidTypeId;
+
+  static TypeRef Void() { return {Tag::kVoid, kInvalidTypeId}; }
+  static TypeRef Bool() { return {Tag::kBool, kInvalidTypeId}; }
+  static TypeRef Int() { return {Tag::kInt, kInvalidTypeId}; }
+  static TypeRef Float() { return {Tag::kFloat, kInvalidTypeId}; }
+  static TypeRef String() { return {Tag::kString, kInvalidTypeId}; }
+  static TypeRef Object(TypeId t) { return {Tag::kObject, t}; }
+  static TypeRef Any() { return {Tag::kAny, kInvalidTypeId}; }
+
+  bool is_object() const { return tag == Tag::kObject; }
+  bool is_atomic() const {
+    return tag == Tag::kBool || tag == Tag::kInt || tag == Tag::kFloat ||
+           tag == Tag::kString;
+  }
+  bool operator==(const TypeRef& o) const {
+    return tag == o.tag && object_type == o.object_type;
+  }
+
+  std::string ToString() const;
+};
+
+/// Structural description of an object type (GOM §2): tuple, set or list.
+enum class StructKind : uint8_t { kTuple, kSet, kList };
+
+/// One typed attribute of a tuple type.
+struct Attribute {
+  std::string name;
+  TypeRef type;
+};
+
+/// A declared object type. Instances are created through `ObjectManager`.
+///
+/// GOM enforces information hiding by object encapsulation: only operations
+/// in the public clause may be invoked by clients. For every attribute `A`
+/// the built-in operations `A` (read) and `set_A` (write) exist; whether
+/// they are public is the designer's choice. A *strictly encapsulated* type
+/// (§5.3) additionally guarantees that its subobjects are created at
+/// initialization and never leaked, so only its public operations can change
+/// state observable through it.
+class TypeDescriptor {
+ public:
+  TypeId id = kInvalidTypeId;
+  std::string name;
+  StructKind kind = StructKind::kTuple;
+
+  /// Direct supertype; kInvalidTypeId means the implicit root ANY.
+  TypeId supertype = kInvalidTypeId;
+
+  /// All attributes, inherited first, then own (tuple types only).
+  std::vector<Attribute> attributes;
+
+  /// Element type (set/list types only).
+  TypeRef element_type;
+
+  /// Names in the public clause: attribute readers ("X"), writers ("set_X")
+  /// and operation names ("volume", "scale").
+  std::unordered_set<std::string> public_clause;
+
+  /// Type-associated operations by name.
+  std::unordered_map<std::string, FunctionId> operations;
+
+  /// §5.3: strict encapsulation — state reachable through this object can
+  /// only change via its public operations.
+  bool strictly_encapsulated = false;
+
+  /// Index of attribute `name` into `attributes`, or kInvalidAttrId.
+  AttrId AttrIndex(const std::string& attr_name) const;
+
+  /// Operation id by name, or kInvalidFunctionId.
+  FunctionId OperationId(const std::string& op_name) const;
+
+  bool IsPublic(const std::string& member) const {
+    return public_clause.count(member) > 0;
+  }
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GOM_TYPE_H_

@@ -1,0 +1,243 @@
+#include "gom/value.h"
+
+#include <cstring>
+
+namespace gom {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kFloat:
+      return "float";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kRef:
+      return "ref";
+    case ValueKind::kComposite:
+      return "composite";
+  }
+  return "unknown";
+}
+
+Result<double> Value::AsDouble() const {
+  switch (kind()) {
+    case ValueKind::kInt:
+      return static_cast<double>(as_int());
+    case ValueKind::kFloat:
+      return as_float();
+    default:
+      return Status::TypeMismatch(std::string("expected numeric, got ") +
+                                  ValueKindName(kind()));
+  }
+}
+
+Result<bool> Value::AsBool() const {
+  if (kind() != ValueKind::kBool) {
+    return Status::TypeMismatch(std::string("expected bool, got ") +
+                                ValueKindName(kind()));
+  }
+  return as_bool();
+}
+
+Result<Oid> Value::AsRef() const {
+  if (kind() != ValueKind::kRef) {
+    return Status::TypeMismatch(std::string("expected ref, got ") +
+                                ValueKindName(kind()));
+  }
+  return as_ref();
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    double a = *AsDouble(), b = *other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (kind() != other.kind()) {
+    return Status::TypeMismatch(std::string("cannot compare ") +
+                                ValueKindName(kind()) + " with " +
+                                ValueKindName(other.kind()));
+  }
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+    case ValueKind::kString: {
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueKind::kRef:
+      return as_ref().raw < other.as_ref().raw
+                 ? -1
+                 : (as_ref().raw > other.as_ref().raw ? 1 : 0);
+    default:
+      return Status::TypeMismatch(std::string("kind not ordered: ") +
+                                  ValueKindName(kind()));
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(as_int());
+    case ValueKind::kFloat: {
+      std::string s = std::to_string(as_float());
+      return s;
+    }
+    case ValueKind::kString:
+      return "\"" + as_string() + "\"";
+    case ValueKind::kRef:
+      return as_ref().ToString();
+    case ValueKind::kComposite: {
+      std::string out = "[";
+      const auto& elems = elements();
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* out, const T& v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+Status ReadRaw(const uint8_t** cursor, const uint8_t* end, T* out) {
+  if (*cursor + sizeof(T) > end) {
+    return Status::OutOfRange("Value::Deserialize: truncated input");
+  }
+  std::memcpy(out, *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Value::Serialize(std::vector<uint8_t>* out) const {
+  out->push_back(static_cast<uint8_t>(kind()));
+  switch (kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      out->push_back(as_bool() ? 1 : 0);
+      break;
+    case ValueKind::kInt:
+      AppendRaw(out, as_int());
+      break;
+    case ValueKind::kFloat:
+      AppendRaw(out, as_float());
+      break;
+    case ValueKind::kString: {
+      AppendRaw(out, static_cast<uint32_t>(as_string().size()));
+      const std::string& s = as_string();
+      out->insert(out->end(), s.begin(), s.end());
+      break;
+    }
+    case ValueKind::kRef:
+      AppendRaw(out, as_ref().raw);
+      break;
+    case ValueKind::kComposite: {
+      AppendRaw(out, static_cast<uint32_t>(elements().size()));
+      for (const Value& e : elements()) e.Serialize(out);
+      break;
+    }
+  }
+}
+
+size_t Value::SerializedSize() const {
+  size_t n = 1;
+  switch (kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      n += 1;
+      break;
+    case ValueKind::kInt:
+    case ValueKind::kFloat:
+    case ValueKind::kRef:
+      n += 8;
+      break;
+    case ValueKind::kString:
+      n += 4 + as_string().size();
+      break;
+    case ValueKind::kComposite:
+      n += 4;
+      for (const Value& e : elements()) n += e.SerializedSize();
+      break;
+  }
+  return n;
+}
+
+Result<Value> Value::Deserialize(const uint8_t** cursor, const uint8_t* end) {
+  if (*cursor >= end) {
+    return Status::OutOfRange("Value::Deserialize: empty input");
+  }
+  ValueKind kind = static_cast<ValueKind>(**cursor);
+  ++*cursor;
+  switch (kind) {
+    case ValueKind::kNull:
+      return Value::Null();
+    case ValueKind::kBool: {
+      uint8_t b;
+      GOMFM_RETURN_IF_ERROR(ReadRaw(cursor, end, &b));
+      return Value::Bool(b != 0);
+    }
+    case ValueKind::kInt: {
+      int64_t i;
+      GOMFM_RETURN_IF_ERROR(ReadRaw(cursor, end, &i));
+      return Value::Int(i);
+    }
+    case ValueKind::kFloat: {
+      double d;
+      GOMFM_RETURN_IF_ERROR(ReadRaw(cursor, end, &d));
+      return Value::Float(d);
+    }
+    case ValueKind::kString: {
+      uint32_t len;
+      GOMFM_RETURN_IF_ERROR(ReadRaw(cursor, end, &len));
+      if (*cursor + len > end) {
+        return Status::OutOfRange("Value::Deserialize: truncated string");
+      }
+      std::string s(reinterpret_cast<const char*>(*cursor), len);
+      *cursor += len;
+      return Value::String(std::move(s));
+    }
+    case ValueKind::kRef: {
+      uint64_t raw;
+      GOMFM_RETURN_IF_ERROR(ReadRaw(cursor, end, &raw));
+      return Value::Ref(Oid(raw));
+    }
+    case ValueKind::kComposite: {
+      uint32_t count;
+      GOMFM_RETURN_IF_ERROR(ReadRaw(cursor, end, &count));
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        GOMFM_ASSIGN_OR_RETURN(Value v, Value::Deserialize(cursor, end));
+        elems.push_back(std::move(v));
+      }
+      return Value::Composite(std::move(elems));
+    }
+  }
+  return Status::InvalidArgument("Value::Deserialize: bad kind tag");
+}
+
+}  // namespace gom

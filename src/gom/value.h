@@ -1,0 +1,104 @@
+#ifndef GOMFM_GOM_VALUE_H_
+#define GOMFM_GOM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "gom/ids.h"
+
+namespace gom {
+
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kFloat = 3,
+  kString = 4,
+  kRef = 5,        // reference to an object (an OID)
+  kComposite = 6,  // transient structured result (e.g. one MatrixLine tuple)
+};
+
+const char* ValueKindName(ValueKind kind);
+
+/// A GOM value: the content of an attribute, a set/list element, a function
+/// argument or a function result.
+///
+/// Atomic kinds mirror the paper's `bool`, `int`, `float`/`decimal` and
+/// `string`. `kRef` is an object reference; referencing and dereferencing
+/// are implicit in GOM, so a `kRef` value is just the OID. `kComposite` is a
+/// transient ordered collection of values used for complex function results
+/// (such as the department–project `matrix` of §7.2) that are not themselves
+/// stored objects.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Data(b)); }
+  static Value Int(int64_t i) { return Value(Data(i)); }
+  static Value Float(double d) { return Value(Data(d)); }
+  static Value String(std::string s) { return Value(Data(std::move(s))); }
+  static Value Ref(Oid oid) { return Value(Data(oid)); }
+  static Value Composite(std::vector<Value> elems) {
+    return Value(Data(std::move(elems)));
+  }
+
+  ValueKind kind() const { return static_cast<ValueKind>(data_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_numeric() const {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kFloat;
+  }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (assert); use `kind()` or the checked `As*` helpers when unsure.
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_float() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  Oid as_ref() const { return std::get<Oid>(data_); }
+  const std::vector<Value>& elements() const {
+    return std::get<std::vector<Value>>(data_);
+  }
+  std::vector<Value>& mutable_elements() {
+    return std::get<std::vector<Value>>(data_);
+  }
+
+  /// Numeric coercion: int and float both convert; anything else errors.
+  Result<double> AsDouble() const;
+  Result<bool> AsBool() const;
+  Result<Oid> AsRef() const;
+
+  /// Deep structural equality (used e.g. by set `remove`).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order over same-kind values; numerics compare across int/float.
+  /// Comparing incomparable kinds errors with kTypeMismatch.
+  Result<int> Compare(const Value& other) const;
+
+  /// Debug rendering: `3.5`, `"Iron"`, `id42`, `[a, b]`, `null`.
+  std::string ToString() const;
+
+  /// Appends a platform-independent binary encoding to `out`.
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Number of bytes `Serialize` would append.
+  size_t SerializedSize() const;
+
+  /// Decodes a value starting at `*cursor`, advancing it past the encoding.
+  static Result<Value> Deserialize(const uint8_t** cursor, const uint8_t* end);
+
+ private:
+  using Data = std::variant<std::monostate, bool, int64_t, double, std::string,
+                            Oid, std::vector<Value>>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GOM_VALUE_H_

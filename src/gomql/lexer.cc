@@ -1,0 +1,225 @@
+#include "gomql/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace gom::gomql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kRange:
+      return "range";
+    case TokenKind::kRetrieve:
+      return "retrieve";
+    case TokenKind::kMaterialize:
+      return "materialize";
+    case TokenKind::kWhere:
+      return "where";
+    case TokenKind::kAnd:
+      return "and";
+    case TokenKind::kOr:
+      return "or";
+    case TokenKind::kNot:
+      return "not";
+    case TokenKind::kTrue:
+      return "true";
+    case TokenKind::kFalse:
+      return "false";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kColon:
+      return ":";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNe:
+      return "!=";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kEnd:
+      return "<end>";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdent) return "identifier '" + text + "'";
+  if (kind == TokenKind::kString) return "string \"" + text + "\"";
+  if (kind == TokenKind::kNumber) return "number " + std::to_string(number);
+  return std::string("'") + TokenKindName(kind) + "'";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"range", TokenKind::kRange},
+      {"retrieve", TokenKind::kRetrieve},
+      {"materialize", TokenKind::kMaterialize},
+      {"where", TokenKind::kWhere},
+      {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+  };
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t pos) {
+    out.push_back(Token{kind, "", 0, pos});
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      std::string word = text.substr(i, j - i);
+      std::string lower = word;
+      for (char& ch : lower) ch = std::tolower(static_cast<unsigned char>(ch));
+      auto kw = kKeywords.find(lower);
+      if (kw != kKeywords.end()) {
+        push(kw->second, start);
+      } else {
+        out.push_back(Token{TokenKind::kIdent, word, 0, start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) ||
+              text[j] == '.')) {
+        // A dot followed by a non-digit terminates the number (path access
+        // on a literal is not valid GOMql, but "8000." would be ambiguous).
+        if (text[j] == '.' &&
+            (j + 1 >= text.size() ||
+             !std::isdigit(static_cast<unsigned char>(text[j + 1])))) {
+          break;
+        }
+        ++j;
+      }
+      out.push_back(
+          Token{TokenKind::kNumber, "", std::stod(text.substr(i, j - i)),
+                start});
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < text.size() && text[j] != '"') ++j;
+      if (j >= text.size()) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(start));
+      }
+      out.push_back(
+          Token{TokenKind::kString, text.substr(i + 1, j - i - 1), 0, start});
+      i = j + 1;
+      continue;
+    }
+    auto two = [&](char next) {
+      return i + 1 < text.size() && text[i + 1] == next;
+    };
+    switch (c) {
+      case '.':
+        push(TokenKind::kDot, start);
+        break;
+      case ',':
+        push(TokenKind::kComma, start);
+        break;
+      case ':':
+        push(TokenKind::kColon, start);
+        break;
+      case '(':
+        push(TokenKind::kLParen, start);
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        break;
+      case '+':
+        push(TokenKind::kPlus, start);
+        break;
+      case '-':
+        push(TokenKind::kMinus, start);
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        break;
+      case '/':
+        push(TokenKind::kSlash, start);
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe, start);
+          ++i;
+        } else if (two('>')) {
+          push(TokenKind::kNe, start);
+          ++i;
+        } else {
+          push(TokenKind::kLt, start);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, start);
+          ++i;
+        } else {
+          push(TokenKind::kGt, start);
+        }
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe, start);
+          ++i;
+        } else {
+          return Status::InvalidArgument("stray '!' at position " +
+                                         std::to_string(start));
+        }
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at position " +
+                                       std::to_string(start));
+    }
+    ++i;
+  }
+  out.push_back(Token{TokenKind::kEnd, "", 0, text.size()});
+  return out;
+}
+
+}  // namespace gom::gomql

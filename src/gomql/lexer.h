@@ -1,0 +1,64 @@
+#ifndef GOMFM_GOMQL_LEXER_H_
+#define GOMFM_GOMQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gom::gomql {
+
+/// Token kinds of the GOMql subset used throughout the paper:
+///   range c: Cuboid retrieve c where c.volume > 20.0 and c.weight > 100.0
+///   range c: Cuboid materialize c.volume, c.weight
+///                   where c.Mat.Name = "Iron"
+enum class TokenKind : uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  // keywords (case-insensitive)
+  kRange,
+  kRetrieve,
+  kMaterialize,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  // punctuation / operators
+  kDot,
+  kComma,
+  kColon,
+  kLParen,
+  kRParen,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEnd,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier / string contents
+  double number = 0;  // kNumber
+  size_t position = 0;
+
+  std::string ToString() const;
+};
+
+/// Tokenizes `text`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace gom::gomql
+
+#endif  // GOMFM_GOMQL_LEXER_H_

@@ -1,0 +1,342 @@
+#include "gomql/parser.h"
+
+#include <map>
+
+#include "funclang/builder.h"
+#include "funclang/printer.h"
+
+namespace gom::gomql {
+
+namespace fl = funclang;
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "range ";
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ranges[i].name + ": type#" + std::to_string(ranges[i].type);
+  }
+  out += kind == Kind::kRetrieve ? " retrieve " : " materialize ";
+  switch (aggregate) {
+    case QueryAggregate::kSum:
+      out += "sum ";
+      break;
+    case QueryAggregate::kAvg:
+      out += "avg ";
+      break;
+    case QueryAggregate::kCount:
+      out += "count ";
+      break;
+    case QueryAggregate::kMin:
+      out += "min ";
+      break;
+    case QueryAggregate::kMax:
+      out += "max ";
+      break;
+    case QueryAggregate::kNone:
+      break;
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fl::ExprToString(*targets[i]);
+  }
+  if (where != nullptr) out += " where " + fl::ExprToString(*where);
+  return out;
+}
+
+Status Parser::Expect(State& s, TokenKind kind) const {
+  if (s.Accept(kind)) return Status::Ok();
+  return Status::InvalidArgument(std::string("expected ") +
+                                 TokenKindName(kind) + ", found " +
+                                 s.Peek().ToString() + " at position " +
+                                 std::to_string(s.Peek().position));
+}
+
+Result<TypeRef> Parser::TypeOfVar(const State& s,
+                                  const std::string& name) const {
+  for (const RangeVar& rv : s.ranges) {
+    if (rv.name == name) return TypeRef::Object(rv.type);
+  }
+  return Status::NotFound("unbound range variable '" + name + "'");
+}
+
+Result<ParsedQuery> Parser::Parse(const std::string& text) {
+  State s;
+  GOMFM_ASSIGN_OR_RETURN(s.tokens, Tokenize(text));
+
+  ParsedQuery query;
+  GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kRange));
+  do {
+    if (s.Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected range variable, found " +
+                                     s.Peek().ToString());
+    }
+    RangeVar rv;
+    rv.name = s.Next().text;
+    GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kColon));
+    if (s.Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected type name, found " +
+                                     s.Peek().ToString());
+    }
+    GOMFM_ASSIGN_OR_RETURN(rv.type, schema_->Find(s.Next().text));
+    s.ranges.push_back(rv);
+  } while (s.Accept(TokenKind::kComma));
+  query.ranges = s.ranges;
+
+  if (s.Accept(TokenKind::kRetrieve)) {
+    query.kind = ParsedQuery::Kind::kRetrieve;
+  } else if (s.Accept(TokenKind::kMaterialize)) {
+    query.kind = ParsedQuery::Kind::kMaterialize;
+  } else {
+    return Status::InvalidArgument(
+        "expected 'retrieve' or 'materialize', found " + s.Peek().ToString());
+  }
+
+  // One aggregate target (`retrieve sum(c.weight)`) or a plain list.
+  if (query.kind == ParsedQuery::Kind::kRetrieve &&
+      s.Peek().kind == TokenKind::kIdent &&
+      s.tokens[s.pos + 1].kind == TokenKind::kLParen) {
+    static const std::map<std::string, QueryAggregate> kAggregates = {
+        {"sum", QueryAggregate::kSum},   {"avg", QueryAggregate::kAvg},
+        {"count", QueryAggregate::kCount}, {"min", QueryAggregate::kMin},
+        {"max", QueryAggregate::kMax}};
+    auto agg = kAggregates.find(s.Peek().text);
+    if (agg != kAggregates.end()) {
+      query.aggregate = agg->second;
+      s.Next();
+      GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kLParen));
+      TypeRef type;
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr target, ParseAdditive(s, &type));
+      query.targets.push_back(std::move(target));
+      GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kRParen));
+    }
+  }
+  if (query.targets.empty()) {
+    do {
+      TypeRef type;
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr target, ParseAdditive(s, &type));
+      query.targets.push_back(std::move(target));
+    } while (s.Accept(TokenKind::kComma));
+  }
+
+  if (s.Accept(TokenKind::kWhere)) {
+    TypeRef type;
+    GOMFM_ASSIGN_OR_RETURN(query.where, ParseOr(s, &type));
+  }
+  GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kEnd));
+  return query;
+}
+
+Result<fl::ExprPtr> Parser::ParseOr(State& s, TypeRef* type) const {
+  GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr lhs, ParseAnd(s, type));
+  while (s.Accept(TokenKind::kOr)) {
+    TypeRef rhs_type;
+    GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr rhs, ParseAnd(s, &rhs_type));
+    lhs = fl::Or(std::move(lhs), std::move(rhs));
+    *type = TypeRef::Bool();
+  }
+  return lhs;
+}
+
+Result<fl::ExprPtr> Parser::ParseAnd(State& s, TypeRef* type) const {
+  GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr lhs, ParseNot(s, type));
+  while (s.Accept(TokenKind::kAnd)) {
+    TypeRef rhs_type;
+    GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr rhs, ParseNot(s, &rhs_type));
+    lhs = fl::And(std::move(lhs), std::move(rhs));
+    *type = TypeRef::Bool();
+  }
+  return lhs;
+}
+
+Result<fl::ExprPtr> Parser::ParseNot(State& s, TypeRef* type) const {
+  if (s.Accept(TokenKind::kNot)) {
+    GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr inner, ParseNot(s, type));
+    *type = TypeRef::Bool();
+    return fl::Not(std::move(inner));
+  }
+  return ParseComparison(s, type);
+}
+
+Result<fl::ExprPtr> Parser::ParseComparison(State& s, TypeRef* type) const {
+  GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr lhs, ParseAdditive(s, type));
+  fl::BinaryOp op;
+  switch (s.Peek().kind) {
+    case TokenKind::kLt:
+      op = fl::BinaryOp::kLt;
+      break;
+    case TokenKind::kLe:
+      op = fl::BinaryOp::kLe;
+      break;
+    case TokenKind::kGt:
+      op = fl::BinaryOp::kGt;
+      break;
+    case TokenKind::kGe:
+      op = fl::BinaryOp::kGe;
+      break;
+    case TokenKind::kEq:
+      op = fl::BinaryOp::kEq;
+      break;
+    case TokenKind::kNe:
+      op = fl::BinaryOp::kNe;
+      break;
+    default:
+      return lhs;  // not a comparison
+  }
+  s.Next();
+  TypeRef rhs_type;
+  GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr rhs, ParseAdditive(s, &rhs_type));
+  *type = TypeRef::Bool();
+  return fl::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<fl::ExprPtr> Parser::ParseAdditive(State& s, TypeRef* type) const {
+  GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr lhs, ParseMultiplicative(s, type));
+  while (true) {
+    if (s.Accept(TokenKind::kPlus)) {
+      TypeRef t;
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr rhs, ParseMultiplicative(s, &t));
+      lhs = fl::Add(std::move(lhs), std::move(rhs));
+      *type = TypeRef::Float();
+    } else if (s.Accept(TokenKind::kMinus)) {
+      TypeRef t;
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr rhs, ParseMultiplicative(s, &t));
+      lhs = fl::Sub(std::move(lhs), std::move(rhs));
+      *type = TypeRef::Float();
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<fl::ExprPtr> Parser::ParseMultiplicative(State& s,
+                                                TypeRef* type) const {
+  GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr lhs, ParseFactor(s, type));
+  while (true) {
+    if (s.Accept(TokenKind::kStar)) {
+      TypeRef t;
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr rhs, ParseFactor(s, &t));
+      lhs = fl::Mul(std::move(lhs), std::move(rhs));
+      *type = TypeRef::Float();
+    } else if (s.Accept(TokenKind::kSlash)) {
+      TypeRef t;
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr rhs, ParseFactor(s, &t));
+      lhs = fl::Div(std::move(lhs), std::move(rhs));
+      *type = TypeRef::Float();
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<fl::ExprPtr> Parser::ParseFactor(State& s, TypeRef* type) const {
+  const Token& token = s.Peek();
+  switch (token.kind) {
+    case TokenKind::kNumber: {
+      double v = s.Next().number;
+      *type = TypeRef::Float();
+      return fl::F(v);
+    }
+    case TokenKind::kString: {
+      std::string v = s.Next().text;
+      *type = TypeRef::String();
+      return fl::S(std::move(v));
+    }
+    case TokenKind::kTrue:
+      s.Next();
+      *type = TypeRef::Bool();
+      return fl::B(true);
+    case TokenKind::kFalse:
+      s.Next();
+      *type = TypeRef::Bool();
+      return fl::B(false);
+    case TokenKind::kMinus: {
+      s.Next();
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr inner, ParseFactor(s, type));
+      return fl::Neg(std::move(inner));
+    }
+    case TokenKind::kLParen: {
+      s.Next();
+      GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr inner, ParseOr(s, type));
+      GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kRParen));
+      return inner;
+    }
+    case TokenKind::kIdent:
+      return ParsePath(s, type);
+    default:
+      return Status::InvalidArgument("unexpected " + token.ToString() +
+                                     " in expression");
+  }
+}
+
+Result<fl::ExprPtr> Parser::ParsePath(State& s, TypeRef* type) const {
+  std::string root = s.Next().text;
+  GOMFM_ASSIGN_OR_RETURN(TypeRef current, TypeOfVar(s, root));
+  fl::ExprPtr expr = fl::Var(root);
+
+  while (s.Accept(TokenKind::kDot)) {
+    if (s.Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected attribute or operation name "
+                                     "after '.', found " +
+                                     s.Peek().ToString());
+    }
+    std::string segment = s.Next().text;
+
+    // Optional argument list — a type-associated operation invocation like
+    // v1.dist(v2).
+    std::vector<fl::ExprPtr> args;
+    bool has_args = false;
+    if (s.Accept(TokenKind::kLParen)) {
+      has_args = true;
+      if (!s.Accept(TokenKind::kRParen)) {
+        do {
+          TypeRef arg_type;
+          GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr arg, ParseAdditive(s, &arg_type));
+          args.push_back(std::move(arg));
+        } while (s.Accept(TokenKind::kComma));
+        GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kRParen));
+      }
+    }
+
+    // Schema-directed resolution: attribute first (when no argument list),
+    // then type-associated operation, then any registered function.
+    const TypeDescriptor* desc = nullptr;
+    if (current.is_object()) {
+      auto got = schema_->Get(current.object_type);
+      if (got.ok()) desc = *got;
+    }
+    if (!has_args && desc != nullptr && desc->kind == StructKind::kTuple) {
+      AttrId idx = desc->AttrIndex(segment);
+      if (idx != kInvalidAttrId) {
+        expr = fl::Attr(std::move(expr), segment);
+        current = desc->attributes[idx].type;
+        continue;
+      }
+    }
+    FunctionId fn = kInvalidFunctionId;
+    if (desc != nullptr) fn = desc->OperationId(segment);
+    if (fn == kInvalidFunctionId) {
+      auto found = registry_->FindId(segment);
+      if (found.ok()) fn = *found;
+    }
+    if (fn == kInvalidFunctionId) {
+      return Status::NotFound("'" + segment +
+                              "' is neither an attribute nor an operation" +
+                              (desc != nullptr ? " of " + desc->name : ""));
+    }
+    GOMFM_ASSIGN_OR_RETURN(const fl::FunctionDef* def, registry_->Get(fn));
+    std::vector<fl::ExprPtr> call_args;
+    call_args.push_back(std::move(expr));
+    for (fl::ExprPtr& a : args) call_args.push_back(std::move(a));
+    if (call_args.size() != def->params.size()) {
+      return Status::InvalidArgument(
+          "operation '" + segment + "' expects " +
+          std::to_string(def->params.size() - 1) + " argument(s)");
+    }
+    expr = fl::CallF(def->name, std::move(call_args));
+    current = def->result_type;
+  }
+  *type = current;
+  return expr;
+}
+
+}  // namespace gom::gomql

@@ -1,0 +1,95 @@
+#ifndef GOMFM_GOMQL_PARSER_H_
+#define GOMFM_GOMQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "funclang/ast.h"
+#include "funclang/function_registry.h"
+#include "gom/schema.h"
+#include "gomql/lexer.h"
+
+namespace gom::gomql {
+
+/// One range-clause binding: `range c: Cuboid`.
+struct RangeVar {
+  std::string name;
+  TypeId type = kInvalidTypeId;
+};
+
+/// Query-level aggregation of the retrieve targets over all qualifying
+/// bindings — e.g. the paper's forward query `retrieve sum(c.weight)`.
+enum class QueryAggregate : uint8_t { kNone, kSum, kAvg, kCount, kMin, kMax };
+
+/// A parsed GOMql statement. Targets and the where-predicate are compiled
+/// into function-language expressions over the range variables, so they
+/// plug directly into the interpreter, the path analyzer and the predicate
+/// machinery.
+struct ParsedQuery {
+  enum class Kind : uint8_t { kRetrieve, kMaterialize };
+  Kind kind = Kind::kRetrieve;
+  std::vector<RangeVar> ranges;
+  /// Retrieve targets (e.g. `c` or `c.volume`) or the functions being
+  /// materialized (each a call like `volume(c)`).
+  std::vector<funclang::ExprPtr> targets;
+  /// kNone for plain retrieves; otherwise the single target is folded over
+  /// all qualifying bindings (`retrieve sum(c.weight)`).
+  QueryAggregate aggregate = QueryAggregate::kNone;
+  /// The where-predicate, or nullptr.
+  funclang::ExprPtr where;
+
+  std::string ToString() const;
+};
+
+/// Recursive-descent parser for the GOMql subset of the paper.
+///
+/// Path resolution is schema-directed: in `c.Mat.Name` each step is looked
+/// up on the static type of the prefix — an attribute becomes an `Attr`
+/// node, a type-associated operation (or registered function) becomes a
+/// call, so `c.volume > 20.0` compiles to `(volume(c) > 20.0)` exactly as
+/// GOM's query compiler would translate it.
+class Parser {
+ public:
+  Parser(const Schema* schema, const funclang::FunctionRegistry* registry)
+      : schema_(schema), registry_(registry) {}
+
+  Result<ParsedQuery> Parse(const std::string& text);
+
+ private:
+  struct State {
+    std::vector<Token> tokens;
+    size_t pos = 0;
+    std::vector<RangeVar> ranges;
+
+    const Token& Peek() const { return tokens[pos]; }
+    Token Next() { return tokens[pos++]; }
+    bool Accept(TokenKind kind) {
+      if (tokens[pos].kind != kind) return false;
+      ++pos;
+      return true;
+    }
+  };
+
+  Status Expect(State& s, TokenKind kind) const;
+  Result<TypeRef> TypeOfVar(const State& s, const std::string& name) const;
+
+  Result<funclang::ExprPtr> ParseOr(State& s, TypeRef* type) const;
+  Result<funclang::ExprPtr> ParseAnd(State& s, TypeRef* type) const;
+  Result<funclang::ExprPtr> ParseNot(State& s, TypeRef* type) const;
+  Result<funclang::ExprPtr> ParseComparison(State& s, TypeRef* type) const;
+  Result<funclang::ExprPtr> ParseAdditive(State& s, TypeRef* type) const;
+  Result<funclang::ExprPtr> ParseMultiplicative(State& s,
+                                                TypeRef* type) const;
+  Result<funclang::ExprPtr> ParseFactor(State& s, TypeRef* type) const;
+
+  /// Parses `ident(.segment)*` resolving each segment against the static
+  /// type of the prefix.
+  Result<funclang::ExprPtr> ParsePath(State& s, TypeRef* type) const;
+
+  const Schema* schema_;
+  const funclang::FunctionRegistry* registry_;
+};
+
+}  // namespace gom::gomql
+
+#endif  // GOMFM_GOMQL_PARSER_H_

@@ -1,0 +1,299 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace gom {
+
+struct BPlusTree::Node {
+  bool leaf;
+  // Internal nodes: separators.size() + 1 == children.size(); subtree i
+  // holds entries e with separators[i-1] <= e < separators[i].
+  std::vector<Entry> separators;
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaves: sorted entries and a forward chain.
+  std::vector<Entry> entries;
+  Node* next = nullptr;
+
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>(true)) {}
+BPlusTree::~BPlusTree() = default;
+
+namespace {
+constexpr size_t kMinFill = BPlusTree::kOrder / 2;
+}
+
+Status BPlusTree::Insert(double key, uint64_t value) {
+  Entry e{key, value};
+  std::unique_ptr<SplitResult> split;
+  GOMFM_RETURN_IF_ERROR(InsertInto(root_.get(), e, &split));
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Node>(false);
+    new_root->separators.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return Status::Ok();
+}
+
+Status BPlusTree::InsertInto(Node* node, const Entry& e,
+                             std::unique_ptr<SplitResult>* split) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->entries.begin(), node->entries.end(), e);
+    if (it != node->entries.end() && *it == e) {
+      return Status::AlreadyExists("BPlusTree: duplicate (key, value)");
+    }
+    node->entries.insert(it, e);
+    if (node->entries.size() > kOrder) {
+      size_t mid = node->entries.size() / 2;
+      auto right = std::make_unique<Node>(true);
+      right->entries.assign(node->entries.begin() + mid, node->entries.end());
+      node->entries.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      *split = std::make_unique<SplitResult>(
+          SplitResult{right->entries.front(), std::move(right)});
+    }
+    return Status::Ok();
+  }
+
+  size_t idx = std::upper_bound(node->separators.begin(),
+                                node->separators.end(), e) -
+               node->separators.begin();
+  std::unique_ptr<SplitResult> child_split;
+  GOMFM_RETURN_IF_ERROR(
+      InsertInto(node->children[idx].get(), e, &child_split));
+  if (child_split != nullptr) {
+    node->separators.insert(node->separators.begin() + idx,
+                            child_split->separator);
+    node->children.insert(node->children.begin() + idx + 1,
+                          std::move(child_split->right));
+    if (node->children.size() > kOrder) {
+      size_t mid = node->children.size() / 2;
+      auto right = std::make_unique<Node>(false);
+      // Separator promoted to the parent.
+      Entry promoted = node->separators[mid - 1];
+      right->separators.assign(node->separators.begin() + mid,
+                               node->separators.end());
+      right->children.resize(node->children.size() - mid);
+      std::move(node->children.begin() + mid, node->children.end(),
+                right->children.begin());
+      node->separators.resize(mid - 1);
+      node->children.resize(mid);
+      *split = std::make_unique<SplitResult>(
+          SplitResult{promoted, std::move(right)});
+    }
+  }
+  return Status::Ok();
+}
+
+Status BPlusTree::Erase(double key, uint64_t value) {
+  Entry e{key, value};
+  GOMFM_RETURN_IF_ERROR(EraseFrom(root_.get(), e));
+  --size_;
+  // Shrink the root when it has a single child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+  }
+  return Status::Ok();
+}
+
+Status BPlusTree::EraseFrom(Node* node, const Entry& e) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->entries.begin(), node->entries.end(), e);
+    if (it == node->entries.end() || !(*it == e)) {
+      return Status::NotFound("BPlusTree: (key, value) not found");
+    }
+    node->entries.erase(it);
+    return Status::Ok();
+  }
+  size_t idx = std::upper_bound(node->separators.begin(),
+                                node->separators.end(), e) -
+               node->separators.begin();
+  GOMFM_RETURN_IF_ERROR(EraseFrom(node->children[idx].get(), e));
+  RebalanceChild(node, idx);
+  return Status::Ok();
+}
+
+void BPlusTree::RebalanceChild(Node* parent, size_t idx) {
+  Node* child = parent->children[idx].get();
+  size_t fill = child->leaf ? child->entries.size() : child->children.size();
+  if (fill >= kMinFill) return;
+
+  auto fill_of = [](Node* n) {
+    return n->leaf ? n->entries.size() : n->children.size();
+  };
+
+  // Try borrowing from the left sibling.
+  if (idx > 0) {
+    Node* left = parent->children[idx - 1].get();
+    if (fill_of(left) > kMinFill) {
+      if (child->leaf) {
+        child->entries.insert(child->entries.begin(), left->entries.back());
+        left->entries.pop_back();
+        parent->separators[idx - 1] = child->entries.front();
+      } else {
+        child->children.insert(child->children.begin(),
+                               std::move(left->children.back()));
+        left->children.pop_back();
+        child->separators.insert(child->separators.begin(),
+                                 parent->separators[idx - 1]);
+        parent->separators[idx - 1] = left->separators.back();
+        left->separators.pop_back();
+      }
+      return;
+    }
+  }
+  // Try borrowing from the right sibling.
+  if (idx + 1 < parent->children.size()) {
+    Node* right = parent->children[idx + 1].get();
+    if (fill_of(right) > kMinFill) {
+      if (child->leaf) {
+        child->entries.push_back(right->entries.front());
+        right->entries.erase(right->entries.begin());
+        parent->separators[idx] = right->entries.front();
+      } else {
+        child->children.push_back(std::move(right->children.front()));
+        right->children.erase(right->children.begin());
+        child->separators.push_back(parent->separators[idx]);
+        parent->separators[idx] = right->separators.front();
+        right->separators.erase(right->separators.begin());
+      }
+      return;
+    }
+  }
+  // Merge with a sibling (prefer left).
+  size_t left_idx = idx > 0 ? idx - 1 : idx;
+  Node* left = parent->children[left_idx].get();
+  Node* right = parent->children[left_idx + 1].get();
+  if (left->leaf) {
+    left->entries.insert(left->entries.end(), right->entries.begin(),
+                         right->entries.end());
+    left->next = right->next;
+  } else {
+    left->separators.push_back(parent->separators[left_idx]);
+    left->separators.insert(left->separators.end(),
+                            right->separators.begin(),
+                            right->separators.end());
+    for (auto& c : right->children) left->children.push_back(std::move(c));
+  }
+  parent->separators.erase(parent->separators.begin() + left_idx);
+  parent->children.erase(parent->children.begin() + left_idx + 1);
+}
+
+bool BPlusTree::Contains(double key, uint64_t value) const {
+  bool found = false;
+  RangeScan(key, key, true, true, [&](double, uint64_t v) {
+    if (v == value) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+const BPlusTree::Node* BPlusTree::LeftmostLeafAtOrAbove(
+    const Entry& bound) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx = std::upper_bound(node->separators.begin(),
+                                  node->separators.end(), bound) -
+                 node->separators.begin();
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+void BPlusTree::RangeScan(
+    double lo, double hi, bool lo_inclusive, bool hi_inclusive,
+    const std::function<bool(double, uint64_t)>& cb) const {
+  Entry lo_bound{lo, lo_inclusive ? 0 : std::numeric_limits<uint64_t>::max()};
+  const Node* leaf = LeftmostLeafAtOrAbove(lo_bound);
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (const Entry& e : leaf->entries) {
+      if (e.key < lo || (!lo_inclusive && e.key == lo)) continue;
+      if (e.key > hi || (!hi_inclusive && e.key == hi)) return;
+      if (!cb(e.key, e.value)) return;
+    }
+  }
+}
+
+bool BPlusTree::MinKey(double* out) const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  if (node->entries.empty()) return false;
+  *out = node->entries.front().key;
+  return true;
+}
+
+bool BPlusTree::MaxKey(double* out) const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.back().get();
+  if (node->entries.empty()) return false;
+  *out = node->entries.back().key;
+  return true;
+}
+
+size_t BPlusTree::height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+size_t BPlusTree::LeafDepth() const { return height(); }
+
+Status BPlusTree::CheckNode(const Node* node, size_t depth, size_t leaf_depth,
+                            const Entry* lower, const Entry* upper) const {
+  auto in_bounds = [&](const Entry& e) {
+    if (lower != nullptr && e < *lower) return false;
+    if (upper != nullptr && !(e < *upper)) return false;
+    return true;
+  };
+  if (node->leaf) {
+    if (depth != leaf_depth) {
+      return Status::Internal("leaf at wrong depth");
+    }
+    if (!std::is_sorted(node->entries.begin(), node->entries.end())) {
+      return Status::Internal("leaf entries unsorted");
+    }
+    if (node != root_.get() && node->entries.size() < kMinFill / 2) {
+      // After merges the strict B+-tree bound is kMinFill; allow slack of
+      // one rebalancing round but catch pathological underflow.
+      return Status::Internal("leaf underflow");
+    }
+    for (const Entry& e : node->entries) {
+      if (!in_bounds(e)) return Status::Internal("leaf entry out of bounds");
+    }
+    return Status::Ok();
+  }
+  if (node->children.size() != node->separators.size() + 1) {
+    return Status::Internal("internal fanout mismatch");
+  }
+  if (!std::is_sorted(node->separators.begin(), node->separators.end())) {
+    return Status::Internal("separators unsorted");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Entry* lo = i == 0 ? lower : &node->separators[i - 1];
+    const Entry* hi = i == node->separators.size() ? upper
+                                                   : &node->separators[i];
+    GOMFM_RETURN_IF_ERROR(
+        CheckNode(node->children[i].get(), depth + 1, leaf_depth, lo, hi));
+  }
+  return Status::Ok();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  return CheckNode(root_.get(), 1, LeafDepth(), nullptr, nullptr);
+}
+
+}  // namespace gom

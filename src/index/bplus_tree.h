@@ -1,0 +1,93 @@
+#ifndef GOMFM_INDEX_BPLUS_TREE_H_
+#define GOMFM_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gom {
+
+/// In-memory B+-tree keyed on (double, uint64) composites: an ordered index
+/// over numeric function results, mapping each result to the GMR row(s)
+/// holding it. This is the access path for *backward range queries*
+/// (§3.2/§3.3): `retrieve c where lo < c.volume < hi` becomes one range
+/// scan over the `volume` column index.
+///
+/// Duplicate result values are supported (the composite key disambiguates by
+/// row id). Deletion rebalances by borrowing from or merging with siblings.
+class BPlusTree {
+ public:
+  /// Maximum entries per leaf / children per internal node.
+  static constexpr size_t kOrder = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts (key, value); kAlreadyExists for an exact duplicate pair.
+  Status Insert(double key, uint64_t value);
+
+  /// Removes (key, value); kNotFound if absent.
+  Status Erase(double key, uint64_t value);
+
+  bool Contains(double key, uint64_t value) const;
+
+  /// Calls `cb(key, value)` for entries with lo ⋞ key ⋞ hi in ascending
+  /// order; the scan stops early when `cb` returns false.
+  void RangeScan(double lo, double hi, bool lo_inclusive, bool hi_inclusive,
+                 const std::function<bool(double, uint64_t)>& cb) const;
+
+  size_t size() const { return size_; }
+  size_t height() const;
+
+  /// Smallest / largest key in the tree; false when empty. Used by the
+  /// query planner's selectivity estimation.
+  bool MinKey(double* out) const;
+  bool MaxKey(double* out) const;
+
+  /// Structural validation used by property tests: ordering, fanout bounds,
+  /// uniform leaf depth, leaf chaining.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    double key;
+    uint64_t value;
+    bool operator<(const Entry& o) const {
+      return key != o.key ? key < o.key : value < o.value;
+    }
+    bool operator==(const Entry& o) const {
+      return key == o.key && value == o.value;
+    }
+  };
+
+  struct SplitResult {
+    Entry separator;             // smallest entry of the new right node
+    std::unique_ptr<Node> right;
+  };
+
+  /// Inserts into the subtree; fills `*split` when the node had to split.
+  Status InsertInto(Node* node, const Entry& e,
+                    std::unique_ptr<SplitResult>* split);
+
+  Status EraseFrom(Node* node, const Entry& e);
+  void RebalanceChild(Node* parent, size_t child_idx);
+
+  const Node* LeftmostLeafAtOrAbove(const Entry& bound) const;
+
+  Status CheckNode(const Node* node, size_t depth, size_t leaf_depth,
+                   const Entry* lower, const Entry* upper) const;
+  size_t LeafDepth() const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,268 @@
+#include "index/grid_file.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace gom {
+
+GridFile::GridFile(size_t dims, size_t bucket_capacity)
+    : dims_(dims), bucket_capacity_(bucket_capacity), scales_(dims) {
+  assert(dims_ >= 1);
+  buckets_.push_back(std::make_unique<Bucket>());
+  dir_ = {0};  // a single cell covering all of space
+}
+
+size_t GridFile::CellOf(size_t dim, double coord) const {
+  const std::vector<double>& scale = scales_[dim];
+  return std::upper_bound(scale.begin(), scale.end(), coord) - scale.begin();
+}
+
+std::vector<size_t> GridFile::CellsPerDim() const {
+  std::vector<size_t> counts(dims_);
+  for (size_t d = 0; d < dims_; ++d) counts[d] = scales_[d].size() + 1;
+  return counts;
+}
+
+size_t GridFile::DirIndex(const std::vector<size_t>& cell) const {
+  size_t idx = 0;
+  for (size_t d = 0; d < dims_; ++d) {
+    idx = idx * (scales_[d].size() + 1) + cell[d];
+  }
+  return idx;
+}
+
+uint32_t GridFile::BucketFor(const std::vector<double>& point) const {
+  std::vector<size_t> cell(dims_);
+  for (size_t d = 0; d < dims_; ++d) cell[d] = CellOf(d, point[d]);
+  return dir_[DirIndex(cell)];
+}
+
+Status GridFile::Insert(const std::vector<double>& point, uint64_t value) {
+  if (point.size() != dims_) {
+    return Status::InvalidArgument("GridFile::Insert: wrong dimensionality");
+  }
+  uint32_t b = BucketFor(point);
+  for (const auto& [p, v] : buckets_[b]->entries) {
+    if (v == value && p == point) {
+      return Status::AlreadyExists("GridFile: duplicate (point, value)");
+    }
+  }
+  buckets_[b]->entries.emplace_back(point, value);
+  ++size_;
+  // Split while over capacity and separable; entries that are identical in
+  // every dimension stay in an overflowing bucket. A split that fails to
+  // shrink the bucket (possible when the bucket is shared across slices)
+  // stops the loop — the bucket is left overflowing.
+  while (buckets_[b]->entries.size() > bucket_capacity_) {
+    size_t before = buckets_[b]->entries.size();
+    if (!SplitBucket(b)) break;
+    b = BucketFor(point);
+    if (buckets_[b]->entries.size() >= before) break;
+  }
+  return Status::Ok();
+}
+
+bool GridFile::SplitBucket(uint32_t bucket) {
+  Bucket& old_bucket = *buckets_[bucket];
+  // Pick a dimension (round-robin) with at least two distinct coordinates.
+  size_t chosen = dims_;
+  double boundary = 0;
+  for (size_t attempt = 0; attempt < dims_; ++attempt) {
+    size_t d = (split_cursor_ + attempt) % dims_;
+    std::vector<double> coords;
+    coords.reserve(old_bucket.entries.size());
+    for (const auto& [p, v] : old_bucket.entries) coords.push_back(p[d]);
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+    if (coords.size() < 2) continue;
+    // Boundary near the median of the distinct values; cells hold coords
+    // <= boundary on the lower side (upper_bound semantics). Skip values
+    // already present in the scale (they would create an empty slice).
+    size_t mid = coords.size() / 2;
+    bool found = false;
+    for (size_t off = 0; off < coords.size() - 1 && !found; ++off) {
+      for (int sign : {-1, 1}) {
+        size_t i = sign < 0 ? (mid >= 1 + off ? mid - 1 - off : coords.size())
+                            : mid + off;
+        if (i >= coords.size() - 1 && sign > 0) continue;
+        if (i >= coords.size()) continue;
+        double candidate = coords[i];
+        if (!std::binary_search(scales_[d].begin(), scales_[d].end(),
+                                candidate)) {
+          boundary = candidate;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) continue;
+    chosen = d;
+    break;
+  }
+  if (chosen == dims_) return false;
+  split_cursor_ = (chosen + 1) % dims_;
+
+  SplitScale(chosen, boundary);
+
+  // Allocate the twin bucket and repoint the upper-side cells that mapped
+  // to the overflowing bucket.
+  uint32_t twin = static_cast<uint32_t>(buckets_.size());
+  buckets_.push_back(std::make_unique<Bucket>());
+  size_t pos = std::lower_bound(scales_[chosen].begin(),
+                                scales_[chosen].end(), boundary) -
+               scales_[chosen].begin();
+  // Iterate all cells; repoint cells in slice pos+1 of dim `chosen`.
+  std::vector<size_t> counts = CellsPerDim();
+  std::vector<size_t> cell(dims_, 0);
+  bool done = false;
+  while (!done) {
+    if (cell[chosen] == pos + 1) {
+      size_t idx = DirIndex(cell);
+      if (dir_[idx] == bucket) dir_[idx] = twin;
+    }
+    // Advance the mixed-radix counter.
+    size_t d = dims_;
+    while (d > 0) {
+      --d;
+      if (++cell[d] < counts[d]) break;
+      cell[d] = 0;
+      if (d == 0) done = true;
+    }
+  }
+
+  // Redistribute the old bucket's entries by recomputed cell.
+  std::vector<std::pair<std::vector<double>, uint64_t>> entries;
+  entries.swap(buckets_[bucket]->entries);
+  for (auto& entry : entries) {
+    buckets_[BucketFor(entry.first)]->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+void GridFile::SplitScale(size_t dim, double boundary) {
+  std::vector<size_t> old_counts = CellsPerDim();
+  size_t pos = std::lower_bound(scales_[dim].begin(), scales_[dim].end(),
+                                boundary) -
+               scales_[dim].begin();
+  scales_[dim].insert(scales_[dim].begin() + pos, boundary);
+
+  // Rebuild the directory, duplicating slice `pos` of dimension `dim`.
+  std::vector<size_t> new_counts = CellsPerDim();
+  size_t new_size = 1;
+  for (size_t c : new_counts) new_size *= c;
+  std::vector<uint32_t> new_dir(new_size);
+
+  std::vector<size_t> cell(dims_, 0);
+  bool done = false;
+  while (!done) {
+    // Map the new cell back to its source cell in the old directory.
+    size_t old_idx = 0;
+    for (size_t d = 0; d < dims_; ++d) {
+      size_t coord = cell[d];
+      if (d == dim && coord > pos) --coord;  // slices pos and pos+1 copy pos
+      old_idx = old_idx * old_counts[d] + coord;
+    }
+    size_t new_idx = 0;
+    for (size_t d = 0; d < dims_; ++d) {
+      new_idx = new_idx * new_counts[d] + cell[d];
+    }
+    new_dir[new_idx] = dir_[old_idx];
+    size_t d = dims_;
+    while (d > 0) {
+      --d;
+      if (++cell[d] < new_counts[d]) break;
+      cell[d] = 0;
+      if (d == 0) done = true;
+    }
+  }
+  dir_ = std::move(new_dir);
+}
+
+Status GridFile::Erase(const std::vector<double>& point, uint64_t value) {
+  if (point.size() != dims_) {
+    return Status::InvalidArgument("GridFile::Erase: wrong dimensionality");
+  }
+  Bucket& bucket = *buckets_[BucketFor(point)];
+  for (auto it = bucket.entries.begin(); it != bucket.entries.end(); ++it) {
+    if (it->second == value && it->first == point) {
+      bucket.entries.erase(it);
+      --size_;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("GridFile: (point, value) not found");
+}
+
+void GridFile::RangeQuery(
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const std::function<bool(const std::vector<double>&, uint64_t)>& cb)
+    const {
+  assert(lo.size() == dims_ && hi.size() == dims_);
+  // Cell ranges intersecting the box in each dimension.
+  std::vector<size_t> first(dims_), last(dims_);
+  for (size_t d = 0; d < dims_; ++d) {
+    if (lo[d] > hi[d]) return;  // empty box
+    first[d] = CellOf(d, lo[d]);
+    last[d] = CellOf(d, hi[d]);
+  }
+  std::set<uint32_t> visited;
+  std::vector<size_t> cell = first;
+  bool done = false;
+  while (!done) {
+    uint32_t b = dir_[DirIndex(cell)];
+    if (visited.insert(b).second) {
+      for (const auto& [p, v] : buckets_[b]->entries) {
+        bool inside = true;
+        for (size_t d = 0; d < dims_; ++d) {
+          if (p[d] < lo[d] || p[d] > hi[d]) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside && !cb(p, v)) return;
+      }
+    }
+    size_t d = dims_;
+    while (d > 0) {
+      --d;
+      if (++cell[d] <= last[d]) break;
+      cell[d] = first[d];
+      if (d == 0) done = true;
+    }
+  }
+}
+
+Status GridFile::CheckInvariants() const {
+  size_t expect = 1;
+  for (size_t d = 0; d < dims_; ++d) {
+    if (!std::is_sorted(scales_[d].begin(), scales_[d].end())) {
+      return Status::Internal("GridFile: scale unsorted");
+    }
+    expect *= scales_[d].size() + 1;
+  }
+  if (dir_.size() != expect) {
+    return Status::Internal("GridFile: directory size mismatch");
+  }
+  for (uint32_t b : dir_) {
+    if (b >= buckets_.size()) {
+      return Status::Internal("GridFile: dangling bucket reference");
+    }
+  }
+  size_t counted = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (const auto& [p, v] : buckets_[b]->entries) {
+      (void)v;
+      if (BucketFor(p) != b) {
+        return Status::Internal("GridFile: entry not reachable via its cell");
+      }
+      ++counted;
+    }
+  }
+  if (counted != size_) {
+    return Status::Internal("GridFile: size counter mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom

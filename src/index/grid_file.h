@@ -1,0 +1,89 @@
+#ifndef GOMFM_INDEX_GRID_FILE_H_
+#define GOMFM_INDEX_GRID_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gom {
+
+/// A multi-dimensional grid file (Nievergelt/Hinterberger/Sevcik), the MDS
+/// storage structure §3.3 proposes for GMRs of low arity: the first n + m
+/// GMR columns form an (n+m)-dimensional key, so any combination of
+/// argument and result restrictions becomes one box query.
+///
+/// Structure: one *linear scale* (sorted interior boundaries) per dimension
+/// and a directory mapping each grid cell to a data bucket; several cells
+/// may share a bucket (the classic "twin slice" sharing). When a bucket
+/// overflows, a boundary is inserted into one scale, the directory slice is
+/// duplicated, and only the overflowing bucket's entries are redistributed.
+/// Buckets whose points are identical in every dimension are allowed to
+/// overflow (no boundary can separate them).
+///
+/// As §3.3 notes, grid files degrade beyond three or four dimensions — the
+/// directory grows multiplicatively — so the GMR manager only selects this
+/// structure for low-arity GMRs (see the index ablation benchmark).
+class GridFile {
+ public:
+  explicit GridFile(size_t dims, size_t bucket_capacity = 16);
+
+  GridFile(const GridFile&) = delete;
+  GridFile& operator=(const GridFile&) = delete;
+
+  /// Inserts a point → value entry. Duplicate (point, value) pairs are
+  /// rejected with kAlreadyExists.
+  Status Insert(const std::vector<double>& point, uint64_t value);
+
+  /// Removes (point, value); kNotFound if absent.
+  Status Erase(const std::vector<double>& point, uint64_t value);
+
+  /// Calls `cb(point, value)` for every entry inside the closed box
+  /// [lo, hi]; stops early when `cb` returns false.
+  void RangeQuery(const std::vector<double>& lo, const std::vector<double>& hi,
+                  const std::function<bool(const std::vector<double>&,
+                                           uint64_t)>& cb) const;
+
+  size_t size() const { return size_; }
+  size_t dims() const { return dims_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  size_t directory_cells() const { return dir_.size(); }
+
+  /// Validation for property tests: directory shape, every entry reachable
+  /// through its own cell.
+  Status CheckInvariants() const;
+
+ private:
+  struct Bucket {
+    std::vector<std::pair<std::vector<double>, uint64_t>> entries;
+  };
+
+  /// Per-dimension cell index of a coordinate (upper_bound over the scale).
+  size_t CellOf(size_t dim, double coord) const;
+  /// Flat directory index of a cell coordinate vector.
+  size_t DirIndex(const std::vector<size_t>& cell) const;
+  std::vector<size_t> CellsPerDim() const;
+
+  uint32_t BucketFor(const std::vector<double>& point) const;
+
+  /// Splits `bucket` by inserting a boundary into some scale; returns false
+  /// when no dimension can separate the entries.
+  bool SplitBucket(uint32_t bucket);
+
+  /// Inserts `boundary` into scale `dim`, duplicating the directory slice.
+  void SplitScale(size_t dim, double boundary);
+
+  size_t dims_;
+  size_t bucket_capacity_;
+  std::vector<std::vector<double>> scales_;
+  std::vector<uint32_t> dir_;  // flat row-major over cells, values = bucket id
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+  size_t size_ = 0;
+  size_t split_cursor_ = 0;  // round-robin dimension chooser
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_INDEX_GRID_FILE_H_

@@ -1,0 +1,64 @@
+#include "index/hash_index.h"
+
+namespace gom {
+
+namespace {
+
+void HashCombine(size_t* seed, size_t h) {
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+size_t HashValue(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return 0x5bd1e995;
+    case ValueKind::kBool:
+      return std::hash<bool>()(v.as_bool());
+    case ValueKind::kInt:
+      return std::hash<int64_t>()(v.as_int());
+    case ValueKind::kFloat:
+      return std::hash<double>()(v.as_float());
+    case ValueKind::kString:
+      return std::hash<std::string>()(v.as_string());
+    case ValueKind::kRef:
+      return std::hash<uint64_t>()(v.as_ref().raw);
+    case ValueKind::kComposite: {
+      size_t seed = 0xc2b2ae35;
+      for (const Value& e : v.elements()) HashCombine(&seed, HashValue(e));
+      return seed;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+size_t ValueVectorHash::operator()(const std::vector<Value>& key) const {
+  size_t seed = key.size();
+  for (const Value& v : key) HashCombine(&seed, HashValue(v));
+  return seed;
+}
+
+Status HashIndex::Insert(const std::vector<Value>& key, uint64_t row) {
+  auto [it, inserted] = map_.emplace(key, row);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("HashIndex: duplicate key");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> HashIndex::Lookup(const std::vector<Value>& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("HashIndex: key not found");
+  return it->second;
+}
+
+Status HashIndex::Erase(const std::vector<Value>& key) {
+  if (map_.erase(key) == 0) {
+    return Status::NotFound("HashIndex: key not found");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom

@@ -1,0 +1,51 @@
+#ifndef GOMFM_INDEX_HASH_INDEX_H_
+#define GOMFM_INDEX_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gom/value.h"
+
+namespace gom {
+
+/// Hashes a composite key of Values (structural, consistent with Value
+/// equality for the kinds used as GMR arguments).
+struct ValueVectorHash {
+  size_t operator()(const std::vector<Value>& key) const;
+};
+
+struct ValueVectorEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    return a == b;
+  }
+};
+
+/// Exact-match index from an argument combination [o1, …, on] to a GMR row,
+/// supporting the forward queries of §3.2 (all arguments specified).
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  /// Maps `key` to `row`; kAlreadyExists if the key is present.
+  Status Insert(const std::vector<Value>& key, uint64_t row);
+
+  /// Returns the row for `key`, or kNotFound.
+  Result<uint64_t> Lookup(const std::vector<Value>& key) const;
+
+  /// Removes `key`; kNotFound if absent.
+  Status Erase(const std::vector<Value>& key);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::vector<Value>, uint64_t, ValueVectorHash,
+                     ValueVectorEq>
+      map_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_INDEX_HASH_INDEX_H_

@@ -1,0 +1,176 @@
+#include "query/applicability.h"
+
+#include "funclang/printer.h"
+
+namespace gom::query {
+
+double StringInterner::CodeFor(const std::string& s) {
+  auto [it, inserted] = codes_.emplace(s, static_cast<double>(codes_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+namespace {
+
+using funclang::BinaryOp;
+using funclang::Expr;
+using funclang::ExprKind;
+
+/// A term plus a numeric offset: `path`, `const` or `path + c`.
+struct ParsedTerm {
+  Term term;
+  double offset = 0;
+  bool is_string = false;
+};
+
+bool IsPathShaped(const Expr& e) {
+  if (e.kind == ExprKind::kVar) return true;
+  if (e.kind == ExprKind::kAttr) return IsPathShaped(*e.children[0]);
+  return false;
+}
+
+Result<ParsedTerm> ParseTerm(const Expr& e, StringInterner* interner) {
+  if (IsPathShaped(e)) {
+    return ParsedTerm{Term::Var(funclang::ExprToString(e)), 0, false};
+  }
+  if (e.kind == ExprKind::kCall) {
+    // A (materialized) function invocation such as `volume(c)` is an
+    // uninterpreted value — §6's backward queries compare exactly these
+    // against constants. Its printed form is the variable name.
+    return ParsedTerm{Term::Var(funclang::ExprToString(e)), 0, false};
+  }
+  if (e.kind == ExprKind::kConst) {
+    switch (e.literal.kind()) {
+      case ValueKind::kInt:
+      case ValueKind::kFloat:
+        return ParsedTerm{Term::Const(*e.literal.AsDouble()), 0, false};
+      case ValueKind::kString:
+        return ParsedTerm{Term::Const(interner->CodeFor(e.literal.as_string())),
+                          0, true};
+      default:
+        return Status::FailedPrecondition(
+            "predicate constant outside the comparison class");
+    }
+  }
+  if (e.kind == ExprKind::kBinary &&
+      (e.binary_op == BinaryOp::kAdd || e.binary_op == BinaryOp::kSub)) {
+    const Expr& lhs = *e.children[0];
+    const Expr& rhs = *e.children[1];
+    if (IsPathShaped(lhs) && rhs.kind == ExprKind::kConst &&
+        rhs.literal.is_numeric()) {
+      double c = *rhs.literal.AsDouble();
+      return ParsedTerm{Term::Var(funclang::ExprToString(lhs)),
+                        e.binary_op == BinaryOp::kAdd ? c : -c, false};
+    }
+  }
+  return Status::FailedPrecondition(
+      "predicate term outside the x / c / x+c class: " +
+      funclang::ExprToString(e));
+}
+
+Result<BoolExprPtr> Convert(const Expr& e, StringInterner* interner) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (e.binary_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          GOMFM_ASSIGN_OR_RETURN(BoolExprPtr a,
+                                 Convert(*e.children[0], interner));
+          GOMFM_ASSIGN_OR_RETURN(BoolExprPtr b,
+                                 Convert(*e.children[1], interner));
+          return e.binary_op == BinaryOp::kAnd ? AndOf({a, b}) : OrOf({a, b});
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          GOMFM_ASSIGN_OR_RETURN(ParsedTerm lhs,
+                                 ParseTerm(*e.children[0], interner));
+          GOMFM_ASSIGN_OR_RETURN(ParsedTerm rhs,
+                                 ParseTerm(*e.children[1], interner));
+          bool any_string = lhs.is_string || rhs.is_string;
+          if (any_string && e.binary_op != BinaryOp::kEq &&
+              e.binary_op != BinaryOp::kNe) {
+            return Status::FailedPrecondition(
+                "ordering comparison on string constants");
+          }
+          Comparison c;
+          c.lhs = lhs.term;
+          c.rhs = rhs.term;
+          // Fold term offsets: (x + a) θ (y + b) ≡ x θ y + (b − a).
+          c.offset = rhs.offset - lhs.offset;
+          switch (e.binary_op) {
+            case BinaryOp::kEq:
+              c.op = CompOp::kEq;
+              break;
+            case BinaryOp::kNe:
+              c.op = CompOp::kNe;
+              break;
+            case BinaryOp::kLt:
+              c.op = CompOp::kLt;
+              break;
+            case BinaryOp::kLe:
+              c.op = CompOp::kLe;
+              break;
+            case BinaryOp::kGt:
+              c.op = CompOp::kGt;
+              break;
+            default:
+              c.op = CompOp::kGe;
+          }
+          if (c.lhs.is_const) {
+            // Fold any lhs offset into the constant.
+            c.lhs.constant -= 0;  // offsets only attach to paths
+          }
+          return Leaf(std::move(c));
+        }
+        default:
+          return Status::FailedPrecondition(
+              "arithmetic outside the x θ y + c comparison class");
+      }
+    case ExprKind::kUnary:
+      if (e.unary_op == funclang::UnaryOp::kNot) {
+        GOMFM_ASSIGN_OR_RETURN(BoolExprPtr inner,
+                               Convert(*e.children[0], interner));
+        return NotOf(inner);
+      }
+      return Status::FailedPrecondition("unary operator in predicate");
+    case ExprKind::kConst:
+      if (e.literal.kind() == ValueKind::kBool) {
+        // true ≡ 0 = 0, false ≡ 0 ≠ 0 (degenerate constant comparisons).
+        Comparison c;
+        c.lhs = Term::Const(0);
+        c.rhs = Term::Const(0);
+        c.op = e.literal.as_bool() ? CompOp::kEq : CompOp::kNe;
+        return Leaf(std::move(c));
+      }
+      return Status::FailedPrecondition("non-boolean constant predicate");
+    default:
+      return Status::FailedPrecondition(
+          "expression outside the predicate class: " +
+          funclang::ExprToString(e));
+  }
+}
+
+}  // namespace
+
+Result<BoolExprPtr> FromFunclang(const funclang::Expr& e,
+                                 StringInterner* interner) {
+  return Convert(e, interner);
+}
+
+Result<bool> RestrictedGmrApplicable(const BoolExprPtr& p,
+                                     const BoolExprPtr& sigma_relevant) {
+  // (1) ¬p must lie in the polynomial class.
+  if (ContainsVarVarNe(NotOf(p))) return false;
+  // (2) σ′ must lie in the class.
+  if (ContainsVarVarNe(sigma_relevant)) return false;
+  // (3) σ′ ⇒ p, i.e. ¬p ∧ σ′ unsatisfiable.
+  GOMFM_ASSIGN_OR_RETURN(bool sat, Satisfiable(AndOf({NotOf(p),
+                                                      sigma_relevant})));
+  return !sat;
+}
+
+}  // namespace gom::query

@@ -1,0 +1,43 @@
+#ifndef GOMFM_QUERY_APPLICABILITY_H_
+#define GOMFM_QUERY_APPLICABILITY_H_
+
+#include <map>
+#include <string>
+
+#include "funclang/ast.h"
+#include "query/satisfiability.h"
+
+namespace gom::query {
+
+/// Maps string constants to distinct numeric codes so equality comparisons
+/// over strings (e.g. `self.Mat.Name = "Iron"`) participate in the
+/// numeric satisfiability machinery. Only = and ≠ are meaningful on coded
+/// strings; ordering comparisons are rejected by the converter.
+class StringInterner {
+ public:
+  double CodeFor(const std::string& s);
+
+ private:
+  std::map<std::string, double> codes_;
+};
+
+/// Converts a boolean function-language expression (the body shape used by
+/// restriction predicates and selection conditions) into the comparison
+/// predicate language: comparisons between attribute paths, numeric or
+/// string constants, and paths with numeric offsets (`x θ y + c`).
+/// kFailedPrecondition when the expression falls outside this class.
+Result<BoolExprPtr> FromFunclang(const funclang::Expr& e,
+                                 StringInterner* interner);
+
+/// §6's applicability test: a p-restricted GMR may answer a backward query
+/// whose relevant selection part is σ′ iff
+///   (1) ¬p lies in the polynomial class (no ≠ between variables),
+///   (2) σ′ lies in the class (no ≠ between variables), and
+///   (3) ¬p ∧ σ′ is unsatisfiable (σ′ ⇒ p valid).
+/// Violations of (1)/(2) yield `false` (conservatively inapplicable).
+Result<bool> RestrictedGmrApplicable(const BoolExprPtr& p,
+                                     const BoolExprPtr& sigma_relevant);
+
+}  // namespace gom::query
+
+#endif  // GOMFM_QUERY_APPLICABILITY_H_

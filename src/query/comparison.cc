@@ -1,0 +1,67 @@
+#include "query/comparison.h"
+
+namespace gom::query {
+
+CompOp NegateOp(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return CompOp::kNe;
+    case CompOp::kNe:
+      return CompOp::kEq;
+    case CompOp::kLt:
+      return CompOp::kGe;
+    case CompOp::kLe:
+      return CompOp::kGt;
+    case CompOp::kGt:
+      return CompOp::kLe;
+    case CompOp::kGe:
+      return CompOp::kLt;
+  }
+  return CompOp::kEq;
+}
+
+const char* CompOpName(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return "=";
+    case CompOp::kNe:
+      return "!=";
+    case CompOp::kLt:
+      return "<";
+    case CompOp::kLe:
+      return "<=";
+    case CompOp::kGt:
+      return ">";
+    case CompOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+int Comparison::TypeClass() const {
+  if (lhs.is_const && rhs.is_const) return 0;
+  if (lhs.is_const || rhs.is_const) return 1;
+  return offset == 0 ? 2 : 3;
+}
+
+Comparison Comparison::Negated() const {
+  Comparison out = *this;
+  out.op = NegateOp(op);
+  return out;
+}
+
+std::string Comparison::ToString() const {
+  auto term = [](const Term& t) {
+    return t.is_const ? std::to_string(t.constant) : t.var;
+  };
+  std::string out = term(lhs);
+  out += " ";
+  out += CompOpName(op);
+  out += " ";
+  out += term(rhs);
+  if (offset > 0) out += " + " + std::to_string(offset);
+  if (offset < 0) out += " - " + std::to_string(-offset);
+  return out;
+}
+
+}  // namespace gom::query

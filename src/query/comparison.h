@@ -1,0 +1,59 @@
+#ifndef GOMFM_QUERY_COMPARISON_H_
+#define GOMFM_QUERY_COMPARISON_H_
+
+#include <string>
+
+namespace gom::query {
+
+/// The comparison forms of Rosenkrantz & Hunt that §6 builds on:
+///   Type 1:  x θ c         (variable against a constant)
+///   Type 2:  x θ y         (variable against variable)
+///   Type 3:  x θ y + c     (variable against variable with offset)
+/// with θ ∈ {=, ≠, <, ≤, ≥, >}. Variables are named; in the applicability
+/// machinery the names are path expressions such as "self.Mat.Name" or the
+/// pseudo-variable for a function result.
+enum class CompOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+CompOp NegateOp(CompOp op);
+const char* CompOpName(CompOp op);
+
+struct Term {
+  bool is_const = false;
+  std::string var;     // when !is_const
+  double constant = 0; // when is_const
+
+  static Term Var(std::string name) { return {false, std::move(name), 0}; }
+  static Term Const(double c) { return {true, "", c}; }
+
+  bool operator==(const Term& o) const {
+    return is_const == o.is_const && var == o.var && constant == o.constant;
+  }
+};
+
+/// lhs θ rhs + offset. Type-1 comparisons fold the constant into `rhs`
+/// (offset 0); Type-2 has offset 0; Type-3 carries the offset.
+struct Comparison {
+  Term lhs;
+  CompOp op = CompOp::kEq;
+  Term rhs;
+  double offset = 0;
+
+  /// 1, 2 or 3 per the classification above; 0 for constant-only
+  /// comparisons (degenerate but decidable).
+  int TypeClass() const;
+
+  /// The logically negated comparison (¬(x < y) ≡ x ≥ y).
+  Comparison Negated() const;
+
+  /// True for ≠ between two variables (Type 2/3) — the operator that makes
+  /// satisfiability NP-hard and is excluded from the polynomial class.
+  bool IsVarVarNe() const {
+    return op == CompOp::kNe && !lhs.is_const && !rhs.is_const;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace gom::query
+
+#endif  // GOMFM_QUERY_COMPARISON_H_

@@ -1,0 +1,142 @@
+#include "query/dnf.h"
+
+#include <functional>
+
+namespace gom::query {
+
+BoolExprPtr Leaf(Comparison c) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = BoolExpr::Kind::kLeaf;
+  e->leaf = std::move(c);
+  return e;
+}
+
+BoolExprPtr AndOf(std::vector<BoolExprPtr> children) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = BoolExpr::Kind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+BoolExprPtr OrOf(std::vector<BoolExprPtr> children) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = BoolExpr::Kind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+BoolExprPtr NotOf(BoolExprPtr child) {
+  auto e = std::make_shared<BoolExpr>();
+  e->kind = BoolExpr::Kind::kNot;
+  e->children = {std::move(child)};
+  return e;
+}
+
+namespace {
+
+BoolExprPtr NnfRec(const BoolExprPtr& e, bool negate) {
+  switch (e->kind) {
+    case BoolExpr::Kind::kLeaf:
+      return negate ? Leaf(e->leaf.Negated()) : e;
+    case BoolExpr::Kind::kNot:
+      return NnfRec(e->children[0], !negate);
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr: {
+      bool is_and = (e->kind == BoolExpr::Kind::kAnd) != negate;
+      std::vector<BoolExprPtr> children;
+      children.reserve(e->children.size());
+      for (const BoolExprPtr& c : e->children) {
+        children.push_back(NnfRec(c, negate));
+      }
+      return is_and ? AndOf(std::move(children)) : OrOf(std::move(children));
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+BoolExprPtr ToNnf(const BoolExprPtr& e) { return NnfRec(e, false); }
+
+Result<Dnf> ToDnf(const BoolExprPtr& e, size_t max_conjuncts) {
+  BoolExprPtr nnf = ToNnf(e);
+  // Recursive distribution.
+  std::function<Result<Dnf>(const BoolExprPtr&)> rec =
+      [&](const BoolExprPtr& node) -> Result<Dnf> {
+    switch (node->kind) {
+      case BoolExpr::Kind::kLeaf:
+        return Dnf{{node->leaf}};
+      case BoolExpr::Kind::kOr: {
+        Dnf out;
+        for (const BoolExprPtr& c : node->children) {
+          GOMFM_ASSIGN_OR_RETURN(Dnf sub, rec(c));
+          out.insert(out.end(), sub.begin(), sub.end());
+          if (out.size() > max_conjuncts) {
+            return Status::OutOfRange("DNF expansion too large");
+          }
+        }
+        return out;
+      }
+      case BoolExpr::Kind::kAnd: {
+        Dnf acc = {{}};  // one empty conjunct
+        for (const BoolExprPtr& c : node->children) {
+          GOMFM_ASSIGN_OR_RETURN(Dnf sub, rec(c));
+          Dnf next;
+          for (const Conjunct& a : acc) {
+            for (const Conjunct& b : sub) {
+              Conjunct merged = a;
+              merged.insert(merged.end(), b.begin(), b.end());
+              next.push_back(std::move(merged));
+              if (next.size() > max_conjuncts) {
+                return Status::OutOfRange("DNF expansion too large");
+              }
+            }
+          }
+          acc = std::move(next);
+        }
+        return acc;
+      }
+      case BoolExpr::Kind::kNot:
+        return Status::Internal("NNF still contains a negation");
+    }
+    return Status::Internal("unknown BoolExpr kind");
+  };
+  return rec(nnf);
+}
+
+bool ContainsVarVarNe(const BoolExprPtr& e) {
+  BoolExprPtr nnf = ToNnf(e);
+  std::function<bool(const BoolExprPtr&)> rec =
+      [&](const BoolExprPtr& node) -> bool {
+    if (node->kind == BoolExpr::Kind::kLeaf) {
+      return node->leaf.IsVarVarNe();
+    }
+    for (const BoolExprPtr& c : node->children) {
+      if (rec(c)) return true;
+    }
+    return false;
+  };
+  return rec(nnf);
+}
+
+std::string ToString(const BoolExprPtr& e) {
+  switch (e->kind) {
+    case BoolExpr::Kind::kLeaf:
+      return e->leaf.ToString();
+    case BoolExpr::Kind::kNot:
+      return "not (" + ToString(e->children[0]) + ")";
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr: {
+      std::string sep = e->kind == BoolExpr::Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += ToString(e->children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace gom::query

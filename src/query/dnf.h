@@ -1,0 +1,49 @@
+#ifndef GOMFM_QUERY_DNF_H_
+#define GOMFM_QUERY_DNF_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "query/comparison.h"
+
+namespace gom::query {
+
+/// Boolean combinations of comparisons — the predicate language of §6.
+struct BoolExpr;
+using BoolExprPtr = std::shared_ptr<const BoolExpr>;
+
+struct BoolExpr {
+  enum class Kind : uint8_t { kLeaf, kAnd, kOr, kNot };
+  Kind kind = Kind::kLeaf;
+  Comparison leaf;                   // kLeaf
+  std::vector<BoolExprPtr> children; // kAnd/kOr (n-ary), kNot (1)
+};
+
+BoolExprPtr Leaf(Comparison c);
+BoolExprPtr AndOf(std::vector<BoolExprPtr> children);
+BoolExprPtr OrOf(std::vector<BoolExprPtr> children);
+BoolExprPtr NotOf(BoolExprPtr child);
+
+/// Negation normal form: negations eliminated by flipping comparison
+/// operators and applying De Morgan.
+BoolExprPtr ToNnf(const BoolExprPtr& e);
+
+/// A DNF: disjunction of conjunctions of comparisons.
+using Conjunct = std::vector<Comparison>;
+using Dnf = std::vector<Conjunct>;
+
+/// Converts to disjunctive normal form (§6's first transformation step).
+/// Fails with kOutOfRange when the expansion exceeds `max_conjuncts`
+/// (DNF can blow up exponentially).
+Result<Dnf> ToDnf(const BoolExprPtr& e, size_t max_conjuncts = 4096);
+
+/// True when the predicate, in NNF, contains a ≠ between variables — the
+/// case excluded from the polynomial class of Rosenkrantz & Hunt.
+bool ContainsVarVarNe(const BoolExprPtr& e);
+
+std::string ToString(const BoolExprPtr& e);
+
+}  // namespace gom::query
+
+#endif  // GOMFM_QUERY_DNF_H_

@@ -1,0 +1,144 @@
+#include "query/executor.h"
+
+namespace gom::query {
+
+Result<std::vector<Oid>> QueryExecutor::RunBackward(const BackwardQuery& q) {
+  if (use_gmrs_ && mgr_ != nullptr && mgr_->IsMaterialized(q.function)) {
+    auto answer = mgr_->BackwardRange(q.function, q.lo, q.hi, q.lo_inclusive,
+                                      q.hi_inclusive);
+    if (answer.ok()) {
+      ++gmr_answers_;
+      std::vector<Oid> out;
+      out.reserve(answer->size());
+      for (const auto& args : *answer) {
+        GOMFM_ASSIGN_OR_RETURN(Oid o, args[0].AsRef());
+        out.push_back(o);
+      }
+      return out;
+    }
+    if (answer.status().code() != StatusCode::kFailedPrecondition) {
+      return answer.status();
+    }
+    // Incomplete extension etc.: fall through to the scan.
+  }
+  // Extension scan: invoke the function for every instance (the paper's
+  // evaluation of the selection predicate without materialization support).
+  ++scans_;
+  std::vector<Oid> out;
+  for (Oid o : om_->Extent(q.range_type)) {
+    GOMFM_ASSIGN_OR_RETURN(Value v,
+                           interp_->Invoke(q.function, {Value::Ref(o)}));
+    GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    if (d < q.lo || (d == q.lo && !q.lo_inclusive)) continue;
+    if (d > q.hi || (d == q.hi && !q.hi_inclusive)) continue;
+    out.push_back(o);
+  }
+  return out;
+}
+
+Result<Value> QueryExecutor::RunForward(const ForwardQuery& q) {
+  if (use_gmrs_ && mgr_ != nullptr && mgr_->IsMaterialized(q.function)) {
+    ++gmr_answers_;
+    return mgr_->ForwardLookup(q.function, q.args);
+  }
+  ++scans_;
+  return interp_->Invoke(q.function, q.args);
+}
+
+bool QueryExecutor::Matches(const ColumnSpec& spec, const Value& v,
+                            bool valid) {
+  switch (spec.kind) {
+    case ColumnSpec::Kind::kDontCare:
+      return true;
+    case ColumnSpec::Kind::kAny:
+      return true;
+    case ColumnSpec::Kind::kConst:
+      if (!valid) return false;
+      if (v.is_numeric() && spec.constant.is_numeric()) {
+        return *v.AsDouble() == *spec.constant.AsDouble();
+      }
+      return v == spec.constant;
+    case ColumnSpec::Kind::kRange: {
+      if (!valid || !v.is_numeric()) return false;
+      double d = *v.AsDouble();
+      return d >= spec.lo && d <= spec.hi;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<std::vector<Value>>> QueryExecutor::RunRetrieval(
+    const GmrRetrieval& q) {
+  if (mgr_ == nullptr) {
+    return Status::FailedPrecondition("no GMR manager attached");
+  }
+  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(q.gmr));
+  const GmrSpec& spec = gmr->spec();
+  if (q.arg_columns.size() != spec.arity() ||
+      q.result_columns.size() != spec.function_count()) {
+    return Status::InvalidArgument("retrieval column count mismatch");
+  }
+  // Revalidate result columns that the retrieval filters on, so lazily
+  // invalidated entries cannot be missed (§3.2). Only meaningful for
+  // complete extensions.
+  if (spec.complete) {
+    for (size_t i = 0; i < q.result_columns.size(); ++i) {
+      ColumnSpec::Kind k = q.result_columns[i].kind;
+      if (k == ColumnSpec::Kind::kConst || k == ColumnSpec::Kind::kRange ||
+          k == ColumnSpec::Kind::kAny) {
+        GOMFM_RETURN_IF_ERROR(mgr_->EnsureColumnValid(spec.functions[i]));
+      }
+    }
+  }
+
+  std::vector<std::vector<Value>> out;
+  // Access-path selection: exact argument match via the hash index when
+  // every argument column is a constant; otherwise a relation scan (an
+  // ordered-index path for single ranges is chosen inside ScanValidRange
+  // by BackwardRange; the general retrieval keeps to the scan).
+  bool all_args_const = true;
+  for (const ColumnSpec& c : q.arg_columns) {
+    if (c.kind != ColumnSpec::Kind::kConst) {
+      all_args_const = false;
+      break;
+    }
+  }
+  auto emit_if_match = [&](RowId row_id, const Gmr::Row& row) {
+    (void)row_id;
+    for (size_t i = 0; i < spec.arity(); ++i) {
+      if (!Matches(q.arg_columns[i], row.args[i], true)) return;
+    }
+    for (size_t i = 0; i < spec.function_count(); ++i) {
+      if (!Matches(q.result_columns[i], row.results[i], row.valid[i])) {
+        return;
+      }
+    }
+    std::vector<Value> tuple = row.args;
+    tuple.insert(tuple.end(), row.results.begin(), row.results.end());
+    out.push_back(std::move(tuple));
+  };
+
+  if (all_args_const) {
+    std::vector<Value> key;
+    key.reserve(q.arg_columns.size());
+    for (const ColumnSpec& c : q.arg_columns) key.push_back(c.constant);
+    auto row = gmr->FindRow(key);
+    if (row.ok()) {
+      GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(*row));
+      emit_if_match(*row, *r);
+    }
+    return out;
+  }
+  std::vector<RowId> rows;
+  gmr->ForEachRow([&](RowId row, const Gmr::Row&) {
+    rows.push_back(row);
+    return true;
+  });
+  for (RowId row : rows) {
+    GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));  // touch pages
+    emit_if_match(row, *r);
+  }
+  return out;
+}
+
+}  // namespace gom::query

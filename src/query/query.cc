@@ -1,0 +1,7 @@
+#include "query/query.h"
+
+// The query structs are header-only aggregates; this translation unit
+// exists so the module has a home for future out-of-line helpers and to
+// keep one object file per header.
+
+namespace gom::query {}  // namespace gom::query

@@ -1,0 +1,71 @@
+#ifndef GOMFM_QUERY_QUERY_H_
+#define GOMFM_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "gmr/gmr.h"
+#include "gom/value.h"
+
+namespace gom::query {
+
+/// A backward query (§3): select the argument objects of a materialized
+/// function by a range predicate on its result —
+///   range c: T retrieve c where lo θ f(c) θ hi
+struct BackwardQuery {
+  TypeId range_type = kInvalidTypeId;
+  FunctionId function = kInvalidFunctionId;
+  double lo = 0;
+  double hi = 0;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+};
+
+/// A forward query (§3): the result of a function for given arguments —
+///   retrieve f(o1, …, on)
+struct ForwardQuery {
+  FunctionId function = kInvalidFunctionId;
+  std::vector<Value> args;
+};
+
+/// One column of a QBE-style GMR retrieval (§3.2's tabular notation):
+/// a constant, a range [lb, ub], `?` (any value, retrieved) or `–`
+/// (don't care).
+struct ColumnSpec {
+  enum class Kind : uint8_t { kConst, kRange, kAny, kDontCare };
+  Kind kind = Kind::kDontCare;
+  Value constant;          // kConst
+  double lo = 0, hi = 0;   // kRange (closed interval)
+
+  static ColumnSpec Const(Value v) {
+    ColumnSpec s;
+    s.kind = Kind::kConst;
+    s.constant = std::move(v);
+    return s;
+  }
+  static ColumnSpec Range(double lo, double hi) {
+    ColumnSpec s;
+    s.kind = Kind::kRange;
+    s.lo = lo;
+    s.hi = hi;
+    return s;
+  }
+  static ColumnSpec Any() {
+    ColumnSpec s;
+    s.kind = Kind::kAny;
+    return s;
+  }
+  static ColumnSpec DontCare() { return ColumnSpec(); }
+};
+
+/// A QBE-style retrieval over one GMR: one spec per argument column and one
+/// per function column.
+struct GmrRetrieval {
+  GmrId gmr = kInvalidGmrId;
+  std::vector<ColumnSpec> arg_columns;
+  std::vector<ColumnSpec> result_columns;
+};
+
+}  // namespace gom::query
+
+#endif  // GOMFM_QUERY_QUERY_H_

@@ -1,0 +1,213 @@
+#include "query/satisfiability.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace gom::query {
+
+namespace {
+
+/// A bound `a − b ≤ weight` (strict when `strict`).
+struct Bound {
+  double weight = std::numeric_limits<double>::infinity();
+  bool strict = false;
+
+  bool Tighter(const Bound& o) const {
+    if (weight != o.weight) return weight < o.weight;
+    return strict && !o.strict;
+  }
+};
+
+Bound Combine(const Bound& a, const Bound& b) {
+  return Bound{a.weight + b.weight, a.strict || b.strict};
+}
+
+}  // namespace
+
+Result<bool> ConjunctSatisfiable(const Conjunct& conjunct) {
+  // Variable numbering; index 0 is the zero vertex for constants.
+  std::map<std::string, size_t> vars;
+  auto var_index = [&](const std::string& name) {
+    auto [it, inserted] = vars.emplace(name, vars.size() + 1);
+    (void)inserted;
+    return it->second;
+  };
+
+  struct Edge {
+    size_t from, to;
+    Bound bound;
+  };
+  std::vector<Edge> edges;
+  struct NeConstraint {
+    size_t var;
+    double value;
+  };
+  std::vector<NeConstraint> nes;
+
+  for (const Comparison& c : conjunct) {
+    if (c.IsVarVarNe()) {
+      return Status::Unimplemented(
+          "satisfiability with != between variables is NP-hard "
+          "(Rosenkrantz & Hunt); predicate outside the polynomial class");
+    }
+    // Normalize to l θ r + offset with l, r as vertex indices and the
+    // constant folded into the offset.
+    size_t l, r;
+    double off = c.offset;
+    if (c.lhs.is_const && c.rhs.is_const) {
+      // Constant comparison: evaluate directly.
+      double a = c.lhs.constant, b = c.rhs.constant + c.offset;
+      bool holds = false;
+      switch (c.op) {
+        case CompOp::kEq:
+          holds = a == b;
+          break;
+        case CompOp::kNe:
+          holds = a != b;
+          break;
+        case CompOp::kLt:
+          holds = a < b;
+          break;
+        case CompOp::kLe:
+          holds = a <= b;
+          break;
+        case CompOp::kGt:
+          holds = a > b;
+          break;
+        case CompOp::kGe:
+          holds = a >= b;
+          break;
+      }
+      if (!holds) return false;
+      continue;
+    }
+    if (c.lhs.is_const) {
+      // c θ y + off  ≡  y θ' c − off with mirrored operator; rewrite so the
+      // variable is on the left.
+      Comparison mirrored;
+      mirrored.lhs = c.rhs;
+      mirrored.rhs = Term::Const(c.lhs.constant - c.offset);
+      switch (c.op) {
+        case CompOp::kLt:
+          mirrored.op = CompOp::kGt;
+          break;
+        case CompOp::kLe:
+          mirrored.op = CompOp::kGe;
+          break;
+        case CompOp::kGt:
+          mirrored.op = CompOp::kLt;
+          break;
+        case CompOp::kGe:
+          mirrored.op = CompOp::kLe;
+          break;
+        default:
+          mirrored.op = c.op;
+      }
+      l = var_index(mirrored.lhs.var);
+      r = 0;
+      off = mirrored.rhs.constant;
+      switch (mirrored.op) {
+        case CompOp::kEq:
+          edges.push_back({l, r, {off, false}});
+          edges.push_back({r, l, {-off, false}});
+          break;
+        case CompOp::kNe:
+          nes.push_back({l, off});
+          break;
+        case CompOp::kLt:
+          edges.push_back({l, r, {off, true}});
+          break;
+        case CompOp::kLe:
+          edges.push_back({l, r, {off, false}});
+          break;
+        case CompOp::kGt:
+          edges.push_back({r, l, {-off, true}});
+          break;
+        case CompOp::kGe:
+          edges.push_back({r, l, {-off, false}});
+          break;
+      }
+      continue;
+    }
+    l = var_index(c.lhs.var);
+    if (c.rhs.is_const) {
+      r = 0;
+      off = c.rhs.constant + c.offset;
+    } else {
+      r = var_index(c.rhs.var);
+    }
+    switch (c.op) {
+      case CompOp::kEq:
+        edges.push_back({l, r, {off, false}});
+        edges.push_back({r, l, {-off, false}});
+        break;
+      case CompOp::kNe:
+        nes.push_back({l, off});  // r == 0 guaranteed (Type 1 only)
+        break;
+      case CompOp::kLt:
+        edges.push_back({l, r, {off, true}});
+        break;
+      case CompOp::kLe:
+        edges.push_back({l, r, {off, false}});
+        break;
+      case CompOp::kGt:
+        edges.push_back({r, l, {-off, true}});
+        break;
+      case CompOp::kGe:
+        edges.push_back({r, l, {-off, false}});
+        break;
+    }
+  }
+
+  size_t n = vars.size() + 1;
+  std::vector<std::vector<Bound>> dist(n, std::vector<Bound>(n));
+  for (size_t i = 0; i < n; ++i) dist[i][i] = Bound{0, false};
+  for (const Edge& e : edges) {
+    if (e.bound.Tighter(dist[e.from][e.to])) dist[e.from][e.to] = e.bound;
+  }
+  // Floyd–Warshall closure over (weight, strictness).
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (std::isinf(dist[i][k].weight)) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (std::isinf(dist[k][j].weight)) continue;
+        Bound via = Combine(dist[i][k], dist[k][j]);
+        if (via.Tighter(dist[i][j])) dist[i][j] = via;
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (dist[i][i].weight < 0 ||
+        (dist[i][i].weight == 0 && dist[i][i].strict)) {
+      return false;  // contradictory cycle
+    }
+  }
+  // x ≠ c is violated only when the other constraints force x = c, i.e.
+  // x − 0 ≤ c and 0 − x ≤ −c, both tight and non-strict.
+  for (const NeConstraint& ne : nes) {
+    const Bound& up = dist[ne.var][0];
+    const Bound& down = dist[0][ne.var];
+    if (!up.strict && !down.strict && up.weight == ne.value &&
+        down.weight == -ne.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> DnfSatisfiable(const Dnf& dnf) {
+  for (const Conjunct& conjunct : dnf) {
+    GOMFM_ASSIGN_OR_RETURN(bool sat, ConjunctSatisfiable(conjunct));
+    if (sat) return true;
+  }
+  return false;
+}
+
+Result<bool> Satisfiable(const BoolExprPtr& e) {
+  GOMFM_ASSIGN_OR_RETURN(Dnf dnf, ToDnf(e));
+  return DnfSatisfiable(dnf);
+}
+
+}  // namespace gom::query

@@ -1,0 +1,32 @@
+#ifndef GOMFM_QUERY_SATISFIABILITY_H_
+#define GOMFM_QUERY_SATISFIABILITY_H_
+
+#include "common/status.h"
+#include "query/dnf.h"
+
+namespace gom::query {
+
+/// Satisfiability of conjunctions of Type-1/2/3 comparisons — the
+/// Rosenkrantz & Hunt procedure §6 relies on. Comparisons are reduced to
+/// difference constraints `a − b ≤ c` (strict or not) over the variables
+/// plus a zero vertex for constants; Floyd–Warshall closure in O(k³)
+/// detects negative (or zero-weight strict) cycles.
+///
+/// ≠ handling follows the paper's class boundaries:
+///  * `x ≠ c` (Type 1) is decidable here: the conjunct is unsatisfiable
+///    exactly when the remaining constraints force x = c.
+///  * `x ≠ y (+ c)` (Type 2/3) makes the problem NP-hard and is rejected
+///    with kUnimplemented — callers must pre-check with ContainsVarVarNe.
+Result<bool> ConjunctSatisfiable(const Conjunct& conjunct);
+
+/// A DNF is satisfiable iff any conjunct is.
+Result<bool> DnfSatisfiable(const Dnf& dnf);
+
+/// Convenience: satisfiability of an arbitrary predicate (DNF conversion +
+/// per-conjunct test). The validity test ¬p ∧ σ′ of §6 is
+/// `!Satisfiable(AndOf({NotOf(p), sigma}))`.
+Result<bool> Satisfiable(const BoolExprPtr& e);
+
+}  // namespace gom::query
+
+#endif  // GOMFM_QUERY_SATISFIABILITY_H_

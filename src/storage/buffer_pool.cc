@@ -1,0 +1,123 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace gom {
+
+BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  assert(capacity_ > 0);
+}
+
+void BufferPool::TouchLru(Frame& frame, PageId id) {
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+}
+
+Result<Page*> BufferPool::Fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    TouchLru(it->second, id);
+    return &it->second.page;
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    GOMFM_RETURN_IF_ERROR(EvictOne());
+  }
+  std::vector<uint8_t> image(kPageSize);
+  GOMFM_RETURN_IF_ERROR(disk_->ReadPage(id, image.data()));
+  lru_.push_front(id);
+  Frame frame{Page(std::move(image)), /*dirty=*/false, /*pin_count=*/0,
+              lru_.begin()};
+  auto [ins, ok] = frames_.emplace(id, std::move(frame));
+  (void)ok;
+  return &ins->second.page;
+}
+
+Result<Page*> BufferPool::NewPage(PageId* id_out) {
+  if (frames_.size() >= capacity_) {
+    GOMFM_RETURN_IF_ERROR(EvictOne());
+  }
+  PageId id = disk_->AllocatePage();
+  lru_.push_front(id);
+  Frame frame{Page(), /*dirty=*/true, /*pin_count=*/0, lru_.begin()};
+  auto [ins, ok] = frames_.emplace(id, std::move(frame));
+  (void)ok;
+  *id_out = id;
+  return &ins->second.page;
+}
+
+Status BufferPool::MarkDirty(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::NotFound("BufferPool::MarkDirty: page not resident");
+  }
+  it->second.dirty = true;
+  return Status::Ok();
+}
+
+Status BufferPool::Pin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::NotFound("BufferPool::Pin: page not resident");
+  }
+  ++it->second.pin_count;
+  return Status::Ok();
+}
+
+Status BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::NotFound("BufferPool::Unpin: page not resident");
+  }
+  if (it->second.pin_count == 0) {
+    return Status::FailedPrecondition("BufferPool::Unpin: pin count is zero");
+  }
+  --it->second.pin_count;
+  return Status::Ok();
+}
+
+Status BufferPool::EvictOne() {
+  // Walk from the LRU end towards MRU looking for an unpinned victim.
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    PageId victim = *rit;
+    Frame& frame = frames_.at(victim);
+    if (frame.pin_count > 0) continue;
+    if (frame.dirty) {
+      GOMFM_RETURN_IF_ERROR(
+          disk_->WritePage(victim, frame.page.image().data()));
+    }
+    lru_.erase(frame.lru_pos);
+    frames_.erase(victim);
+    ++evictions_;
+    return Status::Ok();
+  }
+  return Status::FailedPrecondition("BufferPool::EvictOne: all pages pinned");
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      GOMFM_RETURN_IF_ERROR(disk_->WritePage(id, frame.page.image().data()));
+      frame.dirty = false;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::EvictAll() {
+  GOMFM_RETURN_IF_ERROR(FlushAll());
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pin_count > 0) {
+      ++it;
+      continue;
+    }
+    lru_.erase(it->second.lru_pos);
+    it = frames_.erase(it);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom

@@ -1,0 +1,79 @@
+#include "storage/chunked_record.h"
+
+#include <algorithm>
+
+namespace gom {
+
+namespace {
+// Leave headroom for the page header and a few slot entries.
+constexpr size_t kMaxChunkBytes =
+    kPageSize - Page::kHeaderSize - 8 * Page::kSlotEntrySize;
+}  // namespace
+
+std::vector<std::vector<uint8_t>> ChunkedRecordStore::Chunk(
+    const std::vector<uint8_t>& bytes) {
+  std::vector<std::vector<uint8_t>> chunks;
+  size_t off = 0;
+  do {
+    size_t len = std::min(kMaxChunkBytes, bytes.size() - off);
+    chunks.emplace_back(bytes.begin() + off, bytes.begin() + off + len);
+    off += len;
+  } while (off < bytes.size());
+  return chunks;
+}
+
+Result<ChunkedRecordStore::Handle> ChunkedRecordStore::Insert(
+    const std::vector<uint8_t>& bytes) {
+  Handle handle;
+  for (const auto& chunk : Chunk(bytes)) {
+    GOMFM_ASSIGN_OR_RETURN(Rid rid, storage_->InsertRecord(segment_, chunk));
+    handle.push_back(rid);
+  }
+  return handle;
+}
+
+Status ChunkedRecordStore::Update(Handle* handle,
+                                  const std::vector<uint8_t>& bytes) {
+  auto chunks = Chunk(bytes);
+  if (chunks.size() == handle->size()) {
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      GOMFM_ASSIGN_OR_RETURN(
+          Rid rid, storage_->UpdateRecord(segment_, (*handle)[i], chunks[i]));
+      (*handle)[i] = rid;
+    }
+    return Status::Ok();
+  }
+  GOMFM_RETURN_IF_ERROR(Delete(*handle));
+  handle->clear();
+  for (const auto& chunk : chunks) {
+    GOMFM_ASSIGN_OR_RETURN(Rid rid, storage_->InsertRecord(segment_, chunk));
+    handle->push_back(rid);
+  }
+  return Status::Ok();
+}
+
+Status ChunkedRecordStore::Delete(const Handle& handle) {
+  for (const Rid& rid : handle) {
+    GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(rid));
+  }
+  return Status::Ok();
+}
+
+Status ChunkedRecordStore::Touch(const Handle& handle) {
+  for (const Rid& rid : handle) {
+    GOMFM_RETURN_IF_ERROR(storage_->TouchRecord(rid));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> ChunkedRecordStore::Read(const Handle& handle) {
+  std::vector<uint8_t> out;
+  for (const Rid& rid : handle) {
+    GOMFM_ASSIGN_OR_RETURN(std::vector<uint8_t> chunk,
+                           storage_->ReadRecord(rid));
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+}  // namespace gom

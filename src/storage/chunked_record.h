@@ -1,0 +1,52 @@
+#ifndef GOMFM_STORAGE_CHUNKED_RECORD_H_
+#define GOMFM_STORAGE_CHUNKED_RECORD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace gom {
+
+/// Byte payloads of arbitrary size on top of the record store: payloads
+/// larger than a page are split across several records ("long records").
+/// Used for objects and GMR rows, whose logical reads must touch every
+/// page their encoding occupies.
+class ChunkedRecordStore {
+ public:
+  /// A stored payload: the records holding its chunks, in order.
+  using Handle = std::vector<Rid>;
+
+  ChunkedRecordStore(StorageManager* storage, SegmentId segment)
+      : storage_(storage), segment_(segment) {}
+
+  /// Stores `bytes`, returning the chunk handle.
+  Result<Handle> Insert(const std::vector<uint8_t>& bytes);
+
+  /// Replaces the payload; the handle is updated in place (records may be
+  /// relocated or re-chunked).
+  Status Update(Handle* handle, const std::vector<uint8_t>& bytes);
+
+  /// Frees all chunk records.
+  Status Delete(const Handle& handle);
+
+  /// Touches every chunk page (simulates a logical read of the payload
+  /// when the decoded form is cached in memory).
+  Status Touch(const Handle& handle);
+
+  /// Reads the payload back (concatenated chunks).
+  Result<std::vector<uint8_t>> Read(const Handle& handle);
+
+  SegmentId segment() const { return segment_; }
+
+ private:
+  static std::vector<std::vector<uint8_t>> Chunk(
+      const std::vector<uint8_t>& bytes);
+
+  StorageManager* storage_;
+  SegmentId segment_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_CHUNKED_RECORD_H_

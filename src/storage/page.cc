@@ -1,0 +1,117 @@
+#include "storage/page.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gom {
+
+size_t Page::FreeSpace() const {
+  // Space between the end of the data area and the start of the slot
+  // directory, minus one future slot entry. If a free slot entry exists it
+  // can be reused, but we report the conservative value.
+  size_t directory_begin = kPageSize - slot_count() * kSlotEntrySize;
+  size_t used_end = data_begin();
+  if (directory_begin < used_end + kSlotEntrySize) return 0;
+  return directory_begin - used_end - kSlotEntrySize;
+}
+
+bool Page::Fits(size_t length) const { return length <= FreeSpace(); }
+
+SlotId Page::AcquireSlot() {
+  uint16_t n = slot_count();
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotLength(s) == 0 && SlotOffset(s) == 0) return s;
+  }
+  if (n == UINT16_MAX - 1) return kInvalidSlot;
+  SetSlotCount(n + 1);
+  SetSlot(n, 0, 0);
+  return n;
+}
+
+Result<SlotId> Page::Insert(const uint8_t* data, size_t length) {
+  if (length == 0 || length > kPageSize) {
+    return Status::InvalidArgument("Page::Insert: bad record length " +
+                                   std::to_string(length));
+  }
+  if (!Fits(length)) {
+    return Status::OutOfRange("Page::Insert: record does not fit");
+  }
+  SlotId slot = AcquireSlot();
+  if (slot == kInvalidSlot) {
+    return Status::OutOfRange("Page::Insert: slot directory full");
+  }
+  uint16_t offset = data_begin();
+  std::memcpy(image_.data() + offset, data, length);
+  SetSlot(slot, offset, static_cast<uint16_t>(length));
+  SetDataBegin(static_cast<uint16_t>(offset + length));
+  return slot;
+}
+
+Result<const uint8_t*> Page::Read(SlotId slot, size_t* length) const {
+  if (slot >= slot_count() || SlotLength(slot) == 0) {
+    return Status::NotFound("Page::Read: no record in slot " +
+                            std::to_string(slot));
+  }
+  *length = SlotLength(slot);
+  return static_cast<const uint8_t*>(image_.data() + SlotOffset(slot));
+}
+
+Status Page::Update(SlotId slot, const uint8_t* data, size_t length) {
+  if (slot >= slot_count() || SlotLength(slot) == 0) {
+    return Status::NotFound("Page::Update: no record in slot " +
+                            std::to_string(slot));
+  }
+  if (length == 0) {
+    return Status::InvalidArgument("Page::Update: empty record");
+  }
+  if (length > SlotLength(slot)) {
+    return Status::OutOfRange("Page::Update: record grew; relocate");
+  }
+  std::memcpy(image_.data() + SlotOffset(slot), data, length);
+  SetSlot(slot, SlotOffset(slot), static_cast<uint16_t>(length));
+  return Status::Ok();
+}
+
+Status Page::Delete(SlotId slot) {
+  if (slot >= slot_count() || SlotLength(slot) == 0) {
+    return Status::NotFound("Page::Delete: no record in slot " +
+                            std::to_string(slot));
+  }
+  SetSlot(slot, 0, 0);
+  return Status::Ok();
+}
+
+uint16_t Page::live_records() const {
+  uint16_t n = slot_count(), live = 0;
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotLength(s) != 0) ++live;
+  }
+  return live;
+}
+
+void Page::Compact() {
+  struct LiveSlot {
+    SlotId slot;
+    uint16_t offset;
+    uint16_t length;
+  };
+  std::vector<LiveSlot> live;
+  uint16_t n = slot_count();
+  live.reserve(n);
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotLength(s) != 0) live.push_back({s, SlotOffset(s), SlotLength(s)});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const LiveSlot& a, const LiveSlot& b) { return a.offset < b.offset; });
+  uint16_t cursor = kHeaderSize;
+  for (const LiveSlot& ls : live) {
+    if (ls.offset != cursor) {
+      std::memmove(image_.data() + cursor, image_.data() + ls.offset, ls.length);
+      SetSlot(ls.slot, cursor, ls.length);
+    }
+    cursor = static_cast<uint16_t>(cursor + ls.length);
+  }
+  SetDataBegin(cursor);
+}
+
+}  // namespace gom

@@ -1,0 +1,109 @@
+#ifndef GOMFM_STORAGE_PAGE_H_
+#define GOMFM_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/sim_disk.h"
+
+namespace gom {
+
+using SlotId = uint16_t;
+
+/// A slotted heap page.
+///
+/// Layout (within the kPageSize image):
+///   [0..2)   uint16 slot_count     number of slot directory entries
+///   [2..4)   uint16 data_begin     offset of the lowest used data byte
+///   [4..)    record data grows upward from offset 4
+///   [end)    slot directory grows downward from the page end; each entry is
+///            {uint16 offset, uint16 length}; length == 0 marks a free slot.
+///
+/// Records are raw byte strings. `Update` succeeds in place when the new
+/// payload is not larger than the old one; otherwise the caller relocates
+/// the record (delete + insert elsewhere), as in classic slotted-page
+/// storage managers.
+class Page {
+ public:
+  Page() : image_(kPageSize, 0) { SetSlotCount(0), SetDataBegin(kHeaderSize); }
+
+  /// Adopts an existing page image (e.g., freshly read from disk).
+  explicit Page(std::vector<uint8_t> image) : image_(std::move(image)) {}
+
+  /// Bytes of free space available for one more record (accounting for the
+  /// slot directory entry it would need).
+  size_t FreeSpace() const;
+
+  /// True if a record of `length` bytes fits on this page.
+  bool Fits(size_t length) const;
+
+  /// Inserts a record, returning its slot. Fails with kOutOfRange when the
+  /// record does not fit (callers should check `Fits` first).
+  Result<SlotId> Insert(const uint8_t* data, size_t length);
+
+  /// Reads the record in `slot`; the returned pointer aliases the page image
+  /// and is invalidated by any mutation of the page.
+  Result<const uint8_t*> Read(SlotId slot, size_t* length) const;
+
+  /// Replaces the record in `slot`. Only shrinking or same-size updates are
+  /// done in place; growing updates fail with kOutOfRange so the caller can
+  /// relocate.
+  Status Update(SlotId slot, const uint8_t* data, size_t length);
+
+  /// Frees the record in `slot`. The slot entry is retained (length = 0) so
+  /// other record ids stay stable; space is reclaimed by `Compact`.
+  Status Delete(SlotId slot);
+
+  /// Rewrites the data area to squeeze out holes left by deletes/shrinks.
+  void Compact();
+
+  uint16_t slot_count() const { return ReadU16(0); }
+
+  /// Number of live (non-deleted) records.
+  uint16_t live_records() const;
+
+  const std::vector<uint8_t>& image() const { return image_; }
+  std::vector<uint8_t>& mutable_image() { return image_; }
+
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotEntrySize = 4;
+
+ private:
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, image_.data() + off, 2);
+    return v;
+  }
+  void WriteU16(size_t off, uint16_t v) {
+    std::memcpy(image_.data() + off, &v, 2);
+  }
+  void SetSlotCount(uint16_t n) { WriteU16(0, n); }
+  void SetDataBegin(uint16_t o) { WriteU16(2, o); }
+  uint16_t data_begin() const { return ReadU16(2); }
+
+  size_t SlotEntryOffset(SlotId slot) const {
+    return kPageSize - (static_cast<size_t>(slot) + 1) * kSlotEntrySize;
+  }
+  uint16_t SlotOffset(SlotId slot) const { return ReadU16(SlotEntryOffset(slot)); }
+  uint16_t SlotLength(SlotId slot) const {
+    return ReadU16(SlotEntryOffset(slot) + 2);
+  }
+  void SetSlot(SlotId slot, uint16_t offset, uint16_t length) {
+    WriteU16(SlotEntryOffset(slot), offset);
+    WriteU16(SlotEntryOffset(slot) + 2, length);
+  }
+
+  /// Finds a free (deleted) slot entry to reuse, or allocates a new one.
+  /// Returns kInvalidSlot when the directory cannot grow.
+  SlotId AcquireSlot();
+
+  static constexpr SlotId kInvalidSlot = UINT16_MAX;
+
+  std::vector<uint8_t> image_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_PAGE_H_

@@ -1,0 +1,34 @@
+#include "storage/sim_disk.h"
+
+#include <cstring>
+
+namespace gom {
+
+PageId SimDisk::AllocatePage() {
+  pages_.emplace_back(kPageSize, 0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status SimDisk::ReadPage(PageId id, uint8_t* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("SimDisk::ReadPage: page " + std::to_string(id) +
+                              " beyond end of disk");
+  }
+  std::memcpy(out, pages_[id].data(), kPageSize);
+  ++reads_;
+  clock_->Advance(cost_.disk_access_seconds);
+  return Status::Ok();
+}
+
+Status SimDisk::WritePage(PageId id, const uint8_t* data) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("SimDisk::WritePage: page " + std::to_string(id) +
+                              " beyond end of disk");
+  }
+  std::memcpy(pages_[id].data(), data, kPageSize);
+  ++writes_;
+  clock_->Advance(cost_.disk_access_seconds);
+  return Status::Ok();
+}
+
+}  // namespace gom

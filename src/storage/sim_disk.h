@@ -1,0 +1,61 @@
+#ifndef GOMFM_STORAGE_SIM_DISK_H_
+#define GOMFM_STORAGE_SIM_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace gom {
+
+/// Fixed page size of the simulated store (EXODUS used 4 kB pages as well).
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// A simulated disk: an array of page images plus an I/O accounting layer.
+/// Every page read or write charges `CostModel::disk_access_seconds` to the
+/// attached `SimClock` and bumps the corresponding counter. Benchmarks read
+/// the clock to obtain the paper's "user time".
+class SimDisk {
+ public:
+  /// `clock` must outlive the disk. `cost` is copied.
+  SimDisk(SimClock* clock, const CostModel& cost)
+      : clock_(clock), cost_(cost) {}
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Allocates a fresh zeroed page and returns its id. Allocation itself is
+  /// not charged (the subsequent write is).
+  PageId AllocatePage();
+
+  /// Copies the page image into `out` (must hold kPageSize bytes).
+  Status ReadPage(PageId id, uint8_t* out);
+
+  /// Overwrites the page image from `data` (kPageSize bytes).
+  Status WritePage(PageId id, const uint8_t* data);
+
+  size_t page_count() const { return pages_.size(); }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+  /// Clears I/O counters (the clock is owned by the caller and reset there).
+  void ResetCounters() {
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  SimClock* clock_;
+  CostModel cost_;
+  std::vector<std::vector<uint8_t>> pages_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_SIM_DISK_H_

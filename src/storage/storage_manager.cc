@@ -1,0 +1,110 @@
+#include "storage/storage_manager.h"
+
+#include <functional>
+
+namespace gom {
+
+SegmentId StorageManager::CreateSegment(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  SegmentId id = static_cast<SegmentId>(segments_.size());
+  segments_.push_back(Segment{name, {}});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<PageId> StorageManager::PageWithRoom(SegmentId segment, size_t length) {
+  if (segment >= segments_.size()) {
+    return Status::InvalidArgument("StorageManager: unknown segment");
+  }
+  Segment& seg = segments_[segment];
+  // Try the most recently filled page first: this keeps inserts append-
+  // oriented and clustered in creation order.
+  if (!seg.pages.empty()) {
+    PageId last = seg.pages.back();
+    GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(last));
+    if (page->Fits(length)) return last;
+  }
+  PageId id;
+  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->NewPage(&id));
+  (void)page;
+  seg.pages.push_back(id);
+  return id;
+}
+
+Result<Rid> StorageManager::InsertRecord(SegmentId segment,
+                                         const std::vector<uint8_t>& data) {
+  if (data.empty() || data.size() > kPageSize - Page::kHeaderSize -
+                                        Page::kSlotEntrySize) {
+    return Status::InvalidArgument("StorageManager::InsertRecord: bad size " +
+                                   std::to_string(data.size()));
+  }
+  GOMFM_ASSIGN_OR_RETURN(PageId pid, PageWithRoom(segment, data.size()));
+  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(pid));
+  GOMFM_ASSIGN_OR_RETURN(SlotId slot, page->Insert(data.data(), data.size()));
+  GOMFM_RETURN_IF_ERROR(pool_->MarkDirty(pid));
+  return Rid{pid, slot};
+}
+
+Result<std::vector<uint8_t>> StorageManager::ReadRecord(const Rid& rid) {
+  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
+  size_t length = 0;
+  GOMFM_ASSIGN_OR_RETURN(const uint8_t* data, page->Read(rid.slot, &length));
+  return std::vector<uint8_t>(data, data + length);
+}
+
+Status StorageManager::TouchRecord(const Rid& rid) {
+  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
+  (void)page;
+  return Status::Ok();
+}
+
+Result<Rid> StorageManager::UpdateRecord(SegmentId segment, const Rid& rid,
+                                         const std::vector<uint8_t>& data) {
+  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
+  Status in_place = page->Update(rid.slot, data.data(), data.size());
+  if (in_place.ok()) {
+    GOMFM_RETURN_IF_ERROR(pool_->MarkDirty(rid.page));
+    return rid;
+  }
+  if (in_place.code() != StatusCode::kOutOfRange) return in_place;
+  // The record grew: try compaction on its page, then relocate.
+  page->Compact();
+  Status retry = page->Update(rid.slot, data.data(), data.size());
+  if (retry.ok()) {
+    GOMFM_RETURN_IF_ERROR(pool_->MarkDirty(rid.page));
+    return rid;
+  }
+  GOMFM_RETURN_IF_ERROR(page->Delete(rid.slot));
+  GOMFM_RETURN_IF_ERROR(pool_->MarkDirty(rid.page));
+  return InsertRecord(segment, data);
+}
+
+Status StorageManager::DeleteRecord(const Rid& rid) {
+  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
+  GOMFM_RETURN_IF_ERROR(page->Delete(rid.slot));
+  return pool_->MarkDirty(rid.page);
+}
+
+size_t StorageManager::SegmentPageCount(SegmentId segment) const {
+  if (segment >= segments_.size()) return 0;
+  return segments_[segment].pages.size();
+}
+
+Status StorageManager::ScanSegment(SegmentId segment,
+                                   const std::function<void(const Rid&)>& fn) {
+  if (segment >= segments_.size()) {
+    return Status::InvalidArgument("StorageManager::ScanSegment: bad segment");
+  }
+  for (PageId pid : segments_[segment].pages) {
+    GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(pid));
+    uint16_t n = page->slot_count();
+    for (SlotId s = 0; s < n; ++s) {
+      size_t len = 0;
+      if (page->Read(s, &len).ok()) fn(Rid{pid, s});
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom

@@ -1,0 +1,94 @@
+#ifndef GOMFM_STORAGE_STORAGE_MANAGER_H_
+#define GOMFM_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace gom {
+
+/// Physical address of a record: page + slot.
+struct Rid {
+  PageId page = kInvalidPageId;
+  SlotId slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const Rid& o) const { return page == o.page && slot == o.slot; }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(r.page) << 16) | r.slot);
+  }
+};
+
+using SegmentId = uint32_t;
+
+/// Record-oriented storage on top of the buffer pool — the role EXODUS
+/// played for GOM. Records live in named segments; within a segment pages
+/// fill in insertion order, which gives composite objects created together
+/// (a Cuboid followed by its eight Vertex instances) natural physical
+/// clustering, mirroring GOM's placement.
+///
+/// Updates that grow a record relocate it and return the new `Rid`; the
+/// object layer keeps its OID → Rid mapping up to date.
+class StorageManager {
+ public:
+  /// `pool` must outlive the manager.
+  explicit StorageManager(BufferPool* pool) : pool_(pool) {}
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Creates (or returns) the segment named `name`.
+  SegmentId CreateSegment(const std::string& name);
+
+  /// Appends a record to `segment`.
+  Result<Rid> InsertRecord(SegmentId segment, const std::vector<uint8_t>& data);
+
+  /// Copies the record's bytes out (the page may be evicted afterwards).
+  Result<std::vector<uint8_t>> ReadRecord(const Rid& rid);
+
+  /// Touches the record's page for reading without copying bytes — used by
+  /// the object layer when the authoritative object state is cached in
+  /// memory and only the I/O behaviour must be simulated.
+  Status TouchRecord(const Rid& rid);
+
+  /// Overwrites the record. Returns the (possibly relocated) Rid.
+  Result<Rid> UpdateRecord(SegmentId segment, const Rid& rid,
+                           const std::vector<uint8_t>& data);
+
+  Status DeleteRecord(const Rid& rid);
+
+  /// Number of pages owned by `segment`.
+  size_t SegmentPageCount(SegmentId segment) const;
+
+  /// Runs `fn(rid)` for every live record of the segment in physical order,
+  /// faulting pages as needed (this is a full segment scan).
+  Status ScanSegment(SegmentId segment,
+                     const std::function<void(const Rid&)>& fn);
+
+  BufferPool* buffer_pool() { return pool_; }
+
+ private:
+  struct Segment {
+    std::string name;
+    std::vector<PageId> pages;
+  };
+
+  /// Finds or creates a page in the segment with room for `length` bytes.
+  Result<PageId> PageWithRoom(SegmentId segment, size_t length);
+
+  BufferPool* pool_;
+  std::vector<Segment> segments_;
+  std::unordered_map<std::string, SegmentId> by_name_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,327 @@
+#include "workload/company_schema.h"
+
+#include "funclang/builder.h"
+#include "funclang/interpreter.h"
+
+namespace gom::workload {
+
+using namespace funclang;  // builder DSL
+
+Result<CompanySchema> CompanySchema::Declare(
+    Schema* schema, funclang::FunctionRegistry* registry) {
+  CompanySchema s;
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.person, schema->DeclareTupleType({"Person",
+                                          kInvalidTypeId,
+                                          {{"Name", TypeRef::String()}},
+                                          {"Name", "set_Name"},
+                                          false}));
+  // Forward declarations are impossible — declare leaf types first.
+  GOMFM_ASSIGN_OR_RETURN(
+      s.employee_set,
+      schema->DeclareSetType("EmployeeSet", TypeRef::Any()));
+  GOMFM_ASSIGN_OR_RETURN(s.job_set,
+                         schema->DeclareSetType("JobSet", TypeRef::Any()));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.project,
+      schema->DeclareTupleType(
+          {"Project",
+           kInvalidTypeId,
+           {{"Name", TypeRef::String()},
+            {"Status", TypeRef::Float()},   // −1000 … 1000 (§7.2)
+            {"Size", TypeRef::Int()},       // lines of code
+            {"Programmers", TypeRef::Object(s.employee_set)}},
+           {"Name", "Status", "set_Status", "Size", "set_Size",
+            "Programmers"},
+           false}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.job,
+      schema->DeclareTupleType(
+          {"Job",
+           kInvalidTypeId,
+           {{"Proj", TypeRef::Object(s.project)},
+            {"Loc", TypeRef::Int()},        // lines of code written
+            {"OnTime", TypeRef::Bool()},    // the two status booleans
+            {"InBudget", TypeRef::Bool()}},
+           {"Proj", "Loc", "set_Loc", "OnTime", "set_OnTime", "InBudget",
+            "set_InBudget"},
+           false}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.employee,
+      schema->DeclareTupleType(
+          {"Employee",
+           s.person,
+           {{"EmpNo", TypeRef::Int()},
+            {"Salary", TypeRef::Float()},
+            {"JobHistory", TypeRef::Object(s.job_set)}},
+           {"EmpNo", "Salary", "set_Salary", "JobHistory", "ranking",
+            "promote"},
+           false}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.department,
+      schema->DeclareTupleType(
+          {"Department",
+           kInvalidTypeId,
+           {{"Name", TypeRef::String()},
+            {"DepNo", TypeRef::Int()},
+            {"Emps", TypeRef::Object(s.employee_set)}},
+           {"Name", "DepNo", "Emps"},
+           false}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.department_set,
+      schema->DeclareSetType("DepartmentSet", TypeRef::Object(s.department)));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.project_set,
+      schema->DeclareSetType("ProjectSet", TypeRef::Object(s.project)));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.company,
+      schema->DeclareTupleType(
+          {"Company",
+           kInvalidTypeId,
+           {{"Name", TypeRef::String()},
+            {"Deps", TypeRef::Object(s.department_set)},
+            {"Projs", TypeRef::Object(s.project_set)}},
+           {"Name", "Deps", "Projs", "matrix", "add_project"},
+           false}));
+
+  // ---- assessment / ranking ------------------------------------------------
+
+  // assessment(j) = j.Loc/1000 + [j.OnTime] + [j.InBudget] + j.Proj.Status/1000
+  GOMFM_ASSIGN_OR_RETURN(
+      s.assessment,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "assessment",
+          {{"self", TypeRef::Object(s.job)}},
+          TypeRef::Float(),
+          Body(Add(
+              Add(Div(Attr(Self(), "Loc"), F(1000.0)),
+                  Add(IfE(Attr(Self(), "OnTime"), F(1.0), F(0.0)),
+                      IfE(Attr(Self(), "InBudget"), F(1.0), F(0.0)))),
+              Div(Path(Self(), {"Proj", "Status"}), F(1000.0)))),
+          nullptr,
+          true}));
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.ranking,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "ranking",
+          {{"self", TypeRef::Object(s.employee)}},
+          TypeRef::Float(),
+          Body(AvgOver(Attr(Self(), "JobHistory"), "jh",
+                       CallF("assessment", {Var("jh")}))),
+          nullptr,
+          true}));
+
+  // ---- matrix ---------------------------------------------------------------
+
+  // matrix(c) = { [d, p, {e ∈ d.Emps | e ∈ p.Programmers}] |
+  //               d ∈ c.Deps, p ∈ c.Projs, intersection ≠ ∅ }
+  GOMFM_ASSIGN_OR_RETURN(
+      s.matrix,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "matrix",
+          {{"self", TypeRef::Object(s.company)}},
+          TypeRef::Any(),
+          Body(SelectFrom(
+              Flatten(MapOver(
+                  Attr(Self(), "Deps"), "d",
+                  MapOver(Attr(Self(), "Projs"), "p",
+                          MakeComposite(
+                              {Var("d"), Var("p"),
+                               SelectFrom(Attr(Var("d"), "Emps"), "e2",
+                                          Contains(Attr(Var("p"),
+                                                        "Programmers"),
+                                                   Var("e2")))})))),
+              "ml", Gt(CountOf(At(Var("ml"), 2)), I(0)))),
+          nullptr,
+          true}));
+
+  // Compensating action: append the new project's lines to the old matrix.
+  GOMFM_ASSIGN_OR_RETURN(
+      s.matrix_add_project,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "matrix_add_project",
+          {{"self", TypeRef::Object(s.company)},
+           {"new_proj", TypeRef::Object(s.project)},
+           {"old_matrix", TypeRef::Any()}},
+          TypeRef::Any(),
+          Body(Flatten(MakeComposite(
+              {Var("old_matrix"),
+               SelectFrom(
+                   MapOver(Attr(Self(), "Deps"), "d2",
+                           MakeComposite(
+                               {Var("d2"), Var("new_proj"),
+                                SelectFrom(Attr(Var("d2"), "Emps"), "e3",
+                                           Contains(Attr(Var("new_proj"),
+                                                         "Programmers"),
+                                                    Var("e3")))})),
+                   "ml2", Gt(CountOf(At(Var("ml2"), 2)), I(0)))}))),
+          nullptr,
+          true}));
+
+  // ---- native update operations ---------------------------------------------
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.op_promote,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "promote",
+          {{"self", TypeRef::Object(s.employee)},
+           {"job_index", TypeRef::Int()},
+           {"on_time", TypeRef::Bool()},
+           {"in_budget", TypeRef::Bool()}},
+          TypeRef::Void(),
+          {},
+          [](EvalContext& ctx, const std::vector<Value>& args)
+              -> Result<Value> {
+            ObjectManager& om = ctx.om();
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            GOMFM_ASSIGN_OR_RETURN(Value history,
+                                   om.GetAttribute(self, "JobHistory"));
+            GOMFM_ASSIGN_OR_RETURN(Oid jobs, history.AsRef());
+            GOMFM_ASSIGN_OR_RETURN(std::vector<Value> elems,
+                                   om.GetElements(jobs));
+            if (elems.empty()) return Value::Null();
+            size_t idx = static_cast<size_t>(args[1].as_int()) % elems.size();
+            GOMFM_ASSIGN_OR_RETURN(Oid job, elems[idx].AsRef());
+            GOMFM_RETURN_IF_ERROR(
+                om.SetAttribute(job, "OnTime", args[2]));
+            GOMFM_RETURN_IF_ERROR(
+                om.SetAttribute(job, "InBudget", args[3]));
+            return Value::Null();
+          },
+          false}));
+
+  FunctionId add_project_id = static_cast<FunctionId>(registry->size());
+  GOMFM_ASSIGN_OR_RETURN(
+      s.op_add_project,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "add_project",
+          {{"self", TypeRef::Object(s.company)},
+           {"proj", TypeRef::Object(s.project)}},
+          TypeRef::Void(),
+          {},
+          [add_project_id](EvalContext& ctx, const std::vector<Value>& args)
+              -> Result<Value> {
+            ObjectManager& om = ctx.om();
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            GOMFM_RETURN_IF_ERROR(
+                om.BeginOperation(self, add_project_id, args));
+            Status st = Status::Ok();
+            auto projs = om.GetAttribute(self, "Projs");
+            if (projs.ok()) {
+              auto set = projs->AsRef();
+              st = set.ok() ? om.InsertElement(*set, args[1]) : set.status();
+            } else {
+              st = projs.status();
+            }
+            GOMFM_RETURN_IF_ERROR(om.EndOperation(self, add_project_id));
+            GOMFM_RETURN_IF_ERROR(st);
+            return Value::Null();
+          },
+          false}));
+
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.employee, "ranking", s.ranking));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.employee, "promote", s.op_promote));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.company, "matrix", s.matrix));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.company, "add_project", s.op_add_project));
+  return s;
+}
+
+Result<CompanyDb> BuildCompany(const CompanySchema& s, ObjectManager* om,
+                               const CompanyConfig& config, Rng* rng) {
+  CompanyDb db;
+
+  // Projects first (jobs reference them).
+  for (size_t p = 0; p < config.projects; ++p) {
+    GOMFM_ASSIGN_OR_RETURN(Oid programmers,
+                           om->CreateCollection(s.employee_set));
+    GOMFM_ASSIGN_OR_RETURN(
+        Oid proj,
+        om->CreateTuple(
+            s.project,
+            {Value::String("P" + std::to_string(p)),
+             Value::Float(rng->UniformDouble(-1000.0, 1000.0)),
+             Value::Int(rng->UniformInt(1000, 200000)),
+             Value::Ref(programmers)}));
+    db.projects.push_back(proj);
+  }
+
+  GOMFM_ASSIGN_OR_RETURN(Oid deps_set,
+                         om->CreateCollection(s.department_set));
+  GOMFM_ASSIGN_OR_RETURN(Oid projs_set, om->CreateCollection(s.project_set));
+  for (Oid p : db.projects) {
+    GOMFM_RETURN_IF_ERROR(om->InsertElement(projs_set, Value::Ref(p)));
+  }
+
+  int64_t next_emp_no = 1;
+  for (size_t d = 0; d < config.departments; ++d) {
+    GOMFM_ASSIGN_OR_RETURN(Oid emps, om->CreateCollection(s.employee_set));
+    GOMFM_ASSIGN_OR_RETURN(
+        Oid dep, om->CreateTuple(s.department,
+                                 {Value::String("D" + std::to_string(d)),
+                                  Value::Int(static_cast<int64_t>(d)),
+                                  Value::Ref(emps)}));
+    db.departments.push_back(dep);
+    GOMFM_RETURN_IF_ERROR(om->InsertElement(deps_set, Value::Ref(dep)));
+
+    for (size_t e = 0; e < config.employees_per_department; ++e) {
+      GOMFM_ASSIGN_OR_RETURN(Oid history, om->CreateCollection(s.job_set));
+      int64_t emp_no = next_emp_no++;
+      GOMFM_ASSIGN_OR_RETURN(
+          Oid emp,
+          om->CreateTuple(
+              s.employee,
+              {Value::String("E" + std::to_string(emp_no)),
+               Value::Int(emp_no),
+               Value::Float(rng->UniformDouble(30000.0, 120000.0)),
+               Value::Ref(history)}));
+      db.employees.push_back(emp);
+      db.by_emp_no[emp_no] = emp;
+      GOMFM_RETURN_IF_ERROR(om->InsertElement(emps, Value::Ref(emp)));
+      // On average every employee has been involved in
+      // `jobs_per_employee` projects.
+      for (size_t j = 0; j < config.jobs_per_employee; ++j) {
+        Oid proj = db.projects[rng->UniformInt(0, db.projects.size() - 1)];
+        GOMFM_ASSIGN_OR_RETURN(
+            Oid job, om->CreateTuple(
+                         s.job, {Value::Ref(proj),
+                                 Value::Int(rng->UniformInt(100, 20000)),
+                                 Value::Bool(rng->Bernoulli(0.7)),
+                                 Value::Bool(rng->Bernoulli(0.6))}));
+        GOMFM_RETURN_IF_ERROR(om->InsertElement(history, Value::Ref(job)));
+      }
+    }
+  }
+
+  // Staff the projects with `programmers_per_project` employees each.
+  for (Oid proj : db.projects) {
+    GOMFM_ASSIGN_OR_RETURN(Value programmers,
+                           om->GetAttribute(proj, "Programmers"));
+    GOMFM_ASSIGN_OR_RETURN(Oid prog_set, programmers.AsRef());
+    for (size_t k = 0; k < config.programmers_per_project; ++k) {
+      Oid emp = db.employees[rng->UniformInt(0, db.employees.size() - 1)];
+      Status st = om->InsertElement(prog_set, Value::Ref(emp));
+      if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+    }
+  }
+
+  GOMFM_ASSIGN_OR_RETURN(
+      db.company,
+      om->CreateTuple(s.company, {Value::String("GOM Corp"),
+                                  Value::Ref(deps_set),
+                                  Value::Ref(projs_set)}));
+  return db;
+}
+
+}  // namespace gom::workload

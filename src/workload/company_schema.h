@@ -1,0 +1,79 @@
+#ifndef GOMFM_WORKLOAD_COMPANY_SCHEMA_H_
+#define GOMFM_WORKLOAD_COMPANY_SCHEMA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "funclang/function_registry.h"
+#include "gom/object_manager.h"
+
+namespace gom::workload {
+
+/// The personnel / project administration application of §7.2: the matrix
+/// organization of a company and the ranking of employees.
+///
+/// Reference graph (Figure 12): Company →→ Departments/Projects;
+/// Department →→ Employees; Project →→ programmers (Employees);
+/// Employee →→ JobHistory (Jobs); Job → Project.
+struct CompanySchema {
+  TypeId person = kInvalidTypeId;
+  TypeId employee = kInvalidTypeId;
+  TypeId job = kInvalidTypeId;
+  TypeId project = kInvalidTypeId;
+  TypeId department = kInvalidTypeId;
+  TypeId company = kInvalidTypeId;
+  TypeId employee_set = kInvalidTypeId;
+  TypeId job_set = kInvalidTypeId;
+  TypeId department_set = kInvalidTypeId;
+  TypeId project_set = kInvalidTypeId;
+
+  /// assessment(j: Job) → float: computed from the job's attributes and
+  /// its project's status.
+  FunctionId assessment = kInvalidFunctionId;
+  /// ranking(e: Employee) → float: average assessment over the job history.
+  FunctionId ranking = kInvalidFunctionId;
+  /// matrix(c: Company) → set of MatrixLine [Dep, Proj, Emps] tuples with
+  /// Emps ≠ ∅ (as transient composites).
+  FunctionId matrix = kInvalidFunctionId;
+  /// Compensating action for Company.add_project / matrix: appends the new
+  /// project's matrix lines to the old result.
+  FunctionId matrix_add_project = kInvalidFunctionId;
+
+  /// Native update: promote/degrade — rewrites one job's status booleans.
+  /// promote(self: Employee, job_index: int, on_time: bool, in_budget: bool)
+  FunctionId op_promote = kInvalidFunctionId;
+  /// Native update: add_project(self: Company, proj: Project); inserts into
+  /// the company's project set inside an operation bracket so compensating
+  /// actions and InvalidatedFct apply (§5.3/§5.4).
+  FunctionId op_add_project = kInvalidFunctionId;
+
+  static Result<CompanySchema> Declare(Schema* schema,
+                                       funclang::FunctionRegistry* registry);
+};
+
+/// A generated company instance.
+struct CompanyDb {
+  Oid company;
+  std::vector<Oid> departments;
+  std::vector<Oid> employees;
+  std::vector<Oid> projects;
+  /// EmpNo → Employee (models the unique-number index of §7.2).
+  std::unordered_map<int64_t, Oid> by_emp_no;
+};
+
+struct CompanyConfig {
+  size_t departments = 20;
+  size_t employees_per_department = 100;
+  size_t projects = 1000;
+  size_t jobs_per_employee = 10;
+  size_t programmers_per_project = 5;
+};
+
+/// Populates an object base with one company per the configuration.
+Result<CompanyDb> BuildCompany(const CompanySchema& s, ObjectManager* om,
+                               const CompanyConfig& config, Rng* rng);
+
+}  // namespace gom::workload
+
+#endif  // GOMFM_WORKLOAD_COMPANY_SCHEMA_H_

@@ -1,0 +1,390 @@
+#include "workload/cuboid_schema.h"
+
+#include <cmath>
+
+#include "funclang/builder.h"
+#include "funclang/interpreter.h"
+
+namespace gom::workload {
+
+using namespace funclang;  // builder DSL
+
+namespace {
+
+/// Native update operation applying `fn(x, y, z) -> (x', y', z')` to every
+/// boundary vertex of the receiving cuboid, inside an operation bracket.
+Result<Value> TransformVertices(
+    EvalContext& ctx, Oid self, FunctionId op, const std::vector<Value>& args,
+    const std::function<void(double&, double&, double&)>& fn) {
+  ObjectManager& om = ctx.om();
+  GOMFM_RETURN_IF_ERROR(om.BeginOperation(self, op, args));
+  Status failure = Status::Ok();
+  for (int i = 1; i <= 8 && failure.ok(); ++i) {
+    std::string attr = "V" + std::to_string(i);
+    auto vref = om.GetAttribute(self, attr);
+    if (!vref.ok()) {
+      failure = vref.status();
+      break;
+    }
+    Oid v = vref->as_ref();
+    auto x = om.GetAttribute(v, "X");
+    auto y = om.GetAttribute(v, "Y");
+    auto z = om.GetAttribute(v, "Z");
+    if (!x.ok() || !y.ok() || !z.ok()) {
+      failure = Status::Internal("vertex coordinates unreadable");
+      break;
+    }
+    double xd = x->as_float(), yd = y->as_float(), zd = z->as_float();
+    fn(xd, yd, zd);
+    failure = om.SetAttribute(v, "X", Value::Float(xd));
+    if (failure.ok()) failure = om.SetAttribute(v, "Y", Value::Float(yd));
+    if (failure.ok()) failure = om.SetAttribute(v, "Z", Value::Float(zd));
+  }
+  GOMFM_RETURN_IF_ERROR(om.EndOperation(self, op));
+  GOMFM_RETURN_IF_ERROR(failure);
+  return Value::Null();
+}
+
+}  // namespace
+
+Result<CuboidSchema> CuboidSchema::Declare(Schema* schema,
+                                           funclang::FunctionRegistry* registry) {
+  CuboidSchema s;
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.vertex,
+      schema->DeclareTupleType(
+          {"Vertex",
+           kInvalidTypeId,
+           {{"X", TypeRef::Float()},
+            {"Y", TypeRef::Float()},
+            {"Z", TypeRef::Float()}},
+           {"X", "set_X", "Y", "set_Y", "Z", "set_Z", "translate", "scale",
+            "rotate", "dist"},
+           false}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.material,
+      schema->DeclareTupleType(
+          {"Material",
+           kInvalidTypeId,
+           {{"Name", TypeRef::String()}, {"SpecWeight", TypeRef::Float()}},
+           {"Name", "set_Name", "SpecWeight", "set_SpecWeight"},
+           false}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.robot,
+      schema->DeclareTupleType(
+          {"Robot",
+           kInvalidTypeId,
+           {{"Pos", TypeRef::Object(s.vertex)}},
+           {"Pos", "set_Pos"},
+           false}));
+
+  std::vector<Attribute> cuboid_attrs;
+  for (int i = 1; i <= 8; ++i) {
+    cuboid_attrs.push_back(
+        {"V" + std::to_string(i), TypeRef::Object(s.vertex)});
+  }
+  cuboid_attrs.push_back({"Mat", TypeRef::Object(s.material)});
+  cuboid_attrs.push_back({"Value", TypeRef::Float()});
+  GOMFM_ASSIGN_OR_RETURN(
+      s.cuboid,
+      schema->DeclareTupleType(
+          {"Cuboid",
+           kInvalidTypeId,
+           cuboid_attrs,
+           // Figure 1 intentionally makes the whole structure public; §5.3
+           // later restricts the public clause under strict encapsulation.
+           {"length", "width", "height", "volume", "weight", "rotate",
+            "scale", "translate", "distance", "V1", "set_V1", "V2", "set_V2",
+            "V3", "set_V3", "V4", "set_V4", "V5", "set_V5", "V6", "set_V6",
+            "V7", "set_V7", "V8", "set_V8", "Value", "set_Value", "Mat",
+            "set_Mat"},
+           false}));
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.workpieces,
+      schema->DeclareSetType("Workpieces", TypeRef::Object(s.cuboid)));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.valuables,
+      schema->DeclareSetType("Valuables", TypeRef::Object(s.cuboid)));
+
+  // --- Side-effect-free functions (function language, analyzable) ---------
+
+  auto sq = [](ExprPtr a, ExprPtr b) { return Mul(Sub(a, b), Sub(a, b)); };
+  GOMFM_ASSIGN_OR_RETURN(
+      s.dist,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "dist",
+          {{"self", TypeRef::Object(s.vertex)},
+           {"other", TypeRef::Object(s.vertex)}},
+          TypeRef::Float(),
+          Body(Sqrt(Add(Add(sq(Attr(Self(), "X"), Attr(Var("other"), "X")),
+                            sq(Attr(Self(), "Y"), Attr(Var("other"), "Y"))),
+                        sq(Attr(Self(), "Z"), Attr(Var("other"), "Z"))))),
+          nullptr,
+          true}));
+
+  auto edge = [&](const char* name,
+                  const char* corner) -> Result<FunctionId> {
+    return registry->Register(FunctionDef{
+        kInvalidFunctionId,
+        name,
+        {{"self", TypeRef::Object(s.cuboid)}},
+        TypeRef::Float(),
+        Body(CallF("dist", {Attr(Self(), "V1"), Attr(Self(), corner)})),
+        nullptr,
+        true});
+  };
+  GOMFM_ASSIGN_OR_RETURN(s.length, edge("length", "V2"));
+  GOMFM_ASSIGN_OR_RETURN(s.width, edge("width", "V4"));
+  GOMFM_ASSIGN_OR_RETURN(s.height, edge("height", "V5"));
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.volume,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "volume",
+          {{"self", TypeRef::Object(s.cuboid)}},
+          TypeRef::Float(),
+          Body(Mul(Mul(CallF("length", {Self()}), CallF("width", {Self()})),
+                   CallF("height", {Self()}))),
+          nullptr,
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.weight,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "weight",
+          {{"self", TypeRef::Object(s.cuboid)}},
+          TypeRef::Float(),
+          Body(Mul(CallF("volume", {Self()}),
+                   Path(Self(), {"Mat", "SpecWeight"}))),
+          nullptr,
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.distance,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "distance",
+          {{"self", TypeRef::Object(s.cuboid)},
+           {"robot", TypeRef::Object(s.robot)}},
+          TypeRef::Float(),
+          Body(CallF("dist",
+                     {Attr(Self(), "V1"), Attr(Var("robot"), "Pos")})),
+          nullptr,
+          true}));
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.total_volume,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "total_volume",
+          {{"self", TypeRef::Object(s.workpieces)}},
+          TypeRef::Float(),
+          Body(SumOver(Self(), "c", CallF("volume", {Var("c")}))),
+          nullptr,
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.total_weight,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "total_weight",
+          {{"self", TypeRef::Object(s.workpieces)}},
+          TypeRef::Float(),
+          Body(SumOver(Self(), "cw", CallF("weight", {Var("cw")}))),
+          nullptr,
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.total_value,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "total_value",
+          {{"self", TypeRef::Object(s.valuables)}},
+          TypeRef::Float(),
+          Body(SumOver(Self(), "cv", Attr(Var("cv"), "Value"))),
+          nullptr,
+          true}));
+
+  // §5.4: increase_total(self, new_cuboid, old_total) = old_total +
+  // new_cuboid.volume — compensates Workpieces.insert for total_volume.
+  GOMFM_ASSIGN_OR_RETURN(
+      s.increase_total,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "increase_total",
+          {{"self", TypeRef::Object(s.workpieces)},
+           {"new_cuboid", TypeRef::Object(s.cuboid)},
+           {"old_total", TypeRef::Float()}},
+          TypeRef::Float(),
+          Body(Add(Var("old_total"), CallF("volume", {Var("new_cuboid")}))),
+          nullptr,
+          true}));
+
+  // --- Native update operations -------------------------------------------
+
+  FunctionId op_translate_id = static_cast<FunctionId>(registry->size());
+  GOMFM_ASSIGN_OR_RETURN(
+      s.op_translate,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "translate",
+          {{"self", TypeRef::Object(s.cuboid)},
+           {"dx", TypeRef::Float()},
+           {"dy", TypeRef::Float()},
+           {"dz", TypeRef::Float()}},
+          TypeRef::Void(),
+          {},
+          [op_translate_id](EvalContext& ctx,
+                            const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            double dx = *args[1].AsDouble(), dy = *args[2].AsDouble(),
+                   dz = *args[3].AsDouble();
+            return TransformVertices(ctx, self, op_translate_id, args,
+                                     [&](double& x, double& y, double& z) {
+                                       x += dx;
+                                       y += dy;
+                                       z += dz;
+                                     });
+          },
+          false}));
+
+  FunctionId op_scale_id = static_cast<FunctionId>(registry->size());
+  GOMFM_ASSIGN_OR_RETURN(
+      s.op_scale,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "scale",
+          {{"self", TypeRef::Object(s.cuboid)},
+           {"sx", TypeRef::Float()},
+           {"sy", TypeRef::Float()},
+           {"sz", TypeRef::Float()}},
+          TypeRef::Void(),
+          {},
+          [op_scale_id](EvalContext& ctx,
+                        const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            double sx = *args[1].AsDouble(), sy = *args[2].AsDouble(),
+                   sz = *args[3].AsDouble();
+            return TransformVertices(ctx, self, op_scale_id, args,
+                                     [&](double& x, double& y, double& z) {
+                                       x *= sx;
+                                       y *= sy;
+                                       z *= sz;
+                                     });
+          },
+          false}));
+
+  FunctionId op_rotate_id = static_cast<FunctionId>(registry->size());
+  GOMFM_ASSIGN_OR_RETURN(
+      s.op_rotate,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "rotate",
+          {{"self", TypeRef::Object(s.cuboid)},
+           {"axis", TypeRef::Int()},  // 0 = X, 1 = Y, 2 = Z
+           {"angle", TypeRef::Float()}},
+          TypeRef::Void(),
+          {},
+          [op_rotate_id](EvalContext& ctx,
+                         const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            int64_t axis = args[1].as_int();
+            double a = *args[2].AsDouble();
+            double c = std::cos(a), si = std::sin(a);
+            return TransformVertices(
+                ctx, self, op_rotate_id, args,
+                [&](double& x, double& y, double& z) {
+                  double nx = x, ny = y, nz = z;
+                  switch (axis % 3) {
+                    case 0:
+                      ny = y * c - z * si;
+                      nz = y * si + z * c;
+                      break;
+                    case 1:
+                      nx = x * c + z * si;
+                      nz = -x * si + z * c;
+                      break;
+                    default:
+                      nx = x * c - y * si;
+                      ny = x * si + y * c;
+                  }
+                  x = nx;
+                  y = ny;
+                  z = nz;
+                });
+          },
+          false}));
+
+  // Attach type-associated operations to the schema's type frames.
+  GOMFM_RETURN_IF_ERROR(schema->AttachOperation(s.cuboid, "volume", s.volume));
+  GOMFM_RETURN_IF_ERROR(schema->AttachOperation(s.cuboid, "weight", s.weight));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.cuboid, "translate", s.op_translate));
+  GOMFM_RETURN_IF_ERROR(schema->AttachOperation(s.cuboid, "scale", s.op_scale));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.cuboid, "rotate", s.op_rotate));
+  GOMFM_RETURN_IF_ERROR(schema->AttachOperation(s.vertex, "dist", s.dist));
+
+  return s;
+}
+
+Result<Oid> CuboidSchema::MakeMaterial(ObjectManager* om,
+                                       const std::string& name,
+                                       double spec_weight) const {
+  return om->CreateTuple(material,
+                         {Value::String(name), Value::Float(spec_weight)});
+}
+
+Result<Oid> CuboidSchema::MakeRobot(ObjectManager* om, double x, double y,
+                                    double z) const {
+  GOMFM_ASSIGN_OR_RETURN(
+      Oid pos, om->CreateTuple(vertex, {Value::Float(x), Value::Float(y),
+                                        Value::Float(z)}));
+  return om->CreateTuple(robot, {Value::Ref(pos)});
+}
+
+Result<Oid> CuboidSchema::MakeCuboid(ObjectManager* om, double l, double w,
+                                     double h, Oid mat, double value,
+                                     double x0, double y0, double z0) const {
+  // Standard corner layout: V1 origin, V2 +x, V3 +x+y, V4 +y, V5..V8 the
+  // same square shifted by +z.
+  const double xs[8] = {0, l, l, 0, 0, l, l, 0};
+  const double ys[8] = {0, 0, w, w, 0, 0, w, w};
+  const double zs[8] = {0, 0, 0, 0, h, h, h, h};
+  std::vector<Value> fields;
+  for (int i = 0; i < 8; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(
+        Oid v, om->CreateTuple(vertex, {Value::Float(x0 + xs[i]),
+                                        Value::Float(y0 + ys[i]),
+                                        Value::Float(z0 + zs[i])}));
+    fields.push_back(Value::Ref(v));
+  }
+  fields.push_back(Value::Ref(mat));
+  fields.push_back(Value::Float(value));
+  return om->CreateTuple(cuboid, std::move(fields));
+}
+
+Result<std::vector<Oid>> CuboidSchema::VerticesOf(ObjectManager* om,
+                                                  Oid cuboid_oid) const {
+  std::vector<Oid> out;
+  for (int i = 1; i <= 8; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(
+        Value v, om->GetAttribute(cuboid_oid, "V" + std::to_string(i)));
+    GOMFM_ASSIGN_OR_RETURN(Oid oid, v.AsRef());
+    out.push_back(oid);
+  }
+  return out;
+}
+
+Status CuboidSchema::DeleteCuboid(ObjectManager* om, Oid cuboid_oid) const {
+  GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> vertices,
+                         VerticesOf(om, cuboid_oid));
+  GOMFM_RETURN_IF_ERROR(om->Delete(cuboid_oid));
+  for (Oid v : vertices) {
+    GOMFM_RETURN_IF_ERROR(om->Delete(v));
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom::workload

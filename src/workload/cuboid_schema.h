@@ -1,0 +1,73 @@
+#ifndef GOMFM_WORKLOAD_CUBOID_SCHEMA_H_
+#define GOMFM_WORKLOAD_CUBOID_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "funclang/function_registry.h"
+#include "gom/object_manager.h"
+
+namespace gom::workload {
+
+/// The computer-geometry application of §2/§7.1: Vertex, Material, Robot,
+/// Cuboid (Figure 1), the set types Workpieces and Valuables, the
+/// side-effect-free functions (dist, length, width, height, volume, weight,
+/// distance, total_volume, total_weight, total_value) and the native update
+/// operations (translate, scale, rotate).
+///
+/// The update operations delegate to the boundary vertices through the
+/// elementary `set_X/Y/Z` operations, inside a Begin/EndOperation bracket —
+/// so all invalidation strategies of §4/§5 observe exactly the events the
+/// paper describes (e.g. one `scale` performs 12 relevant coordinate writes
+/// on the four vertices the materialized `volume` depends on).
+struct CuboidSchema {
+  TypeId vertex = kInvalidTypeId;
+  TypeId material = kInvalidTypeId;
+  TypeId robot = kInvalidTypeId;
+  TypeId cuboid = kInvalidTypeId;
+  TypeId workpieces = kInvalidTypeId;
+  TypeId valuables = kInvalidTypeId;
+
+  FunctionId dist = kInvalidFunctionId;
+  FunctionId length = kInvalidFunctionId;
+  FunctionId width = kInvalidFunctionId;
+  FunctionId height = kInvalidFunctionId;
+  FunctionId volume = kInvalidFunctionId;
+  FunctionId weight = kInvalidFunctionId;
+  FunctionId distance = kInvalidFunctionId;      // Cuboid × Robot → float
+  FunctionId total_volume = kInvalidFunctionId;  // Workpieces → float
+  FunctionId total_weight = kInvalidFunctionId;
+  FunctionId total_value = kInvalidFunctionId;   // Valuables → float
+  /// Compensating action for Workpieces.insert / total_volume (§5.4).
+  FunctionId increase_total = kInvalidFunctionId;
+
+  FunctionId op_translate = kInvalidFunctionId;  // Cuboid ‖ dx,dy,dz → void
+  FunctionId op_scale = kInvalidFunctionId;      // Cuboid ‖ sx,sy,sz → void
+  FunctionId op_rotate = kInvalidFunctionId;     // Cuboid ‖ axis,angle → void
+
+  /// Declares all types and functions into the given schema/registry.
+  static Result<CuboidSchema> Declare(Schema* schema,
+                                      funclang::FunctionRegistry* registry);
+
+  /// Creates an axis-aligned cuboid l × w × h with corner V1 at
+  /// (x0, y0, z0), its eight vertices (created right before it, so they
+  /// cluster on its pages), referencing `mat`.
+  Result<Oid> MakeCuboid(ObjectManager* om, double l, double w, double h,
+                         Oid mat, double value = 0.0, double x0 = 0.0,
+                         double y0 = 0.0, double z0 = 0.0) const;
+
+  Result<Oid> MakeMaterial(ObjectManager* om, const std::string& name,
+                           double spec_weight) const;
+
+  Result<Oid> MakeRobot(ObjectManager* om, double x, double y, double z) const;
+
+  /// The eight vertex OIDs of a cuboid.
+  Result<std::vector<Oid>> VerticesOf(ObjectManager* om, Oid cuboid_oid) const;
+
+  /// Deletes a cuboid together with its eight (exclusively owned) vertices.
+  Status DeleteCuboid(ObjectManager* om, Oid cuboid_oid) const;
+};
+
+}  // namespace gom::workload
+
+#endif  // GOMFM_WORKLOAD_CUBOID_SCHEMA_H_

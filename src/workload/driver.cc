@@ -1,0 +1,397 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+namespace gom::workload {
+
+namespace {
+
+GmrManagerOptions OptionsFor(ProgramVersion v) {
+  GmrManagerOptions options;
+  options.remat = v == ProgramVersion::kLazy ? RematStrategy::kLazy
+                                             : RematStrategy::kImmediate;
+  return options;
+}
+
+NotifyLevel LevelFor(ProgramVersion v) {
+  switch (v) {
+    case ProgramVersion::kInfoHiding:
+    case ProgramVersion::kCompAction:
+      return NotifyLevel::kInfoHiding;
+    default:
+      return NotifyLevel::kObjDep;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- GeoBench
+
+GeoBench::GeoBench(const Config& config)
+    : config_(config),
+      env_(std::make_unique<Environment>(config.buffer_pages,
+                                         OptionsFor(config.version))),
+      rng_(config.seed) {
+  setup_ = Setup();
+}
+
+Status GeoBench::Setup() {
+  GOMFM_ASSIGN_OR_RETURN(geo_,
+                         CuboidSchema::Declare(&env_->schema,
+                                               &env_->registry));
+  GOMFM_ASSIGN_OR_RETURN(iron_, geo_.MakeMaterial(&env_->om, "Iron", 7.86));
+  GOMFM_ASSIGN_OR_RETURN(gold_, geo_.MakeMaterial(&env_->om, "Gold", 19.0));
+
+  cuboids_.reserve(config_.num_cuboids);
+  for (size_t i = 0; i < config_.num_cuboids; ++i) {
+    double l = rng_.UniformDouble(1, 20);
+    double w = rng_.UniformDouble(1, 20);
+    double h = rng_.UniformDouble(1, 20);
+    max_volume_ = std::max(max_volume_, l * w * h);
+    GOMFM_ASSIGN_OR_RETURN(
+        Oid c, geo_.MakeCuboid(&env_->om, l, w, h,
+                               rng_.Bernoulli(0.5) ? iron_ : gold_,
+                               rng_.UniformDouble(0, 1000)));
+    cuboids_.push_back(c);
+  }
+
+  bool with_gmr = config_.version != ProgramVersion::kWithoutGmr;
+  if (with_gmr) {
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(geo_.cuboid)};
+    spec.functions = {geo_.volume};
+    if (config_.materialize_weight) {
+      spec.name = "volume_weight";
+      spec.functions.push_back(geo_.weight);
+    }
+    GOMFM_ASSIGN_OR_RETURN(GmrId id, env_->mgr.Materialize(spec));
+
+    if (LevelFor(config_.version) == NotifyLevel::kInfoHiding) {
+      // §5.3: Cuboid becomes strictly encapsulated; the database
+      // programmer declares that only scale affects volume/weight.
+      GOMFM_RETURN_IF_ERROR(
+          env_->schema.SetStrictlyEncapsulated(geo_.cuboid, true));
+      env_->mgr.deps().AddInvalidated(geo_.cuboid, geo_.op_scale,
+                                      geo_.volume);
+      if (config_.materialize_weight) {
+        env_->mgr.deps().AddInvalidated(geo_.cuboid, geo_.op_scale,
+                                        geo_.weight);
+      }
+    }
+    auto* notifier = env_->InstallNotifier(LevelFor(config_.version));
+    ConfigureVersion(config_.version, &env_->mgr, notifier);
+    if (config_.pre_invalidate) {
+      env_->mgr.set_remat_strategy(RematStrategy::kLazy);
+      GOMFM_RETURN_IF_ERROR(env_->mgr.InvalidateAllResults(id));
+    }
+  }
+  exec_ = std::make_unique<query::QueryExecutor>(&env_->om, &env_->interp,
+                                                 &env_->mgr, with_gmr);
+  // Cold-start the cache so all program versions measure from the same
+  // buffer state.
+  GOMFM_RETURN_IF_ERROR(env_->pool.EvictAll());
+  env_->pool.ResetCounters();
+  env_->disk.ResetCounters();
+  return Status::Ok();
+}
+
+Result<double> GeoBench::RunMix(const OperationMix& mix) {
+  GOMFM_RETURN_IF_ERROR(setup_);
+  env_->clock.Reset();
+  env_->mgr.ResetStats();
+  for (size_t i = 0; i < mix.num_ops; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(OpKind kind, mix.Sample(&rng_));
+    GOMFM_RETURN_IF_ERROR(DoOp(kind));
+  }
+  if (env_->notifier != nullptr) {
+    GOMFM_RETURN_IF_ERROR(env_->notifier->first_error());
+  }
+  return env_->clock.seconds();
+}
+
+Status GeoBench::DoOp(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBackwardQuery:
+      return BackwardQuery();
+    case OpKind::kForwardQuery:
+      return ForwardQuery();
+    case OpKind::kInsert:
+      return Insert();
+    case OpKind::kDelete:
+      return Delete();
+    case OpKind::kScale:
+      return Scale();
+    case OpKind::kRotate:
+      return Rotate();
+    case OpKind::kTranslate:
+      return Translate();
+    default:
+      return Status::InvalidArgument("operation outside the geometry mix");
+  }
+}
+
+Status GeoBench::BackwardQuery() {
+  double r = rng_.UniformDouble(0, max_volume_ * 0.5);
+  double eps = max_volume_ * 0.002;
+  query::BackwardQuery q;
+  q.range_type = geo_.cuboid;
+  q.function = geo_.volume;
+  q.lo = r - eps;
+  q.hi = r + eps;
+  q.lo_inclusive = false;
+  q.hi_inclusive = false;
+  GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> hits, exec_->RunBackward(q));
+  last_backward_matches_ = hits.size();
+  return Status::Ok();
+}
+
+Status GeoBench::ForwardQuery() {
+  if (cuboids_.empty()) return Status::Ok();
+  Oid c = cuboids_[rng_.UniformInt(0, cuboids_.size() - 1)];
+  query::ForwardQuery q{geo_.volume, {Value::Ref(c)}};
+  return exec_->RunForward(q).status();
+}
+
+Status GeoBench::Insert() {
+  double l = rng_.UniformDouble(1, 20), w = rng_.UniformDouble(1, 20),
+         h = rng_.UniformDouble(1, 20);
+  max_volume_ = std::max(max_volume_, l * w * h);
+  GOMFM_ASSIGN_OR_RETURN(
+      Oid c, geo_.MakeCuboid(&env_->om, l, w, h,
+                             rng_.Bernoulli(0.5) ? iron_ : gold_,
+                             rng_.UniformDouble(0, 1000)));
+  cuboids_.push_back(c);
+  return Status::Ok();
+}
+
+Status GeoBench::Delete() {
+  if (cuboids_.size() < 2) return Status::Ok();
+  size_t idx = rng_.UniformInt(0, cuboids_.size() - 1);
+  GOMFM_RETURN_IF_ERROR(geo_.DeleteCuboid(&env_->om, cuboids_[idx]));
+  cuboids_.erase(cuboids_.begin() + idx);
+  return Status::Ok();
+}
+
+Status GeoBench::Scale() {
+  if (cuboids_.empty()) return Status::Ok();
+  Oid c = cuboids_[rng_.UniformInt(0, cuboids_.size() - 1)];
+  return env_->interp
+      .Invoke(geo_.op_scale,
+              {Value::Ref(c), Value::Float(rng_.UniformDouble(0.5, 1.5)),
+               Value::Float(rng_.UniformDouble(0.5, 1.5)),
+               Value::Float(rng_.UniformDouble(0.5, 1.5))})
+      .status();
+}
+
+Status GeoBench::Rotate() {
+  if (cuboids_.empty()) return Status::Ok();
+  Oid c = cuboids_[rng_.UniformInt(0, cuboids_.size() - 1)];
+  return env_->interp
+      .Invoke(geo_.op_rotate,
+              {Value::Ref(c), Value::Int(rng_.UniformInt(0, 2)),
+               Value::Float(rng_.UniformDouble(0, 3.14159))})
+      .status();
+}
+
+Status GeoBench::Translate() {
+  if (cuboids_.empty()) return Status::Ok();
+  Oid c = cuboids_[rng_.UniformInt(0, cuboids_.size() - 1)];
+  return env_->interp
+      .Invoke(geo_.op_translate,
+              {Value::Ref(c), Value::Float(rng_.UniformDouble(-10, 10)),
+               Value::Float(rng_.UniformDouble(-10, 10)),
+               Value::Float(rng_.UniformDouble(-10, 10))})
+      .status();
+}
+
+// ------------------------------------------------------------ CompanyBench
+
+CompanyBench::CompanyBench(const Config& config)
+    : config_(config),
+      env_(std::make_unique<Environment>(config.buffer_pages,
+                                         OptionsFor(config.version))),
+      rng_(config.seed) {
+  setup_ = Setup();
+}
+
+Status CompanyBench::Setup() {
+  GOMFM_ASSIGN_OR_RETURN(
+      co_, CompanySchema::Declare(&env_->schema, &env_->registry));
+  GOMFM_ASSIGN_OR_RETURN(db_,
+                         BuildCompany(co_, &env_->om, config_.company, &rng_));
+  next_emp_no_ = static_cast<int64_t>(db_.employees.size()) + 1;
+  next_project_no_ = db_.projects.size();
+
+  bool with_gmr = config_.version != ProgramVersion::kWithoutGmr;
+  if (with_gmr) {
+    if (config_.materialize_ranking) {
+      GmrSpec spec;
+      spec.name = "ranking";
+      spec.arg_types = {TypeRef::Object(co_.employee)};
+      spec.functions = {co_.ranking};
+      GOMFM_RETURN_IF_ERROR(env_->mgr.Materialize(spec).status());
+    }
+    if (config_.materialize_matrix) {
+      GmrSpec spec;
+      spec.name = "matrix";
+      spec.arg_types = {TypeRef::Object(co_.company)};
+      spec.functions = {co_.matrix};
+      GOMFM_RETURN_IF_ERROR(env_->mgr.Materialize(spec).status());
+      if (LevelFor(config_.version) == NotifyLevel::kInfoHiding) {
+        env_->mgr.deps().AddInvalidated(co_.company, co_.op_add_project,
+                                        co_.matrix);
+      }
+      if (config_.compensate_add_project) {
+        GOMFM_RETURN_IF_ERROR(env_->mgr.deps().AddCompensatingAction(
+            co_.company, co_.op_add_project, co_.matrix,
+            co_.matrix_add_project));
+      }
+    }
+    auto* notifier = env_->InstallNotifier(LevelFor(config_.version));
+    ConfigureVersion(config_.version, &env_->mgr, notifier);
+  }
+  exec_ = std::make_unique<query::QueryExecutor>(&env_->om, &env_->interp,
+                                                 &env_->mgr, with_gmr);
+  GOMFM_RETURN_IF_ERROR(env_->pool.EvictAll());
+  env_->pool.ResetCounters();
+  env_->disk.ResetCounters();
+  return Status::Ok();
+}
+
+Result<double> CompanyBench::RunMix(const OperationMix& mix) {
+  GOMFM_RETURN_IF_ERROR(setup_);
+  env_->clock.Reset();
+  env_->mgr.ResetStats();
+  for (size_t i = 0; i < mix.num_ops; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(OpKind kind, mix.Sample(&rng_));
+    GOMFM_RETURN_IF_ERROR(DoOp(kind));
+  }
+  if (env_->notifier != nullptr) {
+    GOMFM_RETURN_IF_ERROR(env_->notifier->first_error());
+  }
+  return env_->clock.seconds();
+}
+
+Status CompanyBench::DoOp(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRankingBackward:
+      return RankingBackward();
+    case OpKind::kRankingForward:
+      return RankingForward();
+    case OpKind::kMatrixSelect:
+      return MatrixSelect();
+    case OpKind::kPromote:
+      return Promote();
+    case OpKind::kNewEmployee:
+      return NewEmployee();
+    case OpKind::kNewProject:
+      return NewProject();
+    default:
+      return Status::InvalidArgument("operation outside the company mix");
+  }
+}
+
+Status CompanyBench::RankingBackward() {
+  // Rankings concentrate around loc/1000·avg + status bonuses; probe the
+  // dense region with a small ε.
+  double r = rng_.UniformDouble(8.0, 14.0);
+  double eps = 0.05;
+  query::BackwardQuery q;
+  q.range_type = co_.employee;
+  q.function = co_.ranking;
+  q.lo = r - eps;
+  q.hi = r + eps;
+  q.lo_inclusive = false;
+  q.hi_inclusive = false;
+  return exec_->RunBackward(q).status();
+}
+
+Status CompanyBench::RankingForward() {
+  if (db_.by_emp_no.empty()) return Status::Ok();
+  int64_t no = rng_.UniformInt(1, static_cast<int64_t>(db_.by_emp_no.size()));
+  auto it = db_.by_emp_no.find(no);
+  if (it == db_.by_emp_no.end()) return Status::Ok();
+  query::ForwardQuery q{co_.ranking, {Value::Ref(it->second)}};
+  return exec_->RunForward(q).status();
+}
+
+Status CompanyBench::MatrixSelect() {
+  // Qsel,m: all projects a random department participates in.
+  query::ForwardQuery q{co_.matrix, {Value::Ref(db_.company)}};
+  GOMFM_ASSIGN_OR_RETURN(Value m, exec_->RunForward(q));
+  int64_t dep_no = rng_.UniformInt(0, config_.company.departments - 1);
+  size_t found = 0;
+  for (const Value& line : m.elements()) {
+    const auto& fields = line.elements();
+    GOMFM_ASSIGN_OR_RETURN(Oid dep, fields[0].AsRef());
+    GOMFM_ASSIGN_OR_RETURN(Value no, env_->om.GetAttribute(dep, "DepNo"));
+    if (no.as_int() == dep_no) ++found;
+  }
+  (void)found;
+  return Status::Ok();
+}
+
+Status CompanyBench::Promote() {
+  if (db_.employees.empty()) return Status::Ok();
+  Oid e = db_.employees[rng_.UniformInt(0, db_.employees.size() - 1)];
+  return env_->interp
+      .Invoke(co_.op_promote,
+              {Value::Ref(e), Value::Int(rng_.UniformInt(0, 1 << 20)),
+               Value::Bool(rng_.Bernoulli(0.5)),
+               Value::Bool(rng_.Bernoulli(0.5))})
+      .status();
+}
+
+Status CompanyBench::NewEmployee() {
+  GOMFM_ASSIGN_OR_RETURN(Oid history, env_->om.CreateCollection(co_.job_set));
+  int64_t emp_no = next_emp_no_++;
+  GOMFM_ASSIGN_OR_RETURN(
+      Oid emp,
+      env_->om.CreateTuple(
+          co_.employee,
+          {Value::String("E" + std::to_string(emp_no)), Value::Int(emp_no),
+           Value::Float(rng_.UniformDouble(30000.0, 120000.0)),
+           Value::Ref(history)}));
+  for (size_t j = 0; j < config_.company.jobs_per_employee; ++j) {
+    Oid proj = db_.projects[rng_.UniformInt(0, db_.projects.size() - 1)];
+    GOMFM_ASSIGN_OR_RETURN(
+        Oid job, env_->om.CreateTuple(
+                     co_.job, {Value::Ref(proj),
+                               Value::Int(rng_.UniformInt(100, 20000)),
+                               Value::Bool(rng_.Bernoulli(0.7)),
+                               Value::Bool(rng_.Bernoulli(0.6))}));
+    GOMFM_RETURN_IF_ERROR(env_->om.InsertElement(history, Value::Ref(job)));
+  }
+  Oid dep = db_.departments[rng_.UniformInt(0, db_.departments.size() - 1)];
+  GOMFM_ASSIGN_OR_RETURN(Value emps, env_->om.GetAttribute(dep, "Emps"));
+  GOMFM_ASSIGN_OR_RETURN(Oid emp_set, emps.AsRef());
+  GOMFM_RETURN_IF_ERROR(env_->om.InsertElement(emp_set, Value::Ref(emp)));
+  db_.employees.push_back(emp);
+  db_.by_emp_no[emp_no] = emp;
+  return Status::Ok();
+}
+
+Status CompanyBench::NewProject() {
+  GOMFM_ASSIGN_OR_RETURN(Oid programmers,
+                         env_->om.CreateCollection(co_.employee_set));
+  size_t n = next_project_no_++;
+  GOMFM_ASSIGN_OR_RETURN(
+      Oid proj,
+      env_->om.CreateTuple(
+          co_.project, {Value::String("P" + std::to_string(n)),
+                        Value::Float(rng_.UniformDouble(-1000.0, 1000.0)),
+                        Value::Int(rng_.UniformInt(1000, 200000)),
+                        Value::Ref(programmers)}));
+  for (size_t k = 0; k < config_.company.programmers_per_project; ++k) {
+    Oid emp = db_.employees[rng_.UniformInt(0, db_.employees.size() - 1)];
+    Status st = env_->om.InsertElement(programmers, Value::Ref(emp));
+    if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+  }
+  db_.projects.push_back(proj);
+  return env_->interp
+      .Invoke(co_.op_add_project, {Value::Ref(db_.company), Value::Ref(proj)})
+      .status();
+}
+
+}  // namespace gom::workload

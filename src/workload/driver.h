@@ -1,0 +1,156 @@
+#ifndef GOMFM_WORKLOAD_DRIVER_H_
+#define GOMFM_WORKLOAD_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "query/executor.h"
+#include "workload/company_schema.h"
+#include "workload/cuboid_schema.h"
+#include "workload/operation_mix.h"
+#include "workload/program_version.h"
+
+namespace gom::workload {
+
+/// The full system stack used by benchmarks and examples: simulated
+/// storage (600 kB buffer by default, matching §7), object base,
+/// interpreter and GMR manager.
+struct Environment {
+  explicit Environment(size_t buffer_pages = 150,
+                       GmrManagerOptions options = {})
+      : disk(&clock, CostModel::Default()),
+        pool(&disk, buffer_pages),
+        storage(&pool),
+        om(&schema, &storage, &clock),
+        interp(&om, &registry),
+        mgr(&om, &interp, &registry, &storage, options) {}
+
+  MaterializationNotifier* InstallNotifier(NotifyLevel level) {
+    notifier = std::make_unique<MaterializationNotifier>(&mgr, &om, level);
+    om.SetNotifier(notifier.get());
+    // §3.2: from here on, nested invocations of materialized functions are
+    // served as forward queries through the GMR manager.
+    mgr.InstallCallInterception();
+    return notifier.get();
+  }
+
+  SimClock clock;
+  SimDisk disk;
+  BufferPool pool;
+  StorageManager storage;
+  Schema schema;
+  ObjectManager om;
+  funclang::FunctionRegistry registry;
+  funclang::Interpreter interp;
+  GmrManager mgr;
+  std::unique_ptr<MaterializationNotifier> notifier;
+};
+
+/// Driver for the computer-geometry benchmarks (§7.1): builds the 8000-
+/// cuboid database, configures one of the program versions and executes
+/// operation mixes, reporting simulated time.
+class GeoBench {
+ public:
+  struct Config {
+    size_t num_cuboids = 8000;
+    size_t buffer_pages = 150;  // 600 kB / 4 kB (§7)
+    ProgramVersion version = ProgramVersion::kWithoutGmr;
+    uint64_t seed = 42;
+    /// Materialize ⟨⟨weight⟩⟩ alongside ⟨⟨volume⟩⟩ (the §7.1 figures use
+    /// only ⟨⟨volume⟩⟩).
+    bool materialize_weight = false;
+    /// Fig. 10's "Lazy" configuration: all volume results invalidated
+    /// before the run, leaving RRR and ObjDepFct empty for ⟨⟨volume⟩⟩.
+    bool pre_invalidate = false;
+  };
+
+  /// Builds the database and applies the program version. Errors from
+  /// setup latch into `setup_status()`.
+  explicit GeoBench(const Config& config);
+
+  const Status& setup_status() const { return setup_; }
+
+  /// Runs the mix, returning the simulated seconds it took (the clock is
+  /// reset before the first operation, as the paper reports per-profile
+  /// user time).
+  Result<double> RunMix(const OperationMix& mix);
+
+  /// Individual operations (used by RunMix and by examples).
+  Status DoOp(OpKind kind);
+  Status BackwardQuery();
+  Status ForwardQuery();
+  Status Insert();
+  Status Delete();
+  Status Scale();
+  Status Rotate();
+  Status Translate();
+
+  Environment& env() { return *env_; }
+  const CuboidSchema& geo() const { return geo_; }
+  size_t cuboid_count() const { return cuboids_.size(); }
+  /// Matches found by the last backward query (for sanity checks).
+  size_t last_backward_matches() const { return last_backward_matches_; }
+
+ private:
+  Status Setup();
+
+  Config config_;
+  std::unique_ptr<Environment> env_;
+  CuboidSchema geo_;
+  std::unique_ptr<query::QueryExecutor> exec_;
+  Rng rng_;
+  Oid iron_, gold_;
+  std::vector<Oid> cuboids_;
+  double max_volume_ = 0;
+  Status setup_ = Status::Ok();
+  size_t last_backward_matches_ = 0;
+};
+
+/// Driver for the company benchmarks (§7.2).
+class CompanyBench {
+ public:
+  struct Config {
+    CompanyConfig company;       // 20×100 employees, 1000 projects, …
+    size_t buffer_pages = 150;
+    ProgramVersion version = ProgramVersion::kWithoutGmr;
+    uint64_t seed = 4711;
+    bool materialize_ranking = true;
+    bool materialize_matrix = false;  // Fig. 15
+    /// Declare the compensating action for add_project/matrix (§5.4).
+    bool compensate_add_project = false;
+  };
+
+  explicit CompanyBench(const Config& config);
+
+  const Status& setup_status() const { return setup_; }
+
+  Result<double> RunMix(const OperationMix& mix);
+  Status DoOp(OpKind kind);
+  Status RankingBackward();
+  Status RankingForward();
+  Status MatrixSelect();
+  Status Promote();
+  Status NewEmployee();
+  Status NewProject();
+
+  Environment& env() { return *env_; }
+  const CompanySchema& schema() const { return co_; }
+  const CompanyDb& db() const { return db_; }
+
+ private:
+  Status Setup();
+
+  Config config_;
+  std::unique_ptr<Environment> env_;
+  CompanySchema co_;
+  std::unique_ptr<query::QueryExecutor> exec_;
+  Rng rng_;
+  CompanyDb db_;
+  int64_t next_emp_no_ = 0;
+  size_t next_project_no_ = 0;
+  Status setup_ = Status::Ok();
+};
+
+}  // namespace gom::workload
+
+#endif  // GOMFM_WORKLOAD_DRIVER_H_

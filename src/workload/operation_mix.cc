@@ -1,0 +1,58 @@
+#include "workload/operation_mix.h"
+
+namespace gom::workload {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBackwardQuery:
+      return "Qbw";
+    case OpKind::kForwardQuery:
+      return "Qfw";
+    case OpKind::kDelete:
+      return "D";
+    case OpKind::kInsert:
+      return "I";
+    case OpKind::kScale:
+      return "S";
+    case OpKind::kRotate:
+      return "R";
+    case OpKind::kTranslate:
+      return "T";
+    case OpKind::kRankingBackward:
+      return "Qbw,r";
+    case OpKind::kRankingForward:
+      return "Qfw,r";
+    case OpKind::kMatrixSelect:
+      return "Qsel,m";
+    case OpKind::kNewEmployee:
+      return "N(emp)";
+    case OpKind::kPromote:
+      return "P";
+    case OpKind::kNewProject:
+      return "N(proj)";
+  }
+  return "?";
+}
+
+Result<OpKind> OperationMix::Sample(Rng* rng) const {
+  const std::vector<WeightedOp>* mix = nullptr;
+  if (rng->Bernoulli(update_probability)) {
+    mix = &update_mix;
+  } else {
+    mix = &query_mix;
+  }
+  if (mix->empty()) {
+    // A degenerate profile (e.g. Pup = 1.0 with no queries, sampled as a
+    // query because Pup < 1): fall back to the other side.
+    mix = mix == &update_mix ? &query_mix : &update_mix;
+  }
+  if (mix->empty()) {
+    return Status::FailedPrecondition("operation mix is empty");
+  }
+  std::vector<double> weights;
+  weights.reserve(mix->size());
+  for (const WeightedOp& op : *mix) weights.push_back(op.weight);
+  return (*mix)[rng->WeightedIndex(weights)].kind;
+}
+
+}  // namespace gom::workload

@@ -1,0 +1,53 @@
+#ifndef GOMFM_WORKLOAD_OPERATION_MIX_H_
+#define GOMFM_WORKLOAD_OPERATION_MIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gom::workload {
+
+/// The operations appearing in the paper's two application profiles (§7).
+enum class OpKind : uint8_t {
+  // Geometry (§7.1)
+  kBackwardQuery,   // Qbw: retrieve c where r−ε < c.volume < r+ε
+  kForwardQuery,    // Qfw: retrieve c.volume for a random cuboid
+  kDelete,          // D: delete a random cuboid
+  kInsert,          // I: create a cuboid of random dimensions
+  kScale,           // S
+  kRotate,          // R
+  kTranslate,       // T
+  // Company (§7.2)
+  kRankingBackward, // Qbw,r
+  kRankingForward,  // Qfw,r
+  kMatrixSelect,    // Qsel,m
+  kNewEmployee,     // N (employee variant)
+  kPromote,         // P
+  kNewProject,      // N (project variant, Fig. 15)
+};
+
+const char* OpKindName(OpKind kind);
+
+/// One weighted entry of a query or update mix.
+struct WeightedOp {
+  double weight;
+  OpKind kind;
+};
+
+/// The paper's benchmark descriptor M = (Qmix, Umix, Pup, #ops).
+struct OperationMix {
+  std::vector<WeightedOp> query_mix;   // weights sum to 1 (normalized here)
+  std::vector<WeightedOp> update_mix;
+  double update_probability = 0.0;     // Pup
+  size_t num_ops = 0;                  // #ops
+
+  /// Samples the next operation: an update with probability Pup, then a
+  /// weighted choice within the respective mix.
+  Result<OpKind> Sample(Rng* rng) const;
+};
+
+}  // namespace gom::workload
+
+#endif  // GOMFM_WORKLOAD_OPERATION_MIX_H_

@@ -1,0 +1,174 @@
+#include "workload/program_version.h"
+
+#include <algorithm>
+
+namespace gom::workload {
+
+FidSet MaterializationNotifier::IntersectObjDep(Oid oid,
+                                                const FidSet& candidates) {
+  ++objdep_checks_;
+  FidSet out;
+  auto used = om_->UsedBy(oid);
+  if (!used.ok()) return out;
+  for (FunctionId f : **used) {
+    if (candidates.count(f)) out.insert(f);
+  }
+  return out;
+}
+
+void MaterializationNotifier::BeforeElementaryUpdate(
+    const ElementaryUpdate& update) {
+  pending_elementary_compensated_.clear();
+  if (level_ == NotifyLevel::kInfoHiding && update.operation_depth > 0) {
+    return;  // strictly encapsulated: only the outer operation notifies
+  }
+  if (update.kind == ElementaryUpdate::Kind::kSetAttribute) return;
+  // Compensating actions for t.insert / t.remove run before the mutation.
+  FunctionId op = update.kind == ElementaryUpdate::Kind::kInsertElement
+                      ? kElementInsertOp
+                      : kElementRemoveOp;
+  const FidSet& compensated = mgr_->deps().CompensatedFct(update.type, op);
+  if (compensated.empty()) return;
+  FidSet relevant = IntersectObjDep(update.oid, compensated);
+  if (relevant.empty()) return;
+  ++manager_calls_;
+  Latch(mgr_->Compensate(update.oid, update.type, op,
+                         {update.value == nullptr ? Value::Null()
+                                                  : *update.value},
+                         relevant));
+  pending_elementary_compensated_ = std::move(relevant);
+}
+
+void MaterializationNotifier::AfterElementaryUpdate(
+    const ElementaryUpdate& update) {
+  FidSet compensated;
+  compensated.swap(pending_elementary_compensated_);
+  if (level_ == NotifyLevel::kInfoHiding && update.operation_depth > 0) {
+    return;
+  }
+  if (level_ == NotifyLevel::kNaive) {
+    // Version 1 (Figure 4): GMR_Manager.invalidate(self) on every update.
+    ++manager_calls_;
+    Latch(mgr_->Invalidate(update.oid));
+    return;
+  }
+  const FidSet& schema_dep =
+      mgr_->deps().SchemaDepFct(update.type, PropertyOf(update));
+  if (schema_dep.empty()) return;  // operation was never rewritten (§5.1)
+
+  if (level_ == NotifyLevel::kSchemaDep) {
+    ++manager_calls_;
+    Latch(mgr_->Invalidate(update.oid, schema_dep));
+    return;
+  }
+  // §5.2 / Figure 5: RelevFct := self.ObjDepFct ∩ SchemaDepFct(t.set_A)
+  // (\ CompensatedFct for the §5.4 insert' rewrite).
+  FidSet relevant = IntersectObjDep(update.oid, schema_dep);
+  for (FunctionId f : compensated) relevant.erase(f);
+  if (relevant.empty()) return;
+  ++manager_calls_;
+  Latch(mgr_->Invalidate(update.oid, relevant));
+}
+
+void MaterializationNotifier::AfterCreate(Oid oid, TypeId type) {
+  ++manager_calls_;
+  Latch(mgr_->NewObject(oid, type));
+}
+
+void MaterializationNotifier::BeforeDelete(Oid oid, TypeId type) {
+  (void)type;
+  if (level_ == NotifyLevel::kNaive || level_ == NotifyLevel::kSchemaDep) {
+    ++manager_calls_;
+    Latch(mgr_->ForgetObject(oid));
+    return;
+  }
+  // Figure 5: delete' checks self.ObjDepFct ≠ {} first.
+  ++objdep_checks_;
+  auto used = om_->UsedBy(oid);
+  if (!used.ok() || (*used)->empty()) return;
+  ++manager_calls_;
+  Latch(mgr_->ForgetObject(oid));
+}
+
+void MaterializationNotifier::BeforeOperation(Oid self, TypeId type,
+                                              FunctionId op,
+                                              const std::vector<Value>& args) {
+  if (level_ != NotifyLevel::kInfoHiding) return;
+  PendingOp pending{self, op, {}, {}};
+  const FidSet& compensated = mgr_->deps().CompensatedFct(type, op);
+  if (!compensated.empty()) {
+    pending.compensated = IntersectObjDep(self, compensated);
+    if (!pending.compensated.empty()) {
+      ++manager_calls_;
+      // The operation's arguments exclude the receiver.
+      std::vector<Value> op_args(args.begin() + (args.empty() ? 0 : 1),
+                                 args.end());
+      Latch(mgr_->Compensate(self, type, op, op_args, pending.compensated));
+    }
+  }
+  const FidSet& invalidated = mgr_->deps().InvalidatedFct(type, op);
+  if (!invalidated.empty()) {
+    pending.to_invalidate = IntersectObjDep(self, invalidated);
+    for (FunctionId f : pending.compensated) pending.to_invalidate.erase(f);
+  }
+  op_stack_.push_back(std::move(pending));
+}
+
+void MaterializationNotifier::AfterOperation(Oid self, TypeId type,
+                                             FunctionId op) {
+  (void)type;
+  if (level_ != NotifyLevel::kInfoHiding) return;
+  if (op_stack_.empty()) return;
+  PendingOp pending = std::move(op_stack_.back());
+  op_stack_.pop_back();
+  if (pending.self != self || pending.op != op) {
+    Latch(Status::Internal("operation bracket mismatch"));
+    return;
+  }
+  if (!pending.to_invalidate.empty()) {
+    ++manager_calls_;
+    Latch(mgr_->Invalidate(self, pending.to_invalidate));
+  }
+}
+
+const char* ProgramVersionName(ProgramVersion v) {
+  switch (v) {
+    case ProgramVersion::kWithoutGmr:
+      return "WithoutGMR";
+    case ProgramVersion::kWithGmr:
+      return "WithGMR";
+    case ProgramVersion::kLazy:
+      return "Lazy";
+    case ProgramVersion::kInfoHiding:
+      return "InfoHiding";
+    case ProgramVersion::kCompAction:
+      return "CompAction";
+  }
+  return "?";
+}
+
+void ConfigureVersion(ProgramVersion v, GmrManager* mgr,
+                      MaterializationNotifier* notifier) {
+  switch (v) {
+    case ProgramVersion::kWithoutGmr:
+      break;  // no notifier installed; queries bypass the manager
+    case ProgramVersion::kWithGmr:
+      mgr->set_remat_strategy(RematStrategy::kImmediate);
+      notifier->set_level(NotifyLevel::kObjDep);
+      break;
+    case ProgramVersion::kLazy:
+      mgr->set_remat_strategy(RematStrategy::kLazy);
+      notifier->set_level(NotifyLevel::kObjDep);
+      break;
+    case ProgramVersion::kInfoHiding:
+      mgr->set_remat_strategy(RematStrategy::kImmediate);
+      notifier->set_level(NotifyLevel::kInfoHiding);
+      break;
+    case ProgramVersion::kCompAction:
+      mgr->set_remat_strategy(RematStrategy::kImmediate);
+      notifier->set_level(NotifyLevel::kInfoHiding);
+      break;
+  }
+}
+
+}  // namespace gom::workload

@@ -1,0 +1,115 @@
+#ifndef GOMFM_WORKLOAD_PROGRAM_VERSION_H_
+#define GOMFM_WORKLOAD_PROGRAM_VERSION_H_
+
+#include <string>
+#include <vector>
+
+#include "gmr/gmr_manager.h"
+#include "gom/object_manager.h"
+
+namespace gom::workload {
+
+/// How much of §5's machinery the rewritten update operations use.
+enum class NotifyLevel : uint8_t {
+  /// Version 1 (Figure 4): every elementary update notifies the GMR
+  /// manager, which consults the RRR for every updated object.
+  kNaive,
+  /// §5.1: only operations with SchemaDepFct(t.set_A) ≠ ∅ notify, passing
+  /// the compiled-in candidate set.
+  kSchemaDep,
+  /// §5.2 (Figure 5): additionally intersect with the object's ObjDepFct;
+  /// the GMR manager is invoked only when an invalidation must happen.
+  kObjDep,
+  /// §5.3: strictly encapsulated types invalidate through their public
+  /// operations' InvalidatedFct; elementary updates inside an operation
+  /// are not observed individually.
+  kInfoHiding,
+};
+
+/// The `UpdateNotifier` produced by the paper's schema rewrite: it receives
+/// every elementary update / operation bracket from the object manager and
+/// decides — per the configured level — whether and with which candidate
+/// set the GMR manager is invoked. Compensating actions (§5.4) fire from
+/// the *before* hooks so they can read the pre-update state.
+class MaterializationNotifier : public UpdateNotifier {
+ public:
+  MaterializationNotifier(GmrManager* mgr, ObjectManager* om,
+                          NotifyLevel level)
+      : mgr_(mgr), om_(om), level_(level) {}
+
+  void set_level(NotifyLevel level) { level_ = level; }
+  NotifyLevel level() const { return level_; }
+
+  void BeforeElementaryUpdate(const ElementaryUpdate& update) override;
+  void AfterElementaryUpdate(const ElementaryUpdate& update) override;
+  void AfterCreate(Oid oid, TypeId type) override;
+  void BeforeDelete(Oid oid, TypeId type) override;
+  void BeforeOperation(Oid self, TypeId type, FunctionId op,
+                       const std::vector<Value>& args) override;
+  void AfterOperation(Oid self, TypeId type, FunctionId op) override;
+
+  /// Number of times the notifier ran its in-object ObjDepFct check — the
+  /// small residual penalty of "innocent" updates (§5.2, Figure 10).
+  uint64_t objdep_checks() const { return objdep_checks_; }
+  /// Number of GMR-manager invocations actually made.
+  uint64_t manager_calls() const { return manager_calls_; }
+  /// The last error any hook encountered (hooks cannot propagate statuses
+  /// through the object manager, so they latch here).
+  const Status& first_error() const { return first_error_; }
+
+ private:
+  /// AttrId key of the elementary update in SchemaDepFct's domain.
+  static AttrId PropertyOf(const ElementaryUpdate& update) {
+    return update.kind == ElementaryUpdate::Kind::kSetAttribute
+               ? update.attr
+               : kElementsOfAttr;
+  }
+
+  /// ObjDepFct(o) ∩ candidates.
+  FidSet IntersectObjDep(Oid oid, const FidSet& candidates);
+
+  void Latch(const Status& status) {
+    if (first_error_.ok() && !status.ok()) first_error_ = status;
+  }
+
+  GmrManager* mgr_;
+  ObjectManager* om_;
+  NotifyLevel level_;
+
+  /// Functions compensated by the in-flight update (subtracted from the
+  /// invalidation set in the *after* hook, as in the §5.4 insert' rewrite).
+  struct PendingOp {
+    Oid self;
+    FunctionId op;
+    FidSet compensated;
+    FidSet to_invalidate;
+  };
+  std::vector<PendingOp> op_stack_;
+  FidSet pending_elementary_compensated_;
+
+  uint64_t objdep_checks_ = 0;
+  uint64_t manager_calls_ = 0;
+  Status first_error_;
+};
+
+/// The benchmark program versions of §7.
+enum class ProgramVersion : uint8_t {
+  kWithoutGmr,   // no materialization at all
+  kWithGmr,      // GMR under immediate rematerialization (ObjDep level)
+  kLazy,         // GMR under lazy rematerialization (ObjDep level)
+  kInfoHiding,   // GMR + strict encapsulation (immediate remat.)
+  kCompAction,   // GMR + compensating actions (info-hiding level)
+};
+
+const char* ProgramVersionName(ProgramVersion v);
+
+/// Applies a program version to a GMR manager + notifier pair: sets the
+/// rematerialization strategy and notification level. (The GMRs themselves
+/// are created by the benchmark; `kWithoutGmr` simply installs no notifier
+/// and bypasses the manager at query time.)
+void ConfigureVersion(ProgramVersion v, GmrManager* mgr,
+                      MaterializationNotifier* notifier);
+
+}  // namespace gom::workload
+
+#endif  // GOMFM_WORKLOAD_PROGRAM_VERSION_H_

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+using workload::NotifyLevel;
+
+/// §3.2: invocations of materialized functions inside other functions are
+/// mapped to forward queries against the GMR.
+class CallInterceptionTest : public ::testing::Test {
+ protected:
+  CallInterceptionTest() {
+    iron_ = *env_.geo.MakeMaterial(&env_.om, "Iron", 7.86);
+    c_ = *env_.geo.MakeCuboid(&env_.om, 10, 6, 5, iron_);
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+    spec.functions = {env_.geo.volume};
+    gmr_id_ = *env_.mgr.Materialize(spec);
+    env_.InstallNotifier(NotifyLevel::kObjDep);
+    env_.mgr.InstallCallInterception();
+  }
+
+  TestEnv env_;
+  Oid iron_, c_;
+  GmrId gmr_id_ = kInvalidGmrId;
+};
+
+TEST_F(CallInterceptionTest, NestedInvocationHitsTheGmr) {
+  env_.mgr.ResetStats();
+  // weight calls volume; the nested call must be answered from the GMR
+  // instead of re-evaluating length·width·height.
+  auto w = env_.interp.Invoke(env_.geo.weight, {Value::Ref(c_)});
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_DOUBLE_EQ(w->as_float(), 300.0 * 7.86);
+  EXPECT_EQ(env_.mgr.stats().forward_hits, 1u);
+  EXPECT_EQ(env_.mgr.stats().rematerializations, 0u);
+}
+
+TEST_F(CallInterceptionTest, TracedRunsEvaluateTheRealBody) {
+  // A traced run is a (re)materialization: it must touch the actual
+  // objects so the RRR stays complete — no interception.
+  env_.mgr.ResetStats();
+  funclang::Trace trace;
+  auto w = env_.interp.Invoke(env_.geo.weight, {Value::Ref(c_)}, &trace);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(env_.mgr.stats().forward_hits, 0u);
+  // The vertices were accessed (through the real volume evaluation).
+  EXPECT_GT(trace.accessed_objects.size(), 2u);
+}
+
+TEST_F(CallInterceptionTest, InterceptionRecomputesInvalidResultsSafely) {
+  // Invalidate the volume lazily, then evaluate weight: the nested volume
+  // call triggers a ForwardLookup, which recomputes and re-caches — no
+  // infinite recursion through the interceptor.
+  env_.mgr.set_remat_strategy(RematStrategy::kLazy);
+  auto vertices = *env_.geo.VerticesOf(&env_.om, c_);
+  ASSERT_TRUE(env_.om.SetAttribute(vertices[1], "X", Value::Float(20)).ok());
+  Gmr* gmr = *env_.mgr.Get(gmr_id_);
+  ASSERT_FALSE((*gmr->Get(*gmr->FindRow({Value::Ref(c_)})))->valid[0]);
+
+  auto w = env_.interp.Invoke(env_.geo.weight, {Value::Ref(c_)});
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_DOUBLE_EQ(w->as_float(), 600.0 * 7.86);
+  EXPECT_TRUE((*gmr->Get(*gmr->FindRow({Value::Ref(c_)})))->valid[0]);
+}
+
+TEST_F(CallInterceptionTest, TopLevelInvocationIsNotIntercepted) {
+  // Depth-0 invocations are the caller's explicit choice (e.g. the
+  // WithoutGMR executor path); they evaluate the body.
+  env_.mgr.ResetStats();
+  auto v = env_.interp.Invoke(env_.geo.volume, {Value::Ref(c_)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(env_.mgr.stats().forward_hits, 0u);
+}
+
+TEST_F(CallInterceptionTest, AggregateOverMaterializedFunction) {
+  // total_volume sums volume over a set: with interception the per-element
+  // volume calls are forward queries.
+  Oid set = *env_.om.CreateCollection(env_.geo.workpieces);
+  Oid c2 = *env_.geo.MakeCuboid(&env_.om, 2, 2, 2, iron_);
+  ASSERT_TRUE(env_.om.InsertElement(set, Value::Ref(c_)).ok());
+  ASSERT_TRUE(env_.om.InsertElement(set, Value::Ref(c2)).ok());
+  env_.mgr.ResetStats();
+  auto total = env_.interp.Invoke(env_.geo.total_volume, {Value::Ref(set)});
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(total->as_float(), 308.0);
+  EXPECT_EQ(env_.mgr.stats().forward_hits, 2u);
+}
+
+}  // namespace
+}  // namespace gom

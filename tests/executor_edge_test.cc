@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "funclang/builder.h"
+#include "funclang/printer.h"
+#include "gmr/dependency_tables.h"
+#include "query/executor.h"
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+using query::ColumnSpec;
+using query::GmrRetrieval;
+using query::QueryExecutor;
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  ExecutorEdgeTest() {
+    iron_ = *env_.geo.MakeMaterial(&env_.om, "Iron", 7.86);
+    for (int i = 1; i <= 6; ++i) {
+      cuboids_.push_back(*env_.geo.MakeCuboid(&env_.om, i, 1, 1, iron_));
+    }
+    GmrSpec spec;
+    spec.name = "vw";
+    spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+    spec.functions = {env_.geo.volume, env_.geo.weight};
+    gmr_id_ = *env_.mgr.Materialize(spec);
+  }
+
+  TestEnv env_;
+  Oid iron_;
+  std::vector<Oid> cuboids_;
+  GmrId gmr_id_ = kInvalidGmrId;
+};
+
+TEST_F(ExecutorEdgeTest, ConstResultColumnSelectsExactMatches) {
+  QueryExecutor exec(&env_.om, &env_.interp, &env_.mgr, true);
+  GmrRetrieval q;
+  q.gmr = gmr_id_;
+  q.arg_columns = {ColumnSpec::Any()};
+  q.result_columns = {ColumnSpec::Const(Value::Float(4.0)),
+                      ColumnSpec::DontCare()};
+  auto rows = exec.RunRetrieval(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].as_ref(), cuboids_[3]);  // volume 4 = dims (4,1,1)
+}
+
+TEST_F(ExecutorEdgeTest, ArgConstantWithNonMatchingResultGivesNothing) {
+  QueryExecutor exec(&env_.om, &env_.interp, &env_.mgr, true);
+  GmrRetrieval q;
+  q.gmr = gmr_id_;
+  q.arg_columns = {ColumnSpec::Const(Value::Ref(cuboids_[0]))};
+  q.result_columns = {ColumnSpec::Range(100, 200), ColumnSpec::DontCare()};
+  auto rows = exec.RunRetrieval(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(ExecutorEdgeTest, UnknownGmrIdFails) {
+  QueryExecutor exec(&env_.om, &env_.interp, &env_.mgr, true);
+  GmrRetrieval q;
+  q.gmr = 999;
+  EXPECT_EQ(exec.RunRetrieval(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorEdgeTest, BackwardOnNonMaterializedFunctionFallsBackToScan) {
+  QueryExecutor exec(&env_.om, &env_.interp, &env_.mgr, true);
+  query::BackwardQuery q;
+  q.range_type = env_.geo.cuboid;
+  q.function = env_.geo.length;  // not materialized
+  q.lo = 2.5;
+  q.hi = 4.5;
+  auto rows = exec.RunBackward(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // lengths 3 and 4
+  EXPECT_EQ(exec.scans(), 1u);
+}
+
+TEST_F(ExecutorEdgeTest, EmptyRangeYieldsEmptyAnswer) {
+  QueryExecutor exec(&env_.om, &env_.interp, &env_.mgr, true);
+  query::BackwardQuery q;
+  q.range_type = env_.geo.cuboid;
+  q.function = env_.geo.volume;
+  q.lo = 1000;
+  q.hi = 2000;
+  auto rows = exec.RunBackward(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+// ------------------------------------------------------ dependency tables
+
+TEST(DependencyTablesTest, RemoveFunctionScrubsEverywhere) {
+  DependencyTables deps;
+  deps.AddSchemaDep({1, 2}, 10);
+  deps.AddSchemaDep({1, 2}, 11);
+  deps.AddInvalidated(1, 5, 10);
+  ASSERT_TRUE(deps.AddCompensatingAction(1, 5, 10, 99).ok());
+  EXPECT_EQ(deps.SchemaDepFct(1, 2).size(), 2u);
+  EXPECT_TRUE(deps.CompensatingAction(1, 5, 10).ok());
+
+  deps.RemoveFunction(10);
+  EXPECT_EQ(deps.SchemaDepFct(1, 2), (FidSet{11}));
+  EXPECT_TRUE(deps.InvalidatedFct(1, 5).empty());
+  EXPECT_TRUE(deps.CompensatedFct(1, 5).empty());
+  EXPECT_FALSE(deps.CompensatingAction(1, 5, 10).ok());
+}
+
+TEST(DependencyTablesTest, DuplicateCompensatingActionRejected) {
+  DependencyTables deps;
+  ASSERT_TRUE(deps.AddCompensatingAction(1, 5, 10, 99).ok());
+  EXPECT_EQ(deps.AddCompensatingAction(1, 5, 10, 98).code(),
+            StatusCode::kAlreadyExists);
+  // A different function for the same operation is fine.
+  EXPECT_TRUE(deps.AddCompensatingAction(1, 5, 11, 98).ok());
+}
+
+TEST(DependencyTablesTest, ElementsOfPseudoAttribute) {
+  DependencyTables deps;
+  deps.AddSchemaDep({7, kElementsOfAttr}, 3);
+  EXPECT_EQ(deps.SchemaDepFct(7, kElementsOfAttr), (FidSet{3}));
+  EXPECT_TRUE(deps.SchemaDepFct(7, 0).empty());
+  EXPECT_TRUE(deps.TypeIsRewritten(7));
+  EXPECT_FALSE(deps.TypeIsRewritten(8));
+}
+
+// ------------------------------------------------------------ printer misc
+
+TEST(PrinterEdgeTest, NativeFunctionsRenderAsOpaque) {
+  TestEnv env;
+  auto def = env.registry.Get(env.geo.op_scale);
+  ASSERT_TRUE(def.ok());
+  std::string s = funclang::FunctionToString(**def);
+  EXPECT_NE(s.find("<native>"), std::string::npos);
+  EXPECT_NE(s.find("scale"), std::string::npos);
+}
+
+TEST(PrinterEdgeTest, AllExpressionFormsPrint) {
+  namespace fl = funclang;
+  EXPECT_EQ(fl::ExprToString(*fl::IfE(fl::B(true), fl::I(1), fl::I(2))),
+            "(if true then 1 else 2)");
+  EXPECT_EQ(fl::ExprToString(*fl::CountOf(fl::Var("s"))), "count(s)");
+  EXPECT_EQ(fl::ExprToString(*fl::Flatten(fl::Var("x"))), "flatten(x)");
+  EXPECT_EQ(fl::ExprToString(*fl::At(fl::Var("x"), 2)), "x[2]");
+  EXPECT_EQ(fl::ExprToString(*fl::Contains(fl::Var("s"), fl::Var("e"))),
+            "(e in s)");
+  EXPECT_EQ(fl::ExprToString(*fl::Not(fl::B(false))), "not false");
+  EXPECT_EQ(fl::ExprToString(*fl::Sqrt(fl::F(4))), "sqrt(4.000000)");
+  EXPECT_EQ(
+      fl::ExprToString(*fl::SelectFrom(fl::Var("s"), "x",
+                                       fl::Gt(fl::Var("x"), fl::I(0)))),
+      "{x in s | (x > 0)}");
+  EXPECT_EQ(fl::ExprToString(
+                *fl::SumOver(fl::Var("s"), "x", fl::Var("x"))),
+            "sum(s; x: x)");
+}
+
+}  // namespace
+}  // namespace gom

@@ -1,0 +1,460 @@
+#include <gtest/gtest.h>
+
+#include "funclang/builder.h"
+#include "funclang/function_registry.h"
+#include "funclang/interpreter.h"
+#include "funclang/printer.h"
+#include "gom/object_manager.h"
+
+namespace gom::funclang {
+namespace {
+
+/// Fixture with a miniature version of the paper's geometric schema: Vertex,
+/// Material, Cuboid (4 of the 8 vertices suffice for volume), and the
+/// functions dist, length, width, height, volume and weight of Figure 1.
+class FunclangTest : public ::testing::Test {
+ protected:
+  FunclangTest()
+      : disk_(&clock_, CostModel::Default()),
+        pool_(&disk_, 150),
+        storage_(&pool_),
+        om_(&schema_, &storage_, &clock_),
+        interp_(&om_, &registry_) {
+    vertex_ = *schema_.DeclareTupleType(
+        {"Vertex",
+         kInvalidTypeId,
+         {{"X", TypeRef::Float()}, {"Y", TypeRef::Float()},
+          {"Z", TypeRef::Float()}},
+         {},
+         false});
+    material_ = *schema_.DeclareTupleType(
+        {"Material",
+         kInvalidTypeId,
+         {{"Name", TypeRef::String()}, {"SpecWeight", TypeRef::Float()}},
+         {},
+         false});
+    cuboid_ = *schema_.DeclareTupleType(
+        {"Cuboid",
+         kInvalidTypeId,
+         {{"V1", TypeRef::Object(vertex_)},
+          {"V2", TypeRef::Object(vertex_)},
+          {"V4", TypeRef::Object(vertex_)},
+          {"V5", TypeRef::Object(vertex_)},
+          {"Mat", TypeRef::Object(material_)},
+          {"Value", TypeRef::Float()}},
+         {},
+         false});
+    workpieces_ = *schema_.DeclareSetType("Workpieces",
+                                          TypeRef::Object(cuboid_));
+
+    // dist(self, other) = sqrt((X-X')² + (Y-Y')² + (Z-Z')²)
+    auto d = [](ExprPtr a, ExprPtr b) { return Mul(Sub(a, b), Sub(a, b)); };
+    dist_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "dist",
+        {{"self", TypeRef::Object(vertex_)},
+         {"other", TypeRef::Object(vertex_)}},
+        TypeRef::Float(),
+        Body(Sqrt(Add(Add(d(Attr(Self(), "X"), Attr(Var("other"), "X")),
+                          d(Attr(Self(), "Y"), Attr(Var("other"), "Y"))),
+                      d(Attr(Self(), "Z"), Attr(Var("other"), "Z"))))),
+        nullptr,
+        true});
+
+    auto edge = [this](const char* name, const char* v) {
+      return *registry_.Register(FunctionDef{
+          kInvalidFunctionId,
+          name,
+          {{"self", TypeRef::Object(cuboid_)}},
+          TypeRef::Float(),
+          Body(CallF("dist", {Attr(Self(), "V1"), Attr(Self(), v)})),
+          nullptr,
+          true});
+    };
+    length_ = edge("length", "V2");
+    width_ = edge("width", "V4");
+    height_ = edge("height", "V5");
+
+    volume_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "volume",
+        {{"self", TypeRef::Object(cuboid_)}},
+        TypeRef::Float(),
+        Body(Mul(Mul(CallF("length", {Self()}), CallF("width", {Self()})),
+                 CallF("height", {Self()}))),
+        nullptr,
+        true});
+
+    weight_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "weight",
+        {{"self", TypeRef::Object(cuboid_)}},
+        TypeRef::Float(),
+        Body(Mul(CallF("volume", {Self()}),
+                 Path(Self(), {"Mat", "SpecWeight"}))),
+        nullptr,
+        true});
+
+    total_volume_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "total_volume",
+        {{"self", TypeRef::Object(workpieces_)}},
+        TypeRef::Float(),
+        Body(SumOver(Self(), "c", CallF("volume", {Var("c")}))),
+        nullptr,
+        true});
+  }
+
+  /// Creates an axis-aligned cuboid of dimensions l × w × h at the origin.
+  Oid MakeCuboid(double l, double w, double h, Oid mat, double value = 0.0) {
+    auto vtx = [this](double x, double y, double z) {
+      return *om_.CreateTuple(
+          vertex_, {Value::Float(x), Value::Float(y), Value::Float(z)});
+    };
+    Oid v1 = vtx(0, 0, 0), v2 = vtx(l, 0, 0), v4 = vtx(0, w, 0),
+        v5 = vtx(0, 0, h);
+    return *om_.CreateTuple(
+        cuboid_, {Value::Ref(v1), Value::Ref(v2), Value::Ref(v4),
+                  Value::Ref(v5), Value::Ref(mat), Value::Float(value)});
+  }
+
+  Oid MakeMaterial(const std::string& name, double spec_weight) {
+    return *om_.CreateTuple(
+        material_, {Value::String(name), Value::Float(spec_weight)});
+  }
+
+  SimClock clock_;
+  SimDisk disk_;
+  BufferPool pool_;
+  StorageManager storage_;
+  Schema schema_;
+  ObjectManager om_;
+  FunctionRegistry registry_;
+  Interpreter interp_;
+  TypeId vertex_, material_, cuboid_, workpieces_;
+  FunctionId dist_, length_, width_, height_, volume_, weight_,
+      total_volume_;
+};
+
+TEST_F(FunclangTest, RegistryRejectsDuplicatesAndBadBodies) {
+  EXPECT_EQ(registry_
+                .Register(FunctionDef{kInvalidFunctionId, "volume", {},
+                                      TypeRef::Float(), Body(F(1)), nullptr,
+                                      true})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Body without return.
+  EXPECT_EQ(registry_
+                .Register(FunctionDef{kInvalidFunctionId,
+                                      "no_return",
+                                      {},
+                                      TypeRef::Float(),
+                                      Block{{Let("x", F(1))}},
+                                      nullptr,
+                                      true})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Return not last.
+  EXPECT_EQ(registry_
+                .Register(FunctionDef{kInvalidFunctionId,
+                                      "early_return",
+                                      {},
+                                      TypeRef::Float(),
+                                      Block{{Ret(F(1)), Let("x", F(2)),
+                                             Ret(F(3))}},
+                                      nullptr,
+                                      true})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FunclangTest, DistComputesEuclideanDistance) {
+  Oid a = *om_.CreateTuple(
+      vertex_, {Value::Float(0), Value::Float(0), Value::Float(0)});
+  Oid b = *om_.CreateTuple(
+      vertex_, {Value::Float(3), Value::Float(4), Value::Float(0)});
+  auto r = interp_.Invoke(dist_, {Value::Ref(a), Value::Ref(b)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->as_float(), 5.0);
+}
+
+TEST_F(FunclangTest, VolumeAndWeightMatchPaperExample) {
+  // The §3 GMR extension: volume 300 with iron (7.86) gives weight 2358.
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid c = MakeCuboid(10, 6, 5, iron);
+  auto vol = interp_.Invoke(volume_, {Value::Ref(c)});
+  ASSERT_TRUE(vol.ok()) << vol.status().ToString();
+  EXPECT_DOUBLE_EQ(vol->as_float(), 300.0);
+  auto w = interp_.Invoke(weight_, {Value::Ref(c)});
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w->as_float(), 2358.0);
+}
+
+TEST_F(FunclangTest, TraceRecordsAllAccessedObjects) {
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid c = MakeCuboid(2, 3, 4, iron);
+  Trace trace;
+  ASSERT_TRUE(interp_.Invoke(volume_, {Value::Ref(c)}, &trace).ok());
+  // volume touches the cuboid and its four referenced vertices, not the
+  // material.
+  EXPECT_EQ(trace.accessed_objects.size(), 5u);
+  EXPECT_EQ(trace.accessed_objects.front(), c);
+  auto mat_accessed = std::count(trace.accessed_objects.begin(),
+                                 trace.accessed_objects.end(), iron);
+  EXPECT_EQ(mat_accessed, 0);
+
+  Trace wtrace;
+  ASSERT_TRUE(interp_.Invoke(weight_, {Value::Ref(c)}, &wtrace).ok());
+  EXPECT_EQ(wtrace.accessed_objects.size(), 6u);  // + material
+}
+
+TEST_F(FunclangTest, TraceRecordsRelevantProperties) {
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid c = MakeCuboid(2, 3, 4, iron);
+  Trace trace;
+  ASSERT_TRUE(interp_.Invoke(volume_, {Value::Ref(c)}, &trace).ok());
+  // Cuboid.V1/V2/V4/V5 and Vertex.X/Y/Z = 7 distinct properties.
+  EXPECT_EQ(trace.accessed_properties.size(), 7u);
+  auto has = [&](TypeId t, const char* name) {
+    AttrId idx = (*schema_.Get(t))->AttrIndex(name);
+    return trace.accessed_properties.count({t, idx}) > 0;
+  };
+  EXPECT_TRUE(has(cuboid_, "V1"));
+  EXPECT_TRUE(has(cuboid_, "V5"));
+  EXPECT_TRUE(has(vertex_, "Z"));
+  EXPECT_FALSE(has(cuboid_, "Mat"));
+  EXPECT_FALSE(has(cuboid_, "Value"));
+}
+
+TEST_F(FunclangTest, AggregateOverSetObject) {
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid set = *om_.CreateCollection(workpieces_);
+  ASSERT_TRUE(
+      om_.InsertElement(set, Value::Ref(MakeCuboid(1, 2, 3, iron))).ok());
+  ASSERT_TRUE(
+      om_.InsertElement(set, Value::Ref(MakeCuboid(2, 2, 2, iron))).ok());
+  Trace trace;
+  auto r = interp_.Invoke(total_volume_, {Value::Ref(set)}, &trace);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->as_float(), 14.0);
+  // The set object itself is recorded, with an elements-of property.
+  EXPECT_EQ(trace.accessed_objects.front(), set);
+  EXPECT_TRUE(
+      trace.accessed_properties.count({workpieces_, kElementsOfAttr}) > 0);
+}
+
+TEST_F(FunclangTest, LetBindingsAndIfExpression) {
+  FunctionId clamp = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "clamp01",
+      {{"x", TypeRef::Float()}},
+      TypeRef::Float(),
+      Body({Let("lo", F(0.0)), Let("hi", F(1.0)),
+            Ret(IfE(Lt(Var("x"), Var("lo")), Var("lo"),
+                    IfE(Gt(Var("x"), Var("hi")), Var("hi"), Var("x"))))}),
+      nullptr,
+      true});
+  EXPECT_DOUBLE_EQ(interp_.Invoke(clamp, {Value::Float(-3)})->as_float(), 0.0);
+  EXPECT_DOUBLE_EQ(interp_.Invoke(clamp, {Value::Float(0.5)})->as_float(), 0.5);
+  EXPECT_DOUBLE_EQ(interp_.Invoke(clamp, {Value::Float(9)})->as_float(), 1.0);
+}
+
+TEST_F(FunclangTest, SelectMapFlattenContainsAt) {
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid gold = MakeMaterial("Gold", 19.0);
+  Oid set = *om_.CreateCollection(workpieces_);
+  Oid c1 = MakeCuboid(1, 1, 1, iron, 10.0);
+  Oid c2 = MakeCuboid(2, 2, 2, gold, 99.0);
+  ASSERT_TRUE(om_.InsertElement(set, Value::Ref(c1)).ok());
+  ASSERT_TRUE(om_.InsertElement(set, Value::Ref(c2)).ok());
+
+  // expensive(self: Workpieces) = { c in self | c.Value > 50 }
+  FunctionId expensive = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "expensive",
+      {{"self", TypeRef::Object(workpieces_)}},
+      TypeRef::Any(),
+      Body(SelectFrom(Self(), "c", Gt(Attr(Var("c"), "Value"), F(50.0)))),
+      nullptr,
+      true});
+  auto sel = interp_.Invoke(expensive, {Value::Ref(set)});
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->elements().size(), 1u);
+  EXPECT_EQ(sel->elements()[0].as_ref(), c2);
+
+  // values(self) = map(self; c: [c, c.Value])
+  FunctionId values = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "values",
+      {{"self", TypeRef::Object(workpieces_)}},
+      TypeRef::Any(),
+      Body(MapOver(Self(), "c",
+                   MakeComposite({Var("c"), Attr(Var("c"), "Value")}))),
+      nullptr,
+      true});
+  auto mapped = interp_.Invoke(values, {Value::Ref(set)});
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_EQ(mapped->elements().size(), 2u);
+  EXPECT_DOUBLE_EQ(mapped->elements()[0].elements()[1].as_float(), 10.0);
+
+  // first_values(self) = map(...)[0][1] via At
+  FunctionId first_value = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "first_value",
+      {{"self", TypeRef::Object(workpieces_)}},
+      TypeRef::Float(),
+      Body(At(At(CallF("values", {Self()}), 0), 1)),
+      nullptr,
+      true});
+  EXPECT_DOUBLE_EQ(interp_.Invoke(first_value, {Value::Ref(set)})->as_float(),
+                   10.0);
+
+  // has(self, c) = c in self
+  FunctionId has = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "has",
+      {{"self", TypeRef::Object(workpieces_)},
+       {"c", TypeRef::Object(cuboid_)}},
+      TypeRef::Bool(),
+      Body(Contains(Self(), Var("c"))),
+      nullptr,
+      true});
+  EXPECT_TRUE(interp_.Invoke(has, {Value::Ref(set), Value::Ref(c1)})->as_bool());
+  Oid c3 = MakeCuboid(9, 9, 9, iron);
+  EXPECT_FALSE(
+      interp_.Invoke(has, {Value::Ref(set), Value::Ref(c3)})->as_bool());
+
+  // flatten of map of composites
+  FunctionId flat = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "flat_values",
+      {{"self", TypeRef::Object(workpieces_)}},
+      TypeRef::Any(),
+      Body(Flatten(CallF("values", {Self()}))),
+      nullptr,
+      true});
+  auto flattened = interp_.Invoke(flat, {Value::Ref(set)});
+  ASSERT_TRUE(flattened.ok());
+  EXPECT_EQ(flattened->elements().size(), 4u);
+}
+
+TEST_F(FunclangTest, AggregateKinds) {
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid set = *om_.CreateCollection(workpieces_);
+  for (double v : {5.0, 1.0, 3.0}) {
+    ASSERT_TRUE(
+        om_.InsertElement(set, Value::Ref(MakeCuboid(1, 1, 1, iron, v)))
+            .ok());
+  }
+  auto run = [&](AggregateOp op) {
+    FunctionDef def;
+    def.name = std::string("agg_") + std::to_string(static_cast<int>(op));
+    def.params = {{"self", TypeRef::Object(workpieces_)}};
+    def.result_type = TypeRef::Float();
+    def.body = Body(Aggregate(op, Self(), "c",
+                              op == AggregateOp::kCount
+                                  ? nullptr
+                                  : Attr(Var("c"), "Value")));
+    FunctionId f = *registry_.Register(std::move(def));
+    return *interp_.Invoke(f, {Value::Ref(set)});
+  };
+  EXPECT_DOUBLE_EQ(run(AggregateOp::kSum).as_float(), 9.0);
+  EXPECT_DOUBLE_EQ(run(AggregateOp::kAvg).as_float(), 3.0);
+  EXPECT_DOUBLE_EQ(run(AggregateOp::kMin).as_float(), 1.0);
+  EXPECT_DOUBLE_EQ(run(AggregateOp::kMax).as_float(), 5.0);
+  EXPECT_EQ(run(AggregateOp::kCount).as_int(), 3);
+}
+
+TEST_F(FunclangTest, IterationVariableShadowsAndRestoresOuterBinding) {
+  // let c := 7; sum(self; c: c.Value); return c  — the outer c survives.
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid set = *om_.CreateCollection(workpieces_);
+  ASSERT_TRUE(
+      om_.InsertElement(set, Value::Ref(MakeCuboid(1, 1, 1, iron, 2.0)))
+          .ok());
+  FunctionId f = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "shadowing",
+      {{"self", TypeRef::Object(workpieces_)}},
+      TypeRef::Float(),
+      Body({Let("c", F(7.0)), Let("s", SumOver(Self(), "c",
+                                               Attr(Var("c"), "Value"))),
+            Ret(Add(Var("c"), Var("s")))}),
+      nullptr,
+      true});
+  auto r = interp_.Invoke(f, {Value::Ref(set)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->as_float(), 9.0);
+}
+
+TEST_F(FunclangTest, ErrorsSurfaceAsStatuses) {
+  // Unbound variable.
+  FunctionId f1 = *registry_.Register(
+      FunctionDef{kInvalidFunctionId, "bad_var", {}, TypeRef::Float(),
+                  Body(Var("nope")), nullptr, true});
+  EXPECT_EQ(interp_.Invoke(f1, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Division by zero.
+  FunctionId f2 = *registry_.Register(
+      FunctionDef{kInvalidFunctionId, "div0", {}, TypeRef::Float(),
+                  Body(Div(F(1), F(0))), nullptr, true});
+  EXPECT_EQ(interp_.Invoke(f2, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Wrong arity.
+  EXPECT_EQ(interp_.Invoke(dist_, {Value::Ref(Oid(1))}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Attribute access on a non-ref.
+  FunctionId f3 = *registry_.Register(
+      FunctionDef{kInvalidFunctionId, "attr_on_float", {}, TypeRef::Float(),
+                  Body(Attr(F(1.0), "X")), nullptr, true});
+  EXPECT_EQ(interp_.Invoke(f3, {}).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST_F(FunclangTest, NativeFunctionsRunWithTrackedContext) {
+  FunctionId f = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "native_x",
+      {{"self", TypeRef::Object(vertex_)}},
+      TypeRef::Float(),
+      {},
+      [](EvalContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+        return ctx.GetAttr(self, "X");
+      },
+      true});
+  Oid v = *om_.CreateTuple(
+      vertex_, {Value::Float(8), Value::Float(0), Value::Float(0)});
+  Trace trace;
+  auto r = interp_.Invoke(f, {Value::Ref(v)}, &trace);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->as_float(), 8.0);
+  EXPECT_EQ(trace.accessed_objects.size(), 1u);
+  EXPECT_EQ(trace.accessed_objects[0], v);
+}
+
+TEST_F(FunclangTest, EvaluationChargesSimulatedTime) {
+  Oid iron = MakeMaterial("Iron", 7.86);
+  Oid c = MakeCuboid(2, 3, 4, iron);
+  double before = clock_.seconds();
+  ASSERT_TRUE(interp_.Invoke(volume_, {Value::Ref(c)}).ok());
+  EXPECT_GT(clock_.seconds(), before);
+  EXPECT_GT(interp_.nodes_evaluated(), 10u);
+}
+
+TEST_F(FunclangTest, PrinterRendersReadableSyntax) {
+  auto def = registry_.Get(volume_);
+  ASSERT_TRUE(def.ok());
+  std::string s = FunctionToString(**def);
+  EXPECT_NE(s.find("define volume(self"), std::string::npos);
+  EXPECT_NE(s.find("length(self)"), std::string::npos);
+  EXPECT_EQ(ExprToString(*Path(Self(), {"V1", "X"})), "self.V1.X");
+  EXPECT_EQ(ExprToString(*Gt(Attr(Self(), "Value"), F(50))),
+            "(self.Value > 50.000000)");
+}
+
+}  // namespace
+}  // namespace gom::funclang

@@ -1,0 +1,780 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "funclang/builder.h"
+#include "gmr/gmr.h"
+#include "gmr/gmr_manager.h"
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+using workload::NotifyLevel;
+
+/// Builds the §3 example extension: three cuboids whose volumes/weights
+/// match the paper's GMR table (300/2358 iron, 200/1572 iron, 100/1900
+/// gold).
+struct PaperDb {
+  Oid iron, gold;
+  Oid c1, c2, c3;
+};
+
+PaperDb MakePaperDb(TestEnv& env) {
+  PaperDb db;
+  db.iron = *env.geo.MakeMaterial(&env.om, "Iron", 7.86);
+  db.gold = *env.geo.MakeMaterial(&env.om, "Gold", 19.0);
+  db.c1 = *env.geo.MakeCuboid(&env.om, 10, 6, 5, db.iron, 39.99);
+  db.c2 = *env.geo.MakeCuboid(&env.om, 10, 5, 4, db.iron, 19.95);
+  db.c3 = *env.geo.MakeCuboid(&env.om, 5, 5, 4, db.gold, 89.90);
+  return db;
+}
+
+GmrSpec VolumeWeightSpec(TestEnv& env) {
+  GmrSpec spec;
+  spec.name = "volume_weight";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  spec.functions = {env.geo.volume, env.geo.weight};
+  return spec;
+}
+
+// ------------------------------------------------------ §3 static aspects
+
+TEST(GmrTest, PaperExampleExtension) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  auto id = env.mgr.Materialize(VolumeWeightSpec(env));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  Gmr* gmr = *env.mgr.Get(*id);
+  EXPECT_EQ(gmr->live_rows(), 3u);
+  ASSERT_TRUE(gmr->CheckWellFormed().ok());
+
+  struct Expected {
+    Oid arg;
+    double volume, weight;
+  };
+  for (const Expected& e : {Expected{db.c1, 300.0, 2358.0},
+                            Expected{db.c2, 200.0, 1572.0},
+                            Expected{db.c3, 100.0, 1900.0}}) {
+    auto row = gmr->FindRow({Value::Ref(e.arg)});
+    ASSERT_TRUE(row.ok());
+    auto r = gmr->Get(*row);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE((*r)->valid[0]);
+    EXPECT_TRUE((*r)->valid[1]);
+    EXPECT_DOUBLE_EQ((*r)->results[0].as_float(), e.volume);
+    EXPECT_DOUBLE_EQ((*r)->results[1].as_float(), e.weight);
+  }
+}
+
+TEST(GmrTest, MaterializeRejectsBadSpecs) {
+  TestEnv env;
+  // No functions.
+  GmrSpec empty;
+  empty.name = "empty";
+  EXPECT_FALSE(env.mgr.Materialize(empty).ok());
+  // Update operations are not side-effect free.
+  GmrSpec op_spec;
+  op_spec.name = "op";
+  op_spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  op_spec.functions = {env.geo.op_scale};
+  EXPECT_EQ(env.mgr.Materialize(op_spec).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Double materialization of the same function.
+  ASSERT_TRUE(env.mgr.Materialize(VolumeWeightSpec(env)).ok());
+  GmrSpec again;
+  again.name = "volume_again";
+  again.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  again.functions = {env.geo.volume};
+  EXPECT_EQ(env.mgr.Materialize(again).status().code(),
+            StatusCode::kAlreadyExists);
+  // Unrestricted atomic argument.
+  GmrSpec atomic;
+  atomic.name = "atomic";
+  atomic.arg_types = {TypeRef::Object(env.geo.cuboid), TypeRef::Float()};
+  atomic.functions = {env.geo.distance};  // signature mismatch is irrelevant
+  EXPECT_EQ(env.mgr.Materialize(atomic).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GmrTest, SchemaDepFctDerivedFromAnalysis) {
+  TestEnv env;
+  MakePaperDb(env);
+  ASSERT_TRUE(env.mgr.Materialize(VolumeWeightSpec(env)).ok());
+  const auto& deps = env.mgr.deps();
+  auto attr = [&](TypeId t, const char* name) {
+    return (*env.schema.Get(t))->AttrIndex(name);
+  };
+  // §5.1 example: volume invalidated only by set_V1/2/4/5 and set_X/Y/Z.
+  EXPECT_TRUE(deps.SchemaDepFct(env.geo.cuboid, attr(env.geo.cuboid, "V1"))
+                  .count(env.geo.volume));
+  EXPECT_TRUE(deps.SchemaDepFct(env.geo.vertex, attr(env.geo.vertex, "X"))
+                  .count(env.geo.volume));
+  EXPECT_FALSE(deps.SchemaDepFct(env.geo.cuboid, attr(env.geo.cuboid, "V3"))
+                   .count(env.geo.volume));
+  EXPECT_FALSE(deps.SchemaDepFct(env.geo.cuboid, attr(env.geo.cuboid, "Value"))
+                   .count(env.geo.volume));
+  // weight additionally depends on Mat and SpecWeight.
+  EXPECT_TRUE(deps.SchemaDepFct(env.geo.cuboid, attr(env.geo.cuboid, "Mat"))
+                  .count(env.geo.weight));
+  EXPECT_TRUE(
+      deps.SchemaDepFct(env.geo.material, attr(env.geo.material, "SpecWeight"))
+          .count(env.geo.weight));
+  EXPECT_FALSE(deps.SchemaDepFct(env.geo.material, attr(env.geo.material, "Name"))
+                   .count(env.geo.weight));
+}
+
+TEST(GmrTest, ObjDepFctMarksInvolvedObjectsOnly) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  Oid stray = *env.om.CreateTuple(
+      env.geo.vertex, {Value::Float(1), Value::Float(2), Value::Float(3)});
+  ASSERT_TRUE(env.mgr.Materialize(VolumeWeightSpec(env)).ok());
+  // The cuboid and its volume-relevant vertices are marked.
+  EXPECT_TRUE(*env.om.IsUsedBy(db.c1, env.geo.volume));
+  auto vertices = *env.geo.VerticesOf(&env.om, db.c1);
+  EXPECT_TRUE(*env.om.IsUsedBy(vertices[0], env.geo.volume));   // V1
+  EXPECT_FALSE(*env.om.IsUsedBy(vertices[2], env.geo.volume));  // V3
+  EXPECT_TRUE(*env.om.IsUsedBy(db.iron, env.geo.weight));
+  EXPECT_FALSE(*env.om.IsUsedBy(db.iron, env.geo.volume));
+  // An uninvolved vertex stays unmarked.
+  EXPECT_FALSE(*env.om.IsUsedBy(stray, env.geo.volume));
+}
+
+// --------------------------------------------------- §4 dynamic aspects
+
+TEST(GmrTest, LazyInvalidationFlagsWithoutRecompute) {
+  TestEnv env(150, GmrManagerOptions{RematStrategy::kLazy, false});
+  PaperDb db = MakePaperDb(env);
+  auto id = env.mgr.Materialize(VolumeWeightSpec(env));
+  ASSERT_TRUE(id.ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  env.mgr.ResetStats();
+
+  auto vertices = *env.geo.VerticesOf(&env.om, db.c1);
+  ASSERT_TRUE(env.om.SetAttribute(vertices[1], "X", Value::Float(20)).ok());
+
+  Gmr* gmr = *env.mgr.Get(*id);
+  auto row = gmr->FindRow({Value::Ref(db.c1)});
+  ASSERT_TRUE(row.ok());
+  auto r = gmr->Get(*row);
+  EXPECT_FALSE((*r)->valid[0]);  // volume invalid
+  EXPECT_FALSE((*r)->valid[1]);  // weight invalid (V2.X is relevant to both)
+  EXPECT_EQ(env.mgr.stats().rematerializations, 0u);
+
+  // The next forward lookup recomputes ("at the latest when needed").
+  auto v = env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(db.c1)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->as_float(), 20.0 * 6 * 5);
+  EXPECT_EQ(env.mgr.stats().forward_invalid, 1u);
+  EXPECT_GE(env.mgr.stats().rematerializations, 1u);
+  r = gmr->Get(*row);
+  EXPECT_TRUE((*r)->valid[0]);
+  EXPECT_FALSE((*r)->valid[1]);  // weight still lazy-invalid
+}
+
+TEST(GmrTest, ImmediateRematerializationKeepsExtensionValid) {
+  TestEnv env;  // immediate by default
+  PaperDb db = MakePaperDb(env);
+  auto id = env.mgr.Materialize(VolumeWeightSpec(env));
+  ASSERT_TRUE(id.ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+
+  auto vertices = *env.geo.VerticesOf(&env.om, db.c1);
+  ASSERT_TRUE(env.om.SetAttribute(vertices[1], "X", Value::Float(20)).ok());
+
+  Gmr* gmr = *env.mgr.Get(*id);
+  auto r = gmr->Get(*gmr->FindRow({Value::Ref(db.c1)}));
+  EXPECT_TRUE((*r)->valid[0]);
+  EXPECT_DOUBLE_EQ((*r)->results[0].as_float(), 600.0);
+  EXPECT_TRUE((*r)->valid[1]);
+  EXPECT_DOUBLE_EQ((*r)->results[1].as_float(), 600.0 * 7.86);
+}
+
+TEST(GmrTest, IrrelevantAttributesDoNotInvalidate) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  ASSERT_TRUE(env.mgr.Materialize(VolumeWeightSpec(env)).ok());
+  auto* notifier = env.InstallNotifier(NotifyLevel::kObjDep);
+  env.mgr.ResetStats();
+
+  // §5.1: set_Value invalidates neither volume nor weight.
+  ASSERT_TRUE(env.om.SetAttribute(db.c1, "Value", Value::Float(123.50)).ok());
+  EXPECT_EQ(env.mgr.stats().invalidations, 0u);
+  EXPECT_EQ(notifier->manager_calls(), 0u);
+
+  // set_Mat invalidates weight but not volume.
+  ASSERT_TRUE(env.om.SetAttribute(db.c1, "Mat", Value::Ref(db.gold)).ok());
+  Gmr* gmr = *env.mgr.Get(env.mgr.Locate(env.geo.volume)->first);
+  auto r = gmr->Get(*gmr->FindRow({Value::Ref(db.c1)}));
+  EXPECT_TRUE((*r)->valid[0]);
+  EXPECT_DOUBLE_EQ((*r)->results[0].as_float(), 300.0);  // untouched
+  EXPECT_TRUE((*r)->valid[1]);                           // recomputed
+  EXPECT_DOUBLE_EQ((*r)->results[1].as_float(), 300.0 * 19.0);
+}
+
+TEST(GmrTest, UninvolvedObjectUpdatesSkipTheManager) {
+  TestEnv env;
+  MakePaperDb(env);
+  Oid stray = *env.om.CreateTuple(
+      env.geo.vertex, {Value::Float(0), Value::Float(0), Value::Float(0)});
+  ASSERT_TRUE(env.mgr.Materialize(VolumeWeightSpec(env)).ok());
+  auto* notifier = env.InstallNotifier(NotifyLevel::kObjDep);
+  uint64_t probes_before = env.mgr.rrr().probe_count();
+  // §5.2: the stray vertex has an empty ObjDepFct → in-object check only,
+  // no RRR probe.
+  ASSERT_TRUE(env.om.SetAttribute(stray, "X", Value::Float(2.5)).ok());
+  EXPECT_EQ(env.mgr.rrr().probe_count(), probes_before);
+  EXPECT_GE(notifier->objdep_checks(), 1u);
+  EXPECT_EQ(notifier->manager_calls(), 0u);
+}
+
+TEST(GmrTest, ScaleTriggersTwelveInvalidationsWithoutInfoHiding) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  spec.functions = {env.geo.volume};
+  ASSERT_TRUE(env.mgr.Materialize(spec).ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  env.mgr.ResetStats();
+  // §5.3: one scale = set_X/Y/Z on V1, V2, V4, V5 = 12 invalidations (each
+  // immediately rematerialized, re-marking the vertex for the next one).
+  ASSERT_TRUE(env.interp
+                  .Invoke(env.geo.op_scale,
+                          {Value::Ref(db.c1), Value::Float(2),
+                           Value::Float(1), Value::Float(1)})
+                  .ok());
+  EXPECT_EQ(env.mgr.stats().invalidations, 12u);
+  EXPECT_EQ(env.mgr.stats().rematerializations, 12u);
+  auto v = env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(db.c1)});
+  EXPECT_DOUBLE_EQ(v->as_float(), 600.0);
+}
+
+TEST(GmrTest, InfoHidingSuppressesIrrelevantOperations) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  spec.functions = {env.geo.volume};
+  ASSERT_TRUE(env.mgr.Materialize(spec).ok());
+  ASSERT_TRUE(env.schema.SetStrictlyEncapsulated(env.geo.cuboid, true).ok());
+  // The database programmer declares InvalidatedFct (§5.3): only scale
+  // affects a materialized volume.
+  env.mgr.deps().AddInvalidated(env.geo.cuboid, env.geo.op_scale,
+                                env.geo.volume);
+  env.InstallNotifier(NotifyLevel::kInfoHiding);
+  env.mgr.ResetStats();
+
+  // rotate: no invalidation at all.
+  ASSERT_TRUE(env.interp
+                  .Invoke(env.geo.op_rotate,
+                          {Value::Ref(db.c1), Value::Int(2),
+                           Value::Float(0.7)})
+                  .ok());
+  EXPECT_EQ(env.mgr.stats().invalidations, 0u);
+  EXPECT_EQ(env.mgr.stats().rematerializations, 0u);
+
+  // scale: exactly one invalidation for the single affected result.
+  ASSERT_TRUE(env.interp
+                  .Invoke(env.geo.op_scale,
+                          {Value::Ref(db.c1), Value::Float(3),
+                           Value::Float(1), Value::Float(1)})
+                  .ok());
+  EXPECT_EQ(env.mgr.stats().invalidations, 1u);
+  EXPECT_EQ(env.mgr.stats().rematerializations, 1u);
+  auto v = env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(db.c1)});
+  // The cuboid was rotated first, so compare against a fresh evaluation
+  // (rotation preserves the edge lengths; scaling a rotated box is not a
+  // plain factor-3 on the original volume).
+  auto fresh = env.interp.Invoke(env.geo.volume, {Value::Ref(db.c1)});
+  EXPECT_NEAR(v->as_float(), fresh->as_float(), 1e-6);
+}
+
+TEST(GmrTest, NewObjectExtendsCompleteGmr) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  auto id = env.mgr.Materialize(VolumeWeightSpec(env));
+  ASSERT_TRUE(id.ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  Oid c4 = *env.geo.MakeCuboid(&env.om, 2, 2, 2, db.iron);
+  Gmr* gmr = *env.mgr.Get(*id);
+  EXPECT_EQ(gmr->live_rows(), 4u);
+  auto r = gmr->Get(*gmr->FindRow({Value::Ref(c4)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->valid[0]);
+  EXPECT_DOUBLE_EQ((*r)->results[0].as_float(), 8.0);
+}
+
+TEST(GmrTest, ForgetObjectRemovesRows) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  auto id = env.mgr.Materialize(VolumeWeightSpec(env));
+  ASSERT_TRUE(id.ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  ASSERT_TRUE(env.geo.DeleteCuboid(&env.om, db.c2).ok());
+  Gmr* gmr = *env.mgr.Get(*id);
+  EXPECT_EQ(gmr->live_rows(), 2u);
+  EXPECT_FALSE(gmr->FindRow({Value::Ref(db.c2)}).ok());
+}
+
+TEST(GmrTest, BlindReferencesDetectedLazily) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  Oid r1 = *env.geo.MakeRobot(&env.om, 50, 0, 0);
+  GmrSpec spec;
+  spec.name = "distance";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid),
+                    TypeRef::Object(env.geo.robot)};
+  spec.functions = {env.geo.distance};
+  auto id = env.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  Gmr* gmr = *env.mgr.Get(*id);
+  EXPECT_EQ(gmr->live_rows(), 3u);  // 3 cuboids × 1 robot
+  env.InstallNotifier(NotifyLevel::kObjDep);
+
+  // Delete the robot: its rows disappear, but the cuboid-side RRR entries
+  // survive as blind references.
+  ASSERT_TRUE(env.om.Delete(r1).ok());
+  EXPECT_EQ(gmr->live_rows(), 0u);
+  env.mgr.ResetStats();
+  // Updating a cuboid vertex hits the stale entry and drops it.
+  auto vertices = *env.geo.VerticesOf(&env.om, db.c1);
+  ASSERT_TRUE(env.om.SetAttribute(vertices[0], "X", Value::Float(1)).ok());
+  EXPECT_GE(env.mgr.stats().blind_references, 1u);
+  // A second identical update no longer finds any entry.
+  env.mgr.ResetStats();
+  ASSERT_TRUE(env.om.SetAttribute(vertices[0], "X", Value::Float(2)).ok());
+  EXPECT_EQ(env.mgr.stats().blind_references, 0u);
+}
+
+TEST(GmrTest, BackwardRangeQueryMatchesScan) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  (void)db;
+  ASSERT_TRUE(env.mgr.Materialize(VolumeWeightSpec(env)).ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+
+  auto result = env.mgr.BackwardRange(env.geo.volume, 150.0, 400.0, false,
+                                      false);
+  ASSERT_TRUE(result.ok());
+  // Reference: evaluate volume for every cuboid.
+  std::vector<Oid> expect;
+  for (Oid c : env.om.Extent(env.geo.cuboid)) {
+    double v = env.interp.Invoke(env.geo.volume, {Value::Ref(c)})->as_float();
+    if (v > 150.0 && v < 400.0) expect.push_back(c);
+  }
+  ASSERT_EQ(result->size(), expect.size());
+  std::set<uint64_t> got;
+  for (const auto& args : *result) got.insert(args[0].as_ref().raw);
+  for (Oid c : expect) EXPECT_TRUE(got.count(c.raw));
+}
+
+TEST(GmrTest, BackwardQueryRevalidatesLazilyInvalidatedColumn) {
+  TestEnv env(150, GmrManagerOptions{RematStrategy::kLazy, false});
+  PaperDb db = MakePaperDb(env);
+  ASSERT_TRUE(env.mgr.Materialize(VolumeWeightSpec(env)).ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  // Invalidate c1's volume (currently 300) by growing it to 600.
+  auto vertices = *env.geo.VerticesOf(&env.om, db.c1);
+  ASSERT_TRUE(env.om.SetAttribute(vertices[1], "X", Value::Float(20)).ok());
+  // A backward query over the stale range must NOT return c1 …
+  auto r = env.mgr.BackwardRange(env.geo.volume, 250, 350, true, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 0u);
+  // … and one over the new value must.
+  r = env.mgr.BackwardRange(env.geo.volume, 550, 650, true, true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0][0].as_ref(), db.c1);
+}
+
+// --------------------------------------------------- §5.4 compensation
+
+TEST(GmrTest, CompensatingActionAvoidsFullRecomputation) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  Oid set = *env.om.CreateCollection(env.geo.workpieces);
+  ASSERT_TRUE(env.om.InsertElement(set, Value::Ref(db.c1)).ok());
+  ASSERT_TRUE(env.om.InsertElement(set, Value::Ref(db.c2)).ok());
+
+  GmrSpec spec;
+  spec.name = "total_volume";
+  spec.arg_types = {TypeRef::Object(env.geo.workpieces)};
+  spec.functions = {env.geo.total_volume};
+  ASSERT_TRUE(env.mgr.Materialize(spec).ok());
+  ASSERT_TRUE(env.mgr.deps()
+                  .AddCompensatingAction(env.geo.workpieces, kElementInsertOp,
+                                         env.geo.total_volume,
+                                         env.geo.increase_total)
+                  .ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  env.mgr.ResetStats();
+
+  ASSERT_TRUE(env.om.InsertElement(set, Value::Ref(db.c3)).ok());
+  EXPECT_EQ(env.mgr.stats().compensations, 1u);
+  // The compensating action computes one volume; a full rematerialization
+  // of total_volume would have been counted in `rematerializations`.
+  EXPECT_EQ(env.mgr.stats().rematerializations, 0u);
+  auto total = env.mgr.ForwardLookup(env.geo.total_volume, {Value::Ref(set)});
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(total->as_float(), 600.0);
+  EXPECT_EQ(env.mgr.stats().forward_hits, 1u);  // still valid, no recompute
+}
+
+TEST(GmrTest, RemoveWithoutCompensationInvalidates) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  Oid set = *env.om.CreateCollection(env.geo.workpieces);
+  ASSERT_TRUE(env.om.InsertElement(set, Value::Ref(db.c1)).ok());
+  ASSERT_TRUE(env.om.InsertElement(set, Value::Ref(db.c2)).ok());
+  GmrSpec spec;
+  spec.name = "total_volume";
+  spec.arg_types = {TypeRef::Object(env.geo.workpieces)};
+  spec.functions = {env.geo.total_volume};
+  ASSERT_TRUE(env.mgr.Materialize(spec).ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  ASSERT_TRUE(env.om.RemoveElement(set, Value::Ref(db.c2)).ok());
+  auto total = env.mgr.ForwardLookup(env.geo.total_volume, {Value::Ref(set)});
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(total->as_float(), 300.0);
+}
+
+// ------------------------------------------------------ §6 restricted GMRs
+
+TEST(GmrTest, RestrictedGmrMaterializesOnlyQualifyingRows) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  // p ≡ c.Mat.Name = "Iron"
+  using namespace funclang;
+  FunctionId pred = *env.registry.Register(FunctionDef{
+      kInvalidFunctionId,
+      "is_iron",
+      {{"self", TypeRef::Object(env.geo.cuboid)}},
+      TypeRef::Bool(),
+      Body(Eq(Path(Self(), {"Mat", "Name"}), S("Iron"))),
+      nullptr,
+      true});
+  GmrSpec spec = VolumeWeightSpec(env);
+  spec.name = "vw_iron";
+  spec.predicate = pred;
+  auto id = env.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  Gmr* gmr = *env.mgr.Get(*id);
+  EXPECT_EQ(gmr->live_rows(), 2u);  // c1, c2 are iron; c3 is gold
+  EXPECT_FALSE(gmr->FindRow({Value::Ref(db.c3)}).ok());
+
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  // §6.1: flipping c3's material to iron admits it …
+  ASSERT_TRUE(env.om.SetAttribute(db.c3, "Mat", Value::Ref(db.iron)).ok());
+  EXPECT_EQ(gmr->live_rows(), 3u);
+  auto r = gmr->Get(*gmr->FindRow({Value::Ref(db.c3)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->valid[0]);
+  EXPECT_DOUBLE_EQ((*r)->results[1].as_float(), 100.0 * 7.86);
+  // … and flipping c1 to gold evicts it.
+  ASSERT_TRUE(env.om.SetAttribute(db.c1, "Mat", Value::Ref(db.gold)).ok());
+  EXPECT_EQ(gmr->live_rows(), 2u);
+  EXPECT_FALSE(gmr->FindRow({Value::Ref(db.c1)}).ok());
+  // Forward lookups outside the restriction fall back to evaluation.
+  auto w = env.mgr.ForwardLookup(env.geo.weight, {Value::Ref(db.c1)});
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w->as_float(), 300.0 * 19.0);
+}
+
+TEST(GmrTest, ValueRestrictedAtomicArgument) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  // weight_g(self, gravitation) — §6.2's example.
+  using namespace funclang;
+  FunctionId weight_g = *env.registry.Register(FunctionDef{
+      kInvalidFunctionId,
+      "weight_g",
+      {{"self", TypeRef::Object(env.geo.cuboid)},
+       {"gravitation", TypeRef::Float()}},
+      TypeRef::Float(),
+      Body(Div(Mul(CallF("weight", {Self()}), Var("gravitation")), F(9.81))),
+      nullptr,
+      true});
+  GmrSpec spec;
+  spec.name = "weight_g";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid), TypeRef::Float()};
+  spec.arg_restrictions = {
+      ArgRestriction::None(),
+      ArgRestriction::Values({Value::Float(9.81), Value::Float(3.7)})};
+  spec.functions = {weight_g};
+  auto id = env.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  Gmr* gmr = *env.mgr.Get(*id);
+  EXPECT_EQ(gmr->live_rows(), 6u);  // 3 cuboids × 2 gravities
+  env.mgr.ResetStats();
+  // In-domain lookup: a hit.
+  auto hit = env.mgr.ForwardLookup(weight_g,
+                                   {Value::Ref(db.c1), Value::Float(3.7)});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_NEAR(hit->as_float(), 2358.0 * 3.7 / 9.81, 1e-9);
+  EXPECT_EQ(env.mgr.stats().forward_hits, 1u);
+  // Out-of-domain: computed normally, not cached.
+  auto miss = env.mgr.ForwardLookup(weight_g,
+                                    {Value::Ref(db.c1), Value::Float(22.01)});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(env.mgr.stats().forward_misses, 1u);
+  EXPECT_EQ(gmr->live_rows(), 6u);
+}
+
+TEST(GmrTest, RangeRestrictedIntArgument) {
+  TestEnv env;
+  MakePaperDb(env);
+  using namespace funclang;
+  FunctionId scaled = *env.registry.Register(FunctionDef{
+      kInvalidFunctionId,
+      "scaled_volume",
+      {{"self", TypeRef::Object(env.geo.cuboid)}, {"k", TypeRef::Int()}},
+      TypeRef::Float(),
+      Body(Mul(CallF("volume", {Self()}), Var("k"))),
+      nullptr,
+      true});
+  GmrSpec spec;
+  spec.name = "scaled_volume";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid), TypeRef::Int()};
+  spec.arg_restrictions = {ArgRestriction::None(),
+                           ArgRestriction::IntRange(1, 4)};
+  spec.functions = {scaled};
+  auto id = env.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ((*env.mgr.Get(*id))->live_rows(), 12u);  // 3 cuboids × k∈1..4
+}
+
+TEST(GmrTest, FloatArgumentMustBeValueRestricted) {
+  TestEnv env;
+  GmrSpec spec;
+  spec.name = "bad";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid), TypeRef::Float()};
+  spec.arg_restrictions = {ArgRestriction::None(),
+                           ArgRestriction::IntRange(0, 5)};
+  spec.functions = {env.geo.distance};
+  EXPECT_EQ(env.mgr.Materialize(spec).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------- incomplete (cache) GMRs
+
+TEST(GmrTest, IncompleteGmrFillsOnDemandAndEvicts) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  GmrSpec spec = VolumeWeightSpec(env);
+  spec.name = "vw_cache";
+  spec.complete = false;
+  spec.max_rows = 2;
+  auto id = env.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok());
+  Gmr* gmr = *env.mgr.Get(*id);
+  EXPECT_EQ(gmr->live_rows(), 0u);  // starts empty
+
+  ASSERT_TRUE(env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(db.c1)}).ok());
+  ASSERT_TRUE(env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(db.c2)}).ok());
+  EXPECT_EQ(gmr->live_rows(), 2u);
+  // Third entry evicts the LRU row (c1).
+  ASSERT_TRUE(env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(db.c3)}).ok());
+  EXPECT_EQ(gmr->live_rows(), 2u);
+  EXPECT_FALSE(gmr->FindRow({Value::Ref(db.c1)}).ok());
+  EXPECT_TRUE(gmr->FindRow({Value::Ref(db.c3)}).ok());
+  // Backward queries on incomplete extensions are refused.
+  EXPECT_EQ(env.mgr.BackwardRange(env.geo.volume, 0, 1e9, true, true)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------- dematerialize
+
+TEST(GmrTest, DematerializeRestoresCleanState) {
+  TestEnv env;
+  PaperDb db = MakePaperDb(env);
+  auto id = env.mgr.Materialize(VolumeWeightSpec(env));
+  ASSERT_TRUE(id.ok());
+  auto* notifier = env.InstallNotifier(NotifyLevel::kObjDep);
+  ASSERT_TRUE(env.mgr.Dematerialize(*id).ok());
+  EXPECT_FALSE(env.mgr.IsMaterialized(env.geo.volume));
+  EXPECT_EQ(env.mgr.rrr().size(), 0u);
+  EXPECT_FALSE(*env.om.IsUsedBy(db.c1, env.geo.volume));
+  // Updates no longer reach the manager.
+  env.mgr.ResetStats();
+  auto vertices = *env.geo.VerticesOf(&env.om, db.c1);
+  ASSERT_TRUE(env.om.SetAttribute(vertices[0], "X", Value::Float(9)).ok());
+  EXPECT_EQ(env.mgr.stats().invalidations, 0u);
+  EXPECT_EQ(notifier->first_error().ToString(), "Ok");
+}
+
+// ------------------------------------------------- RRR second chance
+
+TEST(GmrTest, SecondChanceResurrectsEntries) {
+  TestEnv env(150, GmrManagerOptions{RematStrategy::kImmediate, true});
+  PaperDb db = MakePaperDb(env);
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  spec.functions = {env.geo.volume};
+  ASSERT_TRUE(env.mgr.Materialize(spec).ok());
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  size_t entries_before = env.mgr.rrr().size();
+  // A scale invalidates/rematerializes 12 times; with second chance the
+  // physical entry set does not churn.
+  ASSERT_TRUE(env.interp
+                  .Invoke(env.geo.op_scale,
+                          {Value::Ref(db.c1), Value::Float(2),
+                           Value::Float(2), Value::Float(2)})
+                  .ok());
+  EXPECT_EQ(env.mgr.rrr().size(), entries_before);
+  ASSERT_TRUE(env.mgr.rrr().Sweep().ok());
+  EXPECT_EQ(env.mgr.rrr().size(), entries_before);
+  auto v = env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(db.c1)});
+  EXPECT_NEAR(v->as_float(), 2400.0, 1e-6);
+}
+
+// ------------------------------------- consistency property (Def. 3.2)
+
+class ConsistencyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConsistencyPropertyTest, RandomUpdatesPreserveConsistency) {
+  auto [strategy_int, seed] = GetParam();
+  GmrManagerOptions options;
+  options.remat = static_cast<RematStrategy>(strategy_int);
+  TestEnv env(150, options);
+  Rng rng(seed);
+  Oid iron = *env.geo.MakeMaterial(&env.om, "Iron", 7.86);
+  Oid gold = *env.geo.MakeMaterial(&env.om, "Gold", 19.0);
+  std::vector<Oid> cuboids;
+  for (int i = 0; i < 10; ++i) {
+    cuboids.push_back(*env.geo.MakeCuboid(
+        &env.om, rng.UniformDouble(1, 10), rng.UniformDouble(1, 10),
+        rng.UniformDouble(1, 10), rng.Bernoulli(0.5) ? iron : gold,
+        rng.UniformDouble(0, 100)));
+  }
+  auto id = env.mgr.Materialize([&] {
+    GmrSpec spec;
+    spec.name = "vw";
+    spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+    spec.functions = {env.geo.volume, env.geo.weight};
+    return spec;
+  }());
+  ASSERT_TRUE(id.ok());
+  env.InstallNotifier(workload::NotifyLevel::kObjDep);
+
+  for (int step = 0; step < 120; ++step) {
+    double pick = rng.UniformDouble(0, 1);
+    Oid c = cuboids[rng.UniformInt(0, cuboids.size() - 1)];
+    if (pick < 0.3) {
+      ASSERT_TRUE(env.interp
+                      .Invoke(env.geo.op_scale,
+                              {Value::Ref(c),
+                               Value::Float(rng.UniformDouble(0.5, 2)),
+                               Value::Float(rng.UniformDouble(0.5, 2)),
+                               Value::Float(1.0)})
+                      .ok());
+    } else if (pick < 0.5) {
+      ASSERT_TRUE(env.interp
+                      .Invoke(env.geo.op_rotate,
+                              {Value::Ref(c), Value::Int(rng.UniformInt(0, 2)),
+                               Value::Float(rng.UniformDouble(0, 3))})
+                      .ok());
+    } else if (pick < 0.6) {
+      ASSERT_TRUE(
+          env.om
+              .SetAttribute(c, "Mat",
+                            Value::Ref(rng.Bernoulli(0.5) ? iron : gold))
+              .ok());
+    } else if (pick < 0.7) {
+      cuboids.push_back(*env.geo.MakeCuboid(
+          &env.om, rng.UniformDouble(1, 10), rng.UniformDouble(1, 10),
+          rng.UniformDouble(1, 10), iron));
+    } else if (pick < 0.78 && cuboids.size() > 3) {
+      size_t idx = rng.UniformInt(0, cuboids.size() - 1);
+      ASSERT_TRUE(env.geo.DeleteCuboid(&env.om, cuboids[idx]).ok());
+      cuboids.erase(cuboids.begin() + idx);
+    } else {
+      // Forward lookup interleaved with updates.
+      ASSERT_TRUE(
+          env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(c)}).ok());
+    }
+
+    // Invariant (Definition 3.2): every valid result equals the current
+    // function value.
+    Gmr* gmr = *env.mgr.Get(*id);
+    ASSERT_TRUE(gmr->CheckWellFormed().ok());
+    std::vector<std::pair<std::vector<Value>, Gmr::Row>> rows;
+    gmr->ForEachRow([&](RowId, const Gmr::Row& row) {
+      rows.emplace_back(row.args, row);
+      return true;
+    });
+    // Under lazy rematerialization a deleted cuboid can leave a garbage
+    // row behind (its reverse references were consumed by earlier
+    // invalidations); such rows must be fully invalid and are dropped at
+    // the next recomputation attempt. Rows with live arguments must match
+    // the extension exactly.
+    size_t live_arg_rows = 0;
+    for (const auto& [args, row] : rows) {
+      if (!env.om.Exists(args[0].as_ref())) {
+        EXPECT_FALSE(row.valid[0]);
+        EXPECT_FALSE(row.valid[1]);
+        continue;
+      }
+      ++live_arg_rows;
+      for (size_t col = 0; col < 2; ++col) {
+        if (!row.valid[col]) continue;
+        FunctionId f = col == 0 ? env.geo.volume : env.geo.weight;
+        auto fresh = env.interp.Invoke(f, args);
+        ASSERT_TRUE(fresh.ok());
+        ASSERT_NEAR(row.results[col].as_float(), fresh->as_float(), 1e-6)
+            << "step " << step << " col " << col;
+      }
+    }
+    ASSERT_EQ(live_arg_rows, cuboids.size());
+  }
+  EXPECT_EQ(env.notifier->first_error().ToString(), "Ok");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndSeeds, ConsistencyPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(RematStrategy::kImmediate),
+                          static_cast<int>(RematStrategy::kLazy)),
+        ::testing::Values(101, 202, 303)));
+
+}  // namespace
+}  // namespace gom
+
+namespace gom {
+namespace {
+
+TEST(GmrStatsTest, ValueRangeTracksValidResults) {
+  TestEnv env;
+  Oid iron = *env.geo.MakeMaterial(&env.om, "Iron", 7.86);
+  std::vector<Oid> cuboids;
+  for (int i = 1; i <= 5; ++i) {
+    cuboids.push_back(*env.geo.MakeCuboid(&env.om, i, 1, 1, iron));
+  }
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  spec.functions = {env.geo.volume};
+  auto id = env.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok());
+  Gmr* gmr = *env.mgr.Get(*id);
+  auto range = gmr->ValueRange(0);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->first, 1.0);
+  EXPECT_DOUBLE_EQ(range->second, 5.0);
+  // Invalidated results leave the index (and thus the statistics).
+  auto row = gmr->FindRow({Value::Ref(cuboids[4])});
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(gmr->InvalidateResult(*row, 0).ok());
+  range = gmr->ValueRange(0);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->second, 4.0);
+}
+
+}  // namespace
+}  // namespace gom

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "funclang/printer.h"
+#include "gomql/lexer.h"
+#include "gomql/parser.h"
+#include "gomql/planner.h"
+#include "test_env.h"
+
+namespace gom::gomql {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, TokenizesThePaperQuery) {
+  auto tokens = Tokenize(
+      "range c: Cuboid retrieve c where c.volume > 20.0 and "
+      "c.weight > 100.0");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 16u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kRange);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[1].text, "c");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kColon);
+  EXPECT_EQ((*tokens)[3].text, "Cuboid");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersStringsOperators) {
+  auto tokens = Tokenize("3.25 \"Iron\" <= >= != < > = ( ) + - * /");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 3.25);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[1].text, "Iron");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kNe);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("RANGE Retrieve WHERE AND or NOT");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kRange);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kRetrieve);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kWhere);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kAnd);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kOr);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNot);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+// ----------------------------------------------------------------- parser
+
+class GomqlTest : public ::testing::Test {
+ protected:
+  GomqlTest() : parser_(&env_.schema, &env_.registry) {
+    iron_ = *env_.geo.MakeMaterial(&env_.om, "Iron", 7.86);
+    gold_ = *env_.geo.MakeMaterial(&env_.om, "Gold", 19.0);
+    for (int i = 1; i <= 12; ++i) {
+      cuboids_.push_back(*env_.geo.MakeCuboid(
+          &env_.om, i, 2, 3, i % 3 == 0 ? gold_ : iron_, i * 10.0));
+    }
+  }
+
+  TestEnv env_;
+  Parser parser_;
+  Oid iron_, gold_;
+  std::vector<Oid> cuboids_;
+};
+
+TEST_F(GomqlTest, ParsesTheIntroQuery) {
+  auto q = parser_.Parse(
+      "range c: Cuboid retrieve c where c.volume > 20.0 and "
+      "c.weight > 100.0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind, ParsedQuery::Kind::kRetrieve);
+  ASSERT_EQ(q->ranges.size(), 1u);
+  EXPECT_EQ(q->ranges[0].name, "c");
+  EXPECT_EQ(q->ranges[0].type, env_.geo.cuboid);
+  ASSERT_EQ(q->targets.size(), 1u);
+  EXPECT_EQ(funclang::ExprToString(*q->targets[0]), "c");
+  // c.volume resolves to the type-associated operation, not an attribute.
+  EXPECT_EQ(funclang::ExprToString(*q->where),
+            "((volume(c) > 20.000000) and (weight(c) > 100.000000))");
+}
+
+TEST_F(GomqlTest, ResolvesAttributePathsBySchema) {
+  auto q = parser_.Parse(
+      "range c: Cuboid retrieve c.Value where c.Mat.Name = \"Iron\"");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(funclang::ExprToString(*q->targets[0]), "c.Value");
+  EXPECT_EQ(funclang::ExprToString(*q->where),
+            "(c.Mat.Name = \"Iron\")");
+}
+
+TEST_F(GomqlTest, ResolvesOperationWithArguments) {
+  auto q = parser_.Parse(
+      "range c: Cuboid, d: Cuboid retrieve c.V1.dist(d.V1)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(funclang::ExprToString(*q->targets[0]), "dist(c.V1, d.V1)");
+}
+
+TEST_F(GomqlTest, ParsesMaterializeStatement) {
+  auto q = parser_.Parse("range c: Cuboid materialize c.volume, c.weight");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind, ParsedQuery::Kind::kMaterialize);
+  ASSERT_EQ(q->targets.size(), 2u);
+  EXPECT_EQ(funclang::ExprToString(*q->targets[0]), "volume(c)");
+}
+
+TEST_F(GomqlTest, ParseErrors) {
+  EXPECT_FALSE(parser_.Parse("retrieve c").ok());             // no range
+  EXPECT_FALSE(parser_.Parse("range c Cuboid retrieve c").ok());
+  EXPECT_FALSE(parser_.Parse("range c: NoSuchType retrieve c").ok());
+  EXPECT_FALSE(parser_.Parse("range c: Cuboid retrieve x").ok());  // unbound
+  EXPECT_FALSE(
+      parser_.Parse("range c: Cuboid retrieve c.NoSuchAttr").ok());
+  EXPECT_FALSE(
+      parser_.Parse("range c: Cuboid retrieve c where c.volume >").ok());
+  EXPECT_FALSE(
+      parser_.Parse("range c: Cuboid retrieve c trailing garbage").ok());
+}
+
+TEST_F(GomqlTest, OperatorPrecedence) {
+  auto q = parser_.Parse(
+      "range c: Cuboid retrieve c where c.Value > 1 + 2 * 3 or "
+      "not c.Value < 0 and c.Value = 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // or is outermost; * binds tighter than +; not applies to the comparison.
+  EXPECT_EQ(funclang::ExprToString(*q->where),
+            "((c.Value > (1.000000 + (2.000000 * 3.000000))) or "
+            "(not (c.Value < 0.000000) and (c.Value = 5.000000)))");
+}
+
+// ----------------------------------------------------------------- planner
+
+TEST_F(GomqlTest, MaterializeStatementCreatesGmr) {
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  auto q = parser_.Parse("range c: Cuboid materialize c.volume, c.weight");
+  ASSERT_TRUE(q.ok());
+  auto gmr_id = planner.ExecuteMaterialize(*q);
+  ASSERT_TRUE(gmr_id.ok()) << gmr_id.status().ToString();
+  EXPECT_TRUE(env_.mgr.IsMaterialized(env_.geo.volume));
+  EXPECT_TRUE(env_.mgr.IsMaterialized(env_.geo.weight));
+  EXPECT_EQ((*env_.mgr.Get(*gmr_id))->live_rows(), cuboids_.size());
+}
+
+TEST_F(GomqlTest, RestrictedMaterializeFromWhereClause) {
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  auto q = parser_.Parse(
+      "range c: Cuboid materialize c.volume "
+      "where c.Mat.Name = \"Iron\"");
+  ASSERT_TRUE(q.ok());
+  auto gmr_id = planner.ExecuteMaterialize(*q);
+  ASSERT_TRUE(gmr_id.ok()) << gmr_id.status().ToString();
+  // 12 cuboids, every third gold → 8 iron rows.
+  EXPECT_EQ((*env_.mgr.Get(*gmr_id))->live_rows(), 8u);
+}
+
+TEST_F(GomqlTest, PlannerPrefersGmrBackwardWhenAvailable) {
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  ASSERT_TRUE(planner
+                  .Run(*parser_.Parse(
+                      "range c: Cuboid materialize c.volume"))
+                  .ok());
+  auto q = parser_.Parse(
+      "range c: Cuboid retrieve c where c.volume > 20 and c.volume < 50");
+  ASSERT_TRUE(q.ok());
+  auto plan = planner.PlanRetrieve(*q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->alternatives.size(), 2u);
+  EXPECT_EQ(plan->chosen_alternative().kind,
+            PlanAlternative::Kind::kGmrBackward);
+  EXPECT_LT(plan->chosen_alternative().estimated_cost,
+            plan->alternatives[0].estimated_cost);
+  std::string explain = plan->Explain(&env_.registry);
+  EXPECT_NE(explain.find("GmrBackward"), std::string::npos);
+  EXPECT_NE(explain.find("ExtensionScan"), std::string::npos);
+}
+
+TEST_F(GomqlTest, PlanExecutionMatchesScanExecution) {
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  std::string text =
+      "range c: Cuboid retrieve c.Value where c.volume > 20 and "
+      "c.volume < 50 and c.Mat.Name = \"Iron\"";
+  auto q = parser_.Parse(text);
+  ASSERT_TRUE(q.ok());
+  // Without materialization: extension scan.
+  auto scan_rows = planner.Run(*q);
+  ASSERT_TRUE(scan_rows.ok()) << scan_rows.status().ToString();
+  // With materialization: index plan with a residual material filter.
+  ASSERT_TRUE(planner
+                  .Run(*parser_.Parse(
+                      "range c: Cuboid materialize c.volume"))
+                  .ok());
+  auto plan = planner.PlanRetrieve(*q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen_alternative().kind,
+            PlanAlternative::Kind::kGmrBackward);
+  EXPECT_NE(plan->chosen_alternative().residual, nullptr);
+  auto gmr_rows = planner.Execute(*plan);
+  ASSERT_TRUE(gmr_rows.ok()) << gmr_rows.status().ToString();
+  // Same multiset of Value targets.
+  auto key = [](const std::vector<Value>& row) {
+    return row[0].as_float();
+  };
+  std::multiset<double> a, b;
+  for (const auto& row : *scan_rows) a.insert(key(row));
+  for (const auto& row : *gmr_rows) b.insert(key(row));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST_F(GomqlTest, RestrictedGmrUsedOnlyWhenSigmaImpliesP) {
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  // Materialize volume restricted to Value >= 50.
+  ASSERT_TRUE(planner
+                  .Run(*parser_.Parse(
+                      "range c: Cuboid materialize c.volume "
+                      "where c.Value >= 50"))
+                  .ok());
+  // σ' implies p → the restricted GMR is applicable.
+  auto strong = parser_.Parse(
+      "range c: Cuboid retrieve c where c.volume > 10 and c.Value > 60");
+  ASSERT_TRUE(strong.ok());
+  auto plan = planner.PlanRetrieve(*strong);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen_alternative().kind,
+            PlanAlternative::Kind::kGmrBackward);
+  // σ' does not imply p → scan (the GMR would miss cheap cuboids).
+  auto weak = parser_.Parse(
+      "range c: Cuboid retrieve c where c.volume > 10 and c.Value > 20");
+  ASSERT_TRUE(weak.ok());
+  plan = planner.PlanRetrieve(*weak);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->alternatives.size(), 1u);
+  EXPECT_EQ(plan->chosen_alternative().kind,
+            PlanAlternative::Kind::kExtensionScan);
+  // And both plans return correct answers.
+  auto strong_rows = planner.Run(*strong);
+  ASSERT_TRUE(strong_rows.ok());
+  size_t expected = 0;
+  for (Oid c : cuboids_) {
+    double vol =
+        env_.interp.Invoke(env_.geo.volume, {Value::Ref(c)})->as_float();
+    double val = env_.om.GetAttribute(c, "Value")->as_float();
+    if (vol > 10 && val > 60) ++expected;
+  }
+  EXPECT_EQ(strong_rows->size(), expected);
+}
+
+TEST_F(GomqlTest, EqualityBoundUsesIndexPoint) {
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  ASSERT_TRUE(planner
+                  .Run(*parser_.Parse(
+                      "range c: Cuboid materialize c.volume"))
+                  .ok());
+  // volume(c) = 6·i for dims (i, 2, 3): pick i = 7 → 42.
+  auto q = parser_.Parse("range c: Cuboid retrieve c where c.volume = 42");
+  ASSERT_TRUE(q.ok());
+  auto rows = planner.Run(*q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].as_ref(), cuboids_[6]);
+}
+
+TEST_F(GomqlTest, MultiRangeQueryUsesTwoColumnGmr) {
+  // The §6 shape: a two-argument materialized function queried backward.
+  Oid r1 = *env_.geo.MakeRobot(&env_.om, 0, 0, 0);
+  Oid r2 = *env_.geo.MakeRobot(&env_.om, 100, 0, 0);
+  (void)r1, (void)r2;
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  ASSERT_TRUE(planner
+                  .Run(*parser_.Parse(
+                      "range c: Cuboid, r: Robot materialize c.distance(r)"))
+                  .ok());
+  auto q = parser_.Parse(
+      "range c: Cuboid, r: Robot retrieve c, r "
+      "where c.distance(r) < 30 and c.Value > 50");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto plan = planner.PlanRetrieve(*q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->chosen_alternative().kind,
+            PlanAlternative::Kind::kGmrBackward);
+  auto rows = planner.Execute(*plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // Oracle: nested-loop evaluation.
+  size_t expected = 0;
+  for (Oid c : cuboids_) {
+    for (Oid r : env_.om.Extent(env_.geo.robot)) {
+      double d = env_.interp
+                     .Invoke(env_.geo.distance,
+                             {Value::Ref(c), Value::Ref(r)})
+                     ->as_float();
+      double val = env_.om.GetAttribute(c, "Value")->as_float();
+      if (d < 30 && val > 50) ++expected;
+    }
+  }
+  EXPECT_EQ(rows->size(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST_F(GomqlTest, MultiRangeScanWithoutGmr) {
+  Oid r1 = *env_.geo.MakeRobot(&env_.om, 5, 5, 5);
+  (void)r1;
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  auto q = parser_.Parse(
+      "range c: Cuboid, r: Robot retrieve c where c.distance(r) < 1000");
+  ASSERT_TRUE(q.ok());
+  auto plan = planner.PlanRetrieve(*q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen_alternative().kind,
+            PlanAlternative::Kind::kExtensionScan);
+  auto rows = planner.Execute(*plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), cuboids_.size());  // 12 cuboids x 1 robot
+}
+
+TEST_F(GomqlTest, AggregateRetrieveSumAvgCountMinMax) {
+  // The paper's forward query shape: retrieve sum(c.weight).
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  auto sum_q = parser_.Parse(
+      "range c: Cuboid retrieve sum(c.weight) where c.Mat.Name = \"Iron\"");
+  ASSERT_TRUE(sum_q.ok()) << sum_q.status().ToString();
+  EXPECT_EQ(sum_q->aggregate, QueryAggregate::kSum);
+  auto rows = planner.Run(*sum_q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  double expected = 0;
+  for (Oid c : cuboids_) {
+    if (env_.om.GetAttribute(c, "Mat")->as_ref() != iron_) continue;
+    expected +=
+        env_.interp.Invoke(env_.geo.weight, {Value::Ref(c)})->as_float();
+  }
+  EXPECT_NEAR((*rows)[0][0].as_float(), expected, 1e-6);
+
+  auto count_q = parser_.Parse("range c: Cuboid retrieve count(c)");
+  ASSERT_TRUE(count_q.ok());
+  rows = planner.Run(*count_q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0].as_int(),
+            static_cast<int64_t>(cuboids_.size()));
+
+  auto max_q = parser_.Parse("range c: Cuboid retrieve max(c.volume)");
+  ASSERT_TRUE(max_q.ok());
+  rows = planner.Run(*max_q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ((*rows)[0][0].as_float(), 12.0 * 6);  // dims (12,2,3)
+
+  auto min_empty = parser_.Parse(
+      "range c: Cuboid retrieve min(c.volume) where c.Value > 100000");
+  ASSERT_TRUE(min_empty.ok());
+  EXPECT_EQ(planner.Run(*min_empty).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GomqlTest, AggregateOverMaterializedColumnUsesIndexPlan) {
+  Planner planner(&env_.om, &env_.interp, &env_.mgr, &env_.registry);
+  ASSERT_TRUE(planner
+                  .Run(*parser_.Parse("range c: Cuboid materialize c.volume"))
+                  .ok());
+  auto q = parser_.Parse(
+      "range c: Cuboid retrieve avg(c.Value) where c.volume > 30");
+  ASSERT_TRUE(q.ok());
+  auto plan = planner.PlanRetrieve(*q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen_alternative().kind,
+            PlanAlternative::Kind::kGmrBackward);
+  auto rows = planner.Execute(*plan);
+  ASSERT_TRUE(rows.ok());
+  double expected_sum = 0;
+  size_t n = 0;
+  for (Oid c : cuboids_) {
+    double vol =
+        env_.interp.Invoke(env_.geo.volume, {Value::Ref(c)})->as_float();
+    if (vol > 30) {
+      expected_sum += env_.om.GetAttribute(c, "Value")->as_float();
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_NEAR((*rows)[0][0].as_float(), expected_sum / n, 1e-9);
+}
+
+}  // namespace
+}  // namespace gom::gomql

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "index/bplus_tree.h"
+#include "index/grid_file.h"
+#include "index/hash_index.h"
+
+namespace gom {
+namespace {
+
+// -------------------------------------------------------------- HashIndex
+
+TEST(HashIndexTest, InsertLookupErase) {
+  HashIndex idx;
+  std::vector<Value> key = {Value::Ref(Oid(1)), Value::Ref(Oid(2))};
+  ASSERT_TRUE(idx.Insert(key, 42).ok());
+  auto row = idx.Lookup(key);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, 42u);
+  EXPECT_EQ(idx.Insert(key, 43).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(idx.Erase(key).ok());
+  EXPECT_EQ(idx.Lookup(key).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(idx.Erase(key).code(), StatusCode::kNotFound);
+}
+
+TEST(HashIndexTest, DistinguishesKeyKindsAndArity) {
+  HashIndex idx;
+  ASSERT_TRUE(idx.Insert({Value::Int(1)}, 1).ok());
+  ASSERT_TRUE(idx.Insert({Value::Float(1.0)}, 2).ok());
+  ASSERT_TRUE(idx.Insert({Value::Ref(Oid(1))}, 3).ok());
+  ASSERT_TRUE(idx.Insert({Value::Int(1), Value::Int(1)}, 4).ok());
+  EXPECT_EQ(*idx.Lookup({Value::Int(1)}), 1u);
+  EXPECT_EQ(*idx.Lookup({Value::Float(1.0)}), 2u);
+  EXPECT_EQ(*idx.Lookup({Value::Ref(Oid(1))}), 3u);
+  EXPECT_EQ(*idx.Lookup({Value::Int(1), Value::Int(1)}), 4u);
+}
+
+TEST(HashIndexTest, ManyKeys) {
+  HashIndex idx;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(idx.Insert({Value::Ref(Oid(i)), Value::Int(i % 7)}, i).ok());
+  }
+  EXPECT_EQ(idx.size(), 5000u);
+  for (uint64_t i = 0; i < 5000; i += 131) {
+    EXPECT_EQ(*idx.Lookup({Value::Ref(Oid(i)), Value::Int(i % 7)}), i);
+  }
+}
+
+// -------------------------------------------------------------- BPlusTree
+
+TEST(BPlusTreeTest, InsertAndRangeScanOrdered) {
+  BPlusTree tree;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(i * 1.0, i).ok());
+  }
+  std::vector<uint64_t> out;
+  tree.RangeScan(10.0, 20.0, true, true, [&](double, uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
+  ASSERT_EQ(out.size(), 11u);
+  EXPECT_EQ(out.front(), 10u);
+  EXPECT_EQ(out.back(), 20u);
+}
+
+TEST(BPlusTreeTest, ExclusiveBounds) {
+  BPlusTree tree;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(tree.Insert(i, i).ok());
+  int count = 0;
+  tree.RangeScan(2.0, 5.0, false, false, [&](double, uint64_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2);  // 3, 4
+}
+
+TEST(BPlusTreeTest, DuplicateKeysDistinctValues) {
+  BPlusTree tree;
+  for (uint64_t v = 0; v < 200; ++v) {
+    ASSERT_TRUE(tree.Insert(7.0, v).ok());
+  }
+  EXPECT_EQ(tree.Insert(7.0, 5).code(), StatusCode::kAlreadyExists);
+  int count = 0;
+  tree.RangeScan(7.0, 7.0, true, true, [&](double, uint64_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 200);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, EraseMissingFails) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(1.0, 1).ok());
+  EXPECT_EQ(tree.Erase(1.0, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Erase(2.0, 1).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree.Erase(1.0, 1).ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(BPlusTreeTest, GrowsAndShrinksThroughManyLevels) {
+  BPlusTree tree;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(i * 0.5, i).ok());
+  }
+  EXPECT_GE(tree.height(), 3u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < n; i += 2) {
+    ASSERT_TRUE(tree.Erase(i * 0.5, i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n / 2));
+  int count = 0;
+  tree.RangeScan(-1e9, 1e9, true, true, [&](double, uint64_t v) {
+    EXPECT_EQ(v % 2, 1u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, n / 2);
+}
+
+TEST(BPlusTreeTest, EarlyTerminationOfScan) {
+  BPlusTree tree;
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(tree.Insert(i, i).ok());
+  int count = 0;
+  tree.RangeScan(0, 1e9, true, true, [&](double, uint64_t) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+/// Property test: random interleaved inserts/erases, validated against a
+/// std::multimap reference after every batch.
+class BPlusTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeRandomTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  BPlusTree tree;
+  std::set<std::pair<double, uint64_t>> model;
+  for (int step = 0; step < 4000; ++step) {
+    double key = rng.UniformInt(0, 300) * 0.25;
+    uint64_t value = rng.UniformInt(0, 50);
+    if (rng.Bernoulli(0.6)) {
+      bool expect_ok = model.insert({key, value}).second;
+      EXPECT_EQ(tree.Insert(key, value).ok(), expect_ok);
+    } else {
+      bool expect_ok = model.erase({key, value}) > 0;
+      EXPECT_EQ(tree.Erase(key, value).ok(), expect_ok);
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), model.size());
+  // Compare a handful of ranges.
+  for (int i = 0; i < 20; ++i) {
+    double lo = rng.UniformInt(0, 300) * 0.25;
+    double hi = lo + rng.UniformInt(0, 80) * 0.25;
+    std::vector<std::pair<double, uint64_t>> got;
+    tree.RangeScan(lo, hi, true, true, [&](double k, uint64_t v) {
+      got.emplace_back(k, v);
+      return true;
+    });
+    std::vector<std::pair<double, uint64_t>> want;
+    for (auto it = model.lower_bound({lo, 0}); it != model.end() &&
+                                               it->first <= hi;
+         ++it) {
+      want.push_back(*it);
+    }
+    EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --------------------------------------------------------------- GridFile
+
+TEST(GridFileTest, InsertAndBoxQuery) {
+  GridFile grid(2);
+  ASSERT_TRUE(grid.Insert({1.0, 1.0}, 1).ok());
+  ASSERT_TRUE(grid.Insert({2.0, 2.0}, 2).ok());
+  ASSERT_TRUE(grid.Insert({5.0, 5.0}, 3).ok());
+  std::vector<uint64_t> out;
+  grid.RangeQuery({0, 0}, {3, 3}, [&](const std::vector<double>&, uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(GridFileTest, DuplicateRejectedEraseWorks) {
+  GridFile grid(2);
+  ASSERT_TRUE(grid.Insert({1, 2}, 9).ok());
+  EXPECT_EQ(grid.Insert({1, 2}, 9).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(grid.Insert({1, 2}, 10).ok());  // same point, other value
+  ASSERT_TRUE(grid.Erase({1, 2}, 9).ok());
+  EXPECT_EQ(grid.Erase({1, 2}, 9).code(), StatusCode::kNotFound);
+  EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(GridFileTest, SplitsUnderLoad) {
+  GridFile grid(2, /*bucket_capacity=*/8);
+  Rng rng(7);
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(grid.Insert({rng.UniformDouble(0, 100),
+                             rng.UniformDouble(0, 100)},
+                            i)
+                    .ok());
+  }
+  EXPECT_GT(grid.bucket_count(), 10u);
+  ASSERT_TRUE(grid.CheckInvariants().ok());
+}
+
+TEST(GridFileTest, IdenticalPointsOverflowGracefully) {
+  GridFile grid(2, 4);
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(grid.Insert({3.0, 3.0}, i).ok());
+  }
+  ASSERT_TRUE(grid.CheckInvariants().ok());
+  int count = 0;
+  grid.RangeQuery({3, 3}, {3, 3}, [&](const std::vector<double>&, uint64_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 50);
+}
+
+TEST(GridFileTest, ThreeDimensionalBoxes) {
+  GridFile grid(3, 8);
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      for (int z = 0; z < 8; ++z) {
+        ASSERT_TRUE(grid.Insert({1.0 * x, 1.0 * y, 1.0 * z},
+                                static_cast<uint64_t>(x * 64 + y * 8 + z))
+                        .ok());
+      }
+    }
+  }
+  int count = 0;
+  grid.RangeQuery({2, 2, 2}, {4, 4, 4},
+                  [&](const std::vector<double>&, uint64_t) {
+                    ++count;
+                    return true;
+                  });
+  EXPECT_EQ(count, 27);
+  ASSERT_TRUE(grid.CheckInvariants().ok());
+}
+
+class GridFileRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridFileRandomTest, MatchesLinearScan) {
+  Rng rng(GetParam());
+  GridFile grid(2, 8);
+  std::vector<std::pair<std::vector<double>, uint64_t>> model;
+  for (uint64_t i = 0; i < 800; ++i) {
+    std::vector<double> p = {rng.UniformInt(0, 40) * 1.0,
+                             rng.UniformInt(0, 40) * 1.0};
+    if (rng.Bernoulli(0.8)) {
+      bool dup = false;
+      for (auto& [mp, mv] : model) {
+        if (mp == p && mv == i) dup = true;
+      }
+      if (!dup) {
+        ASSERT_TRUE(grid.Insert(p, i).ok());
+        model.emplace_back(p, i);
+      }
+    } else if (!model.empty()) {
+      size_t pick = rng.UniformInt(0, model.size() - 1);
+      ASSERT_TRUE(grid.Erase(model[pick].first, model[pick].second).ok());
+      model.erase(model.begin() + pick);
+    }
+  }
+  ASSERT_TRUE(grid.CheckInvariants().ok());
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> lo = {rng.UniformInt(0, 40) * 1.0,
+                              rng.UniformInt(0, 40) * 1.0};
+    std::vector<double> hi = {lo[0] + rng.UniformInt(0, 15),
+                              lo[1] + rng.UniformInt(0, 15)};
+    std::set<uint64_t> got;
+    grid.RangeQuery(lo, hi, [&](const std::vector<double>&, uint64_t v) {
+      got.insert(v);
+      return true;
+    });
+    std::set<uint64_t> want;
+    for (const auto& [p, v] : model) {
+      if (p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1]) {
+        want.insert(v);
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridFileRandomTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace gom
+
+namespace gom {
+namespace {
+
+TEST(BPlusTreeTest, MinMaxKeys) {
+  BPlusTree tree;
+  double out;
+  EXPECT_FALSE(tree.MinKey(&out));
+  EXPECT_FALSE(tree.MaxKey(&out));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(i * 0.5, i).ok());
+  }
+  ASSERT_TRUE(tree.MinKey(&out));
+  EXPECT_DOUBLE_EQ(out, 0.0);
+  ASSERT_TRUE(tree.MaxKey(&out));
+  EXPECT_DOUBLE_EQ(out, 249.5);
+  ASSERT_TRUE(tree.Erase(0.0, 0).ok());
+  ASSERT_TRUE(tree.MinKey(&out));
+  EXPECT_DOUBLE_EQ(out, 0.5);
+}
+
+TEST(GridFileTest, WrongDimensionalityRejected) {
+  GridFile grid(3);
+  EXPECT_FALSE(grid.Insert({1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(grid.Erase({1.0}, 1).ok());
+}
+
+}  // namespace
+}  // namespace gom

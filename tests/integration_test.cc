@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/chunked_record.h"
+#include "test_env.h"
+#include "workload/driver.h"
+
+namespace gom {
+namespace {
+
+using workload::NotifyLevel;
+using workload::ProgramVersion;
+
+// ------------------------------------------------- chunked record store
+
+class ChunkedRecordTest : public ::testing::Test {
+ protected:
+  ChunkedRecordTest()
+      : disk_(&clock_, CostModel::Default()),
+        pool_(&disk_, 64),
+        storage_(&pool_),
+        store_(&storage_, storage_.CreateSegment("blobs")) {}
+
+  SimClock clock_;
+  SimDisk disk_;
+  BufferPool pool_;
+  StorageManager storage_;
+  ChunkedRecordStore store_;
+};
+
+TEST_F(ChunkedRecordTest, SmallPayloadSingleChunk) {
+  std::vector<uint8_t> payload(100, 7);
+  auto handle = store_.Insert(payload);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->size(), 1u);
+  auto back = store_.Read(*handle);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST_F(ChunkedRecordTest, LargePayloadSpansPages) {
+  std::vector<uint8_t> payload(3 * kPageSize, 0);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = uint8_t(i * 31);
+  auto handle = store_.Insert(payload);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_GE(handle->size(), 3u);
+  auto back = store_.Read(*handle);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST_F(ChunkedRecordTest, UpdateAcrossChunkCountChanges) {
+  std::vector<uint8_t> small(200, 1);
+  auto handle = store_.Insert(small);
+  ASSERT_TRUE(handle.ok());
+  // Grow beyond one page.
+  std::vector<uint8_t> big(2 * kPageSize, 2);
+  ASSERT_TRUE(store_.Update(&*handle, big).ok());
+  EXPECT_GE(handle->size(), 2u);
+  EXPECT_EQ(*store_.Read(*handle), big);
+  // Shrink back.
+  std::vector<uint8_t> tiny(50, 3);
+  ASSERT_TRUE(store_.Update(&*handle, tiny).ok());
+  EXPECT_EQ(handle->size(), 1u);
+  EXPECT_EQ(*store_.Read(*handle), tiny);
+}
+
+TEST_F(ChunkedRecordTest, DeleteFreesAllChunks) {
+  std::vector<uint8_t> payload(2 * kPageSize, 9);
+  auto handle = store_.Insert(payload);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(store_.Delete(*handle).ok());
+  EXPECT_FALSE(store_.Read(*handle).ok());
+}
+
+TEST_F(ChunkedRecordTest, TouchChargesIo) {
+  std::vector<uint8_t> payload(3 * kPageSize, 4);
+  auto handle = store_.Insert(payload);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(pool_.EvictAll().ok());
+  uint64_t reads_before = disk_.reads();
+  ASSERT_TRUE(store_.Touch(*handle).ok());
+  EXPECT_GE(disk_.reads(), reads_before + 3);
+}
+
+// ------------------------------------------ §5.2 / Figure 6 interaction
+
+TEST(PaperScenarioTest, Figure6SchemaAndObjectInteraction) {
+  TestEnv env;
+  Oid gold = *env.geo.MakeMaterial(&env.om, "Gold", 19.0);
+  Oid c3 = *env.geo.MakeCuboid(&env.om, 5, 5, 4, gold, 89.90);
+  Oid valuables = *env.om.CreateCollection(env.geo.valuables);
+  ASSERT_TRUE(env.om.InsertElement(valuables, Value::Ref(c3)).ok());
+
+  // GMRs of the §5.2 example: ⟨⟨volume, weight⟩⟩ for Cuboid and
+  // ⟨⟨total_value⟩⟩ for Valuables.
+  GmrSpec vw;
+  vw.name = "volume_weight";
+  vw.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  vw.functions = {env.geo.volume, env.geo.weight};
+  ASSERT_TRUE(env.mgr.Materialize(vw).ok());
+  GmrSpec tv;
+  tv.name = "total_value";
+  tv.arg_types = {TypeRef::Object(env.geo.valuables)};
+  tv.functions = {env.geo.total_value};
+  ASSERT_TRUE(env.mgr.Materialize(tv).ok());
+
+  // Figure 6: id31 (a vertex of id3) carries ObjDepFct = {volume, weight};
+  // the cuboid itself additionally carries total_value? No — total_value
+  // reads only Value, so the cuboid carries {volume, weight, total_value}.
+  auto vertices = *env.geo.VerticesOf(&env.om, c3);
+  auto vertex_dep = *env.om.UsedBy(vertices[0]);
+  EXPECT_EQ((std::set<FunctionId>(vertex_dep->begin(), vertex_dep->end())),
+            (std::set<FunctionId>{env.geo.volume, env.geo.weight}));
+  auto cuboid_dep = *env.om.UsedBy(c3);
+  EXPECT_EQ((std::set<FunctionId>(cuboid_dep->begin(), cuboid_dep->end())),
+            (std::set<FunctionId>{env.geo.volume, env.geo.weight,
+                                  env.geo.total_value}));
+
+  // SchemaDepFct(Vertex.set_X) = {volume, weight} here (total_volume and
+  // total_weight are not materialized in this scenario).
+  AttrId x = (*env.schema.Get(env.geo.vertex))->AttrIndex("X");
+  FidSet schema_dep = env.mgr.deps().SchemaDepFct(env.geo.vertex, x);
+  EXPECT_EQ(schema_dep,
+            (FidSet{env.geo.volume, env.geo.weight}));
+
+  // The intersection ObjDepFct(id31) ∩ SchemaDepFct(Vertex.set_X)
+  // coincides with ObjDepFct(id31) — the paper's observation.
+  env.InstallNotifier(NotifyLevel::kObjDep);
+  env.mgr.ResetStats();
+  ASSERT_TRUE(env.om.SetAttribute(vertices[0], "X", Value::Float(1)).ok());
+  EXPECT_EQ(env.mgr.stats().invalidations, 2u);  // volume and weight
+
+  // set_Value on the cuboid touches only total_value.
+  env.mgr.ResetStats();
+  ASSERT_TRUE(env.om.SetAttribute(c3, "Value", Value::Float(100.0)).ok());
+  EXPECT_EQ(env.mgr.stats().invalidations, 1u);
+  auto total =
+      env.mgr.ForwardLookup(env.geo.total_value, {Value::Ref(valuables)});
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(total->as_float(), 100.0);
+}
+
+// --------------------------------- cross-version answer equivalence
+
+/// The strongest end-to-end property: all program versions answer every
+/// query identically while the same randomized update stream runs — the
+/// GMR machinery must be semantically transparent.
+class VersionEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VersionEquivalenceTest, AllVersionsAgreeOnEveryQuery) {
+  struct Instance {
+    ProgramVersion version;
+    std::unique_ptr<workload::GeoBench> bench;
+  };
+  std::vector<Instance> instances;
+  for (ProgramVersion v :
+       {ProgramVersion::kWithoutGmr, ProgramVersion::kWithGmr,
+        ProgramVersion::kLazy, ProgramVersion::kInfoHiding}) {
+    workload::GeoBench::Config cfg;
+    cfg.num_cuboids = 60;
+    cfg.buffer_pages = 64;
+    cfg.version = v;
+    cfg.seed = GetParam();
+    instances.push_back({v, std::make_unique<workload::GeoBench>(cfg)});
+    ASSERT_TRUE(instances.back().bench->setup_status().ok());
+  }
+
+  // Drive the same op sequence through every instance (the benches share
+  // the seed, so their databases and random streams are identical).
+  using workload::OpKind;
+  std::vector<OpKind> script;
+  Rng op_rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 60; ++i) {
+    double pick = op_rng.UniformDouble(0, 1);
+    if (pick < 0.25) {
+      script.push_back(OpKind::kBackwardQuery);
+    } else if (pick < 0.4) {
+      script.push_back(OpKind::kForwardQuery);
+    } else if (pick < 0.55) {
+      script.push_back(OpKind::kScale);
+    } else if (pick < 0.7) {
+      script.push_back(OpKind::kRotate);
+    } else if (pick < 0.8) {
+      script.push_back(OpKind::kTranslate);
+    } else if (pick < 0.9) {
+      script.push_back(OpKind::kInsert);
+    } else {
+      script.push_back(OpKind::kDelete);
+    }
+  }
+
+  for (size_t step = 0; step < script.size(); ++step) {
+    std::vector<size_t> matches;
+    for (Instance& inst : instances) {
+      ASSERT_TRUE(inst.bench->DoOp(script[step]).ok())
+          << workload::ProgramVersionName(inst.version) << " step " << step;
+      if (script[step] == OpKind::kBackwardQuery) {
+        matches.push_back(inst.bench->last_backward_matches());
+      }
+    }
+    if (!matches.empty()) {
+      for (size_t i = 1; i < matches.size(); ++i) {
+        ASSERT_EQ(matches[i], matches[0])
+            << "backward query disagreement at step " << step << " ("
+            << workload::ProgramVersionName(instances[i].version) << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionEquivalenceTest,
+                         ::testing::Values(1001, 2002, 3003, 4004));
+
+// ----------------------------- company mixed workload, long-run invariant
+
+TEST(CompanyIntegrationTest, RankingStaysConsistentUnderMixedLoad) {
+  workload::CompanyBench::Config cfg;
+  cfg.company.departments = 4;
+  cfg.company.employees_per_department = 8;
+  cfg.company.projects = 12;
+  cfg.company.jobs_per_employee = 4;
+  cfg.version = ProgramVersion::kLazy;
+  cfg.seed = 5150;
+  workload::CompanyBench bench(cfg);
+  ASSERT_TRUE(bench.setup_status().ok());
+
+  workload::OperationMix mix;
+  mix.query_mix = {{0.5, workload::OpKind::kRankingForward},
+                   {0.5, workload::OpKind::kRankingBackward}};
+  mix.update_mix = {{0.7, workload::OpKind::kPromote},
+                    {0.3, workload::OpKind::kNewEmployee}};
+  mix.update_probability = 0.5;
+  mix.num_ops = 120;
+  ASSERT_TRUE(bench.RunMix(mix).ok());
+
+  // Every valid ranking in the GMR equals a fresh evaluation; the GMR has
+  // one row per live employee.
+  auto loc = bench.env().mgr.Locate(bench.schema().ranking);
+  ASSERT_TRUE(loc.ok());
+  Gmr* gmr = *bench.env().mgr.Get(loc->first);
+  EXPECT_EQ(gmr->live_rows(), bench.db().employees.size());
+  size_t checked = 0;
+  std::vector<std::pair<std::vector<Value>, Gmr::Row>> rows;
+  gmr->ForEachRow([&](RowId, const Gmr::Row& row) {
+    rows.emplace_back(row.args, row);
+    return true;
+  });
+  for (const auto& [args, row] : rows) {
+    if (!row.valid[0]) continue;
+    auto fresh = bench.env().interp.Invoke(bench.schema().ranking, args);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_NEAR(row.results[0].as_float(), fresh->as_float(), 1e-9);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace gom

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+using workload::NotifyLevel;
+
+/// Materializing a *native* function: the path analyzer cannot see the
+/// body, so the database programmer declares RelAttr explicitly (the same
+/// contract as InvalidatedFct in §5.3).
+class NativeMaterializationTest : public ::testing::Test {
+ protected:
+  NativeMaterializationTest() {
+    iron_ = *env_.geo.MakeMaterial(&env_.om, "Iron", 7.86);
+    c1_ = *env_.geo.MakeCuboid(&env_.om, 2, 3, 4, iron_, 10.0);
+    c2_ = *env_.geo.MakeCuboid(&env_.om, 5, 5, 5, iron_, 20.0);
+
+    // A native "footprint" function: length * width of the base (reads V1,
+    // V2, V4 through the tracked context).
+    footprint_ = *env_.registry.Register(funclang::FunctionDef{
+        kInvalidFunctionId,
+        "footprint",
+        {{"self", TypeRef::Object(env_.geo.cuboid)}},
+        TypeRef::Float(),
+        {},
+        [this](funclang::EvalContext& ctx,
+               const std::vector<Value>& args) -> Result<Value> {
+          GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+          GOMFM_ASSIGN_OR_RETURN(Value v1, ctx.GetAttr(self, "V1"));
+          GOMFM_ASSIGN_OR_RETURN(Value v2, ctx.GetAttr(self, "V2"));
+          GOMFM_ASSIGN_OR_RETURN(Value v4, ctx.GetAttr(self, "V4"));
+          GOMFM_ASSIGN_OR_RETURN(
+              Value l, ctx.Invoke(env_.geo.dist, {v1, v2}));
+          GOMFM_ASSIGN_OR_RETURN(
+              Value w, ctx.Invoke(env_.geo.dist, {v1, v4}));
+          return Value::Float(l.as_float() * w.as_float());
+        },
+        true});
+  }
+
+  TestEnv env_;
+  Oid iron_, c1_, c2_;
+  FunctionId footprint_ = kInvalidFunctionId;
+};
+
+TEST_F(NativeMaterializationTest, MaterializesAndTracksAccesses) {
+  GmrSpec spec;
+  spec.name = "footprint";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {footprint_};
+  auto id = env_.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  Gmr* gmr = *env_.mgr.Get(*id);
+  auto row = gmr->Get(*gmr->FindRow({Value::Ref(c1_)}));
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ((*row)->results[0].as_float(), 6.0);
+  // The dynamic trace still populated RRR and ObjDepFct.
+  auto vertices = *env_.geo.VerticesOf(&env_.om, c1_);
+  EXPECT_TRUE(*env_.om.IsUsedBy(vertices[0], footprint_));
+  EXPECT_TRUE(*env_.om.IsUsedBy(c1_, footprint_));
+}
+
+TEST_F(NativeMaterializationTest, DeclaredRelAttrDrivesInvalidation) {
+  GmrSpec spec;
+  spec.name = "footprint";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {footprint_};
+  ASSERT_TRUE(env_.mgr.Materialize(spec).ok());
+  // Without a declaration the rewritten operations would not know about
+  // footprint; the programmer supplies its relevant attributes.
+  auto attr = [&](TypeId t, const char* name) {
+    return funclang::RelevantProperty{
+        t, (*env_.schema.Get(t))->AttrIndex(name)};
+  };
+  env_.mgr.DeclareRelAttr(
+      footprint_,
+      {attr(env_.geo.cuboid, "V1"), attr(env_.geo.cuboid, "V2"),
+       attr(env_.geo.cuboid, "V4"), attr(env_.geo.vertex, "X"),
+       attr(env_.geo.vertex, "Y"), attr(env_.geo.vertex, "Z")});
+  env_.InstallNotifier(NotifyLevel::kObjDep);
+
+  // A relevant update rematerializes.
+  auto vertices = *env_.geo.VerticesOf(&env_.om, c1_);
+  ASSERT_TRUE(env_.om.SetAttribute(vertices[1], "X", Value::Float(4)).ok());
+  auto fp = env_.mgr.ForwardLookup(footprint_, {Value::Ref(c1_)});
+  ASSERT_TRUE(fp.ok());
+  EXPECT_DOUBLE_EQ(fp->as_float(), 12.0);
+  EXPECT_EQ(env_.mgr.stats().forward_hits, 1u);  // served valid from GMR
+
+  // An irrelevant update (Value) does not touch it.
+  env_.mgr.ResetStats();
+  ASSERT_TRUE(env_.om.SetAttribute(c1_, "Value", Value::Float(99)).ok());
+  EXPECT_EQ(env_.mgr.stats().invalidations, 0u);
+}
+
+TEST_F(NativeMaterializationTest, RematerializeAllInvalidCatchesUp) {
+  GmrSpec spec;
+  spec.name = "footprint";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {footprint_};
+  auto id = env_.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok());
+  env_.mgr.set_remat_strategy(RematStrategy::kLazy);
+  auto attr = [&](TypeId t, const char* name) {
+    return funclang::RelevantProperty{
+        t, (*env_.schema.Get(t))->AttrIndex(name)};
+  };
+  env_.mgr.DeclareRelAttr(footprint_, {attr(env_.geo.vertex, "X")});
+  env_.InstallNotifier(NotifyLevel::kObjDep);
+
+  auto vertices = *env_.geo.VerticesOf(&env_.om, c1_);
+  ASSERT_TRUE(env_.om.SetAttribute(vertices[1], "X", Value::Float(7)).ok());
+  Gmr* gmr = *env_.mgr.Get(*id);
+  EXPECT_EQ(gmr->InvalidRows(0).size(), 1u);
+  // The background catch-up ("when the system load falls below a
+  // threshold") revalidates everything.
+  ASSERT_TRUE(env_.mgr.RematerializeAllInvalid().ok());
+  EXPECT_EQ(gmr->InvalidRows(0).size(), 0u);
+  auto row = gmr->Get(*gmr->FindRow({Value::Ref(c1_)}));
+  EXPECT_DOUBLE_EQ((*row)->results[0].as_float(), 21.0);
+}
+
+}  // namespace
+}  // namespace gom

@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gom/object_manager.h"
+#include "gom/schema.h"
+#include "gom/value.h"
+#include "storage/storage_manager.h"
+
+namespace gom {
+namespace {
+
+// ------------------------------------------------------------------ Value
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).as_bool(), true);
+  EXPECT_EQ(Value::Int(-3).as_int(), -3);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).as_float(), 2.5);
+  EXPECT_EQ(Value::String("x").as_string(), "x");
+  EXPECT_EQ(Value::Ref(Oid(7)).as_ref(), Oid(7));
+  EXPECT_EQ(Value::Composite({Value::Int(1)}).elements().size(), 1u);
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Float(4.5).AsDouble(), 4.5);
+  EXPECT_FALSE(Value::String("4").AsDouble().ok());
+}
+
+TEST(ValueTest, EqualityIsDeep) {
+  EXPECT_EQ(Value::Composite({Value::Int(1), Value::String("a")}),
+            Value::Composite({Value::Int(1), Value::String("a")}));
+  EXPECT_NE(Value::Composite({Value::Int(1)}),
+            Value::Composite({Value::Int(2)}));
+  EXPECT_NE(Value::Int(1), Value::Float(1.0));  // different kinds
+}
+
+TEST(ValueTest, CompareAcrossNumerics) {
+  EXPECT_EQ(*Value::Int(1).Compare(Value::Float(1.0)), 0);
+  EXPECT_EQ(*Value::Int(1).Compare(Value::Float(2.0)), -1);
+  EXPECT_EQ(*Value::Float(3.0).Compare(Value::Int(2)), 1);
+  EXPECT_EQ(*Value::String("a").Compare(Value::String("b")), -1);
+  EXPECT_FALSE(Value::String("a").Compare(Value::Int(1)).ok());
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  std::vector<Value> cases = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Int(-1234567890123),
+      Value::Float(3.14159),
+      Value::String("Gold"),
+      Value::Ref(Oid(42)),
+      Value::Composite({Value::Int(1), Value::Composite({Value::String("x")}),
+                        Value::Ref(Oid(9))}),
+  };
+  for (const Value& v : cases) {
+    std::vector<uint8_t> buf;
+    v.Serialize(&buf);
+    EXPECT_EQ(buf.size(), v.SerializedSize()) << v.ToString();
+    const uint8_t* cursor = buf.data();
+    auto back = Value::Deserialize(&cursor, buf.data() + buf.size());
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(cursor, buf.data() + buf.size());
+  }
+}
+
+TEST(ValueTest, DeserializeRejectsTruncation) {
+  std::vector<uint8_t> buf;
+  Value::String("hello world").Serialize(&buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    const uint8_t* cursor = buf.data();
+    EXPECT_FALSE(Value::Deserialize(&cursor, buf.data() + cut).ok());
+  }
+}
+
+// ----------------------------------------------------------------- Schema
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Schema schema_;
+};
+
+TEST_F(SchemaTest, DeclareTupleTypeWithAttributes) {
+  auto vertex = schema_.DeclareTupleType(
+      {"Vertex",
+       kInvalidTypeId,
+       {{"X", TypeRef::Float()}, {"Y", TypeRef::Float()},
+        {"Z", TypeRef::Float()}},
+       {"X", "set_X", "Y", "set_Y", "Z", "set_Z"},
+       false});
+  ASSERT_TRUE(vertex.ok());
+  auto desc = schema_.Get(*vertex);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ((*desc)->name, "Vertex");
+  EXPECT_EQ((*desc)->attributes.size(), 3u);
+  EXPECT_TRUE((*desc)->IsPublic("set_X"));
+  EXPECT_FALSE((*desc)->IsPublic("volume"));
+}
+
+TEST_F(SchemaTest, DuplicateTypeNameRejected) {
+  ASSERT_TRUE(schema_.DeclareTupleType({"T", kInvalidTypeId, {}, {}, false}).ok());
+  EXPECT_EQ(
+      schema_.DeclareTupleType({"T", kInvalidTypeId, {}, {}, false}).status().code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST_F(SchemaTest, InheritanceCopiesAttributes) {
+  auto person = schema_.DeclareTupleType(
+      {"Person", kInvalidTypeId, {{"Name", TypeRef::String()}}, {"Name"}, false});
+  ASSERT_TRUE(person.ok());
+  auto employee = schema_.DeclareTupleType(
+      {"Employee", *person, {{"Salary", TypeRef::Float()}}, {"Salary"}, false});
+  ASSERT_TRUE(employee.ok());
+  auto desc = schema_.Get(*employee);
+  ASSERT_TRUE(desc.ok());
+  ASSERT_EQ((*desc)->attributes.size(), 2u);
+  EXPECT_EQ((*desc)->attributes[0].name, "Name");  // inherited first
+  EXPECT_EQ((*desc)->attributes[1].name, "Salary");
+  EXPECT_TRUE(schema_.IsSubtypeOf(*employee, *person));
+  EXPECT_FALSE(schema_.IsSubtypeOf(*person, *employee));
+  EXPECT_TRUE(schema_.IsSubtypeOf(*person, kInvalidTypeId));  // ANY
+}
+
+TEST_F(SchemaTest, DuplicateAttributeViaInheritanceRejected) {
+  auto base = schema_.DeclareTupleType(
+      {"Base", kInvalidTypeId, {{"A", TypeRef::Int()}}, {}, false});
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(schema_
+                .DeclareTupleType(
+                    {"Derived", *base, {{"A", TypeRef::Float()}}, {}, false})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SchemaTest, SetAndListTypes) {
+  auto elem = schema_.DeclareTupleType({"Cuboid", kInvalidTypeId, {}, {}, false});
+  ASSERT_TRUE(elem.ok());
+  auto workpieces =
+      schema_.DeclareSetType("Workpieces", TypeRef::Object(*elem));
+  ASSERT_TRUE(workpieces.ok());
+  auto desc = schema_.Get(*workpieces);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ((*desc)->kind, StructKind::kSet);
+  EXPECT_EQ((*desc)->element_type.object_type, *elem);
+  auto lst = schema_.DeclareListType("CuboidList", TypeRef::Object(*elem));
+  ASSERT_TRUE(lst.ok());
+  EXPECT_EQ((*schema_.Get(*lst))->kind, StructKind::kList);
+}
+
+TEST_F(SchemaTest, ConformsWithSubtypingAndWidening) {
+  auto person = schema_.DeclareTupleType({"Person", kInvalidTypeId, {}, {}, false});
+  auto employee = schema_.DeclareTupleType({"Employee", *person, {}, {}, false});
+  EXPECT_TRUE(schema_.Conforms(TypeRef::Object(*employee),
+                               TypeRef::Object(*person)));
+  EXPECT_FALSE(schema_.Conforms(TypeRef::Object(*person),
+                                TypeRef::Object(*employee)));
+  EXPECT_TRUE(schema_.Conforms(TypeRef::Int(), TypeRef::Float()));
+  EXPECT_FALSE(schema_.Conforms(TypeRef::Float(), TypeRef::Int()));
+  EXPECT_TRUE(schema_.Conforms(TypeRef::Object(*person), TypeRef::Any()));
+}
+
+TEST_F(SchemaTest, ResolveAttribute) {
+  auto vertex = schema_.DeclareTupleType(
+      {"Vertex", kInvalidTypeId,
+       {{"X", TypeRef::Float()}, {"Y", TypeRef::Float()}}, {}, false});
+  ASSERT_TRUE(vertex.ok());
+  auto resolved = schema_.ResolveAttribute(*vertex, "Y");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->first, 1u);
+  EXPECT_EQ(resolved->second.tag, TypeRef::Tag::kFloat);
+  EXPECT_EQ(schema_.ResolveAttribute(*vertex, "W").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SchemaTest, SubtypesOfEnumeratesTransitively) {
+  auto a = schema_.DeclareTupleType({"A", kInvalidTypeId, {}, {}, false});
+  auto b = schema_.DeclareTupleType({"B", *a, {}, {}, false});
+  auto c = schema_.DeclareTupleType({"C", *b, {}, {}, false});
+  auto d = schema_.DeclareTupleType({"D", kInvalidTypeId, {}, {}, false});
+  (void)d;
+  auto subs = schema_.SubtypesOf(*a);
+  EXPECT_EQ(subs.size(), 3u);
+  EXPECT_TRUE(std::count(subs.begin(), subs.end(), *c));
+}
+
+// ----------------------------------------------------------- ObjectManager
+
+class ObjectManagerTest : public ::testing::Test {
+ protected:
+  ObjectManagerTest()
+      : disk_(&clock_, CostModel::Default()),
+        pool_(&disk_, 150),
+        storage_(&pool_),
+        om_(&schema_, &storage_, &clock_) {
+    vertex_ = *schema_.DeclareTupleType(
+        {"Vertex",
+         kInvalidTypeId,
+         {{"X", TypeRef::Float()}, {"Y", TypeRef::Float()},
+          {"Z", TypeRef::Float()}},
+         {},
+         false});
+    material_ = *schema_.DeclareTupleType(
+        {"Material",
+         kInvalidTypeId,
+         {{"Name", TypeRef::String()}, {"SpecWeight", TypeRef::Float()}},
+         {},
+         false});
+    workpieces_ = *schema_.DeclareSetType("Workpieces",
+                                          TypeRef::Object(material_));
+  }
+
+  SimClock clock_;
+  SimDisk disk_;
+  BufferPool pool_;
+  StorageManager storage_;
+  Schema schema_;
+  ObjectManager om_;
+  TypeId vertex_, material_, workpieces_;
+};
+
+TEST_F(ObjectManagerTest, CreateAndReadTuple) {
+  auto oid = om_.CreateTuple(
+      vertex_, {Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)});
+  ASSERT_TRUE(oid.ok());
+  auto y = om_.GetAttribute(*oid, "Y");
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ(y->as_float(), 2.0);
+}
+
+TEST_F(ObjectManagerTest, MissingTrailingFieldsDefaultToNull) {
+  auto oid = om_.CreateTuple(material_, {Value::String("Iron")});
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(om_.GetAttribute(*oid, "SpecWeight")->is_null());
+}
+
+TEST_F(ObjectManagerTest, TypeCheckedWrites) {
+  auto oid = om_.CreateTuple(material_, {Value::String("Iron"), Value::Float(7.86)});
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(om_.SetAttribute(*oid, "SpecWeight", Value::Float(7.9)).ok());
+  EXPECT_TRUE(om_.SetAttribute(*oid, "SpecWeight", Value::Int(8)).ok());
+  EXPECT_EQ(om_.SetAttribute(*oid, "SpecWeight", Value::String("x")).code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST_F(ObjectManagerTest, SetInsertRemoveSemantics) {
+  auto set = om_.CreateCollection(workpieces_);
+  ASSERT_TRUE(set.ok());
+  auto m1 = om_.CreateTuple(material_, {Value::String("Iron"), Value::Float(7.86)});
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(om_.InsertElement(*set, Value::Ref(*m1)).ok());
+  EXPECT_EQ(om_.InsertElement(*set, Value::Ref(*m1)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(*om_.ElementCount(*set), 1u);
+  ASSERT_TRUE(om_.RemoveElement(*set, Value::Ref(*m1)).ok());
+  EXPECT_EQ(om_.RemoveElement(*set, Value::Ref(*m1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ObjectManagerTest, ExtentTracksCreateAndDelete) {
+  auto a = om_.CreateTuple(vertex_, {});
+  auto b = om_.CreateTuple(vertex_, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(om_.ExtentExact(vertex_).size(), 2u);
+  ASSERT_TRUE(om_.Delete(*a).ok());
+  ASSERT_EQ(om_.ExtentExact(vertex_).size(), 1u);
+  EXPECT_EQ(om_.ExtentExact(vertex_)[0], *b);
+  EXPECT_FALSE(om_.Exists(*a));
+}
+
+TEST_F(ObjectManagerTest, ExtentIncludesSubtypes) {
+  TypeId sub = *schema_.DeclareTupleType({"Vertex2", vertex_, {}, {}, false});
+  ASSERT_TRUE(om_.CreateTuple(vertex_, {}).ok());
+  ASSERT_TRUE(om_.CreateTuple(sub, {}).ok());
+  EXPECT_EQ(om_.Extent(vertex_).size(), 2u);
+  EXPECT_EQ(om_.ExtentExact(vertex_).size(), 1u);
+}
+
+TEST_F(ObjectManagerTest, ObjDepFctMarking) {
+  auto oid = om_.CreateTuple(vertex_, {});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(om_.MarkUsedBy(*oid, 5).ok());
+  ASSERT_TRUE(om_.MarkUsedBy(*oid, 3).ok());
+  ASSERT_TRUE(om_.MarkUsedBy(*oid, 5).ok());  // idempotent
+  EXPECT_TRUE(*om_.IsUsedBy(*oid, 3));
+  EXPECT_TRUE(*om_.IsUsedBy(*oid, 5));
+  EXPECT_FALSE(*om_.IsUsedBy(*oid, 4));
+  ASSERT_TRUE(om_.UnmarkUsedBy(*oid, 5).ok());
+  EXPECT_FALSE(*om_.IsUsedBy(*oid, 5));
+  EXPECT_EQ((*om_.UsedBy(*oid))->size(), 1u);
+}
+
+TEST_F(ObjectManagerTest, DanglingReferenceRejected) {
+  auto set = om_.CreateCollection(workpieces_);
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(om_.InsertElement(*set, Value::Ref(Oid(9999))).ok());
+}
+
+TEST_F(ObjectManagerTest, AccessesChargeSimulatedTime) {
+  auto oid = om_.CreateTuple(vertex_, {Value::Float(1)});
+  ASSERT_TRUE(oid.ok());
+  double before = clock_.seconds();
+  ASSERT_TRUE(om_.GetAttribute(*oid, "X").ok());
+  EXPECT_GT(clock_.seconds(), before);
+}
+
+TEST_F(ObjectManagerTest, LargeCollectionChunksAcrossPages) {
+  // Build a set of ~1000 refs: encoding ~9 kB > one page.
+  auto set = om_.CreateCollection(workpieces_);
+  ASSERT_TRUE(set.ok());
+  std::vector<Oid> materials;
+  for (int i = 0; i < 1000; ++i) {
+    auto m = om_.CreateTuple(material_,
+                             {Value::String("M" + std::to_string(i))});
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(om_.InsertElement(*set, Value::Ref(*m)).ok());
+  }
+  auto elems = om_.GetElements(*set);
+  ASSERT_TRUE(elems.ok());
+  EXPECT_EQ(elems->size(), 1000u);
+}
+
+// Notifier capturing all events, for hook-seam verification.
+class RecordingNotifier : public UpdateNotifier {
+ public:
+  struct Event {
+    std::string what;
+    Oid oid;
+    int depth = 0;
+  };
+  std::vector<Event> events;
+
+  void BeforeElementaryUpdate(const ElementaryUpdate& u) override {
+    events.push_back({"before_update", u.oid, u.operation_depth});
+  }
+  void AfterElementaryUpdate(const ElementaryUpdate& u) override {
+    events.push_back({"after_update", u.oid, u.operation_depth});
+  }
+  void AfterCreate(Oid oid, TypeId) override {
+    events.push_back({"create", oid, 0});
+  }
+  void BeforeDelete(Oid oid, TypeId) override {
+    events.push_back({"delete", oid, 0});
+  }
+  void BeforeOperation(Oid self, TypeId, FunctionId,
+                       const std::vector<Value>&) override {
+    events.push_back({"begin_op", self, 0});
+  }
+  void AfterOperation(Oid self, TypeId, FunctionId) override {
+    events.push_back({"end_op", self, 0});
+  }
+};
+
+TEST_F(ObjectManagerTest, NotifierSeesElementaryUpdates) {
+  RecordingNotifier notifier;
+  om_.SetNotifier(&notifier);
+  auto oid = om_.CreateTuple(vertex_, {Value::Float(0)});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(om_.SetAttribute(*oid, "X", Value::Float(5)).ok());
+  ASSERT_TRUE(om_.Delete(*oid).ok());
+  ASSERT_EQ(notifier.events.size(), 4u);
+  EXPECT_EQ(notifier.events[0].what, "create");
+  EXPECT_EQ(notifier.events[1].what, "before_update");
+  EXPECT_EQ(notifier.events[2].what, "after_update");
+  EXPECT_EQ(notifier.events[3].what, "delete");
+  om_.SetNotifier(nullptr);
+}
+
+TEST_F(ObjectManagerTest, OperationDepthVisibleInUpdates) {
+  RecordingNotifier notifier;
+  om_.SetNotifier(&notifier);
+  auto oid = om_.CreateTuple(vertex_, {Value::Float(0)});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(om_.BeginOperation(*oid, 17, {}).ok());
+  ASSERT_TRUE(om_.SetAttribute(*oid, "X", Value::Float(5)).ok());
+  ASSERT_TRUE(om_.EndOperation(*oid, 17).ok());
+  // create, begin_op, before_update(depth1), after_update(depth1), end_op
+  ASSERT_EQ(notifier.events.size(), 5u);
+  EXPECT_EQ(notifier.events[1].what, "begin_op");
+  EXPECT_EQ(notifier.events[2].depth, 1);
+  EXPECT_EQ(notifier.events[3].depth, 1);
+  EXPECT_EQ(notifier.events[4].what, "end_op");
+  om_.SetNotifier(nullptr);
+}
+
+TEST_F(ObjectManagerTest, EndOperationWithoutBeginFails) {
+  auto oid = om_.CreateTuple(vertex_, {});
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(om_.EndOperation(*oid, 1).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace gom

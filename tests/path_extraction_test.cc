@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "funclang/builder.h"
+#include "funclang/interpreter.h"
+#include "funclang/path_extraction.h"
+#include "gom/object_manager.h"
+
+namespace gom::funclang {
+namespace {
+
+PathExpr P(std::string root, std::vector<std::string> attrs,
+           bool elements = false) {
+  return PathExpr{std::move(root), std::move(attrs), elements};
+}
+
+// ------------------------------------------- Definition 8.1 primitives
+
+TEST(RewriteTest, PathWithoutRuleUnchanged) {
+  RewriteSystem r;
+  r.rules["v"] = {P("self", {"A"})};
+  PathSet out = RewritePath(P("w", {"B"}), r);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out.begin(), P("w", {"B"}));
+}
+
+TEST(RewriteTest, RuleReplacesRootKeepingSuffix) {
+  RewriteSystem r;
+  r.rules["v"] = {P("self", {"A"})};
+  PathSet out = RewritePath(P("v", {"B", "C"}), r);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out.begin(), P("self", {"A", "B", "C"}));
+}
+
+TEST(RewriteTest, SetValuedRulesFanOut) {
+  RewriteSystem r;
+  r.rules["v"] = {P("self", {"A"}), P("other", {"B"})};
+  PathSet out = RewritePath(P("v", {"X"}), r);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.count(P("self", {"A", "X"})));
+  EXPECT_TRUE(out.count(P("other", {"B", "X"})));
+}
+
+TEST(RewriteTest, EmptyRuleDropsPath) {
+  RewriteSystem r;
+  r.rules["v"] = {};
+  EXPECT_TRUE(RewritePath(P("v", {"A"}), r).empty());
+}
+
+TEST(CombineTest, SequenceRewritesLaterPathsByEarlierRules) {
+  // s1: v := self.A        E1 = ({self.A}, {v → self.A})
+  // s2: return v.B         E2 = ({v.B}, {})
+  Extraction e1{{P("self", {"A"})}, {}};
+  e1.rules.rules["v"] = {P("self", {"A"})};
+  Extraction e2{{P("v", {"B"})}, {}};
+  Extraction combined = Combine(e1, e2);
+  EXPECT_TRUE(combined.paths.count(P("self", {"A"})));
+  EXPECT_TRUE(combined.paths.count(P("self", {"A", "B"})));
+  EXPECT_FALSE(combined.paths.count(P("v", {"B"})));
+}
+
+TEST(CombineTest, ReassignmentOverridesEarlierRule) {
+  // s1: v := self.A ; s2: v := self.B — later uses of v must see self.B.
+  Extraction e1;
+  e1.rules.rules["v"] = {P("self", {"A"})};
+  Extraction e2;
+  e2.rules.rules["v"] = {P("self", {"B"})};
+  Extraction combined = Combine(e1, e2);
+  ASSERT_EQ(combined.rules.rules.at("v").size(), 1u);
+  EXPECT_EQ(*combined.rules.rules.at("v").begin(), P("self", {"B"}));
+}
+
+TEST(CombineTest, LaterRulesAreRewrittenByEarlierOnes) {
+  // s1: v := self.A ; s2: w := v.B  ⇒  w → self.A.B
+  Extraction e1;
+  e1.rules.rules["v"] = {P("self", {"A"})};
+  Extraction e2;
+  e2.rules.rules["w"] = {P("v", {"B"})};
+  Extraction combined = Combine(e1, e2);
+  ASSERT_EQ(combined.rules.rules.at("w").size(), 1u);
+  EXPECT_EQ(*combined.rules.rules.at("w").begin(), P("self", {"A", "B"}));
+  // v's rule survives (not reassigned).
+  EXPECT_TRUE(combined.rules.rules.count("v"));
+}
+
+TEST(CombineTest, IsLeftAssociativeOverSequences) {
+  // v := self.A; v := v.B; return v.C  ⇒  access self.A.B.C
+  Extraction e1;
+  e1.rules.rules["v"] = {P("self", {"A"})};
+  Extraction e2;
+  e2.rules.rules["v"] = {P("v", {"B"})};
+  Extraction e3{{P("v", {"C"})}, {}};
+  Extraction combined = Combine(Combine(e1, e2), e3);
+  EXPECT_TRUE(combined.paths.count(P("self", {"A", "B", "C"})));
+}
+
+// ------------------------------------------------- full function analysis
+
+/// Same schema and functions as funclang_test, plus the paper's RelAttr
+/// expectations.
+class PathAnalyzerTest : public ::testing::Test {
+ protected:
+  PathAnalyzerTest()
+      : disk_(&clock_, CostModel::Default()),
+        pool_(&disk_, 150),
+        storage_(&pool_),
+        om_(&schema_, &storage_, &clock_),
+        interp_(&om_, &registry_),
+        analyzer_(&schema_, &registry_) {
+    vertex_ = *schema_.DeclareTupleType(
+        {"Vertex",
+         kInvalidTypeId,
+         {{"X", TypeRef::Float()}, {"Y", TypeRef::Float()},
+          {"Z", TypeRef::Float()}},
+         {},
+         false});
+    material_ = *schema_.DeclareTupleType(
+        {"Material",
+         kInvalidTypeId,
+         {{"Name", TypeRef::String()}, {"SpecWeight", TypeRef::Float()}},
+         {},
+         false});
+    cuboid_ = *schema_.DeclareTupleType(
+        {"Cuboid",
+         kInvalidTypeId,
+         {{"V1", TypeRef::Object(vertex_)},
+          {"V2", TypeRef::Object(vertex_)},
+          {"V4", TypeRef::Object(vertex_)},
+          {"V5", TypeRef::Object(vertex_)},
+          {"Mat", TypeRef::Object(material_)},
+          {"Value", TypeRef::Float()}},
+         {},
+         false});
+    workpieces_ =
+        *schema_.DeclareSetType("Workpieces", TypeRef::Object(cuboid_));
+
+    auto d = [](ExprPtr a, ExprPtr b) { return Mul(Sub(a, b), Sub(a, b)); };
+    dist_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "dist",
+        {{"self", TypeRef::Object(vertex_)},
+         {"other", TypeRef::Object(vertex_)}},
+        TypeRef::Float(),
+        Body(Sqrt(Add(Add(d(Attr(Self(), "X"), Attr(Var("other"), "X")),
+                          d(Attr(Self(), "Y"), Attr(Var("other"), "Y"))),
+                      d(Attr(Self(), "Z"), Attr(Var("other"), "Z"))))),
+        nullptr,
+        true});
+    auto edge = [this](const char* name, const char* v) {
+      return *registry_.Register(FunctionDef{
+          kInvalidFunctionId,
+          name,
+          {{"self", TypeRef::Object(cuboid_)}},
+          TypeRef::Float(),
+          Body(CallF("dist", {Attr(Self(), "V1"), Attr(Self(), v)})),
+          nullptr,
+          true});
+    };
+    length_ = edge("length", "V2");
+    width_ = edge("width", "V4");
+    height_ = edge("height", "V5");
+    volume_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "volume",
+        {{"self", TypeRef::Object(cuboid_)}},
+        TypeRef::Float(),
+        Body(Mul(Mul(CallF("length", {Self()}), CallF("width", {Self()})),
+                 CallF("height", {Self()}))),
+        nullptr,
+        true});
+    weight_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "weight",
+        {{"self", TypeRef::Object(cuboid_)}},
+        TypeRef::Float(),
+        Body(Mul(CallF("volume", {Self()}),
+                 Path(Self(), {"Mat", "SpecWeight"}))),
+        nullptr,
+        true});
+    total_volume_ = *registry_.Register(FunctionDef{
+        kInvalidFunctionId,
+        "total_volume",
+        {{"self", TypeRef::Object(workpieces_)}},
+        TypeRef::Float(),
+        Body(SumOver(Self(), "c", CallF("volume", {Var("c")}))),
+        nullptr,
+        true});
+  }
+
+  RelevantProperty Prop(TypeId t, const char* attr) {
+    return {t, (*schema_.Get(t))->AttrIndex(attr)};
+  }
+
+  SimClock clock_;
+  SimDisk disk_;
+  BufferPool pool_;
+  StorageManager storage_;
+  Schema schema_;
+  ObjectManager om_;
+  FunctionRegistry registry_;
+  Interpreter interp_;
+  PathAnalyzer analyzer_;
+  TypeId vertex_, material_, cuboid_, workpieces_;
+  FunctionId dist_, length_, width_, height_, volume_, weight_,
+      total_volume_;
+};
+
+TEST_F(PathAnalyzerTest, DistAccessesAllCoordinates) {
+  auto analysis = analyzer_.Analyze(dist_);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_EQ(analysis->paths.size(), 6u);
+  EXPECT_TRUE(analysis->paths.count(P("self", {"X"})));
+  EXPECT_TRUE(analysis->paths.count(P("other", {"Z"})));
+  EXPECT_EQ(analysis->rel_attr.size(), 3u);  // Vertex.X/Y/Z
+  EXPECT_TRUE(analysis->rel_attr.count(Prop(vertex_, "X")));
+}
+
+TEST_F(PathAnalyzerTest, LengthInlinesDist) {
+  auto analysis = analyzer_.Analyze(length_);
+  ASSERT_TRUE(analysis.ok());
+  // self.V1, self.V2 and the six coordinate paths through them.
+  EXPECT_TRUE(analysis->paths.count(P("self", {"V1"})));
+  EXPECT_TRUE(analysis->paths.count(P("self", {"V1", "X"})));
+  EXPECT_TRUE(analysis->paths.count(P("self", {"V2", "Z"})));
+  EXPECT_FALSE(analysis->paths.count(P("self", {"V4", "X"})));
+}
+
+TEST_F(PathAnalyzerTest, VolumeRelAttrMatchesThePaper) {
+  // §5.1: RelAttr(volume) = {Cuboid.V1, Cuboid.V2, Cuboid.V4, Cuboid.V5,
+  //                          Vertex.X, Vertex.Y, Vertex.Z}
+  auto analysis = analyzer_.Analyze(volume_);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  std::set<RelevantProperty> expected = {
+      Prop(cuboid_, "V1"), Prop(cuboid_, "V2"), Prop(cuboid_, "V4"),
+      Prop(cuboid_, "V5"), Prop(vertex_, "X"),  Prop(vertex_, "Y"),
+      Prop(vertex_, "Z")};
+  EXPECT_EQ(analysis->rel_attr, expected);
+}
+
+TEST_F(PathAnalyzerTest, WeightAddsMaterialDependencies) {
+  auto analysis = analyzer_.Analyze(weight_);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->rel_attr.count(Prop(cuboid_, "Mat")));
+  EXPECT_TRUE(analysis->rel_attr.count(Prop(material_, "SpecWeight")));
+  EXPECT_FALSE(analysis->rel_attr.count(Prop(material_, "Name")));
+  EXPECT_FALSE(analysis->rel_attr.count(Prop(cuboid_, "Value")));
+}
+
+TEST_F(PathAnalyzerTest, TotalVolumeDependsOnSetMembership) {
+  auto analysis = analyzer_.Analyze(total_volume_);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_TRUE(
+      analysis->rel_attr.count(RelevantProperty{workpieces_, kElementsOfAttr}));
+  // And, through the iteration variable, everything volume needs.
+  EXPECT_TRUE(analysis->rel_attr.count(Prop(cuboid_, "V1")));
+  EXPECT_TRUE(analysis->rel_attr.count(Prop(vertex_, "Y")));
+  // The iteration variable root is typed.
+  bool found_typed_c = false;
+  for (const auto& [root, type] : analysis->root_types) {
+    if (type.is_object() && type.object_type == cuboid_ && root != "self") {
+      found_typed_c = true;
+    }
+  }
+  EXPECT_TRUE(found_typed_c);
+}
+
+TEST_F(PathAnalyzerTest, LetChainsAreRewrittenToParameterRoots) {
+  // f(self: Cuboid) = { m := self.Mat; return m.SpecWeight }
+  FunctionId f = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "mat_weight",
+      {{"self", TypeRef::Object(cuboid_)}},
+      TypeRef::Float(),
+      Body({Let("m", Attr(Self(), "Mat")),
+            Ret(Attr(Var("m"), "SpecWeight"))}),
+      nullptr,
+      true});
+  auto analysis = analyzer_.Analyze(f);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->paths.count(P("self", {"Mat"})));
+  EXPECT_TRUE(analysis->paths.count(P("self", {"Mat", "SpecWeight"})));
+  for (const PathExpr& p : analysis->paths) {
+    EXPECT_EQ(p.root, "self") << p.ToString();
+  }
+}
+
+TEST_F(PathAnalyzerTest, ReassignmentTrackedConservatively) {
+  // v := self.V1; v := self.V2; return v.X  ⇒ accesses self.V2.X not
+  // self.V1.X (beyond reading self.V1 itself).
+  FunctionId f = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "reassign",
+      {{"self", TypeRef::Object(cuboid_)}},
+      TypeRef::Float(),
+      Body({Let("v", Attr(Self(), "V1")), Let("v", Attr(Self(), "V2")),
+            Ret(Attr(Var("v"), "X"))}),
+      nullptr,
+      true});
+  auto analysis = analyzer_.Analyze(f);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->paths.count(P("self", {"V2", "X"})));
+  EXPECT_FALSE(analysis->paths.count(P("self", {"V1", "X"})));
+}
+
+TEST_F(PathAnalyzerTest, IfBranchesUnionResults) {
+  // return (if self.Value > 0 then self.V1 else self.V2).X
+  FunctionId f = *registry_.Register(FunctionDef{
+      kInvalidFunctionId,
+      "branchy",
+      {{"self", TypeRef::Object(cuboid_)}},
+      TypeRef::Float(),
+      Body(Attr(IfE(Gt(Attr(Self(), "Value"), F(0)), Attr(Self(), "V1"),
+                    Attr(Self(), "V2")),
+                "X")),
+      nullptr,
+      true});
+  auto analysis = analyzer_.Analyze(f);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->paths.count(P("self", {"V1", "X"})));
+  EXPECT_TRUE(analysis->paths.count(P("self", {"V2", "X"})));
+  EXPECT_TRUE(analysis->rel_attr.count(Prop(cuboid_, "Value")));
+}
+
+TEST_F(PathAnalyzerTest, NativeFunctionsAreRejected) {
+  FunctionId f = *registry_.Register(FunctionDef{
+      kInvalidFunctionId, "opaque", {}, TypeRef::Float(), {},
+      [](EvalContext&, const std::vector<Value>&) -> Result<Value> {
+        return Value::Float(0);
+      },
+      true});
+  EXPECT_EQ(analyzer_.Analyze(f).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PathAnalyzerTest, AnalysisIsCached) {
+  auto first = analyzer_.Analyze(volume_);
+  ASSERT_TRUE(first.ok());
+  auto second = analyzer_.Analyze(volume_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->rel_attr, second->rel_attr);
+  EXPECT_EQ(first->paths, second->paths);
+}
+
+// Property: the statically extracted RelAttr is a superset of the
+// dynamically observed accessed properties (the appendix notes P(f) is in
+// general a superset of what one run evaluates).
+TEST_F(PathAnalyzerTest, StaticRelAttrCoversDynamicTrace) {
+  Oid iron = *om_.CreateTuple(
+      material_, {Value::String("Iron"), Value::Float(7.86)});
+  auto vtx = [&](double x, double y, double z) {
+    return *om_.CreateTuple(
+        vertex_, {Value::Float(x), Value::Float(y), Value::Float(z)});
+  };
+  Oid c = *om_.CreateTuple(
+      cuboid_,
+      {Value::Ref(vtx(0, 0, 0)), Value::Ref(vtx(2, 0, 0)),
+       Value::Ref(vtx(0, 3, 0)), Value::Ref(vtx(0, 0, 4)), Value::Ref(iron),
+       Value::Float(1.0)});
+  Oid set = *om_.CreateCollection(workpieces_);
+  ASSERT_TRUE(om_.InsertElement(set, Value::Ref(c)).ok());
+
+  struct Case {
+    FunctionId f;
+    Value arg;
+  };
+  for (const Case& test_case :
+       {Case{volume_, Value::Ref(c)}, Case{weight_, Value::Ref(c)},
+        Case{total_volume_, Value::Ref(set)}}) {
+    auto analysis = analyzer_.Analyze(test_case.f);
+    ASSERT_TRUE(analysis.ok());
+    Trace trace;
+    ASSERT_TRUE(interp_.Invoke(test_case.f, {test_case.arg}, &trace).ok());
+    for (const RelevantProperty& observed : trace.accessed_properties) {
+      EXPECT_TRUE(analysis->rel_attr.count(observed) > 0)
+          << registry_.NameOf(test_case.f) << " missing ("
+          << schema_.TypeName(observed.type) << ", " << observed.attr << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gom::funclang

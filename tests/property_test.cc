@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "funclang/builder.h"
+#include "gmr/rrr.h"
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+// ---------------------------------------------- storage vs reference model
+
+class StorageModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StorageModelTest, RandomRecordOpsMatchReference) {
+  SimClock clock;
+  SimDisk disk(&clock, CostModel::Default());
+  BufferPool pool(&disk, 12);  // tiny: force constant eviction
+  StorageManager mgr(&pool);
+  SegmentId seg = mgr.CreateSegment("model");
+
+  Rng rng(GetParam());
+  std::map<uint64_t, std::pair<Rid, std::vector<uint8_t>>> model;
+  uint64_t next_key = 0;
+
+  for (int step = 0; step < 1500; ++step) {
+    double pick = rng.UniformDouble(0, 1);
+    if (pick < 0.5 || model.empty()) {
+      std::vector<uint8_t> payload(rng.UniformInt(1, 900));
+      for (auto& b : payload) b = uint8_t(rng.UniformInt(0, 255));
+      auto rid = mgr.InsertRecord(seg, payload);
+      ASSERT_TRUE(rid.ok());
+      model[next_key++] = {*rid, payload};
+    } else if (pick < 0.7) {
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(0, model.size() - 1));
+      std::vector<uint8_t> payload(rng.UniformInt(1, 900));
+      for (auto& b : payload) b = uint8_t(rng.UniformInt(0, 255));
+      auto rid = mgr.UpdateRecord(seg, it->second.first, payload);
+      ASSERT_TRUE(rid.ok());
+      it->second = {*rid, payload};
+    } else if (pick < 0.85) {
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(0, model.size() - 1));
+      ASSERT_TRUE(mgr.DeleteRecord(it->second.first).ok());
+      model.erase(it);
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(0, model.size() - 1));
+      auto data = mgr.ReadRecord(it->second.first);
+      ASSERT_TRUE(data.ok());
+      ASSERT_EQ(*data, it->second.second) << "step " << step;
+    }
+  }
+  // Final sweep: every record readable and intact.
+  for (const auto& [key, entry] : model) {
+    auto data = mgr.ReadRecord(entry.first);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, entry.second);
+  }
+  // And the scan sees exactly the live records.
+  size_t scanned = 0;
+  ASSERT_TRUE(mgr.ScanSegment(seg, [&](const Rid&) { ++scanned; }).ok());
+  EXPECT_EQ(scanned, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageModelTest,
+                         ::testing::Values(21, 42, 63));
+
+// --------------------------------------------------- value serialization
+
+TEST(ValueFuzzTest, RandomNestedValuesRoundTrip) {
+  Rng rng(4242);
+  std::function<Value(int)> random_value = [&](int depth) -> Value {
+    int kind = rng.UniformInt(0, depth > 0 ? 6 : 5);
+    switch (kind) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value::Bool(rng.Bernoulli(0.5));
+      case 2:
+        return Value::Int(rng.UniformInt(-1000000, 1000000));
+      case 3:
+        return Value::Float(rng.UniformDouble(-1e6, 1e6));
+      case 4: {
+        std::string s;
+        for (int i = rng.UniformInt(0, 12); i > 0; --i) {
+          s.push_back(char(rng.UniformInt(32, 126)));
+        }
+        return Value::String(std::move(s));
+      }
+      case 5:
+        return Value::Ref(Oid(rng.UniformInt(0, 1 << 30)));
+      default: {
+        std::vector<Value> elems;
+        for (int i = rng.UniformInt(0, 5); i > 0; --i) {
+          elems.push_back(random_value(depth - 1));
+        }
+        return Value::Composite(std::move(elems));
+      }
+    }
+  };
+  for (int i = 0; i < 500; ++i) {
+    Value v = random_value(3);
+    std::vector<uint8_t> buf;
+    v.Serialize(&buf);
+    ASSERT_EQ(buf.size(), v.SerializedSize());
+    const uint8_t* cursor = buf.data();
+    auto back = Value::Deserialize(&cursor, buf.data() + buf.size());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+// ------------------------------------------- random arithmetic expressions
+
+TEST(ExprFuzzTest, InterpreterMatchesDirectEvaluation) {
+  TestEnv env;
+  Rng rng(777);
+  // Random arithmetic trees over float constants; a parallel direct
+  // evaluation serves as the oracle.
+  std::function<std::pair<funclang::ExprPtr, double>(int)> build =
+      [&](int depth) -> std::pair<funclang::ExprPtr, double> {
+    if (depth == 0 || rng.Bernoulli(0.3)) {
+      double c = rng.UniformInt(-50, 50) * 0.5;
+      return {funclang::F(c), c};
+    }
+    auto [lhs, lv] = build(depth - 1);
+    auto [rhs, rv] = build(depth - 1);
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return {funclang::Add(lhs, rhs), lv + rv};
+      case 1:
+        return {funclang::Sub(lhs, rhs), lv - rv};
+      case 2:
+        return {funclang::Mul(lhs, rhs), lv * rv};
+      default: {
+        if (rv == 0.0) return {funclang::Add(lhs, rhs), lv + rv};
+        return {funclang::Div(lhs, rhs), lv / rv};
+      }
+    }
+  };
+  for (int i = 0; i < 300; ++i) {
+    auto [expr, expected] = build(4);
+    auto got = env.interp.Evaluate(*expr, {});
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR(got->as_float(), expected, 1e-9 * std::max(1.0,
+                                                           std::abs(expected)));
+  }
+}
+
+// ------------------------------------------------------ RRR model checking
+
+class RrrModelTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RrrModelTest, MatchesReferenceUnderRandomOps) {
+  bool second_chance = GetParam();
+  SimClock clock;
+  SimDisk disk(&clock, CostModel::Default());
+  BufferPool pool(&disk, 32);
+  StorageManager storage(&pool);
+  Rrr rrr(&storage, &clock, CostModel::Default(), second_chance);
+
+  Rng rng(second_chance ? 111 : 222);
+  // Model: set of (oid, fn, arg-oid) triples currently live.
+  std::set<std::tuple<uint64_t, FunctionId, uint64_t>> model;
+  for (int step = 0; step < 2000; ++step) {
+    uint64_t o = rng.UniformInt(1, 20);
+    FunctionId f = static_cast<FunctionId>(rng.UniformInt(0, 3));
+    uint64_t a = rng.UniformInt(1, 10);
+    std::vector<Value> args = {Value::Ref(Oid(a))};
+    double pick = rng.UniformDouble(0, 1);
+    if (pick < 0.55) {
+      auto inserted = rrr.Insert(Oid(o), f, args);
+      ASSERT_TRUE(inserted.ok());
+      EXPECT_EQ(*inserted, model.insert({o, f, a}).second);
+    } else if (pick < 0.85) {
+      Status st = rrr.Remove(Oid(o), f, args);
+      bool existed = model.erase({o, f, a}) > 0;
+      EXPECT_EQ(st.ok(), existed) << st.ToString();
+    } else if (pick < 0.95) {
+      auto entries = rrr.EntriesFor(Oid(o));
+      ASSERT_TRUE(entries.ok());
+      size_t expected = 0;
+      for (const auto& [mo, mf, ma] : model) {
+        if (mo == o) ++expected;
+      }
+      EXPECT_EQ(entries->size(), expected);
+    } else {
+      EXPECT_EQ(rrr.Contains(Oid(o), f, args), model.count({o, f, a}) > 0);
+      size_t count_f = 0;
+      for (const auto& [mo, mf, ma] : model) {
+        if (mo == o && mf == f) ++count_f;
+      }
+      EXPECT_EQ(rrr.CountFor(Oid(o), f), count_f);
+    }
+  }
+  EXPECT_EQ(rrr.size(), model.size());
+  ASSERT_TRUE(rrr.Sweep().ok());
+  EXPECT_EQ(rrr.size(), model.size());  // sweep drops only marked entries
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RrrModelTest, ::testing::Bool());
+
+}  // namespace
+}  // namespace gom

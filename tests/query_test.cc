@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include "funclang/builder.h"
+#include "query/applicability.h"
+#include "query/dnf.h"
+#include "query/executor.h"
+#include "query/satisfiability.h"
+#include "test_env.h"
+
+namespace gom::query {
+namespace {
+
+Comparison Cmp(Term lhs, CompOp op, Term rhs, double offset = 0) {
+  Comparison c;
+  c.lhs = std::move(lhs);
+  c.op = op;
+  c.rhs = std::move(rhs);
+  c.offset = offset;
+  return c;
+}
+
+// ----------------------------------------------------------- comparisons
+
+TEST(ComparisonTest, TypeClassification) {
+  EXPECT_EQ(Cmp(Term::Var("x"), CompOp::kLt, Term::Const(5)).TypeClass(), 1);
+  EXPECT_EQ(Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y")).TypeClass(), 2);
+  EXPECT_EQ(Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y"), 3).TypeClass(),
+            3);
+  EXPECT_EQ(Cmp(Term::Const(1), CompOp::kEq, Term::Const(1)).TypeClass(), 0);
+}
+
+TEST(ComparisonTest, NegationFlipsOperators) {
+  EXPECT_EQ(Cmp(Term::Var("x"), CompOp::kLt, Term::Const(5)).Negated().op,
+            CompOp::kGe);
+  EXPECT_EQ(Cmp(Term::Var("x"), CompOp::kEq, Term::Var("y")).Negated().op,
+            CompOp::kNe);
+  EXPECT_EQ(NegateOp(NegateOp(CompOp::kLe)), CompOp::kLe);
+}
+
+// ------------------------------------------------------------- NNF / DNF
+
+TEST(DnfTest, NnfPushesNegationsToLeaves) {
+  auto x_lt_5 = Leaf(Cmp(Term::Var("x"), CompOp::kLt, Term::Const(5)));
+  auto y_eq_x = Leaf(Cmp(Term::Var("y"), CompOp::kEq, Term::Var("x")));
+  auto e = NotOf(AndOf({x_lt_5, y_eq_x}));
+  auto nnf = ToNnf(e);
+  EXPECT_EQ(nnf->kind, BoolExpr::Kind::kOr);
+  EXPECT_EQ(nnf->children[0]->leaf.op, CompOp::kGe);
+  EXPECT_EQ(nnf->children[1]->leaf.op, CompOp::kNe);
+  // Double negation.
+  auto nnf2 = ToNnf(NotOf(NotOf(x_lt_5)));
+  EXPECT_EQ(nnf2->kind, BoolExpr::Kind::kLeaf);
+  EXPECT_EQ(nnf2->leaf.op, CompOp::kLt);
+}
+
+TEST(DnfTest, DistributesAndOverOr) {
+  auto a = Leaf(Cmp(Term::Var("a"), CompOp::kGt, Term::Const(0)));
+  auto b = Leaf(Cmp(Term::Var("b"), CompOp::kGt, Term::Const(0)));
+  auto c = Leaf(Cmp(Term::Var("c"), CompOp::kGt, Term::Const(0)));
+  // a ∧ (b ∨ c) → (a ∧ b) ∨ (a ∧ c)
+  auto dnf = ToDnf(AndOf({a, OrOf({b, c})}));
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 2u);
+  EXPECT_EQ((*dnf)[0].size(), 2u);
+  EXPECT_EQ((*dnf)[1].size(), 2u);
+}
+
+TEST(DnfTest, ExpansionLimitEnforced) {
+  // (a1 ∨ b1) ∧ (a2 ∨ b2) ∧ … blows up as 2^n.
+  std::vector<BoolExprPtr> clauses;
+  for (int i = 0; i < 20; ++i) {
+    auto a = Leaf(Cmp(Term::Var("a" + std::to_string(i)), CompOp::kGt,
+                      Term::Const(0)));
+    auto b = Leaf(Cmp(Term::Var("b" + std::to_string(i)), CompOp::kGt,
+                      Term::Const(0)));
+    clauses.push_back(OrOf({a, b}));
+  }
+  EXPECT_EQ(ToDnf(AndOf(clauses), 1024).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DnfTest, ContainsVarVarNeLooksThroughNegation) {
+  auto eq = Leaf(Cmp(Term::Var("x"), CompOp::kEq, Term::Var("y")));
+  EXPECT_FALSE(ContainsVarVarNe(eq));
+  EXPECT_TRUE(ContainsVarVarNe(NotOf(eq)));  // ¬(x = y) ≡ x ≠ y
+  auto ne_const = Leaf(Cmp(Term::Var("x"), CompOp::kNe, Term::Const(3)));
+  EXPECT_FALSE(ContainsVarVarNe(ne_const));  // Type-1 ≠ stays in class
+}
+
+// ------------------------------------------- Rosenkrantz–Hunt procedure
+
+TEST(SatisfiabilityTest, SimpleBoundsChain) {
+  // x < y, y < z, z < x is a contradiction.
+  Conjunct bad = {Cmp(Term::Var("x"), CompOp::kLt, Term::Var("y")),
+                  Cmp(Term::Var("y"), CompOp::kLt, Term::Var("z")),
+                  Cmp(Term::Var("z"), CompOp::kLt, Term::Var("x"))};
+  EXPECT_FALSE(*ConjunctSatisfiable(bad));
+  // Dropping one edge makes it satisfiable.
+  bad.pop_back();
+  EXPECT_TRUE(*ConjunctSatisfiable(bad));
+}
+
+TEST(SatisfiabilityTest, StrictVersusNonStrictCycles) {
+  // x <= y ∧ y <= x is fine (x = y)…
+  Conjunct eq_cycle = {Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y")),
+                       Cmp(Term::Var("y"), CompOp::kLe, Term::Var("x"))};
+  EXPECT_TRUE(*ConjunctSatisfiable(eq_cycle));
+  // …but x <= y ∧ y < x is not.
+  Conjunct strict_cycle = {Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y")),
+                           Cmp(Term::Var("y"), CompOp::kLt, Term::Var("x"))};
+  EXPECT_FALSE(*ConjunctSatisfiable(strict_cycle));
+}
+
+TEST(SatisfiabilityTest, ConstantBounds) {
+  // 3 <= x <= 5 ∧ x < 3 unsat; x < 3.5 sat.
+  Conjunct base = {Cmp(Term::Var("x"), CompOp::kGe, Term::Const(3)),
+                   Cmp(Term::Var("x"), CompOp::kLe, Term::Const(5))};
+  Conjunct unsat = base;
+  unsat.push_back(Cmp(Term::Var("x"), CompOp::kLt, Term::Const(3)));
+  EXPECT_FALSE(*ConjunctSatisfiable(unsat));
+  Conjunct sat = base;
+  sat.push_back(Cmp(Term::Var("x"), CompOp::kLt, Term::Const(3.5)));
+  EXPECT_TRUE(*ConjunctSatisfiable(sat));
+}
+
+TEST(SatisfiabilityTest, OffsetComparisons) {
+  // x <= y + 2 ∧ y <= x - 3 → x <= x - 1: unsat.
+  Conjunct unsat = {Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y"), 2),
+                    Cmp(Term::Var("y"), CompOp::kLe, Term::Var("x"), -3)};
+  EXPECT_FALSE(*ConjunctSatisfiable(unsat));
+  // Relaxing the second offset to -2 admits x = y + 2.
+  Conjunct sat = {Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y"), 2),
+                  Cmp(Term::Var("y"), CompOp::kLe, Term::Var("x"), -2)};
+  EXPECT_TRUE(*ConjunctSatisfiable(sat));
+}
+
+TEST(SatisfiabilityTest, EqualityPropagation) {
+  // x = y ∧ y = 4 ∧ x > 5 unsat.
+  Conjunct unsat = {Cmp(Term::Var("x"), CompOp::kEq, Term::Var("y")),
+                    Cmp(Term::Var("y"), CompOp::kEq, Term::Const(4)),
+                    Cmp(Term::Var("x"), CompOp::kGt, Term::Const(5))};
+  EXPECT_FALSE(*ConjunctSatisfiable(unsat));
+}
+
+TEST(SatisfiabilityTest, TypeOneNotEqual) {
+  // x >= 3 ∧ x <= 3 ∧ x ≠ 3: unsat (x forced to 3).
+  Conjunct forced = {Cmp(Term::Var("x"), CompOp::kGe, Term::Const(3)),
+                     Cmp(Term::Var("x"), CompOp::kLe, Term::Const(3)),
+                     Cmp(Term::Var("x"), CompOp::kNe, Term::Const(3))};
+  EXPECT_FALSE(*ConjunctSatisfiable(forced));
+  // With slack the ≠ is harmless.
+  Conjunct slack = {Cmp(Term::Var("x"), CompOp::kGe, Term::Const(3)),
+                    Cmp(Term::Var("x"), CompOp::kLe, Term::Const(4)),
+                    Cmp(Term::Var("x"), CompOp::kNe, Term::Const(3))};
+  EXPECT_TRUE(*ConjunctSatisfiable(slack));
+}
+
+TEST(SatisfiabilityTest, VarVarNotEqualRejected) {
+  Conjunct ne = {Cmp(Term::Var("x"), CompOp::kNe, Term::Var("y"))};
+  EXPECT_EQ(ConjunctSatisfiable(ne).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(SatisfiabilityTest, MirroredConstantOnLeft) {
+  // 5 < x ∧ x < 4 unsat.
+  Conjunct unsat = {Cmp(Term::Const(5), CompOp::kLt, Term::Var("x")),
+                    Cmp(Term::Var("x"), CompOp::kLt, Term::Const(4))};
+  EXPECT_FALSE(*ConjunctSatisfiable(unsat));
+  Conjunct sat = {Cmp(Term::Const(5), CompOp::kLt, Term::Var("x")),
+                  Cmp(Term::Var("x"), CompOp::kLt, Term::Const(6))};
+  EXPECT_TRUE(*ConjunctSatisfiable(sat));
+}
+
+TEST(SatisfiabilityTest, DnfIsSatisfiableWhenAnyConjunctIs) {
+  Dnf dnf = {{Cmp(Term::Var("x"), CompOp::kLt, Term::Const(0)),
+              Cmp(Term::Var("x"), CompOp::kGt, Term::Const(0))},
+             {Cmp(Term::Var("x"), CompOp::kEq, Term::Const(7))}};
+  EXPECT_TRUE(*DnfSatisfiable(dnf));
+  dnf.pop_back();
+  EXPECT_FALSE(*DnfSatisfiable(dnf));
+}
+
+// -------------------------------------------------- §6 applicability test
+
+TEST(ApplicabilityTest, SigmaImpliesPIsDetected) {
+  // p ≡ x > 10; σ′ ≡ x > 20 implies p (applicable); σ′ ≡ x > 5 does not.
+  auto p = Leaf(Cmp(Term::Var("x"), CompOp::kGt, Term::Const(10)));
+  auto sigma_strong = Leaf(Cmp(Term::Var("x"), CompOp::kGt, Term::Const(20)));
+  auto sigma_weak = Leaf(Cmp(Term::Var("x"), CompOp::kGt, Term::Const(5)));
+  EXPECT_TRUE(*RestrictedGmrApplicable(p, sigma_strong));
+  EXPECT_FALSE(*RestrictedGmrApplicable(p, sigma_weak));
+}
+
+TEST(ApplicabilityTest, PaperDistanceExample) {
+  // §6's restricted distance materialization:
+  //   p(c1, c2) ≡ c1 ≠ c2 ∧ c1.V1.X <= c2.V1.X
+  // (we model the OID inequality over the coordinate proxy; the paper's
+  // point is that ¬p must not contain x = y, which holds: ¬p ≡
+  // c1 = c2 ∨ c1.V1.X > c2.V1.X — wait, ¬p DOES contain c1 = c2, so
+  // condition (1) requires p to avoid ≠ between variables. The example
+  // predicate below keeps only the coordinate ordering, the decidable
+  // fragment.)
+  auto p = Leaf(Cmp(Term::Var("c1.V1.X"), CompOp::kLe, Term::Var("c2.V1.X")));
+  auto sigma = AndOf(
+      {Leaf(Cmp(Term::Var("distance"), CompOp::kLt, Term::Const(100))),
+       Leaf(Cmp(Term::Var("c1.V1.X"), CompOp::kLt, Term::Var("c2.V1.X")))});
+  EXPECT_TRUE(*RestrictedGmrApplicable(p, sigma));
+  // With the predicate containing c1 ≠ c2 the test is conservative.
+  auto p_with_ne = AndOf(
+      {Leaf(Cmp(Term::Var("c1"), CompOp::kNe, Term::Var("c2"))),
+       Leaf(Cmp(Term::Var("c1.V1.X"), CompOp::kLe, Term::Var("c2.V1.X")))});
+  EXPECT_FALSE(*RestrictedGmrApplicable(p_with_ne, sigma));
+}
+
+TEST(ApplicabilityTest, SigmaOutsideClassIsRejected) {
+  auto p = Leaf(Cmp(Term::Var("x"), CompOp::kGt, Term::Const(0)));
+  auto sigma = Leaf(Cmp(Term::Var("x"), CompOp::kNe, Term::Var("y")));
+  EXPECT_FALSE(*RestrictedGmrApplicable(p, sigma));
+}
+
+TEST(ApplicabilityTest, OffsetImplication) {
+  // p ≡ x <= y + 10; σ′ ≡ x <= y + 5 implies p.
+  auto p = Leaf(Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y"), 10));
+  auto sigma = Leaf(Cmp(Term::Var("x"), CompOp::kLe, Term::Var("y"), 5));
+  EXPECT_TRUE(*RestrictedGmrApplicable(p, sigma));
+  EXPECT_FALSE(*RestrictedGmrApplicable(sigma, p));
+}
+
+// ----------------------------------------- funclang predicate conversion
+
+TEST(ApplicabilityTest, FromFunclangConvertsComparisonShapes) {
+  namespace fl = funclang;
+  StringInterner interner;
+  // self.Mat.Name = "Iron"
+  auto e1 = fl::Eq(fl::Path(fl::Self(), {"Mat", "Name"}), fl::S("Iron"));
+  auto converted = FromFunclang(*e1, &interner);
+  ASSERT_TRUE(converted.ok());
+  EXPECT_EQ((*converted)->leaf.lhs.var, "self.Mat.Name");
+  EXPECT_TRUE((*converted)->leaf.rhs.is_const);
+
+  // (x > 1 and y <= x + 2) or not (z = 3)
+  auto e2 = fl::Or(
+      fl::And(fl::Gt(fl::Var("x"), fl::F(1)),
+              fl::Le(fl::Var("y"), fl::Add(fl::Var("x"), fl::F(2)))),
+      fl::Not(fl::Eq(fl::Var("z"), fl::F(3))));
+  auto c2 = FromFunclang(*e2, &interner);
+  ASSERT_TRUE(c2.ok()) << c2.status().ToString();
+  EXPECT_EQ((*c2)->kind, BoolExpr::Kind::kOr);
+
+  // Same string interned to the same code.
+  auto e3 = fl::Ne(fl::Path(fl::Self(), {"Mat", "Name"}), fl::S("Iron"));
+  auto c3 = FromFunclang(*e3, &interner);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_EQ((*c3)->leaf.rhs.constant, (*converted)->leaf.rhs.constant);
+
+  // Multiplication is outside the class.
+  auto e4 = fl::Gt(fl::Mul(fl::Var("x"), fl::F(2)), fl::F(1));
+  EXPECT_EQ(FromFunclang(*e4, &interner).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Ordering on strings is outside the class.
+  auto e5 = fl::Lt(fl::Var("s"), fl::S("abc"));
+  EXPECT_EQ(FromFunclang(*e5, &interner).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ApplicabilityTest, EndToEndWithFunclangPredicates) {
+  namespace fl = funclang;
+  StringInterner interner;
+  // GMR restriction p ≡ self.Value >= 50; query σ′ ≡ self.Value > 80.
+  auto p = FromFunclang(*fl::Ge(fl::Attr(fl::Self(), "Value"), fl::F(50)),
+                        &interner);
+  auto sigma = FromFunclang(*fl::Gt(fl::Attr(fl::Self(), "Value"), fl::F(80)),
+                            &interner);
+  ASSERT_TRUE(p.ok() && sigma.ok());
+  EXPECT_TRUE(*RestrictedGmrApplicable(*p, *sigma));
+}
+
+// ----------------------------------------------------------- the executor
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() {
+    iron_ = *env_.geo.MakeMaterial(&env_.om, "Iron", 7.86);
+    for (int i = 1; i <= 20; ++i) {
+      cuboids_.push_back(
+          *env_.geo.MakeCuboid(&env_.om, i, 2, 3, iron_, i * 10.0));
+    }
+  }
+
+  TestEnv env_;
+  Oid iron_;
+  std::vector<Oid> cuboids_;
+};
+
+TEST_F(ExecutorTest, BackwardScanAndGmrAgree) {
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {env_.geo.volume};
+  ASSERT_TRUE(env_.mgr.Materialize(spec).ok());
+
+  BackwardQuery q;
+  q.range_type = env_.geo.cuboid;
+  q.function = env_.geo.volume;
+  q.lo = 30;   // volume = 6·i
+  q.hi = 60;
+  QueryExecutor without(&env_.om, &env_.interp, &env_.mgr, false);
+  QueryExecutor with(&env_.om, &env_.interp, &env_.mgr, true);
+  auto a = without.RunBackward(q);
+  auto b = with.RunBackward(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::set<uint64_t> sa, sb;
+  for (Oid o : *a) sa.insert(o.raw);
+  for (Oid o : *b) sb.insert(o.raw);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa.size(), 6u);  // i ∈ {5..10}
+  EXPECT_EQ(without.scans(), 1u);
+  EXPECT_EQ(with.gmr_answers(), 1u);
+}
+
+TEST_F(ExecutorTest, ForwardRoutesThroughGmrWhenEnabled) {
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {env_.geo.volume};
+  ASSERT_TRUE(env_.mgr.Materialize(spec).ok());
+  env_.mgr.ResetStats();
+  QueryExecutor with(&env_.om, &env_.interp, &env_.mgr, true);
+  ForwardQuery q{env_.geo.volume, {Value::Ref(cuboids_[4])}};
+  auto v = with.RunForward(q);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->as_float(), 5.0 * 2 * 3);
+  EXPECT_EQ(env_.mgr.stats().forward_hits, 1u);
+}
+
+TEST_F(ExecutorTest, QbeRetrievalCombinations) {
+  GmrSpec spec;
+  spec.name = "vw";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {env_.geo.volume, env_.geo.weight};
+  auto id = env_.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok());
+  QueryExecutor exec(&env_.om, &env_.interp, &env_.mgr, true);
+
+  // Forward shape: argument constant, both results retrieved.
+  GmrRetrieval fwd;
+  fwd.gmr = *id;
+  fwd.arg_columns = {ColumnSpec::Const(Value::Ref(cuboids_[2]))};
+  fwd.result_columns = {ColumnSpec::Any(), ColumnSpec::Any()};
+  auto rows = exec.RunRetrieval(fwd);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_DOUBLE_EQ((*rows)[0][1].as_float(), 18.0);
+  EXPECT_DOUBLE_EQ((*rows)[0][2].as_float(), 18.0 * 7.86);
+
+  // Backward shape: range on volume, don't-care on weight.
+  GmrRetrieval bwd;
+  bwd.gmr = *id;
+  bwd.arg_columns = {ColumnSpec::Any()};
+  bwd.result_columns = {ColumnSpec::Range(30, 60), ColumnSpec::DontCare()};
+  rows = exec.RunRetrieval(bwd);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);
+
+  // Combined: range on both result columns.
+  GmrRetrieval both;
+  both.gmr = *id;
+  both.arg_columns = {ColumnSpec::Any()};
+  both.result_columns = {ColumnSpec::Range(30, 120),
+                         ColumnSpec::Range(0, 400)};
+  rows = exec.RunRetrieval(both);
+  ASSERT_TRUE(rows.ok());
+  // volume ∈ [30,120] ⇒ i ∈ {5..20}; weight = volume·7.86 ≤ 400 ⇒
+  // volume ≤ 50.9 ⇒ i ∈ {5..8}.
+  EXPECT_EQ(rows->size(), 4u);
+
+  // Column count mismatch is rejected.
+  GmrRetrieval bad;
+  bad.gmr = *id;
+  bad.arg_columns = {ColumnSpec::Any()};
+  bad.result_columns = {ColumnSpec::Any()};
+  EXPECT_EQ(exec.RunRetrieval(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, QbeRetrievalRevalidatesLazyColumns) {
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {env_.geo.volume};
+  auto id = env_.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok());
+  env_.mgr.set_remat_strategy(RematStrategy::kLazy);
+  env_.InstallNotifier(workload::NotifyLevel::kObjDep);
+  // Invalidate cuboid #1 (volume 6) by scaling it to volume 48.
+  ASSERT_TRUE(env_.interp
+                  .Invoke(env_.geo.op_scale,
+                          {Value::Ref(cuboids_[0]), Value::Float(2),
+                           Value::Float(2), Value::Float(2)})
+                  .ok());
+  QueryExecutor exec(&env_.om, &env_.interp, &env_.mgr, true);
+  GmrRetrieval q;
+  q.gmr = *id;
+  q.arg_columns = {ColumnSpec::Any()};
+  q.result_columns = {ColumnSpec::Range(40, 50)};
+  auto rows = exec.RunRetrieval(q);
+  ASSERT_TRUE(rows.ok());
+  // 6·i ∈ [40,50] ⇒ i ∈ {7, 8}, plus the rescaled cuboid (48).
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+}  // namespace
+}  // namespace gom::query

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+using workload::NotifyLevel;
+
+/// Snapshot GMRs (the Adiba/Lindsay alternative the paper relates to in
+/// §1): zero update overhead, stale reads, explicit wholesale Refresh().
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() {
+    iron_ = *env_.geo.MakeMaterial(&env_.om, "Iron", 7.86);
+    c1_ = *env_.geo.MakeCuboid(&env_.om, 10, 6, 5, iron_);
+    c2_ = *env_.geo.MakeCuboid(&env_.om, 2, 2, 2, iron_);
+    GmrSpec spec;
+    spec.name = "volume_snapshot";
+    spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+    spec.functions = {env_.geo.volume};
+    spec.snapshot = true;
+    id_ = *env_.mgr.Materialize(spec);
+    env_.InstallNotifier(NotifyLevel::kObjDep);
+  }
+
+  TestEnv env_;
+  Oid iron_, c1_, c2_;
+  GmrId id_ = kInvalidGmrId;
+};
+
+TEST_F(SnapshotTest, PopulatesButLeavesNoReverseReferences) {
+  Gmr* gmr = *env_.mgr.Get(id_);
+  EXPECT_EQ(gmr->live_rows(), 2u);
+  EXPECT_EQ(env_.mgr.rrr().size(), 0u);
+  EXPECT_FALSE(*env_.om.IsUsedBy(c1_, env_.geo.volume));
+  auto r = gmr->Get(*gmr->FindRow({Value::Ref(c1_)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->valid[0]);
+  EXPECT_DOUBLE_EQ((*r)->results[0].as_float(), 300.0);
+}
+
+TEST_F(SnapshotTest, UpdatesCostNothingAndReadsGoStale) {
+  env_.mgr.ResetStats();
+  ASSERT_TRUE(env_.interp
+                  .Invoke(env_.geo.op_scale,
+                          {Value::Ref(c1_), Value::Float(2),
+                           Value::Float(1), Value::Float(1)})
+                  .ok());
+  EXPECT_EQ(env_.mgr.stats().invalidations, 0u);
+  EXPECT_EQ(env_.mgr.stats().rematerializations, 0u);
+  // The snapshot still answers with the old value — by design.
+  auto v = env_.mgr.ForwardLookup(env_.geo.volume, {Value::Ref(c1_)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->as_float(), 300.0);
+}
+
+TEST_F(SnapshotTest, RefreshReconcilesEverything) {
+  // Mutate, create and delete, then refresh.
+  ASSERT_TRUE(env_.interp
+                  .Invoke(env_.geo.op_scale,
+                          {Value::Ref(c1_), Value::Float(2),
+                           Value::Float(1), Value::Float(1)})
+                  .ok());
+  Oid c3 = *env_.geo.MakeCuboid(&env_.om, 3, 3, 3, iron_);
+  ASSERT_TRUE(env_.geo.DeleteCuboid(&env_.om, c2_).ok());
+
+  Gmr* gmr = *env_.mgr.Get(id_);
+  EXPECT_EQ(gmr->live_rows(), 2u);  // stale: still c1 and (deleted) c2
+
+  ASSERT_TRUE(env_.mgr.Refresh(id_).ok());
+  EXPECT_EQ(gmr->live_rows(), 2u);  // c1 and c3
+  EXPECT_FALSE(gmr->FindRow({Value::Ref(c2_)}).ok());
+  auto r1 = gmr->Get(*gmr->FindRow({Value::Ref(c1_)}));
+  EXPECT_DOUBLE_EQ((*r1)->results[0].as_float(), 600.0);
+  auto r3 = gmr->Get(*gmr->FindRow({Value::Ref(c3)}));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_DOUBLE_EQ((*r3)->results[0].as_float(), 27.0);
+  // Still no reverse references after the refresh.
+  EXPECT_EQ(env_.mgr.rrr().size(), 0u);
+}
+
+TEST_F(SnapshotTest, RefreshWorksOnRegularGmrsAsRepair) {
+  // A regular (non-snapshot) GMR can also be refreshed — a consistency
+  // repair that recomputes every result.
+  GmrSpec spec;
+  spec.name = "weight";
+  spec.arg_types = {TypeRef::Object(env_.geo.cuboid)};
+  spec.functions = {env_.geo.weight};
+  auto id = env_.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(env_.mgr.Refresh(*id).ok());
+  Gmr* gmr = *env_.mgr.Get(*id);
+  ASSERT_TRUE(gmr->CheckWellFormed().ok());
+  EXPECT_EQ(gmr->InvalidRows(0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace gom

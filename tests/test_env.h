@@ -1,0 +1,54 @@
+#ifndef GOMFM_TESTS_TEST_ENV_H_
+#define GOMFM_TESTS_TEST_ENV_H_
+
+#include <memory>
+
+#include "funclang/interpreter.h"
+#include "gmr/gmr_manager.h"
+#include "gom/object_manager.h"
+#include "workload/cuboid_schema.h"
+#include "workload/program_version.h"
+
+namespace gom {
+
+/// Full stack for tests: simulated storage, object base with the paper's
+/// geometric schema, interpreter and GMR manager (notifier not installed
+/// until `InstallNotifier`).
+struct TestEnv {
+  explicit TestEnv(size_t buffer_pages = 150,
+                   GmrManagerOptions options = {})
+      : disk(&clock, CostModel::Default()),
+        pool(&disk, buffer_pages),
+        storage(&pool),
+        om(&schema, &storage, &clock),
+        interp(&om, &registry),
+        mgr(&om, &interp, &registry, &storage, options) {
+    auto declared = workload::CuboidSchema::Declare(&schema, &registry);
+    assert(declared.ok());
+    geo = *declared;
+  }
+
+  workload::MaterializationNotifier* InstallNotifier(
+      workload::NotifyLevel level) {
+    notifier = std::make_unique<workload::MaterializationNotifier>(&mgr, &om,
+                                                                   level);
+    om.SetNotifier(notifier.get());
+    return notifier.get();
+  }
+
+  SimClock clock;
+  SimDisk disk;
+  BufferPool pool;
+  StorageManager storage;
+  Schema schema;
+  ObjectManager om;
+  funclang::FunctionRegistry registry;
+  funclang::Interpreter interp;
+  GmrManager mgr;
+  workload::CuboidSchema geo;
+  std::unique_ptr<workload::MaterializationNotifier> notifier;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_TESTS_TEST_ENV_H_

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+
+namespace gom::workload {
+namespace {
+
+// ------------------------------------------------------------ company data
+
+class CompanyTest : public ::testing::Test {
+ protected:
+  CompanyTest() : env_(150), rng_(7) {
+    co_ = *CompanySchema::Declare(&env_.schema, &env_.registry);
+  }
+
+  CompanyDb SmallCompany() {
+    CompanyConfig cfg;
+    cfg.departments = 3;
+    cfg.employees_per_department = 5;
+    cfg.projects = 8;
+    cfg.jobs_per_employee = 4;
+    cfg.programmers_per_project = 3;
+    return *BuildCompany(co_, &env_.om, cfg, &rng_);
+  }
+
+  Environment env_;
+  Rng rng_;
+  CompanySchema co_;
+};
+
+TEST_F(CompanyTest, BuildCreatesConsistentStructure) {
+  CompanyDb db = SmallCompany();
+  EXPECT_EQ(db.departments.size(), 3u);
+  EXPECT_EQ(db.employees.size(), 15u);
+  EXPECT_EQ(db.projects.size(), 8u);
+  // Every employee is reachable through exactly one department.
+  size_t total = 0;
+  for (Oid dep : db.departments) {
+    Oid emp_set = env_.om.GetAttribute(dep, "Emps")->as_ref();
+    total += *env_.om.ElementCount(emp_set);
+  }
+  EXPECT_EQ(total, db.employees.size());
+  // EmpNo index resolves.
+  EXPECT_TRUE(db.by_emp_no.count(1));
+  EXPECT_TRUE(db.by_emp_no.count(15));
+}
+
+TEST_F(CompanyTest, RankingMatchesManualComputation) {
+  CompanyDb db = SmallCompany();
+  Oid emp = db.employees[0];
+  auto ranked = env_.interp.Invoke(co_.ranking, {Value::Ref(emp)});
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+  // Manual: average the assessments.
+  Oid history = env_.om.GetAttribute(emp, "JobHistory")->as_ref();
+  auto jobs = *env_.om.GetElements(history);
+  ASSERT_FALSE(jobs.empty());
+  double sum = 0;
+  for (const Value& j : jobs) {
+    Oid job = j.as_ref();
+    double loc = static_cast<double>(
+        env_.om.GetAttribute(job, "Loc")->as_int());
+    bool on_time = env_.om.GetAttribute(job, "OnTime")->as_bool();
+    bool in_budget = env_.om.GetAttribute(job, "InBudget")->as_bool();
+    Oid proj = env_.om.GetAttribute(job, "Proj")->as_ref();
+    double status = env_.om.GetAttribute(proj, "Status")->as_float();
+    sum += loc / 1000.0 + (on_time ? 1 : 0) + (in_budget ? 1 : 0) +
+           status / 1000.0;
+  }
+  EXPECT_NEAR(ranked->as_float(), sum / jobs.size(), 1e-9);
+}
+
+TEST_F(CompanyTest, MatrixLinesAreExactlyTheNonEmptyIntersections) {
+  CompanyDb db = SmallCompany();
+  auto m = env_.interp.Invoke(co_.matrix, {Value::Ref(db.company)});
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  size_t expected_lines = 0;
+  for (Oid dep : db.departments) {
+    Oid demp = env_.om.GetAttribute(dep, "Emps")->as_ref();
+    auto dmembers = *env_.om.GetElements(demp);
+    for (Oid proj : db.projects) {
+      Oid pset = env_.om.GetAttribute(proj, "Programmers")->as_ref();
+      auto pmembers = *env_.om.GetElements(pset);
+      size_t overlap = 0;
+      for (const Value& e : dmembers) {
+        for (const Value& p : pmembers) {
+          if (e == p) ++overlap;
+        }
+      }
+      if (overlap > 0) ++expected_lines;
+    }
+  }
+  EXPECT_EQ(m->elements().size(), expected_lines);
+  // Every line's employees belong to both its department and project.
+  for (const Value& line : m->elements()) {
+    const auto& fields = line.elements();
+    ASSERT_EQ(fields.size(), 3u);
+    Oid demp = env_.om.GetAttribute(fields[0].as_ref(), "Emps")->as_ref();
+    Oid pset =
+        env_.om.GetAttribute(fields[1].as_ref(), "Programmers")->as_ref();
+    auto dmembers = *env_.om.GetElements(demp);
+    auto pmembers = *env_.om.GetElements(pset);
+    EXPECT_FALSE(fields[2].elements().empty());
+    for (const Value& e : fields[2].elements()) {
+      EXPECT_TRUE(std::count(dmembers.begin(), dmembers.end(), e));
+      EXPECT_TRUE(std::count(pmembers.begin(), pmembers.end(), e));
+    }
+  }
+}
+
+TEST_F(CompanyTest, PromoteInvalidatesOnlyThatEmployeesRanking) {
+  CompanyDb db = SmallCompany();
+  GmrSpec spec;
+  spec.name = "ranking";
+  spec.arg_types = {TypeRef::Object(co_.employee)};
+  spec.functions = {co_.ranking};
+  auto id = env_.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  env_.mgr.set_remat_strategy(RematStrategy::kLazy);
+  env_.InstallNotifier(NotifyLevel::kObjDep);
+
+  Oid victim = db.employees[3];
+  ASSERT_TRUE(env_.interp
+                  .Invoke(co_.op_promote,
+                          {Value::Ref(victim), Value::Int(1),
+                           Value::Bool(false), Value::Bool(false)})
+                  .ok());
+  Gmr* gmr = *env_.mgr.Get(*id);
+  size_t invalid = 0;
+  gmr->ForEachRow([&](RowId, const Gmr::Row& row) {
+    if (!row.valid[0]) {
+      ++invalid;
+      EXPECT_EQ(row.args[0].as_ref(), victim);
+    }
+    return true;
+  });
+  EXPECT_EQ(invalid, 1u);
+  // Re-reading recomputes the correct value.
+  auto again = env_.mgr.ForwardLookup(co_.ranking, {Value::Ref(victim)});
+  auto fresh = env_.interp.Invoke(co_.ranking, {Value::Ref(victim)});
+  ASSERT_TRUE(again.ok() && fresh.ok());
+  EXPECT_NEAR(again->as_float(), fresh->as_float(), 1e-9);
+}
+
+TEST_F(CompanyTest, CompensatedAddProjectMatchesFreshMatrix) {
+  CompanyDb db = SmallCompany();
+  GmrSpec spec;
+  spec.name = "matrix";
+  spec.arg_types = {TypeRef::Object(co_.company)};
+  spec.functions = {co_.matrix};
+  auto id = env_.mgr.Materialize(spec);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  env_.mgr.deps().AddInvalidated(co_.company, co_.op_add_project, co_.matrix);
+  ASSERT_TRUE(env_.mgr.deps()
+                  .AddCompensatingAction(co_.company, co_.op_add_project,
+                                         co_.matrix, co_.matrix_add_project)
+                  .ok());
+  env_.InstallNotifier(NotifyLevel::kInfoHiding);
+  env_.mgr.ResetStats();
+
+  // Create a staffed project and add it through the public operation.
+  Oid programmers = *env_.om.CreateCollection(co_.employee_set);
+  ASSERT_TRUE(
+      env_.om.InsertElement(programmers, Value::Ref(db.employees[0])).ok());
+  ASSERT_TRUE(
+      env_.om.InsertElement(programmers, Value::Ref(db.employees[7])).ok());
+  Oid proj = *env_.om.CreateTuple(
+      co_.project, {Value::String("Pnew"), Value::Float(100.0),
+                    Value::Int(5000), Value::Ref(programmers)});
+  ASSERT_TRUE(env_.interp
+                  .Invoke(co_.op_add_project,
+                          {Value::Ref(db.company), Value::Ref(proj)})
+                  .ok());
+
+  EXPECT_EQ(env_.mgr.stats().compensations, 1u);
+  EXPECT_EQ(env_.mgr.stats().rematerializations, 0u);
+
+  // The compensated result must agree (as a set of lines) with a fresh
+  // evaluation.
+  Gmr* gmr = *env_.mgr.Get(*id);
+  auto row = gmr->Get(*gmr->FindRow({Value::Ref(db.company)}));
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE((*row)->valid[0]);
+  Value cached = (*row)->results[0];
+  auto fresh = env_.interp.Invoke(co_.matrix, {Value::Ref(db.company)});
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(cached.elements().size(), fresh->elements().size());
+  for (const Value& line : fresh->elements()) {
+    EXPECT_TRUE(std::count(cached.elements().begin(),
+                           cached.elements().end(), line))
+        << "missing line " << line.ToString();
+  }
+}
+
+// ----------------------------------------------------------- operation mix
+
+TEST(OperationMixTest, SamplesRespectWeightsAndPup) {
+  OperationMix mix;
+  mix.query_mix = {{0.5, OpKind::kBackwardQuery}, {0.5, OpKind::kForwardQuery}};
+  mix.update_mix = {{1.0, OpKind::kScale}};
+  mix.update_probability = 0.25;
+  Rng rng(9);
+  int updates = 0, queries = 0;
+  for (int i = 0; i < 4000; ++i) {
+    OpKind kind = *mix.Sample(&rng);
+    if (kind == OpKind::kScale) {
+      ++updates;
+    } else {
+      ++queries;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(updates) / 4000, 0.25, 0.03);
+}
+
+TEST(OperationMixTest, EmptySideFallsBack) {
+  OperationMix mix;
+  mix.update_mix = {{1.0, OpKind::kRotate}};
+  mix.update_probability = 0.5;  // queries sampled half the time, but none
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*mix.Sample(&rng), OpKind::kRotate);
+  }
+  OperationMix empty;
+  EXPECT_FALSE(empty.Sample(&rng).ok());
+}
+
+// -------------------------------------------------------------- GeoBench
+
+GeoBench::Config SmallGeo(ProgramVersion v) {
+  GeoBench::Config cfg;
+  cfg.num_cuboids = 120;
+  cfg.buffer_pages = 24;  // keep the data ≫ buffer relation of §7
+  cfg.version = v;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(GeoBenchTest, AllVersionsRunTheFullMix) {
+  OperationMix mix;
+  mix.query_mix = {{0.5, OpKind::kBackwardQuery},
+                   {0.5, OpKind::kForwardQuery}};
+  mix.update_mix = {{0.3, OpKind::kInsert},
+                    {0.1, OpKind::kDelete},
+                    {0.3, OpKind::kScale},
+                    {0.2, OpKind::kRotate},
+                    {0.1, OpKind::kTranslate}};
+  mix.update_probability = 0.5;
+  mix.num_ops = 30;
+  for (ProgramVersion v :
+       {ProgramVersion::kWithoutGmr, ProgramVersion::kWithGmr,
+        ProgramVersion::kLazy, ProgramVersion::kInfoHiding}) {
+    GeoBench bench(SmallGeo(v));
+    ASSERT_TRUE(bench.setup_status().ok())
+        << ProgramVersionName(v) << ": "
+        << bench.setup_status().ToString();
+    auto t = bench.RunMix(mix);
+    ASSERT_TRUE(t.ok()) << ProgramVersionName(v) << ": "
+                        << t.status().ToString();
+    EXPECT_GT(*t, 0.0);
+  }
+}
+
+TEST(GeoBenchTest, GmrAcceleratesBackwardQueries) {
+  OperationMix queries;
+  queries.query_mix = {{1.0, OpKind::kBackwardQuery}};
+  queries.update_probability = 0.0;
+  queries.num_ops = 5;
+
+  GeoBench without(SmallGeo(ProgramVersion::kWithoutGmr));
+  GeoBench with(SmallGeo(ProgramVersion::kWithGmr));
+  ASSERT_TRUE(without.setup_status().ok());
+  ASSERT_TRUE(with.setup_status().ok());
+  double t_without = *without.RunMix(queries);
+  double t_with = *with.RunMix(queries);
+  // Even at this miniature scale the materialized version must win
+  // decisively on backward queries.
+  EXPECT_LT(t_with * 3, t_without);
+}
+
+TEST(GeoBenchTest, InfoHidingCheapensRotations) {
+  OperationMix rotations;
+  rotations.update_mix = {{1.0, OpKind::kRotate}};
+  rotations.update_probability = 1.0;
+  rotations.num_ops = 40;
+
+  GeoBench with(SmallGeo(ProgramVersion::kWithGmr));
+  GeoBench hiding(SmallGeo(ProgramVersion::kInfoHiding));
+  ASSERT_TRUE(with.setup_status().ok());
+  ASSERT_TRUE(hiding.setup_status().ok());
+  double t_with = *with.RunMix(rotations);
+  double t_hiding = *hiding.RunMix(rotations);
+  EXPECT_LT(t_hiding * 2, t_with);
+}
+
+TEST(GeoBenchTest, PreInvalidateStartsWithEmptyRrr) {
+  GeoBench::Config cfg = SmallGeo(ProgramVersion::kLazy);
+  cfg.pre_invalidate = true;
+  GeoBench bench(cfg);
+  ASSERT_TRUE(bench.setup_status().ok())
+      << bench.setup_status().ToString();
+  EXPECT_EQ(bench.env().mgr.rrr().size(), 0u);
+  // Rotations now cost almost nothing on the GMR side.
+  OperationMix rotations;
+  rotations.update_mix = {{1.0, OpKind::kRotate}};
+  rotations.update_probability = 1.0;
+  rotations.num_ops = 20;
+  auto t = bench.RunMix(rotations);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(bench.env().mgr.stats().invalidations, 0u);
+}
+
+// ------------------------------------------------------------ CompanyBench
+
+CompanyBench::Config SmallCompanyBench(ProgramVersion v) {
+  CompanyBench::Config cfg;
+  cfg.company.departments = 3;
+  cfg.company.employees_per_department = 6;
+  cfg.company.projects = 10;
+  cfg.company.jobs_per_employee = 3;
+  cfg.company.programmers_per_project = 3;
+  cfg.buffer_pages = 16;
+  cfg.version = v;
+  return cfg;
+}
+
+TEST(CompanyBenchTest, RankingMixRunsUnderAllVersions) {
+  OperationMix mix;
+  mix.query_mix = {{0.6, OpKind::kRankingForward},
+                   {0.4, OpKind::kRankingBackward}};
+  mix.update_mix = {{0.8, OpKind::kPromote}, {0.2, OpKind::kNewEmployee}};
+  mix.update_probability = 0.4;
+  mix.num_ops = 25;
+  for (ProgramVersion v : {ProgramVersion::kWithoutGmr,
+                           ProgramVersion::kWithGmr, ProgramVersion::kLazy}) {
+    CompanyBench bench(SmallCompanyBench(v));
+    ASSERT_TRUE(bench.setup_status().ok())
+        << ProgramVersionName(v) << ": "
+        << bench.setup_status().ToString();
+    auto t = bench.RunMix(mix);
+    ASSERT_TRUE(t.ok()) << ProgramVersionName(v) << ": "
+                        << t.status().ToString();
+    EXPECT_GT(*t, 0.0);
+  }
+}
+
+TEST(CompanyBenchTest, MatrixMixWithCompensation) {
+  OperationMix mix;
+  mix.query_mix = {{1.0, OpKind::kMatrixSelect}};
+  mix.update_mix = {{1.0, OpKind::kNewProject}};
+  mix.update_probability = 0.5;
+  mix.num_ops = 10;
+  CompanyBench::Config cfg = SmallCompanyBench(ProgramVersion::kCompAction);
+  cfg.materialize_ranking = false;
+  cfg.materialize_matrix = true;
+  cfg.compensate_add_project = true;
+  CompanyBench bench(cfg);
+  ASSERT_TRUE(bench.setup_status().ok())
+      << bench.setup_status().ToString();
+  auto t = bench.RunMix(mix);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_GT(bench.env().mgr.stats().compensations, 0u);
+  // The cached matrix still agrees with a fresh evaluation after the mix.
+  auto cached = bench.env().mgr.ForwardLookup(
+      bench.schema().matrix, {Value::Ref(bench.db().company)});
+  auto fresh = bench.env().interp.Invoke(
+      bench.schema().matrix, {Value::Ref(bench.db().company)});
+  ASSERT_TRUE(cached.ok() && fresh.ok());
+  EXPECT_EQ(cached->elements().size(), fresh->elements().size());
+}
+
+}  // namespace
+}  // namespace gom::workload
