@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rrr"
+  "../bench/ablation_rrr.pdb"
+  "CMakeFiles/ablation_rrr.dir/ablation_rrr.cc.o"
+  "CMakeFiles/ablation_rrr.dir/ablation_rrr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

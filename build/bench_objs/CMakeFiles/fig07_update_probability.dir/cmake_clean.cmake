@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_update_probability"
+  "../bench/fig07_update_probability.pdb"
+  "CMakeFiles/fig07_update_probability.dir/fig07_update_probability.cc.o"
+  "CMakeFiles/fig07_update_probability.dir/fig07_update_probability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_update_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_break_even"
+  "../bench/fig08_break_even.pdb"
+  "CMakeFiles/fig08_break_even.dir/fig08_break_even.cc.o"
+  "CMakeFiles/fig08_break_even.dir/fig08_break_even.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_break_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

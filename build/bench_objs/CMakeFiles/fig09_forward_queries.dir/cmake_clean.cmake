@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_forward_queries"
+  "../bench/fig09_forward_queries.pdb"
+  "CMakeFiles/fig09_forward_queries.dir/fig09_forward_queries.cc.o"
+  "CMakeFiles/fig09_forward_queries.dir/fig09_forward_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_forward_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_info_hiding"
+  "../bench/fig11_info_hiding.pdb"
+  "CMakeFiles/fig11_info_hiding.dir/fig11_info_hiding.cc.o"
+  "CMakeFiles/fig11_info_hiding.dir/fig11_info_hiding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_info_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

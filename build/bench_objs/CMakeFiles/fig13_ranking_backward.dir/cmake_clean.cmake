@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ranking_backward"
+  "../bench/fig13_ranking_backward.pdb"
+  "CMakeFiles/fig13_ranking_backward.dir/fig13_ranking_backward.cc.o"
+  "CMakeFiles/fig13_ranking_backward.dir/fig13_ranking_backward.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ranking_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_ranking_forward"
+  "../bench/fig14_ranking_forward.pdb"
+  "CMakeFiles/fig14_ranking_forward.dir/fig14_ranking_forward.cc.o"
+  "CMakeFiles/fig14_ranking_forward.dir/fig14_ranking_forward.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ranking_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_compensation"
+  "../bench/fig15_compensation.pdb"
+  "CMakeFiles/fig15_compensation.dir/fig15_compensation.cc.o"
+  "CMakeFiles/fig15_compensation.dir/fig15_compensation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_gmr"
+  "../bench/micro_gmr.pdb"
+  "CMakeFiles/micro_gmr.dir/micro_gmr.cc.o"
+  "CMakeFiles/micro_gmr.dir/micro_gmr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_ranking.dir/company_ranking.cpp.o"
+  "CMakeFiles/company_ranking.dir/company_ranking.cpp.o.d"
+  "company_ranking"
+  "company_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_workpieces.dir/geometry_workpieces.cpp.o"
+  "CMakeFiles/geometry_workpieces.dir/geometry_workpieces.cpp.o.d"
+  "geometry_workpieces"
+  "geometry_workpieces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_workpieces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

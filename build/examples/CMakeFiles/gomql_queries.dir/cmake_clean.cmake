@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gomql_queries.dir/gomql_queries.cpp.o"
+  "CMakeFiles/gomql_queries.dir/gomql_queries.cpp.o.d"
+  "gomql_queries"
+  "gomql_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gomql_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

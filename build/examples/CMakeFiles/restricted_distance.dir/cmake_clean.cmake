@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restricted_distance.dir/restricted_distance.cpp.o"
+  "CMakeFiles/restricted_distance.dir/restricted_distance.cpp.o.d"
+  "restricted_distance"
+  "restricted_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restricted_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

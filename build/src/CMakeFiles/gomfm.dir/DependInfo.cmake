@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/gomfm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/sim_clock.cc" "src/CMakeFiles/gomfm.dir/common/sim_clock.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/common/sim_clock.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gomfm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/common/status.cc.o.d"
+  "/root/repo/src/funclang/builder.cc" "src/CMakeFiles/gomfm.dir/funclang/builder.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/funclang/builder.cc.o.d"
+  "/root/repo/src/funclang/function_registry.cc" "src/CMakeFiles/gomfm.dir/funclang/function_registry.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/funclang/function_registry.cc.o.d"
+  "/root/repo/src/funclang/interpreter.cc" "src/CMakeFiles/gomfm.dir/funclang/interpreter.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/funclang/interpreter.cc.o.d"
+  "/root/repo/src/funclang/path_extraction.cc" "src/CMakeFiles/gomfm.dir/funclang/path_extraction.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/funclang/path_extraction.cc.o.d"
+  "/root/repo/src/funclang/printer.cc" "src/CMakeFiles/gomfm.dir/funclang/printer.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/funclang/printer.cc.o.d"
+  "/root/repo/src/gmr/dependency_tables.cc" "src/CMakeFiles/gomfm.dir/gmr/dependency_tables.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gmr/dependency_tables.cc.o.d"
+  "/root/repo/src/gmr/gmr.cc" "src/CMakeFiles/gomfm.dir/gmr/gmr.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gmr/gmr.cc.o.d"
+  "/root/repo/src/gmr/gmr_manager.cc" "src/CMakeFiles/gomfm.dir/gmr/gmr_manager.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gmr/gmr_manager.cc.o.d"
+  "/root/repo/src/gmr/rrr.cc" "src/CMakeFiles/gomfm.dir/gmr/rrr.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gmr/rrr.cc.o.d"
+  "/root/repo/src/gom/object.cc" "src/CMakeFiles/gomfm.dir/gom/object.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gom/object.cc.o.d"
+  "/root/repo/src/gom/object_manager.cc" "src/CMakeFiles/gomfm.dir/gom/object_manager.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gom/object_manager.cc.o.d"
+  "/root/repo/src/gom/schema.cc" "src/CMakeFiles/gomfm.dir/gom/schema.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gom/schema.cc.o.d"
+  "/root/repo/src/gom/type.cc" "src/CMakeFiles/gomfm.dir/gom/type.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gom/type.cc.o.d"
+  "/root/repo/src/gom/value.cc" "src/CMakeFiles/gomfm.dir/gom/value.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gom/value.cc.o.d"
+  "/root/repo/src/gomql/lexer.cc" "src/CMakeFiles/gomfm.dir/gomql/lexer.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gomql/lexer.cc.o.d"
+  "/root/repo/src/gomql/parser.cc" "src/CMakeFiles/gomfm.dir/gomql/parser.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gomql/parser.cc.o.d"
+  "/root/repo/src/gomql/planner.cc" "src/CMakeFiles/gomfm.dir/gomql/planner.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/gomql/planner.cc.o.d"
+  "/root/repo/src/index/bplus_tree.cc" "src/CMakeFiles/gomfm.dir/index/bplus_tree.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/index/bplus_tree.cc.o.d"
+  "/root/repo/src/index/grid_file.cc" "src/CMakeFiles/gomfm.dir/index/grid_file.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/index/grid_file.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/CMakeFiles/gomfm.dir/index/hash_index.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/index/hash_index.cc.o.d"
+  "/root/repo/src/query/applicability.cc" "src/CMakeFiles/gomfm.dir/query/applicability.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/query/applicability.cc.o.d"
+  "/root/repo/src/query/comparison.cc" "src/CMakeFiles/gomfm.dir/query/comparison.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/query/comparison.cc.o.d"
+  "/root/repo/src/query/dnf.cc" "src/CMakeFiles/gomfm.dir/query/dnf.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/query/dnf.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/gomfm.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/gomfm.dir/query/query.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/query/query.cc.o.d"
+  "/root/repo/src/query/satisfiability.cc" "src/CMakeFiles/gomfm.dir/query/satisfiability.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/query/satisfiability.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/gomfm.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/chunked_record.cc" "src/CMakeFiles/gomfm.dir/storage/chunked_record.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/storage/chunked_record.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/gomfm.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/sim_disk.cc" "src/CMakeFiles/gomfm.dir/storage/sim_disk.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/storage/sim_disk.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "src/CMakeFiles/gomfm.dir/storage/storage_manager.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/storage/storage_manager.cc.o.d"
+  "/root/repo/src/workload/company_schema.cc" "src/CMakeFiles/gomfm.dir/workload/company_schema.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/workload/company_schema.cc.o.d"
+  "/root/repo/src/workload/cuboid_schema.cc" "src/CMakeFiles/gomfm.dir/workload/cuboid_schema.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/workload/cuboid_schema.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/gomfm.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/operation_mix.cc" "src/CMakeFiles/gomfm.dir/workload/operation_mix.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/workload/operation_mix.cc.o.d"
+  "/root/repo/src/workload/program_version.cc" "src/CMakeFiles/gomfm.dir/workload/program_version.cc.o" "gcc" "src/CMakeFiles/gomfm.dir/workload/program_version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

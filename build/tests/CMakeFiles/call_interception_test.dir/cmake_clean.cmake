@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_interception_test.dir/call_interception_test.cc.o"
+  "CMakeFiles/call_interception_test.dir/call_interception_test.cc.o.d"
+  "call_interception_test"
+  "call_interception_test.pdb"
+  "call_interception_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_interception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

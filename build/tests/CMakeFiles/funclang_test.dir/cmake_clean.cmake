@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funclang_test.dir/funclang_test.cc.o"
+  "CMakeFiles/funclang_test.dir/funclang_test.cc.o.d"
+  "funclang_test"
+  "funclang_test.pdb"
+  "funclang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funclang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

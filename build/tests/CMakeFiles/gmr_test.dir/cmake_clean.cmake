@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmr_test.dir/gmr_test.cc.o"
+  "CMakeFiles/gmr_test.dir/gmr_test.cc.o.d"
+  "gmr_test"
+  "gmr_test.pdb"
+  "gmr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

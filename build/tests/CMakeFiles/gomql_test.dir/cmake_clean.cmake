@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gomql_test.dir/gomql_test.cc.o"
+  "CMakeFiles/gomql_test.dir/gomql_test.cc.o.d"
+  "gomql_test"
+  "gomql_test.pdb"
+  "gomql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gomql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

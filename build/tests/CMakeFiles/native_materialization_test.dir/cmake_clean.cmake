@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_materialization_test.dir/native_materialization_test.cc.o"
+  "CMakeFiles/native_materialization_test.dir/native_materialization_test.cc.o.d"
+  "native_materialization_test"
+  "native_materialization_test.pdb"
+  "native_materialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_materialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

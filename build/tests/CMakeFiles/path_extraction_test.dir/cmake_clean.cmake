@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_extraction_test.dir/path_extraction_test.cc.o"
+  "CMakeFiles/path_extraction_test.dir/path_extraction_test.cc.o.d"
+  "path_extraction_test"
+  "path_extraction_test.pdb"
+  "path_extraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
