@@ -1,8 +1,11 @@
 #ifndef GOMFM_BENCH_BENCH_UTIL_H_
 #define GOMFM_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/driver.h"
@@ -11,17 +14,76 @@ namespace gom::bench {
 
 /// Command-line scaling: `--quick` shrinks the databases and op counts so
 /// the whole suite runs in seconds (shapes are preserved; absolute
-/// simulated times shrink accordingly).
+/// simulated times shrink accordingly). `--out=<path>` asks benchmarks that
+/// support it to also write a machine-readable JSON summary.
 struct BenchArgs {
   bool quick = false;
+  std::string out;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
-      if (std::string(argv[i]) == "--quick") args.quick = true;
+      std::string arg(argv[i]);
+      if (arg == "--quick") {
+        args.quick = true;
+      } else if (arg.rfind("--out=", 0) == 0) {
+        args.out = arg.substr(6);
+      }
     }
     return args;
   }
+};
+
+/// Minimal JSON object writer for benchmark summaries: insertion-ordered
+/// keys, values rendered up front. Just enough for flat metric dumps plus
+/// nested objects via AddRaw.
+class JsonWriter {
+ public:
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    AddRaw(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    AddRaw(key, quoted);
+  }
+  /// `rendered` is inserted verbatim — use for nested objects/arrays.
+  void AddRaw(const std::string& key, const std::string& rendered) {
+    entries_.emplace_back(key, rendered);
+  }
+
+  std::string Render(int indent = 0) const {
+    std::string pad(static_cast<size_t>(indent) + 2, ' ');
+    std::string out = "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out += pad + "\"" + entries_[i].first + "\": " + entries_[i].second;
+      if (i + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += std::string(static_cast<size_t>(indent), ' ') + "}";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::string text = Render() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 /// One curve of a figure.

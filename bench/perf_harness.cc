@@ -1,0 +1,252 @@
+// Wall-clock perf harness for the maintenance hot paths.
+//
+// Unlike the figure binaries (which report the SIMULATED time of the
+// paper's 1991 testbed), this measures REAL time of the in-memory
+// implementation with std::chrono::steady_clock: per-operation samples over
+// warmup + N reps, reported as median / p99 / mean ns per op.
+//
+// Scenarios:
+//   forward_lookup_hit      GMR hash probe + result fetch
+//   backward_range          sorted-column range scan
+//   invalidate_immediate    one relevant write = invalidate + recompute
+//   update_storm_unbatched  K relevant writes per cuboid, immediate strategy
+//   update_storm_batched    the same storm inside GmrManager::UpdateBatch
+//
+// The storm pair doubles as a regression gate: the batched run must perform
+// strictly fewer rematerializations than the unbatched one (coalescing K
+// invalidations of a result into one recomputation), otherwise exit 1.
+//
+// `--quick` shrinks rep counts for CI smoke runs; `--out=<path>` writes a
+// JSON summary (BENCH_perf.json at the repo root is the tracked baseline).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace gom;
+using namespace gom::workload;
+using namespace gom::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LatencySummary {
+  double median_ns = 0;
+  double p99_ns = 0;
+  double mean_ns = 0;
+  size_t reps = 0;
+};
+
+LatencySummary Summarize(std::vector<double> samples_ns) {
+  LatencySummary s;
+  s.reps = samples_ns.size();
+  if (samples_ns.empty()) return s;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  s.median_ns = samples_ns[samples_ns.size() / 2];
+  size_t p99 = static_cast<size_t>(
+      std::min<double>(samples_ns.size() - 1,
+                       std::ceil(samples_ns.size() * 0.99) - 1));
+  s.p99_ns = samples_ns[p99];
+  double sum = 0;
+  for (double v : samples_ns) sum += v;
+  s.mean_ns = sum / samples_ns.size();
+  return s;
+}
+
+/// Runs `op` warmup times untimed, then `reps` times with one steady_clock
+/// sample per call.
+template <class Op>
+LatencySummary Measure(size_t warmup, size_t reps, Op&& op) {
+  for (size_t i = 0; i < warmup; ++i) op();
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (size_t i = 0; i < reps; ++i) {
+    auto t0 = Clock::now();
+    op();
+    auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  return Summarize(std::move(samples));
+}
+
+void PrintSummary(const char* name, const LatencySummary& s) {
+  std::printf("%-24s median %10.0f ns   p99 %10.0f ns   mean %10.0f ns   "
+              "(%zu reps)\n",
+              name, s.median_ns, s.p99_ns, s.mean_ns, s.reps);
+}
+
+std::string SummaryJson(const LatencySummary& s) {
+  JsonWriter w;
+  w.Add("median_ns", s.median_ns);
+  w.Add("p99_ns", s.p99_ns);
+  w.Add("mean_ns", s.mean_ns);
+  w.Add("reps", static_cast<uint64_t>(s.reps));
+  return w.Render(2);
+}
+
+/// Benchmark stack: the §7.1 cuboid base with materialized volume and
+/// object-level dependency tracking. A large buffer keeps the simulated
+/// storage out of the way — this harness measures the data structures, not
+/// the 1991 disk model.
+struct HarnessEnv {
+  explicit HarnessEnv(size_t num_cuboids) : env(4096) {
+    geo = *CuboidSchema::Declare(&env.schema, &env.registry);
+    Rng rng(97);
+    Oid iron = *geo.MakeMaterial(&env.om, "Iron", 7.86);
+    for (size_t i = 0; i < num_cuboids; ++i) {
+      cuboids.push_back(*geo.MakeCuboid(&env.om, rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20), iron));
+    }
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(geo.cuboid)};
+    spec.functions = {geo.volume};
+    gmr_id = *env.mgr.Materialize(spec);
+    env.InstallNotifier(NotifyLevel::kObjDep);
+  }
+
+  Environment env;
+  CuboidSchema geo;
+  std::vector<Oid> cuboids;
+  GmrId gmr_id = kInvalidGmrId;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  const size_t num_cuboids = args.quick ? 500 : 2000;
+  const size_t lookup_reps = args.quick ? 2000 : 20000;
+  const size_t invalidate_reps = args.quick ? 500 : 5000;
+  const size_t range_reps = args.quick ? 500 : 5000;
+  const size_t storms = args.quick ? 50 : 400;
+  const size_t storm_targets = 8;
+  const size_t writes_per_cuboid = 3;
+
+  std::printf("# perf_harness — wall-clock latency of maintenance hot paths\n");
+  std::printf("# %zu cuboids, materialized volume, ObjDep notification\n\n",
+              num_cuboids);
+
+  HarnessEnv h(num_cuboids);
+  Rng rng(11);
+
+  // --- forward lookup (hit) ------------------------------------------------
+  LatencySummary forward = Measure(lookup_reps / 10, lookup_reps, [&] {
+    Oid c = h.cuboids[rng.UniformInt(0, h.cuboids.size() - 1)];
+    auto v = h.env.mgr.ForwardLookup(h.geo.volume, {Value::Ref(c)});
+    if (!v.ok()) Fail(v.status(), "forward_lookup_hit");
+  });
+  PrintSummary("forward_lookup_hit", forward);
+
+  // --- backward range ------------------------------------------------------
+  LatencySummary backward = Measure(range_reps / 10, range_reps, [&] {
+    double lo = rng.UniformDouble(0, 7000);
+    auto rows =
+        h.env.mgr.BackwardRange(h.geo.volume, lo, lo + 50, true, true);
+    if (!rows.ok()) Fail(rows.status(), "backward_range");
+  });
+  PrintSummary("backward_range", backward);
+
+  // --- single relevant write (immediate invalidate + recompute) ------------
+  LatencySummary invalidate =
+      Measure(invalidate_reps / 10, invalidate_reps, [&] {
+        Oid c = h.cuboids[rng.UniformInt(0, h.cuboids.size() - 1)];
+        Oid v1 = h.env.om.GetAttribute(c, "V1")->as_ref();
+        Status st = h.env.om.SetAttribute(
+            v1, "X", Value::Float(rng.UniformDouble(0, 5)));
+        if (!st.ok()) Fail(st, "invalidate_immediate");
+      });
+  PrintSummary("invalidate_immediate", invalidate);
+
+  // --- update storms: unbatched vs batched ---------------------------------
+  // One storm = `writes_per_cuboid` relevant writes (vertex coordinates)
+  // against each of `storm_targets` cuboids. Under the immediate strategy
+  // every write recomputes volume; a batch coalesces them into one
+  // recomputation per distinct cuboid.
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  auto storm_body = [&](HarnessEnv& henv, Rng& storm_rng) -> Status {
+    for (size_t t = 0; t < storm_targets; ++t) {
+      Oid c = henv.cuboids[storm_rng.UniformInt(0, henv.cuboids.size() - 1)];
+      Oid v1 = henv.env.om.GetAttribute(c, "V1")->as_ref();
+      for (size_t w = 0; w < writes_per_cuboid; ++w) {
+        GOMFM_RETURN_IF_ERROR(henv.env.om.SetAttribute(
+            v1, kCoords[w % 3],
+            Value::Float(storm_rng.UniformDouble(0, 5))));
+      }
+    }
+    return Status::Ok();
+  };
+
+  HarnessEnv unbatched_env(num_cuboids);
+  Rng unbatched_rng(23);
+  uint64_t remat_before = unbatched_env.env.mgr.stats().rematerializations;
+  LatencySummary storm_unbatched = Measure(storms / 10, storms, [&] {
+    Status st = storm_body(unbatched_env, unbatched_rng);
+    if (!st.ok()) Fail(st, "update_storm_unbatched");
+  });
+  uint64_t unbatched_remats =
+      unbatched_env.env.mgr.stats().rematerializations - remat_before;
+  PrintSummary("update_storm_unbatched", storm_unbatched);
+
+  HarnessEnv batched_env(num_cuboids);
+  Rng batched_rng(23);
+  remat_before = batched_env.env.mgr.stats().rematerializations;
+  LatencySummary storm_batched = Measure(storms / 10, storms, [&] {
+    GmrManager::UpdateBatch batch(&batched_env.env.mgr);
+    Status st = storm_body(batched_env, batched_rng);
+    if (!st.ok()) Fail(st, "update_storm_batched");
+    st = batch.Commit();
+    if (!st.ok()) Fail(st, "update_storm_batched commit");
+  });
+  uint64_t batched_remats =
+      batched_env.env.mgr.stats().rematerializations - remat_before;
+  PrintSummary("update_storm_batched", storm_batched);
+
+  std::printf("\n# storm recomputations: unbatched %llu, batched %llu "
+              "(%zu writes x %zu cuboids per storm)\n",
+              static_cast<unsigned long long>(unbatched_remats),
+              static_cast<unsigned long long>(batched_remats),
+              writes_per_cuboid, storm_targets);
+  std::printf("# batch coalescing saved %.1f%% of recomputations; storm "
+              "median %.2fx faster\n",
+              100.0 * (1.0 - static_cast<double>(batched_remats) /
+                                 static_cast<double>(unbatched_remats)),
+              storm_unbatched.median_ns / storm_batched.median_ns);
+
+  if (args.out.size()) {
+    JsonWriter root;
+    root.Add("benchmark", std::string("perf_harness"));
+    root.Add("mode", std::string(args.quick ? "quick" : "full"));
+    root.Add("num_cuboids", static_cast<uint64_t>(num_cuboids));
+    root.AddRaw("forward_lookup_hit", SummaryJson(forward));
+    root.AddRaw("backward_range", SummaryJson(backward));
+    root.AddRaw("invalidate_immediate", SummaryJson(invalidate));
+    root.AddRaw("update_storm_unbatched", SummaryJson(storm_unbatched));
+    root.AddRaw("update_storm_batched", SummaryJson(storm_batched));
+    root.Add("storm_rematerializations_unbatched", unbatched_remats);
+    root.Add("storm_rematerializations_batched", batched_remats);
+    root.Add("batch_flushes", batched_env.env.mgr.stats().batch_flushes);
+    root.Add("batch_dedup_hits", batched_env.env.mgr.stats().batch_dedup_hits);
+    if (!root.WriteFile(args.out)) {
+      std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", args.out.c_str());
+  }
+
+  if (batched_remats >= unbatched_remats) {
+    std::fprintf(stderr,
+                 "FAILED: batched storms performed %llu rematerializations, "
+                 "expected strictly fewer than the unbatched %llu\n",
+                 static_cast<unsigned long long>(batched_remats),
+                 static_cast<unsigned long long>(unbatched_remats));
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,223 @@
+#ifndef GOMFM_COMMON_FLAT_HASH_H_
+#define GOMFM_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "gom/ids.h"
+
+namespace gom {
+
+/// Open-addressing hash containers for the maintenance hot paths.
+///
+/// The invalidation/rematerialization machinery performs a table lookup per
+/// elementary update (SchemaDepFct, ObjDepFct, column location, RRR probe);
+/// node-based `std::map`/`std::set` put every one of those lookups through
+/// pointer-chasing and an allocation per insert. These containers use linear
+/// probing over a single contiguous slot array with a strong 64-bit mixer,
+/// so the common hit costs one cache line and inserts amortize to appends.
+///
+/// Deliberately minimal API (Find/ForEach instead of STL iterators): every
+/// erase-during-iteration pattern in the callers was restructured to
+/// "mutate values in ForEach, collect keys, erase after", which keeps the
+/// table logic simple enough to verify by eye.
+
+/// splitmix64 finalizer: full-avalanche mixing so that dense sequential ids
+/// (OIDs, FunctionIds, packed (type, attr) keys) spread over the table.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <class K>
+struct FlatDefaultHash {
+  uint64_t operator()(const K& key) const {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      return MixHash64(static_cast<uint64_t>(key));
+    } else if constexpr (std::is_same_v<K, Oid>) {
+      return MixHash64(key.raw);
+    } else {
+      return MixHash64(static_cast<uint64_t>(std::hash<K>{}(key)));
+    }
+  }
+};
+
+/// Open-addressing hash map: linear probing, power-of-two capacity,
+/// tombstone deletion, max load factor 7/8 (counting tombstones).
+/// Keys and values must be default-constructible and movable.
+template <class K, class V, class Hash = FlatDefaultHash<K>>
+class FlatHashMap {
+  enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+ public:
+  FlatHashMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pre-sizes the table for `n` entries without intermediate rehashes.
+  void reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * 7 < n * 8) cap <<= 1;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  void clear() {
+    state_.clear();
+    slots_.clear();
+    size_ = 0;
+    used_ = 0;
+  }
+
+  V* Find(const K& key) {
+    size_t slot = FindSlot(key);
+    return slot == kNoSlot ? nullptr : &slots_[slot].second;
+  }
+  const V* Find(const K& key) const {
+    size_t slot = FindSlot(key);
+    return slot == kNoSlot ? nullptr : &slots_[slot].second;
+  }
+  bool Contains(const K& key) const { return FindSlot(key) != kNoSlot; }
+
+  V& operator[](const K& key) {
+    GrowIfNeeded();
+    size_t mask = slots_.size() - 1;
+    size_t i = Hash{}(key)&mask;
+    size_t insert_at = kNoSlot;
+    while (true) {
+      if (state_[i] == kEmpty) {
+        if (insert_at == kNoSlot) {
+          insert_at = i;
+          ++used_;  // claiming a pristine slot
+        }
+        break;
+      }
+      if (state_[i] == kTombstone) {
+        if (insert_at == kNoSlot) insert_at = i;
+      } else if (slots_[i].first == key) {
+        return slots_[i].second;
+      }
+      i = (i + 1) & mask;
+    }
+    state_[insert_at] = kFull;
+    slots_[insert_at].first = key;
+    slots_[insert_at].second = V();
+    ++size_;
+    return slots_[insert_at].second;
+  }
+
+  bool Erase(const K& key) {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) return false;
+    state_[slot] = kTombstone;
+    slots_[slot] = {};
+    --size_;
+    return true;
+  }
+
+  /// Iterates all live entries: fn(const K&, V&). Mutating values is fine;
+  /// inserting or erasing during iteration is not.
+  template <class Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] == kFull) fn(slots_[i].first, slots_[i].second);
+    }
+  }
+  template <class Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] == kFull) {
+        fn(slots_[i].first,
+           static_cast<const V&>(slots_[i].second));
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kNoSlot = SIZE_MAX;
+  static constexpr size_t kMinCapacity = 16;
+
+  size_t FindSlot(const K& key) const {
+    if (slots_.empty()) return kNoSlot;
+    size_t mask = slots_.size() - 1;
+    size_t i = Hash{}(key)&mask;
+    while (state_[i] != kEmpty) {
+      if (state_[i] == kFull && slots_[i].first == key) return i;
+      i = (i + 1) & mask;
+    }
+    return kNoSlot;
+  }
+
+  void GrowIfNeeded() {
+    if (slots_.empty()) {
+      Rehash(kMinCapacity);
+    } else if ((used_ + 1) * 8 >= slots_.size() * 7) {
+      // Grow on live load, merely purge tombstones when they dominate.
+      Rehash(size_ * 8 >= slots_.size() * 5 ? slots_.size() * 2
+                                            : slots_.size());
+    }
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint8_t> old_state = std::move(state_);
+    std::vector<std::pair<K, V>> old_slots = std::move(slots_);
+    state_.assign(new_cap, kEmpty);
+    slots_.assign(new_cap, {});
+    size_ = 0;
+    used_ = 0;
+    size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      size_t j = Hash{}(old_slots[i].first) & mask;
+      while (state_[j] != kEmpty) j = (j + 1) & mask;
+      state_[j] = kFull;
+      slots_[j] = std::move(old_slots[i]);
+      ++size_;
+      ++used_;
+    }
+  }
+
+  std::vector<uint8_t> state_;
+  std::vector<std::pair<K, V>> slots_;
+  size_t size_ = 0;  // live entries
+  size_t used_ = 0;  // live + tombstones
+};
+
+/// Open-addressing hash set over the same machinery.
+template <class K, class Hash = FlatDefaultHash<K>>
+class FlatHashSet {
+  struct Empty {};
+
+ public:
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void reserve(size_t n) { map_.reserve(n); }
+  void clear() { map_.clear(); }
+
+  /// True when `key` was newly inserted.
+  bool Insert(const K& key) {
+    size_t before = map_.size();
+    map_[key];
+    return map_.size() != before;
+  }
+  bool Contains(const K& key) const { return map_.Contains(key); }
+  bool Erase(const K& key) { return map_.Erase(key); }
+
+  template <class Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&fn](const K& key, const Empty&) { fn(key); });
+  }
+
+ private:
+  FlatHashMap<K, Empty, Hash> map_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_COMMON_FLAT_HASH_H_

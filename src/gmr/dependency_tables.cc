@@ -6,8 +6,8 @@ const FidSet DependencyTables::kEmpty;
 
 void DependencyTables::AddSchemaDep(const funclang::RelevantProperty& prop,
                                     FunctionId f) {
-  schema_dep_[{prop.type, prop.attr}].insert(f);
-  rewritten_types_.insert(prop.type);
+  schema_dep_[PackKey(prop.type, prop.attr)].insert(f);
+  rewritten_types_.Insert(prop.type);
 }
 
 void DependencyTables::AddRelAttr(
@@ -18,61 +18,69 @@ void DependencyTables::AddRelAttr(
 }
 
 const FidSet& DependencyTables::SchemaDepFct(TypeId type, AttrId attr) const {
-  auto it = schema_dep_.find({type, attr});
-  return it == schema_dep_.end() ? kEmpty : it->second;
+  const FidSet* fids = schema_dep_.Find(PackKey(type, attr));
+  return fids == nullptr ? kEmpty : *fids;
 }
 
 bool DependencyTables::TypeIsRewritten(TypeId type) const {
-  return rewritten_types_.count(type) > 0;
+  return rewritten_types_.Contains(type);
 }
 
 void DependencyTables::AddInvalidated(TypeId type, FunctionId op,
                                       FunctionId f) {
-  invalidated_[{type, op}].insert(f);
+  invalidated_[PackKey(type, op)].insert(f);
 }
 
 const FidSet& DependencyTables::InvalidatedFct(TypeId type,
                                                FunctionId op) const {
-  auto it = invalidated_.find({type, op});
-  return it == invalidated_.end() ? kEmpty : it->second;
+  const FidSet* fids = invalidated_.Find(PackKey(type, op));
+  return fids == nullptr ? kEmpty : *fids;
 }
 
 Status DependencyTables::AddCompensatingAction(TypeId type, FunctionId op,
                                                FunctionId f,
                                                FunctionId action) {
-  auto key = std::make_pair(std::make_pair(type, op), f);
-  if (ca_.count(key)) {
-    return Status::AlreadyExists(
-        "compensating action already declared for this (operation, function)");
+  auto& actions = ca_[PackKey(type, op)];
+  for (const auto& [fid, unused] : actions) {
+    if (fid == f) {
+      return Status::AlreadyExists(
+          "compensating action already declared for this (operation, "
+          "function)");
+    }
   }
-  ca_.emplace(key, action);
-  compensated_[{type, op}].insert(f);
+  actions.emplace_back(f, action);
+  compensated_[PackKey(type, op)].insert(f);
   return Status::Ok();
 }
 
 const FidSet& DependencyTables::CompensatedFct(TypeId type,
                                                FunctionId op) const {
-  auto it = compensated_.find({type, op});
-  return it == compensated_.end() ? kEmpty : it->second;
+  const FidSet* fids = compensated_.Find(PackKey(type, op));
+  return fids == nullptr ? kEmpty : *fids;
 }
 
 Result<FunctionId> DependencyTables::CompensatingAction(TypeId type,
                                                         FunctionId op,
                                                         FunctionId f) const {
-  auto it = ca_.find({{type, op}, f});
-  if (it == ca_.end()) {
-    return Status::NotFound("no compensating action declared");
+  const auto* actions = ca_.Find(PackKey(type, op));
+  if (actions != nullptr) {
+    for (const auto& [fid, action] : *actions) {
+      if (fid == f) return action;
+    }
   }
-  return it->second;
+  return Status::NotFound("no compensating action declared");
 }
 
 void DependencyTables::RemoveFunction(FunctionId f) {
-  for (auto& [key, fids] : schema_dep_) fids.erase(f);
-  for (auto& [key, fids] : invalidated_) fids.erase(f);
-  for (auto& [key, fids] : compensated_) fids.erase(f);
-  for (auto it = ca_.begin(); it != ca_.end();) {
-    it = it->first.second == f ? ca_.erase(it) : std::next(it);
-  }
+  schema_dep_.ForEach([f](uint64_t, FidSet& fids) { fids.erase(f); });
+  invalidated_.ForEach([f](uint64_t, FidSet& fids) { fids.erase(f); });
+  compensated_.ForEach([f](uint64_t, FidSet& fids) { fids.erase(f); });
+  ca_.ForEach([f](uint64_t, std::vector<std::pair<FunctionId, FunctionId>>&
+                                actions) {
+    actions.erase(std::remove_if(actions.begin(), actions.end(),
+                                 [f](const auto& e) { return e.first == f; }),
+                  actions.end());
+  });
 }
 
 }  // namespace gom

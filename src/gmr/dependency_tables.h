@@ -1,17 +1,74 @@
 #ifndef GOMFM_GMR_DEPENDENCY_TABLES_H_
 #define GOMFM_GMR_DEPENDENCY_TABLES_H_
 
-#include <map>
+#include <algorithm>
+#include <initializer_list>
 #include <set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "funclang/interpreter.h"
 #include "gom/ids.h"
 
 namespace gom {
 
-using FidSet = std::set<FunctionId>;
+/// Small set of FunctionIds kept as a sorted vector. The dependency sets
+/// consulted on every elementary update (SchemaDepFct, ObjDepFct ∩ …) hold
+/// a handful of functions at most, so a contiguous sorted vector beats a
+/// node-based `std::set` on every operation the maintenance path performs:
+/// membership is a binary search over one cache line and iteration is a
+/// linear scan with no pointer chasing.
+class SmallFidSet {
+ public:
+  SmallFidSet() = default;
+  SmallFidSet(std::initializer_list<FunctionId> fids) {
+    for (FunctionId f : fids) insert(f);
+  }
+
+  /// Inserts `f`; returns true when newly inserted.
+  bool insert(FunctionId f) {
+    auto it = std::lower_bound(fids_.begin(), fids_.end(), f);
+    if (it != fids_.end() && *it == f) return false;
+    fids_.insert(it, f);
+    return true;
+  }
+
+  /// Removes `f`; returns the number of elements removed (0 or 1).
+  size_t erase(FunctionId f) {
+    auto it = std::lower_bound(fids_.begin(), fids_.end(), f);
+    if (it == fids_.end() || *it != f) return 0;
+    fids_.erase(it);
+    return 1;
+  }
+
+  bool contains(FunctionId f) const {
+    return std::binary_search(fids_.begin(), fids_.end(), f);
+  }
+  size_t count(FunctionId f) const { return contains(f) ? 1 : 0; }
+
+  bool empty() const { return fids_.empty(); }
+  size_t size() const { return fids_.size(); }
+  void clear() { fids_.clear(); }
+  void swap(SmallFidSet& other) { fids_.swap(other.fids_); }
+
+  std::vector<FunctionId>::const_iterator begin() const {
+    return fids_.begin();
+  }
+  std::vector<FunctionId>::const_iterator end() const { return fids_.end(); }
+
+  bool operator==(const SmallFidSet& other) const {
+    return fids_ == other.fids_;
+  }
+  bool operator!=(const SmallFidSet& other) const {
+    return fids_ != other.fids_;
+  }
+
+ private:
+  std::vector<FunctionId> fids_;  // sorted ascending, unique
+};
+
+using FidSet = SmallFidSet;
 
 /// The compiled dependency knowledge the paper's schema rewrite bakes into
 /// the modified update operations:
@@ -28,6 +85,9 @@ using FidSet = std::set<FunctionId>;
 /// In GOM these sets are inserted as set-valued constants into recompiled
 /// operation bodies; here the update-notification glue reads them on each
 /// event, which is the same computation without a compiler in the loop.
+/// Every table is keyed by the two 32-bit ids packed into one word and kept
+/// in an open-addressing hash map: these lookups run once per elementary
+/// update, i.e. they are the hottest lookups in the whole update path.
 class DependencyTables {
  public:
   DependencyTables() = default;
@@ -74,13 +134,16 @@ class DependencyTables {
  private:
   static const FidSet kEmpty;
 
-  std::map<std::pair<TypeId, AttrId>, FidSet> schema_dep_;
-  std::set<TypeId> rewritten_types_;
-  std::map<std::pair<TypeId, FunctionId>, FidSet> invalidated_;
-  std::map<std::pair<TypeId, FunctionId>, FidSet> compensated_;
-  // CA: ((type, update op), materialized fn) → compensating action.
-  std::map<std::pair<std::pair<TypeId, FunctionId>, FunctionId>, FunctionId>
-      ca_;
+  static constexpr uint64_t PackKey(uint32_t hi, uint32_t lo) {
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+
+  FlatHashMap<uint64_t, FidSet> schema_dep_;   // (type, attr)
+  FlatHashSet<TypeId> rewritten_types_;
+  FlatHashMap<uint64_t, FidSet> invalidated_;  // (type, op)
+  FlatHashMap<uint64_t, FidSet> compensated_;  // (type, op)
+  // CA: (type, update op) → [(materialized fn, compensating action)].
+  FlatHashMap<uint64_t, std::vector<std::pair<FunctionId, FunctionId>>> ca_;
 };
 
 }  // namespace gom

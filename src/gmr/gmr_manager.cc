@@ -23,12 +23,12 @@ Result<Gmr*> GmrManager::Get(GmrId id) {
 }
 
 Result<std::pair<GmrId, size_t>> GmrManager::Locate(FunctionId f) const {
-  auto it = columns_.find(f);
-  if (it == columns_.end()) {
+  const auto* loc = columns_.Find(f);
+  if (loc == nullptr) {
     return Status::NotFound("function " + registry_->NameOf(f) +
                             " is not materialized");
   }
-  return it->second;
+  return *loc;
 }
 
 Result<Value> GmrManager::ComputeTracked(FunctionId f,
@@ -181,7 +181,7 @@ Result<GmrId> GmrManager::Materialize(GmrSpec spec) {
       return Status::FailedPrecondition("function '" + def->name +
                                         "' is not side-effect free");
     }
-    if (columns_.count(f)) {
+    if (columns_.Contains(f)) {
       return Status::AlreadyExists("function '" + def->name +
                                    "' is already materialized");
     }
@@ -227,6 +227,7 @@ Result<GmrId> GmrManager::Materialize(GmrSpec spec) {
 Status GmrManager::Dematerialize(GmrId id) {
   GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(id));
   std::vector<RowId> rows;
+  rows.reserve(gmr->live_rows());
   gmr->ForEachRow([&](RowId r, const Gmr::Row&) {
     rows.push_back(r);
     return true;
@@ -238,10 +239,10 @@ Status GmrManager::Dematerialize(GmrId id) {
   std::vector<FunctionId> fns = gmr->spec().functions;
   if (gmr->spec().predicate != kInvalidFunctionId) {
     fns.push_back(gmr->spec().predicate);
-    predicates_.erase(gmr->spec().predicate);
+    predicates_.Erase(gmr->spec().predicate);
   }
   for (FunctionId f : fns) {
-    columns_.erase(f);
+    columns_.Erase(f);
     deps_.RemoveFunction(f);
     GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> unmarked, rrr_.RemoveFunction(f));
     for (Oid o : unmarked) {
@@ -267,6 +268,22 @@ Status GmrManager::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
   if (options_.remat == RematStrategy::kLazy) {
     GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
     return RemoveReverseRef(entry);
+  }
+  if (batch_depth_ > 0) {
+    // Batched maintenance: downgrade the immediate recomputation to a
+    // deferred (GMR, row, column) record; EndBatch() recomputes each
+    // distinct record once, so an update storm on the same object pays a
+    // single rematerialization.
+    GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
+    GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
+    BatchKey key{gmr->id(), static_cast<uint32_t>(fn_idx), *row};
+    if (batch_pending_.Insert(key)) {
+      batch_order_.push_back(key);
+      ++stats_.batch_records;
+    } else {
+      ++stats_.batch_dedup_hits;
+    }
+    return Status::Ok();
   }
   // Immediate rematerialization (§4.1): remove the entry, recompute,
   // re-insert the reverse references of the new computation.
@@ -315,9 +332,8 @@ Status GmrManager::HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry) {
 Status GmrManager::Invalidate(Oid o) {
   GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries, rrr_.EntriesFor(o));
   for (const Rrr::Entry& entry : entries) {
-    auto pit = predicates_.find(entry.function);
-    if (pit != predicates_.end()) {
-      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(pit->second));
+    if (const GmrId* pid = predicates_.Find(entry.function)) {
+      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(*pid));
       GOMFM_RETURN_IF_ERROR(HandlePredicateEntry(gmr, entry));
       continue;
     }
@@ -333,10 +349,9 @@ Status GmrManager::Invalidate(Oid o, const FidSet& relevant) {
   if (relevant.empty()) return Status::Ok();
   GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries, rrr_.EntriesFor(o));
   for (const Rrr::Entry& entry : entries) {
-    if (relevant.count(entry.function) == 0) continue;
-    auto pit = predicates_.find(entry.function);
-    if (pit != predicates_.end()) {
-      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(pit->second));
+    if (!relevant.contains(entry.function)) continue;
+    if (const GmrId* pid = predicates_.Find(entry.function)) {
+      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(*pid));
       GOMFM_RETURN_IF_ERROR(HandlePredicateEntry(gmr, entry));
       continue;
     }
@@ -344,6 +359,55 @@ Status GmrManager::Invalidate(Oid o, const FidSet& relevant) {
     if (!loc.ok()) continue;
     GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(loc->first));
     GOMFM_RETURN_IF_ERROR(HandleFunctionEntry(gmr, loc->second, entry));
+  }
+  return Status::Ok();
+}
+
+void GmrManager::BeginBatch() { ++batch_depth_; }
+
+Status GmrManager::RematerializeDeferred(const BatchKey& key) {
+  auto gmr_or = Get(key.gmr);
+  if (!gmr_or.ok()) return Status::Ok();  // GMR dematerialized mid-batch
+  Gmr* gmr = *gmr_or;
+  auto row_or = gmr->Get(key.row);
+  if (!row_or.ok()) return Status::Ok();  // row removed mid-batch
+  const Gmr::Row* r = *row_or;
+  if (key.col >= r->valid.size() || r->valid[key.col]) {
+    return Status::Ok();  // a lookup already recomputed it lazily
+  }
+  std::vector<Value> args = r->args;  // copy: SetResult invalidates r
+  FunctionId f = gmr->spec().functions[key.col];
+  funclang::Trace trace;
+  auto result = ComputeTracked(f, args, &trace);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kNotFound) {
+      // An argument object disappeared during the batch and its row
+      // survived only as garbage (§4.2 blind reference, detected here).
+      ++stats_.blind_references;
+      GOMFM_RETURN_IF_ERROR(gmr->Remove(key.row));
+      ++stats_.rows_removed;
+      return Status::Ok();
+    }
+    return result.status();
+  }
+  GOMFM_RETURN_IF_ERROR(gmr->SetResult(key.row, key.col, std::move(*result)));
+  return RecordReverseRefs(f, args, trace);
+}
+
+Status GmrManager::EndBatch() {
+  if (batch_depth_ == 0) {
+    return Status::FailedPrecondition("EndBatch() without BeginBatch()");
+  }
+  if (--batch_depth_ > 0) return Status::Ok();
+  ++stats_.batch_flushes;
+  // Coalesced rematerialization: each distinct (GMR, row, column) that was
+  // invalidated during the batch is recomputed exactly once, in
+  // first-invalidation order. No updates run here, so the set is stable.
+  std::vector<BatchKey> order;
+  order.swap(batch_order_);
+  batch_pending_.clear();
+  for (const BatchKey& key : order) {
+    GOMFM_RETURN_IF_ERROR(RematerializeDeferred(key));
   }
   return Status::Ok();
 }
@@ -373,33 +437,36 @@ Status GmrManager::NewObject(Oid o, TypeId type) {
 }
 
 Status GmrManager::ForgetObject(Oid o) {
-  GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries, rrr_.EntriesFor(o));
+  // Read-only walk (no per-entry copies): rows are removed from the GMRs,
+  // which never mutates the RRR; the entries themselves go in one
+  // RemoveAllFor below.
   Value as_ref = Value::Ref(o);
-  for (const Rrr::Entry& entry : entries) {
-    bool is_argument = false;
-    for (const Value& a : entry.args) {
-      if (a == as_ref) {
-        is_argument = true;
-        break;
-      }
-    }
-    if (!is_argument) continue;
-    GmrId gid = kInvalidGmrId;
-    auto pit = predicates_.find(entry.function);
-    if (pit != predicates_.end()) {
-      gid = pit->second;
-    } else if (auto loc = Locate(entry.function); loc.ok()) {
-      gid = loc->first;
-    } else {
-      continue;
-    }
-    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(gid));
-    auto row = gmr->FindRow(entry.args);
-    if (row.ok()) {
-      GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
-      ++stats_.rows_removed;
-    }
-  }
+  GOMFM_RETURN_IF_ERROR(rrr_.ForEachEntry(
+      o, [&](const Rrr::Entry& entry) -> Status {
+        bool is_argument = false;
+        for (const Value& a : entry.args) {
+          if (a == as_ref) {
+            is_argument = true;
+            break;
+          }
+        }
+        if (!is_argument) return Status::Ok();
+        GmrId gid = kInvalidGmrId;
+        if (const GmrId* pid = predicates_.Find(entry.function)) {
+          gid = *pid;
+        } else if (auto loc = Locate(entry.function); loc.ok()) {
+          gid = loc->first;
+        } else {
+          return Status::Ok();
+        }
+        GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(gid));
+        auto row = gmr->FindRow(entry.args);
+        if (row.ok()) {
+          GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
+          ++stats_.rows_removed;
+        }
+        return Status::Ok();
+      }));
   // Drop all reverse references for the deleted object; entries of other
   // objects mentioning o in their argument lists stay as blind references
   // and are detected lazily (§4.2).

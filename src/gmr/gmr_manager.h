@@ -1,10 +1,10 @@
 #ifndef GOMFM_GMR_GMR_MANAGER_H_
 #define GOMFM_GMR_GMR_MANAGER_H_
 
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "funclang/interpreter.h"
 #include "funclang/path_extraction.h"
 #include "gmr/dependency_tables.h"
@@ -47,6 +47,9 @@ class GmrManager {
     uint64_t blind_references = 0;     // RRR entries found dangling (§4.2)
     uint64_t rows_created = 0;
     uint64_t rows_removed = 0;
+    uint64_t batch_records = 0;        // distinct (GMR, row, col) deferred
+    uint64_t batch_dedup_hits = 0;     // invalidations coalesced into one
+    uint64_t batch_flushes = 0;        // outermost EndBatch() calls
   };
 
   GmrManager(ObjectManager* om, funclang::Interpreter* interp,
@@ -71,7 +74,7 @@ class GmrManager {
   Result<Gmr*> Get(GmrId id);
   /// (GMR, column) of a materialized function; kNotFound otherwise.
   Result<std::pair<GmrId, size_t>> Locate(FunctionId f) const;
-  bool IsMaterialized(FunctionId f) const { return columns_.count(f) > 0; }
+  bool IsMaterialized(FunctionId f) const { return columns_.Contains(f); }
 
   // --- Update notifications (§4) --------------------------------------------
 
@@ -93,6 +96,58 @@ class GmrManager {
   /// `op_args` are the update operation's arguments (without the receiver).
   Status Compensate(Oid receiver, TypeId type, FunctionId op,
                     const std::vector<Value>& op_args, const FidSet& relevant);
+
+  // --- Batched maintenance ---------------------------------------------------
+
+  /// Opens an update batch. While a batch is open and the strategy is
+  /// kImmediate, invalidations are downgraded to per-(GMR, row, column)
+  /// records deduplicated in a flat hash set instead of recomputing on the
+  /// spot; the matching EndBatch() recomputes each distinct invalidated
+  /// result exactly once, so N updates hitting the same result cost one
+  /// rematerialization instead of N. Under kLazy the batch is a no-op
+  /// (lazy already defers; results recompute on access). Batches nest —
+  /// only the outermost EndBatch() flushes.
+  void BeginBatch();
+
+  /// Closes the innermost batch; the outermost close performs the coalesced
+  /// rematerialization. Results recomputed by a ForwardLookup inside the
+  /// batch (lazy catch-up) are skipped, as are rows removed in the interim.
+  Status EndBatch();
+
+  bool InBatch() const { return batch_depth_ > 0; }
+
+  /// RAII batch guard:
+  ///
+  ///   {
+  ///     GmrManager::UpdateBatch batch(&mgr);
+  ///     ... many updates ...
+  ///     GOMFM_RETURN_IF_ERROR(batch.Commit());  // flush + observe errors
+  ///   }
+  ///
+  /// The destructor flushes if Commit() was never called (errors are then
+  /// dropped — call Commit() on paths that can report them).
+  class UpdateBatch {
+   public:
+    explicit UpdateBatch(GmrManager* mgr) : mgr_(mgr) { mgr_->BeginBatch(); }
+    ~UpdateBatch() {
+      if (!done_) {
+        Status dropped = mgr_->EndBatch();
+        (void)dropped;
+      }
+    }
+    UpdateBatch(const UpdateBatch&) = delete;
+    UpdateBatch& operator=(const UpdateBatch&) = delete;
+
+    Status Commit() {
+      if (done_) return Status::Ok();
+      done_ = true;
+      return mgr_->EndBatch();
+    }
+
+   private:
+    GmrManager* mgr_;
+    bool done_ = false;
+  };
 
   // --- Retrieval (§3.2) -----------------------------------------------------
 
@@ -197,20 +252,48 @@ class GmrManager {
   Status AdmitCombo(Gmr* gmr, const std::vector<Value>& args,
                     bool force_materialize = false);
 
+  /// One deferred invalidation: the (GMR, row, column) coordinate of a
+  /// result flagged invalid while a batch was open.
+  struct BatchKey {
+    GmrId gmr;
+    uint32_t col;
+    RowId row;
+    bool operator==(const BatchKey& other) const {
+      return gmr == other.gmr && col == other.col && row == other.row;
+    }
+  };
+  struct BatchKeyHash {
+    uint64_t operator()(const BatchKey& k) const {
+      return MixHash64(k.row ^
+                       MixHash64((static_cast<uint64_t>(k.gmr) << 32) |
+                                 k.col));
+    }
+  };
+
+  /// Recomputes one deferred (GMR, row, column) if its row survived the
+  /// batch and no lookup revalidated it in the meantime.
+  Status RematerializeDeferred(const BatchKey& key);
+
   ObjectManager* om_;
   funclang::Interpreter* interp_;
   const funclang::FunctionRegistry* registry_;
   GmrManagerOptions options_;
 
   std::vector<std::unique_ptr<Gmr>> gmrs_;
-  std::map<FunctionId, std::pair<GmrId, size_t>> columns_;
-  std::map<FunctionId, GmrId> predicates_;
+  FlatHashMap<FunctionId, std::pair<GmrId, size_t>> columns_;
+  FlatHashMap<FunctionId, GmrId> predicates_;
 
   DependencyTables deps_;
   Rrr rrr_;
   funclang::PathAnalyzer analyzer_;
   Stats stats_;
   int compute_depth_ = 0;  // re-entrancy guard for call interception
+
+  int batch_depth_ = 0;
+  FlatHashSet<BatchKey, BatchKeyHash> batch_pending_;
+  /// Flush order: first-invalidation order, for deterministic replay of the
+  /// simulated clock charges.
+  std::vector<BatchKey> batch_order_;
 };
 
 }  // namespace gom

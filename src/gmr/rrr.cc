@@ -1,5 +1,7 @@
 #include "gmr/rrr.h"
 
+#include <algorithm>
+
 namespace gom {
 
 Rrr::Rrr(StorageManager* storage, SimClock* clock, const CostModel& cost,
@@ -8,7 +10,9 @@ Rrr::Rrr(StorageManager* storage, SimClock* clock, const CostModel& cost,
       clock_(clock),
       cost_(cost),
       second_chance_(second_chance),
-      segment_(storage->CreateSegment("rrr")) {}
+      segment_(storage->CreateSegment("rrr")) {
+  by_object_.reserve(1024);
+}
 
 std::vector<uint8_t> Rrr::Encode(const Entry& e) {
   std::vector<uint8_t> out;
@@ -65,9 +69,10 @@ Result<bool> Rrr::Insert(Oid o, FunctionId f, const std::vector<Value>& args) {
 Result<std::vector<Rrr::Entry>> Rrr::EntriesFor(Oid o) {
   GOMFM_RETURN_IF_ERROR(ProbeIndex(o));
   std::vector<Entry> out;
-  auto it = by_object_.find(o);
-  if (it == by_object_.end()) return out;
-  for (const Stored& stored : it->second) {
+  auto* entries = by_object_.Find(o);
+  if (entries == nullptr) return out;
+  out.reserve(entries->size());
+  for (const Stored& stored : *entries) {
     if (stored.entry.marked) continue;
     GOMFM_RETURN_IF_ERROR(storage_->TouchRecord(stored.rid));
     out.push_back(stored.entry);
@@ -75,13 +80,26 @@ Result<std::vector<Rrr::Entry>> Rrr::EntriesFor(Oid o) {
   return out;
 }
 
+Status Rrr::ForEachEntry(Oid o,
+                         const std::function<Status(const Entry&)>& cb) {
+  GOMFM_RETURN_IF_ERROR(ProbeIndex(o));
+  auto* entries = by_object_.Find(o);
+  if (entries == nullptr) return Status::Ok();
+  for (const Stored& stored : *entries) {
+    if (stored.entry.marked) continue;
+    GOMFM_RETURN_IF_ERROR(storage_->TouchRecord(stored.rid));
+    GOMFM_RETURN_IF_ERROR(cb(stored.entry));
+  }
+  return Status::Ok();
+}
+
 Status Rrr::Remove(Oid o, FunctionId f, const std::vector<Value>& args) {
   clock_->Advance(cost_.cpu_index_op_seconds);
-  auto it = by_object_.find(o);
-  if (it == by_object_.end()) {
+  auto* entries = by_object_.Find(o);
+  if (entries == nullptr) {
     return Status::NotFound("RRR: no entries for " + o.ToString());
   }
-  for (auto sit = it->second.begin(); sit != it->second.end(); ++sit) {
+  for (auto sit = entries->begin(); sit != entries->end(); ++sit) {
     if (sit->entry.function != f || sit->entry.args != args ||
         sit->entry.marked) {
       continue;
@@ -90,8 +108,8 @@ Status Rrr::Remove(Oid o, FunctionId f, const std::vector<Value>& args) {
       sit->entry.marked = true;
     } else {
       GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(sit->rid));
-      it->second.erase(sit);
-      if (it->second.empty()) by_object_.erase(it);
+      entries->erase(sit);
+      if (entries->empty()) by_object_.Erase(o);
     }
     --size_;
     return Status::Ok();
@@ -101,21 +119,21 @@ Status Rrr::Remove(Oid o, FunctionId f, const std::vector<Value>& args) {
 
 Status Rrr::RemoveAllFor(Oid o) {
   clock_->Advance(cost_.cpu_index_op_seconds);
-  auto it = by_object_.find(o);
-  if (it == by_object_.end()) return Status::Ok();
-  for (const Stored& stored : it->second) {
+  auto* entries = by_object_.Find(o);
+  if (entries == nullptr) return Status::Ok();
+  for (const Stored& stored : *entries) {
     GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(stored.rid));
     if (!stored.entry.marked) --size_;
   }
-  by_object_.erase(it);
+  by_object_.Erase(o);
   return Status::Ok();
 }
 
 bool Rrr::Contains(Oid o, FunctionId f,
                    const std::vector<Value>& args) const {
-  auto it = by_object_.find(o);
-  if (it == by_object_.end()) return false;
-  for (const Stored& stored : it->second) {
+  const auto* entries = by_object_.Find(o);
+  if (entries == nullptr) return false;
+  for (const Stored& stored : *entries) {
     if (!stored.entry.marked && stored.entry.function == f &&
         stored.entry.args == args) {
       return true;
@@ -125,10 +143,10 @@ bool Rrr::Contains(Oid o, FunctionId f,
 }
 
 size_t Rrr::CountFor(Oid o, FunctionId f) const {
-  auto it = by_object_.find(o);
-  if (it == by_object_.end()) return 0;
+  const auto* entries = by_object_.Find(o);
+  if (entries == nullptr) return 0;
   size_t n = 0;
-  for (const Stored& stored : it->second) {
+  for (const Stored& stored : *entries) {
     if (!stored.entry.marked && stored.entry.function == f) ++n;
   }
   return n;
@@ -136,39 +154,67 @@ size_t Rrr::CountFor(Oid o, FunctionId f) const {
 
 Result<std::vector<Oid>> Rrr::RemoveFunction(FunctionId f) {
   std::vector<Oid> last_refs_gone;
-  for (auto it = by_object_.begin(); it != by_object_.end();) {
+  std::vector<Oid> emptied;
+  Status first_error = Status::Ok();
+  by_object_.ForEach([&](const Oid& o, std::vector<Stored>& entries) {
     bool removed_any = false;
-    for (auto sit = it->second.begin(); sit != it->second.end();) {
-      if (sit->entry.function == f) {
-        GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(sit->rid));
-        if (!sit->entry.marked) --size_;
-        sit = it->second.erase(sit);
+    size_t w = 0;
+    for (size_t r = 0; r < entries.size(); ++r) {
+      if (entries[r].entry.function == f) {
+        Status st = storage_->DeleteRecord(entries[r].rid);
+        if (first_error.ok() && !st.ok()) first_error = st;
+        if (!entries[r].entry.marked) --size_;
         removed_any = true;
       } else {
-        ++sit;
+        if (w != r) entries[w] = std::move(entries[r]);
+        ++w;
       }
     }
-    if (removed_any && CountFor(it->first, f) == 0) {
-      last_refs_gone.push_back(it->first);
-    }
-    it = it->second.empty() ? by_object_.erase(it) : std::next(it);
-  }
+    entries.resize(w);
+    if (removed_any) last_refs_gone.push_back(o);
+    if (entries.empty()) emptied.push_back(o);
+  });
+  GOMFM_RETURN_IF_ERROR(first_error);
+  for (Oid o : emptied) by_object_.Erase(o);
   return last_refs_gone;
 }
 
 Status Rrr::Sweep() {
-  for (auto it = by_object_.begin(); it != by_object_.end();) {
-    for (auto sit = it->second.begin(); sit != it->second.end();) {
-      if (sit->entry.marked) {
-        GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(sit->rid));
-        sit = it->second.erase(sit);
+  std::vector<Oid> emptied;
+  Status first_error = Status::Ok();
+  by_object_.ForEach([&](const Oid& o, std::vector<Stored>& entries) {
+    size_t w = 0;
+    for (size_t r = 0; r < entries.size(); ++r) {
+      if (entries[r].entry.marked) {
+        Status st = storage_->DeleteRecord(entries[r].rid);
+        if (first_error.ok() && !st.ok()) first_error = st;
       } else {
-        ++sit;
+        if (w != r) entries[w] = std::move(entries[r]);
+        ++w;
       }
     }
-    it = it->second.empty() ? by_object_.erase(it) : std::next(it);
-  }
+    entries.resize(w);
+    if (entries.empty()) emptied.push_back(o);
+  });
+  GOMFM_RETURN_IF_ERROR(first_error);
+  for (Oid o : emptied) by_object_.Erase(o);
   return Status::Ok();
+}
+
+std::vector<Rrr::Entry> Rrr::AllEntries() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  by_object_.ForEach([&](const Oid&, const std::vector<Stored>& entries) {
+    for (const Stored& stored : entries) {
+      if (!stored.entry.marked) out.push_back(stored.entry);
+    }
+  });
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.object != b.object) return a.object < b.object;
+    if (a.function != b.function) return a.function < b.function;
+    return Encode(a) < Encode(b);
+  });
+  return out;
 }
 
 }  // namespace gom

@@ -1,10 +1,10 @@
 #ifndef GOMFM_GMR_RRR_H_
 #define GOMFM_GMR_RRR_H_
 
-#include <list>
-#include <unordered_map>
+#include <functional>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "gom/value.h"
@@ -24,7 +24,10 @@ namespace gom {
 /// Physical model: entries are records in their own segment and lookups by
 /// object probe a paged hash index — so every RRR probe and entry touch
 /// costs simulated I/O, reproducing the table-lookup penalty that motivates
-/// the ObjDepFct optimization (§5.2).
+/// the ObjDepFct optimization (§5.2). The in-memory directory backing the
+/// probes is an open-addressing hash map of per-object entry vectors: the
+/// RRR is consulted on every invalidation, so its directory is the hottest
+/// per-object lookup in the system.
 ///
 /// `second_chance` switches entry removal to *marking* (the paper's second
 /// chance alternative in §4.1): a marked entry is resurrected when the same
@@ -51,8 +54,15 @@ class Rrr {
   Result<bool> Insert(Oid o, FunctionId f, const std::vector<Value>& args);
 
   /// All (unmarked) entries for `o`. Probes the index and touches the entry
-  /// records. The returned copies stay valid across subsequent mutation.
+  /// records. The returned copies stay valid across subsequent mutation —
+  /// use this when the caller mutates the RRR while consuming the entries.
   Result<std::vector<Entry>> EntriesFor(Oid o);
+
+  /// Read-only iteration over the (unmarked) entries of `o`: probes the
+  /// index and touches each entry record, but hands out references into the
+  /// table instead of copying every entry (and its argument vector). The
+  /// callback must not mutate the RRR; a non-ok status aborts the walk.
+  Status ForEachEntry(Oid o, const std::function<Status(const Entry&)>& cb);
 
   /// Removes (or marks, under second chance) the entry. kNotFound if absent.
   Status Remove(Oid o, FunctionId f, const std::vector<Value>& args);
@@ -72,6 +82,9 @@ class Rrr {
   /// Removes every entry of function `f` (dematerialization); returns the
   /// objects whose last reverse reference for `f` disappeared.
   Result<std::vector<Oid>> RemoveFunction(FunctionId f);
+
+  /// Snapshot of every unmarked entry (tests / debugging; no cost charge).
+  std::vector<Entry> AllEntries() const;
 
   size_t size() const { return size_; }
   uint64_t probe_count() const { return probes_; }
@@ -93,7 +106,7 @@ class Rrr {
   bool second_chance_;
   SegmentId segment_;
 
-  std::unordered_map<Oid, std::list<Stored>, OidHash> by_object_;
+  FlatHashMap<Oid, std::vector<Stored>> by_object_;
   size_t size_ = 0;  // unmarked entries
   uint64_t probes_ = 0;
 };

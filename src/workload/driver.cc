@@ -117,18 +117,32 @@ Status GeoBench::DoOp(OpKind kind) {
     case OpKind::kForwardQuery:
       return ForwardQuery();
     case OpKind::kInsert:
-      return Insert();
     case OpKind::kDelete:
-      return Delete();
     case OpKind::kScale:
-      return Scale();
     case OpKind::kRotate:
-      return Rotate();
     case OpKind::kTranslate:
-      return Translate();
+      break;  // update operations, batched below when configured
     default:
       return Status::InvalidArgument("operation outside the geometry mix");
   }
+  auto run = [&]() -> Status {
+    switch (kind) {
+      case OpKind::kInsert:
+        return Insert();
+      case OpKind::kDelete:
+        return Delete();
+      case OpKind::kScale:
+        return Scale();
+      case OpKind::kRotate:
+        return Rotate();
+      default:
+        return Translate();
+    }
+  };
+  if (!config_.batch_updates) return run();
+  GmrManager::UpdateBatch batch(&env_->mgr);
+  GOMFM_RETURN_IF_ERROR(run());
+  return batch.Commit();
 }
 
 Status GeoBench::BackwardQuery() {
@@ -282,14 +296,26 @@ Status CompanyBench::DoOp(OpKind kind) {
     case OpKind::kMatrixSelect:
       return MatrixSelect();
     case OpKind::kPromote:
-      return Promote();
     case OpKind::kNewEmployee:
-      return NewEmployee();
     case OpKind::kNewProject:
-      return NewProject();
+      break;  // update operations, batched below when configured
     default:
       return Status::InvalidArgument("operation outside the company mix");
   }
+  auto run = [&]() -> Status {
+    switch (kind) {
+      case OpKind::kPromote:
+        return Promote();
+      case OpKind::kNewEmployee:
+        return NewEmployee();
+      default:
+        return NewProject();
+    }
+  };
+  if (!config_.batch_updates) return run();
+  GmrManager::UpdateBatch batch(&env_->mgr);
+  GOMFM_RETURN_IF_ERROR(run());
+  return batch.Commit();
 }
 
 Status CompanyBench::RankingBackward() {

@@ -62,6 +62,11 @@ class GeoBench {
     /// Fig. 10's "Lazy" configuration: all volume results invalidated
     /// before the run, leaving RRR and ObjDepFct empty for ⟨⟨volume⟩⟩.
     bool pre_invalidate = false;
+    /// Wrap each update operation in a GmrManager::UpdateBatch so the
+    /// rematerializations its elementary updates trigger are coalesced
+    /// (one recomputation per distinct invalidated result). Off by
+    /// default: the §7 figures model the paper's immediate strategy.
+    bool batch_updates = false;
   };
 
   /// Builds the database and applies the program version. Errors from
@@ -118,6 +123,8 @@ class CompanyBench {
     bool materialize_matrix = false;  // Fig. 15
     /// Declare the compensating action for add_project/matrix (§5.4).
     bool compensate_add_project = false;
+    /// Coalesce rematerializations per update operation (see GeoBench).
+    bool batch_updates = false;
   };
 
   explicit CompanyBench(const Config& config);

@@ -1,0 +1,339 @@
+// Property tests for batched invalidation (GmrManager::UpdateBatch):
+// running a random update/query mix inside batches must leave the system in
+// the same state as running it under plain immediate rematerialization —
+// same GMR extension, same RRR, same row churn, same query answers — while
+// performing at most as many (and for storms strictly fewer)
+// rematerializations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+constexpr size_t kNumCuboids = 60;
+
+struct Fixture {
+  Fixture() {
+    Rng rng(5);
+    iron = *env.geo.MakeMaterial(&env.om, "Iron", 7.86);
+    for (size_t i = 0; i < kNumCuboids; ++i) {
+      cuboids.push_back(*env.geo.MakeCuboid(&env.om, rng.UniformDouble(1, 20),
+                                            rng.UniformDouble(1, 20),
+                                            rng.UniformDouble(1, 20), iron));
+    }
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+    spec.functions = {env.geo.volume};
+    gmr = *env.mgr.Materialize(spec);
+    env.InstallNotifier(workload::NotifyLevel::kObjDep);
+  }
+
+  TestEnv env;
+  Oid iron;
+  std::vector<Oid> cuboids;
+  GmrId gmr = kInvalidGmrId;
+};
+
+/// Applies `steps` random operations. Both runs of a comparison call this
+/// with the same seed, so every Rng draw — including the ones for skipped
+/// operations — happens identically; only the batching differs.
+Status RunMix(Fixture* fx, uint64_t seed, size_t steps, size_t batch_chunk,
+              bool with_deletes, std::vector<std::string>* query_log) {
+  static const char* kVertices[] = {"V1", "V2", "V3", "V4"};
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  Rng rng(seed);
+  std::set<size_t> deleted;
+
+  size_t step = 0;
+  while (step < steps) {
+    size_t chunk = std::min(batch_chunk, steps - step);
+    std::unique_ptr<GmrManager::UpdateBatch> batch;
+    if (batch_chunk > 1) {
+      batch = std::make_unique<GmrManager::UpdateBatch>(&fx->env.mgr);
+    }
+    for (size_t i = 0; i < chunk; ++i, ++step) {
+      double pick = rng.UniformDouble(0, 1);
+      size_t idx = rng.UniformInt(0, fx->cuboids.size() - 1);
+      Oid c = fx->cuboids[idx];
+      bool alive = deleted.count(idx) == 0;
+      if (pick < 0.40) {
+        // Relevant write: vertex coordinate ∈ RelAttr(volume).
+        const char* vertex = kVertices[rng.UniformInt(0, 3)];
+        const char* coord = kCoords[rng.UniformInt(0, 2)];
+        double v = rng.UniformDouble(0, 10);
+        if (!alive) continue;
+        Oid vo = fx->env.om.GetAttribute(c, vertex)->as_ref();
+        GOMFM_RETURN_IF_ERROR(
+            fx->env.om.SetAttribute(vo, coord, Value::Float(v)));
+      } else if (pick < 0.55) {
+        // Irrelevant write: set_Value is outside RelAttr(volume).
+        double v = rng.UniformDouble(0, 100);
+        if (!alive) continue;
+        GOMFM_RETURN_IF_ERROR(
+            fx->env.om.SetAttribute(c, "Value", Value::Float(v)));
+      } else if (pick < 0.75) {
+        // Forward query — mid-batch lookups must see the same answers too.
+        auto v = fx->env.mgr.ForwardLookup(fx->env.geo.volume,
+                                           {Value::Ref(c)});
+        query_log->push_back(v.ok() ? v->ToString() : v.status().ToString());
+      } else if (pick < 0.88) {
+        // Update storm on one object: several relevant writes in a row —
+        // the batch should coalesce these into one recomputation.
+        const char* vertex = kVertices[rng.UniformInt(0, 3)];
+        double a = rng.UniformDouble(0, 10);
+        double b = rng.UniformDouble(0, 10);
+        double d = rng.UniformDouble(0, 10);
+        if (!alive) continue;
+        Oid vo = fx->env.om.GetAttribute(c, vertex)->as_ref();
+        GOMFM_RETURN_IF_ERROR(fx->env.om.SetAttribute(vo, "X",
+                                                      Value::Float(a)));
+        GOMFM_RETURN_IF_ERROR(fx->env.om.SetAttribute(vo, "Y",
+                                                      Value::Float(b)));
+        GOMFM_RETURN_IF_ERROR(fx->env.om.SetAttribute(vo, "Z",
+                                                      Value::Float(d)));
+      } else {
+        if (!with_deletes || !alive || deleted.size() + 5 >= kNumCuboids) {
+          continue;
+        }
+        deleted.insert(idx);
+        GOMFM_RETURN_IF_ERROR(fx->env.om.Delete(c));
+      }
+    }
+    if (batch != nullptr) GOMFM_RETURN_IF_ERROR(batch->Commit());
+  }
+  return Status::Ok();
+}
+
+/// Canonical sorted dump of the GMR extension: args, results and validity.
+std::vector<std::string> ExtensionDump(Fixture* fx) {
+  Gmr* gmr = *fx->env.mgr.Get(fx->gmr);
+  std::vector<std::string> rows;
+  gmr->ForEachRow([&](RowId, const Gmr::Row& row) {
+    std::string line;
+    for (const Value& a : row.args) line += a.ToString() + "|";
+    line += "->";
+    for (size_t i = 0; i < row.results.size(); ++i) {
+      line += row.valid[i] ? row.results[i].ToString() : "<invalid>";
+      line += "|";
+    }
+    rows.push_back(std::move(line));
+    return true;
+  });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::string EntryString(const Rrr::Entry& e) {
+  std::string line = e.object.ToString() + "/" + std::to_string(e.function);
+  for (const Value& a : e.args) line += "/" + a.ToString();
+  return line;
+}
+
+/// Sorted dump of the RRR. With `live_rows_only`, entries whose argument
+/// combination has no GMR row with a *valid* result are skipped: deleting
+/// an object mid-run leaves behind garbage reverse references (blind
+/// references, §4.2) — and a complete GMR may even self-heal a forever-
+/// invalid row when the deleted combination is queried again — whose exact
+/// set legitimately differs between a batch that never flushes the removed
+/// row and the immediate strategy. Neither kind is observable by any later
+/// operation.
+std::vector<std::string> RrrDump(Fixture* fx, bool live_rows_only) {
+  Gmr* gmr = *fx->env.mgr.Get(fx->gmr);
+  std::vector<std::string> lines;
+  for (const Rrr::Entry& e : fx->env.mgr.rrr().AllEntries()) {
+    if (live_rows_only) {
+      auto row = gmr->FindRow(e.args);
+      if (!row.ok()) continue;
+      const Gmr::Row* r = *gmr->Get(*row);
+      auto idx = gmr->FunctionIndex(e.function);
+      if (!idx.ok() || !r->valid[*idx]) continue;
+    }
+    lines.push_back(EntryString(e));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchEquivalenceTest, RandomMixMatchesImmediate) {
+  const uint64_t seed = GetParam();
+  Fixture immediate;
+  std::vector<std::string> immediate_queries;
+  ASSERT_TRUE(RunMix(&immediate, seed, 400, /*batch_chunk=*/1,
+                     /*with_deletes=*/false, &immediate_queries)
+                  .ok());
+
+  Fixture batched;
+  std::vector<std::string> batched_queries;
+  ASSERT_TRUE(RunMix(&batched, seed, 400, /*batch_chunk=*/16,
+                     /*with_deletes=*/false, &batched_queries)
+                  .ok());
+
+  EXPECT_EQ(ExtensionDump(&immediate), ExtensionDump(&batched));
+  EXPECT_EQ(RrrDump(&immediate, false), RrrDump(&batched, false));
+  EXPECT_EQ(immediate_queries, batched_queries);
+
+  const auto& si = immediate.env.mgr.stats();
+  const auto& sb = batched.env.mgr.stats();
+  EXPECT_EQ(si.rows_created, sb.rows_created);
+  EXPECT_EQ(si.rows_removed, sb.rows_removed);
+  EXPECT_LE(sb.rematerializations, si.rematerializations);
+  EXPECT_GT(sb.batch_flushes, 0u);
+}
+
+TEST_P(BatchEquivalenceTest, MixWithDeletesMatchesImmediate) {
+  const uint64_t seed = GetParam() + 1000;
+  Fixture immediate;
+  std::vector<std::string> immediate_queries;
+  ASSERT_TRUE(RunMix(&immediate, seed, 400, /*batch_chunk=*/1,
+                     /*with_deletes=*/true, &immediate_queries)
+                  .ok());
+
+  Fixture batched;
+  std::vector<std::string> batched_queries;
+  ASSERT_TRUE(RunMix(&batched, seed, 400, /*batch_chunk=*/16,
+                     /*with_deletes=*/true, &batched_queries)
+                  .ok());
+
+  EXPECT_EQ(ExtensionDump(&immediate), ExtensionDump(&batched));
+  EXPECT_EQ(RrrDump(&immediate, true), RrrDump(&batched, true));
+  EXPECT_EQ(immediate_queries, batched_queries);
+
+  const auto& si = immediate.env.mgr.stats();
+  const auto& sb = batched.env.mgr.stats();
+  EXPECT_EQ(si.rows_created, sb.rows_created);
+  EXPECT_EQ(si.rows_removed, sb.rows_removed);
+  EXPECT_LE(sb.rematerializations, si.rematerializations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalenceTest,
+                         ::testing::Values(7, 77, 777));
+
+TEST(BatchBehaviorTest, StormCoalescesToStrictlyFewerRematerializations) {
+  // Three write rounds over the four vertices volume actually reads
+  // (length = |V1V2|, width = |V1V4|, height = |V1V5|).
+  static const char* kRelevantVertices[] = {"V1", "V2", "V4", "V5"};
+  auto storm = [](Fixture* fx, bool batched) {
+    std::unique_ptr<GmrManager::UpdateBatch> batch;
+    if (batched) batch = std::make_unique<GmrManager::UpdateBatch>(&fx->env.mgr);
+    Oid c = fx->cuboids[0];
+    for (int round = 0; round < 3; ++round) {
+      for (const char* vertex : kRelevantVertices) {
+        Oid vo = fx->env.om.GetAttribute(c, vertex)->as_ref();
+        ASSERT_TRUE(
+            fx->env.om.SetAttribute(vo, "X", Value::Float(round + 1.0)).ok());
+      }
+    }
+    if (batch != nullptr) ASSERT_TRUE(batch->Commit().ok());
+  };
+
+  Fixture immediate;
+  uint64_t before = immediate.env.mgr.stats().rematerializations;
+  storm(&immediate, false);
+  uint64_t immediate_remats =
+      immediate.env.mgr.stats().rematerializations - before;
+
+  Fixture batched;
+  before = batched.env.mgr.stats().rematerializations;
+  storm(&batched, true);
+  uint64_t batched_remats =
+      batched.env.mgr.stats().rematerializations - before;
+
+  // 12 relevant writes to one cuboid: immediate recomputes volume every
+  // time; the batch recomputes it exactly once. The first write consumes
+  // each vertex's reverse reference, so the first round yields one batch
+  // record plus three dedup hits and the later rounds don't re-trigger.
+  EXPECT_EQ(immediate_remats, 12u);
+  EXPECT_EQ(batched_remats, 1u);
+  EXPECT_EQ(batched.env.mgr.stats().batch_records, 1u);
+  EXPECT_EQ(batched.env.mgr.stats().batch_dedup_hits, 3u);
+
+  // And both end on the same value.
+  auto vi = immediate.env.mgr.ForwardLookup(immediate.env.geo.volume,
+                                            {Value::Ref(immediate.cuboids[0])});
+  auto vb = batched.env.mgr.ForwardLookup(batched.env.geo.volume,
+                                          {Value::Ref(batched.cuboids[0])});
+  ASSERT_TRUE(vi.ok() && vb.ok());
+  EXPECT_EQ(vi->ToString(), vb->ToString());
+}
+
+TEST(BatchBehaviorTest, NestedBatchesFlushAtOutermostCommit) {
+  Fixture fx;
+  uint64_t before = fx.env.mgr.stats().rematerializations;
+  {
+    GmrManager::UpdateBatch outer(&fx.env.mgr);
+    {
+      GmrManager::UpdateBatch inner(&fx.env.mgr);
+      Oid v1 = fx.env.om.GetAttribute(fx.cuboids[0], "V1")->as_ref();
+      ASSERT_TRUE(fx.env.om.SetAttribute(v1, "X", Value::Float(3.5)).ok());
+      ASSERT_TRUE(inner.Commit().ok());
+    }
+    // Inner commit must not flush while the outer batch is open.
+    EXPECT_EQ(fx.env.mgr.stats().rematerializations, before);
+    EXPECT_TRUE(fx.env.mgr.InBatch());
+    ASSERT_TRUE(outer.Commit().ok());
+  }
+  EXPECT_EQ(fx.env.mgr.stats().rematerializations, before + 1);
+  EXPECT_FALSE(fx.env.mgr.InBatch());
+}
+
+TEST(BatchBehaviorTest, EndBatchWithoutBeginFails) {
+  Fixture fx;
+  EXPECT_FALSE(fx.env.mgr.EndBatch().ok());
+}
+
+TEST(BatchBehaviorTest, DestructorFlushesUncommittedBatch) {
+  Fixture fx;
+  uint64_t before = fx.env.mgr.stats().rematerializations;
+  {
+    GmrManager::UpdateBatch batch(&fx.env.mgr);
+    Oid v1 = fx.env.om.GetAttribute(fx.cuboids[0], "V1")->as_ref();
+    ASSERT_TRUE(fx.env.om.SetAttribute(v1, "X", Value::Float(9.0)).ok());
+    // No Commit(): the guard must still close the batch on scope exit.
+  }
+  EXPECT_FALSE(fx.env.mgr.InBatch());
+  EXPECT_EQ(fx.env.mgr.stats().rematerializations, before + 1);
+}
+
+TEST(BatchBehaviorTest, LazyStrategyIgnoresBatches) {
+  GmrManagerOptions options;
+  options.remat = RematStrategy::kLazy;
+  TestEnv env(150, options);
+  Oid iron = *env.geo.MakeMaterial(&env.om, "Iron", 7.86);
+  Oid c = *env.geo.MakeCuboid(&env.om, 2, 3, 4, iron);
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+  spec.functions = {env.geo.volume};
+  ASSERT_TRUE(env.mgr.Materialize(spec).ok());
+  env.InstallNotifier(workload::NotifyLevel::kObjDep);
+
+  uint64_t before = env.mgr.stats().rematerializations;
+  {
+    GmrManager::UpdateBatch batch(&env.mgr);
+    Oid v1 = env.om.GetAttribute(c, "V1")->as_ref();
+    ASSERT_TRUE(env.om.SetAttribute(v1, "X", Value::Float(5.0)).ok());
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  // Lazy invalidation stays lazy: nothing recomputes at commit, the next
+  // forward lookup does.
+  EXPECT_EQ(env.mgr.stats().rematerializations, before);
+  EXPECT_EQ(env.mgr.stats().batch_records, 0u);
+  auto v = env.mgr.ForwardLookup(env.geo.volume, {Value::Ref(c)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_GT(env.mgr.stats().rematerializations, before);
+}
+
+}  // namespace
+}  // namespace gom
