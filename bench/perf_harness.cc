@@ -11,6 +11,10 @@
 //   invalidate_immediate    one relevant write = invalidate + recompute
 //   update_storm_unbatched  K relevant writes per cuboid, immediate strategy
 //   update_storm_batched    the same storm inside GmrManager::UpdateBatch
+//   update_storm_wal        the unbatched storm with the write-ahead log on
+//                           (intent/commit/remat records, synchronous
+//                           intent flushes) — the WAL-off/WAL-on delta is
+//                           the wall-clock price of crash consistency
 //
 // The storm pair doubles as a regression gate: the batched run must perform
 // strictly fewer rematerializations than the unbatched one (coalescing K
@@ -93,7 +97,8 @@ std::string SummaryJson(const LatencySummary& s) {
 /// storage out of the way — this harness measures the data structures, not
 /// the 1991 disk model.
 struct HarnessEnv {
-  explicit HarnessEnv(size_t num_cuboids) : env(4096) {
+  explicit HarnessEnv(size_t num_cuboids, StorageOptions storage_options = {})
+      : env(4096, GmrManagerOptions{}, storage_options) {
     geo = *CuboidSchema::Declare(&env.schema, &env.registry);
     Rng rng(97);
     Oid iron = *geo.MakeMaterial(&env.om, "Iron", 7.86);
@@ -208,6 +213,18 @@ int main(int argc, char** argv) {
       batched_env.env.mgr.stats().rematerializations - remat_before;
   PrintSummary("update_storm_batched", storm_batched);
 
+  // Same storm, WAL on: every relevant write logs an intent (flushed before
+  // the base mutates), a remat record and a commit.
+  StorageOptions wal_options;
+  wal_options.enable_wal = true;
+  HarnessEnv wal_env(num_cuboids, wal_options);
+  Rng wal_rng(23);
+  LatencySummary storm_wal = Measure(storms / 10, storms, [&] {
+    Status st = storm_body(wal_env, wal_rng);
+    if (!st.ok()) Fail(st, "update_storm_wal");
+  });
+  PrintSummary("update_storm_wal", storm_wal);
+
   std::printf("\n# storm recomputations: unbatched %llu, batched %llu "
               "(%zu writes x %zu cuboids per storm)\n",
               static_cast<unsigned long long>(unbatched_remats),
@@ -218,6 +235,11 @@ int main(int argc, char** argv) {
               100.0 * (1.0 - static_cast<double>(batched_remats) /
                                  static_cast<double>(unbatched_remats)),
               storm_unbatched.median_ns / storm_batched.median_ns);
+  std::printf("# WAL overhead on the unbatched storm: %.1f%% median "
+              "(%llu log appends, %llu log page writes)\n",
+              100.0 * (storm_wal.median_ns / storm_unbatched.median_ns - 1.0),
+              static_cast<unsigned long long>(wal_env.env.wal->appends()),
+              static_cast<unsigned long long>(wal_env.env.wal->page_writes()));
 
   if (args.out.size()) {
     JsonWriter root;
@@ -229,8 +251,14 @@ int main(int argc, char** argv) {
     root.AddRaw("invalidate_immediate", SummaryJson(invalidate));
     root.AddRaw("update_storm_unbatched", SummaryJson(storm_unbatched));
     root.AddRaw("update_storm_batched", SummaryJson(storm_batched));
+    root.AddRaw("update_storm_wal", SummaryJson(storm_wal));
     root.Add("storm_rematerializations_unbatched", unbatched_remats);
     root.Add("storm_rematerializations_batched", batched_remats);
+    root.Add("wal_overhead_pct",
+             100.0 * (storm_wal.median_ns / storm_unbatched.median_ns - 1.0));
+    root.Add("wal_appends", wal_env.env.wal->appends());
+    root.Add("wal_flushes", wal_env.env.wal->flushes());
+    root.Add("wal_page_writes", wal_env.env.wal->page_writes());
     root.Add("batch_flushes", batched_env.env.mgr.stats().batch_flushes);
     root.Add("batch_dedup_hits", batched_env.env.mgr.stats().batch_dedup_hits);
     if (!root.WriteFile(args.out)) {

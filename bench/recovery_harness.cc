@@ -1,0 +1,276 @@
+// Recovery harness: wall-clock cost of crash consistency.
+//
+// Two questions, both answered with real (std::chrono) time rather than the
+// simulated 1991 disk model:
+//
+//   1. WAL overhead — the same deterministic update workload runs once with
+//      `StorageOptions::enable_wal = false` and once with it on. The delta
+//      is the full price of the write-ahead rule: intent/commit records,
+//      synchronous intent flushes, remat logging and the flush-log-before-
+//      dirty-page coupling in the buffer pool.
+//
+//   2. Recovery time — after each WAL-enabled run the GMR machinery is
+//      discarded (the crash model: the object directory survives, the GMR
+//      extensions / RRR / log buffers do not) and `RecoveryManager::Recover`
+//      rebuilds it from the durable log. Reported per workload size along
+//      with the replay statistics.
+//
+// `--quick` shrinks the sweep for CI smoke runs; `--out=<path>` writes a
+// JSON summary (BENCH_recovery.json at the repo root is the tracked
+// baseline).
+
+#include <chrono>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "funclang/interpreter.h"
+#include "gmr/gmr_manager.h"
+#include "gmr/recovery.h"
+#include "gom/object_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/sim_disk.h"
+#include "storage/storage_manager.h"
+#include "storage/wal.h"
+#include "workload/cuboid_schema.h"
+#include "workload/program_version.h"
+
+using namespace gom;
+using namespace gom::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// The crash-recovery stack: same shape as the property test's rig, with
+/// the GMR manager and WAL replaceable so a restart can rebuild them.
+struct Rig {
+  Rig(size_t buffer_pages, size_t num_cuboids, bool enable_wal)
+      : disk(&clock, CostModel::Default()),
+        pool(&disk, buffer_pages),
+        storage(&pool),
+        om(&schema, &storage, &clock),
+        interp(&om, &registry) {
+    if (enable_wal) {
+      wal = std::make_unique<WriteAheadLog>(&disk);
+      pool.AttachWal(wal.get());
+    }
+    mgr = std::make_unique<GmrManager>(&om, &interp, &registry, &storage,
+                                       GmrManagerOptions{});
+    if (wal != nullptr) mgr->AttachWal(wal.get());
+    geo = *workload::CuboidSchema::Declare(&schema, &registry);
+
+    Rng rng(29);
+    Oid iron = *geo.MakeMaterial(&om, "Iron", 7.86);
+    for (size_t i = 0; i < num_cuboids; ++i) {
+      cuboids.push_back(*geo.MakeCuboid(&om, rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20), iron));
+    }
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(geo.cuboid)};
+    spec.functions = {geo.volume};
+    specs.push_back(spec);
+    gmr_id = *mgr->Materialize(spec);
+    InstallNotifier();
+  }
+
+  void InstallNotifier() {
+    notifier = std::make_unique<workload::MaterializationNotifier>(
+        mgr.get(), &om, workload::NotifyLevel::kObjDep);
+    om.SetNotifier(notifier.get());
+  }
+
+  /// Deterministic maintenance workload: relevant vertex writes in batches
+  /// of eight, interleaved with forward queries. Identical across rigs so
+  /// the WAL-on/WAL-off comparison measures only the logging.
+  void RunWorkload(size_t ops) {
+    static const char* kVertices[] = {"V1", "V2", "V4", "V5"};
+    static const char* kCoords[] = {"X", "Y", "Z"};
+    Rng rng(31);
+    size_t step = 0;
+    while (step < ops) {
+      size_t chunk = std::min<size_t>(8, ops - step);
+      GmrManager::UpdateBatch batch(mgr.get());
+      for (size_t i = 0; i < chunk; ++i, ++step) {
+        Oid c = cuboids[rng.UniformInt(0, cuboids.size() - 1)];
+        if (rng.UniformDouble(0, 1) < 0.75) {
+          const char* vertex = kVertices[rng.UniformInt(0, 3)];
+          const char* coord = kCoords[rng.UniformInt(0, 2)];
+          auto vo = om.GetAttribute(c, vertex);
+          if (!vo.ok()) Fail(vo.status(), "workload vertex read");
+          Status st = om.SetAttribute(vo->as_ref(), coord,
+                                      Value::Float(rng.UniformDouble(1, 10)));
+          if (!st.ok()) Fail(st, "workload vertex write");
+        } else {
+          auto v = mgr->ForwardLookup(geo.volume, {Value::Ref(c)});
+          if (!v.ok()) Fail(v.status(), "workload forward lookup");
+        }
+      }
+      Status st = batch.Commit();
+      if (!st.ok()) Fail(st, "workload batch commit");
+    }
+  }
+
+  /// Crash + restart: drops the GMR manager, notifier and log buffers
+  /// (unflushed tail included), rebuilds them from the disk image and
+  /// returns the recovery wall-clock in milliseconds.
+  double CrashAndRecover(RecoveryManager::Stats* stats_out) {
+    om.SetNotifier(nullptr);
+    notifier.reset();
+    pool.AttachWal(nullptr);
+    mgr.reset();
+    wal.reset();
+
+    auto t0 = Clock::now();
+    wal = std::make_unique<WriteAheadLog>(&disk);
+    mgr = std::make_unique<GmrManager>(&om, &interp, &registry, &storage,
+                                       GmrManagerOptions{});
+    RecoveryManager rec(mgr.get(), &om, wal.get());
+    Status recovered = rec.Recover(specs);
+    double ms = ElapsedMs(t0);
+    if (!recovered.ok()) Fail(recovered, "RecoveryManager::Recover");
+    pool.AttachWal(wal.get());
+    InstallNotifier();
+    *stats_out = rec.stats();
+    return ms;
+  }
+
+  SimClock clock;
+  SimDisk disk;
+  BufferPool pool;
+  StorageManager storage;
+  Schema schema;
+  ObjectManager om;
+  funclang::FunctionRegistry registry;
+  funclang::Interpreter interp;
+  std::unique_ptr<WriteAheadLog> wal;
+  std::unique_ptr<GmrManager> mgr;
+  std::unique_ptr<workload::MaterializationNotifier> notifier;
+  workload::CuboidSchema geo;
+  std::vector<Oid> cuboids;
+  std::vector<GmrSpec> specs;
+  GmrId gmr_id = kInvalidGmrId;
+};
+
+struct SizeReport {
+  size_t ops = 0;
+  double baseline_ms = 0;  // WAL off
+  double wal_ms = 0;       // WAL on
+  uint64_t wal_appends = 0;
+  uint64_t wal_flushes = 0;
+  uint64_t wal_page_writes = 0;
+  uint64_t wal_log_pages = 0;
+  double recover_ms = 0;
+  RecoveryManager::Stats recovery;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  const size_t buffer_pages = 128;
+  const size_t num_cuboids = args.quick ? 50 : 200;
+  std::vector<size_t> sizes =
+      args.quick ? std::vector<size_t>{100, 400}
+                 : std::vector<size_t>{500, 2000, 8000};
+
+  std::printf("# recovery_harness — WAL overhead and recovery wall-clock\n");
+  std::printf("# %zu cuboids, materialized volume, ObjDep notification, "
+              "batches of 8\n\n",
+              num_cuboids);
+  std::printf("%8s %14s %14s %10s %12s %12s %10s %10s\n", "ops",
+              "baseline_ms", "wal_ms", "overhead", "wal_records",
+              "log_pages", "recover_ms", "replayed");
+
+  // Untimed warmup so the first timed run doesn't pay the cold-start cost
+  // (allocator, page tables, branch predictors) and skew the comparison.
+  for (bool wal_on : {false, true}) {
+    Rig warm(buffer_pages, num_cuboids, wal_on);
+    warm.RunWorkload(sizes.front());
+  }
+
+  std::vector<SizeReport> reports;
+  for (size_t ops : sizes) {
+    SizeReport r;
+    r.ops = ops;
+
+    {
+      Rig off(buffer_pages, num_cuboids, /*enable_wal=*/false);
+      auto t0 = Clock::now();
+      off.RunWorkload(ops);
+      r.baseline_ms = ElapsedMs(t0);
+    }
+
+    Rig on(buffer_pages, num_cuboids, /*enable_wal=*/true);
+    auto t0 = Clock::now();
+    on.RunWorkload(ops);
+    r.wal_ms = ElapsedMs(t0);
+    r.wal_appends = on.wal->appends();
+    r.wal_flushes = on.wal->flushes();
+    r.wal_page_writes = on.wal->page_writes();
+    r.wal_log_pages = on.wal->log_pages();
+
+    r.recover_ms = on.CrashAndRecover(&r.recovery);
+
+    std::printf("%8zu %14.2f %14.2f %9.1f%% %12llu %12llu %10.2f %10zu\n",
+                r.ops, r.baseline_ms, r.wal_ms,
+                100.0 * (r.wal_ms / r.baseline_ms - 1.0),
+                static_cast<unsigned long long>(r.wal_appends),
+                static_cast<unsigned long long>(r.wal_log_pages),
+                r.recover_ms, r.recovery.records_replayed);
+    reports.push_back(r);
+  }
+
+  const SizeReport& big = reports.back();
+  std::printf("\n# at %zu ops: WAL overhead %.1f%%, recovery replayed %zu "
+              "records (%zu remats applied, %zu rows) in %.2f ms\n",
+              big.ops, 100.0 * (big.wal_ms / big.baseline_ms - 1.0),
+              big.recovery.records_replayed, big.recovery.remats_applied,
+              big.recovery.rows_replayed, big.recover_ms);
+
+  if (args.out.size()) {
+    JsonWriter root;
+    root.Add("benchmark", std::string("recovery_harness"));
+    root.Add("mode", std::string(args.quick ? "quick" : "full"));
+    root.Add("num_cuboids", static_cast<uint64_t>(num_cuboids));
+    std::string arr = "[\n";
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const SizeReport& r = reports[i];
+      JsonWriter w;
+      w.Add("ops", static_cast<uint64_t>(r.ops));
+      w.Add("baseline_ms", r.baseline_ms);
+      w.Add("wal_ms", r.wal_ms);
+      w.Add("wal_overhead_pct", 100.0 * (r.wal_ms / r.baseline_ms - 1.0));
+      w.Add("wal_appends", r.wal_appends);
+      w.Add("wal_flushes", r.wal_flushes);
+      w.Add("wal_page_writes", r.wal_page_writes);
+      w.Add("wal_log_pages", r.wal_log_pages);
+      w.Add("recover_ms", r.recover_ms);
+      w.Add("records_replayed",
+            static_cast<uint64_t>(r.recovery.records_replayed));
+      w.Add("remats_applied",
+            static_cast<uint64_t>(r.recovery.remats_applied));
+      w.Add("rows_replayed", static_cast<uint64_t>(r.recovery.rows_replayed));
+      w.Add("rows_dropped", static_cast<uint64_t>(r.recovery.rows_dropped));
+      w.Add("rows_admitted", static_cast<uint64_t>(r.recovery.rows_admitted));
+      arr += "    " + w.Render(4);
+      arr += (i + 1 < reports.size()) ? ",\n" : "\n";
+    }
+    arr += "  ]";
+    root.AddRaw("sizes", arr);
+    if (!root.WriteFile(args.out)) {
+      std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", args.out.c_str());
+  }
+  return 0;
+}

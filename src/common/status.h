@@ -21,14 +21,20 @@ enum class StatusCode {
   kTypeMismatch,
   kUnimplemented,
   kInternal,
+  /// A (simulated) device error: the I/O did not happen. Distinct from
+  /// kInternal so callers can tell an injected disk fault or crashed device
+  /// from a logic bug when asserting clean propagation.
+  kIoError,
 };
 
 /// Returns a stable human-readable name for `code` ("Ok", "NotFound", ...).
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on the success path (no
-/// allocation); errors carry a message.
-class Status {
+/// allocation); errors carry a message. `[[nodiscard]]`: silently dropping
+/// a Status hides failures — callers must check, propagate, or explicitly
+/// cast to void with a comment saying why the error is ignorable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -60,6 +66,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,7 +89,7 @@ class Status {
 /// Either a value of type `T` or an error `Status`. Dereferencing a
 /// non-OK result is a programming error (checked by assert in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value — mirrors absl::StatusOr ergonomics.
   Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}

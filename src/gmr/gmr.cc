@@ -105,6 +105,9 @@ Result<RowId> Gmr::Insert(std::vector<Value> args) {
   if (spec_.max_rows > 0 && live_rows_ >= spec_.max_rows) {
     GOMFM_RETURN_IF_ERROR(EvictLru());
   }
+  if (change_hook_) {
+    GOMFM_RETURN_IF_ERROR(change_hook_(/*inserted=*/true, args));
+  }
 
   Row row;
   row.args = std::move(args);
@@ -188,6 +191,9 @@ Status Gmr::Remove(RowId row) {
     return Status::NotFound("GMR '" + spec_.name + "': no such row");
   }
   Row& r = rows_[row];
+  if (change_hook_) {
+    GOMFM_RETURN_IF_ERROR(change_hook_(/*inserted=*/false, r.args));
+  }
   for (size_t i = 0; i < spec_.function_count(); ++i) {
     if (r.valid[i]) {
       GOMFM_RETURN_IF_ERROR(UnindexResult(row, i, r.results[i]));

@@ -104,6 +104,15 @@ class Gmr {
   GmrId id() const { return id_; }
   const GmrSpec& spec() const { return spec_; }
 
+  /// Observer for extension changes, called with (inserted, args) after a
+  /// row joins and before a row leaves the extension — every path included
+  /// (explicit removal, predicate eviction, LRU eviction). The GMR manager
+  /// uses it to write row-change records to the WAL; a failing hook aborts
+  /// the change.
+  using ChangeHook =
+      std::function<Status(bool inserted, const std::vector<Value>& args)>;
+  void set_change_hook(ChangeHook hook) { change_hook_ = std::move(hook); }
+
   /// Index of `f` in the function list; kNotFound if not a member.
   Result<size_t> FunctionIndex(FunctionId f) const;
 
@@ -162,6 +171,7 @@ class Gmr {
 
   GmrId id_;
   GmrSpec spec_;
+  ChangeHook change_hook_;
   StorageManager* storage_;
   SimClock* clock_;
   CostModel cost_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "gmr/wal_records.h"
+
 namespace gom {
 
 GmrManager::GmrManager(ObjectManager* om, funclang::Interpreter* interp,
@@ -73,6 +75,118 @@ Status GmrManager::RemoveReverseRef(const Rrr::Entry& entry) {
   return Status::Ok();
 }
 
+Status GmrManager::RecordReverseRefsFromOids(FunctionId f,
+                                             const std::vector<Value>& args,
+                                             const std::vector<Oid>& oids) {
+  for (Oid o : oids) {
+    GOMFM_ASSIGN_OR_RETURN(bool inserted, rrr_.Insert(o, f, args));
+    if (inserted && om_->Exists(o)) {
+      GOMFM_RETURN_IF_ERROR(om_->MarkUsedBy(o, f));
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Write-ahead logging ------------------------------------------------------
+
+Status GmrManager::LogMarker(WalRecordType type) {
+  if (wal_ == nullptr) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(type, {}));
+  (void)lsn;
+  return Status::Ok();
+}
+
+Status GmrManager::LogRowChange(WalRecordType type, GmrId id,
+                                const std::vector<Value>& args) {
+  if (wal_ == nullptr) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(Lsn lsn,
+                         wal_->Append(type, EncodeRowChange(id, args)));
+  (void)lsn;
+  return Status::Ok();
+}
+
+Status GmrManager::LogRemat(GmrId id, size_t col,
+                            const std::vector<Value>& args, const Value& value,
+                            const std::vector<Oid>& accessed) {
+  if (wal_ == nullptr) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(
+      Lsn lsn, wal_->Append(WalRecordType::kRematResult,
+                            EncodeRemat(id, static_cast<uint32_t>(col), args,
+                                        value, accessed)));
+  (void)lsn;
+  return Status::Ok();
+}
+
+bool GmrManager::HasOpenIntent(Oid o) const {
+  for (const OpenIntent& intent : open_intents_) {
+    if (intent.oid == o) return true;
+  }
+  return false;
+}
+
+Status GmrManager::LogUpdateIntent(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  auto used = om_->UsedBy(o);
+  bool relevant = used.ok() && !(*used)->empty();
+  open_intents_.push_back(OpenIntent{o, relevant});
+  if (!relevant) return Status::Ok();
+  // The write-ahead rule proper: the intent must be durable before the
+  // object base mutates, else a crash could lose the invalidation the
+  // update implies (the one failure mode that produces wrong answers).
+  Status logged = [&]() -> Status {
+    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateIntent,
+                                                 EncodeOidPayload(o)));
+    (void)lsn;
+    return wal_->Flush();
+  }();
+  if (!logged.ok()) {
+    // The caller vetoes the update, so no commit/abort will ever close
+    // this intent — pop it rather than leave the region dangling open.
+    open_intents_.pop_back();
+  }
+  return logged;
+}
+
+Status GmrManager::LogUpdateCommit(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  for (auto it = open_intents_.rbegin(); it != open_intents_.rend(); ++it) {
+    if (it->oid != o) continue;
+    bool logged = it->logged;
+    open_intents_.erase(std::next(it).base());
+    if (!logged) return Status::Ok();
+    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateCommit,
+                                                 EncodeOidPayload(o)));
+    (void)lsn;
+    return Status::Ok();
+  }
+  return Status::Ok();  // no matching intent: tolerated
+}
+
+Status GmrManager::LogUpdateAbort(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  for (auto it = open_intents_.rbegin(); it != open_intents_.rend(); ++it) {
+    if (it->oid != o) continue;
+    bool logged = it->logged;
+    open_intents_.erase(std::next(it).base());
+    if (!logged) return Status::Ok();
+    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateAbort,
+                                                 EncodeOidPayload(o)));
+    (void)lsn;
+    return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status GmrManager::LogDeleteIntent(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  auto used = om_->UsedBy(o);
+  if (!used.ok() || (*used)->empty()) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kDeleteIntent,
+                                               EncodeOidPayload(o)));
+  (void)lsn;
+  return wal_->Flush();
+}
+
 Status GmrManager::MaterializeRow(Gmr* gmr, RowId row) {
   GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
   std::vector<Value> args = r->args;  // copy: SetResult invalidates r
@@ -82,6 +196,8 @@ Status GmrManager::MaterializeRow(Gmr* gmr, RowId row) {
     funclang::Trace trace;
     GOMFM_ASSIGN_OR_RETURN(
         Value result, ComputeTracked(f, args, snapshot ? nullptr : &trace));
+    GOMFM_RETURN_IF_ERROR(
+        LogRemat(gmr->id(), i, args, result, trace.accessed_objects));
     GOMFM_RETURN_IF_ERROR(gmr->SetResult(row, i, std::move(result)));
     if (!snapshot) {
       GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
@@ -150,6 +266,19 @@ Status GmrManager::EnumerateCombosFixed(
 }
 
 Result<GmrId> GmrManager::Materialize(GmrSpec spec) {
+  GOMFM_ASSIGN_OR_RETURN(GmrId id, RegisterGmr(std::move(spec)));
+  GOMFM_ASSIGN_OR_RETURN(Gmr * g, Get(id));
+  if (g->spec().complete) {
+    Status populate = EnumerateCombos(
+        g->spec(), [&](const std::vector<Value>& args) {
+          return AdmitCombo(g, args, /*force_materialize=*/true);
+        });
+    GOMFM_RETURN_IF_ERROR(populate);
+  }
+  return id;
+}
+
+Result<GmrId> GmrManager::RegisterGmr(GmrSpec spec) {
   if (spec.functions.empty()) {
     return Status::InvalidArgument("GMR needs at least one function");
   }
@@ -211,16 +340,13 @@ Result<GmrId> GmrManager::Materialize(GmrSpec spec) {
     if (analysis.ok()) deps_.AddRelAttr(analysis->rel_attr, s.predicate);
   }
 
-  Gmr* g = gmr.get();
+  gmr->set_change_hook(
+      [this, id](bool inserted, const std::vector<Value>& args) {
+        return LogRowChange(inserted ? WalRecordType::kRowInsert
+                                     : WalRecordType::kRowRemove,
+                            id, args);
+      });
   gmrs_.push_back(std::move(gmr));
-
-  if (s.complete) {
-    Status populate = EnumerateCombos(
-        s, [&](const std::vector<Value>& args) {
-          return AdmitCombo(g, args, /*force_materialize=*/true);
-        });
-    GOMFM_RETURN_IF_ERROR(populate);
-  }
   return id;
 }
 
@@ -301,6 +427,8 @@ Status GmrManager::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
     }
     return result.status();
   }
+  GOMFM_RETURN_IF_ERROR(LogRemat(gmr->id(), fn_idx, entry.args, *result,
+                                 trace.accessed_objects));
   GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, fn_idx, std::move(*result)));
   return RecordReverseRefs(entry.function, entry.args, trace);
 }
@@ -329,9 +457,32 @@ Status GmrManager::HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry) {
   return Status::Ok();
 }
 
-Status GmrManager::Invalidate(Oid o) {
+Status GmrManager::Invalidate(Oid o) { return InvalidateGuarded(o, nullptr); }
+
+Status GmrManager::Invalidate(Oid o, const FidSet& relevant) {
+  if (relevant.empty()) return Status::Ok();
+  return InvalidateGuarded(o, &relevant);
+}
+
+Status GmrManager::InvalidateGuarded(Oid o, const FidSet* relevant) {
+  // Programmatic invalidation (no notifier bracket): wrap the walk in its
+  // own intent…commit pair so a crash mid-way recovers conservatively. A
+  // failure closes the region with an abort — its rematerializations are
+  // then discarded at replay, its invalidation stands.
+  bool self_intent = wal_ != nullptr && !HasOpenIntent(o);
+  if (self_intent) GOMFM_RETURN_IF_ERROR(LogUpdateIntent(o));
+  Status body = InvalidateImpl(o, relevant);
+  if (self_intent) {
+    Status close = body.ok() ? LogUpdateCommit(o) : LogUpdateAbort(o);
+    if (body.ok()) return close;
+  }
+  return body;
+}
+
+Status GmrManager::InvalidateImpl(Oid o, const FidSet* relevant) {
   GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries, rrr_.EntriesFor(o));
   for (const Rrr::Entry& entry : entries) {
+    if (relevant != nullptr && !relevant->contains(entry.function)) continue;
     if (const GmrId* pid = predicates_.Find(entry.function)) {
       GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(*pid));
       GOMFM_RETURN_IF_ERROR(HandlePredicateEntry(gmr, entry));
@@ -345,25 +496,13 @@ Status GmrManager::Invalidate(Oid o) {
   return Status::Ok();
 }
 
-Status GmrManager::Invalidate(Oid o, const FidSet& relevant) {
-  if (relevant.empty()) return Status::Ok();
-  GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries, rrr_.EntriesFor(o));
-  for (const Rrr::Entry& entry : entries) {
-    if (!relevant.contains(entry.function)) continue;
-    if (const GmrId* pid = predicates_.Find(entry.function)) {
-      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(*pid));
-      GOMFM_RETURN_IF_ERROR(HandlePredicateEntry(gmr, entry));
-      continue;
-    }
-    auto loc = Locate(entry.function);
-    if (!loc.ok()) continue;
-    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(loc->first));
-    GOMFM_RETURN_IF_ERROR(HandleFunctionEntry(gmr, loc->second, entry));
+void GmrManager::BeginBatch() {
+  ++batch_depth_;
+  if (batch_depth_ == 1) {
+    Status logged = LogMarker(WalRecordType::kBatchBegin);
+    (void)logged;  // informational marker; BeginBatch cannot report
   }
-  return Status::Ok();
 }
-
-void GmrManager::BeginBatch() { ++batch_depth_; }
 
 Status GmrManager::RematerializeDeferred(const BatchKey& key) {
   auto gmr_or = Get(key.gmr);
@@ -390,6 +529,8 @@ Status GmrManager::RematerializeDeferred(const BatchKey& key) {
     }
     return result.status();
   }
+  GOMFM_RETURN_IF_ERROR(
+      LogRemat(gmr->id(), key.col, args, *result, trace.accessed_objects));
   GOMFM_RETURN_IF_ERROR(gmr->SetResult(key.row, key.col, std::move(*result)));
   return RecordReverseRefs(f, args, trace);
 }
@@ -400,6 +541,11 @@ Status GmrManager::EndBatch() {
   }
   if (--batch_depth_ > 0) return Status::Ok();
   ++stats_.batch_flushes;
+  // Failure atomicity: remat records between kBatchFlush and kBatchCommit
+  // apply at replay only when the commit made it to disk — a crash inside
+  // the loop below recovers to the pre-flush state (rows still invalid),
+  // never to a half-flushed batch.
+  GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchFlush));
   // Coalesced rematerialization: each distinct (GMR, row, column) that was
   // invalidated during the batch is recomputed exactly once, in
   // first-invalidation order. No updates run here, so the set is stable.
@@ -408,6 +554,12 @@ Status GmrManager::EndBatch() {
   batch_pending_.clear();
   for (const BatchKey& key : order) {
     GOMFM_RETURN_IF_ERROR(RematerializeDeferred(key));
+  }
+  GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchCommit));
+  if (wal_ != nullptr) {
+    // Group flush: one durability point for the whole batch. EndBatch()
+    // returning OK means the flushed results survive any later crash.
+    GOMFM_RETURN_IF_ERROR(wal_->Flush());
   }
   return Status::Ok();
 }
@@ -437,6 +589,9 @@ Status GmrManager::NewObject(Oid o, TypeId type) {
 }
 
 Status GmrManager::ForgetObject(Oid o) {
+  // Write-ahead: the deletion's effect on materialized results must not be
+  // lost (replay mimics this walk against the reconstructed RRR).
+  GOMFM_RETURN_IF_ERROR(LogDeleteIntent(o));
   // Read-only walk (no per-entry copies): rows are removed from the GMRs,
   // which never mutates the RRR; the entries themselves go in one
   // RemoveAllFor below.
@@ -504,6 +659,8 @@ Status GmrManager::Compensate(Oid receiver, TypeId type, FunctionId op,
       funclang::Trace trace;
       GOMFM_ASSIGN_OR_RETURN(Value updated,
                              interp_->Invoke(*action, action_args, &trace));
+      GOMFM_RETURN_IF_ERROR(LogRemat(gmr->id(), loc->second, entry.args,
+                                     updated, trace.accessed_objects));
       GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, loc->second,
                                            std::move(updated)));
       GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, entry.args, trace));
@@ -533,6 +690,8 @@ Result<Value> GmrManager::ForwardLookup(FunctionId f,
     ++stats_.forward_invalid;
     funclang::Trace trace;
     GOMFM_ASSIGN_OR_RETURN(Value result, ComputeTracked(f, args, &trace));
+    GOMFM_RETURN_IF_ERROR(
+        LogRemat(gmr->id(), col, args, result, trace.accessed_objects));
     GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, col, result));
     GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
     return result;
@@ -572,6 +731,8 @@ Result<Value> GmrManager::ForwardLookup(FunctionId f,
   ++stats_.rows_created;
   funclang::Trace trace;
   GOMFM_ASSIGN_OR_RETURN(Value result, ComputeTracked(f, args, &trace));
+  GOMFM_RETURN_IF_ERROR(
+      LogRemat(gmr->id(), col, args, result, trace.accessed_objects));
   GOMFM_RETURN_IF_ERROR(gmr->SetResult(new_row, col, result));
   GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
   return result;
@@ -596,6 +757,9 @@ Status GmrManager::EnsureColumnValid(FunctionId f) {
       }
       return result.status();
     }
+    GOMFM_RETURN_IF_ERROR(
+        LogRemat(gmr->id(), loc.second, args, *result,
+                 trace.accessed_objects));
     GOMFM_RETURN_IF_ERROR(gmr->SetResult(row, loc.second, std::move(*result)));
     GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
   }
@@ -676,6 +840,17 @@ Status GmrManager::Refresh(GmrId id) {
 
 Status GmrManager::InvalidateAllResults(GmrId id) {
   GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(id));
+  if (wal_ != nullptr) {
+    // Must be durable before any further update: afterwards the RRR (and
+    // every ObjDepFct) is empty, so those updates log no intents — losing
+    // this record would resurrect stale valid results at replay.
+    WalPayloadWriter w;
+    w.U32(id);
+    GOMFM_ASSIGN_OR_RETURN(
+        Lsn lsn, wal_->Append(WalRecordType::kInvalidateAll, w.Take()));
+    (void)lsn;
+    GOMFM_RETURN_IF_ERROR(wal_->Flush());
+  }
   std::vector<RowId> rows;
   gmr->ForEachRow([&](RowId r, const Gmr::Row&) {
     rows.push_back(r);

@@ -11,6 +11,7 @@
 #include "gmr/gmr.h"
 #include "gmr/rrr.h"
 #include "gom/object_manager.h"
+#include "storage/wal.h"
 
 namespace gom {
 
@@ -185,6 +186,31 @@ class GmrManager {
   /// and the sets ObjDepFct to be empty").
   Status InvalidateAllResults(GmrId id);
 
+  // --- Durability (write-ahead logging) --------------------------------------
+
+  /// Attaches a write-ahead log (nullptr detaches). With a log attached the
+  /// manager writes logical maintenance records — row changes, recomputed
+  /// results, update intents, batch markers — that `RecoveryManager`
+  /// replays after a crash. Detached, no logging happens at all.
+  void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
+  WriteAheadLog* wal() { return wal_; }
+
+  /// Write-ahead declaration that `o` is about to be updated, called from
+  /// the notifier's *before* hooks. When `o` has a non-empty ObjDepFct the
+  /// intent record is appended and the log synchronously flushed — the
+  /// invalidation the update implies must never be lost even if the update
+  /// itself is. Objects no materialized result depends on log nothing.
+  /// Every call pushes an open-intent frame; pair with LogUpdateCommit()
+  /// (update completed) or LogUpdateAbort() (update failed, rolled back).
+  Status LogUpdateIntent(Oid o);
+  Status LogUpdateCommit(Oid o);
+  Status LogUpdateAbort(Oid o);
+
+  /// Write-ahead declaration that `o` is about to be deleted (flushed, like
+  /// an update intent; no commit — replay reconciles against the object
+  /// base). Called from ForgetObject(); no-op when no result depends on o.
+  Status LogDeleteIntent(Oid o);
+
   // --- Knobs / introspection -------------------------------------------------
 
   void set_remat_strategy(RematStrategy s) { options_.remat = s; }
@@ -212,6 +238,39 @@ class GmrManager {
   void InstallCallInterception();
 
  private:
+  friend class RecoveryManager;
+
+  /// Validation + registration part of Materialize() — everything except
+  /// populating the extension. RecoveryManager re-registers the original
+  /// specs through this (in the original order, so GmrIds in the log stay
+  /// meaningful) and then replays the extension from the log instead.
+  Result<GmrId> RegisterGmr(GmrSpec spec);
+
+  /// Appends a payload-less marker record (no-op without a log).
+  Status LogMarker(WalRecordType type);
+
+  /// Appends a row-change record (the Gmr change hook).
+  Status LogRowChange(WalRecordType type, GmrId id,
+                      const std::vector<Value>& args);
+
+  /// Appends a kRematResult record for a freshly computed result.
+  Status LogRemat(GmrId id, size_t col, const std::vector<Value>& args,
+                  const Value& value, const std::vector<Oid>& accessed);
+
+  /// RecordReverseRefs from an explicit object list (WAL replay, where the
+  /// trace is read from the log instead of a live computation).
+  Status RecordReverseRefsFromOids(FunctionId f,
+                                   const std::vector<Value>& args,
+                                   const std::vector<Oid>& oids);
+
+  bool HasOpenIntent(Oid o) const;
+
+  /// Invalidation entry point shared by both public overloads: brackets the
+  /// walk in a self-logged intent…commit pair when no intent is open for
+  /// `o` (programmatic Invalidate() calls outside the notifier path).
+  Status InvalidateGuarded(Oid o, const FidSet* relevant);
+  Status InvalidateImpl(Oid o, const FidSet* relevant);
+
   Result<Value> ComputeTracked(FunctionId f, const std::vector<Value>& args,
                                funclang::Trace* trace);
 
@@ -278,6 +337,15 @@ class GmrManager {
   funclang::Interpreter* interp_;
   const funclang::FunctionRegistry* registry_;
   GmrManagerOptions options_;
+  WriteAheadLog* wal_ = nullptr;
+
+  /// Updates announced but not yet committed/aborted. `logged` is false for
+  /// intents the UsedBy filter suppressed (their commit is suppressed too).
+  struct OpenIntent {
+    Oid oid;
+    bool logged;
+  };
+  std::vector<OpenIntent> open_intents_;
 
   std::vector<std::unique_ptr<Gmr>> gmrs_;
   FlatHashMap<FunctionId, std::pair<GmrId, size_t>> columns_;

@@ -1,0 +1,292 @@
+#include "gmr/recovery.h"
+
+namespace gom {
+
+Status RecoveryManager::Recover(std::vector<GmrSpec> specs) {
+  stats_ = Stats();
+  frames_.clear();
+  // The surviving ObjDepFct marks describe the pre-crash RRR; both are
+  // rebuilt from the log, replay re-marking exactly what it restores.
+  GOMFM_RETURN_IF_ERROR(om_->ClearAllUsedBy());
+  // Replay must not write fresh records for the mutations it re-executes.
+  mgr_->AttachWal(nullptr);
+  Status replayed = [&]() -> Status {
+    for (GmrSpec& spec : specs) {
+      GOMFM_ASSIGN_OR_RETURN(GmrId id, mgr_->RegisterGmr(std::move(spec)));
+      (void)id;
+    }
+    GOMFM_RETURN_IF_ERROR(wal_->Open());
+    return wal_->Replay(
+        [&](const WalRecord& rec) { return ReplayRecord(rec); });
+  }();
+  mgr_->AttachWal(wal_);
+  GOMFM_RETURN_IF_ERROR(replayed);
+  // Regions without a durable commit crashed mid-flight: their result
+  // values describe states that may never have been reached. Discarding
+  // them is safe — their conservative invalidations already applied.
+  DiscardOpenFrames();
+  GOMFM_RETURN_IF_ERROR(Reconcile());
+  // Reconciliation row changes were appended to the (reattached) log; make
+  // the recovered state itself crash-survivable.
+  return wal_->Flush();
+}
+
+Status RecoveryManager::ReplayRecord(const WalRecord& rec) {
+  ++stats_.records_replayed;
+  switch (rec.type) {
+    case WalRecordType::kUpdateIntent: {
+      GOMFM_ASSIGN_OR_RETURN(Oid o, DecodeOidPayload(rec.payload));
+      ++stats_.intents_seen;
+      GOMFM_RETURN_IF_ERROR(ConservativeInvalidate(o));
+      frames_.push_back(Frame{/*is_batch=*/false, o, {}});
+      return Status::Ok();
+    }
+    case WalRecordType::kUpdateCommit: {
+      GOMFM_ASSIGN_OR_RETURN(Oid o, DecodeOidPayload(rec.payload));
+      return CloseRegion(o, /*commit=*/true);
+    }
+    case WalRecordType::kUpdateAbort: {
+      GOMFM_ASSIGN_OR_RETURN(Oid o, DecodeOidPayload(rec.payload));
+      return CloseRegion(o, /*commit=*/false);
+    }
+    case WalRecordType::kDeleteIntent: {
+      GOMFM_ASSIGN_OR_RETURN(Oid o, DecodeOidPayload(rec.payload));
+      // Re-execute the deletion's maintenance against the reconstructed
+      // RRR (the log is detached, so nothing is re-logged).
+      return mgr_->ForgetObject(o);
+    }
+    case WalRecordType::kRowInsert: {
+      GOMFM_ASSIGN_OR_RETURN(RowChangePayload p, DecodeRowChange(rec.payload));
+      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(p.gmr));
+      auto row = gmr->Insert(std::move(p.args));
+      if (!row.ok() && row.status().code() != StatusCode::kAlreadyExists) {
+        return row.status();
+      }
+      ++stats_.rows_replayed;
+      return Status::Ok();
+    }
+    case WalRecordType::kRowRemove: {
+      GOMFM_ASSIGN_OR_RETURN(RowChangePayload p, DecodeRowChange(rec.payload));
+      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(p.gmr));
+      auto row = gmr->FindRow(p.args);
+      if (row.ok()) {
+        GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
+      }
+      ++stats_.rows_replayed;
+      return Status::Ok();
+    }
+    case WalRecordType::kRematResult: {
+      GOMFM_ASSIGN_OR_RETURN(RematPayload p, DecodeRemat(rec.payload));
+      if (!frames_.empty()) {
+        frames_.back().remats.push_back(std::move(p));
+        return Status::Ok();
+      }
+      return ApplyRemat(p);
+    }
+    case WalRecordType::kBatchBegin:
+      return Status::Ok();  // informational
+    case WalRecordType::kBatchFlush: {
+      frames_.push_back(Frame{/*is_batch=*/true, Oid(), {}});
+      return Status::Ok();
+    }
+    case WalRecordType::kBatchCommit: {
+      // Close the innermost batch region. Non-batch frames above it can
+      // only appear in a malformed log; treat them as crashed.
+      while (!frames_.empty() && !frames_.back().is_batch) {
+        stats_.remats_discarded += frames_.back().remats.size();
+        ++stats_.intents_discarded;
+        frames_.pop_back();
+      }
+      if (frames_.empty()) return Status::Ok();
+      Frame batch = std::move(frames_.back());
+      frames_.pop_back();
+      if (!frames_.empty()) {
+        auto& up = frames_.back().remats;
+        up.insert(up.end(), std::make_move_iterator(batch.remats.begin()),
+                  std::make_move_iterator(batch.remats.end()));
+        return Status::Ok();
+      }
+      for (const RematPayload& r : batch.remats) {
+        GOMFM_RETURN_IF_ERROR(ApplyRemat(r));
+      }
+      return Status::Ok();
+    }
+    case WalRecordType::kInvalidateAll: {
+      WalPayloadReader r(rec.payload);
+      GOMFM_ASSIGN_OR_RETURN(GmrId id, r.U32());
+      return mgr_->InvalidateAllResults(id);
+    }
+  }
+  return Status::Internal("unknown WAL record type");
+}
+
+Status RecoveryManager::ConservativeInvalidate(Oid o) {
+  // Mirrors lazy invalidation: flag every result the object contributed to
+  // and drop the consumed reverse references. Entries outside the live
+  // update's relevant set are over-invalidated — safe, they recompute on
+  // access. Restriction-predicate entries are only dropped here; membership
+  // is re-established by the reconciliation predicate sweep.
+  GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
+                         mgr_->rrr_.EntriesFor(o));
+  for (const Rrr::Entry& entry : entries) {
+    if (mgr_->predicates_.Find(entry.function) != nullptr) {
+      GOMFM_RETURN_IF_ERROR(mgr_->RemoveReverseRef(entry));
+      continue;
+    }
+    auto loc = mgr_->Locate(entry.function);
+    if (!loc.ok()) {
+      GOMFM_RETURN_IF_ERROR(mgr_->RemoveReverseRef(entry));
+      continue;
+    }
+    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(loc->first));
+    auto row = gmr->FindRow(entry.args);
+    if (row.ok()) {
+      GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, loc->second));
+    }
+    GOMFM_RETURN_IF_ERROR(mgr_->RemoveReverseRef(entry));
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::ApplyRemat(const RematPayload& p) {
+  auto gmr_or = mgr_->Get(p.gmr);
+  if (!gmr_or.ok()) return Status::Ok();  // GMR gone from the catalog
+  Gmr* gmr = *gmr_or;
+  if (p.col >= gmr->spec().function_count()) {
+    return Status::Internal("WAL remat record with bad column");
+  }
+  // Row membership is governed solely by the totally-ordered row-change
+  // records: a result whose row is gone (removed later in the log, or its
+  // insert never became durable) is dropped, never resurrected.
+  auto row = gmr->FindRow(p.args);
+  if (!row.ok()) {
+    ++stats_.remats_discarded;
+    return Status::Ok();
+  }
+  GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, p.col, p.value));
+  FunctionId f = gmr->spec().functions[p.col];
+  GOMFM_RETURN_IF_ERROR(mgr_->RecordReverseRefsFromOids(f, p.args, p.accessed));
+  ++stats_.remats_applied;
+  return Status::Ok();
+}
+
+Status RecoveryManager::CloseRegion(Oid o, bool commit) {
+  for (size_t i = frames_.size(); i-- > 0;) {
+    Frame& frame = frames_[i];
+    if (frame.is_batch || frame.oid != o) continue;
+    std::vector<RematPayload> remats = std::move(frame.remats);
+    frames_.erase(frames_.begin() + static_cast<ptrdiff_t>(i));
+    if (!commit) {
+      stats_.remats_discarded += remats.size();
+      return Status::Ok();
+    }
+    if (!frames_.empty()) {
+      // Still inside an enclosing region: believe these results only if
+      // that region commits too.
+      auto& up = frames_.back().remats;
+      up.insert(up.end(), std::make_move_iterator(remats.begin()),
+                std::make_move_iterator(remats.end()));
+      return Status::Ok();
+    }
+    for (const RematPayload& r : remats) {
+      GOMFM_RETURN_IF_ERROR(ApplyRemat(r));
+    }
+    return Status::Ok();
+  }
+  return Status::Ok();  // intent was filtered out live; nothing to close
+}
+
+void RecoveryManager::DiscardOpenFrames() {
+  for (const Frame& frame : frames_) {
+    stats_.remats_discarded += frame.remats.size();
+    if (frame.is_batch) {
+      ++stats_.batches_discarded;
+    } else {
+      ++stats_.intents_discarded;
+    }
+  }
+  frames_.clear();
+}
+
+Status RecoveryManager::Reconcile() {
+  for (const auto& gmr_ptr : mgr_->gmrs_) {
+    if (gmr_ptr == nullptr || gmr_ptr->spec().snapshot) {
+      continue;  // snapshots replay verbatim and refresh wholesale anyway
+    }
+    GOMFM_RETURN_IF_ERROR(ReconcileGmr(gmr_ptr.get()));
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::ReconcileGmr(Gmr* gmr) {
+  const GmrSpec& spec = gmr->spec();
+  // Rows whose argument objects disappeared are garbage (their delete
+  // intent may have carried no row knowledge): drop them.
+  std::vector<RowId> dead;
+  gmr->ForEachRow([&](RowId row, const Gmr::Row& r) {
+    for (const Value& a : r.args) {
+      if (a.kind() == ValueKind::kRef && !om_->Exists(a.as_ref())) {
+        dead.push_back(row);
+        break;
+      }
+    }
+    return true;
+  });
+  for (RowId row : dead) {
+    GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
+    ++stats_.rows_dropped;
+  }
+  // Restriction predicates are re-evaluated for every surviving row: their
+  // reverse references are never logged, so replay could not maintain
+  // membership across updates of predicate-relevant objects. The fresh
+  // traces rebuild the predicate's RRR entries as a side effect.
+  if (spec.predicate != kInvalidFunctionId) {
+    std::vector<RowId> rows;
+    gmr->ForEachRow([&](RowId row, const Gmr::Row&) {
+      rows.push_back(row);
+      return true;
+    });
+    for (RowId row : rows) {
+      GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
+      std::vector<Value> args = r->args;
+      ++stats_.predicate_rechecks;
+      funclang::Trace trace;
+      GOMFM_ASSIGN_OR_RETURN(
+          Value p, mgr_->ComputeTracked(spec.predicate, args, &trace));
+      GOMFM_RETURN_IF_ERROR(
+          mgr_->RecordReverseRefs(spec.predicate, args, trace));
+      GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
+      if (!admitted) {
+        GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
+        ++stats_.rows_dropped;
+      }
+    }
+  }
+  // Complete extensions must hold every qualifying combination; re-admit
+  // those whose insert record was lost, as invalid rows (results recompute
+  // on first access).
+  if (spec.complete) {
+    GOMFM_RETURN_IF_ERROR(mgr_->EnumerateCombos(
+        spec, [&](const std::vector<Value>& args) -> Status {
+          if (gmr->FindRow(args).ok()) return Status::Ok();
+          if (spec.predicate != kInvalidFunctionId) {
+            ++stats_.predicate_rechecks;
+            funclang::Trace trace;
+            GOMFM_ASSIGN_OR_RETURN(
+                Value p, mgr_->ComputeTracked(spec.predicate, args, &trace));
+            GOMFM_RETURN_IF_ERROR(
+                mgr_->RecordReverseRefs(spec.predicate, args, trace));
+            GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
+            if (!admitted) return Status::Ok();
+          }
+          GOMFM_ASSIGN_OR_RETURN(RowId row, gmr->Insert(args));
+          (void)row;
+          ++mgr_->stats_.rows_created;
+          ++stats_.rows_admitted;
+          return Status::Ok();
+        }));
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom

@@ -1,0 +1,105 @@
+#ifndef GOMFM_GMR_RECOVERY_H_
+#define GOMFM_GMR_RECOVERY_H_
+
+#include <vector>
+
+#include "gmr/gmr_manager.h"
+#include "gmr/wal_records.h"
+#include "gom/object_manager.h"
+#include "storage/wal.h"
+
+namespace gom {
+
+/// Crash recovery for the GMR subsystem.
+///
+/// Crash model: the object base proper (the in-memory object directory,
+/// which GOM treats as the durable base — the EXODUS storage layer keeps it
+/// transaction-consistent on its own) survives the crash, while the GMR
+/// machinery — extensions, RRR, ObjDepFct trustworthiness — is rebuilt from
+/// the write-ahead log.
+///
+/// Replay semantics:
+///  - Row-change records (kRowInsert/kRowRemove) are totally ordered and
+///    apply immediately: row membership after replay is exactly the logged
+///    membership.
+///  - kUpdateIntent conservatively invalidates every materialized result the
+///    object contributed to (mirroring lazy invalidation) the moment it is
+///    read, and opens a *region*. Rematerialization records inside a region
+///    buffer until the matching kUpdateCommit (then apply) or kUpdateAbort /
+///    end-of-log (then discard): a result value is believed only when the
+///    update it belongs to demonstrably completed. Over-invalidation is
+///    always safe — flagged results recompute on access; a *lost*
+///    invalidation is the only failure that could produce stale answers,
+///    which is why intents flush before the base mutates.
+///  - kBatchFlush…kBatchCommit gate the coalesced EndBatch()
+///    rematerializations the same way, making EndBatch failure-atomic.
+///  - kDeleteIntent / kInvalidateAll re-execute their maintenance wholesale.
+///
+/// After replay, reconciliation re-checks what the log cannot carry:
+/// restriction predicates are re-evaluated (their reverse references are
+/// never logged), rows whose argument objects disappeared are dropped, and
+/// complete extensions are re-completed with invalid rows for combinations
+/// whose insert record was lost.
+class RecoveryManager {
+ public:
+  struct Stats {
+    size_t records_replayed = 0;
+    size_t intents_seen = 0;
+    /// Regions open at end-of-log (the update crashed mid-flight).
+    size_t intents_discarded = 0;
+    size_t remats_applied = 0;
+    size_t remats_discarded = 0;
+    /// EndBatch flushes whose commit marker never became durable.
+    size_t batches_discarded = 0;
+    size_t rows_replayed = 0;
+    /// Reconciliation: rows dropped (dead arguments, predicate now false).
+    size_t rows_dropped = 0;
+    /// Reconciliation: missing combinations re-admitted as invalid rows.
+    size_t rows_admitted = 0;
+    size_t predicate_rechecks = 0;
+  };
+
+  /// All pointers must outlive the recovery manager. `mgr` must be freshly
+  /// constructed (no GMRs registered); `wal` not yet opened.
+  RecoveryManager(GmrManager* mgr, ObjectManager* om, WriteAheadLog* wal)
+      : mgr_(mgr), om_(om), wal_(wal) {}
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Recovers the GMR state: clears the stale ObjDepFct marks, re-registers
+  /// `specs` (in the original materialization order, so GmrIds in the log
+  /// resolve to the same extensions), opens and replays the log, reconciles
+  /// against the object base, and leaves `mgr` ready for new work with the
+  /// log attached and positioned for appending.
+  Status Recover(std::vector<GmrSpec> specs);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// One open write-ahead region (update intent or batch flush) whose
+  /// rematerialization records are still unbelieved.
+  struct Frame {
+    bool is_batch = false;
+    Oid oid;  // intent regions only
+    std::vector<RematPayload> remats;
+  };
+
+  Status ReplayRecord(const WalRecord& rec);
+  Status ConservativeInvalidate(Oid o);
+  Status ApplyRemat(const RematPayload& p);
+  Status CloseRegion(Oid o, bool commit);
+  void DiscardOpenFrames();
+  Status Reconcile();
+  Status ReconcileGmr(Gmr* gmr);
+
+  GmrManager* mgr_;
+  ObjectManager* om_;
+  WriteAheadLog* wal_;
+  std::vector<Frame> frames_;
+  Stats stats_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_RECOVERY_H_

@@ -1,0 +1,114 @@
+#ifndef GOMFM_GMR_WAL_RECORDS_H_
+#define GOMFM_GMR_WAL_RECORDS_H_
+
+#include <vector>
+
+#include "gmr/gmr.h"
+#include "gom/ids.h"
+#include "gom/value.h"
+#include "storage/wal.h"
+
+namespace gom {
+
+/// Encoders / decoders for the logical WAL record payloads written by
+/// `GmrManager` and replayed by `RecoveryManager`. The framing, CRC and LSN
+/// live in `WriteAheadLog`; these cover only the payload bytes.
+
+inline std::vector<uint8_t> EncodeOidPayload(Oid o) {
+  WalPayloadWriter w;
+  w.U64(o.raw);
+  return w.Take();
+}
+
+inline Result<Oid> DecodeOidPayload(const std::vector<uint8_t>& payload) {
+  WalPayloadReader r(payload);
+  GOMFM_ASSIGN_OR_RETURN(uint64_t raw, r.U64());
+  return Oid(raw);
+}
+
+inline void EncodeArgs(WalPayloadWriter* w, const std::vector<Value>& args) {
+  w->U16(static_cast<uint16_t>(args.size()));
+  std::vector<uint8_t> bytes;
+  for (const Value& a : args) a.Serialize(&bytes);
+  w->Bytes(bytes);
+}
+
+inline Result<std::vector<Value>> DecodeArgs(WalPayloadReader* r) {
+  GOMFM_ASSIGN_OR_RETURN(uint16_t count, r->U16());
+  std::vector<Value> args;
+  args.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r->cursor(), r->end()));
+    args.push_back(std::move(v));
+  }
+  return args;
+}
+
+struct RowChangePayload {
+  GmrId gmr = kInvalidGmrId;
+  std::vector<Value> args;
+};
+
+inline std::vector<uint8_t> EncodeRowChange(GmrId gmr,
+                                            const std::vector<Value>& args) {
+  WalPayloadWriter w;
+  w.U32(gmr);
+  EncodeArgs(&w, args);
+  return w.Take();
+}
+
+inline Result<RowChangePayload> DecodeRowChange(
+    const std::vector<uint8_t>& payload) {
+  WalPayloadReader r(payload);
+  RowChangePayload out;
+  GOMFM_ASSIGN_OR_RETURN(out.gmr, r.U32());
+  GOMFM_ASSIGN_OR_RETURN(out.args, DecodeArgs(&r));
+  return out;
+}
+
+struct RematPayload {
+  GmrId gmr = kInvalidGmrId;
+  uint32_t col = 0;
+  std::vector<Value> args;
+  Value value;
+  /// Objects the computation accessed — the reverse references to restore
+  /// when the result is applied at replay (valid result ⇒ RRR entries).
+  std::vector<Oid> accessed;
+};
+
+inline std::vector<uint8_t> EncodeRemat(GmrId gmr, uint32_t col,
+                                        const std::vector<Value>& args,
+                                        const Value& value,
+                                        const std::vector<Oid>& accessed) {
+  WalPayloadWriter w;
+  w.U32(gmr);
+  w.U32(col);
+  EncodeArgs(&w, args);
+  std::vector<uint8_t> vbytes;
+  value.Serialize(&vbytes);
+  w.Bytes(vbytes);
+  w.U16(static_cast<uint16_t>(accessed.size()));
+  for (Oid o : accessed) w.U64(o.raw);
+  return w.Take();
+}
+
+inline Result<RematPayload> DecodeRemat(const std::vector<uint8_t>& payload) {
+  WalPayloadReader r(payload);
+  RematPayload out;
+  GOMFM_ASSIGN_OR_RETURN(out.gmr, r.U32());
+  GOMFM_ASSIGN_OR_RETURN(out.col, r.U32());
+  GOMFM_ASSIGN_OR_RETURN(out.args, DecodeArgs(&r));
+  GOMFM_ASSIGN_OR_RETURN(out.value,
+                         Value::Deserialize(r.cursor(), r.end()));
+  GOMFM_ASSIGN_OR_RETURN(uint16_t count, r.U16());
+  out.accessed.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(uint64_t raw, r.U64());
+    out.accessed.push_back(Oid(raw));
+  }
+  return out;
+}
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_WAL_RECORDS_H_

@@ -172,12 +172,21 @@ Result<Oid> ObjectManager::CreateCollection(TypeId type) {
 
 Status ObjectManager::Delete(Oid oid) {
   GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
-  if (notifier_ != nullptr) notifier_->BeforeDelete(oid, obj->type);
+  if (notifier_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(notifier_->BeforeDelete(oid, obj->type));
+  }
   // Remove storage records.
   auto pit = placements_.find(oid);
   assert(pit != placements_.end());
-  for (const Rid& rid : pit->second.chunks) {
-    GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(rid));
+  std::vector<Rid>& doomed = pit->second.chunks;
+  for (size_t i = 0; i < doomed.size(); ++i) {
+    Status deleted = storage_->DeleteRecord(doomed[i]);
+    if (!deleted.ok()) {
+      // The object stays alive; drop only the record ids already freed so
+      // a retried Delete() never double-frees.
+      doomed.erase(doomed.begin(), doomed.begin() + i);
+      return deleted;
+    }
   }
   placements_.erase(pit);
   // Remove from the extent.
@@ -220,8 +229,15 @@ Status ObjectManager::WriteBack(Object& obj) {
       placement.chunks[i] = rid;
     }
   } else {
-    for (const Rid& rid : placement.chunks) {
-      GOMFM_RETURN_IF_ERROR(storage_->DeleteRecord(rid));
+    for (size_t i = 0; i < placement.chunks.size(); ++i) {
+      Status deleted = storage_->DeleteRecord(placement.chunks[i]);
+      if (!deleted.ok()) {
+        // Keep the directory free of freed record ids; the next
+        // successful write-back re-chunks whatever remains.
+        placement.chunks.erase(placement.chunks.begin(),
+                               placement.chunks.begin() + i);
+        return deleted;
+      }
     }
     placement.chunks.clear();
     for (const auto& chunk : chunks) {
@@ -268,9 +284,17 @@ Status ObjectManager::SetAttribute(Oid oid, AttrId attr, Value value) {
                           attr,
                           &value,
                           operation_depth_};
-  if (notifier_ != nullptr) notifier_->BeforeElementaryUpdate(update);
+  if (notifier_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(notifier_->BeforeElementaryUpdate(update));
+  }
+  Value previous = std::move(obj->fields[attr]);
   obj->fields[attr] = std::move(value);
-  GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  Status written = WriteBack(*obj);
+  if (!written.ok()) {
+    obj->fields[attr] = std::move(previous);
+    if (notifier_ != nullptr) notifier_->AbortElementaryUpdate(update);
+    return written;
+  }
   update.value = &obj->fields[attr];
   if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
   return Status::Ok();
@@ -326,9 +350,16 @@ Status ObjectManager::InsertElement(Oid oid, Value element) {
                           kInvalidAttrId,
                           &element,
                           operation_depth_};
-  if (notifier_ != nullptr) notifier_->BeforeElementaryUpdate(update);
+  if (notifier_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(notifier_->BeforeElementaryUpdate(update));
+  }
   obj->elements.push_back(std::move(element));
-  GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  Status written = WriteBack(*obj);
+  if (!written.ok()) {
+    obj->elements.pop_back();
+    if (notifier_ != nullptr) notifier_->AbortElementaryUpdate(update);
+    return written;
+  }
   update.value = &obj->elements.back();
   if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
   return Status::Ok();
@@ -353,9 +384,18 @@ Status ObjectManager::RemoveElement(Oid oid, const Value& element) {
                           kInvalidAttrId,
                           &element,
                           operation_depth_};
-  if (notifier_ != nullptr) notifier_->BeforeElementaryUpdate(update);
+  if (notifier_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(notifier_->BeforeElementaryUpdate(update));
+  }
+  size_t pos = static_cast<size_t>(it - obj->elements.begin());
+  Value removed = std::move(*it);
   obj->elements.erase(it);
-  GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+  Status written = WriteBack(*obj);
+  if (!written.ok()) {
+    obj->elements.insert(obj->elements.begin() + pos, std::move(removed));
+    if (notifier_ != nullptr) notifier_->AbortElementaryUpdate(update);
+    return written;
+  }
   if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
   return Status::Ok();
 }
@@ -382,7 +422,11 @@ std::vector<Oid> ObjectManager::Extent(TypeId type) const {
 Status ObjectManager::MarkUsedBy(Oid oid, FunctionId f) {
   GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
   if (obj->MarkUsedBy(f)) {
-    GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+    Status written = WriteBack(*obj);
+    if (!written.ok()) {
+      obj->UnmarkUsedBy(f);  // keep the mark consistent with the caller's view
+      return written;
+    }
   }
   return Status::Ok();
 }
@@ -390,7 +434,11 @@ Status ObjectManager::MarkUsedBy(Oid oid, FunctionId f) {
 Status ObjectManager::UnmarkUsedBy(Oid oid, FunctionId f) {
   GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
   if (obj->UnmarkUsedBy(f)) {
-    GOMFM_RETURN_IF_ERROR(WriteBack(*obj));
+    Status written = WriteBack(*obj);
+    if (!written.ok()) {
+      obj->MarkUsedBy(f);
+      return written;
+    }
   }
   return Status::Ok();
 }
@@ -405,11 +453,20 @@ Result<const std::vector<FunctionId>*> ObjectManager::UsedBy(Oid oid) const {
   return &obj->obj_dep_fct;
 }
 
+Status ObjectManager::ClearAllUsedBy() {
+  for (auto& [oid, obj] : objects_) {
+    if (obj.obj_dep_fct.empty()) continue;
+    obj.obj_dep_fct.clear();
+    GOMFM_RETURN_IF_ERROR(WriteBack(obj));
+  }
+  return Status::Ok();
+}
+
 Status ObjectManager::BeginOperation(Oid self, FunctionId op,
                                      const std::vector<Value>& args) {
   GOMFM_ASSIGN_OR_RETURN(const Object* obj, Lookup(self));
   if (notifier_ != nullptr) {
-    notifier_->BeforeOperation(self, obj->type, op, args);
+    GOMFM_RETURN_IF_ERROR(notifier_->BeforeOperation(self, obj->type, op, args));
   }
   ++operation_depth_;
   return Status::Ok();

@@ -45,24 +45,39 @@ class UpdateNotifier {
   virtual ~UpdateNotifier() = default;
 
   /// Fired before the object base is mutated (compensating actions must see
-  /// the pre-update state, §5.4).
-  virtual void BeforeElementaryUpdate(const ElementaryUpdate& update) {
+  /// the pre-update state, §5.4). Returning an error *vetoes* the mutation:
+  /// the update fails before any state change and no After/Abort hook fires
+  /// — the write-ahead rule depends on this (an update whose intent cannot
+  /// be made durable must not happen).
+  virtual Status BeforeElementaryUpdate(const ElementaryUpdate& update) {
     (void)update;
+    return Status::Ok();
   }
   /// Fired after the mutation (invalidation happens after the update so
   /// that immediate rematerialization sees the new state, §4.3).
   virtual void AfterElementaryUpdate(const ElementaryUpdate& update) {
     (void)update;
   }
+  /// Fired when the mutation failed after BeforeElementaryUpdate ran: the
+  /// object was rolled back to its pre-update state. Every successful
+  /// Before is paired with exactly one After or Abort.
+  virtual void AbortElementaryUpdate(const ElementaryUpdate& update) {
+    (void)update;
+  }
   virtual void AfterCreate(Oid oid, TypeId type) { (void)oid, (void)type; }
-  virtual void BeforeDelete(Oid oid, TypeId type) { (void)oid, (void)type; }
+  /// An error return vetoes the deletion (see BeforeElementaryUpdate).
+  virtual Status BeforeDelete(Oid oid, TypeId type) {
+    (void)oid, (void)type;
+    return Status::Ok();
+  }
 
   /// Brackets around a public type-associated operation (`scale`, `rotate`,
   /// `insert` on Workpieces, ...). Only meaningful for strictly
-  /// encapsulated types.
-  virtual void BeforeOperation(Oid self, TypeId type, FunctionId op,
-                               const std::vector<Value>& args) {
+  /// encapsulated types. An error return vetoes the operation.
+  virtual Status BeforeOperation(Oid self, TypeId type, FunctionId op,
+                                 const std::vector<Value>& args) {
     (void)self, (void)type, (void)op, (void)args;
+    return Status::Ok();
   }
   virtual void AfterOperation(Oid self, TypeId type, FunctionId op) {
     (void)self, (void)type, (void)op;
@@ -142,6 +157,11 @@ class ObjectManager {
   Result<bool> IsUsedBy(Oid oid, FunctionId f) const;
   /// The object's ObjDepFct; pointer valid until the object changes.
   Result<const std::vector<FunctionId>*> UsedBy(Oid oid) const;
+
+  /// Drops every object's ObjDepFct marks. Used by crash recovery: the
+  /// surviving marks describe the pre-crash RRR, which is rebuilt from the
+  /// log — replay re-marks exactly the entries it restores.
+  Status ClearAllUsedBy();
 
   // --- Public-operation bracketing (§5.3) -----------------------------------
 

@@ -2,11 +2,26 @@
 
 #include <cassert>
 
+#include "storage/wal.h"
+
 namespace gom {
 
 BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
   assert(capacity_ > 0);
+}
+
+void BufferPool::StampRecoveryLsn(Frame& frame) {
+  if (wal_ != nullptr) frame.recovery_lsn = wal_->last_lsn();
+}
+
+Status BufferPool::WriteBack(PageId id, Frame& frame) {
+  // Write-ahead rule: the log records describing this page's content must
+  // be durable before the page image itself is.
+  if (wal_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(wal_->FlushTo(frame.recovery_lsn));
+  }
+  return disk_->WritePage(id, frame.page.image().data());
 }
 
 void BufferPool::TouchLru(Frame& frame, PageId id) {
@@ -30,7 +45,7 @@ Result<Page*> BufferPool::Fetch(PageId id) {
   GOMFM_RETURN_IF_ERROR(disk_->ReadPage(id, image.data()));
   lru_.push_front(id);
   Frame frame{Page(std::move(image)), /*dirty=*/false, /*pin_count=*/0,
-              lru_.begin()};
+              /*recovery_lsn=*/0, lru_.begin()};
   auto [ins, ok] = frames_.emplace(id, std::move(frame));
   (void)ok;
   return &ins->second.page;
@@ -42,7 +57,9 @@ Result<Page*> BufferPool::NewPage(PageId* id_out) {
   }
   PageId id = disk_->AllocatePage();
   lru_.push_front(id);
-  Frame frame{Page(), /*dirty=*/true, /*pin_count=*/0, lru_.begin()};
+  Frame frame{Page(), /*dirty=*/true, /*pin_count=*/0, /*recovery_lsn=*/0,
+              lru_.begin()};
+  StampRecoveryLsn(frame);
   auto [ins, ok] = frames_.emplace(id, std::move(frame));
   (void)ok;
   *id_out = id;
@@ -55,6 +72,7 @@ Status BufferPool::MarkDirty(PageId id) {
     return Status::NotFound("BufferPool::MarkDirty: page not resident");
   }
   it->second.dirty = true;
+  StampRecoveryLsn(it->second);
   return Status::Ok();
 }
 
@@ -86,8 +104,7 @@ Status BufferPool::EvictOne() {
     Frame& frame = frames_.at(victim);
     if (frame.pin_count > 0) continue;
     if (frame.dirty) {
-      GOMFM_RETURN_IF_ERROR(
-          disk_->WritePage(victim, frame.page.image().data()));
+      GOMFM_RETURN_IF_ERROR(WriteBack(victim, frame));
     }
     lru_.erase(frame.lru_pos);
     frames_.erase(victim);
@@ -100,7 +117,7 @@ Status BufferPool::EvictOne() {
 Status BufferPool::FlushAll() {
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
-      GOMFM_RETURN_IF_ERROR(disk_->WritePage(id, frame.page.image().data()));
+      GOMFM_RETURN_IF_ERROR(WriteBack(id, frame));
       frame.dirty = false;
     }
   }

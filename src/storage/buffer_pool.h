@@ -12,6 +12,8 @@
 
 namespace gom {
 
+class WriteAheadLog;
+
 /// An LRU buffer pool over `SimDisk`.
 ///
 /// The paper's benchmarks used a deliberately small 600 kB buffer against a
@@ -60,19 +62,31 @@ class BufferPool {
   uint64_t evictions() const { return evictions_; }
   void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
 
+  /// Attaches a write-ahead log (nullptr detaches). With a log attached the
+  /// pool enforces the write-ahead rule: before a dirty page is written
+  /// back, the log is flushed up to the page's recovery LSN (the newest log
+  /// record at the time the page was last dirtied). Without a log the
+  /// pool's behaviour is unchanged, I/O for I/O.
+  void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
+  WriteAheadLog* wal() { return wal_; }
+
  private:
   struct Frame {
     Page page;
     bool dirty = false;
     uint32_t pin_count = 0;
+    uint64_t recovery_lsn = 0;  // newest WAL LSN when last dirtied
     std::list<PageId>::iterator lru_pos;
   };
 
   /// Frees one frame, preferring the least recently used unpinned page.
   Status EvictOne();
   void TouchLru(Frame& frame, PageId id);
+  void StampRecoveryLsn(Frame& frame);
+  Status WriteBack(PageId id, Frame& frame);
 
   SimDisk* disk_;
+  WriteAheadLog* wal_ = nullptr;
   size_t capacity_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = most recently used

@@ -1,0 +1,137 @@
+#ifndef GOMFM_STORAGE_FAULT_INJECTOR_H_
+#define GOMFM_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gom {
+
+/// A deterministic fault schedule for `SimDisk`.
+///
+/// Every page read and write consumes one *op index* (0, 1, 2, …). The
+/// schedule maps op indices to faults, so a given seed/schedule always
+/// fails at exactly the same point of a deterministic workload — the crash
+/// property tests iterate "fail after N ops" over a whole range of N and
+/// each N is a distinct, reproducible crash point.
+///
+/// Fault kinds:
+///  - kReadError / kWriteError: the single scheduled op fails with a clean
+///    `kIoError` status and does not transfer any data. The device keeps
+///    working afterwards (transient fault).
+///  - kTornWrite: the scheduled write transfers only the first
+///    `torn_bytes` bytes of the page (the tail keeps its previous
+///    contents), then the device halts. Models a power loss mid-sector.
+///  - kCrash: the scheduled op does not happen and the device halts.
+///
+/// Once halted ("crashed"), every subsequent I/O fails with `kIoError`
+/// until `ClearCrash()` — which models restarting the machine: the page
+/// images then hold exactly the durable state.
+class FaultInjector {
+ public:
+  enum class Kind : uint8_t { kReadError, kWriteError, kTornWrite, kCrash };
+
+  struct ScheduledFault {
+    uint64_t op_index = 0;
+    Kind kind = Kind::kCrash;
+    /// kTornWrite: bytes that reach the platter before the power fails.
+    size_t torn_bytes = 0;
+  };
+
+  FaultInjector() = default;
+
+  /// Schedules `kind` at the `n`-th I/O from now (0 = the very next op).
+  void FailAfter(uint64_t n, Kind kind, size_t torn_bytes = 0) {
+    schedule_.push_back(ScheduledFault{ops_ + n, kind, torn_bytes});
+  }
+
+  /// Convenience: halt the device at the `n`-th I/O from now.
+  void CrashAfter(uint64_t n) { FailAfter(n, Kind::kCrash); }
+
+  /// Decision for the next read. Exactly one op index is consumed.
+  /// Returns OK when the read should proceed normally.
+  Status OnRead() {
+    uint64_t op = ops_++;
+    ++reads_seen_;
+    if (crashed_) return Crashed();
+    const ScheduledFault* f = Match(op);
+    if (f == nullptr) return Status::Ok();
+    switch (f->kind) {
+      case Kind::kReadError:
+        ++faults_fired_;
+        return Status::IoError("injected read fault at op " +
+                               std::to_string(op));
+      case Kind::kCrash:
+        crashed_ = true;
+        ++faults_fired_;
+        return Crashed();
+      default:
+        return Status::Ok();  // write faults do not apply to reads
+    }
+  }
+
+  /// Decision for the next write. `torn_bytes_out` is set to a nonzero
+  /// prefix length when the write must be torn (the caller transfers only
+  /// that prefix and the device halts).
+  Status OnWrite(size_t* torn_bytes_out) {
+    *torn_bytes_out = 0;
+    uint64_t op = ops_++;
+    ++writes_seen_;
+    if (crashed_) return Crashed();
+    const ScheduledFault* f = Match(op);
+    if (f == nullptr) return Status::Ok();
+    switch (f->kind) {
+      case Kind::kWriteError:
+        ++faults_fired_;
+        return Status::IoError("injected write fault at op " +
+                               std::to_string(op));
+      case Kind::kTornWrite:
+        crashed_ = true;
+        ++faults_fired_;
+        *torn_bytes_out = f->torn_bytes;
+        return Status::Ok();  // the (partial) transfer happens
+      case Kind::kCrash:
+        crashed_ = true;
+        ++faults_fired_;
+        return Crashed();
+      default:
+        return Status::Ok();  // read faults do not apply to writes
+    }
+  }
+
+  bool crashed() const { return crashed_; }
+
+  /// "Restart": the device accepts I/O again; the schedule stays armed for
+  /// later op indices, counters keep running.
+  void ClearCrash() { crashed_ = false; }
+
+  /// Drops all scheduled faults (recovery runs fault-free).
+  void ClearSchedule() { schedule_.clear(); }
+
+  uint64_t ops_seen() const { return ops_; }
+  uint64_t faults_fired() const { return faults_fired_; }
+
+ private:
+  Status Crashed() const {
+    return Status::IoError("simulated crash: device halted");
+  }
+
+  const ScheduledFault* Match(uint64_t op) const {
+    for (const ScheduledFault& f : schedule_) {
+      if (f.op_index == op) return &f;
+    }
+    return nullptr;
+  }
+
+  std::vector<ScheduledFault> schedule_;
+  bool crashed_ = false;
+  uint64_t ops_ = 0;
+  uint64_t reads_seen_ = 0;
+  uint64_t writes_seen_ = 0;
+  uint64_t faults_fired_ = 0;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_FAULT_INJECTOR_H_

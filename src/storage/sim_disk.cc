@@ -14,6 +14,9 @@ Status SimDisk::ReadPage(PageId id, uint8_t* out) {
     return Status::OutOfRange("SimDisk::ReadPage: page " + std::to_string(id) +
                               " beyond end of disk");
   }
+  if (injector_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(injector_->OnRead());
+  }
   std::memcpy(out, pages_[id].data(), kPageSize);
   ++reads_;
   clock_->Advance(cost_.disk_access_seconds);
@@ -24,6 +27,19 @@ Status SimDisk::WritePage(PageId id, const uint8_t* data) {
   if (id >= pages_.size()) {
     return Status::OutOfRange("SimDisk::WritePage: page " + std::to_string(id) +
                               " beyond end of disk");
+  }
+  size_t torn_bytes = 0;
+  if (injector_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(injector_->OnWrite(&torn_bytes));
+  }
+  if (torn_bytes > 0 && torn_bytes < kPageSize) {
+    // Torn write: only a prefix reaches the platter, the rest of the page
+    // keeps its previous contents, and the device halts. Recovery must
+    // detect the mix via record checksums.
+    std::memcpy(pages_[id].data(), data, torn_bytes);
+    ++writes_;
+    clock_->Advance(cost_.disk_access_seconds);
+    return Status::Ok();
   }
   std::memcpy(pages_[id].data(), data, kPageSize);
   ++writes_;

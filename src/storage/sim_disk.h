@@ -6,6 +6,7 @@
 
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "storage/fault_injector.h"
 
 namespace gom {
 
@@ -48,9 +49,16 @@ class SimDisk {
     writes_ = 0;
   }
 
+  /// Attaches a deterministic fault schedule (nullptr detaches). The
+  /// injector must outlive the disk. With no injector every I/O succeeds —
+  /// the pre-fault-model behaviour, bit for bit.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
  private:
   SimClock* clock_;
   CostModel cost_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::vector<uint8_t>> pages_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;

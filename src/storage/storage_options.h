@@ -1,0 +1,18 @@
+#ifndef GOMFM_STORAGE_STORAGE_OPTIONS_H_
+#define GOMFM_STORAGE_STORAGE_OPTIONS_H_
+
+namespace gom {
+
+/// Knobs for the simulated storage stack. Defaults reproduce the pre-WAL
+/// behaviour exactly (bit-identical I/O counts and figures): durability is
+/// opt-in because the paper's experiments assume a fault-free device.
+struct StorageOptions {
+  /// Create a `WriteAheadLog`, attach it to the buffer pool (write-ahead
+  /// rule for dirty data pages) and to the `GmrManager` (logical
+  /// maintenance records, failure-atomic batches).
+  bool enable_wal = false;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_STORAGE_OPTIONS_H_

@@ -1,0 +1,211 @@
+#ifndef GOMFM_STORAGE_WAL_H_
+#define GOMFM_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/sim_disk.h"
+
+namespace gom {
+
+/// Log sequence number. LSNs start at 1 and increase by one per record;
+/// 0 means "nothing logged yet".
+using Lsn = uint64_t;
+inline constexpr Lsn kNullLsn = 0;
+
+/// Logical maintenance records of the GMR subsystem. The WAL is *logical*:
+/// it describes maintenance events (row inserted, object about to change,
+/// result recomputed), not page images — recovery replays them against a
+/// freshly registered GMR catalog. See DESIGN.md "Durability, recovery &
+/// fault injection" for the exact replay semantics of each kind.
+enum class WalRecordType : uint8_t {
+  /// An object with a non-empty ObjDepFct is about to be updated. Flushed
+  /// *before* the object base mutates (the write-ahead rule): recovery
+  /// conservatively invalidates every materialized result the object
+  /// contributed to. Payload: oid u64.
+  kUpdateIntent = 1,
+  /// The update completed; rematerializations logged inside the
+  /// intent…commit region (compensating actions run *before* the mutation)
+  /// become effective. Payload: oid u64.
+  kUpdateCommit = 2,
+  /// An object is about to be deleted. Flushed before the deletion.
+  /// Payload: oid u64.
+  kDeleteIntent = 3,
+  /// A row joined a GMR extension (results all invalid until a
+  /// kRematResult re-validates them). Payload: gmr u32, argc u16, args.
+  kRowInsert = 4,
+  /// A row left a GMR extension. Payload: gmr u32, argc u16, args.
+  kRowRemove = 5,
+  /// One (re)computed result: column `col` of the row for `args` now holds
+  /// `value`, and the computation accessed `oids` (its reverse
+  /// references). Payload: gmr u32, col u32, argc u16, args, value,
+  /// oidc u16, oids.
+  kRematResult = 6,
+  /// An update batch opened (informational). No payload.
+  kBatchBegin = 7,
+  /// EndBatch started its coalesced rematerialization flush. Remat records
+  /// between this marker and kBatchCommit apply only when the commit is
+  /// durable — a crash mid-flush recovers to the pre-flush state with the
+  /// batch's rows still invalid. No payload.
+  kBatchFlush = 8,
+  /// The batch flush completed; the WAL is flushed right after this record
+  /// so EndBatch() returning OK implies durability. No payload.
+  kBatchCommit = 9,
+  /// The update whose intent is open for `oid` failed and was rolled back:
+  /// rematerializations logged inside the region describe a state that
+  /// never came to be and are discarded at replay (the conservative
+  /// invalidation of the intent itself stands). Payload: oid u64.
+  kUpdateAbort = 10,
+  /// Administrative wholesale invalidation of one GMR (the Fig. 10 "Lazy"
+  /// starting state): every result becomes invalid and all reverse
+  /// references of the member functions (and predicate) are dropped.
+  /// Flushed synchronously — updates after it carry no intents (the RRR is
+  /// empty), so losing it would resurrect stale valid results at replay.
+  /// Payload: gmr u32.
+  kInvalidateAll = 11,
+};
+
+struct WalRecord {
+  Lsn lsn = kNullLsn;
+  WalRecordType type = WalRecordType::kBatchBegin;
+  std::vector<uint8_t> payload;
+};
+
+/// CRC32 (IEEE, reflected) over `data` — used to checksum WAL records so
+/// recovery can tell a torn or lost tail from valid log.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// An append-only write-ahead log on top of `SimDisk`.
+///
+/// Physical format: the log owns dedicated disk pages, each carrying an
+/// 8-byte magic, a page sequence number and a used-bytes count; records
+/// never span pages. Each record is framed
+/// `[size u16][crc u32][lsn u64][type u8][payload]` with the CRC covering
+/// everything after itself. Appends buffer in memory (group commit);
+/// `Flush()` writes all dirty log pages, re-writing the current partial
+/// page as it fills. Recovery (`Open()`) scans the disk for log pages,
+/// orders them by sequence number and truncates at the first checksum,
+/// LSN-chain or sequence break — exactly the prefix of records whose flush
+/// completed survives a crash.
+class WriteAheadLog {
+ public:
+  /// `disk` must outlive the log.
+  explicit WriteAheadLog(SimDisk* disk) : disk_(disk) {}
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends a record (buffered; durable only after the next Flush).
+  Result<Lsn> Append(WalRecordType type, std::vector<uint8_t> payload);
+
+  /// Group flush: writes every dirty log page. After OK, all appended
+  /// records are durable.
+  Status Flush();
+
+  /// Flushes only if `lsn` is not durable yet — the flush-log-before-
+  /// dirty-page rule calls this with the page's recovery LSN.
+  Status FlushTo(Lsn lsn);
+
+  Lsn last_lsn() const { return next_lsn_ - 1; }
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+
+  /// Recovery: scans the disk image for log pages and rebuilds the record
+  /// chain, truncating at the first break. The log is then positioned to
+  /// continue appending after the last durable record. Records recovered
+  /// are retained for `Replay`.
+  Status Open();
+
+  /// Iterates the records recovered by `Open()` in LSN order.
+  Status Replay(const std::function<Status(const WalRecord&)>& cb) const;
+
+  size_t recovered_records() const { return recovered_.size(); }
+  /// Bytes of log tail (appended after the last durable record) that a
+  /// crash right now would lose.
+  size_t unflushed_bytes() const { return unflushed_bytes_; }
+
+  uint64_t appends() const { return appends_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t page_writes() const { return page_writes_; }
+  size_t log_pages() const { return pages_.size(); }
+
+ private:
+  struct LogPage {
+    PageId id = kInvalidPageId;
+    uint32_t seq = 0;
+    uint16_t used = 0;  // record bytes after the header
+    bool dirty = false;
+    std::vector<uint8_t> image;  // kPageSize, header maintained on write
+  };
+
+  LogPage& CurrentPage();
+  void SealHeader(LogPage& page);
+
+  SimDisk* disk_;
+  std::vector<LogPage> pages_;
+  std::vector<WalRecord> recovered_;
+  Lsn next_lsn_ = 1;
+  Lsn flushed_lsn_ = kNullLsn;
+  size_t unflushed_bytes_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t page_writes_ = 0;
+};
+
+/// Little-endian payload writer/reader for WAL record payloads.
+class WalPayloadWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Bytes(const std::vector<uint8_t>& v) {
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+  }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+class WalPayloadReader {
+ public:
+  explicit WalPayloadReader(const std::vector<uint8_t>& bytes)
+      : cur_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  Result<uint8_t> U8() {
+    if (end_ - cur_ < 1) return Truncated();
+    return *cur_++;
+  }
+  Result<uint16_t> U16() { return Fixed<uint16_t>(); }
+  Result<uint32_t> U32() { return Fixed<uint32_t>(); }
+  Result<uint64_t> U64() { return Fixed<uint64_t>(); }
+
+  const uint8_t** cursor() { return &cur_; }
+  const uint8_t* end() const { return end_; }
+  bool exhausted() const { return cur_ == end_; }
+
+ private:
+  template <typename T>
+  Result<T> Fixed() {
+    if (static_cast<size_t>(end_ - cur_) < sizeof(T)) return Truncated();
+    T v;
+    __builtin_memcpy(&v, cur_, sizeof(T));
+    cur_ += sizeof(T);
+    return v;
+  }
+  static Status Truncated() {
+    return Status::Internal("WAL payload truncated");
+  }
+  const uint8_t* cur_;
+  const uint8_t* end_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_WAL_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "query/executor.h"
+#include "storage/storage_options.h"
 #include "workload/company_schema.h"
 #include "workload/cuboid_schema.h"
 #include "workload/operation_mix.h"
@@ -14,16 +15,27 @@ namespace gom::workload {
 
 /// The full system stack used by benchmarks and examples: simulated
 /// storage (600 kB buffer by default, matching §7), object base,
-/// interpreter and GMR manager.
+/// interpreter and GMR manager. With `StorageOptions::enable_wal` a
+/// write-ahead log is created on the same disk and attached to both the
+/// buffer pool (flush-log-before-dirty-page) and the GMR manager (logical
+/// maintenance records); the default keeps all figures bit-identical to the
+/// log-free configuration.
 struct Environment {
   explicit Environment(size_t buffer_pages = 150,
-                       GmrManagerOptions options = {})
+                       GmrManagerOptions options = {},
+                       StorageOptions storage_options = {})
       : disk(&clock, CostModel::Default()),
         pool(&disk, buffer_pages),
         storage(&pool),
         om(&schema, &storage, &clock),
         interp(&om, &registry),
-        mgr(&om, &interp, &registry, &storage, options) {}
+        mgr(&om, &interp, &registry, &storage, options) {
+    if (storage_options.enable_wal) {
+      wal = std::make_unique<WriteAheadLog>(&disk);
+      pool.AttachWal(wal.get());
+      mgr.AttachWal(wal.get());
+    }
+  }
 
   MaterializationNotifier* InstallNotifier(NotifyLevel level) {
     notifier = std::make_unique<MaterializationNotifier>(&mgr, &om, level);
@@ -43,6 +55,7 @@ struct Environment {
   funclang::FunctionRegistry registry;
   funclang::Interpreter interp;
   GmrManager mgr;
+  std::unique_ptr<WriteAheadLog> wal;
   std::unique_ptr<MaterializationNotifier> notifier;
 };
 

@@ -16,27 +16,36 @@ FidSet MaterializationNotifier::IntersectObjDep(Oid oid,
   return out;
 }
 
-void MaterializationNotifier::BeforeElementaryUpdate(
+Status MaterializationNotifier::BeforeElementaryUpdate(
     const ElementaryUpdate& update) {
   pending_elementary_compensated_.clear();
   if (level_ == NotifyLevel::kInfoHiding && update.operation_depth > 0) {
-    return;  // strictly encapsulated: only the outer operation notifies
+    return Status::Ok();  // strictly encapsulated: only the outer op notifies
   }
-  if (update.kind == ElementaryUpdate::Kind::kSetAttribute) return;
+  // Write-ahead: the intent must be durable before the object mutates; the
+  // compensating actions below and the invalidations of the matching After
+  // hook all fall inside the intent…commit region. If the intent cannot be
+  // made durable the update is vetoed — proceeding could lose the
+  // invalidation it implies, the one failure that produces stale answers.
+  GOMFM_RETURN_IF_ERROR(mgr_->LogUpdateIntent(update.oid));
+  if (update.kind == ElementaryUpdate::Kind::kSetAttribute) {
+    return Status::Ok();
+  }
   // Compensating actions for t.insert / t.remove run before the mutation.
   FunctionId op = update.kind == ElementaryUpdate::Kind::kInsertElement
                       ? kElementInsertOp
                       : kElementRemoveOp;
   const FidSet& compensated = mgr_->deps().CompensatedFct(update.type, op);
-  if (compensated.empty()) return;
+  if (compensated.empty()) return Status::Ok();
   FidSet relevant = IntersectObjDep(update.oid, compensated);
-  if (relevant.empty()) return;
+  if (relevant.empty()) return Status::Ok();
   ++manager_calls_;
   Latch(mgr_->Compensate(update.oid, update.type, op,
                          {update.value == nullptr ? Value::Null()
                                                   : *update.value},
                          relevant));
   pending_elementary_compensated_ = std::move(relevant);
+  return Status::Ok();
 }
 
 void MaterializationNotifier::AfterElementaryUpdate(
@@ -44,30 +53,45 @@ void MaterializationNotifier::AfterElementaryUpdate(
   FidSet compensated;
   compensated.swap(pending_elementary_compensated_);
   if (level_ == NotifyLevel::kInfoHiding && update.operation_depth > 0) {
-    return;
+    return;  // the matching Before hook logged nothing either
   }
   if (level_ == NotifyLevel::kNaive) {
     // Version 1 (Figure 4): GMR_Manager.invalidate(self) on every update.
     ++manager_calls_;
     Latch(mgr_->Invalidate(update.oid));
-    return;
+  } else {
+    const FidSet& schema_dep =
+        mgr_->deps().SchemaDepFct(update.type, PropertyOf(update));
+    if (!schema_dep.empty()) {  // else: operation was never rewritten (§5.1)
+      if (level_ == NotifyLevel::kSchemaDep) {
+        ++manager_calls_;
+        Latch(mgr_->Invalidate(update.oid, schema_dep));
+      } else {
+        // §5.2 / Figure 5: RelevFct := self.ObjDepFct ∩
+        // SchemaDepFct(t.set_A) (\ CompensatedFct, §5.4 insert' rewrite).
+        FidSet relevant = IntersectObjDep(update.oid, schema_dep);
+        for (FunctionId f : compensated) relevant.erase(f);
+        if (!relevant.empty()) {
+          ++manager_calls_;
+          Latch(mgr_->Invalidate(update.oid, relevant));
+        }
+      }
+    }
   }
-  const FidSet& schema_dep =
-      mgr_->deps().SchemaDepFct(update.type, PropertyOf(update));
-  if (schema_dep.empty()) return;  // operation was never rewritten (§5.1)
+  // Close the write-ahead region *after* the invalidations so they see the
+  // intent still open and do not bracket themselves a second time.
+  Latch(mgr_->LogUpdateCommit(update.oid));
+}
 
-  if (level_ == NotifyLevel::kSchemaDep) {
-    ++manager_calls_;
-    Latch(mgr_->Invalidate(update.oid, schema_dep));
+void MaterializationNotifier::AbortElementaryUpdate(
+    const ElementaryUpdate& update) {
+  pending_elementary_compensated_.clear();
+  if (level_ == NotifyLevel::kInfoHiding && update.operation_depth > 0) {
     return;
   }
-  // §5.2 / Figure 5: RelevFct := self.ObjDepFct ∩ SchemaDepFct(t.set_A)
-  // (\ CompensatedFct for the §5.4 insert' rewrite).
-  FidSet relevant = IntersectObjDep(update.oid, schema_dep);
-  for (FunctionId f : compensated) relevant.erase(f);
-  if (relevant.empty()) return;
-  ++manager_calls_;
-  Latch(mgr_->Invalidate(update.oid, relevant));
+  // The object was rolled back: rematerializations logged inside the region
+  // (compensating actions) describe a state that never happened.
+  Latch(mgr_->LogUpdateAbort(update.oid));
 }
 
 void MaterializationNotifier::AfterCreate(Oid oid, TypeId type) {
@@ -75,25 +99,30 @@ void MaterializationNotifier::AfterCreate(Oid oid, TypeId type) {
   Latch(mgr_->NewObject(oid, type));
 }
 
-void MaterializationNotifier::BeforeDelete(Oid oid, TypeId type) {
+Status MaterializationNotifier::BeforeDelete(Oid oid, TypeId type) {
   (void)type;
+  // ForgetObject flushes a delete intent first; if that (or the maintenance
+  // itself) fails, the deletion is vetoed — the object stays alive and the
+  // partially dropped rows merely recompute later (over-invalidation).
   if (level_ == NotifyLevel::kNaive || level_ == NotifyLevel::kSchemaDep) {
     ++manager_calls_;
-    Latch(mgr_->ForgetObject(oid));
-    return;
+    return mgr_->ForgetObject(oid);
   }
   // Figure 5: delete' checks self.ObjDepFct ≠ {} first.
   ++objdep_checks_;
   auto used = om_->UsedBy(oid);
-  if (!used.ok() || (*used)->empty()) return;
+  if (!used.ok() || (*used)->empty()) return Status::Ok();
   ++manager_calls_;
-  Latch(mgr_->ForgetObject(oid));
+  return mgr_->ForgetObject(oid);
 }
 
-void MaterializationNotifier::BeforeOperation(Oid self, TypeId type,
-                                              FunctionId op,
-                                              const std::vector<Value>& args) {
-  if (level_ != NotifyLevel::kInfoHiding) return;
+Status MaterializationNotifier::BeforeOperation(
+    Oid self, TypeId type, FunctionId op, const std::vector<Value>& args) {
+  if (level_ != NotifyLevel::kInfoHiding) return Status::Ok();
+  // One write-ahead region per public operation; the elementary updates it
+  // encapsulates are not observed (or logged) individually. An intent that
+  // cannot be made durable vetoes the whole operation.
+  GOMFM_RETURN_IF_ERROR(mgr_->LogUpdateIntent(self));
   PendingOp pending{self, op, {}, {}};
   const FidSet& compensated = mgr_->deps().CompensatedFct(type, op);
   if (!compensated.empty()) {
@@ -112,23 +141,24 @@ void MaterializationNotifier::BeforeOperation(Oid self, TypeId type,
     for (FunctionId f : pending.compensated) pending.to_invalidate.erase(f);
   }
   op_stack_.push_back(std::move(pending));
+  return Status::Ok();
 }
 
 void MaterializationNotifier::AfterOperation(Oid self, TypeId type,
                                              FunctionId op) {
   (void)type;
   if (level_ != NotifyLevel::kInfoHiding) return;
-  if (op_stack_.empty()) return;
-  PendingOp pending = std::move(op_stack_.back());
-  op_stack_.pop_back();
-  if (pending.self != self || pending.op != op) {
-    Latch(Status::Internal("operation bracket mismatch"));
-    return;
+  if (!op_stack_.empty()) {
+    PendingOp pending = std::move(op_stack_.back());
+    op_stack_.pop_back();
+    if (pending.self != self || pending.op != op) {
+      Latch(Status::Internal("operation bracket mismatch"));
+    } else if (!pending.to_invalidate.empty()) {
+      ++manager_calls_;
+      Latch(mgr_->Invalidate(self, pending.to_invalidate));
+    }
   }
-  if (!pending.to_invalidate.empty()) {
-    ++manager_calls_;
-    Latch(mgr_->Invalidate(self, pending.to_invalidate));
-  }
+  Latch(mgr_->LogUpdateCommit(self));
 }
 
 const char* ProgramVersionName(ProgramVersion v) {

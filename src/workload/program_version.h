@@ -40,12 +40,13 @@ class MaterializationNotifier : public UpdateNotifier {
   void set_level(NotifyLevel level) { level_ = level; }
   NotifyLevel level() const { return level_; }
 
-  void BeforeElementaryUpdate(const ElementaryUpdate& update) override;
+  Status BeforeElementaryUpdate(const ElementaryUpdate& update) override;
   void AfterElementaryUpdate(const ElementaryUpdate& update) override;
+  void AbortElementaryUpdate(const ElementaryUpdate& update) override;
   void AfterCreate(Oid oid, TypeId type) override;
-  void BeforeDelete(Oid oid, TypeId type) override;
-  void BeforeOperation(Oid self, TypeId type, FunctionId op,
-                       const std::vector<Value>& args) override;
+  Status BeforeDelete(Oid oid, TypeId type) override;
+  Status BeforeOperation(Oid self, TypeId type, FunctionId op,
+                         const std::vector<Value>& args) override;
   void AfterOperation(Oid self, TypeId type, FunctionId op) override;
 
   /// Number of times the notifier ran its in-object ObjDepFct check — the

@@ -1,0 +1,208 @@
+// End-to-end fault propagation: injected I/O errors must surface as clean
+// Status codes through SimDisk → BufferPool → StorageManager →
+// ObjectManager → GmrManager, leave the in-memory object directory
+// uncorrupted, and let the system resume normally once the fault passes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injector.h"
+#include "storage/sim_disk.h"
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+/// Fails every I/O in the next `n` ops that is of the scheduled kind.
+void ArmWindow(FaultInjector* fi, uint64_t n, FaultInjector::Kind kind) {
+  for (uint64_t i = 0; i < n; ++i) fi->FailAfter(i, kind);
+}
+
+struct Fixture {
+  explicit Fixture(size_t buffer_pages) : env(buffer_pages) {
+    iron = *env.geo.MakeMaterial(&env.om, "Iron", 7.86);
+    for (int i = 0; i < 6; ++i) {
+      cuboids.push_back(
+          *env.geo.MakeCuboid(&env.om, 2.0 + i, 3.0, 4.0, iron));
+    }
+    env.disk.SetFaultInjector(&fi);
+  }
+
+  Oid Vertex(Oid c, const char* name) {
+    return env.om.GetAttribute(c, name)->as_ref();
+  }
+
+  double Volume(Oid c) {
+    return env.interp.Invoke(env.geo.volume, {Value::Ref(c)})->as_float();
+  }
+
+  GmrId MaterializeVolume() {
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(env.geo.cuboid)};
+    spec.functions = {env.geo.volume};
+    GmrId id = *env.mgr.Materialize(spec);
+    env.InstallNotifier(workload::NotifyLevel::kObjDep);
+    return id;
+  }
+
+  TestEnv env;
+  FaultInjector fi;
+  Oid iron;
+  std::vector<Oid> cuboids;
+};
+
+TEST(BufferPoolExhaustionTest, AllPagesPinnedIsAGracefulError) {
+  SimClock clock;
+  SimDisk disk(&clock, CostModel::Default());
+  BufferPool pool(&disk, 2);
+
+  PageId a = kInvalidPageId, b = kInvalidPageId;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  ASSERT_TRUE(pool.Pin(a).ok());
+  ASSERT_TRUE(pool.NewPage(&b).ok());
+  ASSERT_TRUE(pool.Pin(b).ok());
+
+  // Every frame pinned: both allocation and fetch of a third page must
+  // fail with a clean status, not crash or evict a pinned frame.
+  PageId c = kInvalidPageId;
+  auto grown = pool.NewPage(&c);
+  ASSERT_FALSE(grown.ok());
+  EXPECT_EQ(grown.status().code(), StatusCode::kFailedPrecondition);
+
+  PageId on_disk = disk.AllocatePage();
+  auto fetched = pool.Fetch(on_disk);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(pool.IsResident(a));
+  EXPECT_TRUE(pool.IsResident(b));
+
+  // Releasing one pin unblocks the pool.
+  ASSERT_TRUE(pool.Unpin(a).ok());
+  ASSERT_TRUE(pool.Fetch(on_disk).ok());
+}
+
+TEST(FaultPropagationTest, ReadFaultSurfacesThroughObjectManager) {
+  Fixture fx(/*buffer_pages=*/2);
+  ASSERT_TRUE(fx.env.pool.EvictAll().ok());
+
+  ArmWindow(&fx.fi, 50, FaultInjector::Kind::kReadError);
+  auto v = fx.env.om.GetAttribute(fx.cuboids[0], "Value");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+
+  // Transient: once the window passes the same read succeeds.
+  fx.fi.ClearSchedule();
+  EXPECT_TRUE(fx.env.om.GetAttribute(fx.cuboids[0], "Value").ok());
+}
+
+TEST(FaultPropagationTest, WriteFaultRollsBackSetAttribute) {
+  // One frame, occupied by a fresh dirty page: the write-back inside
+  // SetAttribute must fault the object's page in, which evicts the dirty
+  // frame and hits the injected write fault.
+  Fixture fx(/*buffer_pages=*/1);
+  Oid vo = fx.Vertex(fx.cuboids[0], "V1");
+  const double old_x = fx.env.om.GetAttribute(vo, "X")->as_float();
+  PageId scratch = kInvalidPageId;
+  ASSERT_TRUE(fx.env.pool.NewPage(&scratch).ok());
+
+  ArmWindow(&fx.fi, 400, FaultInjector::Kind::kWriteError);
+  Status st = fx.env.om.SetAttribute(vo, "X", Value::Float(old_x + 1.0));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  fx.fi.ClearSchedule();
+
+  // The failed update rolled back: the in-memory directory still serves
+  // the old value and stays fully usable.
+  EXPECT_EQ(fx.env.om.GetAttribute(vo, "X")->as_float(), old_x);
+  ASSERT_TRUE(fx.env.om.SetAttribute(vo, "X", Value::Float(old_x + 1.0)).ok());
+  EXPECT_EQ(fx.env.om.GetAttribute(vo, "X")->as_float(), old_x + 1.0);
+}
+
+TEST(FaultPropagationTest, GmrMaintenancePathStaysConsistentAcrossFault) {
+  Fixture fx(/*buffer_pages=*/2);
+  GmrId gmr = fx.MaterializeVolume();
+
+  Oid c0 = fx.cuboids[0];
+  auto baseline = fx.env.mgr.ForwardLookup(fx.env.geo.volume, {Value::Ref(c0)});
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->as_float(), fx.Volume(c0));
+
+  // Fill both frames with fresh dirty pages so the update's write-back
+  // must evict one of them into the armed fault window.
+  Oid vo = fx.Vertex(c0, "V1");
+  PageId scratch = kInvalidPageId;
+  ASSERT_TRUE(fx.env.pool.NewPage(&scratch).ok());
+  ASSERT_TRUE(fx.env.pool.NewPage(&scratch).ok());
+  ArmWindow(&fx.fi, 400, FaultInjector::Kind::kWriteError);
+  Status st = fx.env.om.SetAttribute(vo, "X", Value::Float(9.5));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  fx.fi.ClearSchedule();
+
+  // After the fault passes, every materialized answer must agree with a
+  // from-scratch interpreter evaluation — no stale value, no lost row, no
+  // corrupt reverse references.
+  for (Oid c : fx.cuboids) {
+    auto got = fx.env.mgr.ForwardLookup(fx.env.geo.volume, {Value::Ref(c)});
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->as_float(), fx.Volume(c)) << "cuboid " << c.ToString();
+  }
+  ASSERT_TRUE((*fx.env.mgr.Get(gmr))->CheckWellFormed().ok());
+}
+
+TEST(FaultPropagationTest, FailedDeleteLeavesTheObjectAlive) {
+  Fixture fx(/*buffer_pages=*/2);
+  fx.MaterializeVolume();
+  Oid victim = fx.cuboids[0];
+
+  ArmWindow(&fx.fi, 400, FaultInjector::Kind::kWriteError);
+  Status st = fx.env.om.Delete(victim);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  fx.fi.ClearSchedule();
+
+  // The object survives the failed delete and is still fully queryable
+  // (its GMR row may have been conservatively dropped — it recomputes).
+  ASSERT_TRUE(fx.env.om.Exists(victim));
+  auto v = fx.env.mgr.ForwardLookup(fx.env.geo.volume, {Value::Ref(victim)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_float(), fx.Volume(victim));
+
+  // A retried delete succeeds and the rest of the base is untouched.
+  ASSERT_TRUE(fx.env.om.Delete(victim).ok());
+  EXPECT_FALSE(fx.env.om.Exists(victim));
+  for (size_t i = 1; i < fx.cuboids.size(); ++i) {
+    Oid c = fx.cuboids[i];
+    auto got = fx.env.mgr.ForwardLookup(fx.env.geo.volume, {Value::Ref(c)});
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->as_float(), fx.Volume(c));
+  }
+}
+
+TEST(FaultPropagationTest, TransientWriteFaultKeepsBufferPoolUsable) {
+  SimClock clock;
+  SimDisk disk(&clock, CostModel::Default());
+  FaultInjector fi;
+  disk.SetFaultInjector(&fi);
+  BufferPool pool(&disk, 1);
+
+  PageId a = kInvalidPageId;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  fi.FailAfter(0, FaultInjector::Kind::kWriteError);
+  // Evicting the dirty page fails on the injected write error...
+  PageId b = kInvalidPageId;
+  auto grown = pool.NewPage(&b);
+  ASSERT_FALSE(grown.ok());
+  EXPECT_EQ(grown.status().code(), StatusCode::kIoError);
+  // ...but the frame is still intact and the next attempt succeeds.
+  EXPECT_TRUE(pool.IsResident(a));
+  ASSERT_TRUE(pool.NewPage(&b).ok());
+  EXPECT_TRUE(pool.IsResident(b));
+}
+
+}  // namespace
+}  // namespace gom

@@ -333,8 +333,9 @@ class RecordingNotifier : public UpdateNotifier {
   };
   std::vector<Event> events;
 
-  void BeforeElementaryUpdate(const ElementaryUpdate& u) override {
+  Status BeforeElementaryUpdate(const ElementaryUpdate& u) override {
     events.push_back({"before_update", u.oid, u.operation_depth});
+    return Status::Ok();
   }
   void AfterElementaryUpdate(const ElementaryUpdate& u) override {
     events.push_back({"after_update", u.oid, u.operation_depth});
@@ -342,12 +343,14 @@ class RecordingNotifier : public UpdateNotifier {
   void AfterCreate(Oid oid, TypeId) override {
     events.push_back({"create", oid, 0});
   }
-  void BeforeDelete(Oid oid, TypeId) override {
+  Status BeforeDelete(Oid oid, TypeId) override {
     events.push_back({"delete", oid, 0});
+    return Status::Ok();
   }
-  void BeforeOperation(Oid self, TypeId, FunctionId,
-                       const std::vector<Value>&) override {
+  Status BeforeOperation(Oid self, TypeId, FunctionId,
+                         const std::vector<Value>&) override {
     events.push_back({"begin_op", self, 0});
+    return Status::Ok();
   }
   void AfterOperation(Oid self, TypeId, FunctionId) override {
     events.push_back({"end_op", self, 0});

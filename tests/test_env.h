@@ -6,6 +6,7 @@
 #include "funclang/interpreter.h"
 #include "gmr/gmr_manager.h"
 #include "gom/object_manager.h"
+#include "storage/storage_options.h"
 #include "workload/cuboid_schema.h"
 #include "workload/program_version.h"
 
@@ -16,13 +17,19 @@ namespace gom {
 /// until `InstallNotifier`).
 struct TestEnv {
   explicit TestEnv(size_t buffer_pages = 150,
-                   GmrManagerOptions options = {})
+                   GmrManagerOptions options = {},
+                   StorageOptions storage_options = {})
       : disk(&clock, CostModel::Default()),
         pool(&disk, buffer_pages),
         storage(&pool),
         om(&schema, &storage, &clock),
         interp(&om, &registry),
         mgr(&om, &interp, &registry, &storage, options) {
+    if (storage_options.enable_wal) {
+      wal = std::make_unique<WriteAheadLog>(&disk);
+      pool.AttachWal(wal.get());
+      mgr.AttachWal(wal.get());
+    }
     auto declared = workload::CuboidSchema::Declare(&schema, &registry);
     assert(declared.ok());
     geo = *declared;
@@ -45,6 +52,7 @@ struct TestEnv {
   funclang::FunctionRegistry registry;
   funclang::Interpreter interp;
   GmrManager mgr;
+  std::unique_ptr<WriteAheadLog> wal;
   workload::CuboidSchema geo;
   std::unique_ptr<workload::MaterializationNotifier> notifier;
 };
