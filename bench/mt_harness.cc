@@ -1,0 +1,232 @@
+// Multi-threaded read harness: forward-query throughput scaling.
+//
+// N reader sessions (1/2/4/8 threads) hammer the materialized ⟨⟨volume⟩⟩
+// GMR with the fig09-style forward workload while an injected per-probe
+// I/O stall (`GmrManager::set_io_stall_us`) models the latency a real
+// disk-backed extension probe would pay. Because the read path holds only
+// shared latches (catalog → extension), concurrent readers overlap their
+// stalls; the harness reports queries/second per thread count and fails
+// (exit 1) unless 8 threads deliver ≥ 3× the single-thread throughput —
+// the regression gate for the shared-latch read plane.
+//
+// Every result is also checked against values collected by a
+// single-threaded pass up front, so a scaling win can never hide a torn
+// read. `--out=<path>` writes a standalone JSON summary; `--merge=<path>`
+// splices the `thread_scaling` series into an existing perf_harness JSON
+// (BENCH_perf.json at the repo root is the tracked baseline).
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/session.h"
+#include "workload/stack.h"
+
+using namespace gom;
+using namespace gom::bench;
+using workload::CompanyStack;
+using workload::Session;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScalePoint {
+  size_t threads = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  double speedup = 1.0;
+};
+
+/// Splices `"thread_scaling": <rendered>` into the top-level object of an
+/// existing JSON file, replacing any previous entry. Textual: finds the
+/// key, erases through the matching `]`, then inserts before the final
+/// `}`. Good enough for the flat perf_harness summaries we own.
+bool MergeThreadScaling(const std::string& path, const std::string& rendered) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  size_t key = text.find("\"thread_scaling\"");
+  if (key != std::string::npos) {
+    size_t start = text.rfind(',', key);
+    if (start == std::string::npos) start = key;
+    size_t lb = text.find('[', key);
+    if (lb == std::string::npos) return false;
+    int depth = 0;
+    size_t end = lb;
+    for (; end < text.size(); ++end) {
+      if (text[end] == '[') ++depth;
+      if (text[end] == ']' && --depth == 0) {
+        ++end;
+        break;
+      }
+    }
+    text.erase(start, end - start);
+  }
+
+  size_t close = text.rfind('}');
+  if (close == std::string::npos || close == 0) return false;
+  size_t last = text.find_last_not_of(" \t\n", close - 1);
+  text.erase(last + 1, close - (last + 1));  // normalize gap before '}'
+  text.insert(last + 1, ",\n  \"thread_scaling\": " + rendered + "\n");
+
+  f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string merge_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind("--merge=", 0) == 0) merge_path = arg.substr(8);
+  }
+
+  const size_t num_cuboids = args.quick ? 400 : 1000;
+  const size_t queries_per_thread = args.quick ? 1000 : 2000;
+  const int stall_us = 200;
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  workload::StackOptions opts;
+  opts.buffer_pages = 4096;
+  opts.num_cuboids = num_cuboids;
+  opts.materialize_volume = true;
+  auto stack = workload::MakeCompanyStack(opts);
+  if (!stack->setup.ok()) Fail(stack->setup, "stack setup");
+  CompanyStack& s = *stack;
+
+  // Single-threaded oracle pass: collect the expected volume per cuboid
+  // before any session exists (owner path, no latches, fully warm GMR).
+  std::vector<double> expected(s.cuboids.size(), 0.0);
+  for (size_t i = 0; i < s.cuboids.size(); ++i) {
+    auto v = s.env.mgr.ForwardLookup(s.geo.volume, {Value::Ref(s.cuboids[i])});
+    if (!v.ok()) Fail(v.status(), "oracle forward lookup");
+    expected[i] = *v->AsDouble();
+  }
+
+  s.env.mgr.set_io_stall_us(stall_us);
+
+  std::printf("# mt_harness — forward-query scaling over reader sessions\n");
+  std::printf("# %zu cuboids, %zu queries/thread, %d us simulated probe "
+              "stall, shared-latch read path\n\n",
+              num_cuboids, queries_per_thread, stall_us);
+  std::printf("%8s %12s %14s %10s\n", "threads", "wall_ms", "queries_per_s",
+              "speedup");
+
+  std::vector<ScalePoint> points;
+  for (size_t nthreads : thread_counts) {
+    // Sessions are created on the coordinating thread, then handed one per
+    // worker. The first MakeSession flips the manager into concurrent mode.
+    std::vector<Session*> sessions;
+    for (size_t t = 0; t < nthreads; ++t)
+      sessions.push_back(s.env.MakeSession());
+
+    std::atomic<bool> go{false};
+    std::atomic<size_t> mismatches{0};
+    std::vector<std::thread> workers;
+    workers.reserve(nthreads);
+    for (size_t t = 0; t < nthreads; ++t) {
+      workers.emplace_back([&, t]() {
+        Session* session = sessions[t];
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (size_t i = 0; i < queries_per_thread; ++i) {
+          size_t idx = (t * 7919 + i) % s.cuboids.size();
+          auto v = session->ForwardQuery(s.geo.volume,
+                                         {Value::Ref(s.cuboids[idx])});
+          if (!v.ok() || !v->is_numeric() ||
+              *v->AsDouble() != expected[idx]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+
+    auto t0 = Clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    if (mismatches.load() != 0) {
+      std::fprintf(stderr,
+                   "FAILED: %zu of %zu concurrent reads disagreed with the "
+                   "single-threaded oracle at %zu threads\n",
+                   mismatches.load(), nthreads * queries_per_thread,
+                   nthreads);
+      return 1;
+    }
+
+    ScalePoint p;
+    p.threads = nthreads;
+    p.wall_ms = ms;
+    p.qps = 1000.0 * static_cast<double>(nthreads * queries_per_thread) / ms;
+    p.speedup = points.empty() ? 1.0 : p.qps / points.front().qps;
+    std::printf("%8zu %12.2f %14.0f %9.2fx\n", p.threads, p.wall_ms, p.qps,
+                p.speedup);
+    points.push_back(p);
+  }
+
+  const ScalePoint& top = points.back();
+  std::printf("\n# %zu threads: %.2fx single-thread throughput "
+              "(gate: >= 3x)\n",
+              top.threads, top.speedup);
+  if (top.speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAILED: %zu-thread speedup %.2fx < 3x — shared-latch read "
+                 "path is not overlapping probe stalls\n",
+                 top.threads, top.speedup);
+    return 1;
+  }
+
+  std::string arr = "[\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    JsonWriter w;
+    w.Add("threads", static_cast<uint64_t>(p.threads));
+    w.Add("wall_ms", p.wall_ms);
+    w.Add("queries_per_s", p.qps);
+    w.Add("speedup", p.speedup);
+    arr += "    " + w.Render(4);
+    arr += (i + 1 < points.size()) ? ",\n" : "\n";
+  }
+  arr += "  ]";
+
+  if (args.out.size()) {
+    JsonWriter root;
+    root.Add("benchmark", std::string("mt_harness"));
+    root.Add("mode", std::string(args.quick ? "quick" : "full"));
+    root.Add("num_cuboids", static_cast<uint64_t>(num_cuboids));
+    root.Add("queries_per_thread", static_cast<uint64_t>(queries_per_thread));
+    root.Add("io_stall_us", static_cast<uint64_t>(stall_us));
+    root.AddRaw("thread_scaling", arr);
+    if (!root.WriteFile(args.out)) {
+      std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", args.out.c_str());
+  }
+  if (merge_path.size()) {
+    if (!MergeThreadScaling(merge_path, arr)) {
+      std::fprintf(stderr, "FAILED: cannot merge into %s\n",
+                   merge_path.c_str());
+      return 1;
+    }
+    std::printf("# merged thread_scaling into %s\n", merge_path.c_str());
+  }
+  return 0;
+}

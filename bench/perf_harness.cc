@@ -28,6 +28,7 @@
 #include <cmath>
 
 #include "bench_util.h"
+#include "workload/stack.h"
 
 using namespace gom;
 using namespace gom::workload;
@@ -93,33 +94,22 @@ std::string SummaryJson(const LatencySummary& s) {
 }
 
 /// Benchmark stack: the §7.1 cuboid base with materialized volume and
-/// object-level dependency tracking. A large buffer keeps the simulated
-/// storage out of the way — this harness measures the data structures, not
-/// the 1991 disk model.
-struct HarnessEnv {
-  explicit HarnessEnv(size_t num_cuboids, StorageOptions storage_options = {})
-      : env(4096, GmrManagerOptions{}, storage_options) {
-    geo = *CuboidSchema::Declare(&env.schema, &env.registry);
-    Rng rng(97);
-    Oid iron = *geo.MakeMaterial(&env.om, "Iron", 7.86);
-    for (size_t i = 0; i < num_cuboids; ++i) {
-      cuboids.push_back(*geo.MakeCuboid(&env.om, rng.UniformDouble(1, 20),
-                                        rng.UniformDouble(1, 20),
-                                        rng.UniformDouble(1, 20), iron));
-    }
-    GmrSpec spec;
-    spec.name = "volume";
-    spec.arg_types = {TypeRef::Object(geo.cuboid)};
-    spec.functions = {geo.volume};
-    gmr_id = *env.mgr.Materialize(spec);
-    env.InstallNotifier(NotifyLevel::kObjDep);
-  }
-
-  Environment env;
-  CuboidSchema geo;
-  std::vector<Oid> cuboids;
-  GmrId gmr_id = kInvalidGmrId;
-};
+/// object-level dependency tracking (workload::MakeCompanyStack). A large
+/// buffer keeps the simulated storage out of the way — this harness
+/// measures the data structures, not the 1991 disk model.
+std::unique_ptr<CompanyStack> MakeHarnessStack(
+    size_t num_cuboids, StorageOptions storage_options = {}) {
+  StackOptions opts;
+  opts.buffer_pages = 4096;
+  opts.storage = storage_options;
+  opts.num_cuboids = num_cuboids;
+  opts.seed = 97;
+  opts.materialize_volume = true;
+  opts.notify = true;
+  auto stack = MakeCompanyStack(opts);
+  if (!stack->setup.ok()) Fail(stack->setup, "stack setup");
+  return stack;
+}
 
 }  // namespace
 
@@ -138,7 +128,8 @@ int main(int argc, char** argv) {
   std::printf("# %zu cuboids, materialized volume, ObjDep notification\n\n",
               num_cuboids);
 
-  HarnessEnv h(num_cuboids);
+  auto h_owner = MakeHarnessStack(num_cuboids);
+  CompanyStack& h = *h_owner;
   Rng rng(11);
 
   // --- forward lookup (hit) ------------------------------------------------
@@ -175,7 +166,7 @@ int main(int argc, char** argv) {
   // every write recomputes volume; a batch coalesces them into one
   // recomputation per distinct cuboid.
   static const char* kCoords[] = {"X", "Y", "Z"};
-  auto storm_body = [&](HarnessEnv& henv, Rng& storm_rng) -> Status {
+  auto storm_body = [&](CompanyStack& henv, Rng& storm_rng) -> Status {
     for (size_t t = 0; t < storm_targets; ++t) {
       Oid c = henv.cuboids[storm_rng.UniformInt(0, henv.cuboids.size() - 1)];
       Oid v1 = henv.env.om.GetAttribute(c, "V1")->as_ref();
@@ -188,7 +179,8 @@ int main(int argc, char** argv) {
     return Status::Ok();
   };
 
-  HarnessEnv unbatched_env(num_cuboids);
+  auto unbatched_owner = MakeHarnessStack(num_cuboids);
+  CompanyStack& unbatched_env = *unbatched_owner;
   Rng unbatched_rng(23);
   uint64_t remat_before = unbatched_env.env.mgr.stats().rematerializations;
   LatencySummary storm_unbatched = Measure(storms / 10, storms, [&] {
@@ -199,7 +191,8 @@ int main(int argc, char** argv) {
       unbatched_env.env.mgr.stats().rematerializations - remat_before;
   PrintSummary("update_storm_unbatched", storm_unbatched);
 
-  HarnessEnv batched_env(num_cuboids);
+  auto batched_owner = MakeHarnessStack(num_cuboids);
+  CompanyStack& batched_env = *batched_owner;
   Rng batched_rng(23);
   remat_before = batched_env.env.mgr.stats().rematerializations;
   LatencySummary storm_batched = Measure(storms / 10, storms, [&] {
@@ -217,7 +210,8 @@ int main(int argc, char** argv) {
   // the base mutates), a remat record and a commit.
   StorageOptions wal_options;
   wal_options.enable_wal = true;
-  HarnessEnv wal_env(num_cuboids, wal_options);
+  auto wal_owner = MakeHarnessStack(num_cuboids, wal_options);
+  CompanyStack& wal_env = *wal_owner;
   Rng wal_rng(23);
   LatencySummary storm_wal = Measure(storms / 10, storms, [&] {
     Status st = storm_body(wal_env, wal_rng);

@@ -35,6 +35,7 @@
 #include "storage/wal.h"
 #include "workload/cuboid_schema.h"
 #include "workload/program_version.h"
+#include "workload/stack.h"
 
 using namespace gom;
 using namespace gom::bench;
@@ -65,17 +66,10 @@ struct Rig {
     if (wal != nullptr) mgr->AttachWal(wal.get());
     geo = *workload::CuboidSchema::Declare(&schema, &registry);
 
-    Rng rng(29);
-    Oid iron = *geo.MakeMaterial(&om, "Iron", 7.86);
-    for (size_t i = 0; i < num_cuboids; ++i) {
-      cuboids.push_back(*geo.MakeCuboid(&om, rng.UniformDouble(1, 20),
-                                        rng.UniformDouble(1, 20),
-                                        rng.UniformDouble(1, 20), iron));
-    }
-    GmrSpec spec;
-    spec.name = "volume";
-    spec.arg_types = {TypeRef::Object(geo.cuboid)};
-    spec.functions = {geo.volume};
+    Status populated =
+        workload::PopulateCuboids(&om, geo, num_cuboids, 29, &cuboids);
+    if (!populated.ok()) Fail(populated, "rig population");
+    GmrSpec spec = workload::VolumeSpec(geo);
     specs.push_back(spec);
     gmr_id = *mgr->Materialize(spec);
     InstallNotifier();

@@ -1,6 +1,7 @@
 #ifndef GOMFM_COMMON_SIM_CLOCK_H_
 #define GOMFM_COMMON_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace gom {
@@ -10,23 +11,31 @@ namespace gom {
 /// benchmarks report `seconds()` as the "user time" of the 1991 paper.
 ///
 /// The clock is deterministic: two runs of the same seeded workload produce
-/// identical times, which makes the figure reproductions stable.
+/// identical times, which makes the figure reproductions stable. Charges
+/// accumulate through a CAS loop so concurrent sessions can share one clock;
+/// a single-threaded run performs the same additions in the same order and
+/// therefore reads bit-identical totals.
 class SimClock {
  public:
   SimClock() = default;
 
   /// Charges `s` simulated seconds. Negative charges are ignored.
   void Advance(double s) {
-    if (s > 0) seconds_ += s;
+    if (s > 0) {
+      double cur = seconds_.load(std::memory_order_relaxed);
+      while (!seconds_.compare_exchange_weak(cur, cur + s,
+                                             std::memory_order_relaxed)) {
+      }
+    }
   }
 
-  double seconds() const { return seconds_; }
+  double seconds() const { return seconds_.load(std::memory_order_relaxed); }
 
   /// Resets the clock to zero (used between benchmark series points).
-  void Reset() { seconds_ = 0.0; }
+  void Reset() { seconds_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double seconds_ = 0.0;
+  std::atomic<double> seconds_{0.0};
 };
 
 /// Cost-model constants mirroring the paper's testbed (§7): a DEC disk with

@@ -33,15 +33,15 @@ class ScopedBinding {
 }  // namespace
 
 Result<Value> EvalContext::GetAttr(Oid oid, const std::string& attr_name) {
-  return interp_->TrackedGetAttr(oid, attr_name, trace_);
+  return interp_->TrackedGetAttr(oid, attr_name, trace_, ctx_);
 }
 
 Result<std::vector<Value>> EvalContext::GetElements(Oid oid) {
-  return interp_->CollectionElements(Value::Ref(oid), trace_);
+  return interp_->CollectionElements(Value::Ref(oid), trace_, ctx_);
 }
 
 Result<Value> EvalContext::Invoke(FunctionId f, std::vector<Value> args) {
-  return interp_->Invoke(f, std::move(args), trace_);
+  return interp_->InvokeAtDepth(f, std::move(args), trace_, 0, ctx_);
 }
 
 Result<Value> Interpreter::InvokeByName(const std::string& name,
@@ -52,17 +52,23 @@ Result<Value> Interpreter::InvokeByName(const std::string& name,
 
 Result<Value> Interpreter::Invoke(FunctionId f, std::vector<Value> args,
                                   Trace* trace) {
-  return InvokeAtDepth(f, std::move(args), trace, 0);
+  return InvokeAtDepth(f, std::move(args), trace, 0, nullptr);
+}
+
+Result<Value> Interpreter::Invoke(const ExecutionContext* ctx, FunctionId f,
+                                  std::vector<Value> args, Trace* trace) {
+  return InvokeAtDepth(f, std::move(args), trace, 0, ctx);
 }
 
 Result<Value> Interpreter::Evaluate(
     const Expr& e, std::unordered_map<std::string, Value> bindings,
     Trace* trace) {
-  return Eval(e, bindings, trace, 0);
+  return Eval(e, bindings, trace, 0, nullptr);
 }
 
 Result<Value> Interpreter::InvokeAtDepth(FunctionId f, std::vector<Value> args,
-                                         Trace* trace, int depth) {
+                                         Trace* trace, int depth,
+                                         const ExecutionContext* ctx) {
   if (depth > kMaxDepth) {
     return Status::FailedPrecondition("function call depth limit exceeded");
   }
@@ -71,7 +77,7 @@ Result<Value> Interpreter::InvokeAtDepth(FunctionId f, std::vector<Value> args,
   // the real body so the RRR sees every accessed object.
   if (interceptor_ && depth > 0 && trace == nullptr) {
     Result<Value> intercepted = Value::Null();
-    if (interceptor_(f, args, &intercepted)) return intercepted;
+    if (interceptor_(ctx, f, args, &intercepted)) return intercepted;
   }
   GOMFM_ASSIGN_OR_RETURN(const FunctionDef* def, registry_->Get(f));
   if (args.size() != def->params.size()) {
@@ -81,8 +87,8 @@ Result<Value> Interpreter::InvokeAtDepth(FunctionId f, std::vector<Value> args,
         std::to_string(args.size()));
   }
   if (def->is_native()) {
-    EvalContext ctx(this, om_, trace);
-    return def->native(ctx, args);
+    EvalContext ectx(this, om_, trace, ctx);
+    return def->native(ectx, args);
   }
   Env env;
   env.reserve(def->params.size() + def->body.stmts.size());
@@ -90,7 +96,7 @@ Result<Value> Interpreter::InvokeAtDepth(FunctionId f, std::vector<Value> args,
     env.emplace(def->params[i].name, std::move(args[i]));
   }
   for (const Stmt& stmt : def->body.stmts) {
-    GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*stmt.expr, env, trace, depth));
+    GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*stmt.expr, env, trace, depth, ctx));
     if (stmt.kind == Stmt::Kind::kReturn) return v;
     env[stmt.var] = std::move(v);
   }
@@ -99,7 +105,8 @@ Result<Value> Interpreter::InvokeAtDepth(FunctionId f, std::vector<Value> args,
 
 Result<Value> Interpreter::TrackedGetAttr(Oid oid,
                                           const std::string& attr_name,
-                                          Trace* trace) {
+                                          Trace* trace,
+                                          const ExecutionContext* ctx) {
   if (trace != nullptr) {
     trace->RecordObject(oid);
     auto type = om_->TypeOf(oid);
@@ -108,11 +115,11 @@ Result<Value> Interpreter::TrackedGetAttr(Oid oid,
       if (resolved.ok()) trace->RecordProperty(*type, resolved->first);
     }
   }
-  return om_->GetAttribute(oid, attr_name);
+  return om_->GetAttribute(oid, attr_name, ctx);
 }
 
-Result<std::vector<Value>> Interpreter::CollectionElements(const Value& v,
-                                                           Trace* trace) {
+Result<std::vector<Value>> Interpreter::CollectionElements(
+    const Value& v, Trace* trace, const ExecutionContext* ctx) {
   if (v.kind() == ValueKind::kComposite) return v.elements();
   if (v.kind() == ValueKind::kRef) {
     Oid oid = v.as_ref();
@@ -121,16 +128,20 @@ Result<std::vector<Value>> Interpreter::CollectionElements(const Value& v,
       auto type = om_->TypeOf(oid);
       if (type.ok()) trace->RecordProperty(*type, kElementsOfAttr);
     }
-    return om_->GetElements(oid);
+    return om_->GetElements(oid, ctx);
   }
   return Status::TypeMismatch(
       std::string("expected a collection, got ") + ValueKindName(v.kind()));
 }
 
 Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
-                                int depth) {
-  ++nodes_evaluated_;
-  om_->clock()->Advance(cost_.cpu_eval_node_seconds);
+                                int depth,
+                                const ExecutionContext* ctx) {
+  nodes_evaluated_.fetch_add(1, std::memory_order_relaxed);
+  SimClock* clk = (ctx != nullptr && ctx->clock != nullptr) ? ctx->clock
+                                                            : om_->clock();
+  clk->Advance(cost_.cpu_eval_node_seconds);
+  if (ctx != nullptr && ctx->stats != nullptr) ++ctx->stats->eval_nodes;
 
   switch (e.kind) {
     case ExprKind::kConst:
@@ -146,22 +157,22 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
 
     case ExprKind::kAttr: {
       GOMFM_ASSIGN_OR_RETURN(Value base,
-                             Eval(*e.children[0], env, trace, depth));
+                             Eval(*e.children[0], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(Oid oid, base.AsRef());
-      return TrackedGetAttr(oid, e.name, trace);
+      return TrackedGetAttr(oid, e.name, trace, ctx);
     }
 
     case ExprKind::kBinary:
-      return EvalBinary(e, env, trace, depth);
+      return EvalBinary(e, env, trace, depth, ctx);
 
     case ExprKind::kUnary:
-      return EvalUnary(e, env, trace, depth);
+      return EvalUnary(e, env, trace, depth, ctx);
 
     case ExprKind::kIf: {
       GOMFM_ASSIGN_OR_RETURN(Value cond,
-                             Eval(*e.children[0], env, trace, depth));
+                             Eval(*e.children[0], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(bool b, cond.AsBool());
-      return Eval(*e.children[b ? 1 : 2], env, trace, depth);
+      return Eval(*e.children[b ? 1 : 2], env, trace, depth, ctx);
     }
 
     case ExprKind::kCall: {
@@ -169,27 +180,27 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
       std::vector<Value> args;
       args.reserve(e.children.size());
       for (const ExprPtr& child : e.children) {
-        GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*child, env, trace, depth));
+        GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*child, env, trace, depth, ctx));
         args.push_back(std::move(v));
       }
-      return InvokeAtDepth(callee, std::move(args), trace, depth + 1);
+      return InvokeAtDepth(callee, std::move(args), trace, depth + 1, ctx);
     }
 
     case ExprKind::kAggregate:
-      return EvalAggregate(e, env, trace, depth);
+      return EvalAggregate(e, env, trace, depth, ctx);
 
     case ExprKind::kSelect: {
       GOMFM_ASSIGN_OR_RETURN(Value src,
-                             Eval(*e.children[0], env, trace, depth));
+                             Eval(*e.children[0], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(std::vector<Value> elems,
-                             CollectionElements(src, trace));
+                             CollectionElements(src, trace, ctx));
       std::vector<Value> out;
       {
         ScopedBinding scope(&env, e.var);
         for (Value& elem : elems) {
           env[e.var] = elem;
           GOMFM_ASSIGN_OR_RETURN(Value pred,
-                                 Eval(*e.children[1], env, trace, depth));
+                                 Eval(*e.children[1], env, trace, depth, ctx));
           GOMFM_ASSIGN_OR_RETURN(bool keep, pred.AsBool());
           if (keep) out.push_back(std::move(elem));
         }
@@ -199,9 +210,9 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
 
     case ExprKind::kMap: {
       GOMFM_ASSIGN_OR_RETURN(Value src,
-                             Eval(*e.children[0], env, trace, depth));
+                             Eval(*e.children[0], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(std::vector<Value> elems,
-                             CollectionElements(src, trace));
+                             CollectionElements(src, trace, ctx));
       std::vector<Value> out;
       out.reserve(elems.size());
       {
@@ -209,7 +220,7 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
         for (Value& elem : elems) {
           env[e.var] = std::move(elem);
           GOMFM_ASSIGN_OR_RETURN(Value v,
-                                 Eval(*e.children[1], env, trace, depth));
+                                 Eval(*e.children[1], env, trace, depth, ctx));
           out.push_back(std::move(v));
         }
       }
@@ -218,13 +229,13 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
 
     case ExprKind::kFlatten: {
       GOMFM_ASSIGN_OR_RETURN(Value src,
-                             Eval(*e.children[0], env, trace, depth));
+                             Eval(*e.children[0], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(std::vector<Value> outer,
-                             CollectionElements(src, trace));
+                             CollectionElements(src, trace, ctx));
       std::vector<Value> out;
       for (const Value& inner : outer) {
         GOMFM_ASSIGN_OR_RETURN(std::vector<Value> elems,
-                               CollectionElements(inner, trace));
+                               CollectionElements(inner, trace, ctx));
         for (Value& v : elems) out.push_back(std::move(v));
       }
       return Value::Composite(std::move(out));
@@ -234,7 +245,7 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
       std::vector<Value> out;
       out.reserve(e.children.size());
       for (const ExprPtr& child : e.children) {
-        GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*child, env, trace, depth));
+        GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*child, env, trace, depth, ctx));
         out.push_back(std::move(v));
       }
       return Value::Composite(std::move(out));
@@ -242,7 +253,7 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
 
     case ExprKind::kAt: {
       GOMFM_ASSIGN_OR_RETURN(Value src,
-                             Eval(*e.children[0], env, trace, depth));
+                             Eval(*e.children[0], env, trace, depth, ctx));
       if (src.kind() != ValueKind::kComposite) {
         return Status::TypeMismatch("At() expects a composite");
       }
@@ -254,11 +265,11 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
 
     case ExprKind::kContains: {
       GOMFM_ASSIGN_OR_RETURN(Value coll,
-                             Eval(*e.children[0], env, trace, depth));
+                             Eval(*e.children[0], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(Value needle,
-                             Eval(*e.children[1], env, trace, depth));
+                             Eval(*e.children[1], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(std::vector<Value> elems,
-                             CollectionElements(coll, trace));
+                             CollectionElements(coll, trace, ctx));
       for (const Value& v : elems) {
         if (v == needle) return Value::Bool(true);
       }
@@ -269,20 +280,21 @@ Result<Value> Interpreter::Eval(const Expr& e, Env& env, Trace* trace,
 }
 
 Result<Value> Interpreter::EvalBinary(const Expr& e, Env& env, Trace* trace,
-                                      int depth) {
+                                      int depth,
+                                      const ExecutionContext* ctx) {
   // Short-circuit logical operators.
   if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
-    GOMFM_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], env, trace, depth));
+    GOMFM_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], env, trace, depth, ctx));
     GOMFM_ASSIGN_OR_RETURN(bool l, lhs.AsBool());
     if (e.binary_op == BinaryOp::kAnd && !l) return Value::Bool(false);
     if (e.binary_op == BinaryOp::kOr && l) return Value::Bool(true);
-    GOMFM_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], env, trace, depth));
+    GOMFM_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], env, trace, depth, ctx));
     GOMFM_ASSIGN_OR_RETURN(bool r, rhs.AsBool());
     return Value::Bool(r);
   }
 
-  GOMFM_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], env, trace, depth));
-  GOMFM_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], env, trace, depth));
+  GOMFM_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], env, trace, depth, ctx));
+  GOMFM_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], env, trace, depth, ctx));
 
   switch (e.binary_op) {
     case BinaryOp::kAdd:
@@ -361,8 +373,9 @@ Result<Value> Interpreter::EvalBinary(const Expr& e, Env& env, Trace* trace,
 }
 
 Result<Value> Interpreter::EvalUnary(const Expr& e, Env& env, Trace* trace,
-                                     int depth) {
-  GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], env, trace, depth));
+                                     int depth,
+                                     const ExecutionContext* ctx) {
+  GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], env, trace, depth, ctx));
   switch (e.unary_op) {
     case UnaryOp::kNot: {
       GOMFM_ASSIGN_OR_RETURN(bool b, v.AsBool());
@@ -400,10 +413,11 @@ Result<Value> Interpreter::EvalUnary(const Expr& e, Env& env, Trace* trace,
 }
 
 Result<Value> Interpreter::EvalAggregate(const Expr& e, Env& env, Trace* trace,
-                                         int depth) {
-  GOMFM_ASSIGN_OR_RETURN(Value src, Eval(*e.children[0], env, trace, depth));
+                                         int depth,
+                                         const ExecutionContext* ctx) {
+  GOMFM_ASSIGN_OR_RETURN(Value src, Eval(*e.children[0], env, trace, depth, ctx));
   GOMFM_ASSIGN_OR_RETURN(std::vector<Value> elems,
-                         CollectionElements(src, trace));
+                         CollectionElements(src, trace, ctx));
 
   if (e.aggregate_op == AggregateOp::kCount) {
     return Value::Int(static_cast<int64_t>(elems.size()));
@@ -416,7 +430,7 @@ Result<Value> Interpreter::EvalAggregate(const Expr& e, Env& env, Trace* trace,
     ScopedBinding scope(&env, e.var);
     for (Value& elem : elems) {
       env[e.var] = std::move(elem);
-      GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*e.children[1], env, trace, depth));
+      GOMFM_ASSIGN_OR_RETURN(Value v, Eval(*e.children[1], env, trace, depth, ctx));
       GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
       sum += d;
       if (first || (e.aggregate_op == AggregateOp::kMin && d < best) ||

@@ -1,12 +1,14 @@
 #ifndef GOMFM_FUNCLANG_INTERPRETER_H_
 #define GOMFM_FUNCLANG_INTERPRETER_H_
 
+#include <atomic>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "funclang/ast.h"
 #include "funclang/function_registry.h"
 #include "gom/object_manager.h"
@@ -56,12 +58,14 @@ class Interpreter;
 /// exactly like interpreted attribute accesses.
 class EvalContext {
  public:
-  EvalContext(Interpreter* interp, ObjectManager* om, Trace* trace)
-      : interp_(interp), om_(om), trace_(trace) {}
+  EvalContext(Interpreter* interp, ObjectManager* om, Trace* trace,
+              const ExecutionContext* ctx = nullptr)
+      : interp_(interp), om_(om), trace_(trace), ctx_(ctx) {}
 
   ObjectManager& om() { return *om_; }
   Interpreter& interpreter() { return *interp_; }
   Trace* trace() { return trace_; }
+  const ExecutionContext* exec_ctx() const { return ctx_; }
 
   /// Tracked attribute read.
   Result<Value> GetAttr(Oid oid, const std::string& attr_name);
@@ -76,6 +80,7 @@ class EvalContext {
   Interpreter* interp_;
   ObjectManager* om_;
   Trace* trace_;
+  const ExecutionContext* ctx_;
 };
 
 /// Evaluates function-language bodies against the object base.
@@ -98,6 +103,13 @@ class Interpreter {
   Result<Value> Invoke(FunctionId f, std::vector<Value> args,
                        Trace* trace = nullptr);
 
+  /// Context-aware variant: per-node CPU charges go to `ctx->clock` (the
+  /// session clock) and the context reaches the call interceptor, so
+  /// concurrent sessions stop funnelling per-session state through shared
+  /// members. `ctx == nullptr` behaves exactly like the overload above.
+  Result<Value> Invoke(const ExecutionContext* ctx, FunctionId f,
+                       std::vector<Value> args, Trace* trace = nullptr);
+
   Result<Value> InvokeByName(const std::string& name, std::vector<Value> args,
                              Trace* trace = nullptr);
 
@@ -114,8 +126,9 @@ class Interpreter {
   /// runs are (re)materializations, which must evaluate the real body so
   /// the reverse references stay complete). Returning true means `out`
   /// holds the answer; false falls through to normal evaluation.
-  using CallInterceptor = std::function<bool(
-      FunctionId, const std::vector<Value>&, Result<Value>* out)>;
+  using CallInterceptor =
+      std::function<bool(const ExecutionContext*, FunctionId,
+                         const std::vector<Value>&, Result<Value>* out)>;
   void SetCallInterceptor(CallInterceptor interceptor) {
     interceptor_ = std::move(interceptor);
   }
@@ -124,29 +137,36 @@ class Interpreter {
   const FunctionRegistry* registry() const { return registry_; }
 
   /// Number of AST nodes evaluated since construction (cost introspection).
-  uint64_t nodes_evaluated() const { return nodes_evaluated_; }
+  uint64_t nodes_evaluated() const {
+    return nodes_evaluated_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class EvalContext;
 
   using Env = std::unordered_map<std::string, Value>;
 
-  Result<Value> Eval(const Expr& e, Env& env, Trace* trace, int depth);
-  Result<Value> EvalBinary(const Expr& e, Env& env, Trace* trace, int depth);
-  Result<Value> EvalUnary(const Expr& e, Env& env, Trace* trace, int depth);
-  Result<Value> EvalAggregate(const Expr& e, Env& env, Trace* trace,
-                              int depth);
+  Result<Value> Eval(const Expr& e, Env& env, Trace* trace, int depth,
+                     const ExecutionContext* ctx);
+  Result<Value> EvalBinary(const Expr& e, Env& env, Trace* trace, int depth,
+                           const ExecutionContext* ctx);
+  Result<Value> EvalUnary(const Expr& e, Env& env, Trace* trace, int depth,
+                          const ExecutionContext* ctx);
+  Result<Value> EvalAggregate(const Expr& e, Env& env, Trace* trace, int depth,
+                              const ExecutionContext* ctx);
 
   /// Materializes the elements of a collection-valued result: a composite's
   /// elements directly, or a tracked read of a set/list object.
-  Result<std::vector<Value>> CollectionElements(const Value& v, Trace* trace);
+  Result<std::vector<Value>> CollectionElements(const Value& v, Trace* trace,
+                                                const ExecutionContext* ctx);
 
   /// Tracked attribute read used by both interpreted and native code.
   Result<Value> TrackedGetAttr(Oid oid, const std::string& attr_name,
-                               Trace* trace);
+                               Trace* trace, const ExecutionContext* ctx);
 
   Result<Value> InvokeAtDepth(FunctionId f, std::vector<Value> args,
-                              Trace* trace, int depth);
+                              Trace* trace, int depth,
+                              const ExecutionContext* ctx);
 
   static constexpr int kMaxDepth = 64;
 
@@ -154,7 +174,7 @@ class Interpreter {
   const FunctionRegistry* registry_;
   CostModel cost_;
   CallInterceptor interceptor_;
-  uint64_t nodes_evaluated_ = 0;
+  std::atomic<uint64_t> nodes_evaluated_{0};
 };
 
 }  // namespace gom::funclang

@@ -126,9 +126,29 @@ Result<RowId> Gmr::Insert(std::vector<Value> args) {
 }
 
 Result<RowId> Gmr::FindRow(const std::vector<Value>& args) const {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   clock_->Advance(cost_.cpu_index_op_seconds);
   return arg_index_.Lookup(args);
+}
+
+Result<std::optional<Value>> Gmr::ReadResult(const std::vector<Value>& args,
+                                             size_t fn_idx,
+                                             const ExecutionContext* ctx) const {
+  if (fn_idx >= spec_.function_count()) {
+    return Status::InvalidArgument("GMR: bad function index");
+  }
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  SimClock* clk =
+      (ctx != nullptr && ctx->clock != nullptr) ? ctx->clock : clock_;
+  clk->Advance(cost_.cpu_index_op_seconds);
+  GOMFM_ASSIGN_OR_RETURN(RowId row, arg_index_.Lookup(args));
+  if (row >= rows_.size() || !rows_[row].live) {
+    return Status::NotFound("GMR '" + spec_.name + "': no such row");
+  }
+  GOMFM_RETURN_IF_ERROR(rows_store_.Touch(handles_[row]));
+  const Row& r = rows_[row];
+  if (!r.valid[fn_idx]) return std::optional<Value>();
+  return std::optional<Value>(r.results[fn_idx]);
 }
 
 Result<const Gmr::Row*> Gmr::Get(RowId row) {

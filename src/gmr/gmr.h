@@ -1,11 +1,15 @@
 #ifndef GOMFM_GMR_GMR_H_
 #define GOMFM_GMR_GMR_H_
 
+#include <atomic>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "gom/type.h"
@@ -128,6 +132,17 @@ class Gmr {
   /// Reads a row, touching its pages.
   Result<const Row*> Get(RowId row);
 
+  /// Read-plane accessor for concurrent sessions: resolves `args` and reads
+  /// result column `fn_idx` without mutating any bookkeeping — no recency
+  /// bump, no insertion, no self-healing. kNotFound means no row for the
+  /// argument combination; an engaged optional is a valid cached result
+  /// (copied out); nullopt means the row exists but the result is invalid.
+  /// Pages are touched (disk time charges the shared global clock); CPU
+  /// charges go to `ctx` when supplied. Safe under a shared `latch()`.
+  Result<std::optional<Value>> ReadResult(
+      const std::vector<Value>& args, size_t fn_idx,
+      const ExecutionContext* ctx = nullptr) const;
+
   /// Stores a freshly (re)computed result and marks it valid.
   Status SetResult(RowId row, size_t fn_idx, Value result);
 
@@ -157,7 +172,15 @@ class Gmr {
 
   size_t live_rows() const { return live_rows_; }
   uint64_t invalidation_count() const { return invalidations_; }
-  uint64_t lookup_count() const { return lookups_; }
+  uint64_t lookup_count() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-extension latch, locked by the component layer (shared for the
+  /// read plane, exclusive for maintenance). The Gmr's own methods never
+  /// take it — they nest (ScanValidRange → Get, Insert → EvictLru), and
+  /// the single-threaded owner path must stay latch-free.
+  std::shared_mutex& latch() const { return latch_; }
 
   /// Consistency probe for tests: a Definition-3.2-consistent extension
   /// never has valid == true with a null result.
@@ -187,7 +210,8 @@ class Gmr {
   size_t live_rows_ = 0;
   uint64_t access_counter_ = 0;
   uint64_t invalidations_ = 0;
-  mutable uint64_t lookups_ = 0;
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace gom

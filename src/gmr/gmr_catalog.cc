@@ -1,0 +1,102 @@
+#include "gmr/gmr_catalog.h"
+
+namespace gom {
+
+GmrCatalog::GmrCatalog(ObjectManager* om,
+                       const funclang::FunctionRegistry* registry,
+                       StorageManager* storage, bool second_chance_rrr)
+    : om_(om),
+      registry_(registry),
+      analyzer_(om->schema(), registry),
+      rrr_(storage, om->clock(), CostModel::Default(), second_chance_rrr) {}
+
+Result<Gmr*> GmrCatalog::Get(GmrId id) {
+  if (id >= gmrs_.size() || gmrs_[id] == nullptr) {
+    return Status::NotFound("no GMR with id " + std::to_string(id));
+  }
+  return gmrs_[id].get();
+}
+
+Result<std::pair<GmrId, size_t>> GmrCatalog::Locate(FunctionId f) const {
+  const auto* loc = columns_.Find(f);
+  if (loc == nullptr) {
+    return Status::NotFound("function " + registry_->NameOf(f) +
+                            " is not materialized");
+  }
+  return *loc;
+}
+
+Result<GmrId> GmrCatalog::Register(GmrSpec spec,
+                                   const RowChangeLogger& logger) {
+  if (spec.functions.empty()) {
+    return Status::InvalidArgument("GMR needs at least one function");
+  }
+  if (spec.arg_restrictions.size() < spec.arg_types.size()) {
+    spec.arg_restrictions.resize(spec.arg_types.size());
+  }
+  // Atomic argument types must be restricted (§6.2); float arguments must
+  // be value-restricted.
+  for (size_t i = 0; i < spec.arg_types.size(); ++i) {
+    const TypeRef& t = spec.arg_types[i];
+    const ArgRestriction& r = spec.arg_restrictions[i];
+    if (t.is_object()) continue;
+    if (r.kind == ArgRestriction::Kind::kNone) {
+      return Status::FailedPrecondition(
+          "atomic argument " + std::to_string(i) +
+          " of GMR '" + spec.name + "' must be value- or range-restricted");
+    }
+    if (t.tag == TypeRef::Tag::kFloat &&
+        r.kind != ArgRestriction::Kind::kValues) {
+      return Status::FailedPrecondition(
+          "float argument of GMR '" + spec.name +
+          "' must be value-restricted");
+    }
+  }
+  for (FunctionId f : spec.functions) {
+    GOMFM_ASSIGN_OR_RETURN(const funclang::FunctionDef* def,
+                           registry_->Get(f));
+    if (!def->side_effect_free) {
+      return Status::FailedPrecondition("function '" + def->name +
+                                        "' is not side-effect free");
+    }
+    if (columns_.Contains(f)) {
+      return Status::AlreadyExists("function '" + def->name +
+                                   "' is already materialized");
+    }
+  }
+  if (spec.predicate != kInvalidFunctionId && !spec.complete) {
+    // Incremental restricted GMRs are supported; nothing extra to check.
+  }
+
+  GmrId id = static_cast<GmrId>(gmrs_.size());
+  auto gmr = std::make_unique<Gmr>(id, spec, om_->storage(), om_->clock(),
+                                   CostModel::Default());
+  const GmrSpec& s = gmr->spec();
+
+  // Derive SchemaDepFct from the static analysis (§5.1); native functions
+  // must declare their RelAttr through DeclareRelAttr. Snapshot GMRs take
+  // part in no invalidation at all — they are refreshed wholesale.
+  for (size_t i = 0; i < s.functions.size(); ++i) {
+    FunctionId f = s.functions[i];
+    columns_[f] = {id, i};
+    if (s.snapshot) continue;
+    auto analysis = analyzer_.Analyze(f);
+    if (analysis.ok()) deps_.AddRelAttr(analysis->rel_attr, f);
+  }
+  if (s.predicate != kInvalidFunctionId && !s.snapshot) {
+    predicates_[s.predicate] = id;
+    auto analysis = analyzer_.Analyze(s.predicate);
+    if (analysis.ok()) deps_.AddRelAttr(analysis->rel_attr, s.predicate);
+  }
+
+  if (logger) {
+    gmr->set_change_hook(
+        [logger, id](bool inserted, const std::vector<Value>& args) {
+          return logger(inserted, id, args);
+        });
+  }
+  gmrs_.push_back(std::move(gmr));
+  return id;
+}
+
+}  // namespace gom

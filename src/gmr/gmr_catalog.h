@@ -1,0 +1,106 @@
+#ifndef GOMFM_GMR_GMR_CATALOG_H_
+#define GOMFM_GMR_GMR_CATALOG_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "funclang/function_registry.h"
+#include "funclang/path_extraction.h"
+#include "gmr/dependency_tables.h"
+#include "gmr/gmr.h"
+#include "gmr/rrr.h"
+#include "gom/object_manager.h"
+
+namespace gom {
+
+/// The GMR registry: owns every extension, the column and predicate
+/// directories that map a function to its (GMR, column) coordinate, the
+/// reverse-reference relation and the dependency tables. The catalog is the
+/// *where* of materialization; the read path and the maintenance plane are
+/// the *how*.
+///
+/// Concurrency: `latch()` is a shared mutex over the directories and the
+/// extension vector. Concurrent reader sessions hold it shared for the
+/// duration of a lookup (nesting per-extension latches inside, see
+/// `Gmr::latch()`); the maintenance plane takes it exclusively at its entry
+/// points once `concurrent_mode()` is on. Single-threaded owner runs never
+/// touch the latch at all, which keeps the simulated-time figures
+/// bit-identical to the pre-split implementation.
+class GmrCatalog {
+ public:
+  GmrCatalog(ObjectManager* om, const funclang::FunctionRegistry* registry,
+             StorageManager* storage, bool second_chance_rrr);
+
+  GmrCatalog(const GmrCatalog&) = delete;
+  GmrCatalog& operator=(const GmrCatalog&) = delete;
+
+  Result<Gmr*> Get(GmrId id);
+  /// (GMR, column) of a materialized function; kNotFound otherwise.
+  Result<std::pair<GmrId, size_t>> Locate(FunctionId f) const;
+  bool IsMaterialized(FunctionId f) const { return columns_.Contains(f); }
+
+  /// Row-change observer installed on every registered extension (the
+  /// maintenance plane supplies its WAL logger here).
+  using RowChangeLogger =
+      std::function<Status(bool inserted, GmrId id,
+                           const std::vector<Value>& args)>;
+
+  /// Validation + registration: checks the spec (restricted atomic
+  /// domains, side-effect-free member functions, no double
+  /// materialization), derives SchemaDepFct entries from the static path
+  /// analysis, registers the column/predicate directory entries and
+  /// installs the row-change hook. Does NOT populate the extension — that
+  /// is maintenance work (`GmrMaintenance::Materialize`).
+  Result<GmrId> Register(GmrSpec spec, const RowChangeLogger& logger);
+
+  /// Component-internal state access (maintenance plane, recovery).
+  std::vector<std::unique_ptr<Gmr>>& gmrs() { return gmrs_; }
+  FlatHashMap<FunctionId, std::pair<GmrId, size_t>>& columns() {
+    return columns_;
+  }
+  FlatHashMap<FunctionId, GmrId>& predicates() { return predicates_; }
+  const FlatHashMap<FunctionId, GmrId>& predicates() const {
+    return predicates_;
+  }
+  DependencyTables& deps() { return deps_; }
+  const DependencyTables& deps() const { return deps_; }
+  Rrr& rrr() { return rrr_; }
+  ObjectManager* om() { return om_; }
+  const funclang::FunctionRegistry* registry() const { return registry_; }
+
+  /// Catalog-level latch (see class comment for the protocol).
+  std::shared_mutex& latch() const { return latch_; }
+
+  /// Concurrent mode is switched on when the environment hands out its
+  /// first reader session; from then on the maintenance plane latches its
+  /// entry points exclusively. Never switched back off.
+  bool concurrent_mode() const {
+    return concurrent_mode_.load(std::memory_order_relaxed);
+  }
+  void set_concurrent_mode(bool on) {
+    concurrent_mode_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  ObjectManager* om_;
+  const funclang::FunctionRegistry* registry_;
+  funclang::PathAnalyzer analyzer_;
+
+  std::vector<std::unique_ptr<Gmr>> gmrs_;
+  FlatHashMap<FunctionId, std::pair<GmrId, size_t>> columns_;
+  FlatHashMap<FunctionId, GmrId> predicates_;
+  DependencyTables deps_;
+  Rrr rrr_;
+
+  mutable std::shared_mutex latch_;
+  std::atomic<bool> concurrent_mode_{false};
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_GMR_CATALOG_H_

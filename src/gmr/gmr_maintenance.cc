@@ -1,0 +1,740 @@
+#include "gmr/gmr_maintenance.h"
+
+#include <cassert>
+
+#include "gmr/wal_records.h"
+
+namespace gom {
+
+GmrMaintenance::GmrMaintenance(ObjectManager* om,
+                               funclang::Interpreter* interp,
+                               const funclang::FunctionRegistry* registry,
+                               GmrCatalog* catalog, GmrStats* stats,
+                               GmrManagerOptions options)
+    : om_(om),
+      interp_(interp),
+      registry_(registry),
+      catalog_(catalog),
+      stats_(stats),
+      options_(options) {}
+
+Result<Value> GmrMaintenance::ComputeTracked(FunctionId f,
+                                             const std::vector<Value>& args,
+                                             funclang::Trace* trace) {
+  ++stats_->rematerializations;
+  compute_depth_.fetch_add(1, std::memory_order_relaxed);
+  Result<Value> result = interp_->Invoke(f, args, trace);
+  compute_depth_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
+}
+
+Status GmrMaintenance::RecordReverseRefs(FunctionId f,
+                                         const std::vector<Value>& args,
+                                         const funclang::Trace& trace) {
+  for (Oid o : trace.accessed_objects) {
+    GOMFM_ASSIGN_OR_RETURN(bool inserted, catalog_->rrr().Insert(o, f, args));
+    if (inserted && om_->Exists(o)) {
+      GOMFM_RETURN_IF_ERROR(om_->MarkUsedBy(o, f));
+    }
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::RemoveReverseRef(const Rrr::Entry& entry) {
+  GOMFM_RETURN_IF_ERROR(
+      catalog_->rrr().Remove(entry.object, entry.function, entry.args));
+  if (catalog_->rrr().CountFor(entry.object, entry.function) == 0 &&
+      om_->Exists(entry.object)) {
+    GOMFM_RETURN_IF_ERROR(om_->UnmarkUsedBy(entry.object, entry.function));
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::RecordReverseRefsFromOids(FunctionId f,
+                                                 const std::vector<Value>& args,
+                                                 const std::vector<Oid>& oids) {
+  for (Oid o : oids) {
+    GOMFM_ASSIGN_OR_RETURN(bool inserted, catalog_->rrr().Insert(o, f, args));
+    if (inserted && om_->Exists(o)) {
+      GOMFM_RETURN_IF_ERROR(om_->MarkUsedBy(o, f));
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Write-ahead logging ------------------------------------------------------
+
+Status GmrMaintenance::LogMarker(WalRecordType type) {
+  if (wal_ == nullptr) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(type, {}));
+  (void)lsn;
+  return Status::Ok();
+}
+
+Status GmrMaintenance::LogRowChange(WalRecordType type, GmrId id,
+                                    const std::vector<Value>& args) {
+  if (wal_ == nullptr) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(Lsn lsn,
+                         wal_->Append(type, EncodeRowChange(id, args)));
+  (void)lsn;
+  return Status::Ok();
+}
+
+Status GmrMaintenance::LogRemat(GmrId id, size_t col,
+                                const std::vector<Value>& args,
+                                const Value& value,
+                                const std::vector<Oid>& accessed) {
+  if (wal_ == nullptr) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(
+      Lsn lsn, wal_->Append(WalRecordType::kRematResult,
+                            EncodeRemat(id, static_cast<uint32_t>(col), args,
+                                        value, accessed)));
+  (void)lsn;
+  return Status::Ok();
+}
+
+bool GmrMaintenance::HasOpenIntent(Oid o) const {
+  for (const OpenIntent& intent : open_intents_) {
+    if (intent.oid == o) return true;
+  }
+  return false;
+}
+
+Status GmrMaintenance::LogUpdateIntent(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  auto used = om_->UsedBy(o);
+  bool relevant = used.ok() && !(*used)->empty();
+  open_intents_.push_back(OpenIntent{o, relevant});
+  if (!relevant) return Status::Ok();
+  // The write-ahead rule proper: the intent must be durable before the
+  // object base mutates, else a crash could lose the invalidation the
+  // update implies (the one failure mode that produces wrong answers).
+  Status logged = [&]() -> Status {
+    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateIntent,
+                                                 EncodeOidPayload(o)));
+    (void)lsn;
+    return wal_->Flush();
+  }();
+  if (!logged.ok()) {
+    // The caller vetoes the update, so no commit/abort will ever close
+    // this intent — pop it rather than leave the region dangling open.
+    open_intents_.pop_back();
+  }
+  return logged;
+}
+
+Status GmrMaintenance::LogUpdateCommit(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  for (auto it = open_intents_.rbegin(); it != open_intents_.rend(); ++it) {
+    if (it->oid != o) continue;
+    bool logged = it->logged;
+    open_intents_.erase(std::next(it).base());
+    if (!logged) return Status::Ok();
+    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateCommit,
+                                                 EncodeOidPayload(o)));
+    (void)lsn;
+    return Status::Ok();
+  }
+  return Status::Ok();  // no matching intent: tolerated
+}
+
+Status GmrMaintenance::LogUpdateAbort(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  for (auto it = open_intents_.rbegin(); it != open_intents_.rend(); ++it) {
+    if (it->oid != o) continue;
+    bool logged = it->logged;
+    open_intents_.erase(std::next(it).base());
+    if (!logged) return Status::Ok();
+    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateAbort,
+                                                 EncodeOidPayload(o)));
+    (void)lsn;
+    return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::LogDeleteIntent(Oid o) {
+  if (wal_ == nullptr) return Status::Ok();
+  auto used = om_->UsedBy(o);
+  if (!used.ok() || (*used)->empty()) return Status::Ok();
+  GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kDeleteIntent,
+                                               EncodeOidPayload(o)));
+  (void)lsn;
+  return wal_->Flush();
+}
+
+// --- Materialization ----------------------------------------------------------
+
+Status GmrMaintenance::MaterializeRow(Gmr* gmr, RowId row) {
+  GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
+  std::vector<Value> args = r->args;  // copy: SetResult invalidates r
+  bool snapshot = gmr->spec().snapshot;
+  for (size_t i = 0; i < gmr->spec().functions.size(); ++i) {
+    FunctionId f = gmr->spec().functions[i];
+    funclang::Trace trace;
+    GOMFM_ASSIGN_OR_RETURN(
+        Value result, ComputeTracked(f, args, snapshot ? nullptr : &trace));
+    GOMFM_RETURN_IF_ERROR(
+        LogRemat(gmr->id(), i, args, result, trace.accessed_objects));
+    GOMFM_RETURN_IF_ERROR(gmr->SetResult(row, i, std::move(result)));
+    if (!snapshot) {
+      GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
+    }
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::AdmitCombo(Gmr* gmr, const std::vector<Value>& args,
+                                  bool force_materialize) {
+  if (gmr->FindRow(args).ok()) return Status::Ok();  // already present
+  bool snapshot = gmr->spec().snapshot;
+  if (gmr->spec().predicate != kInvalidFunctionId) {
+    funclang::Trace trace;
+    GOMFM_ASSIGN_OR_RETURN(
+        Value p, ComputeTracked(gmr->spec().predicate, args,
+                                snapshot ? nullptr : &trace));
+    if (!snapshot) {
+      GOMFM_RETURN_IF_ERROR(
+          RecordReverseRefs(gmr->spec().predicate, args, trace));
+    }
+    GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
+    if (!admitted) return Status::Ok();
+  }
+  GOMFM_ASSIGN_OR_RETURN(RowId row, gmr->Insert(args));
+  ++stats_->rows_created;
+  if (force_materialize || options_.remat == RematStrategy::kImmediate) {
+    GOMFM_RETURN_IF_ERROR(MaterializeRow(gmr, row));
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::EnumerateCombos(
+    const GmrSpec& spec,
+    const std::function<Status(const std::vector<Value>&)>& fn) {
+  return EnumerateCombosFixed(spec, spec.arity(), Value::Null(), fn);
+}
+
+Status GmrMaintenance::EnumerateCombosFixed(
+    const GmrSpec& spec, size_t fixed_pos, const Value& fixed,
+    const std::function<Status(const std::vector<Value>&)>& fn) {
+  std::vector<Value> combo(spec.arity());
+  std::function<Status(size_t)> rec = [&](size_t pos) -> Status {
+    if (pos == spec.arity()) return fn(combo);
+    if (pos == fixed_pos) {
+      combo[pos] = fixed;
+      return rec(pos + 1);
+    }
+    const TypeRef& t = spec.arg_types[pos];
+    if (t.is_object()) {
+      for (Oid o : om_->Extent(t.object_type)) {
+        combo[pos] = Value::Ref(o);
+        GOMFM_RETURN_IF_ERROR(rec(pos + 1));
+      }
+      return Status::Ok();
+    }
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Value> domain,
+                           spec.arg_restrictions[pos].Enumerate());
+    for (const Value& v : domain) {
+      combo[pos] = v;
+      GOMFM_RETURN_IF_ERROR(rec(pos + 1));
+    }
+    return Status::Ok();
+  };
+  return rec(0);
+}
+
+Result<GmrId> GmrMaintenance::RegisterGmr(GmrSpec spec) {
+  return catalog_->Register(
+      std::move(spec),
+      [this](bool inserted, GmrId id, const std::vector<Value>& args) {
+        return LogRowChange(inserted ? WalRecordType::kRowInsert
+                                     : WalRecordType::kRowRemove,
+                            id, args);
+      });
+}
+
+Result<GmrId> GmrMaintenance::Materialize(GmrSpec spec) {
+  ExclusiveRegion region(this);
+  GOMFM_ASSIGN_OR_RETURN(GmrId id, RegisterGmr(std::move(spec)));
+  GOMFM_ASSIGN_OR_RETURN(Gmr * g, catalog_->Get(id));
+  if (g->spec().complete) {
+    Status populate = EnumerateCombos(
+        g->spec(), [&](const std::vector<Value>& args) {
+          return AdmitCombo(g, args, /*force_materialize=*/true);
+        });
+    GOMFM_RETURN_IF_ERROR(populate);
+  }
+  return id;
+}
+
+Status GmrMaintenance::Dematerialize(GmrId id) {
+  ExclusiveRegion region(this);
+  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(id));
+  std::vector<RowId> rows;
+  rows.reserve(gmr->live_rows());
+  gmr->ForEachRow([&](RowId r, const Gmr::Row&) {
+    rows.push_back(r);
+    return true;
+  });
+  for (RowId r : rows) {
+    GOMFM_RETURN_IF_ERROR(gmr->Remove(r));
+    ++stats_->rows_removed;
+  }
+  std::vector<FunctionId> fns = gmr->spec().functions;
+  if (gmr->spec().predicate != kInvalidFunctionId) {
+    fns.push_back(gmr->spec().predicate);
+    catalog_->predicates().Erase(gmr->spec().predicate);
+  }
+  for (FunctionId f : fns) {
+    catalog_->columns().Erase(f);
+    catalog_->deps().RemoveFunction(f);
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> unmarked,
+                           catalog_->rrr().RemoveFunction(f));
+    for (Oid o : unmarked) {
+      if (om_->Exists(o)) {
+        GOMFM_RETURN_IF_ERROR(om_->UnmarkUsedBy(o, f));
+      }
+    }
+  }
+  catalog_->gmrs()[id] = nullptr;
+  return Status::Ok();
+}
+
+// --- Invalidation (§4) --------------------------------------------------------
+
+Status GmrMaintenance::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
+                                           const Rrr::Entry& entry) {
+  auto row = gmr->FindRow(entry.args);
+  if (!row.ok()) {
+    // Blind reference (§4.2): the argument combination disappeared; the
+    // entry is a leftover and is dropped.
+    ++stats_->blind_references;
+    return RemoveReverseRef(entry);
+  }
+  ++stats_->invalidations;
+  if (options_.remat == RematStrategy::kLazy) {
+    GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
+    return RemoveReverseRef(entry);
+  }
+  if (batch_depth_ > 0) {
+    // Batched maintenance: downgrade the immediate recomputation to a
+    // deferred (GMR, row, column) record; EndBatch() recomputes each
+    // distinct record once, so an update storm on the same object pays a
+    // single rematerialization.
+    GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
+    GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
+    BatchKey key{gmr->id(), static_cast<uint32_t>(fn_idx), *row};
+    if (batch_pending_.Insert(key)) {
+      batch_order_.push_back(key);
+      ++stats_->batch_records;
+    } else {
+      ++stats_->batch_dedup_hits;
+    }
+    return Status::Ok();
+  }
+  // Immediate rematerialization (§4.1): remove the entry, recompute,
+  // re-insert the reverse references of the new computation.
+  GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
+  funclang::Trace trace;
+  auto result = ComputeTracked(entry.function, entry.args, &trace);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kNotFound) {
+      // An argument object no longer exists (its reverse references were
+      // consumed by earlier lazy invalidations): the row is garbage.
+      ++stats_->blind_references;
+      GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
+      ++stats_->rows_removed;
+      return Status::Ok();
+    }
+    return result.status();
+  }
+  GOMFM_RETURN_IF_ERROR(LogRemat(gmr->id(), fn_idx, entry.args, *result,
+                                 trace.accessed_objects));
+  GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, fn_idx, std::move(*result)));
+  return RecordReverseRefs(entry.function, entry.args, trace);
+}
+
+Status GmrMaintenance::HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry) {
+  // §6.1 predicate maintenance: recompute p and adapt the extension.
+  GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
+  funclang::Trace trace;
+  GOMFM_ASSIGN_OR_RETURN(Value p,
+                         ComputeTracked(entry.function, entry.args, &trace));
+  GOMFM_RETURN_IF_ERROR(RecordReverseRefs(entry.function, entry.args, trace));
+  GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
+  auto row = gmr->FindRow(entry.args);
+  if (admitted) {
+    if (!row.ok()) {
+      GOMFM_ASSIGN_OR_RETURN(RowId r, gmr->Insert(entry.args));
+      ++stats_->rows_created;
+      if (options_.remat == RematStrategy::kImmediate) {
+        GOMFM_RETURN_IF_ERROR(MaterializeRow(gmr, r));
+      }
+    }
+  } else if (row.ok()) {
+    GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
+    ++stats_->rows_removed;
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::Invalidate(Oid o) {
+  return InvalidateGuarded(o, nullptr);
+}
+
+Status GmrMaintenance::Invalidate(Oid o, const FidSet& relevant) {
+  if (relevant.empty()) return Status::Ok();
+  return InvalidateGuarded(o, &relevant);
+}
+
+Status GmrMaintenance::InvalidateGuarded(Oid o, const FidSet* relevant) {
+  ExclusiveRegion region(this);
+  // Programmatic invalidation (no notifier bracket): wrap the walk in its
+  // own intent…commit pair so a crash mid-way recovers conservatively. A
+  // failure closes the region with an abort — its rematerializations are
+  // then discarded at replay, its invalidation stands.
+  bool self_intent = wal_ != nullptr && !HasOpenIntent(o);
+  if (self_intent) GOMFM_RETURN_IF_ERROR(LogUpdateIntent(o));
+  Status body = InvalidateImpl(o, relevant);
+  if (self_intent) {
+    Status close = body.ok() ? LogUpdateCommit(o) : LogUpdateAbort(o);
+    if (body.ok()) return close;
+  }
+  return body;
+}
+
+Status GmrMaintenance::InvalidateImpl(Oid o, const FidSet* relevant) {
+  GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
+                         catalog_->rrr().EntriesFor(o));
+  for (const Rrr::Entry& entry : entries) {
+    if (relevant != nullptr && !relevant->contains(entry.function)) continue;
+    if (const GmrId* pid = catalog_->predicates().Find(entry.function)) {
+      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(*pid));
+      GOMFM_RETURN_IF_ERROR(HandlePredicateEntry(gmr, entry));
+      continue;
+    }
+    auto loc = catalog_->Locate(entry.function);
+    if (!loc.ok()) continue;  // stale entry of a dematerialized function
+    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(loc->first));
+    GOMFM_RETURN_IF_ERROR(HandleFunctionEntry(gmr, loc->second, entry));
+  }
+  return Status::Ok();
+}
+
+// --- Batched maintenance ------------------------------------------------------
+
+void GmrMaintenance::BeginBatch() {
+  ++batch_depth_;
+  if (batch_depth_ == 1) {
+    Status logged = LogMarker(WalRecordType::kBatchBegin);
+    (void)logged;  // informational marker; BeginBatch cannot report
+  }
+}
+
+Status GmrMaintenance::RematerializeDeferred(const BatchKey& key) {
+  auto gmr_or = catalog_->Get(key.gmr);
+  if (!gmr_or.ok()) return Status::Ok();  // GMR dematerialized mid-batch
+  Gmr* gmr = *gmr_or;
+  auto row_or = gmr->Get(key.row);
+  if (!row_or.ok()) return Status::Ok();  // row removed mid-batch
+  const Gmr::Row* r = *row_or;
+  if (key.col >= r->valid.size() || r->valid[key.col]) {
+    return Status::Ok();  // a lookup already recomputed it lazily
+  }
+  std::vector<Value> args = r->args;  // copy: SetResult invalidates r
+  FunctionId f = gmr->spec().functions[key.col];
+  funclang::Trace trace;
+  auto result = ComputeTracked(f, args, &trace);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kNotFound) {
+      // An argument object disappeared during the batch and its row
+      // survived only as garbage (§4.2 blind reference, detected here).
+      ++stats_->blind_references;
+      GOMFM_RETURN_IF_ERROR(gmr->Remove(key.row));
+      ++stats_->rows_removed;
+      return Status::Ok();
+    }
+    return result.status();
+  }
+  GOMFM_RETURN_IF_ERROR(
+      LogRemat(gmr->id(), key.col, args, *result, trace.accessed_objects));
+  GOMFM_RETURN_IF_ERROR(gmr->SetResult(key.row, key.col, std::move(*result)));
+  return RecordReverseRefs(f, args, trace);
+}
+
+Status GmrMaintenance::EndBatch() {
+  if (batch_depth_ == 0) {
+    return Status::FailedPrecondition("EndBatch() without BeginBatch()");
+  }
+  if (--batch_depth_ > 0) return Status::Ok();
+  ExclusiveRegion region(this);
+  ++stats_->batch_flushes;
+  // Failure atomicity: remat records between kBatchFlush and kBatchCommit
+  // apply at replay only when the commit made it to disk — a crash inside
+  // the loop below recovers to the pre-flush state (rows still invalid),
+  // never to a half-flushed batch.
+  GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchFlush));
+  // Coalesced rematerialization: each distinct (GMR, row, column) that was
+  // invalidated during the batch is recomputed exactly once, in
+  // first-invalidation order. No updates run here, so the set is stable.
+  std::vector<BatchKey> order;
+  order.swap(batch_order_);
+  batch_pending_.clear();
+  for (const BatchKey& key : order) {
+    GOMFM_RETURN_IF_ERROR(RematerializeDeferred(key));
+  }
+  GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchCommit));
+  if (wal_ != nullptr) {
+    // Group flush: one durability point for the whole batch. EndBatch()
+    // returning OK means the flushed results survive any later crash.
+    GOMFM_RETURN_IF_ERROR(wal_->Flush());
+  }
+  return Status::Ok();
+}
+
+// --- Object lifecycle ---------------------------------------------------------
+
+Status GmrMaintenance::NewObject(Oid o, TypeId type) {
+  ExclusiveRegion region(this);
+  for (const auto& gmr_ptr : catalog_->gmrs()) {
+    if (gmr_ptr == nullptr || !gmr_ptr->spec().complete ||
+        gmr_ptr->spec().snapshot) {
+      continue;  // snapshots change only through Refresh()
+    }
+    Gmr* gmr = gmr_ptr.get();
+    const GmrSpec& spec = gmr->spec();
+    for (size_t pos = 0; pos < spec.arity(); ++pos) {
+      const TypeRef& t = spec.arg_types[pos];
+      if (!t.is_object() ||
+          !om_->schema()->IsSubtypeOf(type, t.object_type)) {
+        continue;
+      }
+      GOMFM_RETURN_IF_ERROR(EnumerateCombosFixed(
+          spec, pos, Value::Ref(o),
+          [&](const std::vector<Value>& args) {
+            return AdmitCombo(gmr, args);
+          }));
+    }
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::ForgetObject(Oid o) {
+  ExclusiveRegion region(this);
+  // Write-ahead: the deletion's effect on materialized results must not be
+  // lost (replay mimics this walk against the reconstructed RRR).
+  GOMFM_RETURN_IF_ERROR(LogDeleteIntent(o));
+  // Read-only walk (no per-entry copies): rows are removed from the GMRs,
+  // which never mutates the RRR; the entries themselves go in one
+  // RemoveAllFor below.
+  Value as_ref = Value::Ref(o);
+  GOMFM_RETURN_IF_ERROR(catalog_->rrr().ForEachEntry(
+      o, [&](const Rrr::Entry& entry) -> Status {
+        bool is_argument = false;
+        for (const Value& a : entry.args) {
+          if (a == as_ref) {
+            is_argument = true;
+            break;
+          }
+        }
+        if (!is_argument) return Status::Ok();
+        GmrId gid = kInvalidGmrId;
+        if (const GmrId* pid = catalog_->predicates().Find(entry.function)) {
+          gid = *pid;
+        } else if (auto loc = catalog_->Locate(entry.function); loc.ok()) {
+          gid = loc->first;
+        } else {
+          return Status::Ok();
+        }
+        GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(gid));
+        auto row = gmr->FindRow(entry.args);
+        if (row.ok()) {
+          GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
+          ++stats_->rows_removed;
+        }
+        return Status::Ok();
+      }));
+  // Drop all reverse references for the deleted object; entries of other
+  // objects mentioning o in their argument lists stay as blind references
+  // and are detected lazily (§4.2).
+  return catalog_->rrr().RemoveAllFor(o);
+}
+
+Status GmrMaintenance::Compensate(Oid receiver, TypeId type, FunctionId op,
+                                  const std::vector<Value>& op_args,
+                                  const FidSet& relevant) {
+  ExclusiveRegion region(this);
+  for (FunctionId f : relevant) {
+    auto action = catalog_->deps().CompensatingAction(type, op, f);
+    if (!action.ok()) continue;
+    auto loc = catalog_->Locate(f);
+    if (!loc.ok()) continue;
+    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(loc->first));
+    // Rows influenced by the receiver: found through its reverse
+    // references for f.
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
+                           catalog_->rrr().EntriesFor(receiver));
+    for (const Rrr::Entry& entry : entries) {
+      if (entry.function != f) continue;
+      auto row = gmr->FindRow(entry.args);
+      if (!row.ok()) {
+        ++stats_->blind_references;
+        GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
+        continue;
+      }
+      GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(*row));
+      if (!r->valid[loc->second]) continue;  // nothing to compensate
+      Value old_result = r->results[loc->second];
+      std::vector<Value> action_args;
+      action_args.push_back(Value::Ref(receiver));
+      action_args.insert(action_args.end(), op_args.begin(), op_args.end());
+      action_args.push_back(std::move(old_result));
+      funclang::Trace trace;
+      GOMFM_ASSIGN_OR_RETURN(Value updated,
+                             interp_->Invoke(*action, action_args, &trace));
+      GOMFM_RETURN_IF_ERROR(LogRemat(gmr->id(), loc->second, entry.args,
+                                     updated, trace.accessed_objects));
+      GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, loc->second,
+                                           std::move(updated)));
+      GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, entry.args, trace));
+      ++stats_->compensations;
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Column / extension repair ------------------------------------------------
+
+Status GmrMaintenance::EnsureColumnValid(FunctionId f) {
+  ExclusiveRegion region(this);
+  GOMFM_ASSIGN_OR_RETURN(auto loc, catalog_->Locate(f));
+  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(loc.first));
+  for (RowId row : gmr->InvalidRows(loc.second)) {
+    GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
+    std::vector<Value> args = r->args;
+    funclang::Trace trace;
+    auto result = ComputeTracked(f, args, &trace);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kNotFound) {
+        // Dangling argument object — drop the garbage row (§4.2 lazily
+        // detected blind reference).
+        ++stats_->blind_references;
+        GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
+        ++stats_->rows_removed;
+        continue;
+      }
+      return result.status();
+    }
+    GOMFM_RETURN_IF_ERROR(
+        LogRemat(gmr->id(), loc.second, args, *result,
+                 trace.accessed_objects));
+    GOMFM_RETURN_IF_ERROR(gmr->SetResult(row, loc.second, std::move(*result)));
+    GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::Refresh(GmrId id) {
+  ExclusiveRegion region(this);
+  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(id));
+  const GmrSpec& spec = gmr->spec();
+  // Drop rows whose object arguments disappeared.
+  std::vector<RowId> dead;
+  gmr->ForEachRow([&](RowId row, const Gmr::Row& r) {
+    for (const Value& arg : r.args) {
+      if (arg.kind() == ValueKind::kRef && !om_->Exists(arg.as_ref())) {
+        dead.push_back(row);
+        break;
+      }
+    }
+    return true;
+  });
+  for (RowId row : dead) {
+    GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
+    ++stats_->rows_removed;
+  }
+  // Admit newly qualifying combinations.
+  if (spec.complete) {
+    GOMFM_RETURN_IF_ERROR(EnumerateCombos(
+        spec, [&](const std::vector<Value>& args) {
+          return AdmitCombo(gmr, args, /*force_materialize=*/true);
+        }));
+  }
+  // Recompute every (remaining) result from the current state; for
+  // restricted GMRs also re-evaluate the predicate and evict rows that no
+  // longer qualify.
+  std::vector<RowId> rows;
+  gmr->ForEachRow([&](RowId row, const Gmr::Row&) {
+    rows.push_back(row);
+    return true;
+  });
+  for (RowId row : rows) {
+    if (spec.predicate != kInvalidFunctionId) {
+      GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
+      std::vector<Value> args = r->args;
+      GOMFM_ASSIGN_OR_RETURN(Value p,
+                             ComputeTracked(spec.predicate, args, nullptr));
+      GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
+      if (!admitted) {
+        GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
+        ++stats_->rows_removed;
+        continue;
+      }
+    }
+    GOMFM_RETURN_IF_ERROR(MaterializeRow(gmr, row));
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::InvalidateAllResults(GmrId id) {
+  ExclusiveRegion region(this);
+  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(id));
+  if (wal_ != nullptr) {
+    // Must be durable before any further update: afterwards the RRR (and
+    // every ObjDepFct) is empty, so those updates log no intents — losing
+    // this record would resurrect stale valid results at replay.
+    WalPayloadWriter w;
+    w.U32(id);
+    GOMFM_ASSIGN_OR_RETURN(
+        Lsn lsn, wal_->Append(WalRecordType::kInvalidateAll, w.Take()));
+    (void)lsn;
+    GOMFM_RETURN_IF_ERROR(wal_->Flush());
+  }
+  std::vector<RowId> rows;
+  gmr->ForEachRow([&](RowId r, const Gmr::Row&) {
+    rows.push_back(r);
+    return true;
+  });
+  for (RowId r : rows) {
+    for (size_t col = 0; col < gmr->spec().function_count(); ++col) {
+      GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(r, col));
+    }
+  }
+  std::vector<FunctionId> fns = gmr->spec().functions;
+  if (gmr->spec().predicate != kInvalidFunctionId) {
+    fns.push_back(gmr->spec().predicate);
+  }
+  for (FunctionId f : fns) {
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> unmarked,
+                           catalog_->rrr().RemoveFunction(f));
+    for (Oid o : unmarked) {
+      if (om_->Exists(o)) {
+        GOMFM_RETURN_IF_ERROR(om_->UnmarkUsedBy(o, f));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status GmrMaintenance::RematerializeAllInvalid() {
+  ExclusiveRegion region(this);
+  for (const auto& gmr : catalog_->gmrs()) {
+    if (gmr == nullptr) continue;
+    for (FunctionId f : gmr->spec().functions) {
+      GOMFM_RETURN_IF_ERROR(EnsureColumnValid(f));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom

@@ -1,0 +1,246 @@
+#ifndef GOMFM_GMR_GMR_MAINTENANCE_H_
+#define GOMFM_GMR_GMR_MAINTENANCE_H_
+
+#include <atomic>
+#include <vector>
+
+#include "funclang/interpreter.h"
+#include "gmr/gmr_catalog.h"
+#include "gmr/gmr_stats.h"
+#include "storage/wal.h"
+
+namespace gom {
+
+/// When to recompute an invalidated result (§3.1).
+enum class RematStrategy : uint8_t {
+  /// Invalidated results are recomputed as soon as the invalidation occurs.
+  kImmediate,
+  /// Invalidated results are only flagged; recomputation happens at the
+  /// next access (or an explicit RematerializeAllInvalid()).
+  kLazy,
+};
+
+struct GmrManagerOptions {
+  RematStrategy remat = RematStrategy::kImmediate;
+  /// §4.1: mark RRR entries instead of removing them on invalidation, so a
+  /// re-used object resurrects its entry instead of delete+insert churn.
+  bool second_chance_rrr = false;
+};
+
+/// The maintenance plane of the GMR machinery: invalidation and
+/// rematerialization (§4), compensating actions (§5.4), restricted-GMR
+/// predicate maintenance (§6.1), batched maintenance and the write-ahead
+/// intents that make it crash consistent. Everything here may mutate the
+/// catalog's extensions; once the catalog is in concurrent mode each public
+/// entry point takes the catalog latch exclusively (readers nest extension
+/// latches under the shared catalog latch, so exclusive catalog access
+/// implies exclusive access to every row it touches).
+///
+/// Single-writer discipline: maintenance runs on one thread at a time (the
+/// owner thread, or the writer of a `SessionPool` holding the writer gate).
+class GmrMaintenance {
+ public:
+  GmrMaintenance(ObjectManager* om, funclang::Interpreter* interp,
+                 const funclang::FunctionRegistry* registry,
+                 GmrCatalog* catalog, GmrStats* stats,
+                 GmrManagerOptions options);
+
+  GmrMaintenance(const GmrMaintenance&) = delete;
+  GmrMaintenance& operator=(const GmrMaintenance&) = delete;
+
+  /// RAII exclusive section: locks the catalog latch when concurrent mode
+  /// is on and this is the outermost maintenance frame on the thread; a
+  /// no-op in single-threaded owner runs. The read path wraps its
+  /// owner-mode (mutating) lookups in one as well.
+  class ExclusiveRegion {
+   public:
+    explicit ExclusiveRegion(GmrMaintenance* m) : m_(m) {
+      bool outermost = m_->exclusive_depth_++ == 0;
+      locked_ = outermost && m_->catalog_->concurrent_mode();
+      if (locked_) m_->catalog_->latch().lock();
+    }
+    ~ExclusiveRegion() {
+      --m_->exclusive_depth_;
+      if (locked_) m_->catalog_->latch().unlock();
+    }
+    ExclusiveRegion(const ExclusiveRegion&) = delete;
+    ExclusiveRegion& operator=(const ExclusiveRegion&) = delete;
+
+   private:
+    GmrMaintenance* m_;
+    bool locked_ = false;
+  };
+
+  // --- Materialization (§3) --------------------------------------------------
+
+  /// Registers the GMR and, for complete specs, populates the extension for
+  /// every qualifying argument combination.
+  Result<GmrId> Materialize(GmrSpec spec);
+
+  /// Validation + registration only (recovery replays the extension from
+  /// the log instead of repopulating).
+  Result<GmrId> RegisterGmr(GmrSpec spec);
+
+  /// Drops the GMR: rows, reverse references, ObjDepFct marks and
+  /// dependency entries.
+  Status Dematerialize(GmrId id);
+
+  // --- Update notifications (§4) ---------------------------------------------
+
+  Status Invalidate(Oid o);
+  Status Invalidate(Oid o, const FidSet& relevant);
+  Status NewObject(Oid o, TypeId type);
+  Status ForgetObject(Oid o);
+  Status Compensate(Oid receiver, TypeId type, FunctionId op,
+                    const std::vector<Value>& op_args, const FidSet& relevant);
+
+  // --- Batched maintenance ---------------------------------------------------
+
+  void BeginBatch();
+  Status EndBatch();
+  bool InBatch() const { return batch_depth_ > 0; }
+
+  // --- Column / extension repair ---------------------------------------------
+
+  /// Recomputes every invalid result in f's column.
+  Status EnsureColumnValid(FunctionId f);
+  Status RematerializeAllInvalid();
+  Status Refresh(GmrId id);
+  Status InvalidateAllResults(GmrId id);
+
+  // --- Durability (write-ahead logging) --------------------------------------
+
+  void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
+  WriteAheadLog* wal() { return wal_; }
+  Status LogUpdateIntent(Oid o);
+  Status LogUpdateCommit(Oid o);
+  Status LogUpdateAbort(Oid o);
+  Status LogDeleteIntent(Oid o);
+
+  // --- Knobs -----------------------------------------------------------------
+
+  void set_remat_strategy(RematStrategy s) { options_.remat = s; }
+  RematStrategy remat_strategy() const { return options_.remat; }
+
+  /// Re-entrancy guard for call interception on the owner/writer thread:
+  /// >0 while this plane is (re)computing a function. Atomic because reader
+  /// sessions consult it from the interceptor.
+  int compute_depth() const {
+    return compute_depth_.load(std::memory_order_relaxed);
+  }
+
+  // --- Component-internal API (read path, recovery) --------------------------
+
+  /// Invokes f(args) under the re-entrancy guard, counting the
+  /// rematerialization.
+  Result<Value> ComputeTracked(FunctionId f, const std::vector<Value>& args,
+                               funclang::Trace* trace);
+
+  /// Inserts reverse references (and ObjDepFct marks) for every object the
+  /// trace touched during (re)materialization of f(args).
+  Status RecordReverseRefs(FunctionId f, const std::vector<Value>& args,
+                           const funclang::Trace& trace);
+
+  /// RecordReverseRefs from an explicit object list (WAL replay, where the
+  /// trace is read from the log instead of a live computation).
+  Status RecordReverseRefsFromOids(FunctionId f,
+                                   const std::vector<Value>& args,
+                                   const std::vector<Oid>& oids);
+
+  /// Removes one reverse reference, unmarking ObjDepFct when it was the
+  /// last entry for (object, function).
+  Status RemoveReverseRef(const Rrr::Entry& entry);
+
+  /// Creates a row for `args` (predicate permitting); see the .cc for the
+  /// force_materialize semantics.
+  Status AdmitCombo(Gmr* gmr, const std::vector<Value>& args,
+                    bool force_materialize = false);
+
+  /// Computes and stores all member-function results of a row.
+  Status MaterializeRow(Gmr* gmr, RowId row);
+
+  /// Enumerates all argument combinations of the spec's (restricted)
+  /// domains; object-typed positions range over the type extension.
+  Status EnumerateCombos(
+      const GmrSpec& spec,
+      const std::function<Status(const std::vector<Value>&)>& fn);
+  Status EnumerateCombosFixed(
+      const GmrSpec& spec, size_t fixed_pos, const Value& fixed,
+      const std::function<Status(const std::vector<Value>&)>& fn);
+
+  /// Appends a kRematResult record for a freshly computed result.
+  Status LogRemat(GmrId id, size_t col, const std::vector<Value>& args,
+                  const Value& value, const std::vector<Oid>& accessed);
+
+ private:
+  friend class ExclusiveRegion;
+
+  Status LogMarker(WalRecordType type);
+  Status LogRowChange(WalRecordType type, GmrId id,
+                      const std::vector<Value>& args);
+  bool HasOpenIntent(Oid o) const;
+
+  /// Invalidation entry point shared by both public overloads: brackets the
+  /// walk in a self-logged intent…commit pair when no intent is open for
+  /// `o` (programmatic Invalidate() calls outside the notifier path).
+  Status InvalidateGuarded(Oid o, const FidSet* relevant);
+  Status InvalidateImpl(Oid o, const FidSet* relevant);
+
+  /// §4.1 invalidation of one RRR entry under the active strategy.
+  Status HandleFunctionEntry(Gmr* gmr, size_t fn_idx, const Rrr::Entry& entry);
+
+  /// §6.1 predicate maintenance for one RRR entry of a restriction
+  /// predicate.
+  Status HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry);
+
+  /// One deferred invalidation: the (GMR, row, column) coordinate of a
+  /// result flagged invalid while a batch was open.
+  struct BatchKey {
+    GmrId gmr;
+    uint32_t col;
+    RowId row;
+    bool operator==(const BatchKey& other) const {
+      return gmr == other.gmr && col == other.col && row == other.row;
+    }
+  };
+  struct BatchKeyHash {
+    uint64_t operator()(const BatchKey& k) const {
+      return MixHash64(k.row ^
+                       MixHash64((static_cast<uint64_t>(k.gmr) << 32) |
+                                 k.col));
+    }
+  };
+
+  /// Recomputes one deferred (GMR, row, column) if its row survived the
+  /// batch and no lookup revalidated it in the meantime.
+  Status RematerializeDeferred(const BatchKey& key);
+
+  ObjectManager* om_;
+  funclang::Interpreter* interp_;
+  const funclang::FunctionRegistry* registry_;
+  GmrCatalog* catalog_;
+  GmrStats* stats_;
+  GmrManagerOptions options_;
+  WriteAheadLog* wal_ = nullptr;
+
+  /// Updates announced but not yet committed/aborted. `logged` is false for
+  /// intents the UsedBy filter suppressed (their commit is suppressed too).
+  struct OpenIntent {
+    Oid oid;
+    bool logged;
+  };
+  std::vector<OpenIntent> open_intents_;
+
+  std::atomic<int> compute_depth_{0};
+  int exclusive_depth_ = 0;  // ExclusiveRegion nesting on the single writer
+
+  int batch_depth_ = 0;
+  FlatHashSet<BatchKey, BatchKeyHash> batch_pending_;
+  /// Flush order: first-invalidation order, for deterministic replay of the
+  /// simulated clock charges.
+  std::vector<BatchKey> batch_order_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_GMR_MAINTENANCE_H_

@@ -1,889 +1,29 @@
 #include "gmr/gmr_manager.h"
 
-#include <cassert>
-
-#include "gmr/wal_records.h"
-
 namespace gom {
 
 GmrManager::GmrManager(ObjectManager* om, funclang::Interpreter* interp,
                        const funclang::FunctionRegistry* registry,
                        StorageManager* storage, GmrManagerOptions options)
-    : om_(om),
-      interp_(interp),
-      registry_(registry),
-      options_(options),
-      rrr_(storage, om->clock(), CostModel::Default(),
-           options.second_chance_rrr),
-      analyzer_(om->schema(), registry) {}
-
-Result<Gmr*> GmrManager::Get(GmrId id) {
-  if (id >= gmrs_.size() || gmrs_[id] == nullptr) {
-    return Status::NotFound("no GMR with id " + std::to_string(id));
-  }
-  return gmrs_[id].get();
-}
-
-Result<std::pair<GmrId, size_t>> GmrManager::Locate(FunctionId f) const {
-  const auto* loc = columns_.Find(f);
-  if (loc == nullptr) {
-    return Status::NotFound("function " + registry_->NameOf(f) +
-                            " is not materialized");
-  }
-  return *loc;
-}
-
-Result<Value> GmrManager::ComputeTracked(FunctionId f,
-                                         const std::vector<Value>& args,
-                                         funclang::Trace* trace) {
-  ++stats_.rematerializations;
-  ++compute_depth_;
-  Result<Value> result = interp_->Invoke(f, args, trace);
-  --compute_depth_;
-  return result;
-}
+    : interp_(interp),
+      catalog_(om, registry, storage, options.second_chance_rrr),
+      maintenance_(om, interp, registry, &catalog_, &stats_, options),
+      read_path_(om, interp, &catalog_, &maintenance_, &stats_) {}
 
 void GmrManager::InstallCallInterception() {
   interp_->SetCallInterceptor(
-      [this](FunctionId f, const std::vector<Value>& args,
-             Result<Value>* out) {
-        if (compute_depth_ > 0 || !IsMaterialized(f)) return false;
-        *out = ForwardLookup(f, args);
+      [this](const ExecutionContext* ctx, FunctionId f,
+             const std::vector<Value>& args, Result<Value>* out) {
+        // Re-entrancy: the maintenance plane's depth covers the owner /
+        // writer thread, the context's depth covers concurrent sessions
+        // evaluating a fallback (which must not re-enter the read path —
+        // this thread may already hold the catalog latch shared).
+        int depth = maintenance_.compute_depth();
+        if (ctx != nullptr) depth += ctx->compute_depth;
+        if (depth > 0 || !read_path_.IsMaterializedShared(f)) return false;
+        *out = read_path_.ForwardLookup(ctx, f, args);
         return true;
       });
-}
-
-Status GmrManager::RecordReverseRefs(FunctionId f,
-                                     const std::vector<Value>& args,
-                                     const funclang::Trace& trace) {
-  for (Oid o : trace.accessed_objects) {
-    GOMFM_ASSIGN_OR_RETURN(bool inserted, rrr_.Insert(o, f, args));
-    if (inserted && om_->Exists(o)) {
-      GOMFM_RETURN_IF_ERROR(om_->MarkUsedBy(o, f));
-    }
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::RemoveReverseRef(const Rrr::Entry& entry) {
-  GOMFM_RETURN_IF_ERROR(
-      rrr_.Remove(entry.object, entry.function, entry.args));
-  if (rrr_.CountFor(entry.object, entry.function) == 0 &&
-      om_->Exists(entry.object)) {
-    GOMFM_RETURN_IF_ERROR(om_->UnmarkUsedBy(entry.object, entry.function));
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::RecordReverseRefsFromOids(FunctionId f,
-                                             const std::vector<Value>& args,
-                                             const std::vector<Oid>& oids) {
-  for (Oid o : oids) {
-    GOMFM_ASSIGN_OR_RETURN(bool inserted, rrr_.Insert(o, f, args));
-    if (inserted && om_->Exists(o)) {
-      GOMFM_RETURN_IF_ERROR(om_->MarkUsedBy(o, f));
-    }
-  }
-  return Status::Ok();
-}
-
-// --- Write-ahead logging ------------------------------------------------------
-
-Status GmrManager::LogMarker(WalRecordType type) {
-  if (wal_ == nullptr) return Status::Ok();
-  GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(type, {}));
-  (void)lsn;
-  return Status::Ok();
-}
-
-Status GmrManager::LogRowChange(WalRecordType type, GmrId id,
-                                const std::vector<Value>& args) {
-  if (wal_ == nullptr) return Status::Ok();
-  GOMFM_ASSIGN_OR_RETURN(Lsn lsn,
-                         wal_->Append(type, EncodeRowChange(id, args)));
-  (void)lsn;
-  return Status::Ok();
-}
-
-Status GmrManager::LogRemat(GmrId id, size_t col,
-                            const std::vector<Value>& args, const Value& value,
-                            const std::vector<Oid>& accessed) {
-  if (wal_ == nullptr) return Status::Ok();
-  GOMFM_ASSIGN_OR_RETURN(
-      Lsn lsn, wal_->Append(WalRecordType::kRematResult,
-                            EncodeRemat(id, static_cast<uint32_t>(col), args,
-                                        value, accessed)));
-  (void)lsn;
-  return Status::Ok();
-}
-
-bool GmrManager::HasOpenIntent(Oid o) const {
-  for (const OpenIntent& intent : open_intents_) {
-    if (intent.oid == o) return true;
-  }
-  return false;
-}
-
-Status GmrManager::LogUpdateIntent(Oid o) {
-  if (wal_ == nullptr) return Status::Ok();
-  auto used = om_->UsedBy(o);
-  bool relevant = used.ok() && !(*used)->empty();
-  open_intents_.push_back(OpenIntent{o, relevant});
-  if (!relevant) return Status::Ok();
-  // The write-ahead rule proper: the intent must be durable before the
-  // object base mutates, else a crash could lose the invalidation the
-  // update implies (the one failure mode that produces wrong answers).
-  Status logged = [&]() -> Status {
-    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateIntent,
-                                                 EncodeOidPayload(o)));
-    (void)lsn;
-    return wal_->Flush();
-  }();
-  if (!logged.ok()) {
-    // The caller vetoes the update, so no commit/abort will ever close
-    // this intent — pop it rather than leave the region dangling open.
-    open_intents_.pop_back();
-  }
-  return logged;
-}
-
-Status GmrManager::LogUpdateCommit(Oid o) {
-  if (wal_ == nullptr) return Status::Ok();
-  for (auto it = open_intents_.rbegin(); it != open_intents_.rend(); ++it) {
-    if (it->oid != o) continue;
-    bool logged = it->logged;
-    open_intents_.erase(std::next(it).base());
-    if (!logged) return Status::Ok();
-    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateCommit,
-                                                 EncodeOidPayload(o)));
-    (void)lsn;
-    return Status::Ok();
-  }
-  return Status::Ok();  // no matching intent: tolerated
-}
-
-Status GmrManager::LogUpdateAbort(Oid o) {
-  if (wal_ == nullptr) return Status::Ok();
-  for (auto it = open_intents_.rbegin(); it != open_intents_.rend(); ++it) {
-    if (it->oid != o) continue;
-    bool logged = it->logged;
-    open_intents_.erase(std::next(it).base());
-    if (!logged) return Status::Ok();
-    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateAbort,
-                                                 EncodeOidPayload(o)));
-    (void)lsn;
-    return Status::Ok();
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::LogDeleteIntent(Oid o) {
-  if (wal_ == nullptr) return Status::Ok();
-  auto used = om_->UsedBy(o);
-  if (!used.ok() || (*used)->empty()) return Status::Ok();
-  GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kDeleteIntent,
-                                               EncodeOidPayload(o)));
-  (void)lsn;
-  return wal_->Flush();
-}
-
-Status GmrManager::MaterializeRow(Gmr* gmr, RowId row) {
-  GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
-  std::vector<Value> args = r->args;  // copy: SetResult invalidates r
-  bool snapshot = gmr->spec().snapshot;
-  for (size_t i = 0; i < gmr->spec().functions.size(); ++i) {
-    FunctionId f = gmr->spec().functions[i];
-    funclang::Trace trace;
-    GOMFM_ASSIGN_OR_RETURN(
-        Value result, ComputeTracked(f, args, snapshot ? nullptr : &trace));
-    GOMFM_RETURN_IF_ERROR(
-        LogRemat(gmr->id(), i, args, result, trace.accessed_objects));
-    GOMFM_RETURN_IF_ERROR(gmr->SetResult(row, i, std::move(result)));
-    if (!snapshot) {
-      GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
-    }
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::AdmitCombo(Gmr* gmr, const std::vector<Value>& args,
-                              bool force_materialize) {
-  if (gmr->FindRow(args).ok()) return Status::Ok();  // already present
-  bool snapshot = gmr->spec().snapshot;
-  if (gmr->spec().predicate != kInvalidFunctionId) {
-    funclang::Trace trace;
-    GOMFM_ASSIGN_OR_RETURN(
-        Value p, ComputeTracked(gmr->spec().predicate, args,
-                                snapshot ? nullptr : &trace));
-    if (!snapshot) {
-      GOMFM_RETURN_IF_ERROR(
-          RecordReverseRefs(gmr->spec().predicate, args, trace));
-    }
-    GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
-    if (!admitted) return Status::Ok();
-  }
-  GOMFM_ASSIGN_OR_RETURN(RowId row, gmr->Insert(args));
-  ++stats_.rows_created;
-  if (force_materialize || options_.remat == RematStrategy::kImmediate) {
-    GOMFM_RETURN_IF_ERROR(MaterializeRow(gmr, row));
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::EnumerateCombos(
-    const GmrSpec& spec,
-    const std::function<Status(const std::vector<Value>&)>& fn) {
-  return EnumerateCombosFixed(spec, spec.arity(), Value::Null(), fn);
-}
-
-Status GmrManager::EnumerateCombosFixed(
-    const GmrSpec& spec, size_t fixed_pos, const Value& fixed,
-    const std::function<Status(const std::vector<Value>&)>& fn) {
-  std::vector<Value> combo(spec.arity());
-  std::function<Status(size_t)> rec = [&](size_t pos) -> Status {
-    if (pos == spec.arity()) return fn(combo);
-    if (pos == fixed_pos) {
-      combo[pos] = fixed;
-      return rec(pos + 1);
-    }
-    const TypeRef& t = spec.arg_types[pos];
-    if (t.is_object()) {
-      for (Oid o : om_->Extent(t.object_type)) {
-        combo[pos] = Value::Ref(o);
-        GOMFM_RETURN_IF_ERROR(rec(pos + 1));
-      }
-      return Status::Ok();
-    }
-    GOMFM_ASSIGN_OR_RETURN(std::vector<Value> domain,
-                           spec.arg_restrictions[pos].Enumerate());
-    for (const Value& v : domain) {
-      combo[pos] = v;
-      GOMFM_RETURN_IF_ERROR(rec(pos + 1));
-    }
-    return Status::Ok();
-  };
-  return rec(0);
-}
-
-Result<GmrId> GmrManager::Materialize(GmrSpec spec) {
-  GOMFM_ASSIGN_OR_RETURN(GmrId id, RegisterGmr(std::move(spec)));
-  GOMFM_ASSIGN_OR_RETURN(Gmr * g, Get(id));
-  if (g->spec().complete) {
-    Status populate = EnumerateCombos(
-        g->spec(), [&](const std::vector<Value>& args) {
-          return AdmitCombo(g, args, /*force_materialize=*/true);
-        });
-    GOMFM_RETURN_IF_ERROR(populate);
-  }
-  return id;
-}
-
-Result<GmrId> GmrManager::RegisterGmr(GmrSpec spec) {
-  if (spec.functions.empty()) {
-    return Status::InvalidArgument("GMR needs at least one function");
-  }
-  if (spec.arg_restrictions.size() < spec.arg_types.size()) {
-    spec.arg_restrictions.resize(spec.arg_types.size());
-  }
-  // Atomic argument types must be restricted (§6.2); float arguments must
-  // be value-restricted.
-  for (size_t i = 0; i < spec.arg_types.size(); ++i) {
-    const TypeRef& t = spec.arg_types[i];
-    const ArgRestriction& r = spec.arg_restrictions[i];
-    if (t.is_object()) continue;
-    if (r.kind == ArgRestriction::Kind::kNone) {
-      return Status::FailedPrecondition(
-          "atomic argument " + std::to_string(i) +
-          " of GMR '" + spec.name + "' must be value- or range-restricted");
-    }
-    if (t.tag == TypeRef::Tag::kFloat &&
-        r.kind != ArgRestriction::Kind::kValues) {
-      return Status::FailedPrecondition(
-          "float argument of GMR '" + spec.name +
-          "' must be value-restricted");
-    }
-  }
-  for (FunctionId f : spec.functions) {
-    GOMFM_ASSIGN_OR_RETURN(const funclang::FunctionDef* def,
-                           registry_->Get(f));
-    if (!def->side_effect_free) {
-      return Status::FailedPrecondition("function '" + def->name +
-                                        "' is not side-effect free");
-    }
-    if (columns_.Contains(f)) {
-      return Status::AlreadyExists("function '" + def->name +
-                                   "' is already materialized");
-    }
-  }
-  if (spec.predicate != kInvalidFunctionId && !spec.complete) {
-    // Incremental restricted GMRs are supported; nothing extra to check.
-  }
-
-  GmrId id = static_cast<GmrId>(gmrs_.size());
-  auto gmr = std::make_unique<Gmr>(id, spec, om_->storage(), om_->clock(),
-                                   CostModel::Default());
-  const GmrSpec& s = gmr->spec();
-
-  // Derive SchemaDepFct from the static analysis (§5.1); native functions
-  // must declare their RelAttr through DeclareRelAttr. Snapshot GMRs take
-  // part in no invalidation at all — they are refreshed wholesale.
-  for (size_t i = 0; i < s.functions.size(); ++i) {
-    FunctionId f = s.functions[i];
-    columns_[f] = {id, i};
-    if (s.snapshot) continue;
-    auto analysis = analyzer_.Analyze(f);
-    if (analysis.ok()) deps_.AddRelAttr(analysis->rel_attr, f);
-  }
-  if (s.predicate != kInvalidFunctionId && !s.snapshot) {
-    predicates_[s.predicate] = id;
-    auto analysis = analyzer_.Analyze(s.predicate);
-    if (analysis.ok()) deps_.AddRelAttr(analysis->rel_attr, s.predicate);
-  }
-
-  gmr->set_change_hook(
-      [this, id](bool inserted, const std::vector<Value>& args) {
-        return LogRowChange(inserted ? WalRecordType::kRowInsert
-                                     : WalRecordType::kRowRemove,
-                            id, args);
-      });
-  gmrs_.push_back(std::move(gmr));
-  return id;
-}
-
-Status GmrManager::Dematerialize(GmrId id) {
-  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(id));
-  std::vector<RowId> rows;
-  rows.reserve(gmr->live_rows());
-  gmr->ForEachRow([&](RowId r, const Gmr::Row&) {
-    rows.push_back(r);
-    return true;
-  });
-  for (RowId r : rows) {
-    GOMFM_RETURN_IF_ERROR(gmr->Remove(r));
-    ++stats_.rows_removed;
-  }
-  std::vector<FunctionId> fns = gmr->spec().functions;
-  if (gmr->spec().predicate != kInvalidFunctionId) {
-    fns.push_back(gmr->spec().predicate);
-    predicates_.Erase(gmr->spec().predicate);
-  }
-  for (FunctionId f : fns) {
-    columns_.Erase(f);
-    deps_.RemoveFunction(f);
-    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> unmarked, rrr_.RemoveFunction(f));
-    for (Oid o : unmarked) {
-      if (om_->Exists(o)) {
-        GOMFM_RETURN_IF_ERROR(om_->UnmarkUsedBy(o, f));
-      }
-    }
-  }
-  gmrs_[id] = nullptr;
-  return Status::Ok();
-}
-
-Status GmrManager::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
-                                       const Rrr::Entry& entry) {
-  auto row = gmr->FindRow(entry.args);
-  if (!row.ok()) {
-    // Blind reference (§4.2): the argument combination disappeared; the
-    // entry is a leftover and is dropped.
-    ++stats_.blind_references;
-    return RemoveReverseRef(entry);
-  }
-  ++stats_.invalidations;
-  if (options_.remat == RematStrategy::kLazy) {
-    GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
-    return RemoveReverseRef(entry);
-  }
-  if (batch_depth_ > 0) {
-    // Batched maintenance: downgrade the immediate recomputation to a
-    // deferred (GMR, row, column) record; EndBatch() recomputes each
-    // distinct record once, so an update storm on the same object pays a
-    // single rematerialization.
-    GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
-    GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
-    BatchKey key{gmr->id(), static_cast<uint32_t>(fn_idx), *row};
-    if (batch_pending_.Insert(key)) {
-      batch_order_.push_back(key);
-      ++stats_.batch_records;
-    } else {
-      ++stats_.batch_dedup_hits;
-    }
-    return Status::Ok();
-  }
-  // Immediate rematerialization (§4.1): remove the entry, recompute,
-  // re-insert the reverse references of the new computation.
-  GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
-  funclang::Trace trace;
-  auto result = ComputeTracked(entry.function, entry.args, &trace);
-  if (!result.ok()) {
-    if (result.status().code() == StatusCode::kNotFound) {
-      // An argument object no longer exists (its reverse references were
-      // consumed by earlier lazy invalidations): the row is garbage.
-      ++stats_.blind_references;
-      GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
-      ++stats_.rows_removed;
-      return Status::Ok();
-    }
-    return result.status();
-  }
-  GOMFM_RETURN_IF_ERROR(LogRemat(gmr->id(), fn_idx, entry.args, *result,
-                                 trace.accessed_objects));
-  GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, fn_idx, std::move(*result)));
-  return RecordReverseRefs(entry.function, entry.args, trace);
-}
-
-Status GmrManager::HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry) {
-  // §6.1 predicate maintenance: recompute p and adapt the extension.
-  GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
-  funclang::Trace trace;
-  GOMFM_ASSIGN_OR_RETURN(Value p,
-                         ComputeTracked(entry.function, entry.args, &trace));
-  GOMFM_RETURN_IF_ERROR(RecordReverseRefs(entry.function, entry.args, trace));
-  GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
-  auto row = gmr->FindRow(entry.args);
-  if (admitted) {
-    if (!row.ok()) {
-      GOMFM_ASSIGN_OR_RETURN(RowId r, gmr->Insert(entry.args));
-      ++stats_.rows_created;
-      if (options_.remat == RematStrategy::kImmediate) {
-        GOMFM_RETURN_IF_ERROR(MaterializeRow(gmr, r));
-      }
-    }
-  } else if (row.ok()) {
-    GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
-    ++stats_.rows_removed;
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::Invalidate(Oid o) { return InvalidateGuarded(o, nullptr); }
-
-Status GmrManager::Invalidate(Oid o, const FidSet& relevant) {
-  if (relevant.empty()) return Status::Ok();
-  return InvalidateGuarded(o, &relevant);
-}
-
-Status GmrManager::InvalidateGuarded(Oid o, const FidSet* relevant) {
-  // Programmatic invalidation (no notifier bracket): wrap the walk in its
-  // own intent…commit pair so a crash mid-way recovers conservatively. A
-  // failure closes the region with an abort — its rematerializations are
-  // then discarded at replay, its invalidation stands.
-  bool self_intent = wal_ != nullptr && !HasOpenIntent(o);
-  if (self_intent) GOMFM_RETURN_IF_ERROR(LogUpdateIntent(o));
-  Status body = InvalidateImpl(o, relevant);
-  if (self_intent) {
-    Status close = body.ok() ? LogUpdateCommit(o) : LogUpdateAbort(o);
-    if (body.ok()) return close;
-  }
-  return body;
-}
-
-Status GmrManager::InvalidateImpl(Oid o, const FidSet* relevant) {
-  GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries, rrr_.EntriesFor(o));
-  for (const Rrr::Entry& entry : entries) {
-    if (relevant != nullptr && !relevant->contains(entry.function)) continue;
-    if (const GmrId* pid = predicates_.Find(entry.function)) {
-      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(*pid));
-      GOMFM_RETURN_IF_ERROR(HandlePredicateEntry(gmr, entry));
-      continue;
-    }
-    auto loc = Locate(entry.function);
-    if (!loc.ok()) continue;  // stale entry of a dematerialized function
-    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(loc->first));
-    GOMFM_RETURN_IF_ERROR(HandleFunctionEntry(gmr, loc->second, entry));
-  }
-  return Status::Ok();
-}
-
-void GmrManager::BeginBatch() {
-  ++batch_depth_;
-  if (batch_depth_ == 1) {
-    Status logged = LogMarker(WalRecordType::kBatchBegin);
-    (void)logged;  // informational marker; BeginBatch cannot report
-  }
-}
-
-Status GmrManager::RematerializeDeferred(const BatchKey& key) {
-  auto gmr_or = Get(key.gmr);
-  if (!gmr_or.ok()) return Status::Ok();  // GMR dematerialized mid-batch
-  Gmr* gmr = *gmr_or;
-  auto row_or = gmr->Get(key.row);
-  if (!row_or.ok()) return Status::Ok();  // row removed mid-batch
-  const Gmr::Row* r = *row_or;
-  if (key.col >= r->valid.size() || r->valid[key.col]) {
-    return Status::Ok();  // a lookup already recomputed it lazily
-  }
-  std::vector<Value> args = r->args;  // copy: SetResult invalidates r
-  FunctionId f = gmr->spec().functions[key.col];
-  funclang::Trace trace;
-  auto result = ComputeTracked(f, args, &trace);
-  if (!result.ok()) {
-    if (result.status().code() == StatusCode::kNotFound) {
-      // An argument object disappeared during the batch and its row
-      // survived only as garbage (§4.2 blind reference, detected here).
-      ++stats_.blind_references;
-      GOMFM_RETURN_IF_ERROR(gmr->Remove(key.row));
-      ++stats_.rows_removed;
-      return Status::Ok();
-    }
-    return result.status();
-  }
-  GOMFM_RETURN_IF_ERROR(
-      LogRemat(gmr->id(), key.col, args, *result, trace.accessed_objects));
-  GOMFM_RETURN_IF_ERROR(gmr->SetResult(key.row, key.col, std::move(*result)));
-  return RecordReverseRefs(f, args, trace);
-}
-
-Status GmrManager::EndBatch() {
-  if (batch_depth_ == 0) {
-    return Status::FailedPrecondition("EndBatch() without BeginBatch()");
-  }
-  if (--batch_depth_ > 0) return Status::Ok();
-  ++stats_.batch_flushes;
-  // Failure atomicity: remat records between kBatchFlush and kBatchCommit
-  // apply at replay only when the commit made it to disk — a crash inside
-  // the loop below recovers to the pre-flush state (rows still invalid),
-  // never to a half-flushed batch.
-  GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchFlush));
-  // Coalesced rematerialization: each distinct (GMR, row, column) that was
-  // invalidated during the batch is recomputed exactly once, in
-  // first-invalidation order. No updates run here, so the set is stable.
-  std::vector<BatchKey> order;
-  order.swap(batch_order_);
-  batch_pending_.clear();
-  for (const BatchKey& key : order) {
-    GOMFM_RETURN_IF_ERROR(RematerializeDeferred(key));
-  }
-  GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchCommit));
-  if (wal_ != nullptr) {
-    // Group flush: one durability point for the whole batch. EndBatch()
-    // returning OK means the flushed results survive any later crash.
-    GOMFM_RETURN_IF_ERROR(wal_->Flush());
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::NewObject(Oid o, TypeId type) {
-  for (const auto& gmr_ptr : gmrs_) {
-    if (gmr_ptr == nullptr || !gmr_ptr->spec().complete ||
-        gmr_ptr->spec().snapshot) {
-      continue;  // snapshots change only through Refresh()
-    }
-    Gmr* gmr = gmr_ptr.get();
-    const GmrSpec& spec = gmr->spec();
-    for (size_t pos = 0; pos < spec.arity(); ++pos) {
-      const TypeRef& t = spec.arg_types[pos];
-      if (!t.is_object() ||
-          !om_->schema()->IsSubtypeOf(type, t.object_type)) {
-        continue;
-      }
-      GOMFM_RETURN_IF_ERROR(EnumerateCombosFixed(
-          spec, pos, Value::Ref(o),
-          [&](const std::vector<Value>& args) {
-            return AdmitCombo(gmr, args);
-          }));
-    }
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::ForgetObject(Oid o) {
-  // Write-ahead: the deletion's effect on materialized results must not be
-  // lost (replay mimics this walk against the reconstructed RRR).
-  GOMFM_RETURN_IF_ERROR(LogDeleteIntent(o));
-  // Read-only walk (no per-entry copies): rows are removed from the GMRs,
-  // which never mutates the RRR; the entries themselves go in one
-  // RemoveAllFor below.
-  Value as_ref = Value::Ref(o);
-  GOMFM_RETURN_IF_ERROR(rrr_.ForEachEntry(
-      o, [&](const Rrr::Entry& entry) -> Status {
-        bool is_argument = false;
-        for (const Value& a : entry.args) {
-          if (a == as_ref) {
-            is_argument = true;
-            break;
-          }
-        }
-        if (!is_argument) return Status::Ok();
-        GmrId gid = kInvalidGmrId;
-        if (const GmrId* pid = predicates_.Find(entry.function)) {
-          gid = *pid;
-        } else if (auto loc = Locate(entry.function); loc.ok()) {
-          gid = loc->first;
-        } else {
-          return Status::Ok();
-        }
-        GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(gid));
-        auto row = gmr->FindRow(entry.args);
-        if (row.ok()) {
-          GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
-          ++stats_.rows_removed;
-        }
-        return Status::Ok();
-      }));
-  // Drop all reverse references for the deleted object; entries of other
-  // objects mentioning o in their argument lists stay as blind references
-  // and are detected lazily (§4.2).
-  return rrr_.RemoveAllFor(o);
-}
-
-Status GmrManager::Compensate(Oid receiver, TypeId type, FunctionId op,
-                              const std::vector<Value>& op_args,
-                              const FidSet& relevant) {
-  for (FunctionId f : relevant) {
-    auto action = deps_.CompensatingAction(type, op, f);
-    if (!action.ok()) continue;
-    auto loc = Locate(f);
-    if (!loc.ok()) continue;
-    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(loc->first));
-    // Rows influenced by the receiver: found through its reverse
-    // references for f.
-    GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
-                           rrr_.EntriesFor(receiver));
-    for (const Rrr::Entry& entry : entries) {
-      if (entry.function != f) continue;
-      auto row = gmr->FindRow(entry.args);
-      if (!row.ok()) {
-        ++stats_.blind_references;
-        GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
-        continue;
-      }
-      GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(*row));
-      if (!r->valid[loc->second]) continue;  // nothing to compensate
-      Value old_result = r->results[loc->second];
-      std::vector<Value> action_args;
-      action_args.push_back(Value::Ref(receiver));
-      action_args.insert(action_args.end(), op_args.begin(), op_args.end());
-      action_args.push_back(std::move(old_result));
-      funclang::Trace trace;
-      GOMFM_ASSIGN_OR_RETURN(Value updated,
-                             interp_->Invoke(*action, action_args, &trace));
-      GOMFM_RETURN_IF_ERROR(LogRemat(gmr->id(), loc->second, entry.args,
-                                     updated, trace.accessed_objects));
-      GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, loc->second,
-                                           std::move(updated)));
-      GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, entry.args, trace));
-      ++stats_.compensations;
-    }
-  }
-  return Status::Ok();
-}
-
-Result<Value> GmrManager::ForwardLookup(FunctionId f,
-                                        std::vector<Value> args) {
-  auto loc = Locate(f);
-  if (!loc.ok()) {
-    // Not materialized: plain evaluation.
-    return interp_->Invoke(f, std::move(args));
-  }
-  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(loc->first));
-  size_t col = loc->second;
-  auto row = gmr->FindRow(args);
-  if (row.ok()) {
-    GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(*row));
-    if (r->valid[col]) {
-      ++stats_.forward_hits;
-      return r->results[col];
-    }
-    // Invalid: recompute at the latest when the result is needed (§3.1).
-    ++stats_.forward_invalid;
-    funclang::Trace trace;
-    GOMFM_ASSIGN_OR_RETURN(Value result, ComputeTracked(f, args, &trace));
-    GOMFM_RETURN_IF_ERROR(
-        LogRemat(gmr->id(), col, args, result, trace.accessed_objects));
-    GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, col, result));
-    GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
-    return result;
-  }
-  ++stats_.forward_misses;
-  const GmrSpec& spec = gmr->spec();
-  // Outside a restricted domain (or not yet cached): compute normally.
-  bool in_domain = true;
-  for (size_t i = 0; i < args.size() && i < spec.arg_restrictions.size();
-       ++i) {
-    auto admitted = spec.arg_restrictions[i].Admits(args[i]);
-    if (!admitted.ok() || !*admitted) {
-      in_domain = false;
-      break;
-    }
-  }
-  if (!in_domain || spec.complete) {
-    // For complete restricted GMRs, a missing row means the predicate
-    // rejected the combination — evaluate the plain function.
-    if (spec.complete && spec.predicate == kInvalidFunctionId && in_domain) {
-      // Self-heal a complete unrestricted GMR that is missing a row.
-      GOMFM_RETURN_IF_ERROR(AdmitCombo(gmr, args));
-      return ForwardLookup(f, std::move(args));
-    }
-    return interp_->Invoke(f, std::move(args));
-  }
-  // Incrementally set-up GMR: cache the freshly computed result (§3.2).
-  if (spec.predicate != kInvalidFunctionId) {
-    funclang::Trace ptrace;
-    GOMFM_ASSIGN_OR_RETURN(Value p,
-                           ComputeTracked(spec.predicate, args, &ptrace));
-    GOMFM_RETURN_IF_ERROR(RecordReverseRefs(spec.predicate, args, ptrace));
-    GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
-    if (!admitted) return interp_->Invoke(f, std::move(args));
-  }
-  GOMFM_ASSIGN_OR_RETURN(RowId new_row, gmr->Insert(args));
-  ++stats_.rows_created;
-  funclang::Trace trace;
-  GOMFM_ASSIGN_OR_RETURN(Value result, ComputeTracked(f, args, &trace));
-  GOMFM_RETURN_IF_ERROR(
-      LogRemat(gmr->id(), col, args, result, trace.accessed_objects));
-  GOMFM_RETURN_IF_ERROR(gmr->SetResult(new_row, col, result));
-  GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
-  return result;
-}
-
-Status GmrManager::EnsureColumnValid(FunctionId f) {
-  GOMFM_ASSIGN_OR_RETURN(auto loc, Locate(f));
-  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(loc.first));
-  for (RowId row : gmr->InvalidRows(loc.second)) {
-    GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
-    std::vector<Value> args = r->args;
-    funclang::Trace trace;
-    auto result = ComputeTracked(f, args, &trace);
-    if (!result.ok()) {
-      if (result.status().code() == StatusCode::kNotFound) {
-        // Dangling argument object — drop the garbage row (§4.2 lazily
-        // detected blind reference).
-        ++stats_.blind_references;
-        GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
-        ++stats_.rows_removed;
-        continue;
-      }
-      return result.status();
-    }
-    GOMFM_RETURN_IF_ERROR(
-        LogRemat(gmr->id(), loc.second, args, *result,
-                 trace.accessed_objects));
-    GOMFM_RETURN_IF_ERROR(gmr->SetResult(row, loc.second, std::move(*result)));
-    GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, args, trace));
-  }
-  return Status::Ok();
-}
-
-Result<std::vector<std::vector<Value>>> GmrManager::BackwardRange(
-    FunctionId f, double lo, double hi, bool lo_inclusive,
-    bool hi_inclusive) {
-  GOMFM_ASSIGN_OR_RETURN(auto loc, Locate(f));
-  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(loc.first));
-  if (!gmr->spec().complete) {
-    return Status::FailedPrecondition(
-        "backward query needs a complete GMR extension");
-  }
-  ++stats_.backward_queries;
-  // All results of the column must be valid for the answer to be correct.
-  GOMFM_RETURN_IF_ERROR(EnsureColumnValid(f));
-  std::vector<std::vector<Value>> out;
-  gmr->ScanValidRange(loc.second, lo, hi, lo_inclusive, hi_inclusive,
-                      [&](RowId, const Gmr::Row& row) {
-                        out.push_back(row.args);
-                        return true;
-                      });
-  return out;
-}
-
-Status GmrManager::Refresh(GmrId id) {
-  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(id));
-  const GmrSpec& spec = gmr->spec();
-  // Drop rows whose object arguments disappeared.
-  std::vector<RowId> dead;
-  gmr->ForEachRow([&](RowId row, const Gmr::Row& r) {
-    for (const Value& arg : r.args) {
-      if (arg.kind() == ValueKind::kRef && !om_->Exists(arg.as_ref())) {
-        dead.push_back(row);
-        break;
-      }
-    }
-    return true;
-  });
-  for (RowId row : dead) {
-    GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
-    ++stats_.rows_removed;
-  }
-  // Admit newly qualifying combinations.
-  if (spec.complete) {
-    GOMFM_RETURN_IF_ERROR(EnumerateCombos(
-        spec, [&](const std::vector<Value>& args) {
-          return AdmitCombo(gmr, args, /*force_materialize=*/true);
-        }));
-  }
-  // Recompute every (remaining) result from the current state; for
-  // restricted GMRs also re-evaluate the predicate and evict rows that no
-  // longer qualify.
-  std::vector<RowId> rows;
-  gmr->ForEachRow([&](RowId row, const Gmr::Row&) {
-    rows.push_back(row);
-    return true;
-  });
-  for (RowId row : rows) {
-    if (spec.predicate != kInvalidFunctionId) {
-      GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
-      std::vector<Value> args = r->args;
-      GOMFM_ASSIGN_OR_RETURN(Value p,
-                             ComputeTracked(spec.predicate, args, nullptr));
-      GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
-      if (!admitted) {
-        GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
-        ++stats_.rows_removed;
-        continue;
-      }
-    }
-    GOMFM_RETURN_IF_ERROR(MaterializeRow(gmr, row));
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::InvalidateAllResults(GmrId id) {
-  GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, Get(id));
-  if (wal_ != nullptr) {
-    // Must be durable before any further update: afterwards the RRR (and
-    // every ObjDepFct) is empty, so those updates log no intents — losing
-    // this record would resurrect stale valid results at replay.
-    WalPayloadWriter w;
-    w.U32(id);
-    GOMFM_ASSIGN_OR_RETURN(
-        Lsn lsn, wal_->Append(WalRecordType::kInvalidateAll, w.Take()));
-    (void)lsn;
-    GOMFM_RETURN_IF_ERROR(wal_->Flush());
-  }
-  std::vector<RowId> rows;
-  gmr->ForEachRow([&](RowId r, const Gmr::Row&) {
-    rows.push_back(r);
-    return true;
-  });
-  for (RowId r : rows) {
-    for (size_t col = 0; col < gmr->spec().function_count(); ++col) {
-      GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(r, col));
-    }
-  }
-  std::vector<FunctionId> fns = gmr->spec().functions;
-  if (gmr->spec().predicate != kInvalidFunctionId) {
-    fns.push_back(gmr->spec().predicate);
-  }
-  for (FunctionId f : fns) {
-    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> unmarked, rrr_.RemoveFunction(f));
-    for (Oid o : unmarked) {
-      if (om_->Exists(o)) {
-        GOMFM_RETURN_IF_ERROR(om_->UnmarkUsedBy(o, f));
-      }
-    }
-  }
-  return Status::Ok();
-}
-
-Status GmrManager::RematerializeAllInvalid() {
-  for (const auto& gmr : gmrs_) {
-    if (gmr == nullptr) continue;
-    for (FunctionId f : gmr->spec().functions) {
-      GOMFM_RETURN_IF_ERROR(EnsureColumnValid(f));
-    }
-  }
-  return Status::Ok();
 }
 
 }  // namespace gom

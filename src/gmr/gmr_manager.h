@@ -4,54 +4,30 @@
 #include <memory>
 #include <vector>
 
-#include "common/flat_hash.h"
-#include "funclang/interpreter.h"
-#include "funclang/path_extraction.h"
-#include "gmr/dependency_tables.h"
-#include "gmr/gmr.h"
-#include "gmr/rrr.h"
-#include "gom/object_manager.h"
+#include "gmr/gmr_catalog.h"
+#include "gmr/gmr_maintenance.h"
+#include "gmr/gmr_read_path.h"
+#include "gmr/gmr_stats.h"
 #include "storage/wal.h"
 
 namespace gom {
 
-/// When to recompute an invalidated result (§3.1).
-enum class RematStrategy : uint8_t {
-  /// Invalidated results are recomputed as soon as the invalidation occurs.
-  kImmediate,
-  /// Invalidated results are only flagged; recomputation happens at the
-  /// next access (or an explicit RematerializeAllInvalid()).
-  kLazy,
-};
-
-struct GmrManagerOptions {
-  RematStrategy remat = RematStrategy::kImmediate;
-  /// §4.1: mark RRR entries instead of removing them on invalidation, so a
-  /// re-used object resurrects its entry instead of delete+insert churn.
-  bool second_chance_rrr = false;
-};
-
-/// The GMR manager: owns all GMR extensions, the RRR and the dependency
-/// tables; implements materialization, the invalidation / rematerialization
-/// algorithms of §4, compensating actions (§5.4), restricted-GMR predicate
-/// maintenance (§6.1) and the retrieval operations of §3.2.
+/// Facade over the three GMR planes:
+///
+///  * `GmrCatalog`    — the registry: extensions, column/predicate
+///    directories, reverse-reference relation, dependency tables.
+///  * `GmrReadPath`   — retrieval (§3.2): forward lookups and backward
+///    range queries; shared-latch only in concurrent mode.
+///  * `GmrMaintenance`— invalidation / rematerialization (§4),
+///    compensating actions (§5.4), predicate maintenance (§6.1), batched
+///    maintenance and write-ahead intents; exclusive over what it touches.
+///
+/// The facade preserves the pre-split single-threaded API verbatim; the
+/// context-taking overloads and `EnableConcurrentReads()` are the opt-in
+/// concurrent surface (`workload::Environment::MakeSession` wires them up).
 class GmrManager {
  public:
-  struct Stats {
-    uint64_t invalidations = 0;        // results flagged or recomputed
-    uint64_t rematerializations = 0;   // function recomputations
-    uint64_t compensations = 0;        // compensating-action invocations
-    uint64_t forward_hits = 0;         // forward lookups answered validly
-    uint64_t forward_invalid = 0;      // forward lookups hitting invalid rows
-    uint64_t forward_misses = 0;       // forward lookups with no row
-    uint64_t backward_queries = 0;
-    uint64_t blind_references = 0;     // RRR entries found dangling (§4.2)
-    uint64_t rows_created = 0;
-    uint64_t rows_removed = 0;
-    uint64_t batch_records = 0;        // distinct (GMR, row, col) deferred
-    uint64_t batch_dedup_hits = 0;     // invalidations coalesced into one
-    uint64_t batch_flushes = 0;        // outermost EndBatch() calls
-  };
+  using Stats = GmrStats;
 
   GmrManager(ObjectManager* om, funclang::Interpreter* interp,
              const funclang::FunctionRegistry* registry,
@@ -66,37 +42,50 @@ class GmrManager {
   /// from the static analysis of each member function (and the restriction
   /// predicate), and — for complete specs — populates the extension for
   /// every qualifying argument combination.
-  Result<GmrId> Materialize(GmrSpec spec);
+  Result<GmrId> Materialize(GmrSpec spec) {
+    return maintenance_.Materialize(std::move(spec));
+  }
 
   /// Drops the GMR: rows, reverse references, ObjDepFct marks and
   /// dependency entries.
-  Status Dematerialize(GmrId id);
+  Status Dematerialize(GmrId id) { return maintenance_.Dematerialize(id); }
 
-  Result<Gmr*> Get(GmrId id);
+  Result<Gmr*> Get(GmrId id) { return catalog_.Get(id); }
   /// (GMR, column) of a materialized function; kNotFound otherwise.
-  Result<std::pair<GmrId, size_t>> Locate(FunctionId f) const;
-  bool IsMaterialized(FunctionId f) const { return columns_.Contains(f); }
+  Result<std::pair<GmrId, size_t>> Locate(FunctionId f) const {
+    return catalog_.Locate(f);
+  }
+  bool IsMaterialized(FunctionId f) const {
+    return catalog_.IsMaterialized(f);
+  }
 
   // --- Update notifications (§4) --------------------------------------------
 
   /// Version-1 invalidation: consider every materialized function.
-  Status Invalidate(Oid o);
+  Status Invalidate(Oid o) { return maintenance_.Invalidate(o); }
 
   /// Invalidates results of the functions in `relevant` that used `o`
   /// (the rewritten operations pass ObjDepFct ∩ SchemaDepFct, §5.2).
-  Status Invalidate(Oid o, const FidSet& relevant);
+  Status Invalidate(Oid o, const FidSet& relevant) {
+    return maintenance_.Invalidate(o, relevant);
+  }
 
   /// `o` of type `type` was created: extend complete GMRs (§4.2).
-  Status NewObject(Oid o, TypeId type);
+  Status NewObject(Oid o, TypeId type) {
+    return maintenance_.NewObject(o, type);
+  }
 
   /// `o` is about to be deleted: drop rows it is an argument of (§4.2).
-  Status ForgetObject(Oid o);
+  Status ForgetObject(Oid o) { return maintenance_.ForgetObject(o); }
 
   /// Runs the compensating actions declared for (type of receiver, op) and
   /// the functions in `relevant`, *before* the update executes (§5.4).
   /// `op_args` are the update operation's arguments (without the receiver).
   Status Compensate(Oid receiver, TypeId type, FunctionId op,
-                    const std::vector<Value>& op_args, const FidSet& relevant);
+                    const std::vector<Value>& op_args,
+                    const FidSet& relevant) {
+    return maintenance_.Compensate(receiver, type, op, op_args, relevant);
+  }
 
   // --- Batched maintenance ---------------------------------------------------
 
@@ -108,14 +97,14 @@ class GmrManager {
   /// rematerialization instead of N. Under kLazy the batch is a no-op
   /// (lazy already defers; results recompute on access). Batches nest —
   /// only the outermost EndBatch() flushes.
-  void BeginBatch();
+  void BeginBatch() { maintenance_.BeginBatch(); }
 
   /// Closes the innermost batch; the outermost close performs the coalesced
   /// rematerialization. Results recomputed by a ForwardLookup inside the
   /// batch (lazy catch-up) are skipped, as are rows removed in the interim.
-  Status EndBatch();
+  Status EndBatch() { return maintenance_.EndBatch(); }
 
-  bool InBatch() const { return batch_depth_ > 0; }
+  bool InBatch() const { return maintenance_.InBatch(); }
 
   /// RAII batch guard:
   ///
@@ -156,7 +145,16 @@ class GmrManager {
   /// or missing results are (re)computed, updating the GMR per its policy.
   /// Falls back to plain evaluation when f is not materialized or its
   /// arguments fall outside a restriction.
-  Result<Value> ForwardLookup(FunctionId f, std::vector<Value> args);
+  Result<Value> ForwardLookup(FunctionId f, std::vector<Value> args) {
+    return read_path_.ForwardLookup(nullptr, f, std::move(args));
+  }
+
+  /// Context-carrying variant: with `ctx->concurrent` the lookup runs
+  /// read-only under shared latches (see GmrReadPath).
+  Result<Value> ForwardLookup(const ExecutionContext* ctx, FunctionId f,
+                              std::vector<Value> args) {
+    return read_path_.ForwardLookup(ctx, f, std::move(args));
+  }
 
   /// Backward range query: argument combinations with lo ⋞ f(args) ⋞ hi.
   /// Requires a complete GMR; invalid results in f's column are recomputed
@@ -164,27 +162,43 @@ class GmrManager {
   Result<std::vector<std::vector<Value>>> BackwardRange(FunctionId f,
                                                         double lo, double hi,
                                                         bool lo_inclusive,
-                                                        bool hi_inclusive);
+                                                        bool hi_inclusive) {
+    return read_path_.BackwardRange(nullptr, f, lo, hi, lo_inclusive,
+                                    hi_inclusive);
+  }
+
+  Result<std::vector<std::vector<Value>>> BackwardRange(
+      const ExecutionContext* ctx, FunctionId f, double lo, double hi,
+      bool lo_inclusive, bool hi_inclusive) {
+    return read_path_.BackwardRange(ctx, f, lo, hi, lo_inclusive,
+                                    hi_inclusive);
+  }
 
   /// Recomputes every invalid result in f's column.
-  Status EnsureColumnValid(FunctionId f);
+  Status EnsureColumnValid(FunctionId f) {
+    return maintenance_.EnsureColumnValid(f);
+  }
 
   /// Lazy-rematerialization catch-up for all GMRs ("when the load of the
   /// object base management system falls below a threshold").
-  Status RematerializeAllInvalid();
+  Status RematerializeAllInvalid() {
+    return maintenance_.RematerializeAllInvalid();
+  }
 
   /// Recomputes a snapshot GMR wholesale: newly qualifying argument
   /// combinations are added, combinations whose objects disappeared are
   /// dropped, and every result is recomputed from the current state.
   /// (Also usable on regular GMRs as a consistency repair.)
-  Status Refresh(GmrId id);
+  Status Refresh(GmrId id) { return maintenance_.Refresh(id); }
 
   /// Flags every result of the GMR invalid and drops its reverse
   /// references and ObjDepFct marks — the starting state of Fig. 10's
   /// "Lazy" configuration ("all materialized volume results had been
   /// invalidated before the benchmark was started — this causes the RRR
   /// and the sets ObjDepFct to be empty").
-  Status InvalidateAllResults(GmrId id);
+  Status InvalidateAllResults(GmrId id) {
+    return maintenance_.InvalidateAllResults(id);
+  }
 
   // --- Durability (write-ahead logging) --------------------------------------
 
@@ -192,8 +206,8 @@ class GmrManager {
   /// manager writes logical maintenance records — row changes, recomputed
   /// results, update intents, batch markers — that `RecoveryManager`
   /// replays after a crash. Detached, no logging happens at all.
-  void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
-  WriteAheadLog* wal() { return wal_; }
+  void AttachWal(WriteAheadLog* wal) { maintenance_.AttachWal(wal); }
+  WriteAheadLog* wal() { return maintenance_.wal(); }
 
   /// Write-ahead declaration that `o` is about to be updated, called from
   /// the notifier's *before* hooks. When `o` has a non-empty ObjDepFct the
@@ -202,40 +216,59 @@ class GmrManager {
   /// itself is. Objects no materialized result depends on log nothing.
   /// Every call pushes an open-intent frame; pair with LogUpdateCommit()
   /// (update completed) or LogUpdateAbort() (update failed, rolled back).
-  Status LogUpdateIntent(Oid o);
-  Status LogUpdateCommit(Oid o);
-  Status LogUpdateAbort(Oid o);
+  Status LogUpdateIntent(Oid o) { return maintenance_.LogUpdateIntent(o); }
+  Status LogUpdateCommit(Oid o) { return maintenance_.LogUpdateCommit(o); }
+  Status LogUpdateAbort(Oid o) { return maintenance_.LogUpdateAbort(o); }
 
   /// Write-ahead declaration that `o` is about to be deleted (flushed, like
   /// an update intent; no commit — replay reconciles against the object
   /// base). Called from ForgetObject(); no-op when no result depends on o.
-  Status LogDeleteIntent(Oid o);
+  Status LogDeleteIntent(Oid o) { return maintenance_.LogDeleteIntent(o); }
 
   // --- Knobs / introspection -------------------------------------------------
 
-  void set_remat_strategy(RematStrategy s) { options_.remat = s; }
-  RematStrategy remat_strategy() const { return options_.remat; }
+  void set_remat_strategy(RematStrategy s) {
+    maintenance_.set_remat_strategy(s);
+  }
+  RematStrategy remat_strategy() const {
+    return maintenance_.remat_strategy();
+  }
 
-  DependencyTables& deps() { return deps_; }
-  const DependencyTables& deps() const { return deps_; }
-  Rrr& rrr() { return rrr_; }
+  DependencyTables& deps() { return catalog_.deps(); }
+  const DependencyTables& deps() const { return catalog_.deps(); }
+  Rrr& rrr() { return catalog_.rrr(); }
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  void ResetStats() { stats_.Reset(); }
 
   /// Registers the RelAttr-derived SchemaDepFct entries for a *native*
   /// materialized function whose dependencies cannot be extracted
   /// statically (the DB programmer supplies them, as with InvalidatedFct).
   void DeclareRelAttr(FunctionId f,
                       const std::set<funclang::RelevantProperty>& rel_attr) {
-    deps_.AddRelAttr(rel_attr, f);
+    catalog_.deps().AddRelAttr(rel_attr, f);
   }
 
   /// Installs the §3.2 call mapping on the interpreter: nested untraced
   /// invocations of materialized functions are answered through
   /// ForwardLookup. Re-entrant calls issued while the manager itself is
-  /// computing (e.g. a lazy recomputation triggered by the lookup) fall
-  /// through to plain evaluation.
+  /// computing (e.g. a lazy recomputation triggered by the lookup), or
+  /// while a concurrent session evaluates a fallback, drop through to
+  /// plain evaluation.
   void InstallCallInterception();
+
+  /// Switches the catalog into concurrent mode: from here on the
+  /// maintenance plane latches the catalog exclusively at its entry points
+  /// and reader sessions may run under shared latches. One-way; called by
+  /// `Environment::MakeSession` before any reader thread starts.
+  void EnableConcurrentReads() { catalog_.set_concurrent_mode(true); }
+
+  /// Forwarded to the read path (see GmrReadPath::set_io_stall_us).
+  void set_io_stall_us(int us) { read_path_.set_io_stall_us(us); }
+
+  /// Component access (tests, recovery, harnesses).
+  GmrCatalog& catalog() { return catalog_; }
+  GmrMaintenance& maintenance() { return maintenance_; }
+  GmrReadPath& read_path() { return read_path_; }
 
  private:
   friend class RecoveryManager;
@@ -244,124 +277,15 @@ class GmrManager {
   /// populating the extension. RecoveryManager re-registers the original
   /// specs through this (in the original order, so GmrIds in the log stay
   /// meaningful) and then replays the extension from the log instead.
-  Result<GmrId> RegisterGmr(GmrSpec spec);
+  Result<GmrId> RegisterGmr(GmrSpec spec) {
+    return maintenance_.RegisterGmr(std::move(spec));
+  }
 
-  /// Appends a payload-less marker record (no-op without a log).
-  Status LogMarker(WalRecordType type);
-
-  /// Appends a row-change record (the Gmr change hook).
-  Status LogRowChange(WalRecordType type, GmrId id,
-                      const std::vector<Value>& args);
-
-  /// Appends a kRematResult record for a freshly computed result.
-  Status LogRemat(GmrId id, size_t col, const std::vector<Value>& args,
-                  const Value& value, const std::vector<Oid>& accessed);
-
-  /// RecordReverseRefs from an explicit object list (WAL replay, where the
-  /// trace is read from the log instead of a live computation).
-  Status RecordReverseRefsFromOids(FunctionId f,
-                                   const std::vector<Value>& args,
-                                   const std::vector<Oid>& oids);
-
-  bool HasOpenIntent(Oid o) const;
-
-  /// Invalidation entry point shared by both public overloads: brackets the
-  /// walk in a self-logged intent…commit pair when no intent is open for
-  /// `o` (programmatic Invalidate() calls outside the notifier path).
-  Status InvalidateGuarded(Oid o, const FidSet* relevant);
-  Status InvalidateImpl(Oid o, const FidSet* relevant);
-
-  Result<Value> ComputeTracked(FunctionId f, const std::vector<Value>& args,
-                               funclang::Trace* trace);
-
-  /// Inserts reverse references (and ObjDepFct marks) for every object the
-  /// trace touched during (re)materialization of f(args).
-  Status RecordReverseRefs(FunctionId f, const std::vector<Value>& args,
-                           const funclang::Trace& trace);
-
-  /// Removes one reverse reference, unmarking ObjDepFct when it was the
-  /// last entry for (object, function).
-  Status RemoveReverseRef(const Rrr::Entry& entry);
-
-  /// Computes and stores all member-function results of a row.
-  Status MaterializeRow(Gmr* gmr, RowId row);
-
-  /// §4.1 invalidation of one RRR entry under the active strategy.
-  Status HandleFunctionEntry(Gmr* gmr, size_t fn_idx, const Rrr::Entry& entry);
-
-  /// §6.1 predicate maintenance for one RRR entry of a restriction
-  /// predicate.
-  Status HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry);
-
-  /// Enumerates all argument combinations of the spec's (restricted)
-  /// domains; object-typed positions range over the type extension.
-  Status EnumerateCombos(
-      const GmrSpec& spec,
-      const std::function<Status(const std::vector<Value>&)>& fn);
-  Status EnumerateCombosFixed(
-      const GmrSpec& spec, size_t fixed_pos, const Value& fixed,
-      const std::function<Status(const std::vector<Value>&)>& fn);
-
-  /// Creates a row for `args` (predicate permitting). With
-  /// `force_materialize` (initial population: the materialize statement is
-  /// an explicit command, so results are computed eagerly regardless of
-  /// the REmaterialization strategy) or under the immediate strategy the
-  /// row's results are computed; otherwise it is left invalid for lazy
-  /// computation on first access.
-  Status AdmitCombo(Gmr* gmr, const std::vector<Value>& args,
-                    bool force_materialize = false);
-
-  /// One deferred invalidation: the (GMR, row, column) coordinate of a
-  /// result flagged invalid while a batch was open.
-  struct BatchKey {
-    GmrId gmr;
-    uint32_t col;
-    RowId row;
-    bool operator==(const BatchKey& other) const {
-      return gmr == other.gmr && col == other.col && row == other.row;
-    }
-  };
-  struct BatchKeyHash {
-    uint64_t operator()(const BatchKey& k) const {
-      return MixHash64(k.row ^
-                       MixHash64((static_cast<uint64_t>(k.gmr) << 32) |
-                                 k.col));
-    }
-  };
-
-  /// Recomputes one deferred (GMR, row, column) if its row survived the
-  /// batch and no lookup revalidated it in the meantime.
-  Status RematerializeDeferred(const BatchKey& key);
-
-  ObjectManager* om_;
   funclang::Interpreter* interp_;
-  const funclang::FunctionRegistry* registry_;
-  GmrManagerOptions options_;
-  WriteAheadLog* wal_ = nullptr;
-
-  /// Updates announced but not yet committed/aborted. `logged` is false for
-  /// intents the UsedBy filter suppressed (their commit is suppressed too).
-  struct OpenIntent {
-    Oid oid;
-    bool logged;
-  };
-  std::vector<OpenIntent> open_intents_;
-
-  std::vector<std::unique_ptr<Gmr>> gmrs_;
-  FlatHashMap<FunctionId, std::pair<GmrId, size_t>> columns_;
-  FlatHashMap<FunctionId, GmrId> predicates_;
-
-  DependencyTables deps_;
-  Rrr rrr_;
-  funclang::PathAnalyzer analyzer_;
   Stats stats_;
-  int compute_depth_ = 0;  // re-entrancy guard for call interception
-
-  int batch_depth_ = 0;
-  FlatHashSet<BatchKey, BatchKeyHash> batch_pending_;
-  /// Flush order: first-invalidation order, for deterministic replay of the
-  /// simulated clock charges.
-  std::vector<BatchKey> batch_order_;
+  GmrCatalog catalog_;
+  GmrMaintenance maintenance_;
+  GmrReadPath read_path_;
 };
 
 }  // namespace gom

@@ -1,0 +1,109 @@
+#ifndef GOMFM_GMR_GMR_READ_PATH_H_
+#define GOMFM_GMR_GMR_READ_PATH_H_
+
+#include <atomic>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "funclang/interpreter.h"
+#include "gmr/gmr_catalog.h"
+#include "gmr/gmr_maintenance.h"
+
+namespace gom {
+
+/// The retrieval plane of the GMR machinery: forward lookups (function call
+/// interception, §3) and backward range queries (§5.2 inverted access).
+///
+/// Two regimes, selected per call by the execution context:
+///
+///  * Owner mode (`ctx == nullptr` or `!ctx->concurrent`): the exact
+///    pre-split logic, including all of its repair side effects — invalid
+///    results are recomputed and stored back, missing rows of incremental
+///    GMRs are inserted, complete GMRs self-heal. These mutations delegate
+///    to the maintenance plane under its ExclusiveRegion (a no-op until
+///    concurrent mode is switched on), so the simulated-time figures stay
+///    bit-identical.
+///
+///  * Concurrent mode (`ctx->concurrent`): strictly read-only against the
+///    shared state. The session holds the catalog latch shared, nests the
+///    extension latch shared, and copies the cached value out. Anything
+///    the owner path would repair in place (invalid result, missing row)
+///    is instead computed transiently on the session's private clock — the
+///    extension is never written, so any number of readers can overlap one
+///    another and only ever see values the single-threaded execution could
+///    have produced.
+class GmrReadPath {
+ public:
+  GmrReadPath(ObjectManager* om, funclang::Interpreter* interp,
+              GmrCatalog* catalog, GmrMaintenance* maintenance,
+              GmrStats* stats)
+      : om_(om),
+        interp_(interp),
+        catalog_(catalog),
+        maintenance_(maintenance),
+        stats_(stats) {}
+
+  GmrReadPath(const GmrReadPath&) = delete;
+  GmrReadPath& operator=(const GmrReadPath&) = delete;
+
+  /// Answers f(args) from the GMR when possible (§3.2 forward query).
+  Result<Value> ForwardLookup(const ExecutionContext* ctx, FunctionId f,
+                              std::vector<Value> args);
+
+  /// All argument combinations whose materialized result of f lies in
+  /// [lo, hi] (§5.2 backward query). Requires a complete extension.
+  Result<std::vector<std::vector<Value>>> BackwardRange(
+      const ExecutionContext* ctx, FunctionId f, double lo, double hi,
+      bool lo_inclusive, bool hi_inclusive);
+
+  /// Materialization test for the call interceptor: takes the catalog
+  /// latch shared in concurrent mode (and releases it before the
+  /// subsequent ForwardLookup re-acquires — shared_mutex is not
+  /// recursive).
+  bool IsMaterializedShared(FunctionId f) const;
+
+  /// Simulated page-fault latency for concurrent lookups: each lookup
+  /// sleeps this long *while holding the extension latch shared*. Models
+  /// the paper's I/O-dominated regime, where throughput scaling comes from
+  /// readers overlapping their page faults — possible under shared
+  /// latches, impossible under an exclusive lock. Owner-mode lookups never
+  /// stall (wall-clock time is simulated there).
+  void set_io_stall_us(int us) {
+    io_stall_us_.store(us, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Pre-split lookup logic, verbatim; runs under the maintenance plane's
+  /// ExclusiveRegion.
+  Result<Value> OwnerForward(FunctionId f, std::vector<Value> args);
+  Result<std::vector<std::vector<Value>>> OwnerBackward(FunctionId f,
+                                                        double lo, double hi,
+                                                        bool lo_inclusive,
+                                                        bool hi_inclusive);
+
+  Result<Value> ConcurrentForward(const ExecutionContext* ctx, FunctionId f,
+                                  std::vector<Value> args);
+  Result<std::vector<std::vector<Value>>> ConcurrentBackward(
+      const ExecutionContext* ctx, FunctionId f, double lo, double hi,
+      bool lo_inclusive, bool hi_inclusive);
+
+  /// Evaluates f(args) without touching any GMR: the context's
+  /// compute_depth is bumped around the call so nested interception stays
+  /// off (re-entering the read path would re-acquire latches this thread
+  /// may already hold shared).
+  Result<Value> PlainEval(const ExecutionContext* ctx, FunctionId f,
+                          std::vector<Value> args);
+
+  void MaybeStall() const;
+
+  ObjectManager* om_;
+  funclang::Interpreter* interp_;
+  GmrCatalog* catalog_;
+  GmrMaintenance* maintenance_;
+  GmrStats* stats_;
+  std::atomic<int> io_stall_us_{0};
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_GMR_READ_PATH_H_

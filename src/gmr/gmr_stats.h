@@ -1,0 +1,86 @@
+#ifndef GOMFM_GMR_GMR_STATS_H_
+#define GOMFM_GMR_GMR_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gom {
+
+/// Maintenance / retrieval counters of the GMR machinery. The fields are
+/// atomics so concurrent reader sessions and the maintenance plane can
+/// bump them without racing; single-field reads convert implicitly (tests
+/// compare fields directly), harnesses that want a consistent view take a
+/// `Snapshot()`.
+struct GmrStats {
+  std::atomic<uint64_t> invalidations{0};       // results flagged or recomputed
+  std::atomic<uint64_t> rematerializations{0};  // function recomputations
+  std::atomic<uint64_t> compensations{0};     // compensating-action invocations
+  std::atomic<uint64_t> forward_hits{0};      // forward lookups answered validly
+  std::atomic<uint64_t> forward_invalid{0};   // forward lookups on invalid rows
+  std::atomic<uint64_t> forward_misses{0};    // forward lookups with no row
+  std::atomic<uint64_t> backward_queries{0};
+  std::atomic<uint64_t> blind_references{0};  // RRR entries found dangling (§4.2)
+  std::atomic<uint64_t> rows_created{0};
+  std::atomic<uint64_t> rows_removed{0};
+  std::atomic<uint64_t> batch_records{0};     // distinct (GMR, row, col) deferred
+  std::atomic<uint64_t> batch_dedup_hits{0};  // invalidations coalesced into one
+  std::atomic<uint64_t> batch_flushes{0};     // outermost EndBatch() calls
+
+  /// Plain-integer view (relaxed loads; the counters are monotonic, so any
+  /// snapshot is a valid point in time).
+  struct Counters {
+    uint64_t invalidations = 0;
+    uint64_t rematerializations = 0;
+    uint64_t compensations = 0;
+    uint64_t forward_hits = 0;
+    uint64_t forward_invalid = 0;
+    uint64_t forward_misses = 0;
+    uint64_t backward_queries = 0;
+    uint64_t blind_references = 0;
+    uint64_t rows_created = 0;
+    uint64_t rows_removed = 0;
+    uint64_t batch_records = 0;
+    uint64_t batch_dedup_hits = 0;
+    uint64_t batch_flushes = 0;
+  };
+
+  Counters Snapshot() const {
+    constexpr auto kR = std::memory_order_relaxed;
+    Counters c;
+    c.invalidations = invalidations.load(kR);
+    c.rematerializations = rematerializations.load(kR);
+    c.compensations = compensations.load(kR);
+    c.forward_hits = forward_hits.load(kR);
+    c.forward_invalid = forward_invalid.load(kR);
+    c.forward_misses = forward_misses.load(kR);
+    c.backward_queries = backward_queries.load(kR);
+    c.blind_references = blind_references.load(kR);
+    c.rows_created = rows_created.load(kR);
+    c.rows_removed = rows_removed.load(kR);
+    c.batch_records = batch_records.load(kR);
+    c.batch_dedup_hits = batch_dedup_hits.load(kR);
+    c.batch_flushes = batch_flushes.load(kR);
+    return c;
+  }
+
+  void Reset() {
+    constexpr auto kR = std::memory_order_relaxed;
+    invalidations.store(0, kR);
+    rematerializations.store(0, kR);
+    compensations.store(0, kR);
+    forward_hits.store(0, kR);
+    forward_invalid.store(0, kR);
+    forward_misses.store(0, kR);
+    backward_queries.store(0, kR);
+    blind_references.store(0, kR);
+    rows_created.store(0, kR);
+    rows_removed.store(0, kR);
+    batch_records.store(0, kR);
+    batch_dedup_hits.store(0, kR);
+    batch_flushes.store(0, kR);
+  }
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GMR_GMR_STATS_H_

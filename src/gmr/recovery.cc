@@ -127,15 +127,15 @@ Status RecoveryManager::ConservativeInvalidate(Oid o) {
   // access. Restriction-predicate entries are only dropped here; membership
   // is re-established by the reconciliation predicate sweep.
   GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
-                         mgr_->rrr_.EntriesFor(o));
+                         mgr_->catalog_.rrr().EntriesFor(o));
   for (const Rrr::Entry& entry : entries) {
-    if (mgr_->predicates_.Find(entry.function) != nullptr) {
-      GOMFM_RETURN_IF_ERROR(mgr_->RemoveReverseRef(entry));
+    if (mgr_->catalog_.predicates().Find(entry.function) != nullptr) {
+      GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RemoveReverseRef(entry));
       continue;
     }
     auto loc = mgr_->Locate(entry.function);
     if (!loc.ok()) {
-      GOMFM_RETURN_IF_ERROR(mgr_->RemoveReverseRef(entry));
+      GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RemoveReverseRef(entry));
       continue;
     }
     GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(loc->first));
@@ -143,7 +143,7 @@ Status RecoveryManager::ConservativeInvalidate(Oid o) {
     if (row.ok()) {
       GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, loc->second));
     }
-    GOMFM_RETURN_IF_ERROR(mgr_->RemoveReverseRef(entry));
+    GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RemoveReverseRef(entry));
   }
   return Status::Ok();
 }
@@ -165,7 +165,7 @@ Status RecoveryManager::ApplyRemat(const RematPayload& p) {
   }
   GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, p.col, p.value));
   FunctionId f = gmr->spec().functions[p.col];
-  GOMFM_RETURN_IF_ERROR(mgr_->RecordReverseRefsFromOids(f, p.args, p.accessed));
+  GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RecordReverseRefsFromOids(f, p.args, p.accessed));
   ++stats_.remats_applied;
   return Status::Ok();
 }
@@ -209,7 +209,7 @@ void RecoveryManager::DiscardOpenFrames() {
 }
 
 Status RecoveryManager::Reconcile() {
-  for (const auto& gmr_ptr : mgr_->gmrs_) {
+  for (const auto& gmr_ptr : mgr_->catalog_.gmrs()) {
     if (gmr_ptr == nullptr || gmr_ptr->spec().snapshot) {
       continue;  // snapshots replay verbatim and refresh wholesale anyway
     }
@@ -252,9 +252,9 @@ Status RecoveryManager::ReconcileGmr(Gmr* gmr) {
       ++stats_.predicate_rechecks;
       funclang::Trace trace;
       GOMFM_ASSIGN_OR_RETURN(
-          Value p, mgr_->ComputeTracked(spec.predicate, args, &trace));
+          Value p, mgr_->maintenance_.ComputeTracked(spec.predicate, args, &trace));
       GOMFM_RETURN_IF_ERROR(
-          mgr_->RecordReverseRefs(spec.predicate, args, trace));
+          mgr_->maintenance_.RecordReverseRefs(spec.predicate, args, trace));
       GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
       if (!admitted) {
         GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
@@ -266,16 +266,16 @@ Status RecoveryManager::ReconcileGmr(Gmr* gmr) {
   // those whose insert record was lost, as invalid rows (results recompute
   // on first access).
   if (spec.complete) {
-    GOMFM_RETURN_IF_ERROR(mgr_->EnumerateCombos(
+    GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.EnumerateCombos(
         spec, [&](const std::vector<Value>& args) -> Status {
           if (gmr->FindRow(args).ok()) return Status::Ok();
           if (spec.predicate != kInvalidFunctionId) {
             ++stats_.predicate_rechecks;
             funclang::Trace trace;
             GOMFM_ASSIGN_OR_RETURN(
-                Value p, mgr_->ComputeTracked(spec.predicate, args, &trace));
+                Value p, mgr_->maintenance_.ComputeTracked(spec.predicate, args, &trace));
             GOMFM_RETURN_IF_ERROR(
-                mgr_->RecordReverseRefs(spec.predicate, args, trace));
+                mgr_->maintenance_.RecordReverseRefs(spec.predicate, args, trace));
             GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
             if (!admitted) return Status::Ok();
           }

@@ -203,12 +203,15 @@ Status ObjectManager::Delete(Oid oid) {
   return Status::Ok();
 }
 
-Status ObjectManager::TouchForRead(Oid oid) {
+Status ObjectManager::TouchForRead(Oid oid, const ExecutionContext* ctx) {
   auto pit = placements_.find(oid);
   if (pit == placements_.end()) {
     return Status::NotFound("no object " + oid.ToString());
   }
-  clock_->Advance(cost_.cpu_object_op_seconds);
+  SimClock* clk =
+      (ctx != nullptr && ctx->clock != nullptr) ? ctx->clock : clock_;
+  clk->Advance(cost_.cpu_object_op_seconds);
+  if (ctx != nullptr && ctx->stats != nullptr) ++ctx->stats->object_reads;
   for (const Rid& rid : pit->second.chunks) {
     GOMFM_RETURN_IF_ERROR(storage_->TouchRecord(rid));
   }
@@ -251,22 +254,24 @@ Status ObjectManager::WriteBack(Object& obj) {
   return Status::Ok();
 }
 
-Result<Value> ObjectManager::GetAttribute(Oid oid, AttrId attr) {
+Result<Value> ObjectManager::GetAttribute(Oid oid, AttrId attr,
+                                          const ExecutionContext* ctx) {
   GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
   if (obj->kind != StructKind::kTuple || attr >= obj->fields.size()) {
     return Status::InvalidArgument("bad attribute access on " +
                                    oid.ToString());
   }
-  GOMFM_RETURN_IF_ERROR(TouchForRead(oid));
+  GOMFM_RETURN_IF_ERROR(TouchForRead(oid, ctx));
   return obj->fields[attr];
 }
 
 Result<Value> ObjectManager::GetAttribute(Oid oid,
-                                          const std::string& attr_name) {
+                                          const std::string& attr_name,
+                                          const ExecutionContext* ctx) {
   GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
   GOMFM_ASSIGN_OR_RETURN(auto resolved,
                          schema_->ResolveAttribute(obj->type, attr_name));
-  return GetAttribute(oid, resolved.first);
+  return GetAttribute(oid, resolved.first, ctx);
 }
 
 Status ObjectManager::SetAttribute(Oid oid, AttrId attr, Value value) {
@@ -308,23 +313,25 @@ Status ObjectManager::SetAttribute(Oid oid, const std::string& attr_name,
   return SetAttribute(oid, resolved.first, std::move(value));
 }
 
-Result<std::vector<Value>> ObjectManager::GetElements(Oid oid) {
+Result<std::vector<Value>> ObjectManager::GetElements(
+    Oid oid, const ExecutionContext* ctx) {
   GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
   if (obj->kind == StructKind::kTuple) {
     return Status::InvalidArgument("GetElements on tuple object " +
                                    oid.ToString());
   }
-  GOMFM_RETURN_IF_ERROR(TouchForRead(oid));
+  GOMFM_RETURN_IF_ERROR(TouchForRead(oid, ctx));
   return obj->elements;
 }
 
-Result<size_t> ObjectManager::ElementCount(Oid oid) {
+Result<size_t> ObjectManager::ElementCount(Oid oid,
+                                           const ExecutionContext* ctx) {
   GOMFM_ASSIGN_OR_RETURN(Object * obj, Lookup(oid));
   if (obj->kind == StructKind::kTuple) {
     return Status::InvalidArgument("ElementCount on tuple object " +
                                    oid.ToString());
   }
-  GOMFM_RETURN_IF_ERROR(TouchForRead(oid));
+  GOMFM_RETURN_IF_ERROR(TouchForRead(oid, ctx));
   return obj->elements.size();
 }
 

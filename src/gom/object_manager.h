@@ -1,10 +1,12 @@
 #ifndef GOMFM_GOM_OBJECT_MANAGER_H_
 #define GOMFM_GOM_OBJECT_MANAGER_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "gom/object.h"
@@ -119,8 +121,13 @@ class ObjectManager {
 
   // --- Tuple attribute access (built-in A / set_A operations) --------------
 
-  Result<Value> GetAttribute(Oid oid, AttrId attr);
-  Result<Value> GetAttribute(Oid oid, const std::string& attr_name);
+  /// Reads route their CPU charge (and read count) to `ctx` when one is
+  /// supplied — per-session accounting for concurrent readers. Page I/O
+  /// still charges the global clock: the simulated disk is a shared device.
+  Result<Value> GetAttribute(Oid oid, AttrId attr,
+                             const ExecutionContext* ctx = nullptr);
+  Result<Value> GetAttribute(Oid oid, const std::string& attr_name,
+                             const ExecutionContext* ctx = nullptr);
 
   Status SetAttribute(Oid oid, AttrId attr, Value value);
   Status SetAttribute(Oid oid, const std::string& attr_name, Value value);
@@ -128,7 +135,8 @@ class ObjectManager {
   // --- Set/list element access (t.insert / t.remove) -----------------------
 
   /// Copies the element list out (touching the object's pages).
-  Result<std::vector<Value>> GetElements(Oid oid);
+  Result<std::vector<Value>> GetElements(Oid oid,
+                                         const ExecutionContext* ctx = nullptr);
 
   /// Inserts into a set (duplicate elements rejected with kAlreadyExists)
   /// or appends to a list.
@@ -137,7 +145,8 @@ class ObjectManager {
   /// Removes the first element equal to `element`; kNotFound if absent.
   Status RemoveElement(Oid oid, const Value& element);
 
-  Result<size_t> ElementCount(Oid oid);
+  Result<size_t> ElementCount(Oid oid,
+                              const ExecutionContext* ctx = nullptr);
 
   // --- Catalog ------------------------------------------------------------
 
@@ -182,9 +191,15 @@ class ObjectManager {
   SimClock* clock() { return clock_; }
   StorageManager* storage() { return storage_; }
 
-  uint64_t created_count() const { return created_; }
-  uint64_t deleted_count() const { return deleted_; }
-  uint64_t update_count() const { return updates_; }
+  uint64_t created_count() const {
+    return created_.load(std::memory_order_relaxed);
+  }
+  uint64_t deleted_count() const {
+    return deleted_.load(std::memory_order_relaxed);
+  }
+  uint64_t update_count() const {
+    return updates_.load(std::memory_order_relaxed);
+  }
   size_t live_objects() const { return objects_.size(); }
 
  private:
@@ -196,8 +211,9 @@ class ObjectManager {
   Result<Object*> Lookup(Oid oid);
   Result<const Object*> Lookup(Oid oid) const;
 
-  /// Charges one object access: CPU + page touches of all chunks.
-  Status TouchForRead(Oid oid);
+  /// Charges one object access: CPU + page touches of all chunks. The CPU
+  /// part goes to the session clock when `ctx` is supplied.
+  Status TouchForRead(Oid oid, const ExecutionContext* ctx = nullptr);
 
   /// Serializes the object and updates (or relocates) its storage records.
   Status WriteBack(Object& obj);
@@ -224,9 +240,9 @@ class ObjectManager {
 
   uint64_t next_oid_ = 1;
   int operation_depth_ = 0;
-  uint64_t created_ = 0;
-  uint64_t deleted_ = 0;
-  uint64_t updates_ = 0;
+  std::atomic<uint64_t> created_{0};
+  std::atomic<uint64_t> deleted_{0};
+  std::atomic<uint64_t> updates_{0};
 
   static const std::vector<Oid> kEmptyExtent;
 };

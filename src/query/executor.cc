@@ -2,10 +2,11 @@
 
 namespace gom::query {
 
-Result<std::vector<Oid>> QueryExecutor::RunBackward(const BackwardQuery& q) {
+Result<std::vector<Oid>> QueryExecutor::RunBackward(
+    const BackwardQuery& q, const ExecutionContext* ctx) {
   if (use_gmrs_ && mgr_ != nullptr && mgr_->IsMaterialized(q.function)) {
-    auto answer = mgr_->BackwardRange(q.function, q.lo, q.hi, q.lo_inclusive,
-                                      q.hi_inclusive);
+    auto answer = mgr_->BackwardRange(ctx, q.function, q.lo, q.hi,
+                                      q.lo_inclusive, q.hi_inclusive);
     if (answer.ok()) {
       ++gmr_answers_;
       std::vector<Oid> out;
@@ -26,8 +27,8 @@ Result<std::vector<Oid>> QueryExecutor::RunBackward(const BackwardQuery& q) {
   ++scans_;
   std::vector<Oid> out;
   for (Oid o : om_->Extent(q.range_type)) {
-    GOMFM_ASSIGN_OR_RETURN(Value v,
-                           interp_->Invoke(q.function, {Value::Ref(o)}));
+    GOMFM_ASSIGN_OR_RETURN(
+        Value v, interp_->Invoke(ctx, q.function, {Value::Ref(o)}));
     GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
     if (d < q.lo || (d == q.lo && !q.lo_inclusive)) continue;
     if (d > q.hi || (d == q.hi && !q.hi_inclusive)) continue;
@@ -36,13 +37,14 @@ Result<std::vector<Oid>> QueryExecutor::RunBackward(const BackwardQuery& q) {
   return out;
 }
 
-Result<Value> QueryExecutor::RunForward(const ForwardQuery& q) {
+Result<Value> QueryExecutor::RunForward(const ForwardQuery& q,
+                                        const ExecutionContext* ctx) {
   if (use_gmrs_ && mgr_ != nullptr && mgr_->IsMaterialized(q.function)) {
     ++gmr_answers_;
-    return mgr_->ForwardLookup(q.function, q.args);
+    return mgr_->ForwardLookup(ctx, q.function, q.args);
   }
   ++scans_;
-  return interp_->Invoke(q.function, q.args);
+  return interp_->Invoke(ctx, q.function, q.args);
 }
 
 bool QueryExecutor::Matches(const ColumnSpec& spec, const Value& v,

@@ -1,8 +1,10 @@
 #ifndef GOMFM_QUERY_EXECUTOR_H_
 #define GOMFM_QUERY_EXECUTOR_H_
 
+#include <atomic>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "funclang/interpreter.h"
 #include "gmr/gmr_manager.h"
 #include "gom/object_manager.h"
@@ -26,11 +28,14 @@ class QueryExecutor {
 
   /// Backward query: the qualifying argument objects. Falls back to an
   /// extension scan when the function is not materialized (or GMR use is
-  /// disabled).
-  Result<std::vector<Oid>> RunBackward(const BackwardQuery& q);
+  /// disabled). With a concurrent `ctx` the GMR path runs read-only under
+  /// shared latches and charges the session's clock.
+  Result<std::vector<Oid>> RunBackward(const BackwardQuery& q,
+                                       const ExecutionContext* ctx = nullptr);
 
   /// Forward query: one function result.
-  Result<Value> RunForward(const ForwardQuery& q);
+  Result<Value> RunForward(const ForwardQuery& q,
+                           const ExecutionContext* ctx = nullptr);
 
   /// QBE-style retrieval on a GMR (§3.2). Matching rows are returned as
   /// [args…, results…] value vectors. Result columns referenced by a
@@ -38,8 +43,10 @@ class QueryExecutor {
   /// answer is correct under lazy rematerialization.
   Result<std::vector<std::vector<Value>>> RunRetrieval(const GmrRetrieval& q);
 
-  uint64_t scans() const { return scans_; }
-  uint64_t gmr_answers() const { return gmr_answers_; }
+  uint64_t scans() const { return scans_.load(std::memory_order_relaxed); }
+  uint64_t gmr_answers() const {
+    return gmr_answers_.load(std::memory_order_relaxed);
+  }
 
  private:
   static bool Matches(const ColumnSpec& spec, const Value& v, bool valid);
@@ -48,8 +55,8 @@ class QueryExecutor {
   funclang::Interpreter* interp_;
   GmrManager* mgr_;
   bool use_gmrs_;
-  uint64_t scans_ = 0;
-  uint64_t gmr_answers_ = 0;
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> gmr_answers_{0};
 };
 
 }  // namespace gom::query

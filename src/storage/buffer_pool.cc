@@ -30,43 +30,128 @@ void BufferPool::TouchLru(Frame& frame, PageId id) {
   frame.lru_pos = lru_.begin();
 }
 
-Result<Page*> BufferPool::Fetch(PageId id) {
+Result<BufferPool::Frame*> BufferPool::FetchLocked(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     TouchLru(it->second, id);
-    return &it->second.page;
+    return &it->second;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (frames_.size() >= capacity_) {
-    GOMFM_RETURN_IF_ERROR(EvictOne());
+    GOMFM_RETURN_IF_ERROR(EvictOneLocked());
   }
   std::vector<uint8_t> image(kPageSize);
   GOMFM_RETURN_IF_ERROR(disk_->ReadPage(id, image.data()));
   lru_.push_front(id);
   Frame frame{Page(std::move(image)), /*dirty=*/false, /*pin_count=*/0,
-              /*recovery_lsn=*/0, lru_.begin()};
+              /*recovery_lsn=*/0, lru_.begin(),
+              std::make_shared<std::shared_mutex>()};
   auto [ins, ok] = frames_.emplace(id, std::move(frame));
   (void)ok;
-  return &ins->second.page;
+  return &ins->second;
 }
 
-Result<Page*> BufferPool::NewPage(PageId* id_out) {
+Result<BufferPool::Frame*> BufferPool::NewPageLocked(PageId* id_out) {
   if (frames_.size() >= capacity_) {
-    GOMFM_RETURN_IF_ERROR(EvictOne());
+    GOMFM_RETURN_IF_ERROR(EvictOneLocked());
   }
   PageId id = disk_->AllocatePage();
   lru_.push_front(id);
   Frame frame{Page(), /*dirty=*/true, /*pin_count=*/0, /*recovery_lsn=*/0,
-              lru_.begin()};
+              lru_.begin(), std::make_shared<std::shared_mutex>()};
   StampRecoveryLsn(frame);
   auto [ins, ok] = frames_.emplace(id, std::move(frame));
   (void)ok;
   *id_out = id;
-  return &ins->second.page;
+  return &ins->second;
+}
+
+Result<Page*> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GOMFM_ASSIGN_OR_RETURN(Frame * frame, FetchLocked(id));
+  return &frame->page;
+}
+
+Result<Page*> BufferPool::NewPage(PageId* id_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GOMFM_ASSIGN_OR_RETURN(Frame * frame, NewPageLocked(id_out));
+  return &frame->page;
+}
+
+Result<BufferPool::PageGuard> BufferPool::Acquire(PageId id, bool exclusive) {
+  std::shared_ptr<std::shared_mutex> latch;
+  Page* page = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GOMFM_ASSIGN_OR_RETURN(Frame * frame, FetchLocked(id));
+    ++frame->pin_count;  // latch is taken outside `mu_`; the pin keeps the
+                         // frame (and its latch) resident meanwhile
+    latch = frame->latch;
+    page = &frame->page;
+  }
+  if (exclusive) {
+    latch->lock();
+  } else {
+    latch->lock_shared();
+  }
+  return PageGuard(this, id, page, std::move(latch), exclusive);
+}
+
+Result<BufferPool::PageGuard> BufferPool::AcquireNew(PageId* id_out) {
+  std::shared_ptr<std::shared_mutex> latch;
+  Page* page = nullptr;
+  PageId id = kInvalidPageId;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GOMFM_ASSIGN_OR_RETURN(Frame * frame, NewPageLocked(&id));
+    ++frame->pin_count;
+    latch = frame->latch;
+    page = &frame->page;
+  }
+  *id_out = id;
+  latch->lock();
+  return PageGuard(this, id, page, std::move(latch), /*exclusive=*/true);
+}
+
+void BufferPool::ReleaseGuard(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end() && it->second.pin_count > 0) {
+    --it->second.pin_count;
+  }
+}
+
+BufferPool::PageGuard& BufferPool::PageGuard::operator=(
+    PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    id_ = o.id_;
+    page_ = o.page_;
+    latch_ = std::move(o.latch_);
+    exclusive_ = o.exclusive_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+  }
+  return *this;
+}
+
+void BufferPool::PageGuard::Release() {
+  if (pool_ == nullptr) return;
+  if (exclusive_) {
+    latch_->unlock();
+  } else {
+    latch_->unlock_shared();
+  }
+  latch_.reset();
+  pool_->ReleaseGuard(id_);
+  pool_ = nullptr;
+  page_ = nullptr;
 }
 
 Status BufferPool::MarkDirty(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     return Status::NotFound("BufferPool::MarkDirty: page not resident");
@@ -77,6 +162,7 @@ Status BufferPool::MarkDirty(PageId id) {
 }
 
 Status BufferPool::Pin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     return Status::NotFound("BufferPool::Pin: page not resident");
@@ -86,6 +172,7 @@ Status BufferPool::Pin(PageId id) {
 }
 
 Status BufferPool::Unpin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     return Status::NotFound("BufferPool::Unpin: page not resident");
@@ -97,8 +184,9 @@ Status BufferPool::Unpin(PageId id) {
   return Status::Ok();
 }
 
-Status BufferPool::EvictOne() {
+Status BufferPool::EvictOneLocked() {
   // Walk from the LRU end towards MRU looking for an unpinned victim.
+  // Guard-held frames are pinned, so a victim's latch is never contended.
   for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
     PageId victim = *rit;
     Frame& frame = frames_.at(victim);
@@ -108,13 +196,14 @@ Status BufferPool::EvictOne() {
     }
     lru_.erase(frame.lru_pos);
     frames_.erase(victim);
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     return Status::Ok();
   }
   return Status::FailedPrecondition("BufferPool::EvictOne: all pages pinned");
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
       GOMFM_RETURN_IF_ERROR(WriteBack(id, frame));
@@ -125,7 +214,13 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
-  GOMFM_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      GOMFM_RETURN_IF_ERROR(WriteBack(id, frame));
+      frame.dirty = false;
+    }
+  }
   for (auto it = frames_.begin(); it != frames_.end();) {
     if (it->second.pin_count > 0) {
       ++it;

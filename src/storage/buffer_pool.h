@@ -1,9 +1,12 @@
 #ifndef GOMFM_STORAGE_BUFFER_POOL_H_
 #define GOMFM_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -21,6 +24,15 @@ class WriteAheadLog;
 /// that regime. A fetch of a non-resident page evicts the least recently
 /// used unpinned frame (writing it back if dirty) and reads the page from
 /// disk — both operations charge simulated disk time.
+///
+/// Concurrency: the frame table, LRU list and per-frame metadata are
+/// guarded by an internal pool mutex, so `Fetch`/`Unpin`/`MarkDirty` are
+/// safe to call from concurrent reader sessions. Each frame additionally
+/// carries a latch (`std::shared_mutex`) protecting the page *content*;
+/// `Acquire()` returns a `PageGuard` that holds the pin and the latch for
+/// the duration of a record operation. The latch order is pool mutex →
+/// frame latch, and the pool mutex is never taken while a frame latch is
+/// held by the same operation, so the ordering is acyclic.
 class BufferPool {
  public:
   /// `disk` must outlive the pool. `capacity_pages` is the frame count
@@ -30,9 +42,56 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  /// RAII handle over a pinned, latched frame. While alive the page cannot
+  /// be evicted (pinned) and its bytes cannot change under a shared guard
+  /// (latched). Movable, not copyable.
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+    PageGuard& operator=(PageGuard&& o) noexcept;
+    ~PageGuard() { Release(); }
+
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+
+    Page* page() { return page_; }
+    PageId id() const { return id_; }
+    bool valid() const { return pool_ != nullptr; }
+
+    /// Unlatches and unpins early (idempotent).
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PageGuard(BufferPool* pool, PageId id, Page* page,
+              std::shared_ptr<std::shared_mutex> latch, bool exclusive)
+        : pool_(pool),
+          id_(id),
+          page_(page),
+          latch_(std::move(latch)),
+          exclusive_(exclusive) {}
+
+    BufferPool* pool_ = nullptr;
+    PageId id_ = kInvalidPageId;
+    Page* page_ = nullptr;
+    std::shared_ptr<std::shared_mutex> latch_;
+    bool exclusive_ = false;
+  };
+
+  /// Fetches (faulting in if necessary), pins and latches the page.
+  /// `exclusive` guards byte mutation; shared guards reads.
+  Result<PageGuard> Acquire(PageId id, bool exclusive);
+
+  /// Allocates a brand-new page on disk and returns it resident, dirty and
+  /// exclusively latched.
+  Result<PageGuard> AcquireNew(PageId* id_out);
+
   /// Returns the in-memory page, faulting it in if necessary. The pointer
   /// stays valid until the page is evicted; callers that need stability
-  /// across other fetches must `Pin` first.
+  /// across other fetches must `Pin` first. Unlike `Acquire` this takes no
+  /// frame latch — it is the historical single-caller interface, kept for
+  /// code that runs outside concurrent sessions.
   Result<Page*> Fetch(PageId id);
 
   /// Allocates a brand-new page on disk and returns it resident and dirty.
@@ -53,14 +112,36 @@ class BufferPool {
   /// to cold-start the cache between measurements.
   Status EvictAll();
 
-  bool IsResident(PageId id) const { return frames_.count(id) > 0; }
-  size_t resident_pages() const { return frames_.size(); }
+  bool IsResident(PageId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.count(id) > 0;
+  }
+  size_t resident_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   size_t capacity() const { return capacity_; }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  void ResetCounters() { hits_ = misses_ = evictions_ = 0; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent counter view for harnesses (relaxed loads of monotonic
+  /// counters).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  Counters Snapshot() const { return Counters{hits(), misses(), evictions()}; }
+
+  void ResetCounters() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+  }
 
   /// Attaches a write-ahead log (nullptr detaches). With a log attached the
   /// pool enforces the write-ahead rule: before a dirty page is written
@@ -77,22 +158,30 @@ class BufferPool {
     uint32_t pin_count = 0;
     uint64_t recovery_lsn = 0;  // newest WAL LSN when last dirtied
     std::list<PageId>::iterator lru_pos;
+    /// Content latch; shared_ptr keeps it alive for guards outliving an
+    /// eviction race (pinning prevents the eviction, the pointer makes the
+    /// invariant independent of it).
+    std::shared_ptr<std::shared_mutex> latch;
   };
 
-  /// Frees one frame, preferring the least recently used unpinned page.
-  Status EvictOne();
+  /// All *Locked helpers require `mu_` to be held.
+  Result<Frame*> FetchLocked(PageId id);
+  Result<Frame*> NewPageLocked(PageId* id_out);
+  Status EvictOneLocked();
   void TouchLru(Frame& frame, PageId id);
   void StampRecoveryLsn(Frame& frame);
   Status WriteBack(PageId id, Frame& frame);
+  void ReleaseGuard(PageId id);
 
   SimDisk* disk_;
   WriteAheadLog* wal_ = nullptr;
   size_t capacity_;
+  mutable std::mutex mu_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = most recently used
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace gom

@@ -59,7 +59,7 @@ Status ChunkedRecordStore::Delete(const Handle& handle) {
   return Status::Ok();
 }
 
-Status ChunkedRecordStore::Touch(const Handle& handle) {
+Status ChunkedRecordStore::Touch(const Handle& handle) const {
   for (const Rid& rid : handle) {
     GOMFM_RETURN_IF_ERROR(storage_->TouchRecord(rid));
   }

@@ -32,7 +32,7 @@ class ChunkedRecordStore {
 
   /// Touches every chunk page (simulates a logical read of the payload
   /// when the decoded form is cached in memory).
-  Status Touch(const Handle& handle);
+  Status Touch(const Handle& handle) const;
 
   /// Reads the payload back (concatenated chunks).
   Result<std::vector<uint8_t>> Read(const Handle& handle);

@@ -1,6 +1,7 @@
 #ifndef GOMFM_STORAGE_SIM_DISK_H_
 #define GOMFM_STORAGE_SIM_DISK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -40,13 +41,21 @@ class SimDisk {
   Status WritePage(PageId id, const uint8_t* data);
 
   size_t page_count() const { return pages_.size(); }
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+  /// Consistent view of the I/O counters for harnesses (relaxed loads; the
+  /// counters are monotonic so any snapshot is a valid point in time).
+  struct Counters {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+  Counters Snapshot() const { return Counters{reads(), writes()}; }
 
   /// Clears I/O counters (the clock is owned by the caller and reset there).
   void ResetCounters() {
-    reads_ = 0;
-    writes_ = 0;
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
   }
 
   /// Attaches a deterministic fault schedule (nullptr detaches). The
@@ -60,8 +69,8 @@ class SimDisk {
   CostModel cost_;
   FaultInjector* injector_ = nullptr;
   std::vector<std::vector<uint8_t>> pages_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace gom

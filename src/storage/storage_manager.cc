@@ -22,12 +22,12 @@ Result<PageId> StorageManager::PageWithRoom(SegmentId segment, size_t length) {
   // oriented and clustered in creation order.
   if (!seg.pages.empty()) {
     PageId last = seg.pages.back();
-    GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(last));
-    if (page->Fits(length)) return last;
+    GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->Acquire(last, false));
+    if (guard.page()->Fits(length)) return last;
   }
   PageId id;
-  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->NewPage(&id));
-  (void)page;
+  GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->AcquireNew(&id));
+  (void)guard;
   seg.pages.push_back(id);
   return id;
 }
@@ -40,28 +40,31 @@ Result<Rid> StorageManager::InsertRecord(SegmentId segment,
                                    std::to_string(data.size()));
   }
   GOMFM_ASSIGN_OR_RETURN(PageId pid, PageWithRoom(segment, data.size()));
-  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(pid));
-  GOMFM_ASSIGN_OR_RETURN(SlotId slot, page->Insert(data.data(), data.size()));
+  GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->Acquire(pid, true));
+  GOMFM_ASSIGN_OR_RETURN(SlotId slot,
+                         guard.page()->Insert(data.data(), data.size()));
   GOMFM_RETURN_IF_ERROR(pool_->MarkDirty(pid));
   return Rid{pid, slot};
 }
 
 Result<std::vector<uint8_t>> StorageManager::ReadRecord(const Rid& rid) {
-  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
+  GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->Acquire(rid.page, false));
   size_t length = 0;
-  GOMFM_ASSIGN_OR_RETURN(const uint8_t* data, page->Read(rid.slot, &length));
+  GOMFM_ASSIGN_OR_RETURN(const uint8_t* data,
+                         guard.page()->Read(rid.slot, &length));
   return std::vector<uint8_t>(data, data + length);
 }
 
 Status StorageManager::TouchRecord(const Rid& rid) {
-  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
-  (void)page;
+  GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->Acquire(rid.page, false));
+  (void)guard;
   return Status::Ok();
 }
 
 Result<Rid> StorageManager::UpdateRecord(SegmentId segment, const Rid& rid,
                                          const std::vector<uint8_t>& data) {
-  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
+  GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->Acquire(rid.page, true));
+  Page* page = guard.page();
   Status in_place = page->Update(rid.slot, data.data(), data.size());
   if (in_place.ok()) {
     GOMFM_RETURN_IF_ERROR(pool_->MarkDirty(rid.page));
@@ -77,12 +80,13 @@ Result<Rid> StorageManager::UpdateRecord(SegmentId segment, const Rid& rid,
   }
   GOMFM_RETURN_IF_ERROR(page->Delete(rid.slot));
   GOMFM_RETURN_IF_ERROR(pool_->MarkDirty(rid.page));
+  guard.Release();  // InsertRecord may relocate onto this same page
   return InsertRecord(segment, data);
 }
 
 Status StorageManager::DeleteRecord(const Rid& rid) {
-  GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(rid.page));
-  GOMFM_RETURN_IF_ERROR(page->Delete(rid.slot));
+  GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->Acquire(rid.page, true));
+  GOMFM_RETURN_IF_ERROR(guard.page()->Delete(rid.slot));
   return pool_->MarkDirty(rid.page);
 }
 
@@ -97,11 +101,11 @@ Status StorageManager::ScanSegment(SegmentId segment,
     return Status::InvalidArgument("StorageManager::ScanSegment: bad segment");
   }
   for (PageId pid : segments_[segment].pages) {
-    GOMFM_ASSIGN_OR_RETURN(Page * page, pool_->Fetch(pid));
-    uint16_t n = page->slot_count();
+    GOMFM_ASSIGN_OR_RETURN(auto guard, pool_->Acquire(pid, false));
+    uint16_t n = guard.page()->slot_count();
     for (SlotId s = 0; s < n; ++s) {
       size_t len = 0;
-      if (page->Read(s, &len).ok()) fn(Rid{pid, s});
+      if (guard.page()->Read(s, &len).ok()) fn(Rid{pid, s});
     }
   }
   return Status::Ok();

@@ -25,6 +25,14 @@ NotifyLevel LevelFor(ProgramVersion v) {
 
 }  // namespace
 
+Session* Environment::MakeSession() {
+  if (session_pool == nullptr) {
+    session_pool = std::make_unique<SessionPool>(this);
+    mgr.EnableConcurrentReads();
+  }
+  return session_pool->CreateSession();
+}
+
 // ---------------------------------------------------------------- GeoBench
 
 GeoBench::GeoBench(const Config& config)

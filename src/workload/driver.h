@@ -10,6 +10,7 @@
 #include "workload/cuboid_schema.h"
 #include "workload/operation_mix.h"
 #include "workload/program_version.h"
+#include "workload/session.h"
 
 namespace gom::workload {
 
@@ -37,14 +38,33 @@ struct Environment {
     }
   }
 
-  MaterializationNotifier* InstallNotifier(NotifyLevel level) {
+  /// Installs (or retunes) the update notifier. Idempotent: a second call
+  /// adjusts the existing notifier's level instead of replacing it, so the
+  /// interception hook is installed at most once. `install_interception`
+  /// controls the §3.2 call mapping (tests exercising the notifier in
+  /// isolation leave it off).
+  MaterializationNotifier* InstallNotifier(NotifyLevel level,
+                                           bool install_interception = true) {
+    if (notifier != nullptr) {
+      notifier->set_level(level);
+      return notifier.get();
+    }
     notifier = std::make_unique<MaterializationNotifier>(&mgr, &om, level);
     om.SetNotifier(notifier.get());
-    // §3.2: from here on, nested invocations of materialized functions are
-    // served as forward queries through the GMR manager.
-    mgr.InstallCallInterception();
+    if (install_interception) {
+      // §3.2: from here on, nested invocations of materialized functions
+      // are served as forward queries through the GMR manager.
+      mgr.InstallCallInterception();
+    }
     return notifier.get();
   }
+
+  /// Hands out a concurrent reader session (creating the pool and
+  /// switching the GMR catalog into concurrent mode on first use). Call on
+  /// the coordinating thread before spawning the session's worker.
+  /// Single-threaded benchmarks never call this, so their figures are
+  /// untouched.
+  Session* MakeSession();
 
   SimClock clock;
   SimDisk disk;
@@ -57,6 +77,7 @@ struct Environment {
   GmrManager mgr;
   std::unique_ptr<WriteAheadLog> wal;
   std::unique_ptr<MaterializationNotifier> notifier;
+  std::unique_ptr<SessionPool> session_pool;
 };
 
 /// Driver for the computer-geometry benchmarks (§7.1): builds the 8000-

@@ -1,0 +1,43 @@
+#include "workload/session.h"
+
+#include "workload/driver.h"
+
+namespace gom::workload {
+
+Session::Session(Environment* env, SessionPool* pool, uint32_t id)
+    : env_(env), pool_(pool), id_(id) {
+  ctx_.clock = &clock_;
+  ctx_.stats = &stats_;
+  ctx_.session_id = id_;
+  ctx_.concurrent = true;
+}
+
+Result<Value> Session::ForwardQuery(FunctionId f, std::vector<Value> args) {
+  std::shared_lock<std::shared_mutex> gate(pool_->gate_);
+  ++stats_.forward_queries;
+  return env_->mgr.ForwardLookup(&ctx_, f, std::move(args));
+}
+
+Result<std::vector<std::vector<Value>>> Session::BackwardQuery(
+    FunctionId f, double lo, double hi, bool lo_inclusive,
+    bool hi_inclusive) {
+  std::shared_lock<std::shared_mutex> gate(pool_->gate_);
+  ++stats_.backward_queries;
+  return env_->mgr.BackwardRange(&ctx_, f, lo, hi, lo_inclusive,
+                                 hi_inclusive);
+}
+
+Session* SessionPool::CreateSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id = static_cast<uint32_t>(sessions_.size()) + 1;
+  sessions_.push_back(
+      std::unique_ptr<Session>(new Session(env_, this, id)));
+  return sessions_.back().get();
+}
+
+size_t SessionPool::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace gom::workload

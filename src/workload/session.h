@@ -1,0 +1,99 @@
+#ifndef GOMFM_WORKLOAD_SESSION_H_
+#define GOMFM_WORKLOAD_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "common/sim_clock.h"
+#include "gom/ids.h"
+#include "gom/value.h"
+
+namespace gom::workload {
+
+struct Environment;
+class SessionPool;
+
+/// One reader session against a shared Environment. A session owns its own
+/// simulated clock and statistics; every query it runs carries an
+/// ExecutionContext pointing at them, so CPU charges and counters never
+/// race with other sessions (page I/O still charges the environment's
+/// global clock — the simulated disk is a shared device).
+///
+/// Sessions are created on the coordinating thread via
+/// `Environment::MakeSession()` and may then be driven from one worker
+/// thread each. Queries take the pool's read/write gate shared, so they
+/// interleave freely with each other but never overlap an update storm.
+class Session {
+ public:
+  Result<Value> ForwardQuery(FunctionId f, std::vector<Value> args);
+  Result<std::vector<std::vector<Value>>> BackwardQuery(
+      FunctionId f, double lo, double hi, bool lo_inclusive = true,
+      bool hi_inclusive = true);
+
+  uint32_t id() const { return id_; }
+  const SessionStats& stats() const { return stats_; }
+  SimClock& clock() { return clock_; }
+  const ExecutionContext& ctx() const { return ctx_; }
+
+ private:
+  friend class SessionPool;
+  Session(Environment* env, SessionPool* pool, uint32_t id);
+
+  Environment* env_;
+  SessionPool* pool_;
+  uint32_t id_;
+  SimClock clock_;
+  SessionStats stats_;
+  ExecutionContext ctx_;
+};
+
+/// Owns the environment's sessions and the read/write gate that separates
+/// reader queries from update storms: sessions hold the gate shared per
+/// query, a writer takes it exclusively per storm (WriterLock). Together
+/// with the component latches this gives update-storm granularity
+/// equivalence — a reader observes the extension either entirely before or
+/// entirely after any given storm, never mid-storm.
+class SessionPool {
+ public:
+  explicit SessionPool(Environment* env) : env_(env) {}
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Creates a session. Call from the coordinating thread before handing
+  /// the session to its worker.
+  Session* CreateSession();
+
+  size_t session_count() const;
+
+  /// RAII exclusive hold of the gate for one update storm.
+  class WriterLock {
+   public:
+    explicit WriterLock(SessionPool* pool) : pool_(pool) {
+      pool_->gate_.lock();
+    }
+    ~WriterLock() { pool_->gate_.unlock(); }
+    WriterLock(const WriterLock&) = delete;
+    WriterLock& operator=(const WriterLock&) = delete;
+
+   private:
+    SessionPool* pool_;
+  };
+
+  std::shared_mutex& gate() { return gate_; }
+
+ private:
+  friend class Session;
+
+  Environment* env_;
+  mutable std::mutex mu_;  // guards sessions_
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::shared_mutex gate_;
+};
+
+}  // namespace gom::workload
+
+#endif  // GOMFM_WORKLOAD_SESSION_H_

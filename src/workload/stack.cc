@@ -1,0 +1,52 @@
+#include "workload/stack.h"
+
+namespace gom::workload {
+
+Status PopulateCuboids(ObjectManager* om, const CuboidSchema& geo,
+                       size_t num_cuboids, uint64_t seed,
+                       std::vector<Oid>* out) {
+  Rng rng(seed);
+  GOMFM_ASSIGN_OR_RETURN(Oid iron, geo.MakeMaterial(om, "Iron", 7.86));
+  out->reserve(out->size() + num_cuboids);
+  for (size_t i = 0; i < num_cuboids; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(
+        Oid c, geo.MakeCuboid(om, rng.UniformDouble(1, 20),
+                              rng.UniformDouble(1, 20),
+                              rng.UniformDouble(1, 20), iron));
+    out->push_back(c);
+  }
+  return Status::Ok();
+}
+
+GmrSpec VolumeSpec(const CuboidSchema& geo) {
+  GmrSpec spec;
+  spec.name = "volume";
+  spec.arg_types = {TypeRef::Object(geo.cuboid)};
+  spec.functions = {geo.volume};
+  return spec;
+}
+
+CompanyStack::CompanyStack(const StackOptions& opts)
+    : env(opts.buffer_pages, opts.gmr, opts.storage) {
+  setup = [&]() -> Status {
+    GOMFM_ASSIGN_OR_RETURN(geo,
+                           CuboidSchema::Declare(&env.schema, &env.registry));
+    if (opts.num_cuboids > 0) {
+      GOMFM_RETURN_IF_ERROR(PopulateCuboids(&env.om, geo, opts.num_cuboids,
+                                            opts.seed, &cuboids));
+    }
+    if (opts.materialize_volume) {
+      GOMFM_ASSIGN_OR_RETURN(volume_gmr, env.mgr.Materialize(VolumeSpec(geo)));
+    }
+    if (opts.notify) {
+      env.InstallNotifier(NotifyLevel::kObjDep);
+    }
+    return Status::Ok();
+  }();
+}
+
+std::unique_ptr<CompanyStack> MakeCompanyStack(const StackOptions& opts) {
+  return std::make_unique<CompanyStack>(opts);
+}
+
+}  // namespace gom::workload

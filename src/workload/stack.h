@@ -1,0 +1,57 @@
+#ifndef GOMFM_WORKLOAD_STACK_H_
+#define GOMFM_WORKLOAD_STACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "workload/cuboid_schema.h"
+#include "workload/driver.h"
+
+namespace gom::workload {
+
+/// Options for MakeCompanyStack().
+struct StackOptions {
+  size_t buffer_pages = 150;
+  GmrManagerOptions gmr;
+  StorageOptions storage;
+  /// Cuboids to populate (0 leaves the base empty). The population is the
+  /// harnesses' standard one: one "Iron" material (density 7.86) and
+  /// `num_cuboids` cuboids with edge lengths uniform in [1, 20).
+  size_t num_cuboids = 0;
+  uint64_t seed = 97;
+  /// Materialize ⟨⟨volume⟩⟩ over the cuboid extension.
+  bool materialize_volume = false;
+  /// Install the ObjDep notifier (with call interception).
+  bool notify = false;
+};
+
+/// The standard benchmark/test stack over one Environment: the §7.1 cuboid
+/// base with its schema declared, optionally populated, with ⟨⟨volume⟩⟩
+/// materialized and the update notifier installed. Replaces the
+/// hand-rolled Environment + schema + notifier boilerplate the harnesses
+/// used to duplicate.
+struct CompanyStack {
+  explicit CompanyStack(const StackOptions& opts);
+
+  Environment env;
+  CuboidSchema geo;
+  std::vector<Oid> cuboids;
+  GmrId volume_gmr = kInvalidGmrId;
+  Status setup = Status::Ok();  // first error during population, if any
+};
+
+std::unique_ptr<CompanyStack> MakeCompanyStack(const StackOptions& opts = {});
+
+/// Population piece alone, for rigs that own their stack differently (the
+/// recovery harness rebuilds its GMR manager mid-run and cannot use
+/// Environment).
+Status PopulateCuboids(ObjectManager* om, const CuboidSchema& geo,
+                       size_t num_cuboids, uint64_t seed,
+                       std::vector<Oid>* out);
+
+/// The ⟨⟨volume⟩⟩ spec over the cuboid extension.
+GmrSpec VolumeSpec(const CuboidSchema& geo);
+
+}  // namespace gom::workload
+
+#endif  // GOMFM_WORKLOAD_STACK_H_

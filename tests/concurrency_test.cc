@@ -1,0 +1,264 @@
+// Concurrent-equivalence property tests: reader sessions racing an update
+// storm must observe only values the single-threaded execution could have
+// produced. A twin environment driven through the identical storm sequence
+// serves as the oracle — after each storm it records every cuboid's
+// volume, and the union of those per-storm snapshots is the complete set
+// of legal observations (the session gate serializes readers against whole
+// storms, so a reader always sees some storm-prefix state, never a
+// mid-storm one).
+//
+// These tests are the payload of the TSan CI job: four reader threads
+// overlap each other on the shared-latch read path while the writer
+// exercises the exclusive maintenance plane.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/session.h"
+#include "workload/stack.h"
+
+namespace gom {
+namespace {
+
+using workload::CompanyStack;
+using workload::Session;
+using workload::SessionPool;
+using workload::StackOptions;
+
+constexpr size_t kNumCuboids = 60;
+constexpr size_t kStorms = 25;
+constexpr size_t kWritesPerStorm = 6;
+constexpr size_t kReaders = 4;
+constexpr size_t kQueriesPerReader = 400;
+
+StackOptions TestStack() {
+  StackOptions opts;
+  opts.buffer_pages = 512;
+  opts.num_cuboids = kNumCuboids;
+  opts.seed = 41;
+  opts.materialize_volume = true;
+  opts.notify = true;
+  return opts;
+}
+
+/// One update storm, identical for the live and oracle environments:
+/// deterministic vertex writes under a maintenance batch. The caller's Rng
+/// carries the storm sequence, so replaying storms 0..k on a twin stack
+/// reproduces the exact extension state after storm k.
+Status ApplyStorm(CompanyStack& s, Rng& rng) {
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  GmrManager::UpdateBatch batch(&s.env.mgr);
+  for (size_t i = 0; i < kWritesPerStorm; ++i) {
+    Oid c = s.cuboids[rng.UniformInt(0, s.cuboids.size() - 1)];
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> vertices,
+                           s.geo.VerticesOf(&s.env.om, c));
+    GOMFM_RETURN_IF_ERROR(s.env.om.SetAttribute(
+        vertices[rng.UniformInt(1, 3)], kCoords[rng.UniformInt(0, 2)],
+        Value::Float(rng.UniformDouble(1, 15))));
+  }
+  return batch.Commit();
+}
+
+TEST(ConcurrencyTest, ReadersObserveOnlyOracleStates) {
+  // Oracle pass: single-threaded, records the legal volume set per cuboid
+  // across every storm prefix.
+  auto oracle = workload::MakeCompanyStack(TestStack());
+  ASSERT_TRUE(oracle->setup.ok()) << oracle->setup.ToString();
+  std::vector<std::set<double>> allowed(kNumCuboids);
+  auto snapshot = [&](CompanyStack& s) {
+    for (size_t i = 0; i < s.cuboids.size(); ++i) {
+      auto v = s.env.mgr.ForwardLookup(s.geo.volume,
+                                       {Value::Ref(s.cuboids[i])});
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      allowed[i].insert(*v->AsDouble());
+    }
+  };
+  {
+    Rng storms(7);
+    snapshot(*oracle);
+    for (size_t k = 0; k < kStorms; ++k) {
+      ASSERT_TRUE(ApplyStorm(*oracle, storms).ok());
+      snapshot(*oracle);
+    }
+  }
+
+  // Live pass: identical storms on a twin stack, now with reader threads
+  // racing the writer through the session gate.
+  auto live = workload::MakeCompanyStack(TestStack());
+  ASSERT_TRUE(live->setup.ok()) << live->setup.ToString();
+  CompanyStack& s = *live;
+
+  std::vector<Session*> sessions;
+  for (size_t t = 0; t < kReaders; ++t) sessions.push_back(s.env.MakeSession());
+
+  struct Observation {
+    size_t cuboid;
+    double volume;
+  };
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      Session* session = sessions[t];
+      observed[t].reserve(kQueriesPerReader);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (size_t i = 0; i < kQueriesPerReader; ++i) {
+        size_t idx = (t * 131 + i * 17) % kNumCuboids;
+        auto v = session->ForwardQuery(s.geo.volume,
+                                       {Value::Ref(s.cuboids[idx])});
+        if (!v.ok() || !v->is_numeric()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        observed[t].push_back({idx, *v->AsDouble()});
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  {
+    Rng storms(7);
+    for (size_t k = 0; k < kStorms; ++k) {
+      Status st;
+      {
+        SessionPool::WriterLock lock(s.env.session_pool.get());
+        st = ApplyStorm(s, storms);
+      }
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      std::this_thread::yield();  // let readers interleave between storms
+    }
+  }
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  size_t total = 0;
+  for (size_t t = 0; t < kReaders; ++t) {
+    for (const Observation& o : observed[t]) {
+      ASSERT_TRUE(allowed[o.cuboid].count(o.volume) != 0)
+          << "reader " << t << " saw volume " << o.volume << " for cuboid "
+          << o.cuboid << " — not any storm-prefix state";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kReaders * kQueriesPerReader);
+
+  // The live stack ends in the same final state as the oracle.
+  for (size_t i = 0; i < kNumCuboids; ++i) {
+    auto lv =
+        s.env.mgr.ForwardLookup(s.geo.volume, {Value::Ref(s.cuboids[i])});
+    auto ov = oracle->env.mgr.ForwardLookup(oracle->geo.volume,
+                                            {Value::Ref(oracle->cuboids[i])});
+    ASSERT_TRUE(lv.ok() && ov.ok());
+    EXPECT_DOUBLE_EQ(lv->as_float(), ov->as_float()) << "cuboid " << i;
+  }
+}
+
+TEST(ConcurrencyTest, ParallelReadersAgreeWithQuiescentState) {
+  auto stack = workload::MakeCompanyStack(TestStack());
+  ASSERT_TRUE(stack->setup.ok()) << stack->setup.ToString();
+  CompanyStack& s = *stack;
+
+  std::vector<double> expected(s.cuboids.size());
+  for (size_t i = 0; i < s.cuboids.size(); ++i) {
+    auto v =
+        s.env.mgr.ForwardLookup(s.geo.volume, {Value::Ref(s.cuboids[i])});
+    ASSERT_TRUE(v.ok());
+    expected[i] = *v->AsDouble();
+  }
+
+  std::vector<Session*> sessions;
+  for (size_t t = 0; t < kReaders; ++t) sessions.push_back(s.env.MakeSession());
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      Session* session = sessions[t];
+      for (size_t i = 0; i < kQueriesPerReader; ++i) {
+        size_t idx = (t * 7919 + i) % s.cuboids.size();
+        auto v = session->ForwardQuery(s.geo.volume,
+                                       {Value::Ref(s.cuboids[idx])});
+        if (!v.ok() || *v->AsDouble() != expected[idx]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // All queries were pure hits on the read plane.
+  const auto& st = sessions[0]->stats();
+  EXPECT_EQ(st.forward_queries, kQueriesPerReader);
+  EXPECT_EQ(st.plain_evaluations, 0u);
+}
+
+TEST(ConcurrencyTest, ConcurrentBackwardRangeDuringStorms) {
+  auto stack = workload::MakeCompanyStack(TestStack());
+  ASSERT_TRUE(stack->setup.ok()) << stack->setup.ToString();
+  CompanyStack& s = *stack;
+
+  std::vector<Session*> sessions;
+  for (size_t t = 0; t < 2; ++t) sessions.push_back(s.env.MakeSession());
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t]() {
+      Session* session = sessions[t];
+      while (!stop.load(std::memory_order_acquire)) {
+        auto rows = session->BackwardQuery(s.geo.volume, 100, 4000);
+        if (!rows.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Every returned argument must reference a live cuboid.
+        for (const auto& args : *rows) {
+          if (args.size() != 1 || args[0].kind() != ValueKind::kRef) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  Rng storms(11);
+  for (size_t k = 0; k < kStorms; ++k) {
+    Status st;
+    {
+      SessionPool::WriterLock lock(s.env.session_pool.get());
+      st = ApplyStorm(s, storms);
+    }
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(sessions[0]->stats().backward_queries, 0u);
+}
+
+TEST(ConcurrencyTest, InstallNotifierIsIdempotent) {
+  auto stack = workload::MakeCompanyStack(TestStack());
+  ASSERT_TRUE(stack->setup.ok());
+  workload::Environment& env = stack->env;
+  workload::MaterializationNotifier* first = env.notifier.get();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->level(), workload::NotifyLevel::kObjDep);
+
+  // A second install retunes the existing notifier instead of replacing it.
+  workload::MaterializationNotifier* second =
+      env.InstallNotifier(workload::NotifyLevel::kSchemaDep);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(second->level(), workload::NotifyLevel::kSchemaDep);
+}
+
+}  // namespace
+}  // namespace gom

@@ -1,35 +1,22 @@
 #ifndef GOMFM_TESTS_TEST_ENV_H_
 #define GOMFM_TESTS_TEST_ENV_H_
 
-#include <memory>
+#include <cassert>
 
-#include "funclang/interpreter.h"
-#include "gmr/gmr_manager.h"
-#include "gom/object_manager.h"
-#include "storage/storage_options.h"
 #include "workload/cuboid_schema.h"
-#include "workload/program_version.h"
+#include "workload/driver.h"
 
 namespace gom {
 
-/// Full stack for tests: simulated storage, object base with the paper's
-/// geometric schema, interpreter and GMR manager (notifier not installed
-/// until `InstallNotifier`).
-struct TestEnv {
+/// Full stack for tests: `workload::Environment` plus the paper's geometric
+/// schema (notifier not installed until `InstallNotifier`). Tests exercise
+/// the notifier in isolation, so unlike the benchmark drivers the call
+/// interception stays off.
+struct TestEnv : workload::Environment {
   explicit TestEnv(size_t buffer_pages = 150,
                    GmrManagerOptions options = {},
                    StorageOptions storage_options = {})
-      : disk(&clock, CostModel::Default()),
-        pool(&disk, buffer_pages),
-        storage(&pool),
-        om(&schema, &storage, &clock),
-        interp(&om, &registry),
-        mgr(&om, &interp, &registry, &storage, options) {
-    if (storage_options.enable_wal) {
-      wal = std::make_unique<WriteAheadLog>(&disk);
-      pool.AttachWal(wal.get());
-      mgr.AttachWal(wal.get());
-    }
+      : workload::Environment(buffer_pages, options, storage_options) {
     auto declared = workload::CuboidSchema::Declare(&schema, &registry);
     assert(declared.ok());
     geo = *declared;
@@ -37,24 +24,11 @@ struct TestEnv {
 
   workload::MaterializationNotifier* InstallNotifier(
       workload::NotifyLevel level) {
-    notifier = std::make_unique<workload::MaterializationNotifier>(&mgr, &om,
-                                                                   level);
-    om.SetNotifier(notifier.get());
-    return notifier.get();
+    return workload::Environment::InstallNotifier(
+        level, /*install_interception=*/false);
   }
 
-  SimClock clock;
-  SimDisk disk;
-  BufferPool pool;
-  StorageManager storage;
-  Schema schema;
-  ObjectManager om;
-  funclang::FunctionRegistry registry;
-  funclang::Interpreter interp;
-  GmrManager mgr;
-  std::unique_ptr<WriteAheadLog> wal;
   workload::CuboidSchema geo;
-  std::unique_ptr<workload::MaterializationNotifier> notifier;
 };
 
 }  // namespace gom
