@@ -16,9 +16,39 @@ namespace gom::bench {
 /// the whole suite runs in seconds (shapes are preserved; absolute
 /// simulated times shrink accordingly). `--out=<path>` asks benchmarks that
 /// support it to also write a machine-readable JSON summary.
+///
+/// The concurrency harnesses (mt_harness, serve_harness) share the rest:
+/// `--threads=1,2,4,8` / `--connections=1,2,4,8` (synonyms) set the
+/// parallelism sweep, `--queries=N` the per-worker request count,
+/// `--duration-ms=N` switches to a fixed-duration run (overrides
+/// `--queries`), `--merge=<path>` splices the harness's series into an
+/// existing JSON summary.
 struct BenchArgs {
   bool quick = false;
   std::string out;
+  std::string merge;
+  std::vector<size_t> counts;  // --threads / --connections sweep
+  size_t queries = 0;          // per worker; 0 = harness default
+  int duration_ms = 0;         // > 0: run each sweep point for this long
+
+  /// Parses "1,2,4,8" into {1,2,4,8}; malformed or zero entries are
+  /// dropped rather than guessed at.
+  static std::vector<size_t> ParseSizeList(const std::string& text) {
+    std::vector<size_t> out;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t comma = text.find(',', pos);
+      if (comma == std::string::npos) comma = text.size();
+      char* end = nullptr;
+      unsigned long v = std::strtoul(text.substr(pos, comma - pos).c_str(),
+                                     &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0) {
+        out.push_back(static_cast<size_t>(v));
+      }
+      pos = comma + 1;
+    }
+    return out;
+  }
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -28,6 +58,18 @@ struct BenchArgs {
         args.quick = true;
       } else if (arg.rfind("--out=", 0) == 0) {
         args.out = arg.substr(6);
+      } else if (arg.rfind("--merge=", 0) == 0) {
+        args.merge = arg.substr(8);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        args.counts = ParseSizeList(arg.substr(10));
+      } else if (arg.rfind("--connections=", 0) == 0) {
+        args.counts = ParseSizeList(arg.substr(14));
+      } else if (arg.rfind("--queries=", 0) == 0) {
+        args.queries = static_cast<size_t>(
+            std::strtoul(arg.substr(10).c_str(), nullptr, 10));
+      } else if (arg.rfind("--duration-ms=", 0) == 0) {
+        args.duration_ms =
+            static_cast<int>(std::strtol(arg.substr(14).c_str(), nullptr, 10));
       }
     }
     return args;

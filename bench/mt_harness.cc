@@ -91,16 +91,15 @@ bool MergeThreadScaling(const std::string& path, const std::string& rendered) {
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
-  std::string merge_path;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg(argv[i]);
-    if (arg.rfind("--merge=", 0) == 0) merge_path = arg.substr(8);
-  }
+  const std::string& merge_path = args.merge;
 
   const size_t num_cuboids = args.quick ? 400 : 1000;
-  const size_t queries_per_thread = args.quick ? 1000 : 2000;
+  const size_t queries_per_thread =
+      args.queries > 0 ? args.queries : (args.quick ? 1000 : 2000);
+  const int duration_ms = args.duration_ms;
   const int stall_us = 200;
-  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<size_t> thread_counts =
+      args.counts.empty() ? std::vector<size_t>{1, 2, 4, 8} : args.counts;
 
   workload::StackOptions opts;
   opts.buffer_pages = 4096;
@@ -138,13 +137,19 @@ int main(int argc, char** argv) {
 
     std::atomic<bool> go{false};
     std::atomic<size_t> mismatches{0};
+    std::atomic<size_t> completed{0};
+    Clock::time_point deadline{};  // written before go flips (release/acquire)
     std::vector<std::thread> workers;
     workers.reserve(nthreads);
     for (size_t t = 0; t < nthreads; ++t) {
       workers.emplace_back([&, t]() {
         Session* session = sessions[t];
         while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-        for (size_t i = 0; i < queries_per_thread; ++i) {
+        size_t done = 0;
+        for (size_t i = 0; duration_ms > 0 || i < queries_per_thread; ++i) {
+          if (duration_ms > 0 && (i & 63) == 0 && Clock::now() >= deadline) {
+            break;
+          }
           size_t idx = (t * 7919 + i) % s.cuboids.size();
           auto v = session->ForwardQuery(s.geo.volume,
                                          {Value::Ref(s.cuboids[idx])});
@@ -152,11 +157,14 @@ int main(int argc, char** argv) {
               *v->AsDouble() != expected[idx]) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
+          ++done;
         }
+        completed.fetch_add(done, std::memory_order_relaxed);
       });
     }
 
     auto t0 = Clock::now();
+    if (duration_ms > 0) deadline = t0 + std::chrono::milliseconds(duration_ms);
     go.store(true, std::memory_order_release);
     for (auto& w : workers) w.join();
     double ms =
@@ -166,15 +174,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "FAILED: %zu of %zu concurrent reads disagreed with the "
                    "single-threaded oracle at %zu threads\n",
-                   mismatches.load(), nthreads * queries_per_thread,
-                   nthreads);
+                   mismatches.load(), completed.load(), nthreads);
       return 1;
     }
 
     ScalePoint p;
     p.threads = nthreads;
     p.wall_ms = ms;
-    p.qps = 1000.0 * static_cast<double>(nthreads * queries_per_thread) / ms;
+    p.qps = 1000.0 * static_cast<double>(completed.load()) / ms;
     p.speedup = points.empty() ? 1.0 : p.qps / points.front().qps;
     std::printf("%8zu %12.2f %14.0f %9.2fx\n", p.threads, p.wall_ms, p.qps,
                 p.speedup);
@@ -183,9 +190,11 @@ int main(int argc, char** argv) {
 
   const ScalePoint& top = points.back();
   std::printf("\n# %zu threads: %.2fx single-thread throughput "
-              "(gate: >= 3x)\n",
+              "(gate: >= 3x at >= 8 threads)\n",
               top.threads, top.speedup);
-  if (top.speedup < 3.0) {
+  // The regression gate applies to the default sweep shape; a hand-picked
+  // `--threads=` list that never reaches 8 opts out of it.
+  if (top.threads >= 8 && top.speedup < 3.0) {
     std::fprintf(stderr,
                  "FAILED: %zu-thread speedup %.2fx < 3x — shared-latch read "
                  "path is not overlapping probe stalls\n",

@@ -1,0 +1,293 @@
+// Service-layer load generator: closed-loop clients over real loopback
+// sockets against an in-process Server.
+//
+// For each connection count (default 1/2/4/8) the harness opens that many
+// Client connections, each driven by one thread issuing a mixed workload —
+// mostly forward queries, some narrow backward ranges, a rare GOMql text
+// query (which serializes through the pool's writer-exclusive gate, so the
+// mix keeps it infrequent the way an interactive console would be). Every
+// request's wall-clock latency is recorded; the summary reports p50/p99
+// and throughput per connection count.
+//
+// The same injected probe stall as mt_harness (`set_io_stall_us(200)`)
+// models disk latency, so concurrency has something real to overlap. The
+// regression gate: 8 connections must deliver >= 3x the single-connection
+// throughput (applies when the sweep reaches 8).
+//
+// Forward answers are validated against a single-threaded oracle pass, so
+// a scaling win can never hide a torn read crossing the wire.
+//
+// Flags (shared with mt_harness via bench_util.h): `--quick`,
+// `--connections=1,2,4,8`, `--queries=N` per connection,
+// `--duration-ms=N` (overrides --queries), `--out=<path>`,
+// `--merge=<path>` splices the `connection_scaling` series into an
+// existing JSON summary (BENCH_serve.json is the tracked baseline).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/stack.h"
+
+using namespace gom;
+using namespace gom::bench;
+using workload::CompanyStack;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScalePoint {
+  size_t connections = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  double speedup = 1.0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Splices `"connection_scaling": <rendered>` into an existing flat JSON
+/// summary (same textual approach as mt_harness's MergeThreadScaling).
+bool MergeConnectionScaling(const std::string& path,
+                            const std::string& rendered) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  size_t key = text.find("\"connection_scaling\"");
+  if (key != std::string::npos) {
+    size_t start = text.rfind(',', key);
+    if (start == std::string::npos) start = key;
+    size_t lb = text.find('[', key);
+    if (lb == std::string::npos) return false;
+    int depth = 0;
+    size_t end = lb;
+    for (; end < text.size(); ++end) {
+      if (text[end] == '[') ++depth;
+      if (text[end] == ']' && --depth == 0) {
+        ++end;
+        break;
+      }
+    }
+    text.erase(start, end - start);
+  }
+
+  size_t close = text.rfind('}');
+  if (close == std::string::npos || close == 0) return false;
+  size_t last = text.find_last_not_of(" \t\n", close - 1);
+  text.erase(last + 1, close - (last + 1));
+  text.insert(last + 1, ",\n  \"connection_scaling\": " + rendered + "\n");
+
+  f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  const size_t num_cuboids = args.quick ? 400 : 1000;
+  const size_t queries_per_conn =
+      args.queries > 0 ? args.queries : (args.quick ? 500 : 1500);
+  const int duration_ms = args.duration_ms;
+  const int stall_us = 200;
+  const std::vector<size_t> conn_counts =
+      args.counts.empty() ? std::vector<size_t>{1, 2, 4, 8} : args.counts;
+
+  workload::StackOptions opts;
+  opts.buffer_pages = 4096;
+  opts.num_cuboids = num_cuboids;
+  opts.materialize_volume = true;
+  auto stack = workload::MakeCompanyStack(opts);
+  if (!stack->setup.ok()) Fail(stack->setup, "stack setup");
+  CompanyStack& s = *stack;
+
+  // Oracle pass before any session/server exists (owner path, warm GMR).
+  std::vector<double> expected(s.cuboids.size(), 0.0);
+  double max_volume = 0;
+  for (size_t i = 0; i < s.cuboids.size(); ++i) {
+    auto v = s.env.mgr.ForwardLookup(s.geo.volume, {Value::Ref(s.cuboids[i])});
+    if (!v.ok()) Fail(v.status(), "oracle forward lookup");
+    expected[i] = *v->AsDouble();
+    max_volume = std::max(max_volume, expected[i]);
+  }
+
+  s.env.mgr.set_io_stall_us(stall_us);
+
+  server::ServerOptions sopts;
+  sopts.num_workers = 8;
+  server::Server server(&s.env, sopts);
+  Status st = server.Start();
+  if (!st.ok()) Fail(st, "server start");
+
+  std::printf("# serve_harness — wire-protocol throughput over loopback\n");
+  std::printf("# %zu cuboids, %zu queries/connection%s, %d us probe stall, "
+              "%zu workers\n\n",
+              num_cuboids, queries_per_conn,
+              duration_ms > 0 ? " (duration-capped)" : "", stall_us,
+              sopts.num_workers);
+  std::printf("%6s %12s %14s %10s %10s %10s\n", "conns", "wall_ms",
+              "queries_per_s", "speedup", "p50_us", "p99_us");
+
+  std::vector<ScalePoint> points;
+  for (size_t nconns : conn_counts) {
+    std::atomic<bool> go{false};
+    std::atomic<size_t> mismatches{0};
+    std::atomic<size_t> completed{0};
+    Clock::time_point deadline{};
+    std::vector<std::vector<double>> latencies(nconns);
+    std::vector<std::thread> threads;
+    threads.reserve(nconns);
+
+    for (size_t t = 0; t < nconns; ++t) {
+      threads.emplace_back([&, t] {
+        server::Client client;
+        if (!client.Connect(server.port()).ok()) {
+          mismatches.fetch_add(1);
+          return;
+        }
+        std::vector<double>& lat = latencies[t];
+        lat.reserve(duration_ms > 0 ? 4096 : queries_per_conn);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        size_t done = 0;
+        for (size_t i = 0; duration_ms > 0 || i < queries_per_conn; ++i) {
+          if (duration_ms > 0 && (i & 31) == 0 && Clock::now() >= deadline) {
+            break;
+          }
+          size_t idx = (t * 7919 + i) % s.cuboids.size();
+          auto t0 = Clock::now();
+          bool ok = true;
+          if (i % 64 == 63) {
+            // Rare text query — exclusive-gate traffic in the mix.
+            auto rows = client.RunGomql(
+                "range c: Cuboid retrieve c.volume where c.volume < 0.0");
+            ok = rows.ok() && rows->empty();
+          } else if (i % 4 == 3) {
+            // Narrow backward range around the expected value.
+            auto rows = client.Backward(s.geo.volume, expected[idx],
+                                        expected[idx]);
+            ok = rows.ok() && !rows->empty();
+          } else {
+            auto v = client.Forward(s.geo.volume, {Value::Ref(s.cuboids[idx])});
+            ok = v.ok() && v->is_numeric() && *v->AsDouble() == expected[idx];
+          }
+          lat.push_back(std::chrono::duration<double, std::micro>(
+                            Clock::now() - t0)
+                            .count());
+          if (!ok) mismatches.fetch_add(1, std::memory_order_relaxed);
+          ++done;
+        }
+        completed.fetch_add(done, std::memory_order_relaxed);
+      });
+    }
+
+    auto t0 = Clock::now();
+    if (duration_ms > 0) deadline = t0 + std::chrono::milliseconds(duration_ms);
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    if (mismatches.load() != 0) {
+      std::fprintf(stderr,
+                   "FAILED: %zu of %zu wire queries failed or disagreed with "
+                   "the oracle at %zu connections\n",
+                   mismatches.load(), completed.load(), nconns);
+      server.Stop();
+      return 1;
+    }
+
+    std::vector<double> all;
+    for (auto& lat : latencies) {
+      all.insert(all.end(), lat.begin(), lat.end());
+    }
+    std::sort(all.begin(), all.end());
+
+    ScalePoint p;
+    p.connections = nconns;
+    p.wall_ms = ms;
+    p.qps = 1000.0 * static_cast<double>(completed.load()) / ms;
+    p.speedup = points.empty() ? 1.0 : p.qps / points.front().qps;
+    p.p50_us = Percentile(all, 0.50);
+    p.p99_us = Percentile(all, 0.99);
+    std::printf("%6zu %12.2f %14.0f %9.2fx %10.0f %10.0f\n", p.connections,
+                p.wall_ms, p.qps, p.speedup, p.p50_us, p.p99_us);
+    points.push_back(p);
+  }
+
+  server.Stop();
+
+  const ScalePoint& top = points.back();
+  std::printf("\n# %zu connections: %.2fx single-connection throughput "
+              "(gate: >= 3x at >= 8 connections)\n",
+              top.connections, top.speedup);
+  if (top.connections >= 8 && top.speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAILED: %zu-connection speedup %.2fx < 3x — the service "
+                 "layer is not overlapping probe stalls across connections\n",
+                 top.connections, top.speedup);
+    return 1;
+  }
+
+  std::string arr = "[\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    JsonWriter w;
+    w.Add("connections", static_cast<uint64_t>(p.connections));
+    w.Add("wall_ms", p.wall_ms);
+    w.Add("queries_per_s", p.qps);
+    w.Add("speedup", p.speedup);
+    w.Add("p50_us", p.p50_us);
+    w.Add("p99_us", p.p99_us);
+    arr += "    " + w.Render(4);
+    arr += (i + 1 < points.size()) ? ",\n" : "\n";
+  }
+  arr += "  ]";
+
+  if (args.out.size()) {
+    JsonWriter root;
+    root.Add("benchmark", std::string("serve_harness"));
+    root.Add("mode", std::string(args.quick ? "quick" : "full"));
+    root.Add("num_cuboids", static_cast<uint64_t>(num_cuboids));
+    root.Add("queries_per_connection",
+             static_cast<uint64_t>(queries_per_conn));
+    root.Add("io_stall_us", static_cast<uint64_t>(stall_us));
+    root.Add("server_workers", static_cast<uint64_t>(sopts.num_workers));
+    root.AddRaw("connection_scaling", arr);
+    if (!root.WriteFile(args.out)) {
+      std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", args.out.c_str());
+  }
+  if (args.merge.size()) {
+    if (!MergeConnectionScaling(args.merge, arr)) {
+      std::fprintf(stderr, "FAILED: cannot merge into %s\n",
+                   args.merge.c_str());
+      return 1;
+    }
+    std::printf("# merged connection_scaling into %s\n", args.merge.c_str());
+  }
+  return 0;
+}

@@ -25,6 +25,10 @@ enum class StatusCode {
   /// kInternal so callers can tell an injected disk fault or crashed device
   /// from a logic bug when asserting clean propagation.
   kIoError,
+  /// The service shed the request before doing any work (admission queue
+  /// full or per-connection in-flight cap hit). Retryable: the request was
+  /// never executed, so re-issuing it is always safe.
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for `code` ("Ok", "NotFound", ...).
@@ -68,6 +72,9 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

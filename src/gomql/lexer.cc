@@ -1,6 +1,9 @@
 #include "gomql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <map>
 
 namespace gom::gomql {
@@ -131,9 +134,17 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
         }
         ++j;
       }
-      out.push_back(
-          Token{TokenKind::kNumber, "", std::stod(text.substr(i, j - i)),
-                start});
+      // strtod, not std::stod: the latter throws std::out_of_range on
+      // literals like "1" + 400 zeros, and wire input must never unwind
+      // through the no-exceptions API surface.
+      std::string digits = text.substr(i, j - i);
+      errno = 0;
+      double parsed = std::strtod(digits.c_str(), nullptr);
+      if (errno == ERANGE || !std::isfinite(parsed)) {
+        return Status::InvalidArgument("number literal out of range at " +
+                                       std::to_string(start));
+      }
+      out.push_back(Token{TokenKind::kNumber, "", parsed, start});
       i = j;
       continue;
     }

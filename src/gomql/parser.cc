@@ -9,6 +9,22 @@ namespace gom::gomql {
 
 namespace fl = funclang;
 
+namespace {
+
+/// Deepest expression nesting accepted. Each level of parentheses /
+/// negation costs several C++ stack frames; 200 is far beyond any real
+/// query and far below stack exhaustion.
+constexpr int kMaxExprDepth = 200;
+
+/// RAII depth bump for the recursive parse sites.
+struct DepthGuard {
+  explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+  int* depth_;
+};
+
+}  // namespace
+
 std::string ParsedQuery::ToString() const {
   std::string out = "range ";
   for (size_t i = 0; i < ranges.size(); ++i) {
@@ -150,6 +166,10 @@ Result<fl::ExprPtr> Parser::ParseAnd(State& s, TypeRef* type) const {
 
 Result<fl::ExprPtr> Parser::ParseNot(State& s, TypeRef* type) const {
   if (s.Accept(TokenKind::kNot)) {
+    DepthGuard guard(&s.depth);
+    if (s.depth > kMaxExprDepth) {
+      return Status::InvalidArgument("expression nested too deeply");
+    }
     GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr inner, ParseNot(s, type));
     *type = TypeRef::Bool();
     return fl::Not(std::move(inner));
@@ -251,11 +271,19 @@ Result<fl::ExprPtr> Parser::ParseFactor(State& s, TypeRef* type) const {
       return fl::B(false);
     case TokenKind::kMinus: {
       s.Next();
+      DepthGuard guard(&s.depth);
+      if (s.depth > kMaxExprDepth) {
+        return Status::InvalidArgument("expression nested too deeply");
+      }
       GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr inner, ParseFactor(s, type));
       return fl::Neg(std::move(inner));
     }
     case TokenKind::kLParen: {
       s.Next();
+      DepthGuard guard(&s.depth);
+      if (s.depth > kMaxExprDepth) {
+        return Status::InvalidArgument("expression nested too deeply");
+      }
       GOMFM_ASSIGN_OR_RETURN(fl::ExprPtr inner, ParseOr(s, type));
       GOMFM_RETURN_IF_ERROR(Expect(s, TokenKind::kRParen));
       return inner;

@@ -60,6 +60,11 @@ class Parser {
     std::vector<Token> tokens;
     size_t pos = 0;
     std::vector<RangeVar> ranges;
+    /// Current expression nesting depth. Untrusted wire input can nest
+    /// parentheses/negations arbitrarily deep; the recursive-descent
+    /// parser bounds this so a hostile query errors instead of
+    /// overflowing the C++ stack.
+    int depth = 0;
 
     const Token& Peek() const { return tokens[pos]; }
     Token Next() { return tokens[pos++]; }

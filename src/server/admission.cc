@@ -1,0 +1,44 @@
+#include "server/admission.h"
+
+namespace gom::server {
+
+AdmitDecision AdmissionController::Admit(size_t conn_inflight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conn_inflight >= options_.max_inflight_per_conn) {
+    ++shed_conn_cap_;
+    return AdmitDecision::kShedConnCap;
+  }
+  if (queued_ >= options_.max_queue_depth) {
+    ++shed_queue_full_;
+    return AdmitDecision::kShedQueueFull;
+  }
+  ++queued_;
+  ++admitted_;
+  if (queued_ > peak_queued_) peak_queued_ = queued_;
+  return AdmitDecision::kAdmit;
+}
+
+void AdmissionController::OnDequeue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ > 0) --queued_;
+  ++executing_;
+}
+
+void AdmissionController::OnDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (executing_ > 0) --executing_;
+}
+
+AdmissionController::Snapshot AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.admitted = admitted_;
+  s.shed_queue_full = shed_queue_full_;
+  s.shed_conn_cap = shed_conn_cap_;
+  s.queued = queued_;
+  s.executing = executing_;
+  s.peak_queued = peak_queued_;
+  return s;
+}
+
+}  // namespace gom::server

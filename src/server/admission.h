@@ -1,0 +1,80 @@
+#ifndef GOMFM_SERVER_ADMISSION_H_
+#define GOMFM_SERVER_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace gom::server {
+
+/// Overload policy of the service layer.
+struct AdmissionOptions {
+  /// Requests admitted but not yet picked up by a worker. When the queue
+  /// is full, new requests are shed with a retryable kOverloaded response
+  /// instead of building an unbounded backlog.
+  size_t max_queue_depth = 128;
+  /// Admitted requests (queued + executing) per connection. A single
+  /// pipelining client hits this cap long before it can fill the global
+  /// queue, so one greedy connection cannot starve the rest.
+  size_t max_inflight_per_conn = 8;
+  /// A connection with no complete request for this long is closed by its
+  /// reader (the idle/read timeout). <= 0 disables the timeout.
+  int idle_timeout_ms = 30'000;
+};
+
+enum class AdmitDecision : uint8_t {
+  kAdmit,
+  kShedQueueFull,  // global queue at max_queue_depth
+  kShedConnCap,    // this connection at max_inflight_per_conn
+};
+
+/// Book-keeper for the bounded request queue: admission happens in the
+/// connection readers *before* a request is enqueued, so shedding costs one
+/// response write and never touches a worker or a session. Thread-safe.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Decides admission for a request whose connection already has
+  /// `conn_inflight` admitted requests. On kAdmit the queue slot is
+  /// reserved — the caller must enqueue and later pair with OnDequeue() /
+  /// OnDone().
+  AdmitDecision Admit(size_t conn_inflight);
+
+  /// A worker moved a request from the queue into execution.
+  void OnDequeue();
+
+  /// The request finished (response written or dropped with its
+  /// connection).
+  void OnDone();
+
+  struct Snapshot {
+    uint64_t admitted = 0;
+    uint64_t shed_queue_full = 0;
+    uint64_t shed_conn_cap = 0;
+    size_t queued = 0;
+    size_t executing = 0;
+    size_t peak_queued = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  size_t queued_ = 0;
+  size_t executing_ = 0;
+  size_t peak_queued_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_conn_cap_ = 0;
+};
+
+}  // namespace gom::server
+
+#endif  // GOMFM_SERVER_ADMISSION_H_

@@ -1,0 +1,170 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gom::server {
+
+namespace {
+
+constexpr size_t kRecvChunk = 64 * 1024;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect");
+    ::close(fd_);
+    fd_ = -1;
+    return st;
+  }
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  recv_buf_.clear();
+}
+
+Status Client::Send(const Request& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::vector<uint8_t> frame;
+  EncodeRequest(request, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Response> Client::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::vector<uint8_t> payload;
+  while (true) {
+    GOMFM_ASSIGN_OR_RETURN(
+        size_t consumed,
+        TryDecodeFrame(recv_buf_.data(), recv_buf_.size(), &payload));
+    if (consumed > 0) {
+      recv_buf_.erase(recv_buf_.begin(),
+                      recv_buf_.begin() + static_cast<ptrdiff_t>(consumed));
+      return DecodeResponse(payload);
+    }
+    size_t base = recv_buf_.size();
+    recv_buf_.resize(base + kRecvChunk);
+    ssize_t n = ::recv(fd_, recv_buf_.data() + base, kRecvChunk, 0);
+    if (n < 0 && errno == EINTR) {
+      recv_buf_.resize(base);
+      continue;
+    }
+    if (n <= 0) {
+      recv_buf_.resize(base);
+      return Status::IoError("connection closed by server");
+    }
+    recv_buf_.resize(base + static_cast<size_t>(n));
+  }
+}
+
+Result<Response> Client::Call(const Request& request) {
+  GOMFM_RETURN_IF_ERROR(Send(request));
+  GOMFM_ASSIGN_OR_RETURN(Response response, Receive());
+  if (response.id != request.id) {
+    return Status::Internal("response id " + std::to_string(response.id) +
+                            " does not match request id " +
+                            std::to_string(request.id));
+  }
+  return response;
+}
+
+Status Client::Ping() {
+  Request req;
+  req.type = RequestType::kPing;
+  req.id = NextId();
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  return ToStatus(resp);
+}
+
+Result<RowSet> Client::RunGomql(const std::string& text) {
+  Request req;
+  req.type = RequestType::kGomql;
+  req.id = NextId();
+  req.text = text;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.rows);
+}
+
+Result<std::string> Client::Explain(const std::string& text) {
+  Request req;
+  req.type = RequestType::kExplain;
+  req.id = NextId();
+  req.text = text;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.text);
+}
+
+Result<Value> Client::Forward(FunctionId f, std::vector<Value> args) {
+  Request req;
+  req.type = RequestType::kForward;
+  req.id = NextId();
+  req.function = f;
+  req.args = std::move(args);
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  if (resp.rows.size() != 1 || resp.rows[0].size() != 1) {
+    return Status::Internal("malformed forward response shape");
+  }
+  return std::move(resp.rows[0][0]);
+}
+
+Result<RowSet> Client::Backward(FunctionId f, double lo, double hi,
+                                bool lo_inclusive, bool hi_inclusive) {
+  Request req;
+  req.type = RequestType::kBackward;
+  req.id = NextId();
+  req.function = f;
+  req.lo = lo;
+  req.hi = hi;
+  req.lo_inclusive = lo_inclusive;
+  req.hi_inclusive = hi_inclusive;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.rows);
+}
+
+Result<std::string> Client::ServerStats() {
+  Request req;
+  req.type = RequestType::kStats;
+  req.id = NextId();
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.text);
+}
+
+}  // namespace gom::server

@@ -1,0 +1,61 @@
+#ifndef GOMFM_SERVER_CLIENT_H_
+#define GOMFM_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace gom::server {
+
+/// Blocking client for the GOM service protocol. One Client is one
+/// loopback TCP connection; it is NOT thread-safe — drive it from a single
+/// thread (the load generator opens one Client per worker).
+///
+/// The convenience calls (RunGomql, Forward, ...) are strictly
+/// request/response. Send()/Receive() are exposed separately so tests can
+/// pipeline several requests onto the connection (which is how the
+/// per-connection admission cap is exercised).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request frame (does not wait for the response).
+  Status Send(const Request& request);
+  /// Blocks until the next response frame arrives and decodes it.
+  Result<Response> Receive();
+  /// Send + Receive. With no pipelining in flight the response matches the
+  /// request's correlation id; a mismatch is reported as kInternal.
+  Result<Response> Call(const Request& request);
+
+  /// Fresh correlation id (monotonic per client).
+  uint64_t NextId() { return ++last_id_; }
+
+  // -- Convenience wrappers: build the request, call, unwrap the answer.
+  Status Ping();
+  Result<RowSet> RunGomql(const std::string& text);
+  Result<std::string> Explain(const std::string& text);
+  Result<Value> Forward(FunctionId f, std::vector<Value> args);
+  Result<RowSet> Backward(FunctionId f, double lo, double hi,
+                          bool lo_inclusive = true, bool hi_inclusive = true);
+  Result<std::string> ServerStats();
+
+ private:
+  int fd_ = -1;
+  uint64_t last_id_ = 0;
+  std::vector<uint8_t> recv_buf_;
+};
+
+}  // namespace gom::server
+
+#endif  // GOMFM_SERVER_CLIENT_H_

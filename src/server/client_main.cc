@@ -1,0 +1,105 @@
+// gomfm_client — one-shot command-line client for a running gomfm_serve.
+//
+// Usage:
+//   gomfm_client --port=N query   '<GOMql statement>'
+//   gomfm_client --port=N explain '<GOMql retrieve>'
+//   gomfm_client --port=N ping
+//   gomfm_client --port=N stats
+//
+// Query rows print one per line, values comma-separated. Exit code 0 on a
+// kOk response, 2 on a server-reported error (message on stderr), 1 on
+// transport problems.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/client.h"
+
+using namespace gom;
+
+namespace {
+
+void PrintRows(const server::RowSet& rows) {
+  for (const std::vector<Value>& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) std::printf(",");
+      std::printf("%s", row[i].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  std::string command;
+  std::string text;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind("--port=", 0) == 0) {
+      port = std::strtol(arg.substr(7).c_str(), nullptr, 10);
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      text = arg;
+    }
+  }
+  if (port <= 0 || port > 65535 || command.empty()) {
+    std::fprintf(stderr,
+                 "usage: gomfm_client --port=N "
+                 "{query|explain|ping|stats} ['<statement>']\n");
+    return 1;
+  }
+
+  server::Client client;
+  Status st = client.Connect(static_cast<uint16_t>(port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (command == "ping") {
+    st = client.Ping();
+    if (!st.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (command == "stats") {
+    auto stats = client.ServerStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+  if (command == "query") {
+    auto rows = client.RunGomql(text);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   rows.status().ToString().c_str());
+      return 2;
+    }
+    PrintRows(*rows);
+    return 0;
+  }
+  if (command == "explain") {
+    auto plan = client.Explain(text);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "explain failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s\n", plan->c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}

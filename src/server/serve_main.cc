@@ -1,0 +1,158 @@
+// gomfm_serve — the GOM service daemon.
+//
+// Boots the standard cuboid stack with ⟨⟨volume⟩⟩ materialized, serves the
+// wire protocol on 127.0.0.1 and exits on SIGTERM/SIGINT after a graceful
+// drain (admitted requests finish, sessions are released, every thread is
+// joined). With `--storm-interval-ms=N` the main thread doubles as an
+// update-storm writer: every N ms it takes the pool gate exclusively and
+// applies a batch of vertex writes, so remote readers exercise the same
+// reader/writer interleaving the in-process concurrency tests do.
+//
+// Flags:
+//   --port=N               listen port (default 0 = ephemeral, printed)
+//   --workers=N            worker threads (default 4)
+//   --cuboids=N            database size (default 1000)
+//   --stall-us=N           simulated per-probe I/O stall (default 0)
+//   --storm-interval-ms=N  background update storms (default 0 = off)
+//   --queue-depth=N        admission queue bound (default 128)
+//   --inflight=N           per-connection in-flight cap (default 8)
+//   --idle-ms=N            connection idle timeout (default 30000)
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "server/server.h"
+#include "workload/stack.h"
+
+using namespace gom;
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char byte = 1;
+  // Only async-signal-safe calls here; the main loop does the real work.
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+long FlagValue(int argc, char** argv, const char* name, long fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtol(arg.substr(prefix.size()).c_str(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+/// One update storm: deterministic vertex writes under a maintenance
+/// batch, gated exclusively against the reader sessions (the same shape
+/// the concurrency tests apply).
+Status ApplyStorm(workload::CompanyStack& s, Rng& rng) {
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  GmrManager::UpdateBatch batch(&s.env.mgr);
+  for (size_t i = 0; i < 16; ++i) {
+    Oid c = s.cuboids[rng.UniformInt(0, s.cuboids.size() - 1)];
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> vertices,
+                           s.geo.VerticesOf(&s.env.om, c));
+    GOMFM_RETURN_IF_ERROR(s.env.om.SetAttribute(
+        vertices[rng.UniformInt(1, 3)], kCoords[rng.UniformInt(0, 2)],
+        Value::Float(rng.UniformDouble(1, 15))));
+  }
+  return batch.Commit();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = FlagValue(argc, argv, "port", 0);
+  long workers = FlagValue(argc, argv, "workers", 4);
+  long cuboids = FlagValue(argc, argv, "cuboids", 1000);
+  long stall_us = FlagValue(argc, argv, "stall-us", 0);
+  long storm_ms = FlagValue(argc, argv, "storm-interval-ms", 0);
+
+  workload::StackOptions opts;
+  opts.buffer_pages = 4096;
+  opts.num_cuboids = static_cast<size_t>(cuboids > 0 ? cuboids : 1000);
+  opts.materialize_volume = true;
+  opts.notify = true;
+  auto stack = workload::MakeCompanyStack(opts);
+  if (!stack->setup.ok()) {
+    std::fprintf(stderr, "FAILED (stack setup): %s\n",
+                 stack->setup.ToString().c_str());
+    return 1;
+  }
+  if (stall_us > 0) {
+    stack->env.mgr.set_io_stall_us(static_cast<int>(stall_us));
+  }
+
+  server::ServerOptions sopts;
+  sopts.port = static_cast<uint16_t>(port);
+  sopts.num_workers = static_cast<size_t>(workers > 0 ? workers : 1);
+  sopts.admission.max_queue_depth =
+      static_cast<size_t>(FlagValue(argc, argv, "queue-depth", 128));
+  sopts.admission.max_inflight_per_conn =
+      static_cast<size_t>(FlagValue(argc, argv, "inflight", 8));
+  sopts.admission.idle_timeout_ms =
+      static_cast<int>(FlagValue(argc, argv, "idle-ms", 30'000));
+
+  server::Server server(&stack->env, sopts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAILED (start): %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("gomfm_serve listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "FAILED (pipe): %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  // Main loop: wait for a signal byte; optionally fire update storms on
+  // the way. Storm errors are fatal — a half-applied storm would poison
+  // every later answer.
+  Rng rng(20260806);
+  uint64_t storms = 0;
+  while (true) {
+    pollfd p{g_signal_pipe[0], POLLIN, 0};
+    int timeout = storm_ms > 0 ? static_cast<int>(storm_ms) : -1;
+    int r = poll(&p, 1, timeout);
+    if (r < 0 && errno == EINTR) continue;
+    if (r > 0) break;  // signal arrived
+    if (r == 0 && storm_ms > 0) {
+      Status storm;
+      {
+        workload::SessionPool::WriterLock lock(
+            stack->env.session_pool.get());
+        storm = ApplyStorm(*stack, rng);
+      }
+      if (!storm.ok()) {
+        std::fprintf(stderr, "FAILED (storm): %s\n", storm.ToString().c_str());
+        server.Stop();
+        return 1;
+      }
+      ++storms;
+    }
+  }
+
+  server.Stop();
+  std::printf("gomfm_serve drained: %s\n", server.StatsJson().c_str());
+  std::printf("gomfm_serve applied %llu update storms\n",
+              static_cast<unsigned long long>(storms));
+  return 0;
+}

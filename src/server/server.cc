@@ -1,0 +1,422 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "workload/driver.h"
+
+namespace gom::server {
+
+namespace {
+
+constexpr size_t kRecvChunk = 64 * 1024;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// Per-connection state. The reader thread and the workers share it
+/// through a shared_ptr; the handshake for teardown is `reader_done` +
+/// `inflight`: whichever side observes both "reader exited" and "no
+/// admitted request left" finishes the connection (exactly once, guarded
+/// by `finished`).
+struct Server::Connection {
+  int fd = -1;
+  workload::Session* session = nullptr;
+  std::mutex write_mu;  // serializes response frames on the socket
+  std::mutex exec_mu;   // serializes Session use across workers
+  std::atomic<size_t> inflight{0};
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> broken{false};  // write failed; client is gone
+  std::atomic<bool> finished{false};
+};
+
+Server::Server(workload::Environment* env, ServerOptions options)
+    : env_(env), options_(options), admission_(options.admission) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  // Prime the session pool from this thread: the first MakeSession()
+  // creates the pool and flips the GMR catalog into concurrent mode, and
+  // Environment documents that transition as a coordinating-thread action.
+  // Later accepts only draw from the (mutex-guarded) existing pool.
+  env_->ReleaseSession(env_->MakeSession());
+
+  stopping_.store(false);
+  workers_quit_.store(false);
+  running_.store(true);
+  size_t n = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  acceptor_ = std::thread(&Server::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Stop reading new requests on every connection; readers wake from
+  // poll() with EOF and exit after enqueueing nothing further.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    conns = conns_;
+  }
+  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+  // Join outside readers_mu_: exiting readers take that mutex in
+  // FinishConnection. No new readers can appear — the acceptor is gone.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+
+  // Only now — with every reader joined and no further admission possible
+  // — may the workers finish draining the queue and exit. Every admitted
+  // request still gets its response.
+  workers_quit_.store(true);
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+
+  // Anything not finished through the reader/worker handshake (e.g. a
+  // connection idle at shutdown) is finished here.
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    conns = conns_;
+  }
+  for (const auto& conn : conns) FinishConnection(conn);
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int r = ::poll(&p, 1, 200);
+    if (r <= 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->session = env_->MakeSession();
+    {
+      std::lock_guard<std::mutex> lock(readers_mu_);
+      conns_.push_back(conn);
+      readers_.emplace_back(&Server::ReaderLoop, this, conn);
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+      ++stats_.open_connections;
+    }
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::vector<uint8_t> buf;
+  std::vector<uint8_t> payload;
+  size_t off = 0;
+  bool protocol_error = false;
+
+  while (!protocol_error) {
+    // Drain every complete frame currently buffered.
+    while (true) {
+      auto consumed = TryDecodeFrame(buf.data() + off, buf.size() - off,
+                                     &payload);
+      if (!consumed.ok()) {
+        // Framing is lost (bad magic / length / CRC) — nothing later in
+        // the stream can be trusted. Tell the client once and hang up.
+        WriteResponse(*conn, ErrorResponse(0, consumed.status()));
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+        protocol_error = true;
+        break;
+      }
+      if (*consumed == 0) break;  // need more bytes
+      off += *consumed;
+      auto request = DecodeRequest(payload);
+      if (!request.ok()) {
+        WriteResponse(*conn, ErrorResponse(0, request.status()));
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+        protocol_error = true;
+        break;
+      }
+      AdmitDecision decision =
+          admission_.Admit(conn->inflight.load(std::memory_order_acquire));
+      if (decision != AdmitDecision::kAdmit) {
+        WriteResponse(
+            *conn,
+            ErrorResponse(request->id,
+                          Status::Overloaded(
+                              decision == AdmitDecision::kShedQueueFull
+                                  ? "request queue full, retry"
+                                  : "connection in-flight cap hit, retry")));
+        continue;
+      }
+      conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_.push_back(WorkItem{conn, std::move(*request)});
+      }
+      queue_cv_.notify_one();
+    }
+    if (protocol_error) break;
+    if (off > 0) {
+      buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(off));
+      off = 0;
+    }
+    if (stopping_.load()) break;
+
+    int idle_ms = admission_.options().idle_timeout_ms;
+    pollfd p{conn->fd, POLLIN, 0};
+    int r = ::poll(&p, 1, idle_ms > 0 ? idle_ms : 500);
+    if (r == 0) {
+      if (idle_ms <= 0) continue;  // timeout disabled, just re-poll
+      if (conn->inflight.load() > 0) continue;  // busy, not idle
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.idle_closes;
+      break;
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    size_t base = buf.size();
+    buf.resize(base + kRecvChunk);
+    ssize_t n = ::recv(conn->fd, buf.data() + base, kRecvChunk, 0);
+    if (n <= 0) {
+      buf.resize(base);
+      break;  // EOF or error: client closed (possibly mid-query)
+    }
+    buf.resize(base + static_cast<size_t>(n));
+  }
+
+  conn->reader_done.store(true, std::memory_order_release);
+  ::shutdown(conn->fd, SHUT_RD);
+  if (conn->inflight.load(std::memory_order_acquire) == 0) {
+    FinishConnection(conn);
+  }
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return !queue_.empty() || workers_quit_.load(); });
+      if (queue_.empty()) {
+        if (workers_quit_.load()) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    admission_.OnDequeue();
+    Response response;
+    {
+      // Requests of one connection execute serially: the Session's clock,
+      // stats and context are single-writer by design.
+      std::lock_guard<std::mutex> exec(item.conn->exec_mu);
+      response = Execute(*item.conn, item.request);
+    }
+    WriteResponse(*item.conn, response);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (response.code == StatusCode::kOk) {
+        ++stats_.requests_ok;
+      } else {
+        ++stats_.requests_error;
+      }
+    }
+    admission_.OnDone();
+    std::shared_ptr<Connection> conn = std::move(item.conn);
+    size_t left = conn->inflight.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (left == 0 && conn->reader_done.load(std::memory_order_acquire)) {
+      FinishConnection(conn);
+    }
+  }
+}
+
+Response Server::Execute(Connection& conn, const Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_by_type[static_cast<size_t>(request.type)];
+  }
+  Response response;
+  response.id = request.id;
+  switch (request.type) {
+    case RequestType::kPing:
+      break;
+    case RequestType::kGomql: {
+      auto rows = conn.session->RunGomql(request.text);
+      if (!rows.ok()) return ErrorResponse(request.id, rows.status());
+      response.rows = std::move(*rows);
+      break;
+    }
+    case RequestType::kExplain: {
+      auto text = conn.session->ExplainGomql(request.text);
+      if (!text.ok()) return ErrorResponse(request.id, text.status());
+      response.text = std::move(*text);
+      break;
+    }
+    case RequestType::kForward: {
+      auto value = conn.session->ForwardQuery(request.function, request.args);
+      if (!value.ok()) return ErrorResponse(request.id, value.status());
+      response.rows.push_back({std::move(*value)});
+      break;
+    }
+    case RequestType::kBackward: {
+      auto rows = conn.session->BackwardQuery(
+          request.function, request.lo, request.hi, request.lo_inclusive,
+          request.hi_inclusive);
+      if (!rows.ok()) return ErrorResponse(request.id, rows.status());
+      response.rows = std::move(*rows);
+      break;
+    }
+    case RequestType::kStats:
+      response.text = StatsJson();
+      break;
+  }
+  return response;
+}
+
+void Server::WriteResponse(Connection& conn, const Response& response) {
+  if (conn.broken.load(std::memory_order_acquire)) return;
+  std::vector<uint8_t> frame;
+  EncodeResponse(response, &frame);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(conn.fd, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn.broken.store(true, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void Server::FinishConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->finished.exchange(true)) return;
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ::close(conn->fd);
+  conn->fd = -1;
+  env_->ReleaseSession(conn->session);
+  conn->session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i] == conn) {
+        conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+  if (stats_.open_connections > 0) --stats_.open_connections;
+}
+
+Server::StatsSnapshot Server::stats() const {
+  StatsSnapshot s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  s.admission = admission_.snapshot();
+  return s;
+}
+
+std::string Server::StatsJson() const {
+  StatsSnapshot s = stats();
+  std::string out = "{";
+  auto add = [&out](const char* key, uint64_t v, bool last = false) {
+    out += "\"";
+    out += key;
+    out += "\": ";
+    out += std::to_string(v);
+    if (!last) out += ", ";
+  };
+  add("connections_accepted", s.connections_accepted);
+  add("connections_closed", s.connections_closed);
+  add("open_connections", s.open_connections);
+  add("protocol_errors", s.protocol_errors);
+  add("idle_closes", s.idle_closes);
+  add("requests_ok", s.requests_ok);
+  add("requests_error", s.requests_error);
+  add("ping", s.requests_by_type[static_cast<size_t>(RequestType::kPing)]);
+  add("gomql", s.requests_by_type[static_cast<size_t>(RequestType::kGomql)]);
+  add("explain",
+      s.requests_by_type[static_cast<size_t>(RequestType::kExplain)]);
+  add("forward",
+      s.requests_by_type[static_cast<size_t>(RequestType::kForward)]);
+  add("backward",
+      s.requests_by_type[static_cast<size_t>(RequestType::kBackward)]);
+  add("stats", s.requests_by_type[static_cast<size_t>(RequestType::kStats)]);
+  add("admitted", s.admission.admitted);
+  add("shed_queue_full", s.admission.shed_queue_full);
+  add("shed_conn_cap", s.admission.shed_conn_cap);
+  add("queued", s.admission.queued);
+  add("executing", s.admission.executing);
+  add("peak_queued", s.admission.peak_queued, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+}  // namespace gom::server

@@ -1,0 +1,141 @@
+#ifndef GOMFM_SERVER_SERVER_H_
+#define GOMFM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/wire.h"
+#include "workload/session.h"
+
+namespace gom::workload {
+struct Environment;
+}
+
+namespace gom::server {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (query `port()`
+  /// after Start). The server is loopback-only by design — it is a test
+  /// and benchmark front door, not an internet-facing endpoint.
+  uint16_t port = 0;
+  size_t num_workers = 4;
+  AdmissionOptions admission;
+};
+
+/// The GOM service front door: a multithreaded TCP/loopback server
+/// answering wire-protocol requests against one `workload::Environment`.
+///
+/// Threading model:
+///  * one acceptor thread;
+///  * one reader thread per connection — decodes frames, runs admission,
+///    enqueues work (shed requests are answered inline with kOverloaded);
+///  * `num_workers` worker threads — execute requests against the
+///    connection's `workload::Session` and write responses.
+///
+/// Each connection draws a Session from the environment's SessionPool on
+/// accept and releases it for reuse when the connection ends. Forward and
+/// backward queries run on the concurrent shared-latch read path; GOMql
+/// statements serialize through the pool's writer-exclusive gate
+/// (Session::RunGomql), so server traffic composes with in-process update
+/// storms exactly like PR 3's reader sessions do.
+///
+/// Requests of one connection may be admitted concurrently (pipelining, up
+/// to the per-connection cap) but *execute* serially in admission order —
+/// a per-connection execution mutex keeps the single Session race-free.
+///
+/// Stop() drains gracefully: accepting stops, connection reads shut down,
+/// already-admitted requests finish and their responses are written, then
+/// all threads are joined and sessions released. Safe to call from a
+/// signal-triggered path (gomfm_serve wires SIGTERM to it via a self-pipe)
+/// and idempotent.
+class Server {
+ public:
+  explicit Server(workload::Environment* env, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers.
+  Status Start();
+
+  /// Graceful drain; blocks until every thread exited. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+  struct StatsSnapshot {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t protocol_errors = 0;  // connections dropped on bad frames
+    uint64_t idle_closes = 0;
+    uint64_t requests_ok = 0;
+    uint64_t requests_error = 0;
+    uint64_t requests_by_type[7] = {0, 0, 0, 0, 0, 0, 0};  // RequestType idx
+    size_t open_connections = 0;
+    AdmissionController::Snapshot admission;
+  };
+  StatsSnapshot stats() const;
+  /// The same snapshot rendered as a flat JSON object (the kStats
+  /// response payload).
+  std::string StatsJson() const;
+
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  struct Connection;
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    Request request;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  /// Executes one admitted request against the connection's session.
+  Response Execute(Connection& conn, const Request& request);
+  /// Frames and writes a response on the connection (write-mutex held
+  /// inside). Write failures mark the connection broken; the response is
+  /// then dropped — the client is gone.
+  void WriteResponse(Connection& conn, const Response& response);
+  void FinishConnection(const std::shared_ptr<Connection>& conn);
+
+  workload::Environment* env_;
+  ServerOptions options_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Workers may only exit once the readers are joined — until then a
+  /// reader can still admit buffered frames, and every admitted request
+  /// must execute and get its response written (the drain guarantee).
+  std::atomic<bool> workers_quit_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex readers_mu_;  // guards readers_ and conns_
+  std::vector<std::thread> readers_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+
+  mutable std::mutex stats_mu_;
+  StatsSnapshot stats_;
+};
+
+}  // namespace gom::server
+
+#endif  // GOMFM_SERVER_SERVER_H_

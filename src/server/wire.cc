@@ -1,0 +1,258 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "storage/wal.h"  // Crc32, WalPayloadWriter/Reader
+
+namespace gom::server {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, size_t at, uint32_t v) {
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void WriteString(WalPayloadWriter* w, const std::string& s) {
+  w->U32(static_cast<uint32_t>(s.size()));
+  for (char c : s) w->U8(static_cast<uint8_t>(c));
+}
+
+Result<std::string> ReadString(WalPayloadReader* r) {
+  GOMFM_ASSIGN_OR_RETURN(uint32_t len, r->U32());
+  const uint8_t* cur = *r->cursor();
+  if (static_cast<size_t>(r->end() - cur) < len) {
+    return Status::InvalidArgument("wire: truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(cur), len);
+  *r->cursor() += len;
+  return s;
+}
+
+void WriteRows(WalPayloadWriter* w, const RowSet& rows) {
+  w->U32(static_cast<uint32_t>(rows.size()));
+  std::vector<uint8_t> bytes;
+  for (const std::vector<Value>& row : rows) {
+    w->U16(static_cast<uint16_t>(row.size()));
+    bytes.clear();
+    for (const Value& v : row) v.Serialize(&bytes);
+    w->Bytes(bytes);
+  }
+}
+
+Result<RowSet> ReadRows(WalPayloadReader* r) {
+  GOMFM_ASSIGN_OR_RETURN(uint32_t nrows, r->U32());
+  RowSet rows;
+  // Every row carries at least its 2-byte arity; anything claiming more
+  // rows than the remaining bytes could hold is corrupt, so this reserve
+  // cannot be inflated by a hostile count.
+  if (static_cast<size_t>(r->end() - *r->cursor()) <
+      static_cast<size_t>(nrows) * 2) {
+    return Status::InvalidArgument("wire: row count exceeds payload");
+  }
+  rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(uint16_t ncols, r->U16());
+    std::vector<Value> row;
+    row.reserve(ncols);
+    for (uint16_t c = 0; c < ncols; ++c) {
+      GOMFM_ASSIGN_OR_RETURN(Value v,
+                             Value::Deserialize(r->cursor(), r->end()));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Wraps a finished payload into a frame appended to `*frame`.
+void WrapFrame(std::vector<uint8_t> payload, std::vector<uint8_t>* frame) {
+  size_t base = frame->size();
+  frame->resize(base + kFrameHeaderBytes);
+  PutU32(frame, base, kFrameMagic);
+  PutU32(frame, base + 4, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, base + 8, Crc32(payload.data(), payload.size()));
+  frame->insert(frame->end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kPing:
+      return "ping";
+    case RequestType::kGomql:
+      return "gomql";
+    case RequestType::kExplain:
+      return "explain";
+    case RequestType::kForward:
+      return "forward";
+    case RequestType::kBackward:
+      return "backward";
+    case RequestType::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+void EncodeRequest(const Request& request, std::vector<uint8_t>* frame) {
+  WalPayloadWriter w;
+  w.U8(static_cast<uint8_t>(request.type));
+  w.U64(request.id);
+  switch (request.type) {
+    case RequestType::kPing:
+    case RequestType::kStats:
+      break;
+    case RequestType::kGomql:
+    case RequestType::kExplain:
+      WriteString(&w, request.text);
+      break;
+    case RequestType::kForward: {
+      w.U32(request.function);
+      w.U16(static_cast<uint16_t>(request.args.size()));
+      std::vector<uint8_t> bytes;
+      for (const Value& v : request.args) v.Serialize(&bytes);
+      w.Bytes(bytes);
+      break;
+    }
+    case RequestType::kBackward: {
+      w.U32(request.function);
+      uint64_t lo_bits, hi_bits;
+      std::memcpy(&lo_bits, &request.lo, 8);
+      std::memcpy(&hi_bits, &request.hi, 8);
+      w.U64(lo_bits);
+      w.U64(hi_bits);
+      w.U8(static_cast<uint8_t>((request.lo_inclusive ? 1 : 0) |
+                                (request.hi_inclusive ? 2 : 0)));
+      break;
+    }
+  }
+  WrapFrame(w.Take(), frame);
+}
+
+Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
+  WalPayloadReader r(payload);
+  Request req;
+  GOMFM_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+  if (type < static_cast<uint8_t>(RequestType::kPing) ||
+      type > static_cast<uint8_t>(RequestType::kStats)) {
+    return Status::InvalidArgument("wire: unknown request type " +
+                                   std::to_string(type));
+  }
+  req.type = static_cast<RequestType>(type);
+  GOMFM_ASSIGN_OR_RETURN(req.id, r.U64());
+  switch (req.type) {
+    case RequestType::kPing:
+    case RequestType::kStats:
+      break;
+    case RequestType::kGomql:
+    case RequestType::kExplain: {
+      GOMFM_ASSIGN_OR_RETURN(req.text, ReadString(&r));
+      break;
+    }
+    case RequestType::kForward: {
+      GOMFM_ASSIGN_OR_RETURN(req.function, r.U32());
+      GOMFM_ASSIGN_OR_RETURN(uint16_t argc, r.U16());
+      req.args.reserve(argc);
+      for (uint16_t i = 0; i < argc; ++i) {
+        GOMFM_ASSIGN_OR_RETURN(Value v,
+                               Value::Deserialize(r.cursor(), r.end()));
+        req.args.push_back(std::move(v));
+      }
+      break;
+    }
+    case RequestType::kBackward: {
+      GOMFM_ASSIGN_OR_RETURN(req.function, r.U32());
+      GOMFM_ASSIGN_OR_RETURN(uint64_t lo_bits, r.U64());
+      GOMFM_ASSIGN_OR_RETURN(uint64_t hi_bits, r.U64());
+      std::memcpy(&req.lo, &lo_bits, 8);
+      std::memcpy(&req.hi, &hi_bits, 8);
+      GOMFM_ASSIGN_OR_RETURN(uint8_t flags, r.U8());
+      if (flags > 3) {
+        return Status::InvalidArgument("wire: bad inclusivity flags");
+      }
+      req.lo_inclusive = (flags & 1) != 0;
+      req.hi_inclusive = (flags & 2) != 0;
+      break;
+    }
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire: trailing bytes after request");
+  }
+  return req;
+}
+
+void EncodeResponse(const Response& response, std::vector<uint8_t>* frame) {
+  WalPayloadWriter w;
+  w.U64(response.id);
+  w.U8(static_cast<uint8_t>(response.code));
+  WriteString(&w, response.message);
+  WriteString(&w, response.text);
+  WriteRows(&w, response.rows);
+  WrapFrame(w.Take(), frame);
+}
+
+Result<Response> DecodeResponse(const std::vector<uint8_t>& payload) {
+  WalPayloadReader r(payload);
+  Response resp;
+  GOMFM_ASSIGN_OR_RETURN(resp.id, r.U64());
+  GOMFM_ASSIGN_OR_RETURN(uint8_t code, r.U8());
+  GOMFM_ASSIGN_OR_RETURN(resp.code, StatusCodeFromWire(code));
+  GOMFM_ASSIGN_OR_RETURN(resp.message, ReadString(&r));
+  GOMFM_ASSIGN_OR_RETURN(resp.text, ReadString(&r));
+  GOMFM_ASSIGN_OR_RETURN(resp.rows, ReadRows(&r));
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire: trailing bytes after response");
+  }
+  return resp;
+}
+
+Result<size_t> TryDecodeFrame(const uint8_t* buf, size_t n,
+                              std::vector<uint8_t>* payload) {
+  if (n < kFrameHeaderBytes) return size_t{0};
+  if (GetU32(buf) != kFrameMagic) {
+    return Status::InvalidArgument("wire: bad frame magic");
+  }
+  uint32_t length = GetU32(buf + 4);
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument("wire: frame length " +
+                                   std::to_string(length) +
+                                   " exceeds the limit");
+  }
+  if (n < kFrameHeaderBytes + length) return size_t{0};
+  uint32_t crc = GetU32(buf + 8);
+  const uint8_t* body = buf + kFrameHeaderBytes;
+  if (Crc32(body, length) != crc) {
+    return Status::InvalidArgument("wire: frame CRC mismatch");
+  }
+  payload->assign(body, body + length);
+  return kFrameHeaderBytes + length;
+}
+
+Result<StatusCode> StatusCodeFromWire(uint8_t code) {
+  if (code > static_cast<uint8_t>(StatusCode::kOverloaded)) {
+    return Status::InvalidArgument("wire: unknown status code " +
+                                   std::to_string(code));
+  }
+  return static_cast<StatusCode>(code);
+}
+
+Response ErrorResponse(uint64_t id, const Status& status) {
+  Response resp;
+  resp.id = id;
+  resp.code = status.code();
+  resp.message = status.message();
+  return resp;
+}
+
+Status ToStatus(const Response& response) {
+  if (response.code == StatusCode::kOk) return Status::Ok();
+  return Status(response.code, response.message);
+}
+
+}  // namespace gom::server

@@ -1,0 +1,103 @@
+#ifndef GOMFM_SERVER_WIRE_H_
+#define GOMFM_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gom/ids.h"
+#include "gom/value.h"
+
+namespace gom::server {
+
+/// A set of result rows as carried on the wire (one vector of values per
+/// qualifying binding — the shape `gomql::QueryRows` and `BackwardRange`
+/// already produce).
+using RowSet = std::vector<std::vector<Value>>;
+
+/// Every frame on the wire is
+///
+///   [magic u32][payload-length u32][crc u32][payload bytes]
+///
+/// little-endian, with the CRC32 (IEEE, same polynomial as the WAL) taken
+/// over the payload alone. The magic catches desynchronized or non-GOM
+/// peers before any allocation happens; the length is bounded by
+/// `kMaxFrameBytes` so a hostile header cannot make the receiver reserve
+/// gigabytes; the CRC rejects corrupted frames outright — a frame either
+/// decodes bit-exactly or is refused, never mis-decoded.
+inline constexpr uint32_t kFrameMagic = 0x514D4F47;  // "GOMQ" little-endian
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr uint32_t kMaxFrameBytes = 8u << 20;  // 8 MiB of payload
+
+/// Request kinds of the GOM service protocol.
+enum class RequestType : uint8_t {
+  kPing = 1,      // liveness / drain probe, empty body
+  kGomql = 2,     // one GOMql statement (retrieve or materialize)
+  kExplain = 3,   // plan a retrieve, return the EXPLAIN text
+  kForward = 4,   // forward query f(args) through the GMR
+  kBackward = 5,  // backward range query over a materialized function
+  kStats = 6,     // server statistics snapshot (JSON text)
+};
+
+const char* RequestTypeName(RequestType type);
+
+/// One decoded client request. Which fields are meaningful depends on
+/// `type`; everything else stays at its default.
+struct Request {
+  RequestType type = RequestType::kPing;
+  /// Client-chosen correlation id, echoed verbatim in the response. With
+  /// pipelined requests responses may return out of order; the id is how
+  /// the client re-associates them.
+  uint64_t id = 0;
+  std::string text;                          // kGomql / kExplain
+  FunctionId function = kInvalidFunctionId;  // kForward / kBackward
+  std::vector<Value> args;                   // kForward
+  double lo = 0, hi = 0;                     // kBackward
+  bool lo_inclusive = true, hi_inclusive = true;
+};
+
+/// One server response. `code != kOk` carries `message`; query answers
+/// arrive in `rows` (a forward result is a single 1×1 row), EXPLAIN and
+/// stats text in `text`.
+struct Response {
+  uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string text;
+  RowSet rows;
+};
+
+/// Serializes a request/response into a complete frame (header + CRC +
+/// payload), appended to `*frame`.
+void EncodeRequest(const Request& request, std::vector<uint8_t>* frame);
+void EncodeResponse(const Response& response, std::vector<uint8_t>* frame);
+
+/// Decodes a frame payload previously validated by `TryDecodeFrame`.
+/// Trailing bytes, truncated fields and unknown tags are errors — wire
+/// input is untrusted, so decoding is exact or refused.
+Result<Request> DecodeRequest(const std::vector<uint8_t>& payload);
+Result<Response> DecodeResponse(const std::vector<uint8_t>& payload);
+
+/// Inspects the head of a receive buffer (`n` bytes of the stream). When a
+/// complete, well-formed frame is present: copies its payload into
+/// `*payload` and returns the total bytes consumed (header + payload).
+/// Returns 0 when the buffer does not yet hold a complete frame (read
+/// more). Bad magic, oversized declared length, or a CRC mismatch are
+/// errors — the stream is unrecoverable and the connection should close.
+Result<size_t> TryDecodeFrame(const uint8_t* buf, size_t n,
+                              std::vector<uint8_t>* payload);
+
+/// Maps a wire status byte back to a StatusCode, rejecting values outside
+/// the enum (a corrupt-but-CRC-valid peer bug, not silently kInternal).
+Result<StatusCode> StatusCodeFromWire(uint8_t code);
+
+/// Shorthand: a response carrying `status` for request `id`.
+Response ErrorResponse(uint64_t id, const Status& status);
+
+/// The `Status` a response implies — Ok, or code+message reconstructed.
+Status ToStatus(const Response& response);
+
+}  // namespace gom::server
+
+#endif  // GOMFM_SERVER_WIRE_H_

@@ -66,6 +66,13 @@ struct Environment {
   /// untouched.
   Session* MakeSession();
 
+  /// Returns a MakeSession() session to the pool for reuse (e.g. when the
+  /// server connection owning it closes). Safe from any thread; the caller
+  /// must have drained the session's in-flight queries first.
+  void ReleaseSession(Session* session) {
+    if (session_pool != nullptr) session_pool->Release(session);
+  }
+
   SimClock clock;
   SimDisk disk;
   BufferPool pool;

@@ -1,5 +1,7 @@
 #include "workload/session.h"
 
+#include "gomql/parser.h"
+#include "gomql/planner.h"
 #include "workload/driver.h"
 
 namespace gom::workload {
@@ -27,17 +29,60 @@ Result<std::vector<std::vector<Value>>> Session::BackwardQuery(
                                  hi_inclusive);
 }
 
+Result<std::vector<std::vector<Value>>> Session::RunGomql(
+    const std::string& text) {
+  std::unique_lock<std::shared_mutex> gate(pool_->gate_);
+  ++stats_.gomql_queries;
+  gomql::Parser parser(&env_->schema, &env_->registry);
+  GOMFM_ASSIGN_OR_RETURN(gomql::ParsedQuery query, parser.Parse(text));
+  gomql::Planner planner(&env_->om, &env_->interp, &env_->mgr,
+                         &env_->registry);
+  return planner.Run(query);
+}
+
+Result<std::string> Session::ExplainGomql(const std::string& text) {
+  std::unique_lock<std::shared_mutex> gate(pool_->gate_);
+  ++stats_.gomql_queries;
+  gomql::Parser parser(&env_->schema, &env_->registry);
+  GOMFM_ASSIGN_OR_RETURN(gomql::ParsedQuery query, parser.Parse(text));
+  if (query.kind != gomql::ParsedQuery::Kind::kRetrieve) {
+    return Status::InvalidArgument("EXPLAIN supports retrieve queries only");
+  }
+  gomql::Planner planner(&env_->om, &env_->interp, &env_->mgr,
+                         &env_->registry);
+  GOMFM_ASSIGN_OR_RETURN(gomql::Plan plan, planner.PlanRetrieve(query));
+  return plan.Explain(&env_->registry);
+}
+
 Session* SessionPool::CreateSession() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    Session* reused = free_.back();
+    free_.pop_back();
+    reused->stats_.Reset();
+    reused->clock_.Reset();
+    return reused;
+  }
   uint32_t id = static_cast<uint32_t>(sessions_.size()) + 1;
   sessions_.push_back(
       std::unique_ptr<Session>(new Session(env_, this, id)));
   return sessions_.back().get();
 }
 
+void SessionPool::Release(Session* session) {
+  if (session == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(session);
+}
+
 size_t SessionPool::session_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();
+}
+
+size_t SessionPool::free_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
 }
 
 }  // namespace gom::workload

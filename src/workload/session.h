@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "common/execution_context.h"
@@ -32,6 +33,20 @@ class Session {
   Result<std::vector<std::vector<Value>>> BackwardQuery(
       FunctionId f, double lo, double hi, bool lo_inclusive = true,
       bool hi_inclusive = true);
+
+  /// Parses and runs one GOMql statement (retrieve or materialize).
+  /// GOMql statements take the gate *exclusively*: materialize mutates the
+  /// catalog, and retrieve plans execute through the owner-mode read path,
+  /// whose in-place repairs (lazy rematerialization, self-healing rows)
+  /// must not overlap shared-latch readers. Text queries therefore
+  /// serialize against both reader sessions and update storms — the
+  /// fast-path Forward/BackwardQuery above stay fully concurrent.
+  Result<std::vector<std::vector<Value>>> RunGomql(const std::string& text);
+
+  /// Plans a retrieve statement and renders the §8 EXPLAIN text (all
+  /// alternatives with costs, the chosen one starred). Also exclusive:
+  /// costing inspects live extension state.
+  Result<std::string> ExplainGomql(const std::string& text);
 
   uint32_t id() const { return id_; }
   const SessionStats& stats() const { return stats_; }
@@ -63,11 +78,19 @@ class SessionPool {
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
 
-  /// Creates a session. Call from the coordinating thread before handing
-  /// the session to its worker.
+  /// Creates a session (reusing a released one when available). Call from
+  /// the coordinating thread before handing the session to its worker.
   Session* CreateSession();
 
+  /// Returns a session to the pool for reuse by a later CreateSession().
+  /// The caller must guarantee no in-flight query on it — the server calls
+  /// this only after a connection's last request drained. Stats and clock
+  /// are reset on reuse, not on release, so post-mortem inspection of a
+  /// closed connection's counters stays possible.
+  void Release(Session* session);
+
   size_t session_count() const;
+  size_t free_count() const;
 
   /// RAII exclusive hold of the gate for one update storm.
   class WriterLock {
@@ -89,8 +112,9 @@ class SessionPool {
   friend class Session;
 
   Environment* env_;
-  mutable std::mutex mu_;  // guards sessions_
+  mutable std::mutex mu_;  // guards sessions_ and free_
   std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<Session*> free_;  // released, awaiting reuse
   std::shared_mutex gate_;
 };
 

@@ -1,0 +1,275 @@
+// End-to-end service-layer tests over a real loopback socket: queries
+// against a live server, pipelining and overload shedding, protocol-error
+// handling, abrupt client disconnects mid-query, and graceful drain with
+// requests in flight.
+
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+#include "workload/stack.h"
+
+namespace gom::server {
+namespace {
+
+using workload::CompanyStack;
+using workload::StackOptions;
+
+struct Rig {
+  explicit Rig(ServerOptions sopts = {}, size_t cuboids = 32) {
+    StackOptions opts;
+    opts.num_cuboids = cuboids;
+    opts.seed = 71;
+    opts.materialize_volume = true;
+    opts.notify = true;
+    stack = workload::MakeCompanyStack(opts);
+    EXPECT_TRUE(stack->setup.ok()) << stack->setup.ToString();
+    server = std::make_unique<Server>(&stack->env, sopts);
+    Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  ~Rig() { server->Stop(); }
+
+  std::unique_ptr<CompanyStack> stack;
+  std::unique_ptr<Server> server;
+};
+
+TEST(ServerTest, PingQueryExplainStatsOverTheWire) {
+  Rig rig;
+  Client client;
+  ASSERT_TRUE(client.Connect(rig.server->port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  // Forward query against the oracle computed in-process.
+  auto oracle = rig.stack->env.mgr.ForwardLookup(
+      rig.stack->geo.volume, {Value::Ref(rig.stack->cuboids[0])});
+  ASSERT_TRUE(oracle.ok());
+  auto remote = client.Forward(rig.stack->geo.volume,
+                               {Value::Ref(rig.stack->cuboids[0])});
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(*remote, *oracle);
+
+  // Backward range query: every returned row's value lies in range.
+  auto rows = client.Backward(rig.stack->geo.volume, 0.0, 1e12);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), rig.stack->cuboids.size());
+
+  // GOMql text query and its EXPLAIN.
+  auto gomql = client.RunGomql(
+      "range c: Cuboid retrieve c.volume where c.volume > 0.0");
+  ASSERT_TRUE(gomql.ok()) << gomql.status().ToString();
+  EXPECT_EQ(gomql->size(), rig.stack->cuboids.size());
+  auto plan = client.Explain(
+      "range c: Cuboid retrieve c.volume where c.volume > 0.0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("*"), std::string::npos);
+
+  // Errors come back as Status codes, not dead connections.
+  auto bad = client.RunGomql("retrieve nonsense");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(client.Ping().ok());  // connection still usable
+
+  auto stats = client.ServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"requests_ok\""), std::string::npos);
+}
+
+TEST(ServerTest, ConcurrentClientsAgreeWithOracle) {
+  Rig rig;
+  CompanyStack& s = *rig.stack;
+  std::vector<double> expected(s.cuboids.size());
+  for (size_t i = 0; i < s.cuboids.size(); ++i) {
+    auto v = s.env.mgr.ForwardLookup(s.geo.volume, {Value::Ref(s.cuboids[i])});
+    ASSERT_TRUE(v.ok());
+    expected[i] = *v->AsDouble();
+  }
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kQueries = 200;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect(rig.server->port()).ok()) {
+        mismatches.fetch_add(kQueries);
+        return;
+      }
+      for (size_t i = 0; i < kQueries; ++i) {
+        size_t idx = (t * 131 + i) % s.cuboids.size();
+        auto v = client.Forward(s.geo.volume, {Value::Ref(s.cuboids[idx])});
+        if (!v.ok() || !v->is_numeric() || *v->AsDouble() != expected[idx]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  auto snap = rig.server->stats();
+  EXPECT_EQ(snap.requests_ok, kClients * kQueries);
+  EXPECT_EQ(snap.requests_error, 0u);
+}
+
+TEST(ServerTest, PipeliningShedsAtTheConnectionCap) {
+  ServerOptions sopts;
+  sopts.num_workers = 1;
+  sopts.admission.max_inflight_per_conn = 2;
+  sopts.admission.max_queue_depth = 64;
+  Rig rig(sopts);
+  // Stall the read path so pipelined requests pile up behind the single
+  // worker instead of completing as fast as they arrive.
+  rig.stack->env.mgr.set_io_stall_us(2'000);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(rig.server->port()).ok());
+  constexpr size_t kBurst = 16;
+  for (size_t i = 0; i < kBurst; ++i) {
+    Request req;
+    req.type = RequestType::kForward;
+    req.id = client.NextId();
+    req.function = rig.stack->geo.volume;
+    req.args = {Value::Ref(rig.stack->cuboids[0])};
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  size_t ok = 0, overloaded = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    auto resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    if (resp->code == StatusCode::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp->code, StatusCode::kOverloaded) << resp->message;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kBurst);
+  EXPECT_GT(ok, 0u);          // admitted work completed
+  EXPECT_GT(overloaded, 0u);  // the cap actually shed
+  EXPECT_GT(rig.server->stats().admission.shed_conn_cap, 0u);
+  EXPECT_TRUE(client.Ping().ok());  // shedding never kills the connection
+}
+
+TEST(ServerTest, ProtocolGarbageClosesOnlyThatConnection) {
+  Rig rig;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(rig.server->port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, junk, sizeof(junk) - 1, 0), 0);
+  // The server answers with an error frame and hangs up.
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);  // orderly close, not a reset-and-crash
+  ::close(fd);
+
+  // Wait for the connection teardown to be accounted, then check health.
+  for (int i = 0; i < 200 && rig.server->stats().open_connections > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(rig.server->stats().protocol_errors, 0u);
+  Client client;
+  ASSERT_TRUE(client.Connect(rig.server->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerTest, ClientVanishingMidQueryReleasesTheSession) {
+  Rig rig;
+  rig.stack->env.mgr.set_io_stall_us(2'000);
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect(rig.server->port()).ok());
+    Request req;
+    req.type = RequestType::kGomql;
+    req.id = client.NextId();
+    req.text = "range c: Cuboid retrieve c.volume where c.volume > 0.0";
+    ASSERT_TRUE(client.Send(req).ok());
+    client.Close();  // vanish while the query is (likely) executing
+  }
+  // The reader sees EOF, the in-flight request still completes, the write
+  // fails harmlessly, and the session returns to the pool: eventually no
+  // connection is open and every pooled session is free again.
+  workload::SessionPool& pool = *rig.stack->env.session_pool;
+  for (int i = 0; i < 1000; ++i) {
+    if (rig.server->stats().open_connections == 0 &&
+        pool.free_count() == pool.session_count()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(rig.server->stats().open_connections, 0u);
+  EXPECT_EQ(pool.free_count(), pool.session_count());
+
+  Client client;
+  ASSERT_TRUE(client.Connect(rig.server->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerTest, GracefulDrainUnderLoad) {
+  Rig rig;
+  CompanyStack& s = *rig.stack;
+  s.env.mgr.set_io_stall_us(500);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect(rig.server->port()).ok()) return;
+      size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        size_t idx = (t * 37 + i++) % s.cuboids.size();
+        auto v = client.Forward(s.geo.volume, {Value::Ref(s.cuboids[idx])});
+        if (!v.ok()) {
+          // Losing the connection to the drain is expected; a wrong answer
+          // or server-reported internal error is not.
+          if (v.status().code() != StatusCode::kIoError) {
+            bad.fetch_add(1);
+          }
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  rig.server->Stop();  // drain with requests in flight
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  auto snap = rig.server->stats();
+  EXPECT_EQ(snap.open_connections, 0u);
+  EXPECT_EQ(snap.connections_accepted, snap.connections_closed);
+  EXPECT_EQ(snap.admission.queued, 0u);
+  EXPECT_EQ(snap.admission.executing, 0u);
+  // All sessions are back in the pool after the drain.
+  EXPECT_EQ(rig.stack->env.session_pool->free_count(),
+            rig.stack->env.session_pool->session_count());
+
+  // Stop is idempotent, and a stopped server refuses new work cleanly.
+  rig.server->Stop();
+  Client late;
+  EXPECT_FALSE(late.Connect(rig.server->port()).ok() && late.Ping().ok());
+}
+
+}  // namespace
+}  // namespace gom::server

@@ -27,9 +27,17 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kAlreadyExists,
         StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
         StatusCode::kOutOfRange, StatusCode::kTypeMismatch,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kIoError, StatusCode::kOverloaded}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+}
+
+TEST(StatusTest, OverloadedIsDistinctAndRetryable) {
+  Status s = Status::Overloaded("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(s.ToString(), "Overloaded: queue full");
 }
 
 TEST(ResultTest, HoldsValue) {
