@@ -23,10 +23,13 @@ namespace gom::bench {
 /// `--duration-ms=N` switches to a fixed-duration run (overrides
 /// `--queries`), `--merge=<path>` splices the harness's series into an
 /// existing JSON summary.
+/// `--baseline=<path>` points a harness at a committed JSON summary to
+/// gate against (see perf_harness's regression gate).
 struct BenchArgs {
   bool quick = false;
   std::string out;
   std::string merge;
+  std::string baseline;
   std::vector<size_t> counts;  // --threads / --connections sweep
   size_t queries = 0;          // per worker; 0 = harness default
   int duration_ms = 0;         // > 0: run each sweep point for this long
@@ -60,6 +63,8 @@ struct BenchArgs {
         args.out = arg.substr(6);
       } else if (arg.rfind("--merge=", 0) == 0) {
         args.merge = arg.substr(8);
+      } else if (arg.rfind("--baseline=", 0) == 0) {
+        args.baseline = arg.substr(11);
       } else if (arg.rfind("--threads=", 0) == 0) {
         args.counts = ParseSizeList(arg.substr(10));
       } else if (arg.rfind("--connections=", 0) == 0) {
@@ -127,6 +132,58 @@ class JsonWriter {
  private:
   std::vector<std::pair<std::string, std::string>> entries_;
 };
+
+/// Reads a whole file into a string; empty if missing or unreadable.
+inline std::string ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Pulls one number back out of a JsonWriter-style summary: finds `"key":`
+/// (searching only after the first occurrence of `"section"` when one is
+/// given, to address keys inside a nested summary object) and parses the
+/// value. Returns false when absent — callers skip the gate rather than
+/// guess.
+inline bool JsonNumber(const std::string& doc, const std::string& section,
+                       const std::string& key, double* out) {
+  size_t from = 0;
+  if (!section.empty()) {
+    size_t s = doc.find("\"" + section + "\"");
+    if (s == std::string::npos) return false;
+    from = s;
+  }
+  size_t k = doc.find("\"" + key + "\"", from);
+  if (k == std::string::npos) return false;
+  size_t colon = doc.find(':', k);
+  if (colon == std::string::npos) return false;
+  const char* start = doc.c_str() + colon + 1;
+  char* end = nullptr;
+  double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+/// String-valued counterpart of JsonNumber for top-level keys.
+inline bool JsonString(const std::string& doc, const std::string& key,
+                       std::string* out) {
+  size_t k = doc.find("\"" + key + "\"");
+  if (k == std::string::npos) return false;
+  size_t colon = doc.find(':', k + key.size());
+  if (colon == std::string::npos) return false;
+  size_t open = doc.find('"', colon);
+  if (open == std::string::npos) return false;
+  size_t close = doc.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *out = doc.substr(open + 1, close - open - 1);
+  return true;
+}
 
 /// One curve of a figure.
 struct Series {

@@ -15,13 +15,28 @@
 //                           (intent/commit/remat records, synchronous
 //                           intent flushes) — the WAL-off/WAL-on delta is
 //                           the wall-clock price of crash consistency
+//   update_storm_delta      the batched storm with delta maintenance on:
+//                           covered writes repair results in place via the
+//                           derived update function instead of queueing a
+//                           rematerialization
+//   update_storm_dedup      a storm that writes one coordinate of FOUR
+//                           vertices of the same cuboid inside a batch —
+//                           four invalidations of one (GMR, row, column),
+//                           so batch dedup provably coalesces them
 //
-// The storm pair doubles as a regression gate: the batched run must perform
-// strictly fewer rematerializations than the unbatched one (coalescing K
-// invalidations of a result into one recomputation), otherwise exit 1.
+// In-run regression gates (exit 1): the batched storm must perform strictly
+// fewer rematerializations than the unbatched one; the delta storm must cut
+// the batched storm's rematerializations to at most a third AND beat its
+// median; the dedup storm must score batch_dedup_hits > 0.
 //
 // `--quick` shrinks rep counts for CI smoke runs; `--out=<path>` writes a
 // JSON summary (BENCH_perf.json at the repo root is the tracked baseline).
+// `--baseline=<path>` additionally gates against a previous summary: a
+// >25% median regression of update_storm_batched, or more storm
+// rematerializations than recorded, fails the run. When the baseline was
+// produced in a different mode (quick vs full) medians are not comparable;
+// the gate then only compares per-storm rematerialization counts (with the
+// same 25% headroom) and says so.
 
 #include <algorithm>
 #include <chrono>
@@ -98,10 +113,12 @@ std::string SummaryJson(const LatencySummary& s) {
 /// buffer keeps the simulated storage out of the way — this harness
 /// measures the data structures, not the 1991 disk model.
 std::unique_ptr<CompanyStack> MakeHarnessStack(
-    size_t num_cuboids, StorageOptions storage_options = {}) {
+    size_t num_cuboids, StorageOptions storage_options = {},
+    GmrManagerOptions gmr_options = {}) {
   StackOptions opts;
   opts.buffer_pages = 4096;
   opts.storage = storage_options;
+  opts.gmr = gmr_options;
   opts.num_cuboids = num_cuboids;
   opts.seed = 97;
   opts.materialize_volume = true;
@@ -219,6 +236,57 @@ int main(int argc, char** argv) {
   });
   PrintSummary("update_storm_wal", storm_wal);
 
+  // Same batched storm, delta maintenance on: every storm write hits a
+  // vertex coordinate that volume's derived update function covers, so the
+  // result is repaired in place and the remat queue stays (nearly) empty.
+  GmrManagerOptions delta_gmr;
+  delta_gmr.enable_delta = true;
+  auto delta_owner = MakeHarnessStack(num_cuboids, {}, delta_gmr);
+  CompanyStack& delta_env = *delta_owner;
+  Rng delta_rng(23);
+  remat_before = delta_env.env.mgr.stats().rematerializations;
+  LatencySummary storm_delta = Measure(storms / 10, storms, [&] {
+    GmrManager::UpdateBatch batch(&delta_env.env.mgr);
+    Status st = storm_body(delta_env, delta_rng);
+    if (!st.ok()) Fail(st, "update_storm_delta");
+    st = batch.Commit();
+    if (!st.ok()) Fail(st, "update_storm_delta commit");
+  });
+  uint64_t delta_remats =
+      delta_env.env.mgr.stats().rematerializations - remat_before;
+  uint64_t delta_applies = delta_env.env.mgr.stats().delta_applies;
+  uint64_t delta_fallbacks = delta_env.env.mgr.stats().delta_fallbacks;
+  PrintSummary("update_storm_delta", storm_delta);
+
+  // Batch-dedup storm: one coordinate write against FOUR vertices of the
+  // same cuboid, inside a batch. All four invalidate the same
+  // (volume GMR, row, column), so the batch queue records one entry and
+  // coalesces the other three — the unbatched/batched storms above never
+  // collide (each repeated write of the same vertex consumes its reverse
+  // reference), which left batch_dedup_hits dead in earlier summaries.
+  static const char* kDedupVerts[] = {"V1", "V2", "V4", "V5"};
+  auto dedup_owner = MakeHarnessStack(num_cuboids);
+  CompanyStack& dedup_env = *dedup_owner;
+  Rng dedup_rng(23);
+  LatencySummary storm_dedup = Measure(storms / 10, storms, [&] {
+    GmrManager::UpdateBatch batch(&dedup_env.env.mgr);
+    for (size_t t = 0; t < storm_targets; ++t) {
+      Oid c =
+          dedup_env.cuboids[dedup_rng.UniformInt(0, dedup_env.cuboids.size() - 1)];
+      for (const char* vert : kDedupVerts) {
+        Oid v = dedup_env.env.om.GetAttribute(c, vert)->as_ref();
+        Status st = dedup_env.env.om.SetAttribute(
+            v, "X", Value::Float(dedup_rng.UniformDouble(0, 5)));
+        if (!st.ok()) Fail(st, "update_storm_dedup");
+      }
+    }
+    Status st = batch.Commit();
+    if (!st.ok()) Fail(st, "update_storm_dedup commit");
+  });
+  uint64_t dedup_hits = dedup_env.env.mgr.stats().batch_dedup_hits;
+  uint64_t dedup_records = dedup_env.env.mgr.stats().batch_records;
+  PrintSummary("update_storm_dedup", storm_dedup);
+
   std::printf("\n# storm recomputations: unbatched %llu, batched %llu "
               "(%zu writes x %zu cuboids per storm)\n",
               static_cast<unsigned long long>(unbatched_remats),
@@ -234,6 +302,42 @@ int main(int argc, char** argv) {
               100.0 * (storm_wal.median_ns / storm_unbatched.median_ns - 1.0),
               static_cast<unsigned long long>(wal_env.env.wal->appends()),
               static_cast<unsigned long long>(wal_env.env.wal->page_writes()));
+  std::printf("# delta maintenance: %llu in-place applies, %llu fallbacks, "
+              "%llu recomputations (batched had %llu); storm median %.2fx "
+              "faster than batched\n",
+              static_cast<unsigned long long>(delta_applies),
+              static_cast<unsigned long long>(delta_fallbacks),
+              static_cast<unsigned long long>(delta_remats),
+              static_cast<unsigned long long>(batched_remats),
+              storm_batched.median_ns / storm_delta.median_ns);
+  std::printf("# batch dedup storm: %llu records, %llu coalesced hits\n",
+              static_cast<unsigned long long>(dedup_records),
+              static_cast<unsigned long long>(dedup_hits));
+
+  // Per-GMR maintenance split for the delta run's volume extension.
+  uint64_t gmr_deltas = 0, gmr_remats = 0, gmr_fallbacks = 0;
+  if (auto gmr = delta_env.env.mgr.Get(delta_env.volume_gmr); gmr.ok()) {
+    const Gmr::MaintCounters& mc = (*gmr)->maint_counters();
+    gmr_deltas = mc.delta_applies.load(std::memory_order_relaxed);
+    gmr_remats = mc.rematerializations.load(std::memory_order_relaxed);
+    gmr_fallbacks = mc.fallbacks.load(std::memory_order_relaxed);
+    std::printf("# volume GMR maintenance split: %llu delta applies, "
+                "%llu rematerializations, %llu fallbacks\n",
+                static_cast<unsigned long long>(gmr_deltas),
+                static_cast<unsigned long long>(gmr_remats),
+                static_cast<unsigned long long>(gmr_fallbacks));
+  }
+
+  // Read the committed baseline before --out possibly overwrites the same
+  // path below.
+  std::string baseline_doc;
+  if (!args.baseline.empty()) {
+    baseline_doc = ReadFileToString(args.baseline);
+    if (baseline_doc.empty()) {
+      std::printf("# no baseline at %s yet; gate skipped\n",
+                  args.baseline.c_str());
+    }
+  }
 
   if (args.out.size()) {
     JsonWriter root;
@@ -246,15 +350,24 @@ int main(int argc, char** argv) {
     root.AddRaw("update_storm_unbatched", SummaryJson(storm_unbatched));
     root.AddRaw("update_storm_batched", SummaryJson(storm_batched));
     root.AddRaw("update_storm_wal", SummaryJson(storm_wal));
+    root.AddRaw("update_storm_delta", SummaryJson(storm_delta));
+    root.AddRaw("update_storm_dedup", SummaryJson(storm_dedup));
     root.Add("storm_rematerializations_unbatched", unbatched_remats);
     root.Add("storm_rematerializations_batched", batched_remats);
+    root.Add("storm_rematerializations_delta", delta_remats);
+    root.Add("delta_applies", delta_applies);
+    root.Add("delta_fallbacks", delta_fallbacks);
+    root.Add("gmr_volume_delta_applies", gmr_deltas);
+    root.Add("gmr_volume_rematerializations", gmr_remats);
+    root.Add("gmr_volume_fallbacks", gmr_fallbacks);
     root.Add("wal_overhead_pct",
              100.0 * (storm_wal.median_ns / storm_unbatched.median_ns - 1.0));
     root.Add("wal_appends", wal_env.env.wal->appends());
     root.Add("wal_flushes", wal_env.env.wal->flushes());
     root.Add("wal_page_writes", wal_env.env.wal->page_writes());
     root.Add("batch_flushes", batched_env.env.mgr.stats().batch_flushes);
-    root.Add("batch_dedup_hits", batched_env.env.mgr.stats().batch_dedup_hits);
+    root.Add("batch_dedup_hits", dedup_hits);
+    root.Add("batch_dedup_records", dedup_records);
     if (!root.WriteFile(args.out)) {
       std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());
       return 1;
@@ -269,6 +382,86 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(batched_remats),
                  static_cast<unsigned long long>(unbatched_remats));
     return 1;
+  }
+  if (delta_remats * 3 > batched_remats) {
+    std::fprintf(stderr,
+                 "FAILED: delta storms performed %llu rematerializations, "
+                 "expected at most a third of the batched %llu\n",
+                 static_cast<unsigned long long>(delta_remats),
+                 static_cast<unsigned long long>(batched_remats));
+    return 1;
+  }
+  if (storm_delta.median_ns >= storm_batched.median_ns) {
+    std::fprintf(stderr,
+                 "FAILED: delta storm median %.0f ns did not beat the "
+                 "batched storm median %.0f ns\n",
+                 storm_delta.median_ns, storm_batched.median_ns);
+    return 1;
+  }
+  if (dedup_hits == 0) {
+    std::fprintf(stderr,
+                 "FAILED: the dedup storm coalesced no invalidations — "
+                 "batch_dedup_hits stayed zero\n");
+    return 1;
+  }
+
+  // --- baseline regression gate --------------------------------------------
+  if (!baseline_doc.empty()) {
+    std::string base_mode;
+    JsonString(baseline_doc, "mode", &base_mode);
+    bool same_mode = base_mode == (args.quick ? "quick" : "full");
+    double base_median = 0, base_remats = 0, base_reps = 0;
+    bool have_median =
+        JsonNumber(baseline_doc, "update_storm_batched", "median_ns",
+                   &base_median);
+    bool have_remats = JsonNumber(baseline_doc, "",
+                                  "storm_rematerializations_batched",
+                                  &base_remats);
+    bool have_reps = JsonNumber(baseline_doc, "update_storm_batched", "reps",
+                                &base_reps);
+    if (same_mode && have_median) {
+      if (storm_batched.median_ns > base_median * 1.25) {
+        std::fprintf(stderr,
+                     "FAILED: update_storm_batched median %.0f ns regressed "
+                     ">25%% vs baseline %.0f ns (%s)\n",
+                     storm_batched.median_ns, base_median,
+                     args.baseline.c_str());
+        return 1;
+      }
+      if (have_remats &&
+          static_cast<double>(batched_remats) > base_remats) {
+        std::fprintf(stderr,
+                     "FAILED: batched storm rematerializations rose to %llu "
+                     "(baseline %.0f)\n",
+                     static_cast<unsigned long long>(batched_remats),
+                     base_remats);
+        return 1;
+      }
+      std::printf("# baseline gate passed (%s)\n", args.baseline.c_str());
+    } else if (have_remats && have_reps && base_reps > 0) {
+      // Different rep counts make medians incomparable (cache warmth,
+      // storm mix); compare the per-storm rematerialization rate instead.
+      std::printf("# baseline mode '%s' != run mode '%s': comparing "
+                  "per-storm rematerializations only\n",
+                  base_mode.c_str(),
+                  args.quick ? "quick" : "full");
+      double base_total = base_reps + base_reps / 10;  // Measure warms reps/10
+      double run_total = static_cast<double>(storms + storms / 10);
+      double base_rate = base_remats / base_total;
+      double run_rate = static_cast<double>(batched_remats) / run_total;
+      if (run_rate > base_rate * 1.25) {
+        std::fprintf(stderr,
+                     "FAILED: %.2f batched rematerializations per storm, "
+                     ">25%% above the baseline rate %.2f\n",
+                     run_rate, base_rate);
+        return 1;
+      }
+      std::printf("# baseline gate passed: %.2f remats/storm vs baseline "
+                  "%.2f\n", run_rate, base_rate);
+    } else {
+      std::printf("# baseline at %s lacks comparable fields; gate skipped\n",
+                  args.baseline.c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,484 @@
+#include "funclang/delta_analysis.h"
+
+#include <cmath>
+#include <utility>
+
+namespace gom::funclang {
+
+namespace {
+
+/// Inlining depth cap: the cuboid schema nests volume → length → dist, and
+/// anything deeper than this is not worth compiling.
+constexpr int kMaxInlineDepth = 16;
+
+bool IsNumeric(const TypeRef& t) {
+  return t.tag == TypeRef::Tag::kInt || t.tag == TypeRef::Tag::kFloat;
+}
+
+}  // namespace
+
+bool DeltaRule::Covers(const Schema& schema, TypeId type, AttrId attr) const {
+  if (cls == DeltaClass::kOpaque) return false;
+  for (const RelevantProperty& p : covered) {
+    if (p.attr == attr && schema.IsSubtypeOf(type, p.type)) return true;
+  }
+  return false;
+}
+
+const DeltaRule& DeltaAnalyzer::Analyze(FunctionId f) {
+  auto it = cache_.find(f);
+  if (it != cache_.end()) return it->second;
+  DeltaRule rule;
+  auto def = registry_->Get(f);
+  if (def.ok()) {
+    // Failure of either derivation leaves `rule` at kOpaque: the caller
+    // falls back to invalidate + rematerialize.
+    (void)Derive(**def, &rule);
+  }
+  return cache_.emplace(f, std::move(rule)).first->second;
+}
+
+Status DeltaAnalyzer::Derive(const FunctionDef& def, DeltaRule* rule) {
+  if (def.is_native() || !def.side_effect_free) {
+    return Status::FailedPrecondition("native or side-effecting function");
+  }
+  if (DeriveAggregateSum(def, rule).ok()) return Status::Ok();
+
+  // Scalar fragment: compile the whole body to a stack program.
+  Env env;
+  for (size_t i = 0; i < def.params.size(); ++i) {
+    Binding b;
+    b.ops.push_back(DeltaOp{DeltaOp::Kind::kLoadArg, Value::Null(), i,
+                            kInvalidAttrId, BinaryOp::kAdd, UnaryOp::kNeg});
+    b.type = def.params[i].type;
+    env.emplace(def.params[i].name, std::move(b));
+  }
+  std::vector<DeltaOp> ops;
+  std::set<RelevantProperty> covered;
+  TypeRef type;
+  GOMFM_RETURN_IF_ERROR(
+      CompileBlock(def.body, std::move(env), 0, &ops, &covered, &type));
+  if (!IsNumeric(type)) {
+    return Status::FailedPrecondition("non-numeric result");
+  }
+  if (covered.empty()) {
+    // Nothing to absorb (e.g. arithmetic over the arguments alone): a rule
+    // would never fire, so keep the function opaque.
+    return Status::FailedPrecondition("no covered attributes");
+  }
+  rule->cls = DeltaClass::kScalarRecompute;
+  rule->program = std::move(ops);
+  rule->covered = std::move(covered);
+  return Status::Ok();
+}
+
+Status DeltaAnalyzer::DeriveAggregateSum(const FunctionDef& def,
+                                         DeltaRule* rule) {
+  // Exactly  return sum(set_param, v, v.A)  where the parameter is a
+  // set-structured object and A a numeric attribute of its element type.
+  // (Lists may hold duplicates and avg/min/max are not invertible from a
+  // single changed contribution, so all of those stay opaque.)
+  if (def.body.stmts.size() != 1) {
+    return Status::FailedPrecondition("not a single return");
+  }
+  const Stmt& ret = def.body.stmts[0];
+  if (ret.kind != Stmt::Kind::kReturn || ret.expr == nullptr) {
+    return Status::FailedPrecondition("not a single return");
+  }
+  const Expr& agg = *ret.expr;
+  if (agg.kind != ExprKind::kAggregate ||
+      agg.aggregate_op != AggregateOp::kSum || agg.children.size() != 2) {
+    return Status::FailedPrecondition("not a sum aggregate");
+  }
+  const Expr& src = *agg.children[0];
+  if (src.kind != ExprKind::kVar) {
+    return Status::FailedPrecondition("source is not a parameter");
+  }
+  size_t src_arg = def.params.size();
+  for (size_t i = 0; i < def.params.size(); ++i) {
+    if (def.params[i].name == src.name) src_arg = i;
+  }
+  if (src_arg == def.params.size() || !def.params[src_arg].type.is_object()) {
+    return Status::FailedPrecondition("source is not an object parameter");
+  }
+  GOMFM_ASSIGN_OR_RETURN(const TypeDescriptor* set_type,
+                         schema_->Get(def.params[src_arg].type.object_type));
+  if (set_type->kind != StructKind::kSet ||
+      !set_type->element_type.is_object()) {
+    return Status::FailedPrecondition("not a set of objects");
+  }
+  const Expr& body = *agg.children[1];
+  if (body.kind != ExprKind::kAttr || body.children.size() != 1 ||
+      body.children[0]->kind != ExprKind::kVar ||
+      body.children[0]->name != agg.var) {
+    return Status::FailedPrecondition("body is not elem.A");
+  }
+  GOMFM_ASSIGN_OR_RETURN(
+      auto resolved,
+      schema_->ResolveAttribute(set_type->element_type.object_type,
+                                body.name));
+  if (!IsNumeric(resolved.second)) {
+    return Status::FailedPrecondition("contribution is not numeric");
+  }
+  rule->cls = DeltaClass::kAggregateSum;
+  rule->agg_source_arg = src_arg;
+  rule->agg_attr = resolved.first;
+  rule->covered.insert(
+      {set_type->element_type.object_type, resolved.first});
+  return Status::Ok();
+}
+
+Status DeltaAnalyzer::CompileBlock(const Block& block, Env env, int depth,
+                                   std::vector<DeltaOp>* ops,
+                                   std::set<RelevantProperty>* covered,
+                                   TypeRef* type) {
+  for (const Stmt& stmt : block.stmts) {
+    if (stmt.expr == nullptr) {
+      return Status::FailedPrecondition("statement without expression");
+    }
+    if (stmt.kind == Stmt::Kind::kReturn) {
+      return Compile(*stmt.expr, env, depth, ops, covered, type);
+    }
+    // Let bindings become instruction fragments spliced in at every use.
+    // Duplicating a pure fragment re-reads the same attributes, which is
+    // value-identical (and still cheaper than an interpreter walk).
+    Binding b;
+    GOMFM_RETURN_IF_ERROR(
+        Compile(*stmt.expr, env, depth, &b.ops, covered, &b.type));
+    env[stmt.var] = std::move(b);
+  }
+  return Status::FailedPrecondition("block has no return");
+}
+
+Status DeltaAnalyzer::Compile(const Expr& e, const Env& env, int depth,
+                              std::vector<DeltaOp>* ops,
+                              std::set<RelevantProperty>* covered,
+                              TypeRef* type) {
+  if (depth > kMaxInlineDepth) {
+    return Status::FailedPrecondition("inline depth exceeded");
+  }
+  switch (e.kind) {
+    case ExprKind::kConst: {
+      ValueKind k = e.literal.kind();
+      if (k != ValueKind::kInt && k != ValueKind::kFloat) {
+        return Status::FailedPrecondition("non-numeric literal");
+      }
+      DeltaOp op;
+      op.kind = DeltaOp::Kind::kPushConst;
+      op.literal = e.literal;
+      ops->push_back(std::move(op));
+      *type = k == ValueKind::kInt ? TypeRef::Int() : TypeRef::Float();
+      return Status::Ok();
+    }
+
+    case ExprKind::kVar: {
+      auto it = env.find(e.name);
+      if (it == env.end()) {
+        return Status::FailedPrecondition("unbound variable");
+      }
+      ops->insert(ops->end(), it->second.ops.begin(), it->second.ops.end());
+      *type = it->second.type;
+      return Status::Ok();
+    }
+
+    case ExprKind::kAttr: {
+      if (e.children.size() != 1) {
+        return Status::FailedPrecondition("malformed attribute access");
+      }
+      TypeRef base;
+      GOMFM_RETURN_IF_ERROR(
+          Compile(*e.children[0], env, depth, ops, covered, &base));
+      if (!base.is_object()) {
+        return Status::FailedPrecondition("attribute of a non-object");
+      }
+      GOMFM_ASSIGN_OR_RETURN(
+          auto resolved, schema_->ResolveAttribute(base.object_type, e.name));
+      if (IsNumeric(resolved.second)) {
+        // A numeric leaf: re-running the program absorbs its updates, and
+        // the access set (hence the RRR) is unaffected by its value.
+        covered->insert({base.object_type, resolved.first});
+      } else if (!resolved.second.is_object()) {
+        return Status::FailedPrecondition("attribute is neither numeric nor "
+                                          "a reference");
+      }
+      // Reference-valued attributes are traversed but *not* covered:
+      // rebinding one changes which objects the function reads.
+      DeltaOp op;
+      op.kind = DeltaOp::Kind::kLoadAttr;
+      op.attr = resolved.first;
+      ops->push_back(std::move(op));
+      *type = resolved.second;
+      return Status::Ok();
+    }
+
+    case ExprKind::kBinary: {
+      switch (e.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          break;
+        default:
+          // Comparisons and logicals feed conditionals — outside the
+          // provable fragment.
+          return Status::FailedPrecondition("non-arithmetic operator");
+      }
+      if (e.children.size() != 2) {
+        return Status::FailedPrecondition("malformed binary expression");
+      }
+      TypeRef lhs, rhs;
+      GOMFM_RETURN_IF_ERROR(
+          Compile(*e.children[0], env, depth, ops, covered, &lhs));
+      GOMFM_RETURN_IF_ERROR(
+          Compile(*e.children[1], env, depth, ops, covered, &rhs));
+      if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
+        return Status::FailedPrecondition("non-numeric operand");
+      }
+      DeltaOp op;
+      op.kind = DeltaOp::Kind::kBinary;
+      op.binary_op = e.binary_op;
+      ops->push_back(std::move(op));
+      // Mirrors the interpreter: int ∘ int stays int except division.
+      *type = (lhs.tag == TypeRef::Tag::kInt &&
+               rhs.tag == TypeRef::Tag::kInt && e.binary_op != BinaryOp::kDiv)
+                  ? TypeRef::Int()
+                  : TypeRef::Float();
+      return Status::Ok();
+    }
+
+    case ExprKind::kUnary: {
+      switch (e.unary_op) {
+        case UnaryOp::kNeg:
+        case UnaryOp::kSin:
+        case UnaryOp::kCos:
+        case UnaryOp::kSqrt:
+        case UnaryOp::kAbs:
+          break;
+        default:
+          return Status::FailedPrecondition("non-arithmetic operator");
+      }
+      if (e.children.size() != 1) {
+        return Status::FailedPrecondition("malformed unary expression");
+      }
+      TypeRef operand;
+      GOMFM_RETURN_IF_ERROR(
+          Compile(*e.children[0], env, depth, ops, covered, &operand));
+      if (!IsNumeric(operand)) {
+        return Status::FailedPrecondition("non-numeric operand");
+      }
+      DeltaOp op;
+      op.kind = DeltaOp::Kind::kUnary;
+      op.unary_op = e.unary_op;
+      ops->push_back(std::move(op));
+      *type = (e.unary_op == UnaryOp::kNeg || e.unary_op == UnaryOp::kAbs)
+                  ? operand
+                  : TypeRef::Float();
+      return Status::Ok();
+    }
+
+    case ExprKind::kCall: {
+      // Inline non-native callees by binding their parameters to the
+      // compiled argument fragments.
+      GOMFM_ASSIGN_OR_RETURN(const FunctionDef* callee,
+                             registry_->Find(e.callee));
+      if (callee->is_native() || !callee->side_effect_free) {
+        return Status::FailedPrecondition("call to native function");
+      }
+      if (e.children.size() != callee->params.size()) {
+        return Status::FailedPrecondition("arity mismatch");
+      }
+      Env callee_env;
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        Binding b;
+        GOMFM_RETURN_IF_ERROR(
+            Compile(*e.children[i], env, depth, &b.ops, covered, &b.type));
+        callee_env.emplace(callee->params[i].name, std::move(b));
+      }
+      return CompileBlock(callee->body, std::move(callee_env), depth + 1, ops,
+                          covered, type);
+    }
+
+    case ExprKind::kIf:
+      // A conditional over a changed attribute can switch which paths are
+      // read — exactly the case the issue rules out of the delta class.
+      return Status::FailedPrecondition("conditional body");
+
+    default:
+      return Status::FailedPrecondition("collection form");
+  }
+}
+
+namespace {
+
+/// The shared evaluation loop: `leaf(index, oid, attr)` supplies the value
+/// of the index-th kLoadAttr instruction (from the object base or from a
+/// capture), everything else is pure stack arithmetic.
+template <class LeafFn>
+Result<Value> EvalDeltaCore(const std::vector<DeltaOp>& program,
+                            const std::vector<Value>& args, LeafFn&& leaf) {
+  std::vector<Value> stack;
+  stack.reserve(8);
+  size_t leaf_index = 0;
+  for (const DeltaOp& op : program) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kPushConst:
+        stack.push_back(op.literal);
+        break;
+
+      case DeltaOp::Kind::kLoadArg:
+        if (op.arg_index >= args.size()) {
+          return Status::Internal("delta program argument out of range");
+        }
+        stack.push_back(args[op.arg_index]);
+        break;
+
+      case DeltaOp::Kind::kLoadAttr: {
+        if (stack.empty()) return Status::Internal("delta stack underflow");
+        GOMFM_ASSIGN_OR_RETURN(Oid oid, stack.back().AsRef());
+        GOMFM_ASSIGN_OR_RETURN(Value v, leaf(leaf_index++, oid, op.attr));
+        stack.back() = std::move(v);
+        break;
+      }
+
+      case DeltaOp::Kind::kBinary: {
+        if (stack.size() < 2) return Status::Internal("delta stack underflow");
+        Value rhs = std::move(stack.back());
+        stack.pop_back();
+        Value lhs = std::move(stack.back());
+        stack.pop_back();
+        // Bit-identical mirror of Interpreter::EvalBinary's arithmetic.
+        if (lhs.kind() == ValueKind::kInt && rhs.kind() == ValueKind::kInt &&
+            op.binary_op != BinaryOp::kDiv) {
+          int64_t a = lhs.as_int(), b = rhs.as_int();
+          switch (op.binary_op) {
+            case BinaryOp::kAdd:
+              stack.push_back(Value::Int(a + b));
+              break;
+            case BinaryOp::kSub:
+              stack.push_back(Value::Int(a - b));
+              break;
+            case BinaryOp::kMul:
+              stack.push_back(Value::Int(a * b));
+              break;
+            default:
+              return Status::Internal("unreachable arithmetic case");
+          }
+          break;
+        }
+        GOMFM_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+        GOMFM_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+        switch (op.binary_op) {
+          case BinaryOp::kAdd:
+            stack.push_back(Value::Float(a + b));
+            break;
+          case BinaryOp::kSub:
+            stack.push_back(Value::Float(a - b));
+            break;
+          case BinaryOp::kMul:
+            stack.push_back(Value::Float(a * b));
+            break;
+          case BinaryOp::kDiv:
+            if (b == 0.0) {
+              return Status::InvalidArgument("division by zero");
+            }
+            stack.push_back(Value::Float(a / b));
+            break;
+          default:
+            return Status::Internal("unreachable arithmetic case");
+        }
+        break;
+      }
+
+      case DeltaOp::Kind::kUnary: {
+        if (stack.empty()) return Status::Internal("delta stack underflow");
+        Value v = std::move(stack.back());
+        stack.pop_back();
+        // Bit-identical mirror of Interpreter::EvalUnary.
+        switch (op.unary_op) {
+          case UnaryOp::kNeg:
+            if (v.kind() == ValueKind::kInt) {
+              stack.push_back(Value::Int(-v.as_int()));
+            } else {
+              GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+              stack.push_back(Value::Float(-d));
+            }
+            break;
+          case UnaryOp::kSin: {
+            GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+            stack.push_back(Value::Float(std::sin(d)));
+            break;
+          }
+          case UnaryOp::kCos: {
+            GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+            stack.push_back(Value::Float(std::cos(d)));
+            break;
+          }
+          case UnaryOp::kSqrt: {
+            GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+            if (d < 0) {
+              return Status::InvalidArgument("sqrt of negative value");
+            }
+            stack.push_back(Value::Float(std::sqrt(d)));
+            break;
+          }
+          case UnaryOp::kAbs:
+            if (v.kind() == ValueKind::kInt) {
+              stack.push_back(
+                  Value::Int(v.as_int() < 0 ? -v.as_int() : v.as_int()));
+            } else {
+              GOMFM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+              stack.push_back(Value::Float(std::fabs(d)));
+            }
+            break;
+          default:
+            return Status::Internal("unreachable unary case");
+        }
+        break;
+      }
+    }
+  }
+  if (stack.size() != 1) {
+    return Status::Internal("delta program left an unbalanced stack");
+  }
+  return std::move(stack.back());
+}
+
+}  // namespace
+
+Result<Value> EvalDeltaProgram(const std::vector<DeltaOp>& program,
+                               const std::vector<Value>& args,
+                               ObjectManager* om,
+                               std::vector<DeltaLeaf>* capture) {
+  if (capture != nullptr) capture->clear();
+  return EvalDeltaCore(
+      program, args,
+      [&](size_t, Oid oid, AttrId attr) -> Result<Value> {
+        GOMFM_ASSIGN_OR_RETURN(Value v, om->GetAttribute(oid, attr));
+        if (capture != nullptr) capture->push_back({oid, attr, v});
+        return v;
+      });
+}
+
+Result<Value> EvalDeltaProgramCached(const std::vector<DeltaOp>& program,
+                                     const std::vector<Value>& args,
+                                     std::vector<DeltaLeaf>* leaves,
+                                     Oid changed, AttrId attr,
+                                     const Value& new_value) {
+  for (DeltaLeaf& l : *leaves) {
+    if (l.object == changed && l.attr == attr) l.value = new_value;
+  }
+  return EvalDeltaCore(
+      program, args,
+      [&](size_t i, Oid oid, AttrId a) -> Result<Value> {
+        if (i >= leaves->size()) {
+          return Status::FailedPrecondition("delta leaf capture too short");
+        }
+        const DeltaLeaf& l = (*leaves)[i];
+        if (!(l.object == oid) || l.attr != a) {
+          return Status::FailedPrecondition("delta leaf capture mismatch");
+        }
+        return l.value;
+      });
+}
+
+}  // namespace gom::funclang

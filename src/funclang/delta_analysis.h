@@ -1,0 +1,159 @@
+#ifndef GOMFM_FUNCLANG_DELTA_ANALYSIS_H_
+#define GOMFM_FUNCLANG_DELTA_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "funclang/function_registry.h"
+#include "funclang/interpreter.h"
+#include "gom/object_manager.h"
+#include "gom/schema.h"
+
+namespace gom::funclang {
+
+/// ------------------------------------------------------------------------
+/// Delta maintenance analysis.
+///
+/// The paper repairs a stale GMR entry only by full rematerialization
+/// (§4.2). This analyzer classifies function bodies further than RelAttr:
+/// for the arithmetic/aggregate class it *derives an update function* that
+/// repairs the stored result in place when a covered attribute changes,
+/// without re-walking the object paths through the interpreter. Anything
+/// the analysis cannot prove is classified kOpaque and keeps the paper's
+/// invalidate-then-rematerialize behavior, so correctness never depends on
+/// completeness of the analysis.
+/// ------------------------------------------------------------------------
+
+/// How a function's results can be maintained under an elementary update.
+enum class DeltaClass : uint8_t {
+  /// Not derivable: fall back to invalidate + rematerialize.
+  kOpaque,
+  /// Pure arithmetic over attribute chains rooted at the parameters: the
+  /// body compiles to a small stack program that recomputes the result
+  /// directly from the object base (no interpreter, no path re-walk, and —
+  /// crucially — no change to the set of accessed objects, so the reverse
+  /// references stay valid as-is).
+  kScalarRecompute,
+  /// `sum(set, v, v.A)` over a set-typed parameter: the new result is the
+  /// running delta  old_sum − old(A) + new(A)  of the one changed element.
+  kAggregateSum,
+};
+
+/// One instruction of a compiled scalar program (postfix order).
+struct DeltaOp {
+  enum class Kind : uint8_t {
+    kPushConst,  // push `literal`
+    kLoadArg,    // push the row argument `arg_index`
+    kLoadAttr,   // pop a reference, push its attribute `attr`
+    kBinary,     // pop rhs, pop lhs, push lhs ∘ rhs
+    kUnary,      // pop v, push ∘v
+  };
+  Kind kind = Kind::kPushConst;
+  Value literal;                 // kPushConst
+  size_t arg_index = 0;          // kLoadArg
+  AttrId attr = kInvalidAttrId;  // kLoadAttr
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNeg;
+};
+
+/// The derived update rule for one function.
+struct DeltaRule {
+  DeltaClass cls = DeltaClass::kOpaque;
+
+  /// kScalarRecompute: the compiled body.
+  std::vector<DeltaOp> program;
+
+  /// kAggregateSum: index of the set-typed parameter and the element
+  /// attribute being summed.
+  size_t agg_source_arg = 0;
+  AttrId agg_attr = kInvalidAttrId;
+
+  /// The (type, attribute) pairs whose elementary updates this rule can
+  /// absorb. Only *numeric leaf* attributes are covered: a change to a
+  /// reference-valued attribute alters which objects the function accesses
+  /// (and therefore the reverse references), so it always falls back.
+  std::set<RelevantProperty> covered;
+
+  bool derivable() const { return cls != DeltaClass::kOpaque; }
+
+  /// True when an update of attribute `attr` on an object of dynamic type
+  /// `type` is absorbed by this rule.
+  bool Covers(const Schema& schema, TypeId type, AttrId attr) const;
+};
+
+/// Derives update rules from function bodies. Analysis never fails: bodies
+/// outside the provable fragment (conditionals, comparisons, natives,
+/// collection forms other than the sum pattern, recursion) yield kOpaque.
+/// Results are cached per function; FunctionIds are stable for the
+/// registry's lifetime, so the cache never invalidates.
+class DeltaAnalyzer {
+ public:
+  DeltaAnalyzer(const Schema* schema, const FunctionRegistry* registry)
+      : schema_(schema), registry_(registry) {}
+
+  const DeltaRule& Analyze(FunctionId f);
+
+ private:
+  /// A compile-time binding: the instruction fragment that pushes the
+  /// variable's value, plus its static type.
+  struct Binding {
+    std::vector<DeltaOp> ops;
+    TypeRef type;
+  };
+  using Env = std::map<std::string, Binding>;
+
+  Status Derive(const FunctionDef& def, DeltaRule* rule);
+  Status DeriveAggregateSum(const FunctionDef& def, DeltaRule* rule);
+  Status CompileBlock(const Block& block, Env env, int depth,
+                      std::vector<DeltaOp>* ops,
+                      std::set<RelevantProperty>* covered, TypeRef* type);
+  Status Compile(const Expr& e, const Env& env, int depth,
+                 std::vector<DeltaOp>* ops,
+                 std::set<RelevantProperty>* covered, TypeRef* type);
+
+  const Schema* schema_;
+  const FunctionRegistry* registry_;
+  std::map<FunctionId, DeltaRule> cache_;
+};
+
+/// One attribute read of a compiled program's last full evaluation: which
+/// object and attribute the i-th kLoadAttr instruction read, and the value
+/// it produced. The maintenance plane caches the capture per (row, result
+/// column); a later covered update substitutes the changed attribute's new
+/// value and re-evaluates the program from the cache alone — zero object
+/// base reads.
+struct DeltaLeaf {
+  Oid object;
+  AttrId attr = kInvalidAttrId;
+  Value value;
+};
+
+/// Runs a compiled scalar program against the object base. Arithmetic
+/// mirrors the interpreter exactly (integer ops stay integral, division
+/// always widens and rejects zero, sqrt rejects negatives), so a delta
+/// apply is bit-identical to the rematerialization it replaces. When
+/// `capture` is non-null it receives one DeltaLeaf per kLoadAttr executed,
+/// in program order.
+Result<Value> EvalDeltaProgram(const std::vector<DeltaOp>& program,
+                               const std::vector<Value>& args,
+                               ObjectManager* om,
+                               std::vector<DeltaLeaf>* capture = nullptr);
+
+/// Re-evaluates a compiled program purely from a prior capture: leaves
+/// matching (changed, attr) take `new_value` first, then every kLoadAttr
+/// pops its base reference and pushes the corresponding cached value. The
+/// leaf sequence is validated against the references actually on the stack
+/// — a mismatch (the capture belongs to different objects than the program
+/// now reaches) fails with kFailedPrecondition and the caller falls back
+/// to a full evaluation. `leaves` is updated in place so it remains the
+/// valid capture for the value returned.
+Result<Value> EvalDeltaProgramCached(const std::vector<DeltaOp>& program,
+                                     const std::vector<Value>& args,
+                                     std::vector<DeltaLeaf>* leaves,
+                                     Oid changed, AttrId attr,
+                                     const Value& new_value);
+
+}  // namespace gom::funclang
+
+#endif  // GOMFM_FUNCLANG_DELTA_ANALYSIS_H_

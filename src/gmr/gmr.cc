@@ -174,6 +174,16 @@ Status Gmr::UnindexResult(RowId row, size_t fn_idx, const Value& v) {
   return result_indexes_[fn_idx]->Erase(*v.AsDouble(), row);
 }
 
+Result<bool> Gmr::ResultValid(RowId row, size_t fn_idx) const {
+  if (row >= rows_.size() || !rows_[row].live) {
+    return Status::NotFound("GMR '" + spec_.name + "': no such row");
+  }
+  if (fn_idx >= spec_.function_count()) {
+    return Status::InvalidArgument("GMR: bad function index");
+  }
+  return static_cast<bool>(rows_[row].valid[fn_idx]);
+}
+
 Status Gmr::SetResult(RowId row, size_t fn_idx, Value result) {
   if (row >= rows_.size() || !rows_[row].live) {
     return Status::NotFound("GMR '" + spec_.name + "': no such row");
@@ -181,6 +191,7 @@ Status Gmr::SetResult(RowId row, size_t fn_idx, Value result) {
   if (fn_idx >= spec_.function_count()) {
     return Status::InvalidArgument("GMR: bad function index");
   }
+  delta_leaves_.erase({row, fn_idx});
   Row& r = rows_[row];
   if (r.valid[fn_idx]) {
     GOMFM_RETURN_IF_ERROR(UnindexResult(row, fn_idx, r.results[fn_idx]));
@@ -197,6 +208,7 @@ Status Gmr::InvalidateResult(RowId row, size_t fn_idx) {
   if (row >= rows_.size() || !rows_[row].live) {
     return Status::NotFound("GMR '" + spec_.name + "': no such row");
   }
+  delta_leaves_.erase({row, fn_idx});
   Row& r = rows_[row];
   if (!r.valid[fn_idx]) return Status::Ok();  // already invalid
   GOMFM_RETURN_IF_ERROR(UnindexResult(row, fn_idx, r.results[fn_idx]));
@@ -214,6 +226,8 @@ Status Gmr::Remove(RowId row) {
   if (change_hook_) {
     GOMFM_RETURN_IF_ERROR(change_hook_(/*inserted=*/false, r.args));
   }
+  delta_leaves_.erase(delta_leaves_.lower_bound({row, 0}),
+                      delta_leaves_.lower_bound({row + 1, 0}));
   for (size_t i = 0; i < spec_.function_count(); ++i) {
     if (r.valid[i]) {
       GOMFM_RETURN_IF_ERROR(UnindexResult(row, i, r.results[i]));
@@ -229,6 +243,23 @@ Status Gmr::Remove(RowId row) {
   --live_rows_;
   clock_->Advance(cost_.cpu_index_op_seconds);
   return Status::Ok();
+}
+
+std::optional<std::vector<funclang::DeltaLeaf>> Gmr::TakeDeltaLeaves(
+    RowId row, size_t fn_idx) {
+  auto it = delta_leaves_.find({row, fn_idx});
+  if (it == delta_leaves_.end()) return std::nullopt;
+  std::vector<funclang::DeltaLeaf> leaves = std::move(it->second);
+  delta_leaves_.erase(it);
+  return leaves;
+}
+
+void Gmr::PutDeltaLeaves(RowId row, size_t fn_idx,
+                         std::vector<funclang::DeltaLeaf> leaves) {
+  if (row >= rows_.size() || !rows_[row].live || !rows_[row].valid[fn_idx]) {
+    return;  // a capture for an invalid result could never be consulted
+  }
+  delta_leaves_[{row, fn_idx}] = std::move(leaves);
 }
 
 Status Gmr::EvictLru() {

@@ -2,6 +2,7 @@
 #define GOMFM_GMR_GMR_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -12,6 +13,7 @@
 #include "common/execution_context.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "funclang/delta_analysis.h"
 #include "gom/type.h"
 #include "gom/value.h"
 #include "index/bplus_tree.h"
@@ -143,6 +145,10 @@ class Gmr {
       const std::vector<Value>& args, size_t fn_idx,
       const ExecutionContext* ctx = nullptr) const;
 
+  /// Validity bit of one result, without touching storage (bookkeeping
+  /// read, like ForEachRow — callers Get() any row *data* they consume).
+  Result<bool> ResultValid(RowId row, size_t fn_idx) const;
+
   /// Stores a freshly (re)computed result and marks it valid.
   Status SetResult(RowId row, size_t fn_idx, Value result);
 
@@ -169,6 +175,32 @@ class Gmr {
   /// (planner statistics); kFailedPrecondition when the column has no
   /// valid numeric results.
   Result<std::pair<double, double>> ValueRange(size_t fn_idx) const;
+
+  /// Per-GMR split of how its stale results were repaired: applied in place
+  /// by a derived update function, recomputed through the interpreter, or
+  /// sent down the remat path because the delta plane could not absorb the
+  /// update. Bumped by the maintenance plane (atomics: concurrent sessions
+  /// may snapshot while maintenance runs).
+  struct MaintCounters {
+    std::atomic<uint64_t> delta_applies{0};
+    std::atomic<uint64_t> rematerializations{0};
+    std::atomic<uint64_t> fallbacks{0};
+  };
+  MaintCounters& maint_counters() const { return maint_counters_; }
+
+  /// Leaf-value capture of the delta-maintenance plane, keyed per
+  /// (row, result column). An entry exists only while the stored result is
+  /// exactly the value its cached leaves evaluate to: every other mutation
+  /// of the result — SetResult, InvalidateResult, Remove — drops it, which
+  /// is why the cache lives here and not in the maintenance plane.
+  /// TakeDeltaLeaves removes and returns the capture (nullopt when none);
+  /// after a successful delta apply the caller re-installs the updated
+  /// capture with PutDeltaLeaves — *after* its own SetResult call, which
+  /// would otherwise clear it again.
+  std::optional<std::vector<funclang::DeltaLeaf>> TakeDeltaLeaves(
+      RowId row, size_t fn_idx);
+  void PutDeltaLeaves(RowId row, size_t fn_idx,
+                      std::vector<funclang::DeltaLeaf> leaves);
 
   size_t live_rows() const { return live_rows_; }
   uint64_t invalidation_count() const { return invalidations_; }
@@ -207,10 +239,14 @@ class Gmr {
   /// for columns with non-numeric result types).
   std::vector<std::unique_ptr<BPlusTree>> result_indexes_;
 
+  std::map<std::pair<RowId, size_t>, std::vector<funclang::DeltaLeaf>>
+      delta_leaves_;
+
   size_t live_rows_ = 0;
   uint64_t access_counter_ = 0;
   uint64_t invalidations_ = 0;
   mutable std::atomic<uint64_t> lookups_{0};
+  mutable MaintCounters maint_counters_;
   mutable std::shared_mutex latch_;
 };
 

@@ -1,5 +1,6 @@
 #include "gmr/gmr_maintenance.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "gmr/wal_records.h"
@@ -16,7 +17,8 @@ GmrMaintenance::GmrMaintenance(ObjectManager* om,
       registry_(registry),
       catalog_(catalog),
       stats_(stats),
-      options_(options) {}
+      options_(options),
+      delta_analyzer_(om->schema(), registry) {}
 
 Result<Value> GmrMaintenance::ComputeTracked(FunctionId f,
                                              const std::vector<Value>& args,
@@ -89,6 +91,22 @@ Status GmrMaintenance::LogRemat(GmrId id, size_t col,
       Lsn lsn, wal_->Append(WalRecordType::kRematResult,
                             EncodeRemat(id, static_cast<uint32_t>(col), args,
                                         value, accessed)));
+  (void)lsn;
+  return Status::Ok();
+}
+
+Status GmrMaintenance::LogDeltaApply(GmrId id, size_t col,
+                                     const std::vector<Value>& args,
+                                     const Value& value,
+                                     const std::vector<Oid>& changed) {
+  if (wal_ == nullptr) return Status::Ok();
+  // kRematResult codec: `value` is the absolute post-delta result (replay
+  // is idempotent) and the accessed oids restore the changed objects'
+  // reverse references after the intents' conservative invalidations.
+  GOMFM_ASSIGN_OR_RETURN(
+      Lsn lsn, wal_->Append(WalRecordType::kDeltaApply,
+                            EncodeRemat(id, static_cast<uint32_t>(col), args,
+                                        value, changed)));
   (void)lsn;
   return Status::Ok();
 }
@@ -172,6 +190,8 @@ Status GmrMaintenance::MaterializeRow(Gmr* gmr, RowId row) {
   for (size_t i = 0; i < gmr->spec().functions.size(); ++i) {
     FunctionId f = gmr->spec().functions[i];
     funclang::Trace trace;
+    gmr->maint_counters().rematerializations.fetch_add(
+        1, std::memory_order_relaxed);
     GOMFM_ASSIGN_OR_RETURN(
         Value result, ComputeTracked(f, args, snapshot ? nullptr : &trace));
     GOMFM_RETURN_IF_ERROR(
@@ -302,8 +322,174 @@ Status GmrMaintenance::Dematerialize(GmrId id) {
 
 // --- Invalidation (§4) --------------------------------------------------------
 
+Status GmrMaintenance::TryDeltaApply(Gmr* gmr, size_t fn_idx, RowId row,
+                                     const Rrr::Entry& entry,
+                                     const DeltaUpdate& update,
+                                     bool* applied) {
+  *applied = false;
+  if (update.attr == kInvalidAttrId || update.attr == kElementsOfAttr) {
+    return Status::Ok();  // element membership changes are never covered
+  }
+  const funclang::DeltaRule& rule = delta_analyzer_.Analyze(entry.function);
+  if (!rule.Covers(*om_->schema(), update.type, update.attr)) {
+    return Status::Ok();
+  }
+  if (batch_depth_ > 0) {
+    // Batched maintenance: fold the write into the pending per-(GMR, row,
+    // column) delta — the delta-plane analogue of the coalesced remat
+    // queue. Later writes of the storm touch only this in-memory record;
+    // EndBatch() evaluates and stores once per row.
+    BatchKey key{gmr->id(), static_cast<uint32_t>(fn_idx), row};
+    auto it = delta_pending_.find(key);
+    if (it != delta_pending_.end()) {
+      PendingDelta& pd = it->second;
+      if (pd.cls == funclang::DeltaClass::kScalarRecompute) {
+        if (update.new_value == nullptr) {
+          // No value to substitute: degrade to a full evaluation at commit
+          // (which reads the then-final base, so nothing is lost).
+          pd.has_capture = false;
+          pd.leaves.clear();
+        } else if (pd.has_capture) {
+          for (funclang::DeltaLeaf& l : pd.leaves) {
+            if (l.object == entry.object && l.attr == update.attr) {
+              l.value = *update.new_value;
+            }
+          }
+        }
+      } else {  // kAggregateSum
+        if (update.old_value == nullptr || update.new_value == nullptr ||
+            !update.old_value->is_numeric() ||
+            !update.new_value->is_numeric()) {
+          return Status::Ok();  // fall back; the caller erases the pending
+        }
+        pd.agg_acc +=
+            *update.new_value->AsDouble() - *update.old_value->AsDouble();
+      }
+      if (std::find(pd.changed.begin(), pd.changed.end(), entry.object) ==
+          pd.changed.end()) {
+        pd.changed.push_back(entry.object);
+      }
+      // A lookup may have revalidated the result from the current base
+      // since the last absorbed write; re-invalidate so readers never see
+      // a value the pending apply is about to supersede.
+      GOMFM_ASSIGN_OR_RETURN(bool valid, gmr->ResultValid(row, fn_idx));
+      if (valid) GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(row, fn_idx));
+      ++stats_->delta_applies;
+      gmr->maint_counters().delta_applies.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      *applied = true;
+      return Status::Ok();
+    }
+  }
+  GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
+  if (fn_idx >= r->valid.size() || !r->valid[fn_idx]) {
+    // The stored result is already invalid (lazy flag or a pending batched
+    // remat): repairing it in place would skip the path re-walk that
+    // rebuilds the reverse references, so fall back to the remat queue.
+    return Status::Ok();
+  }
+  if (batch_depth_ > 0) {
+    // First covered write for this (GMR, row, column) in the open batch:
+    // park the state the commit-time apply needs, flag the result invalid
+    // (mid-batch readers recompute lazily from the current base), and keep
+    // the reverse reference so later writes of the storm find their way
+    // back here.
+    PendingDelta pd;
+    pd.cls = rule.cls;
+    if (rule.cls == funclang::DeltaClass::kScalarRecompute) {
+      if (update.new_value != nullptr) {
+        if (auto cached = gmr->TakeDeltaLeaves(row, fn_idx)) {
+          pd.leaves = std::move(*cached);
+          pd.has_capture = true;
+          for (funclang::DeltaLeaf& l : pd.leaves) {
+            if (l.object == entry.object && l.attr == update.attr) {
+              l.value = *update.new_value;
+            }
+          }
+        }
+      }
+    } else {  // kAggregateSum
+      if (update.old_value == nullptr || update.new_value == nullptr ||
+          !update.old_value->is_numeric() || !update.new_value->is_numeric() ||
+          r->results[fn_idx].kind() != ValueKind::kFloat) {
+        return Status::Ok();
+      }
+      pd.agg_base = r->results[fn_idx].as_float();
+      pd.agg_acc =
+          *update.new_value->AsDouble() - *update.old_value->AsDouble();
+    }
+    pd.changed.push_back(entry.object);
+    GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(row, fn_idx));
+    BatchKey key{gmr->id(), static_cast<uint32_t>(fn_idx), row};
+    delta_pending_.emplace(key, std::move(pd));
+    delta_order_.push_back(key);
+    ++stats_->delta_applies;
+    gmr->maint_counters().delta_applies.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    *applied = true;
+    return Status::Ok();
+  }
+  Value new_result;
+  std::vector<funclang::DeltaLeaf> leaves;
+  if (rule.cls == funclang::DeltaClass::kScalarRecompute) {
+    // The compiled body recomputes the result without an interpreter walk,
+    // a trace, or RRR churn. The first apply after a rematerialization
+    // reads the base objects once and captures every leaf value; later
+    // applies substitute the changed attribute into the capture and
+    // evaluate entirely in memory. Any evaluation error (÷0, sqrt of a
+    // negative, a vanished object) falls back: the remat path reproduces
+    // and reports it through the paper's machinery.
+    bool from_cache = false;
+    if (update.new_value != nullptr) {
+      if (auto cached = gmr->TakeDeltaLeaves(row, fn_idx)) {
+        leaves = std::move(*cached);
+        auto computed = funclang::EvalDeltaProgramCached(
+            rule.program, r->args, &leaves, entry.object, update.attr,
+            *update.new_value);
+        if (computed.ok()) {
+          new_result = std::move(*computed);
+          from_cache = true;
+        }
+        // A mismatched capture was already taken (= dropped); recompute.
+      }
+    }
+    if (!from_cache) {
+      auto computed =
+          funclang::EvalDeltaProgram(rule.program, r->args, om_, &leaves);
+      if (!computed.ok()) return Status::Ok();
+      new_result = std::move(*computed);
+    }
+  } else {  // kAggregateSum: running delta of the one changed contribution
+    if (update.old_value == nullptr || update.new_value == nullptr ||
+        !update.old_value->is_numeric() || !update.new_value->is_numeric() ||
+        r->results[fn_idx].kind() != ValueKind::kFloat) {
+      return Status::Ok();
+    }
+    new_result = Value::Float(r->results[fn_idx].as_float() -
+                              *update.old_value->AsDouble() +
+                              *update.new_value->AsDouble());
+  }
+  // Durable first, inside the open intent region — recovery buffers the
+  // record like a kRematResult and applies it when the intent commits.
+  GOMFM_RETURN_IF_ERROR(LogDeltaApply(gmr->id(), fn_idx, entry.args,
+                                      new_result, {entry.object}));
+  GOMFM_RETURN_IF_ERROR(gmr->SetResult(row, fn_idx, std::move(new_result)));
+  if (rule.cls == funclang::DeltaClass::kScalarRecompute) {
+    // After SetResult (which clears any capture): the leaves describe
+    // exactly the value just stored.
+    gmr->PutDeltaLeaves(row, fn_idx, std::move(leaves));
+  }
+  // The reverse reference stays: only numeric leaf attributes are covered,
+  // so the set of objects the function reads is unchanged.
+  ++stats_->delta_applies;
+  gmr->maint_counters().delta_applies.fetch_add(1, std::memory_order_relaxed);
+  *applied = true;
+  return Status::Ok();
+}
+
 Status GmrMaintenance::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
-                                           const Rrr::Entry& entry) {
+                                           const Rrr::Entry& entry,
+                                           const DeltaUpdate* update) {
   auto row = gmr->FindRow(entry.args);
   if (!row.ok()) {
     // Blind reference (§4.2): the argument combination disappeared; the
@@ -312,6 +498,25 @@ Status GmrMaintenance::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
     return RemoveReverseRef(entry);
   }
   ++stats_->invalidations;
+  if (options_.enable_delta && update != nullptr) {
+    // Delta maintenance: a covered update repairs the stored result in
+    // place (or folds into the open batch's pending delta) and skips the
+    // remat queue entirely.
+    bool applied = false;
+    GOMFM_RETURN_IF_ERROR(
+        TryDeltaApply(gmr, fn_idx, *row, entry, *update, &applied));
+    if (applied) return Status::Ok();
+    ++stats_->delta_fallbacks;
+    gmr->maint_counters().fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (batch_depth_ > 0) {
+    // Any fall-through to the invalidate/remat path subsumes a pending
+    // delta on the same coordinate: the recomputation reads the final base,
+    // while the parked capture/accumulator is stale the moment an uncovered
+    // update slips past it.
+    delta_pending_.erase(
+        BatchKey{gmr->id(), static_cast<uint32_t>(fn_idx), *row});
+  }
   if (options_.remat == RematStrategy::kLazy) {
     GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
     return RemoveReverseRef(entry);
@@ -336,6 +541,8 @@ Status GmrMaintenance::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
   // re-insert the reverse references of the new computation.
   GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
   funclang::Trace trace;
+  gmr->maint_counters().rematerializations.fetch_add(
+      1, std::memory_order_relaxed);
   auto result = ComputeTracked(entry.function, entry.args, &trace);
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kNotFound) {
@@ -379,15 +586,22 @@ Status GmrMaintenance::HandlePredicateEntry(Gmr* gmr, const Rrr::Entry& entry) {
 }
 
 Status GmrMaintenance::Invalidate(Oid o) {
-  return InvalidateGuarded(o, nullptr);
+  return InvalidateGuarded(o, nullptr, nullptr);
 }
 
 Status GmrMaintenance::Invalidate(Oid o, const FidSet& relevant) {
   if (relevant.empty()) return Status::Ok();
-  return InvalidateGuarded(o, &relevant);
+  return InvalidateGuarded(o, &relevant, nullptr);
 }
 
-Status GmrMaintenance::InvalidateGuarded(Oid o, const FidSet* relevant) {
+Status GmrMaintenance::Invalidate(Oid o, const FidSet& relevant,
+                                  const DeltaUpdate* update) {
+  if (relevant.empty()) return Status::Ok();
+  return InvalidateGuarded(o, &relevant, update);
+}
+
+Status GmrMaintenance::InvalidateGuarded(Oid o, const FidSet* relevant,
+                                         const DeltaUpdate* update) {
   ExclusiveRegion region(this);
   // Programmatic invalidation (no notifier bracket): wrap the walk in its
   // own intent…commit pair so a crash mid-way recovers conservatively. A
@@ -395,7 +609,7 @@ Status GmrMaintenance::InvalidateGuarded(Oid o, const FidSet* relevant) {
   // then discarded at replay, its invalidation stands.
   bool self_intent = wal_ != nullptr && !HasOpenIntent(o);
   if (self_intent) GOMFM_RETURN_IF_ERROR(LogUpdateIntent(o));
-  Status body = InvalidateImpl(o, relevant);
+  Status body = InvalidateImpl(o, relevant, update);
   if (self_intent) {
     Status close = body.ok() ? LogUpdateCommit(o) : LogUpdateAbort(o);
     if (body.ok()) return close;
@@ -403,7 +617,8 @@ Status GmrMaintenance::InvalidateGuarded(Oid o, const FidSet* relevant) {
   return body;
 }
 
-Status GmrMaintenance::InvalidateImpl(Oid o, const FidSet* relevant) {
+Status GmrMaintenance::InvalidateImpl(Oid o, const FidSet* relevant,
+                                      const DeltaUpdate* update) {
   GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
                          catalog_->rrr().EntriesFor(o));
   for (const Rrr::Entry& entry : entries) {
@@ -416,7 +631,7 @@ Status GmrMaintenance::InvalidateImpl(Oid o, const FidSet* relevant) {
     auto loc = catalog_->Locate(entry.function);
     if (!loc.ok()) continue;  // stale entry of a dematerialized function
     GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(loc->first));
-    GOMFM_RETURN_IF_ERROR(HandleFunctionEntry(gmr, loc->second, entry));
+    GOMFM_RETURN_IF_ERROR(HandleFunctionEntry(gmr, loc->second, entry, update));
   }
   return Status::Ok();
 }
@@ -444,6 +659,8 @@ Status GmrMaintenance::RematerializeDeferred(const BatchKey& key) {
   std::vector<Value> args = r->args;  // copy: SetResult invalidates r
   FunctionId f = gmr->spec().functions[key.col];
   funclang::Trace trace;
+  gmr->maint_counters().rematerializations.fetch_add(
+      1, std::memory_order_relaxed);
   auto result = ComputeTracked(f, args, &trace);
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kNotFound) {
@@ -462,6 +679,66 @@ Status GmrMaintenance::RematerializeDeferred(const BatchKey& key) {
   return RecordReverseRefs(f, args, trace);
 }
 
+Status GmrMaintenance::ApplyDeferredDelta(const BatchKey& key,
+                                          PendingDelta pd) {
+  auto gmr_or = catalog_->Get(key.gmr);
+  if (!gmr_or.ok()) return Status::Ok();  // GMR dematerialized mid-batch
+  Gmr* gmr = *gmr_or;
+  auto row_or = gmr->Get(key.row);
+  if (!row_or.ok()) return Status::Ok();  // row removed mid-batch
+  const Gmr::Row* r = *row_or;
+  if (key.col >= r->valid.size() || r->valid[key.col]) {
+    // A lookup after the last absorbed write already recomputed the result
+    // from the final base; the pending apply would store the same value.
+    return Status::Ok();
+  }
+  std::vector<Value> args = r->args;  // copy: SetResult invalidates r
+  Value new_result;
+  std::vector<funclang::DeltaLeaf> leaves;
+  bool install_capture = false;
+  if (pd.cls == funclang::DeltaClass::kScalarRecompute) {
+    const funclang::DeltaRule& rule =
+        delta_analyzer_.Analyze(gmr->spec().functions[key.col]);
+    bool done = false;
+    if (pd.has_capture) {
+      // Every absorbed write was substituted at fold time, so the capture
+      // already reflects the final base: evaluate it with no further
+      // substitution (kInvalidAttrId matches no leaf). A mismatch means
+      // the capture belongs to objects the program no longer reaches —
+      // fall through to a full evaluation.
+      leaves = std::move(pd.leaves);
+      auto computed = funclang::EvalDeltaProgramCached(
+          rule.program, args, &leaves, kNilOid, kInvalidAttrId, Value());
+      if (computed.ok()) {
+        new_result = std::move(*computed);
+        done = true;
+        install_capture = true;
+      }
+    }
+    if (!done) {
+      auto computed =
+          funclang::EvalDeltaProgram(rule.program, args, om_, &leaves);
+      if (!computed.ok()) {
+        // Let the paper's remat machinery reproduce and report the error
+        // (÷0, vanished object): the row is still invalid, so the deferred
+        // recompute runs for real.
+        return RematerializeDeferred(key);
+      }
+      new_result = std::move(*computed);
+      install_capture = true;
+    }
+  } else {  // kAggregateSum: base at deferral time + accumulated Σ(new − old)
+    new_result = Value::Float(pd.agg_base + pd.agg_acc);
+  }
+  GOMFM_RETURN_IF_ERROR(
+      LogDeltaApply(gmr->id(), key.col, args, new_result, pd.changed));
+  GOMFM_RETURN_IF_ERROR(gmr->SetResult(key.row, key.col, std::move(new_result)));
+  if (install_capture) {
+    gmr->PutDeltaLeaves(key.row, key.col, std::move(leaves));
+  }
+  return Status::Ok();
+}
+
 Status GmrMaintenance::EndBatch() {
   if (batch_depth_ == 0) {
     return Status::FailedPrecondition("EndBatch() without BeginBatch()");
@@ -474,6 +751,19 @@ Status GmrMaintenance::EndBatch() {
   // the loop below recovers to the pre-flush state (rows still invalid),
   // never to a half-flushed batch.
   GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchFlush));
+  // Coalesced delta applies first: each pending (GMR, row, column) delta is
+  // evaluated and stored exactly once, in first-absorption order. Keys a
+  // fallback remat subsumed were erased from the map and are skipped here.
+  std::vector<BatchKey> delta_order;
+  delta_order.swap(delta_order_);
+  for (const BatchKey& key : delta_order) {
+    auto it = delta_pending_.find(key);
+    if (it == delta_pending_.end()) continue;
+    PendingDelta pd = std::move(it->second);
+    delta_pending_.erase(it);
+    GOMFM_RETURN_IF_ERROR(ApplyDeferredDelta(key, std::move(pd)));
+  }
+  delta_pending_.clear();
   // Coalesced rematerialization: each distinct (GMR, row, column) that was
   // invalidated during the batch is recomputed exactly once, in
   // first-invalidation order. No updates run here, so the set is stable.
@@ -613,6 +903,8 @@ Status GmrMaintenance::EnsureColumnValid(FunctionId f) {
     GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(row));
     std::vector<Value> args = r->args;
     funclang::Trace trace;
+    gmr->maint_counters().rematerializations.fetch_add(
+        1, std::memory_order_relaxed);
     auto result = ComputeTracked(f, args, &trace);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kNotFound) {
@@ -689,6 +981,12 @@ Status GmrMaintenance::Refresh(GmrId id) {
 Status GmrMaintenance::InvalidateAllResults(GmrId id) {
   ExclusiveRegion region(this);
   GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(id));
+  // Pending deltas of this GMR die with its reverse references: once the
+  // RRR is wiped, further base updates go unnoticed, so a parked capture
+  // can no longer be trusted to track the base.
+  for (auto it = delta_pending_.begin(); it != delta_pending_.end();) {
+    it = (it->first.gmr == id) ? delta_pending_.erase(it) : std::next(it);
+  }
   if (wal_ != nullptr) {
     // Must be durable before any further update: afterwards the RRR (and
     // every ObjDepFct) is empty, so those updates log no intents — losing

@@ -2,8 +2,10 @@
 #define GOMFM_GMR_GMR_MAINTENANCE_H_
 
 #include <atomic>
+#include <unordered_map>
 #include <vector>
 
+#include "funclang/delta_analysis.h"
 #include "funclang/interpreter.h"
 #include "gmr/gmr_catalog.h"
 #include "gmr/gmr_stats.h"
@@ -25,6 +27,23 @@ struct GmrManagerOptions {
   /// §4.1: mark RRR entries instead of removing them on invalidation, so a
   /// re-used object resurrects its entry instead of delete+insert churn.
   bool second_chance_rrr = false;
+  /// Delta maintenance: when an elementary update is covered by a derived
+  /// update function, repair the stored result in place instead of
+  /// invalidating and rematerializing. Off by default so the paper's
+  /// figures stay bit-identical; uncovered updates always fall back to the
+  /// remat path regardless of this flag.
+  bool enable_delta = false;
+};
+
+/// The elementary update an invalidation stems from, threaded from the
+/// notifier down to per-entry handling so delta rules can be matched
+/// against the changed (type, attribute) and applied with the pre-update
+/// value. Valid only for the duration of the Invalidate() call.
+struct DeltaUpdate {
+  TypeId type = kInvalidTypeId;
+  AttrId attr = kInvalidAttrId;
+  const Value* old_value = nullptr;
+  const Value* new_value = nullptr;
 };
 
 /// The maintenance plane of the GMR machinery: invalidation and
@@ -89,6 +108,9 @@ class GmrMaintenance {
 
   Status Invalidate(Oid o);
   Status Invalidate(Oid o, const FidSet& relevant);
+  /// Variant carrying the elementary update that caused the invalidation;
+  /// with `enable_delta` this is what lets covered updates apply in place.
+  Status Invalidate(Oid o, const FidSet& relevant, const DeltaUpdate* update);
   Status NewObject(Oid o, TypeId type);
   Status ForgetObject(Oid o);
   Status Compensate(Oid receiver, TypeId type, FunctionId op,
@@ -180,14 +202,33 @@ class GmrMaintenance {
                       const std::vector<Value>& args);
   bool HasOpenIntent(Oid o) const;
 
-  /// Invalidation entry point shared by both public overloads: brackets the
+  /// Invalidation entry point shared by the public overloads: brackets the
   /// walk in a self-logged intent…commit pair when no intent is open for
   /// `o` (programmatic Invalidate() calls outside the notifier path).
-  Status InvalidateGuarded(Oid o, const FidSet* relevant);
-  Status InvalidateImpl(Oid o, const FidSet* relevant);
+  Status InvalidateGuarded(Oid o, const FidSet* relevant,
+                           const DeltaUpdate* update);
+  Status InvalidateImpl(Oid o, const FidSet* relevant,
+                        const DeltaUpdate* update);
 
   /// §4.1 invalidation of one RRR entry under the active strategy.
-  Status HandleFunctionEntry(Gmr* gmr, size_t fn_idx, const Rrr::Entry& entry);
+  Status HandleFunctionEntry(Gmr* gmr, size_t fn_idx, const Rrr::Entry& entry,
+                             const DeltaUpdate* update);
+
+  /// Attempts to absorb the update with a derived update function. On
+  /// success (`*applied` true) the reverse reference is kept and either the
+  /// stored result was repaired in place (with a kDeltaApply record logged)
+  /// or — inside an open batch — the apply was folded into a pending
+  /// per-(GMR, row, column) delta that EndBatch() materializes once.
+  /// Otherwise the caller proceeds down the invalidate/remat path.
+  Status TryDeltaApply(Gmr* gmr, size_t fn_idx, RowId row,
+                       const Rrr::Entry& entry, const DeltaUpdate& update,
+                       bool* applied);
+
+  /// Appends a kDeltaApply record (kRematResult codec; `value` is the
+  /// absolute post-delta result, `accessed` the changed objects whose
+  /// updates it absorbed).
+  Status LogDeltaApply(GmrId id, size_t col, const std::vector<Value>& args,
+                       const Value& value, const std::vector<Oid>& changed);
 
   /// §6.1 predicate maintenance for one RRR entry of a restriction
   /// predicate.
@@ -215,6 +256,29 @@ class GmrMaintenance {
   /// batch and no lookup revalidated it in the meantime.
   Status RematerializeDeferred(const BatchKey& key);
 
+  /// A covered update absorbed while a batch was open: the result is left
+  /// invalid and the apply is deferred so an update storm on the same row
+  /// pays one evaluation + one store write at EndBatch() instead of one per
+  /// write — the delta-plane analogue of the coalesced remat queue.
+  struct PendingDelta {
+    funclang::DeltaClass cls = funclang::DeltaClass::kOpaque;
+    /// kScalarRecompute: the leaf capture with every absorbed write already
+    /// substituted; `has_capture` false means no capture was available and
+    /// EndBatch() evaluates the program against the (then final) base.
+    bool has_capture = false;
+    std::vector<funclang::DeltaLeaf> leaves;
+    /// kAggregateSum: stored result at deferral time plus the accumulated
+    /// Σ(new − old) of the absorbed element updates.
+    double agg_base = 0.0;
+    double agg_acc = 0.0;
+    /// Distinct changed objects, for the WAL record's accessed list.
+    std::vector<Oid> changed;
+  };
+
+  /// Materializes one pending delta at EndBatch(): evaluates the capture
+  /// (or the program, or base + acc), logs kDeltaApply, stores the result.
+  Status ApplyDeferredDelta(const BatchKey& key, PendingDelta pd);
+
   ObjectManager* om_;
   funclang::Interpreter* interp_;
   const funclang::FunctionRegistry* registry_;
@@ -222,6 +286,9 @@ class GmrMaintenance {
   GmrStats* stats_;
   GmrManagerOptions options_;
   WriteAheadLog* wal_ = nullptr;
+  /// Derives (and caches) update rules per function. Consulted lazily at
+  /// invalidation time, only when `enable_delta` is on.
+  funclang::DeltaAnalyzer delta_analyzer_;
 
   /// Updates announced but not yet committed/aborted. `logged` is false for
   /// intents the UsedBy filter suppressed (their commit is suppressed too).
@@ -239,6 +306,13 @@ class GmrMaintenance {
   /// Flush order: first-invalidation order, for deterministic replay of the
   /// simulated clock charges.
   std::vector<BatchKey> batch_order_;
+
+  /// Deferred delta applies of the open batch. A key queued for a fallback
+  /// remat is erased here (the remat subsumes it), so a (row, column) never
+  /// has both a pending delta and a pending remat. `delta_order_` gives the
+  /// deterministic commit order; erased keys are skipped.
+  std::unordered_map<BatchKey, PendingDelta, BatchKeyHash> delta_pending_;
+  std::vector<BatchKey> delta_order_;
 };
 
 }  // namespace gom

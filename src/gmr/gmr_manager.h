@@ -70,6 +70,13 @@ class GmrManager {
     return maintenance_.Invalidate(o, relevant);
   }
 
+  /// Variant carrying the elementary update behind the invalidation, so
+  /// covered updates can be absorbed by derived update functions when the
+  /// delta plane is enabled (`GmrManagerOptions::enable_delta`).
+  Status Invalidate(Oid o, const FidSet& relevant, const DeltaUpdate* update) {
+    return maintenance_.Invalidate(o, relevant, update);
+  }
+
   /// `o` of type `type` was created: extend complete GMRs (§4.2).
   Status NewObject(Oid o, TypeId type) {
     return maintenance_.NewObject(o, type);

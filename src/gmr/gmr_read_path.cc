@@ -60,6 +60,8 @@ Result<Value> GmrReadPath::OwnerForward(FunctionId f,
     // Invalid: recompute at the latest when the result is needed (§3.1).
     ++stats_->forward_invalid;
     funclang::Trace trace;
+    gmr->maint_counters().rematerializations.fetch_add(
+        1, std::memory_order_relaxed);
     GOMFM_ASSIGN_OR_RETURN(Value result,
                            maintenance_->ComputeTracked(f, args, &trace));
     GOMFM_RETURN_IF_ERROR(maintenance_->LogRemat(gmr->id(), col, args, result,

@@ -25,6 +25,10 @@ struct GmrStats {
   std::atomic<uint64_t> batch_records{0};     // distinct (GMR, row, col) deferred
   std::atomic<uint64_t> batch_dedup_hits{0};  // invalidations coalesced into one
   std::atomic<uint64_t> batch_flushes{0};     // outermost EndBatch() calls
+  std::atomic<uint64_t> delta_applies{0};     // results repaired in place by a
+                                              // derived update function
+  std::atomic<uint64_t> delta_fallbacks{0};   // delta plane enabled but the
+                                              // update fell back to remat
 
   /// Plain-integer view (relaxed loads; the counters are monotonic, so any
   /// snapshot is a valid point in time).
@@ -42,6 +46,8 @@ struct GmrStats {
     uint64_t batch_records = 0;
     uint64_t batch_dedup_hits = 0;
     uint64_t batch_flushes = 0;
+    uint64_t delta_applies = 0;
+    uint64_t delta_fallbacks = 0;
   };
 
   Counters Snapshot() const {
@@ -60,6 +66,8 @@ struct GmrStats {
     c.batch_records = batch_records.load(kR);
     c.batch_dedup_hits = batch_dedup_hits.load(kR);
     c.batch_flushes = batch_flushes.load(kR);
+    c.delta_applies = delta_applies.load(kR);
+    c.delta_fallbacks = delta_fallbacks.load(kR);
     return c;
   }
 
@@ -78,6 +86,8 @@ struct GmrStats {
     batch_records.store(0, kR);
     batch_dedup_hits.store(0, kR);
     batch_flushes.store(0, kR);
+    delta_applies.store(0, kR);
+    delta_fallbacks.store(0, kR);
   }
 };
 

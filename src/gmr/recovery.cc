@@ -83,6 +83,19 @@ Status RecoveryManager::ReplayRecord(const WalRecord& rec) {
       }
       return ApplyRemat(p);
     }
+    case WalRecordType::kDeltaApply: {
+      // Same codec and apply rules as kRematResult: the logged value is the
+      // absolute post-delta result, so replay is idempotent and reconciles
+      // over whatever base value ConservativeInvalidate left behind; the
+      // accessed list re-marks the changed object's reverse reference.
+      GOMFM_ASSIGN_OR_RETURN(RematPayload p, DecodeRemat(rec.payload));
+      ++stats_.deltas_seen;
+      if (!frames_.empty()) {
+        frames_.back().remats.push_back(std::move(p));
+        return Status::Ok();
+      }
+      return ApplyRemat(p);
+    }
     case WalRecordType::kBatchBegin:
       return Status::Ok();  // informational
     case WalRecordType::kBatchFlush: {

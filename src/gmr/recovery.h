@@ -49,6 +49,9 @@ class RecoveryManager {
     size_t intents_discarded = 0;
     size_t remats_applied = 0;
     size_t remats_discarded = 0;
+    /// kDeltaApply records read (they then share the remat apply/discard
+    /// accounting: the payload is the absolute post-delta result).
+    size_t deltas_seen = 0;
     /// EndBatch flushes whose commit marker never became durable.
     size_t batches_discarded = 0;
     size_t rows_replayed = 0;

@@ -301,6 +301,7 @@ Status ObjectManager::SetAttribute(Oid oid, AttrId attr, Value value) {
     return written;
   }
   update.value = &obj->fields[attr];
+  update.old_value = &previous;
   if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
   return Status::Ok();
 }

@@ -34,6 +34,10 @@ struct ElementaryUpdate {
   /// update: 0 = a direct client update, >0 = performed from inside a
   /// type-associated operation (relevant for strict encapsulation, §5.3).
   int operation_depth = 0;
+  /// Pre-update attribute value (kSetAttribute only, set for the After
+  /// hook; null in Before/Abort). Valid only during the callback. Lets
+  /// delta maintenance compute running aggregates without a rescan.
+  const Value* old_value = nullptr;
 };
 
 /// The seam produced by the paper's *schema rewrite* (§4.3, Figures 4–6):

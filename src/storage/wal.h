@@ -65,6 +65,15 @@ enum class WalRecordType : uint8_t {
   /// empty), so losing it would resurrect stale valid results at replay.
   /// Payload: gmr u32.
   kInvalidateAll = 11,
+  /// A derived update function repaired one stored result in place (delta
+  /// maintenance, no rematerialization). The payload is the kRematResult
+  /// codec with `value` holding the *absolute* post-delta result — replay
+  /// is therefore idempotent and reconciles over any already-recovered
+  /// base value — and `oids` holding the changed object, whose reverse
+  /// reference the intent's conservative invalidation dropped. Buffered in
+  /// intent/batch regions exactly like kRematResult. Payload: gmr u32,
+  /// col u32, argc u16, args, value, oidc u16, oids.
+  kDeltaApply = 12,
 };
 
 struct WalRecord {

@@ -63,9 +63,18 @@ void MaterializationNotifier::AfterElementaryUpdate(
     const FidSet& schema_dep =
         mgr_->deps().SchemaDepFct(update.type, PropertyOf(update));
     if (!schema_dep.empty()) {  // else: operation was never rewritten (§5.1)
+      // Hand the elementary update down to the manager: with the delta
+      // plane enabled, covered attribute writes are absorbed in place
+      // instead of invalidating (a no-op otherwise).
+      DeltaUpdate delta;
+      const DeltaUpdate* delta_ptr = nullptr;
+      if (update.kind == ElementaryUpdate::Kind::kSetAttribute) {
+        delta = {update.type, update.attr, update.old_value, update.value};
+        delta_ptr = &delta;
+      }
       if (level_ == NotifyLevel::kSchemaDep) {
         ++manager_calls_;
-        Latch(mgr_->Invalidate(update.oid, schema_dep));
+        Latch(mgr_->Invalidate(update.oid, schema_dep, delta_ptr));
       } else {
         // §5.2 / Figure 5: RelevFct := self.ObjDepFct ∩
         // SchemaDepFct(t.set_A) (\ CompensatedFct, §5.4 insert' rewrite).
@@ -73,7 +82,7 @@ void MaterializationNotifier::AfterElementaryUpdate(
         for (FunctionId f : compensated) relevant.erase(f);
         if (!relevant.empty()) {
           ++manager_calls_;
-          Latch(mgr_->Invalidate(update.oid, relevant));
+          Latch(mgr_->Invalidate(update.oid, relevant, delta_ptr));
         }
       }
     }

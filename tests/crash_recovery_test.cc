@@ -249,6 +249,7 @@ struct SweepTotals {
   size_t intents_discarded = 0;
   size_t remats_applied = 0;
   size_t remats_discarded = 0;
+  size_t deltas_seen = 0;
   size_t batches_discarded = 0;
   size_t rows_replayed = 0;
 
@@ -259,6 +260,7 @@ struct SweepTotals {
     intents_discarded += s.intents_discarded;
     remats_applied += s.remats_applied;
     remats_discarded += s.remats_discarded;
+    deltas_seen += s.deltas_seen;
     batches_discarded += s.batches_discarded;
     rows_replayed += s.rows_replayed;
   }
@@ -324,6 +326,26 @@ TEST(CrashRecoveryTest, LazySweepMatchesOracle) {
   // in-flight results (discard) and preserve durable ones (apply).
   EXPECT_GT(totals.remats_applied, 0u);
   EXPECT_GT(totals.intents_discarded, 0u);
+}
+
+TEST(CrashRecoveryTest, DeltaSweepMatchesOracle) {
+  // Delta maintenance on: covered vertex writes log kDeltaApply records —
+  // inside the write's intent region (unbatched) or inside EndBatch's
+  // flush…commit region (batched). Crash points land before, between and
+  // after them; replay must reconcile to the oracle either way.
+  SweepTotals totals;
+  GmrManagerOptions delta;
+  delta.enable_delta = true;
+  SweepCrashPoints(delta, /*seed=*/505, /*batch_chunk=*/1, 60, &totals);
+  SweepCrashPoints(delta, /*seed=*/606, /*batch_chunk=*/8, 60, &totals);
+
+  EXPECT_EQ(totals.crash_points, 120u);
+  EXPECT_GT(totals.records_replayed, 0u);
+  // The mixes must actually exercise delta-apply replay, and still hit the
+  // conservative paths (intent durable / commit lost) around it.
+  EXPECT_GT(totals.deltas_seen, 0u);
+  EXPECT_GT(totals.intents_discarded, 0u);
+  EXPECT_GT(totals.batches_discarded, 0u);
 }
 
 TEST(CrashRecoveryTest, RecoveryAfterCleanRunIsConsistent) {

@@ -1,0 +1,368 @@
+// Delta maintenance (derived update functions): the analyzer must classify
+// the geometric schema's functions correctly, covered updates must repair
+// stored results in place (bit-identical to the rematerialization they
+// replace), uncovered updates must fall back to invalidate + remat, and a
+// randomized update-storm property test must leave a delta-enabled stack in
+// exactly the state of a delta-disabled one — same extension, same query
+// answers — while performing strictly fewer rematerializations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "funclang/delta_analysis.h"
+#include "test_env.h"
+
+namespace gom {
+namespace {
+
+// --- Analyzer classification -------------------------------------------------
+
+class DeltaAnalysisTest : public ::testing::Test {
+ protected:
+  TestEnv env;
+  funclang::DeltaAnalyzer analyzer{&env.schema, &env.registry};
+
+  AttrId Attr(TypeId type, const std::string& name) {
+    auto r = env.schema.ResolveAttribute(type, name);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->first;
+  }
+};
+
+TEST_F(DeltaAnalysisTest, VolumeCompilesToScalarRecompute) {
+  const funclang::DeltaRule& rule = analyzer.Analyze(env.geo.volume);
+  ASSERT_EQ(rule.cls, funclang::DeltaClass::kScalarRecompute);
+  EXPECT_FALSE(rule.program.empty());
+  // Vertex coordinates are numeric leaves of the inlined dist chain.
+  for (const char* coord : {"X", "Y", "Z"}) {
+    EXPECT_TRUE(rule.Covers(env.schema, env.geo.vertex,
+                            Attr(env.geo.vertex, coord)))
+        << coord;
+  }
+  // The vertex references themselves change the accessed-object set, so
+  // they are traversed but never covered.
+  EXPECT_FALSE(
+      rule.Covers(env.schema, env.geo.cuboid, Attr(env.geo.cuboid, "V1")));
+  // An attribute outside the body is not covered either.
+  EXPECT_FALSE(
+      rule.Covers(env.schema, env.geo.cuboid, Attr(env.geo.cuboid, "Value")));
+}
+
+TEST_F(DeltaAnalysisTest, WeightInlinesThroughVolumeAndMaterial) {
+  const funclang::DeltaRule& rule = analyzer.Analyze(env.geo.weight);
+  ASSERT_EQ(rule.cls, funclang::DeltaClass::kScalarRecompute);
+  EXPECT_TRUE(rule.Covers(env.schema, env.geo.vertex,
+                          Attr(env.geo.vertex, "X")));
+  EXPECT_TRUE(rule.Covers(env.schema, env.geo.material,
+                          Attr(env.geo.material, "SpecWeight")));
+}
+
+TEST_F(DeltaAnalysisTest, TotalValueIsAggregateSum) {
+  const funclang::DeltaRule& rule = analyzer.Analyze(env.geo.total_value);
+  ASSERT_EQ(rule.cls, funclang::DeltaClass::kAggregateSum);
+  EXPECT_EQ(rule.agg_attr, Attr(env.geo.cuboid, "Value"));
+  EXPECT_TRUE(rule.Covers(env.schema, env.geo.cuboid,
+                          Attr(env.geo.cuboid, "Value")));
+}
+
+TEST_F(DeltaAnalysisTest, SumOverFunctionCallIsOpaque) {
+  // total_volume sums volume(c), not a plain element attribute: outside the
+  // provable fragment, so it keeps the paper's invalidate-then-remat path.
+  const funclang::DeltaRule& rule = analyzer.Analyze(env.geo.total_volume);
+  EXPECT_EQ(rule.cls, funclang::DeltaClass::kOpaque);
+  EXPECT_FALSE(rule.derivable());
+}
+
+// --- In-place repair on the volume GMR ---------------------------------------
+
+constexpr size_t kNumCuboids = 30;
+
+struct Fixture {
+  explicit Fixture(bool enable_delta) {
+    GmrManagerOptions options;
+    options.enable_delta = enable_delta;
+    env = std::make_unique<TestEnv>(150, options);
+    Rng rng(5);
+    iron = *env->geo.MakeMaterial(&env->om, "Iron", 7.86);
+    for (size_t i = 0; i < kNumCuboids; ++i) {
+      cuboids.push_back(*env->geo.MakeCuboid(&env->om,
+                                             rng.UniformDouble(1, 20),
+                                             rng.UniformDouble(1, 20),
+                                             rng.UniformDouble(1, 20), iron));
+    }
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(env->geo.cuboid)};
+    spec.functions = {env->geo.volume};
+    gmr = *env->mgr.Materialize(spec);
+    env->InstallNotifier(workload::NotifyLevel::kObjDep);
+  }
+
+  Value Oracle(Oid c) { return *env->interp.Invoke(env->geo.volume,
+                                                   {Value::Ref(c)}); }
+  Value Lookup(Oid c) {
+    return *env->mgr.ForwardLookup(env->geo.volume, {Value::Ref(c)});
+  }
+
+  std::unique_ptr<TestEnv> env;
+  Oid iron;
+  std::vector<Oid> cuboids;
+  GmrId gmr = kInvalidGmrId;
+};
+
+TEST(DeltaMaintenanceTest, CoveredWriteRepairsInPlaceWithoutRemat) {
+  Fixture fx(/*enable_delta=*/true);
+  Oid c = fx.cuboids[0];
+  Oid v1 = fx.env->om.GetAttribute(c, "V1")->as_ref();
+  uint64_t remats_before = fx.env->mgr.stats().rematerializations;
+
+  // Two covered writes: the first evaluates the compiled program against
+  // the base (and captures its leaves), the second replays from the capture.
+  ASSERT_TRUE(fx.env->om.SetAttribute(v1, "X", Value::Float(3.25)).ok());
+  ASSERT_TRUE(fx.env->om.SetAttribute(v1, "Y", Value::Float(1.5)).ok());
+
+  EXPECT_EQ(fx.env->mgr.stats().rematerializations, remats_before);
+  EXPECT_EQ(fx.env->mgr.stats().delta_applies, 2u);
+  EXPECT_EQ(fx.env->mgr.stats().delta_fallbacks, 0u);
+  // Bit-identical to what a remat would have stored.
+  EXPECT_EQ(fx.Lookup(c).ToString(), fx.Oracle(c).ToString());
+
+  Gmr* gmr = *fx.env->mgr.Get(fx.gmr);
+  EXPECT_EQ(gmr->maint_counters().delta_applies.load(), 2u);
+  EXPECT_EQ(gmr->maint_counters().fallbacks.load(), 0u);
+}
+
+TEST(DeltaMaintenanceTest, ReferenceRebindFallsBack) {
+  Fixture fx(/*enable_delta=*/true);
+  Oid c0 = fx.cuboids[0];
+  Oid c1 = fx.cuboids[1];
+  // Rebind c0's V1 to a vertex of another cuboid: the accessed-object set
+  // changes, so the delta plane must hand this to the remat path.
+  Oid other_v = fx.env->om.GetAttribute(c1, "V2")->as_ref();
+  ASSERT_TRUE(
+      fx.env->om.SetAttribute(c0, "V1", Value::Ref(other_v)).ok());
+
+  EXPECT_GT(fx.env->mgr.stats().delta_fallbacks, 0u);
+  EXPECT_EQ(fx.Lookup(c0).ToString(), fx.Oracle(c0).ToString());
+
+  // And a covered write through the *new* geometry still applies in place.
+  uint64_t applies = fx.env->mgr.stats().delta_applies;
+  ASSERT_TRUE(fx.env->om.SetAttribute(other_v, "X", Value::Float(7.0)).ok());
+  EXPECT_GT(fx.env->mgr.stats().delta_applies, applies);
+  EXPECT_EQ(fx.Lookup(c0).ToString(), fx.Oracle(c0).ToString());
+}
+
+TEST(DeltaMaintenanceTest, FlagOffKeepsPaperBehavior) {
+  Fixture fx(/*enable_delta=*/false);
+  Oid v1 = fx.env->om.GetAttribute(fx.cuboids[0], "V1")->as_ref();
+  uint64_t remats_before = fx.env->mgr.stats().rematerializations;
+  ASSERT_TRUE(fx.env->om.SetAttribute(v1, "X", Value::Float(2.0)).ok());
+  EXPECT_EQ(fx.env->mgr.stats().delta_applies, 0u);
+  EXPECT_EQ(fx.env->mgr.stats().rematerializations, remats_before + 1);
+}
+
+TEST(DeltaMaintenanceTest, BatchedStormCoalescesToOneApply) {
+  Fixture fx(/*enable_delta=*/true);
+  Oid c = fx.cuboids[0];
+  Oid v1 = fx.env->om.GetAttribute(c, "V1")->as_ref();
+  uint64_t remats_before = fx.env->mgr.stats().rematerializations;
+  {
+    GmrManager::UpdateBatch batch(&fx.env->mgr);
+    ASSERT_TRUE(fx.env->om.SetAttribute(v1, "X", Value::Float(1.0)).ok());
+    ASSERT_TRUE(fx.env->om.SetAttribute(v1, "Y", Value::Float(2.0)).ok());
+    ASSERT_TRUE(fx.env->om.SetAttribute(v1, "Z", Value::Float(3.0)).ok());
+    // A mid-batch lookup must already see the post-write value (the row is
+    // flagged invalid while the apply is pending, so this recomputes).
+    EXPECT_EQ(fx.Lookup(c).ToString(), fx.Oracle(c).ToString());
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  EXPECT_EQ(fx.env->mgr.stats().delta_applies, 3u);
+  EXPECT_EQ(fx.env->mgr.stats().rematerializations, remats_before + 1);
+  EXPECT_EQ(fx.Lookup(c).ToString(), fx.Oracle(c).ToString());
+}
+
+TEST(DeltaMaintenanceTest, UncoveredWriteInBatchSubsumesPendingDelta) {
+  Fixture fx(/*enable_delta=*/true);
+  Oid c0 = fx.cuboids[0];
+  Oid c1 = fx.cuboids[1];
+  Oid v1 = fx.env->om.GetAttribute(c0, "V1")->as_ref();
+  Oid other_v = fx.env->om.GetAttribute(c1, "V6")->as_ref();
+  {
+    GmrManager::UpdateBatch batch(&fx.env->mgr);
+    // Covered write parks a pending delta…
+    ASSERT_TRUE(fx.env->om.SetAttribute(v1, "X", Value::Float(4.0)).ok());
+    // …then an uncovered rebind of the same row must subsume it: only the
+    // full recomputation reads the final geometry.
+    ASSERT_TRUE(fx.env->om.SetAttribute(c0, "V1", Value::Ref(other_v)).ok());
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  EXPECT_EQ(fx.Lookup(c0).ToString(), fx.Oracle(c0).ToString());
+}
+
+// --- Aggregate sums ----------------------------------------------------------
+
+TEST(DeltaMaintenanceTest, AggregateSumAppliesRunningDelta) {
+  GmrManagerOptions options;
+  options.enable_delta = true;
+  TestEnv env(150, options);
+  Oid iron = *env.geo.MakeMaterial(&env.om, "Iron", 7.86);
+  // Integer-valued doubles keep the running sum exact, so equality against
+  // the from-scratch oracle is strict.
+  std::vector<Oid> cuboids;
+  Oid set = *env.om.CreateCollection(env.geo.valuables);
+  for (int i = 0; i < 6; ++i) {
+    Oid c = *env.geo.MakeCuboid(&env.om, 2, 3, 4, iron,
+                                /*value=*/double(10 * (i + 1)));
+    cuboids.push_back(c);
+    ASSERT_TRUE(env.om.InsertElement(set, Value::Ref(c)).ok());
+  }
+  GmrSpec spec;
+  spec.name = "total_value";
+  spec.arg_types = {TypeRef::Object(env.geo.valuables)};
+  spec.functions = {env.geo.total_value};
+  ASSERT_TRUE(env.mgr.Materialize(spec).ok());
+  env.InstallNotifier(workload::NotifyLevel::kObjDep);
+
+  uint64_t remats_before = env.mgr.stats().rematerializations;
+  Rng rng(17);
+  for (int round = 0; round < 20; ++round) {
+    Oid c = cuboids[rng.UniformInt(0, cuboids.size() - 1)];
+    double v = double(rng.UniformInt(0, 500));
+    ASSERT_TRUE(env.om.SetAttribute(c, "Value", Value::Float(v)).ok());
+  }
+  EXPECT_EQ(env.mgr.stats().rematerializations, remats_before);
+  EXPECT_EQ(env.mgr.stats().delta_applies, 20u);
+
+  auto got = env.mgr.ForwardLookup(env.geo.total_value, {Value::Ref(set)});
+  auto want = env.interp.Invoke(env.geo.total_value, {Value::Ref(set)});
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ(got->ToString(), want->ToString());
+}
+
+// --- Randomized storm property test ------------------------------------------
+
+/// Same mix as the batch-equivalence test, minus deletes: relevant writes,
+/// irrelevant writes, update storms and interleaved queries, optionally
+/// chunked into batches. Both runs of a comparison draw identically.
+Status RunMix(Fixture* fx, uint64_t seed, size_t steps, size_t batch_chunk,
+              std::vector<std::string>* query_log) {
+  static const char* kVertices[] = {"V1", "V2", "V4", "V5"};
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  Rng rng(seed);
+  size_t step = 0;
+  while (step < steps) {
+    size_t chunk = std::min(batch_chunk, steps - step);
+    std::unique_ptr<GmrManager::UpdateBatch> batch;
+    if (batch_chunk > 1) {
+      batch = std::make_unique<GmrManager::UpdateBatch>(&fx->env->mgr);
+    }
+    for (size_t i = 0; i < chunk; ++i, ++step) {
+      double pick = rng.UniformDouble(0, 1);
+      size_t idx = rng.UniformInt(0, fx->cuboids.size() - 1);
+      Oid c = fx->cuboids[idx];
+      if (pick < 0.45) {
+        const char* vertex = kVertices[rng.UniformInt(0, 3)];
+        const char* coord = kCoords[rng.UniformInt(0, 2)];
+        double v = rng.UniformDouble(0, 10);
+        Oid vo = fx->env->om.GetAttribute(c, vertex)->as_ref();
+        GOMFM_RETURN_IF_ERROR(
+            fx->env->om.SetAttribute(vo, coord, Value::Float(v)));
+      } else if (pick < 0.55) {
+        // Irrelevant write: set_Value is outside RelAttr(volume).
+        GOMFM_RETURN_IF_ERROR(fx->env->om.SetAttribute(
+            c, "Value", Value::Float(rng.UniformDouble(0, 100))));
+      } else if (pick < 0.62) {
+        // Uncovered relevant write: rebind a vertex reference.
+        size_t other = rng.UniformInt(0, fx->cuboids.size() - 1);
+        Oid ov = fx->env->om.GetAttribute(fx->cuboids[other], "V2")->as_ref();
+        GOMFM_RETURN_IF_ERROR(
+            fx->env->om.SetAttribute(c, "V2", Value::Ref(ov)));
+      } else if (pick < 0.80) {
+        auto v = fx->env->mgr.ForwardLookup(fx->env->geo.volume,
+                                            {Value::Ref(c)});
+        query_log->push_back(v.ok() ? v->ToString() : v.status().ToString());
+      } else {
+        // Update storm on one vertex.
+        const char* vertex = kVertices[rng.UniformInt(0, 3)];
+        Oid vo = fx->env->om.GetAttribute(c, vertex)->as_ref();
+        for (const char* coord : kCoords) {
+          GOMFM_RETURN_IF_ERROR(fx->env->om.SetAttribute(
+              vo, coord, Value::Float(rng.UniformDouble(0, 10))));
+        }
+      }
+    }
+    if (batch != nullptr) GOMFM_RETURN_IF_ERROR(batch->Commit());
+  }
+  return Status::Ok();
+}
+
+/// Canonical sorted dump of the GMR extension: args, results and validity.
+std::vector<std::string> ExtensionDump(Fixture* fx) {
+  Gmr* gmr = *fx->env->mgr.Get(fx->gmr);
+  std::vector<std::string> rows;
+  gmr->ForEachRow([&](RowId, const Gmr::Row& row) {
+    std::string line;
+    for (const Value& a : row.args) line += a.ToString() + "|";
+    line += "->";
+    for (size_t i = 0; i < row.results.size(); ++i) {
+      line += row.valid[i] ? row.results[i].ToString() : "<invalid>";
+      line += "|";
+    }
+    rows.push_back(std::move(line));
+    return true;
+  });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class DeltaEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(DeltaEquivalenceTest, StormMixMatchesRematPath) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const size_t batch_chunk = std::get<1>(GetParam());
+
+  Fixture off(/*enable_delta=*/false);
+  std::vector<std::string> off_queries;
+  ASSERT_TRUE(RunMix(&off, seed, 300, batch_chunk, &off_queries).ok());
+
+  Fixture on(/*enable_delta=*/true);
+  std::vector<std::string> on_queries;
+  ASSERT_TRUE(RunMix(&on, seed, 300, batch_chunk, &on_queries).ok());
+
+  // Bit-identical state and answers: the compiled programs mirror the
+  // interpreter's arithmetic exactly, so even floating-point results match.
+  EXPECT_EQ(ExtensionDump(&off), ExtensionDump(&on));
+  EXPECT_EQ(off_queries, on_queries);
+
+  const auto& s_off = off.env->mgr.stats();
+  const auto& s_on = on.env->mgr.stats();
+  EXPECT_GT(s_on.delta_applies, 0u);
+  EXPECT_LT(s_on.rematerializations, s_off.rematerializations);
+  EXPECT_EQ(s_off.delta_applies, 0u);
+
+  // Every valid row equals the oracle in both modes.
+  for (Fixture* fx : {&off, &on}) {
+    Gmr* gmr = *fx->env->mgr.Get(fx->gmr);
+    ASSERT_TRUE(gmr->CheckWellFormed().ok());
+    gmr->ForEachRow([&](RowId, const Gmr::Row& row) {
+      if (!row.valid[0]) return true;
+      EXPECT_EQ(row.results[0].ToString(),
+                fx->Oracle(row.args[0].as_ref()).ToString());
+      return true;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DeltaEquivalenceTest,
+    ::testing::Combine(::testing::Values(13, 131, 1313),
+                       ::testing::Values(size_t{1}, size_t{16})));
+
+}  // namespace
+}  // namespace gom
