@@ -1,0 +1,237 @@
+// Replication harness: wall-clock behavior of the WAL-shipping subsystem.
+//
+// Three questions, all answered with the in-process rig (the same machinery
+// the TCP daemons run, minus the sockets):
+//
+//   1. Replication lag — a primary runs the deterministic update/query mix
+//      in batches; after each batch the replica is behind by some number of
+//      WAL records. Reported: mean/max lag in records at batch end and the
+//      apply throughput (records/s) while the replica drains it.
+//
+//   2. Catch-up after a seeded partition — the ship link is severed at a
+//      known point, the primary keeps writing, then the replica reconnects
+//      (the rig's backoff/reconnect path, same as a real ship timeout) and
+//      replays the backlog. Reported: backlog size, wall-clock catch-up
+//      time, and whether it resumed by stream or re-bootstrapped.
+//
+//   3. Read scaling — with k converged replicas, forward lookups are spread
+//      round-robin across them from a single driver thread. Replicas answer
+//      from their own materialized extensions with no cross-node
+//      coordination, so per-query cost should stay flat as k grows — a
+//      regression here means replicas started sharing something. (Real
+//      aggregate scaling needs concurrent clients; see the TCP daemons.)
+//
+// `--quick` shrinks the sweep for CI smoke runs; `--out=<path>` writes a
+// JSON summary (BENCH_repl.json at the repo root is the tracked baseline).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "repl/rig.h"
+
+using namespace gom;
+using namespace gom::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct LagReport {
+  size_t batches = 0;
+  size_t ops_per_batch = 0;
+  double mean_lag_records = 0;
+  uint64_t max_lag_records = 0;
+  double apply_records_per_sec = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  const size_t lag_batches = args.quick ? 6 : 24;
+  const size_t lag_ops = args.quick ? 10 : 30;
+  const size_t partition_ops = args.quick ? 40 : 160;
+  const size_t read_queries = args.quick ? 2000 : 20000;
+  const std::vector<size_t> replica_counts =
+      args.quick ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4};
+
+  std::printf("# repl_harness — WAL-shipping lag, catch-up, read scaling\n\n");
+
+  // ---- 1. Replication lag --------------------------------------------
+  LagReport lag;
+  {
+    repl::RigOptions opts;
+    repl::ReplicationRig rig(opts);
+    if (!rig.setup.ok()) Fail(rig.setup, "lag rig setup");
+    if (!rig.AddReplica().ok()) Fail(Status::Internal("add"), "lag replica");
+    if (!rig.PumpUntilCaughtUp().ok())
+      Fail(Status::Internal("pump"), "lag bootstrap");
+
+    lag.batches = lag_batches;
+    lag.ops_per_batch = lag_ops;
+    uint64_t total_lag = 0;
+    double apply_ms = 0;
+    uint64_t applied_before = rig.replica(0).stats().records_applied;
+    for (size_t b = 0; b < lag_batches; ++b) {
+      Status mixed = rig.RunMix(lag_ops, 900 + b);
+      if (!mixed.ok()) Fail(mixed, "lag mix");
+      if (!rig.primary().wal->Flush().ok())
+        Fail(Status::Internal("flush"), "lag flush");
+      uint64_t behind =
+          rig.primary().wal->flushed_lsn() - rig.replica(0).applied_lsn();
+      total_lag += behind;
+      lag.max_lag_records = std::max(lag.max_lag_records, behind);
+      auto t0 = Clock::now();
+      Status pumped = rig.PumpUntilCaughtUp();
+      if (!pumped.ok()) Fail(pumped, "lag pump");
+      apply_ms += ElapsedMs(t0);
+    }
+    uint64_t applied =
+        rig.replica(0).stats().records_applied - applied_before;
+    lag.mean_lag_records =
+        static_cast<double>(total_lag) / static_cast<double>(lag_batches);
+    lag.apply_records_per_sec =
+        apply_ms > 0 ? 1000.0 * static_cast<double>(applied) / apply_ms : 0;
+    std::printf("lag: %zu batches x %zu ops, mean %.1f records behind, "
+                "max %llu, applied %llu records at %.0f records/s\n",
+                lag_batches, lag_ops, lag.mean_lag_records,
+                static_cast<unsigned long long>(lag.max_lag_records),
+                static_cast<unsigned long long>(applied),
+                lag.apply_records_per_sec);
+  }
+
+  // ---- 2. Catch-up after a seeded partition --------------------------
+  uint64_t partition_backlog = 0;
+  double catchup_ms = 0;
+  uint64_t partition_reconnects = 0;
+  uint64_t partition_snapshots = 0;
+  {
+    repl::RigOptions opts;
+    repl::ReplicationRig rig(opts);
+    if (!rig.setup.ok()) Fail(rig.setup, "partition rig setup");
+    if (!rig.AddReplica().ok())
+      Fail(Status::Internal("add"), "partition replica");
+    if (!rig.PumpUntilCaughtUp().ok())
+      Fail(Status::Internal("pump"), "partition bootstrap");
+
+    uint64_t reconnects_before = rig.reconnects(0);
+    uint64_t snaps_before = rig.replica(0).stats().snapshots_installed;
+    rig.link(0).Sever();
+    Status mixed = rig.RunMix(partition_ops, 4242);
+    if (!mixed.ok()) Fail(mixed, "partition mix");
+    if (!rig.primary().wal->Flush().ok())
+      Fail(Status::Internal("flush"), "partition flush");
+    partition_backlog =
+        rig.primary().wal->flushed_lsn() - rig.replica(0).applied_lsn();
+
+    auto t0 = Clock::now();
+    Status pumped = rig.PumpUntilCaughtUp();
+    if (!pumped.ok()) Fail(pumped, "partition catch-up");
+    catchup_ms = ElapsedMs(t0);
+    partition_reconnects = rig.reconnects(0) - reconnects_before;
+    partition_snapshots =
+        rig.replica(0).stats().snapshots_installed - snaps_before;
+    auto conv = rig.Converged();
+    if (!conv.ok() || !*conv)
+      Fail(Status::Internal("divergence"), "partition convergence");
+    std::printf("partition: %llu records backlogged, caught up in %.2f ms "
+                "(%llu reconnects, %llu snapshot re-bootstraps)\n",
+                static_cast<unsigned long long>(partition_backlog),
+                catchup_ms,
+                static_cast<unsigned long long>(partition_reconnects),
+                static_cast<unsigned long long>(partition_snapshots));
+  }
+
+  // ---- 3. Read qps vs replica count ----------------------------------
+  struct ReadPoint {
+    size_t replicas = 0;
+    size_t queries = 0;
+    double qps = 0;
+  };
+  std::vector<ReadPoint> read_points;
+  for (size_t k : replica_counts) {
+    repl::RigOptions opts;
+    repl::ReplicationRig rig(opts);
+    if (!rig.setup.ok()) Fail(rig.setup, "read rig setup");
+    for (size_t i = 0; i < k; ++i) {
+      if (!rig.AddReplica().ok())
+        Fail(Status::Internal("add"), "read replica");
+    }
+    Status mixed = rig.RunMix(30, 777);
+    if (!mixed.ok()) Fail(mixed, "read mix");
+    if (!rig.PumpUntilCaughtUp().ok())
+      Fail(Status::Internal("pump"), "read convergence");
+
+    // Query targets: cuboids that survived the mix (oids replicate
+    // verbatim, so the same oid works on every node).
+    std::vector<Oid> alive;
+    for (Oid c : rig.cuboids()) {
+      if (rig.primary().om.Exists(c)) alive.push_back(c);
+    }
+    if (alive.empty()) Fail(Status::Internal("no oids"), "read targets");
+
+    auto t0 = Clock::now();
+    for (size_t q = 0; q < read_queries; ++q) {
+      size_t r = q % k;
+      Oid target = alive[q % alive.size()];
+      auto res = rig.replica_env(r).mgr.ForwardLookup(
+          rig.replica_geo(r).volume, {Value::Ref(target)});
+      if (!res.ok()) Fail(res.status(), "replica read");
+    }
+    double ms = ElapsedMs(t0);
+    ReadPoint p;
+    p.replicas = k;
+    p.queries = read_queries;
+    p.qps = ms > 0 ? 1000.0 * static_cast<double>(read_queries) / ms : 0;
+    read_points.push_back(p);
+    std::printf("reads: %zu replicas, %zu queries, %.0f qps aggregate\n", k,
+                read_queries, p.qps);
+  }
+
+  if (args.out.size()) {
+    JsonWriter root;
+    root.Add("benchmark", std::string("repl_harness"));
+    root.Add("mode", std::string(args.quick ? "quick" : "full"));
+    {
+      JsonWriter w;
+      w.Add("batches", static_cast<uint64_t>(lag.batches));
+      w.Add("ops_per_batch", static_cast<uint64_t>(lag.ops_per_batch));
+      w.Add("mean_lag_records", lag.mean_lag_records);
+      w.Add("max_lag_records", lag.max_lag_records);
+      w.Add("apply_records_per_sec", lag.apply_records_per_sec);
+      root.AddRaw("lag", w.Render(2));
+    }
+    {
+      JsonWriter w;
+      w.Add("backlog_records", partition_backlog);
+      w.Add("catchup_ms", catchup_ms);
+      w.Add("reconnects", partition_reconnects);
+      w.Add("snapshot_rebootstraps", partition_snapshots);
+      root.AddRaw("partition", w.Render(2));
+    }
+    std::string arr = "[\n";
+    for (size_t i = 0; i < read_points.size(); ++i) {
+      JsonWriter w;
+      w.Add("replicas", static_cast<uint64_t>(read_points[i].replicas));
+      w.Add("queries", static_cast<uint64_t>(read_points[i].queries));
+      w.Add("qps", read_points[i].qps);
+      arr += "    " + w.Render(4);
+      arr += (i + 1 < read_points.size()) ? ",\n" : "\n";
+    }
+    arr += "  ]";
+    root.AddRaw("read_scaling", arr);
+    if (!root.WriteFile(args.out)) {
+      std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", args.out.c_str());
+  }
+  return 0;
+}

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kStale:
+      return "Stale";
   }
   return "Unknown";
 }

@@ -29,6 +29,11 @@ enum class StatusCode {
   /// full or per-connection in-flight cap hit). Retryable: the request was
   /// never executed, so re-issuing it is always safe.
   kOverloaded,
+  /// A replica could not satisfy the read's staleness bound (its applied
+  /// LSN is behind the requested `min_lsn`, or the result it holds is not
+  /// yet re-validated). Retryable: the replica keeps catching up, so the
+  /// same read succeeds once replay passes the bound.
+  kStale,
 };
 
 /// Returns a stable human-readable name for `code` ("Ok", "NotFound", ...).
@@ -75,6 +80,9 @@ class [[nodiscard]] Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Stale(std::string msg) {
+    return Status(StatusCode::kStale, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

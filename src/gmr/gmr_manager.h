@@ -245,6 +245,9 @@ class GmrManager {
   const DependencyTables& deps() const { return catalog_.deps(); }
   Rrr& rrr() { return catalog_.rrr(); }
   const Stats& stats() const { return stats_; }
+  /// Mutable access for external gauge owners (the WAL shipper publishes
+  /// its retention floor as `wal_oldest_needed_lsn`).
+  Stats& stats_mutable() { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
   /// Registers the RelAttr-derived SchemaDepFct entries for a *native*

@@ -29,6 +29,11 @@ struct GmrStats {
                                               // derived update function
   std::atomic<uint64_t> delta_fallbacks{0};   // delta plane enabled but the
                                               // update fell back to remat
+  /// Gauge (not a counter): the oldest WAL LSN still pinned by a consumer —
+  /// the slowest replica's acked position when shipping, else the last
+  /// retention floor. Records at or below it are truncatable. 0 = no
+  /// shipper attached / nothing pinned yet.
+  std::atomic<uint64_t> wal_oldest_needed_lsn{0};
 
   /// Plain-integer view (relaxed loads; the counters are monotonic, so any
   /// snapshot is a valid point in time).
@@ -48,6 +53,7 @@ struct GmrStats {
     uint64_t batch_flushes = 0;
     uint64_t delta_applies = 0;
     uint64_t delta_fallbacks = 0;
+    uint64_t wal_oldest_needed_lsn = 0;
   };
 
   Counters Snapshot() const {
@@ -68,6 +74,7 @@ struct GmrStats {
     c.batch_flushes = batch_flushes.load(kR);
     c.delta_applies = delta_applies.load(kR);
     c.delta_fallbacks = delta_fallbacks.load(kR);
+    c.wal_oldest_needed_lsn = wal_oldest_needed_lsn.load(kR);
     return c;
   }
 
@@ -88,6 +95,7 @@ struct GmrStats {
     batch_flushes.store(0, kR);
     delta_applies.store(0, kR);
     delta_fallbacks.store(0, kR);
+    wal_oldest_needed_lsn.store(0, kR);
   }
 };
 

@@ -3,6 +3,10 @@
 namespace gom {
 
 Status RecoveryManager::Recover(std::vector<GmrSpec> specs) {
+  return Recover(std::move(specs), kNullLsn);
+}
+
+Status RecoveryManager::Recover(std::vector<GmrSpec> specs, Lsn base_lsn) {
   stats_ = Stats();
   frames_.clear();
   // The surviving ObjDepFct marks describe the pre-crash RRR; both are
@@ -16,8 +20,19 @@ Status RecoveryManager::Recover(std::vector<GmrSpec> specs) {
       (void)id;
     }
     GOMFM_RETURN_IF_ERROR(wal_->Open());
-    return wal_->Replay(
-        [&](const WalRecord& rec) { return ReplayRecord(rec); });
+    if (wal_->oldest_lsn() > base_lsn + 1) {
+      return Status::FailedPrecondition(
+          "log was truncated past the recovery base: oldest surviving "
+          "record is " +
+          std::to_string(wal_->oldest_lsn()) + ", base is " +
+          std::to_string(base_lsn));
+    }
+    return wal_->Replay([&](const WalRecord& rec) {
+      // Records at or below the base are folded into the state the caller
+      // installed before recovering.
+      if (rec.lsn <= base_lsn) return Status::Ok();
+      return ReplayRecord(rec);
+    });
   }();
   mgr_->AttachWal(wal_);
   GOMFM_RETURN_IF_ERROR(replayed);
@@ -128,6 +143,24 @@ Status RecoveryManager::ReplayRecord(const WalRecord& rec) {
       WalPayloadReader r(rec.payload);
       GOMFM_ASSIGN_OR_RETURN(GmrId id, r.U32());
       return mgr_->InvalidateAllResults(id);
+    }
+    case WalRecordType::kObjPut:
+    case WalRecordType::kObjCreate: {
+      // Absolute base-object image: idempotent, applies immediately even
+      // inside an open region (the primary's base had already mutated when
+      // the record was written). During crash recovery the base survived,
+      // so the apply is a no-op rewrite; on a replica it is the mutation.
+      GOMFM_ASSIGN_OR_RETURN(std::optional<ObjImage> img,
+                             assembler_.Feed(rec.payload));
+      if (!img.has_value()) return Status::Ok();  // more parts to come
+      ++stats_.obj_images_applied;
+      return om_->ApplyReplicatedImage(img->oid, img->type, img->kind,
+                                       std::move(img->values));
+    }
+    case WalRecordType::kObjDelete: {
+      GOMFM_ASSIGN_OR_RETURN(Oid o, DecodeOidPayload(rec.payload));
+      ++stats_.obj_deletes_applied;
+      return om_->ApplyReplicatedDelete(o);
     }
   }
   return Status::Internal("unknown WAL record type");

@@ -5,6 +5,7 @@
 
 #include "gmr/gmr_manager.h"
 #include "gmr/wal_records.h"
+#include "gom/obj_wal_records.h"
 #include "gom/object_manager.h"
 #include "storage/wal.h"
 
@@ -60,10 +61,16 @@ class RecoveryManager {
     /// Reconciliation: missing combinations re-admitted as invalid rows.
     size_t rows_admitted = 0;
     size_t predicate_rechecks = 0;
+    /// Base-object records applied (replication streams / logs that carry
+    /// kObjPut/kObjCreate/kObjDelete).
+    size_t obj_images_applied = 0;
+    size_t obj_deletes_applied = 0;
   };
 
   /// All pointers must outlive the recovery manager. `mgr` must be freshly
-  /// constructed (no GMRs registered); `wal` not yet opened.
+  /// constructed (no GMRs registered); `wal` not yet opened. `wal` may be
+  /// nullptr for a manager used only for streaming apply (`ApplyRecord`) —
+  /// then `Recover` must not be called.
   RecoveryManager(GmrManager* mgr, ObjectManager* om, WriteAheadLog* wal)
       : mgr_(mgr), om_(om), wal_(wal) {}
 
@@ -76,6 +83,38 @@ class RecoveryManager {
   /// against the object base, and leaves `mgr` ready for new work with the
   /// log attached and positioned for appending.
   Status Recover(std::vector<GmrSpec> specs);
+
+  /// Variant for a segment-truncated log: records with `lsn <= base_lsn`
+  /// were folded into a snapshot the caller already installed (object base
+  /// + GMR extensions + RRR), so replay starts after them. Precondition:
+  /// the log still holds the record base_lsn + 1 (or is empty past it),
+  /// i.e. `oldest_lsn() <= base_lsn + 1` after Open — otherwise there is a
+  /// gap between the snapshot and the log and recovery refuses.
+  Status Recover(std::vector<GmrSpec> specs, Lsn base_lsn);
+
+  // --- Streaming apply (replication, replica side) --------------------------
+  //
+  // A replica drives the same replay machinery continuously: the shipped
+  // stream is the primary's durable log, delivered in LSN order. The
+  // replica's GmrManager must have *no* WAL attached (apply must not
+  // re-log), and the GMRs must be registered (empty extensions on a fresh
+  // replica — snapshot install fills them) before the first ApplyRecord.
+
+  /// Applies one shipped record, with exactly the crash-replay semantics
+  /// (regions buffer, commits apply, aborts discard).
+  Status ApplyRecord(const WalRecord& rec) { return ReplayRecord(rec); }
+
+  /// Regions still open when the stream breaks describe updates whose
+  /// outcome the replica never saw; promotion discards them (their
+  /// conservative invalidations already applied — over-invalidation is
+  /// safe).
+  void DiscardOpenRegions() { DiscardOpenFrames(); }
+
+  /// Promotion-time reconciliation: re-evaluates restriction predicates
+  /// (their RRR entries are never shipped), drops rows with dead argument
+  /// objects and re-completes complete extensions — the replica then
+  /// maintains its GMRs autonomously as a primary.
+  Status ReconcileAll() { return Reconcile(); }
 
   const Stats& stats() const { return stats_; }
 
@@ -100,6 +139,7 @@ class RecoveryManager {
   ObjectManager* om_;
   WriteAheadLog* wal_;
   std::vector<Frame> frames_;
+  ObjImageAssembler assembler_;
   Stats stats_;
 };
 

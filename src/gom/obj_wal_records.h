@@ -1,0 +1,136 @@
+#ifndef GOMFM_GOM_OBJ_WAL_RECORDS_H_
+#define GOMFM_GOM_OBJ_WAL_RECORDS_H_
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gom/object.h"
+#include "storage/wal.h"
+
+namespace gom {
+
+/// Codec for the base-object replication records (kObjPut / kObjCreate).
+///
+/// The image is the object's *payload* state — type, structure kind and the
+/// attribute values or elements — and deliberately excludes the ObjDepFct
+/// marks: the receiver rebuilds those from the maintenance records it
+/// replays (exactly as crash recovery does), so shipping them would fight
+/// the receiver's own bookkeeping.
+///
+/// WAL records never span pages, but a set- or list-structured object can
+/// outgrow one page; an image is therefore split into parts, each one WAL
+/// record framed `[oid u64][part u8][total u8][bytes]`. The parts of one
+/// image are appended back to back by the single WAL writer, and apply is
+/// deferred until the last part arrived.
+
+/// Inner image bytes (concatenation of all parts).
+inline std::vector<uint8_t> EncodeObjImageBytes(const Object& obj) {
+  WalPayloadWriter w;
+  w.U32(obj.type);
+  w.U8(static_cast<uint8_t>(obj.kind));
+  const std::vector<Value>& values =
+      obj.kind == StructKind::kTuple ? obj.fields : obj.elements;
+  w.U32(static_cast<uint32_t>(values.size()));
+  std::vector<uint8_t> bytes;
+  for (const Value& v : values) v.Serialize(&bytes);
+  w.Bytes(bytes);
+  return w.Take();
+}
+
+/// One decoded (fully assembled) object image.
+struct ObjImage {
+  Oid oid;
+  TypeId type = kInvalidTypeId;
+  StructKind kind = StructKind::kTuple;
+  std::vector<Value> values;  // fields (tuple) or elements (set/list)
+};
+
+inline Result<ObjImage> DecodeObjImageBytes(Oid oid,
+                                            const std::vector<uint8_t>& bytes) {
+  WalPayloadReader r(bytes);
+  ObjImage img;
+  img.oid = oid;
+  GOMFM_ASSIGN_OR_RETURN(img.type, r.U32());
+  GOMFM_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  if (kind > static_cast<uint8_t>(StructKind::kList)) {
+    return Status::InvalidArgument("object image: bad struct kind");
+  }
+  img.kind = static_cast<StructKind>(kind);
+  GOMFM_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  img.values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r.cursor(), r.end()));
+    img.values.push_back(std::move(v));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("object image: trailing bytes");
+  }
+  return img;
+}
+
+/// Splits an image into the per-record part payloads.
+inline std::vector<std::vector<uint8_t>> EncodeObjImageParts(
+    const Object& obj) {
+  // Comfortably under the WAL page capacity once frame overhead is added.
+  constexpr size_t kPartBytes = 3500;
+  std::vector<uint8_t> bytes = EncodeObjImageBytes(obj);
+  size_t total = (bytes.size() + kPartBytes - 1) / kPartBytes;
+  if (total == 0) total = 1;
+  std::vector<std::vector<uint8_t>> parts;
+  for (size_t p = 0; p < total; ++p) {
+    WalPayloadWriter w;
+    w.U64(obj.oid.raw);
+    w.U8(static_cast<uint8_t>(p));
+    w.U8(static_cast<uint8_t>(total));
+    size_t off = p * kPartBytes;
+    size_t len = std::min(kPartBytes, bytes.size() - off);
+    w.Bytes(std::vector<uint8_t>(bytes.begin() + static_cast<ptrdiff_t>(off),
+                                 bytes.begin() +
+                                     static_cast<ptrdiff_t>(off + len)));
+    parts.push_back(w.Take());
+  }
+  return parts;
+}
+
+/// Re-assembles part payloads into whole images. Feed() returns an engaged
+/// optional when `payload` completed an image. Parts of one object arrive
+/// back to back; an out-of-sequence part resets that object's buffer (the
+/// re-shipped stream will carry the parts again).
+class ObjImageAssembler {
+ public:
+  Result<std::optional<ObjImage>> Feed(const std::vector<uint8_t>& payload) {
+    WalPayloadReader r(payload);
+    GOMFM_ASSIGN_OR_RETURN(uint64_t raw, r.U64());
+    GOMFM_ASSIGN_OR_RETURN(uint8_t part, r.U8());
+    GOMFM_ASSIGN_OR_RETURN(uint8_t total, r.U8());
+    if (total == 0 || part >= total) {
+      return Status::InvalidArgument("object image: bad part header");
+    }
+    Oid oid(raw);
+    Partial& buf = partial_[oid];
+    if (part != buf.next_part) {
+      buf = Partial{};  // out of sequence: restart assembly
+      if (part != 0) return std::optional<ObjImage>();
+    }
+    buf.bytes.insert(buf.bytes.end(), *r.cursor(), r.end());
+    buf.next_part = static_cast<uint8_t>(part + 1);
+    if (buf.next_part < total) return std::optional<ObjImage>();
+    std::vector<uint8_t> bytes = std::move(buf.bytes);
+    partial_.erase(oid);
+    GOMFM_ASSIGN_OR_RETURN(ObjImage img, DecodeObjImageBytes(oid, bytes));
+    return std::optional<ObjImage>(std::move(img));
+  }
+
+ private:
+  struct Partial {
+    uint8_t next_part = 0;
+    std::vector<uint8_t> bytes;
+  };
+  std::unordered_map<Oid, Partial, OidHash> partial_;
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_GOM_OBJ_WAL_RECORDS_H_

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "gom/obj_wal_records.h"
+
 namespace gom {
 
 const std::vector<Oid> ObjectManager::kEmptyExtent;
@@ -132,6 +134,9 @@ Result<Oid> ObjectManager::CreateTuple(TypeId type, std::vector<Value> fields) {
     placement.chunks.push_back(rid);
   }
   Oid oid = obj.oid;
+  if (repl_log_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(LogImage(obj, WalRecordType::kObjCreate));
+  }
   objects_.emplace(oid, std::move(obj));
   placements_.emplace(oid, std::move(placement));
   if (extents_.size() <= type) extents_.resize(type + 1);
@@ -160,6 +165,9 @@ Result<Oid> ObjectManager::CreateCollection(TypeId type) {
     placement.chunks.push_back(rid);
   }
   Oid oid = obj.oid;
+  if (repl_log_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(LogImage(obj, WalRecordType::kObjCreate));
+  }
   objects_.emplace(oid, std::move(obj));
   placements_.emplace(oid, std::move(placement));
   if (extents_.size() <= type) extents_.resize(type + 1);
@@ -200,6 +208,12 @@ Status ObjectManager::Delete(Oid oid) {
   objects_.erase(oid);
   ++deleted_;
   clock_->Advance(cost_.cpu_object_op_seconds);
+  if (repl_log_ != nullptr) {
+    WalPayloadWriter w;
+    w.U64(oid.raw);
+    GOMFM_RETURN_IF_ERROR(repl_log_->Append(WalRecordType::kObjDelete,
+                                            w.Take()).status());
+  }
   return Status::Ok();
 }
 
@@ -300,6 +314,9 @@ Status ObjectManager::SetAttribute(Oid oid, AttrId attr, Value value) {
     if (notifier_ != nullptr) notifier_->AbortElementaryUpdate(update);
     return written;
   }
+  if (repl_log_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(LogImage(*obj, WalRecordType::kObjPut));
+  }
   update.value = &obj->fields[attr];
   update.old_value = &previous;
   if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
@@ -368,6 +385,9 @@ Status ObjectManager::InsertElement(Oid oid, Value element) {
     if (notifier_ != nullptr) notifier_->AbortElementaryUpdate(update);
     return written;
   }
+  if (repl_log_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(LogImage(*obj, WalRecordType::kObjPut));
+  }
   update.value = &obj->elements.back();
   if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
   return Status::Ok();
@@ -403,6 +423,9 @@ Status ObjectManager::RemoveElement(Oid oid, const Value& element) {
     obj->elements.insert(obj->elements.begin() + pos, std::move(removed));
     if (notifier_ != nullptr) notifier_->AbortElementaryUpdate(update);
     return written;
+  }
+  if (repl_log_ != nullptr) {
+    GOMFM_RETURN_IF_ERROR(LogImage(*obj, WalRecordType::kObjPut));
   }
   if (notifier_ != nullptr) notifier_->AfterElementaryUpdate(update);
   return Status::Ok();
@@ -467,6 +490,84 @@ Status ObjectManager::ClearAllUsedBy() {
     obj.obj_dep_fct.clear();
     GOMFM_RETURN_IF_ERROR(WriteBack(obj));
   }
+  return Status::Ok();
+}
+
+Status ObjectManager::LogImage(const Object& obj, WalRecordType type) {
+  for (auto& part : EncodeObjImageParts(obj)) {
+    GOMFM_RETURN_IF_ERROR(repl_log_->Append(type, std::move(part)).status());
+  }
+  return Status::Ok();
+}
+
+Status ObjectManager::ApplyReplicatedImage(Oid oid, TypeId type,
+                                           StructKind kind,
+                                           std::vector<Value> values) {
+  auto it = objects_.find(oid);
+  if (it != objects_.end()) {
+    Object& obj = it->second;
+    if (obj.type != type || obj.kind != kind) {
+      return Status::Internal("replicated image for " + oid.ToString() +
+                              " disagrees with the live object's type");
+    }
+    if (kind == StructKind::kTuple) {
+      obj.fields = std::move(values);
+    } else {
+      obj.elements = std::move(values);
+    }
+    return WriteBack(obj);
+  }
+
+  Object obj;
+  obj.oid = oid;
+  obj.type = type;
+  obj.kind = kind;
+  if (kind == StructKind::kTuple) {
+    obj.fields = std::move(values);
+  } else {
+    obj.elements = std::move(values);
+  }
+  SegmentId seg = SegmentFor(type);
+  Placement placement{seg, {}};
+  for (const auto& chunk : Chunk(PadToQuantum(obj.Serialize()))) {
+    GOMFM_ASSIGN_OR_RETURN(Rid rid, storage_->InsertRecord(seg, chunk));
+    placement.chunks.push_back(rid);
+  }
+  objects_.emplace(oid, std::move(obj));
+  placements_.emplace(oid, std::move(placement));
+  if (extents_.size() <= type) extents_.resize(type + 1);
+  extents_[type].push_back(oid);
+  if (next_oid_ <= oid.raw) next_oid_ = oid.raw + 1;
+  ++created_;
+  clock_->Advance(cost_.cpu_object_op_seconds);
+  return Status::Ok();
+}
+
+Status ObjectManager::ApplyReplicatedDelete(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::Ok();  // duplicate apply
+  Object& obj = it->second;
+  auto pit = placements_.find(oid);
+  assert(pit != placements_.end());
+  std::vector<Rid>& doomed = pit->second.chunks;
+  for (size_t i = 0; i < doomed.size(); ++i) {
+    Status deleted = storage_->DeleteRecord(doomed[i]);
+    if (!deleted.ok()) {
+      doomed.erase(doomed.begin(), doomed.begin() + i);
+      return deleted;
+    }
+  }
+  placements_.erase(pit);
+  std::vector<Oid>& extent = extents_[obj.type];
+  for (auto eit = extent.begin(); eit != extent.end(); ++eit) {
+    if (*eit == oid) {
+      extent.erase(eit);
+      break;
+    }
+  }
+  objects_.erase(it);
+  ++deleted_;
+  clock_->Advance(cost_.cpu_object_op_seconds);
   return Status::Ok();
 }
 

@@ -2,6 +2,7 @@
 #define GOMFM_GOM_OBJECT_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "gom/object.h"
 #include "gom/schema.h"
 #include "storage/storage_manager.h"
+#include "storage/wal.h"
 
 namespace gom {
 
@@ -157,6 +159,25 @@ class ObjectManager {
   Result<TypeId> TypeOf(Oid oid) const;
   bool Exists(Oid oid) const { return objects_.count(oid) > 0; }
 
+  /// Read-only walk over every live object, in no particular order and
+  /// without I/O charge (replication snapshot capture, digests). `cb`
+  /// returns false to stop. The object base must not mutate during the
+  /// walk.
+  void ForEachObject(const std::function<bool(const Object&)>& cb) const {
+    for (const auto& [oid, obj] : objects_) {
+      if (!cb(obj)) return;
+    }
+  }
+
+  /// Next OID the allocator would hand out (shipped in snapshots so a
+  /// promoted replica never re-issues a replicated OID).
+  uint64_t next_oid() const { return next_oid_; }
+
+  /// Raises the OID allocator floor (snapshot install; never lowers it).
+  void BumpNextOid(uint64_t at_least) {
+    if (next_oid_ < at_least) next_oid_ = at_least;
+  }
+
   /// Direct instances of `type`, in creation order.
   const std::vector<Oid>& ExtentExact(TypeId type) const;
 
@@ -175,6 +196,32 @@ class ObjectManager {
   /// surviving marks describe the pre-crash RRR, which is rebuilt from the
   /// log — replay re-marks exactly the entries it restores.
   Status ClearAllUsedBy();
+
+  // --- Replication shipping (opt-in) ----------------------------------------
+
+  /// Attaches the WAL that base-object changes are shipped through (nullptr
+  /// to detach). When attached, every successful create / delete /
+  /// elementary update appends kObjCreate / kObjDelete / kObjPut records
+  /// (absolute post-update images, see gom/obj_wal_records.h) so a replica
+  /// tailing the log can mirror the object base. Off by default — the WAL
+  /// traffic perturbs simulated I/O timing, so the single-node figures stay
+  /// bit-identical unless a shipper opts in. ObjDepFct-only write-backs
+  /// (Mark/Unmark/ClearAllUsedBy) are *not* shipped: marks are receiver-
+  /// local bookkeeping rebuilt from the maintenance records.
+  void AttachReplicationLog(WriteAheadLog* wal) { repl_log_ = wal; }
+  WriteAheadLog* replication_log() { return repl_log_; }
+
+  /// Replica-side apply of a kObjPut/kObjCreate image: creates the object
+  /// if absent (registering it in the type extent and bumping the oid
+  /// allocator past it) or replaces its payload state in place, preserving
+  /// the *local* ObjDepFct marks. Idempotent; never fires notifier hooks
+  /// and never logs.
+  Status ApplyReplicatedImage(Oid oid, TypeId type, StructKind kind,
+                              std::vector<Value> values);
+
+  /// Replica-side apply of kObjDelete. Idempotent (OK when already gone);
+  /// no notifier hooks, no logging.
+  Status ApplyReplicatedDelete(Oid oid);
 
   // --- Public-operation bracketing (§5.3) -----------------------------------
 
@@ -231,11 +278,16 @@ class ObjectManager {
 
   Status CheckValueConforms(const Value& value, const TypeRef& expected) const;
 
+  /// Appends the object's image (possibly several part records) to the
+  /// attached replication log.
+  Status LogImage(const Object& obj, WalRecordType type);
+
   Schema* schema_;
   StorageManager* storage_;
   SimClock* clock_;
   CostModel cost_;
   UpdateNotifier* notifier_ = nullptr;
+  WriteAheadLog* repl_log_ = nullptr;
 
   std::unordered_map<Oid, Object, OidHash> objects_;
   std::unordered_map<Oid, Placement, OidHash> placements_;

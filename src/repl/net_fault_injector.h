@@ -1,0 +1,191 @@
+#ifndef GOMFM_REPL_NET_FAULT_INJECTOR_H_
+#define GOMFM_REPL_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace gom::repl {
+
+/// Deterministic, seeded fault model for a replication link. Every frame
+/// the sender pushes gets an independent roll; the same seed and the same
+/// frame sequence always produce the same faults — the convergence sweep
+/// relies on this to make hundreds of fault schedules reproducible from a
+/// single integer.
+///
+/// Rates are evaluated in order: a frame is first rolled for a mid-frame
+/// cut (deliver a prefix, then sever the link), then for a drop, a
+/// corruption (one bit flipped — the CRC framing must reject it), a
+/// duplicate, a reorder (held back and emitted after the following frame)
+/// and a stall (held for `stall_drains` receiver polls).
+struct NetFaultOptions {
+  uint64_t seed = 1;
+  double cut_rate = 0;        // deliver a prefix, then sever
+  double drop_rate = 0;       // frame silently lost
+  double corrupt_rate = 0;    // one bit flipped somewhere in the frame
+  double duplicate_rate = 0;  // frame delivered twice
+  double reorder_rate = 0;    // frame swapped with its successor
+  double stall_rate = 0;      // frame delayed by `stall_drains` polls
+  uint32_t stall_drains = 3;
+};
+
+/// One direction of an in-process replication link: the sender enqueues
+/// complete wire frames, the fault model mangles them, and the receiver
+/// drains a byte stream (frames may arrive concatenated, truncated or not
+/// at all — exactly the contract of a TCP socket under failure).
+class FaultyLink {
+ public:
+  explicit FaultyLink(const NetFaultOptions& opts) : opts_(opts) {
+    state_ = opts_.seed != 0 ? opts_.seed : 0x9E3779B97F4A7C15ull;
+  }
+
+  struct Counters {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t cut = 0;
+    uint64_t dropped = 0;
+    uint64_t corrupted = 0;
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
+    uint64_t stalled = 0;
+  };
+
+  /// Sender side: enqueues one complete wire frame.
+  void Send(std::vector<uint8_t> frame) {
+    ++counters_.sent;
+    if (severed_) return;  // peer gone; bytes go nowhere
+    if (Roll(opts_.cut_rate)) {
+      ++counters_.cut;
+      size_t keep = frame.empty() ? 0 : Next() % frame.size();
+      frame.resize(keep);
+      Deliver(std::move(frame));
+      severed_ = true;
+      FlushHeld();
+      return;
+    }
+    if (Roll(opts_.drop_rate)) {
+      ++counters_.dropped;
+      FlushHeld();
+      return;
+    }
+    if (Roll(opts_.corrupt_rate) && !frame.empty()) {
+      ++counters_.corrupted;
+      size_t at = Next() % frame.size();
+      frame[at] ^= static_cast<uint8_t>(1u << (Next() % 8));
+    }
+    bool duplicate = Roll(opts_.duplicate_rate);
+    if (Roll(opts_.stall_rate)) {
+      ++counters_.stalled;
+      stalled_.push_back(Stalled{frame, opts_.stall_drains});
+      if (duplicate) stalled_.push_back(Stalled{frame, opts_.stall_drains});
+      FlushHeld();
+      return;
+    }
+    if (held_.has_value()) {
+      // The previously held frame goes out *after* this one.
+      Deliver(std::move(frame));
+      if (duplicate) {
+        ++counters_.duplicated;
+        // (duplicate of the current frame, emitted adjacent to it)
+        Deliver(std::vector<uint8_t>(delivered_.back()));
+      }
+      FlushHeld();
+      return;
+    }
+    if (Roll(opts_.reorder_rate)) {
+      ++counters_.reordered;
+      held_ = std::move(frame);
+      return;
+    }
+    Deliver(frame);
+    if (duplicate) {
+      ++counters_.duplicated;
+      Deliver(std::move(frame));
+    }
+  }
+
+  /// Receiver side: appends every deliverable byte to `*rx`. Returns false
+  /// when the link is severed (the receiver should reconnect — a fresh
+  /// link, or `Repair()` on this one).
+  bool Drain(std::vector<uint8_t>* rx) {
+    // Stalled frames age by one poll.
+    for (auto it = stalled_.begin(); it != stalled_.end();) {
+      if (it->drains_left == 0 || --it->drains_left == 0) {
+        Deliver(std::move(it->frame));
+        it = stalled_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& chunk : delivered_) {
+      rx->insert(rx->end(), chunk.begin(), chunk.end());
+    }
+    delivered_.clear();
+    return !severed_;
+  }
+
+  bool severed() const { return severed_; }
+
+  /// Deterministic partition: frames sent from here on go nowhere until the
+  /// receiver reconnects. The catch-up benchmark uses this to start an
+  /// outage at a known point instead of waiting for the RNG to cut the
+  /// link.
+  void Sever() {
+    severed_ = true;
+    FlushHeld();
+  }
+
+  /// Reconnect: in-flight bytes are gone (they belonged to the dead
+  /// connection) and the link carries frames again. The RNG state is *not*
+  /// reset — the fault schedule keeps advancing.
+  void Repair() {
+    severed_ = false;
+    delivered_.clear();
+    stalled_.clear();
+    held_.reset();
+  }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Stalled {
+    std::vector<uint8_t> frame;
+    uint32_t drains_left;
+  };
+
+  /// splitmix64 — tiny, seedable, good enough for fault scheduling.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  bool Roll(double rate) {
+    if (rate <= 0) return false;
+    return (Next() >> 11) * 0x1.0p-53 < rate;
+  }
+
+  void Deliver(std::vector<uint8_t> frame) {
+    ++counters_.delivered;
+    delivered_.push_back(std::move(frame));
+  }
+
+  void FlushHeld() {
+    if (held_.has_value() && !severed_) Deliver(std::move(*held_));
+    held_.reset();
+  }
+
+  NetFaultOptions opts_;
+  uint64_t state_;
+  bool severed_ = false;
+  std::deque<std::vector<uint8_t>> delivered_;
+  std::vector<Stalled> stalled_;
+  std::optional<std::vector<uint8_t>> held_;
+  Counters counters_;
+};
+
+}  // namespace gom::repl
+
+#endif  // GOMFM_REPL_NET_FAULT_INJECTOR_H_

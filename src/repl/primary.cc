@@ -1,0 +1,140 @@
+#include "repl/primary.h"
+
+#include <algorithm>
+
+namespace gom::repl {
+
+Result<std::vector<server::ReplMsg>> WalShipper::Connect(uint32_t replica_id,
+                                                         Lsn applied) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (env_->wal == nullptr) {
+    return Status::FailedPrecondition(
+        "replication needs a WAL-enabled primary (StorageOptions::"
+        "enable_wal)");
+  }
+  ReplicaState& st = replicas_[replica_id];
+  st.connected = true;
+  GOMFM_RETURN_IF_ERROR(env_->wal->Flush());
+  bool need_snapshot =
+      applied == kNullLsn || applied + 1 < env_->wal->oldest_lsn();
+  if (!need_snapshot) {
+    st.sent = applied;
+    st.acked = std::max(st.acked, applied);
+    GOMFM_RETURN_IF_ERROR(PublishFloorLocked());
+    return std::vector<server::ReplMsg>{};
+  }
+  GOMFM_ASSIGN_OR_RETURN(ReplSnapshot snap, CaptureSnapshot(env_));
+  std::vector<uint8_t> bytes = EncodeSnapshot(snap);
+  size_t chunk = opts_.snapshot_chunk_bytes > 0 ? opts_.snapshot_chunk_bytes
+                                                : 64 * 1024;
+  size_t nchunks = (bytes.size() + chunk - 1) / chunk;
+  std::vector<server::ReplMsg> train;
+  train.reserve(nchunks + 2);
+  server::ReplMsg begin;
+  begin.type = server::ReplMsgType::kSnapshotBegin;
+  begin.lsn = snap.lsn;
+  begin.seq = static_cast<uint32_t>(nchunks);
+  train.push_back(std::move(begin));
+  for (size_t i = 0; i < nchunks; ++i) {
+    server::ReplMsg m;
+    m.type = server::ReplMsgType::kSnapshotChunk;
+    m.seq = static_cast<uint32_t>(i);
+    size_t off = i * chunk;
+    size_t len = std::min(chunk, bytes.size() - off);
+    m.bytes.assign(bytes.begin() + off, bytes.begin() + off + len);
+    train.push_back(std::move(m));
+  }
+  server::ReplMsg end;
+  end.type = server::ReplMsgType::kSnapshotEnd;
+  end.lsn = snap.lsn;
+  end.seq = Crc32(bytes.data(), bytes.size());
+  train.push_back(std::move(end));
+  // Everything <= snap.lsn is folded into the snapshot: the cursor starts
+  // there and the pin may advance to it (a lost snapshot re-sends a fresh
+  // one, never old log records).
+  st.sent = snap.lsn;
+  st.acked = std::max(st.acked, snap.lsn);
+  ++st.snapshots_sent;
+  GOMFM_RETURN_IF_ERROR(PublishFloorLocked());
+  return train;
+}
+
+Result<std::optional<server::ReplMsg>> WalShipper::Poll(uint32_t replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (env_->wal == nullptr) {
+    return Status::FailedPrecondition("replication needs a WAL-enabled primary");
+  }
+  auto it = replicas_.find(replica_id);
+  if (it == replicas_.end() || !it->second.connected) {
+    return Status::FailedPrecondition("replica not connected");
+  }
+  ReplicaState& st = it->second;
+  GOMFM_RETURN_IF_ERROR(env_->wal->Flush());
+  GOMFM_ASSIGN_OR_RETURN(
+      std::vector<WalRecord> records,
+      env_->wal->ReadFlushedSince(st.sent, opts_.max_records_per_ship));
+  if (records.empty()) return std::optional<server::ReplMsg>{};
+  server::ReplMsg msg;
+  msg.type = server::ReplMsgType::kWalShip;
+  msg.lsn = env_->wal->flushed_lsn();
+  st.sent = records.back().lsn;
+  msg.records = std::move(records);
+  ++st.ship_batches;
+  return std::optional<server::ReplMsg>(std::move(msg));
+}
+
+Status WalShipper::Ack(uint32_t replica_id, Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find(replica_id);
+  if (it == replicas_.end()) {
+    return Status::FailedPrecondition("ack from unregistered replica");
+  }
+  it->second.acked = std::max(it->second.acked, lsn);
+  return PublishFloorLocked();
+}
+
+void WalShipper::Disconnect(uint32_t replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find(replica_id);
+  if (it != replicas_.end()) it->second.connected = false;
+}
+
+void WalShipper::Drop(uint32_t replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  replicas_.erase(replica_id);
+  // The floor may have risen; republish (a truncation error here is
+  // retried by the next ack).
+  (void)PublishFloorLocked();
+}
+
+Lsn WalShipper::retention_floor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FloorLocked();
+}
+
+Result<WalShipper::ReplicaState> WalShipper::state(
+    uint32_t replica_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find(replica_id);
+  if (it == replicas_.end()) return Status::NotFound("no such replica");
+  return it->second;
+}
+
+Lsn WalShipper::FloorLocked() const {
+  if (replicas_.empty()) return kNullLsn;
+  Lsn floor = ~0ull;
+  for (const auto& [id, st] : replicas_) floor = std::min(floor, st.acked);
+  return floor;
+}
+
+Status WalShipper::PublishFloorLocked() {
+  Lsn floor = FloorLocked();
+  env_->mgr.stats_mutable().wal_oldest_needed_lsn.store(
+      floor, std::memory_order_relaxed);
+  if (opts_.auto_truncate && floor != kNullLsn && env_->wal != nullptr) {
+    GOMFM_RETURN_IF_ERROR(env_->wal->TruncateUpTo(floor));
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom::repl

@@ -1,0 +1,106 @@
+#ifndef GOMFM_REPL_PRIMARY_H_
+#define GOMFM_REPL_PRIMARY_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "repl/snapshot.h"
+#include "server/wire.h"
+#include "workload/driver.h"
+
+namespace gom::repl {
+
+/// Primary-side shipping engine: tails the environment's WriteAheadLog and
+/// turns it into the replication protocol of `server/wire.h`. One shipper
+/// serves any number of replicas, each identified by a small integer; the
+/// TCP ship server and the in-process test rig both drive the same object.
+///
+/// Protocol per replica:
+///
+///   1. `Connect(id, applied)` — the replica's kHello. When the replica can
+///      resume from the log (its `applied + 1` is still retained) the
+///      shipper just positions the cursor; otherwise it returns a full
+///      snapshot message train (kSnapshotBegin / chunks / kSnapshotEnd).
+///   2. `Poll(id)` — flushes the WAL and returns the next kWalShip batch of
+///      records past the replica's cursor, or nothing when it is caught up.
+///   3. `Ack(id, lsn)` — the replica's durable applied position. The
+///      minimum over every registered replica is the *retention floor*:
+///      records at or below it are truncated away (and the
+///      `wal_oldest_needed_lsn` gauge updated).
+///
+/// `Disconnect` keeps the replica registered — a wobbling link must keep
+/// pinning retention, or the replica could never resume. `Drop` forgets it
+/// (the operator decommissioned the node; its pin is released).
+///
+/// Thread safety: all methods lock an internal mutex, so per-replica
+/// connection threads may call concurrently. Callers must keep writers
+/// quiet during `Connect` when it captures a snapshot (the TCP server holds
+/// its session-pool writer gate for that).
+class WalShipper {
+ public:
+  struct Options {
+    size_t snapshot_chunk_bytes = 64 * 1024;
+    /// Max records per kWalShip batch (bounds frame size well under
+    /// kMaxFrameBytes).
+    size_t max_records_per_ship = 256;
+    /// Truncate the log up to the retention floor as acks advance. Off
+    /// leaves the log whole (tests that re-read it from 1).
+    bool auto_truncate = true;
+  };
+
+  struct ReplicaState {
+    Lsn acked = kNullLsn;  // durable applied position (retention pin)
+    Lsn sent = kNullLsn;   // ship cursor: last record handed to the link
+    bool connected = false;
+    uint64_t snapshots_sent = 0;
+    uint64_t ship_batches = 0;
+  };
+
+  WalShipper(workload::Environment* env, Options opts)
+      : env_(env), opts_(opts) {}
+  explicit WalShipper(workload::Environment* env)
+      : WalShipper(env, Options()) {}
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  /// Handles a replica's kHello. Returns the snapshot message train when a
+  /// bootstrap is needed (`applied == 0`, or the resume point was truncated
+  /// away), or an empty vector when the replica resumes from the log.
+  Result<std::vector<server::ReplMsg>> Connect(uint32_t replica_id,
+                                               Lsn applied);
+
+  /// Next kWalShip batch for the replica, or nullopt when caught up.
+  Result<std::optional<server::ReplMsg>> Poll(uint32_t replica_id);
+
+  /// Records the replica's applied LSN, advances the retention floor and
+  /// (with `auto_truncate`) truncates the log up to it.
+  Status Ack(uint32_t replica_id, Lsn lsn);
+
+  /// Link loss: the replica stays registered and keeps pinning retention.
+  void Disconnect(uint32_t replica_id);
+
+  /// Decommission: forget the replica and release its retention pin.
+  void Drop(uint32_t replica_id);
+
+  /// Oldest LSN some replica still needs (kNullLsn when none registered —
+  /// nothing pinned).
+  Lsn retention_floor() const;
+
+  Result<ReplicaState> state(uint32_t replica_id) const;
+
+ private:
+  Lsn FloorLocked() const;
+  Status PublishFloorLocked();
+
+  workload::Environment* env_;
+  Options opts_;
+  mutable std::mutex mu_;
+  std::map<uint32_t, ReplicaState> replicas_;
+};
+
+}  // namespace gom::repl
+
+#endif  // GOMFM_REPL_PRIMARY_H_

@@ -1,0 +1,114 @@
+#ifndef GOMFM_REPL_REPLICA_H_
+#define GOMFM_REPL_REPLICA_H_
+
+#include <optional>
+#include <vector>
+
+#include "gmr/recovery.h"
+#include "repl/snapshot.h"
+#include "server/wire.h"
+#include "workload/driver.h"
+
+namespace gom::repl {
+
+/// Replica-side replication state machine. Owns the apply logic over a
+/// *fresh* environment: same schema, function registry and GMR
+/// registrations as the primary (registration order fixes the GmrIds the
+/// stream refers to), empty object base, and — critically — no WAL
+/// attached to the GMR manager, so applying shipped records never re-logs.
+///
+/// The contract with the link is *strict LSN order with retries*:
+///
+///   - a record with `lsn <= applied` is a duplicate — skipped silently
+///     (every shipped record is idempotent, but skipping is cheaper and
+///     keeps region bookkeeping exact),
+///   - `lsn == applied + 1` applies and advances,
+///   - anything beyond is a gap: the link lost a frame (or delivered one
+///     early), and `Handle` refuses with kOutOfRange. The caller tears the
+///     connection down and re-handshakes with `Hello()` — the primary
+///     re-ships from `applied + 1`, and replay converges because the
+///     already-applied prefix is skipped as duplicates.
+///
+/// Reads never mutate: forward reads go through `Gmr::ReadResult` (valid
+/// cached results only; an invalid result is `kStale`, since lazy
+/// rematerialization is the primary's job), backward reads require the
+/// whole column valid. Both honor the client's `min_lsn` staleness bound.
+///
+/// `Promote()` turns the replica into a writable primary: open replay
+/// regions are discarded (their conservative invalidations already
+/// applied), reconciliation re-checks what the stream cannot carry
+/// (restriction predicates, dead argument objects, completeness), and the
+/// update notifier is installed. After promotion the node refuses further
+/// shipped traffic.
+class ReplicaCore {
+ public:
+  struct Stats {
+    uint64_t snapshots_installed = 0;
+    uint64_t records_applied = 0;
+    uint64_t duplicates_skipped = 0;
+    uint64_t gaps_detected = 0;
+    uint64_t stale_reads = 0;
+  };
+
+  explicit ReplicaCore(workload::Environment* env)
+      : env_(env), recovery_(&env->mgr, &env->om, /*wal=*/nullptr) {}
+
+  ReplicaCore(const ReplicaCore&) = delete;
+  ReplicaCore& operator=(const ReplicaCore&) = delete;
+
+  /// The handshake message for a (re)connect.
+  server::ReplMsg Hello() const;
+
+  /// Feeds one decoded message from the primary. Returns the kWalAck to
+  /// send back when one is due (after a ship batch or a completed
+  /// snapshot). An error means the stream is unusable — reconnect (gaps,
+  /// chunk sequence violations) or reset the replica (snapshot over
+  /// existing state).
+  Result<std::optional<server::ReplMsg>> Handle(const server::ReplMsg& msg);
+
+  /// Forward query f(args) against the replicated state, provided the
+  /// replica has applied at least `min_lsn` (else kStale, retryable). A
+  /// cached-invalid result is also kStale — the replica cannot
+  /// rematerialize; an unmaterialized function evaluates plainly (reads
+  /// only).
+  Result<Value> ForwardRead(FunctionId f, std::vector<Value> args,
+                            Lsn min_lsn);
+
+  /// Backward range query over a complete materialized function; kStale
+  /// below `min_lsn` or while the column has invalid results.
+  Result<server::RowSet> BackwardRead(FunctionId f, double lo, double hi,
+                                      bool lo_inclusive, bool hi_inclusive,
+                                      Lsn min_lsn);
+
+  /// Failover: make this node a writable primary (idempotent).
+  Status Promote();
+
+  Lsn applied_lsn() const { return applied_; }
+  bool promoted() const { return promoted_; }
+  const Stats& stats() const { return stats_; }
+  const RecoveryManager::Stats& apply_stats() const {
+    return recovery_.stats();
+  }
+
+ private:
+  Result<std::optional<server::ReplMsg>> HandleShip(
+      const server::ReplMsg& msg);
+  server::ReplMsg AckMsg() const;
+
+  workload::Environment* env_;
+  RecoveryManager recovery_;
+  Lsn applied_ = kNullLsn;
+  bool promoted_ = false;
+  Stats stats_;
+
+  // Snapshot assembly (between kSnapshotBegin and kSnapshotEnd).
+  bool snap_active_ = false;
+  Lsn snap_lsn_ = kNullLsn;
+  uint32_t snap_expected_chunks_ = 0;
+  uint32_t snap_next_chunk_ = 0;
+  std::vector<uint8_t> snap_bytes_;
+};
+
+}  // namespace gom::repl
+
+#endif  // GOMFM_REPL_REPLICA_H_

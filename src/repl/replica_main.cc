@@ -1,0 +1,369 @@
+// gomfm_replica — a WAL-shipping replica daemon.
+//
+// Boots an empty cuboid stack with ⟨⟨volume⟩⟩ registered, connects to the
+// primary's ship port, bootstraps (snapshot or log resume) and replays the
+// shipped WAL continuously, while serving forward/backward reads on its
+// own query port through the replica read hooks (staleness-bounded,
+// kStale when behind a client's min_lsn). The ship link reconnects with
+// capped exponential backoff and resumes from the applied LSN, so link
+// faults cost catch-up time, never correctness.
+//
+// SIGUSR1 promotes: replay state is reconciled, the update notifier is
+// installed, and the node refuses further shipped traffic — it is now a
+// writable primary (failover drills point clients at its query port).
+// SIGTERM/SIGINT drain and exit.
+//
+// Flags:
+//   --primary-port=N        the primary's ship port (required)
+//   --port=N                query listen port (default 0 = ephemeral)
+//   --id=N                  stable replica id (default 1); keep it unique
+//                           per replica and stable across restarts — WAL
+//                           retention pins key on it
+//   --workers=N             query worker threads (default 4)
+//   --backoff-max-ms=N      reconnect backoff cap (default 2000)
+//   --chaos-disconnect-ms=N sever the ship link every ~N ms (default 0 =
+//                           off; the CI smoke uses this to exercise
+//                           mid-storm reconnects)
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "repl/replica.h"
+#include "repl/snapshot.h"
+#include "server/server.h"
+#include "workload/stack.h"
+
+using namespace gom;
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTerm(int) {
+  char byte = 'q';
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+void OnPromote(int) {
+  char byte = 'p';
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+long FlagValue(int argc, char** argv, const char* name, long fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtol(arg.substr(prefix.size()).c_str(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Blocking loopback connect; -1 on failure. The ship link tolerates a
+/// plain connect (the primary either accepts or refuses immediately on
+/// loopback); retry pacing lives in the caller's backoff.
+int ConnectShip(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendMsg(int fd, const server::ReplMsg& msg) {
+  std::vector<uint8_t> frame;
+  server::EncodeReplMsg(msg, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+struct ShipLoopArgs {
+  workload::CompanyStack* stack;
+  repl::ReplicaCore* core;
+  uint16_t primary_port;
+  uint32_t replica_id;
+  long backoff_max_ms;
+  long chaos_ms;
+  std::atomic<bool>* stop;
+};
+
+/// The replication pump: connect → Hello(applied) → apply everything the
+/// primary ships, under the pool gate held exclusively (readers see storm
+/// boundaries, never a half-applied batch). Any stream trouble tears the
+/// connection down and reconnects with capped exponential backoff; the
+/// strict-LSN apply contract makes re-shipped records idempotent.
+void ShipLoop(ShipLoopArgs a) {
+  constexpr size_t kRecvChunk = 64 * 1024;
+  long backoff_ms = 50;
+  bool caught_up = false;
+
+  while (!a.stop->load() && !a.core->promoted()) {
+    int fd = ConnectShip(a.primary_port);
+    if (fd < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, a.backoff_max_ms);
+      continue;
+    }
+    server::ReplMsg hello = a.core->Hello();
+    hello.seq = a.replica_id;
+    if (!SendMsg(fd, hello)) {
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, a.backoff_max_ms);
+      continue;
+    }
+
+    int64_t conn_start = NowMs();
+    std::vector<uint8_t> rx;
+    std::vector<uint8_t> chunk(kRecvChunk);
+    bool broken = false;
+    while (!broken && !a.stop->load() && !a.core->promoted()) {
+      if (a.chaos_ms > 0 && NowMs() - conn_start >= a.chaos_ms) {
+        break;  // chaos sever: drop the link mid-stream, reconnect
+      }
+      pollfd p{fd, POLLIN, 0};
+      int r = ::poll(&p, 1, 100);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (r == 0) continue;
+      ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // primary gone: reconnect
+      }
+      rx.insert(rx.end(), chunk.begin(), chunk.begin() + n);
+      while (!broken) {
+        std::vector<uint8_t> payload;
+        auto consumed = server::TryDecodeFrame(rx.data(), rx.size(), &payload);
+        if (!consumed.ok()) {
+          broken = true;
+          break;
+        }
+        if (*consumed == 0) break;
+        rx.erase(rx.begin(), rx.begin() + *consumed);
+        auto msg = server::DecodeReplMsg(payload);
+        if (!msg.ok()) {
+          broken = true;
+          break;
+        }
+        Result<std::optional<server::ReplMsg>> ack =
+            Status::Internal("unreached");
+        {
+          workload::SessionPool::WriterLock lock(
+              a.stack->env.session_pool.get());
+          ack = a.core->Handle(*msg);
+        }
+        if (!ack.ok()) {
+          // Gap, checksum mismatch, snapshot-over-state: all stream-level
+          // trouble. Reconnect; Hello(applied) resumes (or re-bootstraps).
+          broken = true;
+          break;
+        }
+        if (ack->has_value() && !SendMsg(fd, **ack)) {
+          broken = true;
+          break;
+        }
+        // Catch-up transition: the primary stamps its flushed LSN on
+        // kWalShip (and the snapshot LSN on kSnapshotEnd); reaching it
+        // means zero replication lag right now.
+        if (msg->type == server::ReplMsgType::kWalShip ||
+            msg->type == server::ReplMsgType::kSnapshotEnd) {
+          bool at_head = a.core->applied_lsn() != kNullLsn &&
+                         a.core->applied_lsn() >= msg->lsn;
+          if (at_head && !caught_up) {
+            uint32_t digest = 0;
+            {
+              std::shared_lock<std::shared_mutex> gate(
+                  a.stack->env.session_pool->gate());
+              auto d = repl::StateDigest(&a.stack->env);
+              if (d.ok()) digest = *d;
+            }
+            std::printf("gomfm_replica caught up digest %08x lsn %llu\n",
+                        digest,
+                        static_cast<unsigned long long>(
+                            a.core->applied_lsn()));
+            std::fflush(stdout);
+          }
+          caught_up = at_head;
+        }
+        backoff_ms = 50;  // progress: reset the reconnect backoff
+      }
+    }
+    ::close(fd);
+    if (!a.stop->load() && !a.core->promoted()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, a.backoff_max_ms);
+      caught_up = false;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long primary_port = FlagValue(argc, argv, "primary-port", 0);
+  long port = FlagValue(argc, argv, "port", 0);
+  long id = FlagValue(argc, argv, "id", 1);
+  long workers = FlagValue(argc, argv, "workers", 4);
+  long backoff_max = FlagValue(argc, argv, "backoff-max-ms", 2000);
+  long chaos_ms = FlagValue(argc, argv, "chaos-disconnect-ms", 0);
+  if (primary_port <= 0 || primary_port > 65535) {
+    std::fprintf(stderr, "FAILED: --primary-port=N is required\n");
+    return 1;
+  }
+
+  // Fresh replica environment: schema + ⟨⟨volume⟩⟩ registered, base empty,
+  // NO WAL (apply must not re-log) and NO notifier (installed at
+  // promotion) — the contract InstallSnapshot enforces.
+  workload::StackOptions opts;
+  opts.buffer_pages = 4096;
+  opts.num_cuboids = 0;
+  opts.materialize_volume = true;
+  opts.notify = false;
+  auto stack = workload::MakeCompanyStack(opts);
+  if (!stack->setup.ok()) {
+    std::fprintf(stderr, "FAILED (stack setup): %s\n",
+                 stack->setup.ToString().c_str());
+    return 1;
+  }
+  repl::ReplicaCore core(&stack->env);
+
+  // Prime the session pool so its gate exists before the ship thread and
+  // the read hooks race to take it.
+  stack->env.ReleaseSession(stack->env.MakeSession());
+
+  auto hooks = std::make_shared<server::ReadHooks>();
+  workload::Environment* env = &stack->env;
+  repl::ReplicaCore* core_ptr = &core;
+  hooks->forward = [env, core_ptr](FunctionId f, std::vector<Value> args,
+                                   Lsn min_lsn) -> Result<Value> {
+    std::shared_lock<std::shared_mutex> gate(env->session_pool->gate());
+    return core_ptr->ForwardRead(f, std::move(args), min_lsn);
+  };
+  hooks->backward = [env, core_ptr](FunctionId f, double lo, double hi,
+                                    bool lo_inc, bool hi_inc,
+                                    Lsn min_lsn) -> Result<server::RowSet> {
+    std::shared_lock<std::shared_mutex> gate(env->session_pool->gate());
+    return core_ptr->BackwardRead(f, lo, hi, lo_inc, hi_inc, min_lsn);
+  };
+
+  server::ServerOptions sopts;
+  sopts.port = static_cast<uint16_t>(port);
+  sopts.num_workers = static_cast<size_t>(workers > 0 ? workers : 1);
+  sopts.read_hooks = hooks;
+  server::Server server(&stack->env, sopts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAILED (start): %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("gomfm_replica listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "FAILED (pipe): %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnTerm;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sp{};
+  sp.sa_handler = OnPromote;
+  sigaction(SIGUSR1, &sp, nullptr);
+
+  std::atomic<bool> stop{false};
+  ShipLoopArgs args{stack.get(),
+                    &core,
+                    static_cast<uint16_t>(primary_port),
+                    static_cast<uint32_t>(id),
+                    backoff_max > 0 ? backoff_max : 2000,
+                    chaos_ms,
+                    &stop};
+  std::thread shipper(ShipLoop, args);
+
+  bool quit = false;
+  while (!quit) {
+    pollfd p{g_signal_pipe[0], POLLIN, 0};
+    int r = poll(&p, 1, -1);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) continue;
+    char byte = 0;
+    if (read(g_signal_pipe[0], &byte, 1) != 1) continue;
+    if (byte == 'p') {
+      if (core.promoted()) continue;
+      Status pst;
+      {
+        workload::SessionPool::WriterLock lock(stack->env.session_pool.get());
+        pst = core.Promote();
+      }
+      if (!pst.ok()) {
+        std::fprintf(stderr, "FAILED (promote): %s\n", pst.ToString().c_str());
+        quit = true;
+        continue;
+      }
+      std::printf("gomfm_replica promoted at lsn %llu\n",
+                  static_cast<unsigned long long>(core.applied_lsn()));
+      std::fflush(stdout);
+      // Keep serving: the node is now the writable primary. The ship
+      // thread exits on its own (promoted() gate).
+    } else {
+      quit = true;
+    }
+  }
+
+  stop.store(true);
+  if (shipper.joinable()) shipper.join();
+  server.Stop();
+  std::printf("gomfm_replica drained: applied lsn %llu, %s\n",
+              static_cast<unsigned long long>(core.applied_lsn()),
+              core.promoted() ? "promoted" : "replica");
+  const repl::ReplicaCore::Stats& rs = core.stats();
+  std::printf(
+      "gomfm_replica stats: snapshots %llu, records %llu, dups %llu, "
+      "gaps %llu\n",
+      static_cast<unsigned long long>(rs.snapshots_installed),
+      static_cast<unsigned long long>(rs.records_applied),
+      static_cast<unsigned long long>(rs.duplicates_skipped),
+      static_cast<unsigned long long>(rs.gaps_detected));
+  return 0;
+}

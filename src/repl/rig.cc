@@ -1,0 +1,236 @@
+#include "repl/rig.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace gom::repl {
+
+ReplicationRig::ReplicationRig(RigOptions opts) : opts_(opts) {
+  StorageOptions storage;
+  storage.enable_wal = true;
+  primary_ = std::make_unique<Node>(opts_, storage);
+  setup = [&]() -> Status {
+    Node& p = *primary_;
+    GOMFM_ASSIGN_OR_RETURN(
+        p.geo, workload::CuboidSchema::Declare(&p.env.schema,
+                                               &p.env.registry));
+    Rng rng(opts_.populate_seed);
+    GOMFM_ASSIGN_OR_RETURN(iron_,
+                           p.geo.MakeMaterial(&p.env.om, "Iron", 7.86));
+    for (size_t i = 0; i < opts_.num_cuboids; ++i) {
+      GOMFM_ASSIGN_OR_RETURN(
+          Oid c, p.geo.MakeCuboid(&p.env.om, rng.UniformDouble(1, 20),
+                                  rng.UniformDouble(1, 20),
+                                  rng.UniformDouble(1, 20), iron_));
+      p.cuboids.push_back(c);
+    }
+    GOMFM_ASSIGN_OR_RETURN(p.volume_gmr,
+                           p.env.mgr.Materialize(workload::VolumeSpec(p.geo)));
+    p.env.InstallNotifier(workload::NotifyLevel::kObjDep);
+    GOMFM_RETURN_IF_ERROR(p.env.wal->Flush());
+    // From here every base-object mutation ships absolute images through
+    // the log alongside the GMR maintenance records.
+    p.env.om.AttachReplicationLog(p.env.wal.get());
+    shipper_ = std::make_unique<WalShipper>(&p.env, opts_.ship);
+    return Status::Ok();
+  }();
+}
+
+Result<size_t> ReplicationRig::AddReplica() {
+  NetFaultOptions fopts = opts_.faults;
+  fopts.seed = opts_.faults.seed + replicas_.size() + 1;
+  auto r = std::make_unique<Replica>(
+      opts_, static_cast<uint32_t>(replicas_.size() + 1), fopts);
+  GOMFM_ASSIGN_OR_RETURN(
+      r->geo, workload::CuboidSchema::Declare(&r->env.schema,
+                                              &r->env.registry));
+  // Materializing over the empty extent registers the same GmrIds the
+  // primary's stream refers to, with empty extensions.
+  GOMFM_ASSIGN_OR_RETURN(r->volume_gmr,
+                         r->env.mgr.Materialize(workload::VolumeSpec(r->geo)));
+  r->core = std::make_unique<ReplicaCore>(&r->env);
+  replicas_.push_back(std::move(r));
+  return replicas_.size() - 1;
+}
+
+void ReplicationRig::Ship(Replica& r, const server::ReplMsg& msg) {
+  std::vector<uint8_t> frame;
+  server::EncodeReplMsg(msg, &frame);
+  r.link.Send(std::move(frame));
+}
+
+void ReplicationRig::Reconnect(Replica& r) {
+  r.connected = false;
+  shipper_->Disconnect(r.id);
+  r.link.Repair();
+  r.rx.clear();
+  r.idle = 0;
+  ++r.reconnects;
+  size_t shift = std::min<size_t>(r.attempts, 6);
+  r.backoff_left =
+      std::min<size_t>(size_t{1} << shift, opts_.max_backoff_rounds);
+  ++r.attempts;
+}
+
+Status ReplicationRig::ProcessInbound(Replica& r, bool* progressed) {
+  bool alive = r.link.Drain(&r.rx);
+  while (r.connected) {
+    std::vector<uint8_t> payload;
+    auto consumed = server::TryDecodeFrame(r.rx.data(), r.rx.size(), &payload);
+    if (!consumed.ok()) {
+      // Corrupt or desynchronized stream: a real socket would be closed
+      // here, so the rig does the same.
+      Reconnect(r);
+      return Status::Ok();
+    }
+    if (*consumed == 0) break;
+    r.rx.erase(r.rx.begin(), r.rx.begin() + *consumed);
+    auto msg = server::DecodeReplMsg(payload);
+    if (!msg.ok()) {
+      Reconnect(r);
+      return Status::Ok();
+    }
+    auto ack = r.core->Handle(*msg);
+    if (!ack.ok()) {
+      // Gap, chunk-sequence violation, checksum mismatch: the stream is
+      // unusable; re-handshake from the durable applied position.
+      Reconnect(r);
+      return Status::Ok();
+    }
+    *progressed = true;
+    if (ack->has_value()) {
+      // Acks ride the reliable return path (losing one only delays
+      // retention, so the injector has nothing interesting to say there).
+      GOMFM_RETURN_IF_ERROR(shipper_->Ack(r.id, (*ack)->lsn));
+    }
+  }
+  if (!alive && r.connected) Reconnect(r);
+  return Status::Ok();
+}
+
+Status ReplicationRig::StepReplica(Replica& r) {
+  if (r.core->promoted()) return Status::Ok();
+  if (!r.connected) {
+    if (r.backoff_left > 0) {
+      --r.backoff_left;
+      return Status::Ok();
+    }
+    GOMFM_ASSIGN_OR_RETURN(std::vector<server::ReplMsg> train,
+                           shipper_->Connect(r.id, r.core->applied_lsn()));
+    r.connected = true;
+    r.idle = 0;
+    for (const server::ReplMsg& m : train) Ship(r, m);
+  }
+  GOMFM_ASSIGN_OR_RETURN(std::optional<server::ReplMsg> msg,
+                         shipper_->Poll(r.id));
+  if (msg.has_value()) Ship(r, *msg);
+  bool progressed = false;
+  GOMFM_RETURN_IF_ERROR(ProcessInbound(r, &progressed));
+  if (!r.connected) return Status::Ok();
+  if (progressed) {
+    r.idle = 0;
+    r.attempts = 0;
+    return Status::Ok();
+  }
+  if (r.core->applied_lsn() < primary_->env.wal->flushed_lsn() &&
+      ++r.idle >= opts_.idle_rounds_before_reconnect) {
+    // Behind but starved: frames were lost with nothing after them to
+    // expose the gap. A real replica's ship timeout fires here.
+    Reconnect(r);
+  }
+  return Status::Ok();
+}
+
+Status ReplicationRig::Step() {
+  for (auto& r : replicas_) {
+    GOMFM_RETURN_IF_ERROR(StepReplica(*r));
+  }
+  return Status::Ok();
+}
+
+Status ReplicationRig::PumpUntilCaughtUp(size_t max_rounds) {
+  GOMFM_RETURN_IF_ERROR(primary_->env.wal->Flush());
+  Lsn target = primary_->env.wal->flushed_lsn();
+  for (size_t round = 0; round < max_rounds; ++round) {
+    bool all_caught_up = true;
+    for (auto& r : replicas_) {
+      if (!r->core->promoted() && r->core->applied_lsn() < target) {
+        all_caught_up = false;
+        break;
+      }
+    }
+    if (all_caught_up) return Status::Ok();
+    GOMFM_RETURN_IF_ERROR(Step());
+  }
+  return Status::Internal("replicas failed to catch up within " +
+                          std::to_string(max_rounds) + " pump rounds");
+}
+
+Result<bool> ReplicationRig::Converged() {
+  GOMFM_ASSIGN_OR_RETURN(uint32_t want, StateDigest(&primary_->env));
+  for (auto& r : replicas_) {
+    GOMFM_ASSIGN_OR_RETURN(uint32_t got, StateDigest(&r->env));
+    if (got != want) return false;
+  }
+  return true;
+}
+
+Status ReplicationRig::RunMix(size_t steps, uint64_t seed) {
+  static const char* kVertices[] = {"V1", "V2", "V4", "V5"};
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  Node& p = *primary_;
+  Rng rng(seed);
+  std::set<Oid> deleted;
+  for (size_t step = 0; step < steps; ++step) {
+    double pick = rng.UniformDouble(0, 1);
+    size_t idx = rng.UniformInt(0, p.cuboids.size() - 1);
+    Oid c = p.cuboids[idx];
+    bool alive = deleted.count(c) == 0 && p.env.om.Exists(c);
+    if (pick < 0.35) {
+      // Relevant write: vertex coordinate ∈ RelAttr(volume).
+      if (!alive) continue;
+      const char* vertex = kVertices[rng.UniformInt(0, 3)];
+      const char* coord = kCoords[rng.UniformInt(0, 2)];
+      double v = rng.UniformDouble(1, 10);
+      GOMFM_ASSIGN_OR_RETURN(Value vo, p.env.om.GetAttribute(c, vertex));
+      GOMFM_RETURN_IF_ERROR(
+          p.env.om.SetAttribute(vo.as_ref(), coord, Value::Float(v)));
+    } else if (pick < 0.50) {
+      // Update storm on one vertex.
+      if (!alive) continue;
+      const char* vertex = kVertices[rng.UniformInt(0, 3)];
+      GOMFM_ASSIGN_OR_RETURN(Value vo, p.env.om.GetAttribute(c, vertex));
+      Oid v = vo.as_ref();
+      GOMFM_RETURN_IF_ERROR(p.env.om.SetAttribute(
+          v, "X", Value::Float(rng.UniformDouble(1, 10))));
+      GOMFM_RETURN_IF_ERROR(p.env.om.SetAttribute(
+          v, "Y", Value::Float(rng.UniformDouble(1, 10))));
+      GOMFM_RETURN_IF_ERROR(p.env.om.SetAttribute(
+          v, "Z", Value::Float(rng.UniformDouble(1, 10))));
+    } else if (pick < 0.72) {
+      // Forward query — lazy rematerialization happens here.
+      if (!alive) continue;
+      GOMFM_RETURN_IF_ERROR(
+          p.env.mgr.ForwardLookup(p.geo.volume, {Value::Ref(c)}).status());
+    } else if (pick < 0.84) {
+      // Insert a new cuboid and query it so it joins the extension.
+      GOMFM_ASSIGN_OR_RETURN(
+          Oid made, p.geo.MakeCuboid(&p.env.om, rng.UniformDouble(1, 20),
+                                     rng.UniformDouble(1, 20),
+                                     rng.UniformDouble(1, 20), iron_));
+      p.cuboids.push_back(made);
+      GOMFM_RETURN_IF_ERROR(
+          p.env.mgr.ForwardLookup(p.geo.volume, {Value::Ref(made)}).status());
+    } else {
+      // Delete (keep a few cuboids around).
+      if (!alive || p.cuboids.size() - deleted.size() <= 4) continue;
+      GOMFM_RETURN_IF_ERROR(p.env.om.Delete(c));
+      deleted.insert(c);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gom::repl

@@ -1,0 +1,137 @@
+#ifndef GOMFM_REPL_RIG_H_
+#define GOMFM_REPL_RIG_H_
+
+#include <memory>
+#include <vector>
+
+#include "repl/net_fault_injector.h"
+#include "repl/primary.h"
+#include "repl/replica.h"
+#include "workload/cuboid_schema.h"
+#include "workload/stack.h"
+
+namespace gom::repl {
+
+/// Everything the in-process replication rig needs to build a primary and
+/// its replicas. The fault options apply to every replica's ship-direction
+/// link (the injector's RNG is re-seeded per replica as `seed + index`, so
+/// links fail independently but deterministically); acks travel on a
+/// reliable path — losing an ack only delays retention, never correctness,
+/// so the interesting faults are all on the ship side.
+struct RigOptions {
+  size_t num_cuboids = 12;
+  size_t buffer_pages = 64;
+  uint64_t populate_seed = 97;
+  NetFaultOptions faults;
+  /// Shipper tuning. Small `max_records_per_ship` values turn one catch-up
+  /// into many frames, which is what gives mid-stream faults something to
+  /// bite on (a dropped frame with traffic after it is a detectable gap;
+  /// dropped tails only ever time out).
+  WalShipper::Options ship;
+  /// Connected but starved this many pump rounds while behind → the
+  /// replica declares the link dead and reconnects (the rig's analogue of
+  /// a ship timeout: a dropped frame leaves no gap to detect until more
+  /// traffic arrives).
+  size_t idle_rounds_before_reconnect = 4;
+  /// Reconnect backoff, in pump rounds: 1, 2, 4, ... capped here.
+  size_t max_backoff_rounds = 8;
+};
+
+/// In-process primary + N replicas wired through FaultyLinks, pumping the
+/// full wire protocol (encode → frame → faults → byte-stream reassembly →
+/// decode → apply). The convergence sweep, the promotion test and the
+/// replication bench all drive this one rig; the TCP server pair is the
+/// same machinery with sockets in the middle.
+class ReplicationRig {
+ public:
+  explicit ReplicationRig(RigOptions opts);
+
+  /// Construction status (environment setup runs in the constructor, like
+  /// CompanyStack); check before use.
+  Status setup = Status::Ok();
+
+  workload::Environment& primary() { return primary_->env; }
+  const workload::CuboidSchema& geo() const { return primary_->geo; }
+  std::vector<Oid>& cuboids() { return primary_->cuboids; }
+  WalShipper& shipper() { return *shipper_; }
+
+  /// Creates a fresh, empty replica (same schema + GMR registrations) and
+  /// registers it with the shipper; it bootstraps on the next Step().
+  Result<size_t> AddReplica();
+
+  size_t replica_count() const { return replicas_.size(); }
+  ReplicaCore& replica(size_t i) { return *replicas_[i]->core; }
+  workload::Environment& replica_env(size_t i) { return replicas_[i]->env; }
+  const workload::CuboidSchema& replica_geo(size_t i) const {
+    return replicas_[i]->geo;
+  }
+  /// The Iron material's oid — identical on every converged node (oids
+  /// replicate verbatim), so post-promotion writes can reference it.
+  Oid iron() const { return iron_; }
+  FaultyLink& link(size_t i) { return replicas_[i]->link; }
+  uint64_t reconnects(size_t i) const { return replicas_[i]->reconnects; }
+
+  /// One pump round: per replica — (re)handshake if needed, poll the
+  /// shipper, push frames through the link, drain, reassemble, apply, ack.
+  Status Step();
+
+  /// Pumps until every replica's applied LSN reaches the primary's flushed
+  /// LSN; errors after `max_rounds` — a convergence bug or an absurdly
+  /// hostile fault schedule.
+  Status PumpUntilCaughtUp(size_t max_rounds = 100000);
+
+  /// True when every replica holds a bit-identical state digest.
+  Result<bool> Converged();
+
+  /// Deterministic update/query mix on the primary: vertex writes, update
+  /// storms, forward lookups (lazy remat), inserts, deletes — the
+  /// crash-recovery mix, minus the crashes.
+  Status RunMix(size_t steps, uint64_t seed);
+
+ private:
+  struct Node {
+    Node(const RigOptions& opts, StorageOptions storage)
+        : env(opts.buffer_pages, GmrManagerOptions{}, storage) {}
+    workload::Environment env;
+    workload::CuboidSchema geo;
+    std::vector<Oid> cuboids;
+    GmrId volume_gmr = kInvalidGmrId;
+  };
+
+  struct Replica {
+    Replica(const RigOptions& opts, uint32_t id_in,
+            const NetFaultOptions& fopts)
+        : env(opts.buffer_pages, GmrManagerOptions{}, StorageOptions{}),
+          link(fopts),
+          id(id_in) {}
+    workload::Environment env;
+    workload::CuboidSchema geo;
+    GmrId volume_gmr = kInvalidGmrId;
+    std::unique_ptr<ReplicaCore> core;
+    FaultyLink link;
+    uint32_t id;
+    std::vector<uint8_t> rx;
+    bool connected = false;
+    size_t idle = 0;
+    size_t backoff_left = 0;
+    size_t attempts = 0;
+    uint64_t reconnects = 0;
+  };
+
+  void Ship(Replica& r, const server::ReplMsg& msg);
+  void Reconnect(Replica& r);
+  /// Drains the link and applies every complete frame; returns true when
+  /// at least one record/snapshot advanced the replica.
+  Status ProcessInbound(Replica& r, bool* progressed);
+  Status StepReplica(Replica& r);
+
+  RigOptions opts_;
+  std::unique_ptr<Node> primary_;
+  std::unique_ptr<WalShipper> shipper_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  Oid iron_;
+};
+
+}  // namespace gom::repl
+
+#endif  // GOMFM_REPL_RIG_H_

@@ -1,0 +1,210 @@
+#include "repl/ship_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <shared_mutex>
+
+namespace gom::repl {
+
+namespace {
+
+constexpr size_t kRecvChunk = 64 * 1024;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ShipServer::ShipServer(workload::Environment* env, ShipServerOptions options)
+    : env_(env), options_(options), shipper_(env) {}
+
+ShipServer::~ShipServer() { Stop(); }
+
+Status ShipServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("ship server already running");
+  }
+  if (env_->wal == nullptr) {
+    return Status::FailedPrecondition(
+        "replication needs a WAL-enabled primary");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  // Make sure the session-pool gate exists before the first connection
+  // thread takes it shared (also flips the catalog into concurrent mode —
+  // the same transition the query server performs on Start).
+  env_->ReleaseSession(env_->MakeSession());
+  stopping_.store(false);
+  running_.store(true);
+  acceptor_ = std::thread(&ShipServer::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void ShipServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    fds.swap(conn_fds_);
+    threads.swap(conn_threads_);
+  }
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  for (int fd : fds) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ShipServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int r = ::poll(&p, 1, 200);
+    if (r <= 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&ShipServer::ConnLoop, this, fd);
+  }
+}
+
+bool ShipServer::WriteMsg(int fd, const server::ReplMsg& msg) {
+  std::vector<uint8_t> frame;
+  server::EncodeReplMsg(msg, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void ShipServer::ConnLoop(int fd) {
+  uint32_t replica_id = 0;
+  bool hello_seen = false;
+  std::vector<uint8_t> rx;
+  std::vector<uint8_t> chunk(kRecvChunk);
+  bool drop = false;
+
+  while (!drop && !stopping_.load()) {
+    pollfd p{fd, POLLIN, 0};
+    int r = ::poll(&p, 1, options_.poll_interval_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r > 0) {
+      ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+      if (n <= 0) break;  // peer closed (or error): replica reconnects
+      rx.insert(rx.end(), chunk.begin(), chunk.begin() + n);
+      while (!drop) {
+        std::vector<uint8_t> payload;
+        auto consumed =
+            server::TryDecodeFrame(rx.data(), rx.size(), &payload);
+        if (!consumed.ok()) {
+          drop = true;  // desynchronized stream: sever, replica re-handshakes
+          break;
+        }
+        if (*consumed == 0) break;
+        rx.erase(rx.begin(), rx.begin() + *consumed);
+        auto msg = server::DecodeReplMsg(payload);
+        if (!msg.ok()) {
+          drop = true;
+          break;
+        }
+        switch (msg->type) {
+          case server::ReplMsgType::kHello: {
+            replica_id = msg->seq;
+            hello_seen = true;
+            // Shared gate: snapshot capture must observe storm
+            // boundaries, never a half-applied storm.
+            std::shared_lock<std::shared_mutex> gate(
+                env_->session_pool->gate());
+            auto train = shipper_.Connect(replica_id, msg->lsn);
+            if (!train.ok()) {
+              drop = true;
+              break;
+            }
+            for (const server::ReplMsg& m : *train) {
+              if (!WriteMsg(fd, m)) {
+                drop = true;
+                break;
+              }
+            }
+            break;
+          }
+          case server::ReplMsgType::kWalAck: {
+            if (!hello_seen) {
+              drop = true;
+              break;
+            }
+            std::shared_lock<std::shared_mutex> gate(
+                env_->session_pool->gate());
+            if (!shipper_.Ack(replica_id, msg->lsn).ok()) drop = true;
+            break;
+          }
+          default:
+            // Primary-to-replica traffic arriving at the primary.
+            drop = true;
+            break;
+        }
+      }
+    }
+    if (!drop && hello_seen) {
+      std::shared_lock<std::shared_mutex> gate(env_->session_pool->gate());
+      auto msg = shipper_.Poll(replica_id);
+      if (!msg.ok()) break;
+      if (msg->has_value() && !WriteMsg(fd, **msg)) break;
+    }
+  }
+  // Keep the registration (retention pin) — the replica will be back.
+  if (hello_seen) shipper_.Disconnect(replica_id);
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed by Stop() (it stays in conn_fds_ so shutdown
+  // there is idempotent; double-close is the bug to avoid, leak-until-stop
+  // is fine for a handful of replica links).
+}
+
+}  // namespace gom::repl

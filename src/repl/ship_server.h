@@ -1,0 +1,83 @@
+#ifndef GOMFM_REPL_SHIP_SERVER_H_
+#define GOMFM_REPL_SHIP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "repl/primary.h"
+
+namespace gom::repl {
+
+struct ShipServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (query `port()`
+  /// after Start). Loopback-only, like the query server.
+  uint16_t port = 0;
+  /// Ship-poll cadence per connection: how long the connection thread
+  /// waits for inbound bytes before checking the WAL for new records.
+  int poll_interval_ms = 10;
+};
+
+/// The primary's replication port: accepts replica connections and speaks
+/// the ship protocol over them, one thread per replica.
+///
+/// A replica opens with kHello (`seq` = its stable replica id, `lsn` = its
+/// durable applied position); the connection thread answers through the
+/// shared WalShipper — snapshot train or log resume — then alternates
+/// between draining inbound acks and polling the WAL for new records to
+/// ship.
+///
+/// Locking: every shipper call that reads primary state (Connect's
+/// snapshot capture, Poll's flush-and-read) runs under the environment's
+/// session-pool gate held *shared*. Update storms and GOMql writes hold it
+/// exclusively, so shipped snapshots and batches always observe storm
+/// boundaries, never a half-applied storm — the same granularity contract
+/// reader sessions get. Acks only touch shipper-internal state (and WAL
+/// truncation, which is safe against appends only under the gate — so acks
+/// take it shared too).
+class ShipServer {
+ public:
+  ShipServer(workload::Environment* env, ShipServerOptions options);
+  explicit ShipServer(workload::Environment* env)
+      : ShipServer(env, ShipServerOptions()) {}
+  ~ShipServer();
+
+  ShipServer(const ShipServer&) = delete;
+  ShipServer& operator=(const ShipServer&) = delete;
+
+  /// Binds, listens, spawns the acceptor.
+  Status Start();
+
+  /// Stops accepting, severs every replica connection, joins all threads.
+  /// Replica registrations (retention pins) survive — a restarted ship
+  /// server keeps honoring them through the shared WalShipper.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  WalShipper& shipper() { return shipper_; }
+
+ private:
+  void AcceptLoop();
+  void ConnLoop(int fd);
+  bool WriteMsg(int fd, const server::ReplMsg& msg);
+
+  workload::Environment* env_;
+  ShipServerOptions options_;
+  WalShipper shipper_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace gom::repl
+
+#endif  // GOMFM_REPL_SHIP_SERVER_H_

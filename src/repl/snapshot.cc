@@ -1,0 +1,251 @@
+#include "repl/snapshot.h"
+
+#include <algorithm>
+
+namespace gom::repl {
+
+namespace {
+
+std::vector<uint8_t> ValueKey(const std::vector<Value>& values) {
+  std::vector<uint8_t> bytes;
+  for (const Value& v : values) v.Serialize(&bytes);
+  return bytes;
+}
+
+void Canonicalize(ReplSnapshot* snap) {
+  std::sort(snap->objects.begin(), snap->objects.end(),
+            [](const ReplSnapshot::Obj& a, const ReplSnapshot::Obj& b) {
+              return a.oid < b.oid;
+            });
+  std::sort(snap->rows.begin(), snap->rows.end(),
+            [](const ReplSnapshot::GmrRow& a, const ReplSnapshot::GmrRow& b) {
+              if (a.gmr != b.gmr) return a.gmr < b.gmr;
+              return ValueKey(a.args) < ValueKey(b.args);
+            });
+  std::sort(snap->rrr.begin(), snap->rrr.end(),
+            [](const ReplSnapshot::RrrEntry& a, const ReplSnapshot::RrrEntry& b) {
+              if (a.object != b.object) return a.object < b.object;
+              if (a.function != b.function) return a.function < b.function;
+              return ValueKey(a.args) < ValueKey(b.args);
+            });
+}
+
+void WriteValues(WalPayloadWriter* w, const std::vector<Value>& values) {
+  w->U32(static_cast<uint32_t>(values.size()));
+  std::vector<uint8_t> bytes;
+  for (const Value& v : values) v.Serialize(&bytes);
+  w->Bytes(bytes);
+}
+
+Result<std::vector<Value>> ReadValues(WalPayloadReader* r) {
+  GOMFM_ASSIGN_OR_RETURN(uint32_t count, r->U32());
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GOMFM_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r->cursor(), r->end()));
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+/// The replicated-state body — everything the digest covers. `lsn` and
+/// `next_oid` ride along in the full snapshot encoding only.
+void EncodeBody(const ReplSnapshot& snap, WalPayloadWriter* w) {
+  w->U32(static_cast<uint32_t>(snap.objects.size()));
+  for (const ReplSnapshot::Obj& obj : snap.objects) {
+    w->U64(obj.oid.raw);
+    w->U32(obj.type);
+    w->U8(static_cast<uint8_t>(obj.kind));
+    WriteValues(w, obj.values);
+  }
+  w->U32(static_cast<uint32_t>(snap.rows.size()));
+  for (const ReplSnapshot::GmrRow& row : snap.rows) {
+    w->U32(row.gmr);
+    WriteValues(w, row.args);
+    w->U16(static_cast<uint16_t>(row.results.size()));
+    for (const std::optional<Value>& res : row.results) {
+      w->U8(res.has_value() ? 1 : 0);
+      if (res.has_value()) {
+        std::vector<uint8_t> bytes;
+        res->Serialize(&bytes);
+        w->Bytes(bytes);
+      }
+    }
+  }
+  w->U32(static_cast<uint32_t>(snap.rrr.size()));
+  for (const ReplSnapshot::RrrEntry& entry : snap.rrr) {
+    w->U64(entry.object.raw);
+    w->U32(entry.function);
+    WriteValues(w, entry.args);
+  }
+}
+
+/// Collects the canonical replicated state of `env` (no lsn / next_oid).
+Result<ReplSnapshot> CaptureBody(workload::Environment* env) {
+  ReplSnapshot snap;
+  env->om.ForEachObject([&](const Object& obj) {
+    ReplSnapshot::Obj out;
+    out.oid = obj.oid;
+    out.type = obj.type;
+    out.kind = obj.kind;
+    out.values = obj.kind == StructKind::kTuple ? obj.fields : obj.elements;
+    snap.objects.push_back(std::move(out));
+    return true;
+  });
+  for (const auto& gmr_ptr : env->mgr.catalog().gmrs()) {
+    if (gmr_ptr == nullptr) continue;
+    gmr_ptr->ForEachRow([&](RowId, const Gmr::Row& row) {
+      ReplSnapshot::GmrRow out;
+      out.gmr = gmr_ptr->id();
+      out.args = row.args;
+      out.results.reserve(row.results.size());
+      for (size_t i = 0; i < row.results.size(); ++i) {
+        if (row.valid[i]) {
+          out.results.emplace_back(row.results[i]);
+        } else {
+          out.results.emplace_back(std::nullopt);
+        }
+      }
+      snap.rows.push_back(std::move(out));
+      return true;
+    });
+  }
+  for (const Rrr::Entry& entry : env->mgr.rrr().AllEntries()) {
+    snap.rrr.push_back(
+        ReplSnapshot::RrrEntry{entry.object, entry.function, entry.args});
+  }
+  Canonicalize(&snap);
+  return snap;
+}
+
+}  // namespace
+
+Result<ReplSnapshot> CaptureSnapshot(workload::Environment* env) {
+  if (env->wal != nullptr) {
+    GOMFM_RETURN_IF_ERROR(env->wal->Flush());
+  }
+  GOMFM_ASSIGN_OR_RETURN(ReplSnapshot snap, CaptureBody(env));
+  snap.lsn = env->wal != nullptr ? env->wal->flushed_lsn() : kNullLsn;
+  snap.next_oid = env->om.next_oid();
+  return snap;
+}
+
+Status InstallSnapshot(const ReplSnapshot& snap, workload::Environment* env) {
+  if (env->mgr.wal() != nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot install into a logging GMR manager: a replica must not "
+        "re-log shipped state");
+  }
+  if (env->om.live_objects() != 0) {
+    return Status::FailedPrecondition(
+        "snapshot install into a non-empty object base");
+  }
+  // Objects first — GMR args and RRR entries reference them.
+  for (const ReplSnapshot::Obj& obj : snap.objects) {
+    GOMFM_RETURN_IF_ERROR(env->om.ApplyReplicatedImage(
+        obj.oid, obj.type, obj.kind, obj.values));
+  }
+  env->om.BumpNextOid(snap.next_oid);
+  for (const ReplSnapshot::GmrRow& row : snap.rows) {
+    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, env->mgr.Get(row.gmr));
+    if (row.results.size() != gmr->spec().function_count()) {
+      return Status::InvalidArgument("snapshot row arity mismatch");
+    }
+    auto existing = gmr->FindRow(row.args);
+    RowId rid;
+    if (existing.ok()) {
+      rid = *existing;  // registered complete GMRs start empty, but be safe
+    } else {
+      GOMFM_ASSIGN_OR_RETURN(rid, gmr->Insert(row.args));
+    }
+    for (size_t col = 0; col < row.results.size(); ++col) {
+      if (row.results[col].has_value()) {
+        GOMFM_RETURN_IF_ERROR(gmr->SetResult(rid, col, *row.results[col]));
+      }
+    }
+  }
+  // RRR last: re-inserting the entries re-marks ObjDepFct on the installed
+  // objects, exactly as replay does.
+  for (const ReplSnapshot::RrrEntry& entry : snap.rrr) {
+    GOMFM_RETURN_IF_ERROR(env->mgr.maintenance().RecordReverseRefsFromOids(
+        entry.function, entry.args, {entry.object}));
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeSnapshot(const ReplSnapshot& snap) {
+  ReplSnapshot canonical = snap;
+  Canonicalize(&canonical);
+  WalPayloadWriter w;
+  w.U64(canonical.lsn);
+  w.U64(canonical.next_oid);
+  EncodeBody(canonical, &w);
+  return w.Take();
+}
+
+Result<ReplSnapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes) {
+  WalPayloadReader r(bytes);
+  ReplSnapshot snap;
+  GOMFM_ASSIGN_OR_RETURN(snap.lsn, r.U64());
+  GOMFM_ASSIGN_OR_RETURN(snap.next_oid, r.U64());
+  GOMFM_ASSIGN_OR_RETURN(uint32_t nobj, r.U32());
+  snap.objects.reserve(nobj);
+  for (uint32_t i = 0; i < nobj; ++i) {
+    ReplSnapshot::Obj obj;
+    GOMFM_ASSIGN_OR_RETURN(uint64_t raw, r.U64());
+    obj.oid = Oid(raw);
+    GOMFM_ASSIGN_OR_RETURN(obj.type, r.U32());
+    GOMFM_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+    if (kind > static_cast<uint8_t>(StructKind::kList)) {
+      return Status::InvalidArgument("snapshot: bad struct kind");
+    }
+    obj.kind = static_cast<StructKind>(kind);
+    GOMFM_ASSIGN_OR_RETURN(obj.values, ReadValues(&r));
+    snap.objects.push_back(std::move(obj));
+  }
+  GOMFM_ASSIGN_OR_RETURN(uint32_t nrows, r.U32());
+  snap.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    ReplSnapshot::GmrRow row;
+    GOMFM_ASSIGN_OR_RETURN(row.gmr, r.U32());
+    GOMFM_ASSIGN_OR_RETURN(row.args, ReadValues(&r));
+    GOMFM_ASSIGN_OR_RETURN(uint16_t ncols, r.U16());
+    row.results.reserve(ncols);
+    for (uint16_t c = 0; c < ncols; ++c) {
+      GOMFM_ASSIGN_OR_RETURN(uint8_t has, r.U8());
+      if (has > 1) return Status::InvalidArgument("snapshot: bad result flag");
+      if (has == 1) {
+        GOMFM_ASSIGN_OR_RETURN(Value v,
+                               Value::Deserialize(r.cursor(), r.end()));
+        row.results.emplace_back(std::move(v));
+      } else {
+        row.results.emplace_back(std::nullopt);
+      }
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  GOMFM_ASSIGN_OR_RETURN(uint32_t nrrr, r.U32());
+  snap.rrr.reserve(nrrr);
+  for (uint32_t i = 0; i < nrrr; ++i) {
+    ReplSnapshot::RrrEntry entry;
+    GOMFM_ASSIGN_OR_RETURN(uint64_t raw, r.U64());
+    entry.object = Oid(raw);
+    GOMFM_ASSIGN_OR_RETURN(entry.function, r.U32());
+    GOMFM_ASSIGN_OR_RETURN(entry.args, ReadValues(&r));
+    snap.rrr.push_back(std::move(entry));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("snapshot: trailing bytes");
+  }
+  return snap;
+}
+
+Result<uint32_t> StateDigest(workload::Environment* env) {
+  GOMFM_ASSIGN_OR_RETURN(ReplSnapshot snap, CaptureBody(env));
+  WalPayloadWriter w;
+  EncodeBody(snap, &w);
+  std::vector<uint8_t> bytes = w.Take();
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace gom::repl

@@ -1,0 +1,82 @@
+#ifndef GOMFM_REPL_SNAPSHOT_H_
+#define GOMFM_REPL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/wal.h"
+#include "workload/driver.h"
+
+namespace gom::repl {
+
+/// A transferable image of one node's replicated state, consistent as of
+/// `lsn` (every WAL record `<= lsn` is folded in, none after). It carries
+///
+///  * the object base — payload state only; ObjDepFct marks are *derived*
+///    from the RRR and rebuilt on install,
+///  * the GMR extensions: rows with their per-column validity and values,
+///  * the RRR entries (installing them re-marks ObjDepFct as a side
+///    effect).
+///
+/// Restriction-predicate reverse references ARE shipped (they are ordinary
+/// RRR entries); what a replica cannot maintain from the stream it repairs
+/// at promotion via RecoveryManager::ReconcileAll, exactly as crash
+/// recovery does.
+struct ReplSnapshot {
+  Lsn lsn = kNullLsn;
+  uint64_t next_oid = 1;
+
+  struct Obj {
+    Oid oid;
+    TypeId type = kInvalidTypeId;
+    StructKind kind = StructKind::kTuple;
+    std::vector<Value> values;  // fields (tuple) or elements (set/list)
+  };
+  std::vector<Obj> objects;  // sorted by oid (canonical order)
+
+  struct GmrRow {
+    GmrId gmr = kInvalidGmrId;
+    std::vector<Value> args;
+    /// Parallel to the GMR's function list; disengaged = invalid result.
+    std::vector<std::optional<Value>> results;
+  };
+  std::vector<GmrRow> rows;
+
+  struct RrrEntry {
+    Oid object;
+    FunctionId function = kInvalidFunctionId;
+    std::vector<Value> args;
+  };
+  std::vector<RrrEntry> rrr;
+};
+
+/// Captures a snapshot of `env`. Flushes the WAL first (when one is
+/// attached) so `lsn` is the durable high-water mark; the caller must hold
+/// the writer side of the environment quiet for the duration (no updates).
+Result<ReplSnapshot> CaptureSnapshot(workload::Environment* env);
+
+/// Installs a snapshot into a *fresh* replica environment: same schema and
+/// function registry as the primary, GMRs registered (empty — e.g. via
+/// workload::MakeCompanyStack over an unpopulated base), no WAL attached to
+/// the GMR manager. Objects are installed first, then GMR rows, then RRR
+/// entries (which rebuild the ObjDepFct marks).
+Status InstallSnapshot(const ReplSnapshot& snap, workload::Environment* env);
+
+/// Canonical serialization (objects sorted by oid, rows by GMR then
+/// serialized args, RRR by object/function/args) — the shipping format and
+/// the digest input.
+std::vector<uint8_t> EncodeSnapshot(const ReplSnapshot& snap);
+Result<ReplSnapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes);
+
+/// CRC32 over the canonical serialization of the *replicated* state
+/// (objects without marks, GMR extensions, RRR). Order-independent: two
+/// nodes holding the same logical state digest identically no matter what
+/// order replay built their hash tables in. The convergence sweep asserts
+/// primary and replica digests are bit-identical after every fault
+/// schedule.
+Result<uint32_t> StateDigest(workload::Environment* env);
+
+}  // namespace gom::repl
+
+#endif  // GOMFM_REPL_SNAPSHOT_H_

@@ -1,11 +1,16 @@
 #include "server/client.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace gom::server {
 
@@ -15,6 +20,12 @@ constexpr size_t kRecvChunk = 64 * 1024;
 
 Status Errno(const char* what) {
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -29,12 +40,57 @@ Status Client::Connect(uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (options_.connect_deadline_ms <= 0) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Status st = Errno("connect");
+      Close();
+      return st;
+    }
+    return Status::Ok();
+  }
+  // Deadline connect: non-blocking connect + poll for writability, then
+  // harvest SO_ERROR. A peer that never answers the SYN fails here in
+  // `connect_deadline_ms` instead of the kernel's minutes-long default.
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
     Status st = Errno("connect");
-    ::close(fd_);
-    fd_ = -1;
+    Close();
     return st;
   }
+  if (rc < 0) {
+    int64_t deadline = NowMs() + options_.connect_deadline_ms;
+    while (true) {
+      int64_t left = deadline - NowMs();
+      if (left <= 0) {
+        Close();
+        return Status::IoError("connect deadline exceeded");
+      }
+      pollfd p{fd_, POLLOUT, 0};
+      int r = ::poll(&p, 1, static_cast<int>(left));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        Status st = Errno("poll");
+        Close();
+        return st;
+      }
+      if (r == 0) {
+        Close();
+        return Status::IoError("connect deadline exceeded");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      Close();
+      return Status::IoError(std::string("connect: ") +
+                             std::strerror(err != 0 ? err : errno));
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
   return Status::Ok();
 }
 
@@ -66,6 +122,9 @@ Status Client::Send(const Request& request) {
 Result<Response> Client::Receive() {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
   std::vector<uint8_t> payload;
+  int64_t deadline = options_.read_deadline_ms > 0
+                         ? NowMs() + options_.read_deadline_ms
+                         : 0;
   while (true) {
     GOMFM_ASSIGN_OR_RETURN(
         size_t consumed,
@@ -74,6 +133,23 @@ Result<Response> Client::Receive() {
       recv_buf_.erase(recv_buf_.begin(),
                       recv_buf_.begin() + static_cast<ptrdiff_t>(consumed));
       return DecodeResponse(payload);
+    }
+    if (deadline != 0) {
+      int64_t left = deadline - NowMs();
+      pollfd p{fd_, POLLIN, 0};
+      int r = left > 0 ? ::poll(&p, 1, static_cast<int>(left)) : 0;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        Status st = Errno("poll");
+        Close();
+        return st;
+      }
+      if (r == 0) {
+        // A response may be half-read; the stream position is lost, so the
+        // connection cannot be reused.
+        Close();
+        return Status::IoError("read deadline exceeded");
+      }
     }
     size_t base = recv_buf_.size();
     recv_buf_.resize(base + kRecvChunk);
@@ -129,12 +205,14 @@ Result<std::string> Client::Explain(const std::string& text) {
   return std::move(resp.text);
 }
 
-Result<Value> Client::Forward(FunctionId f, std::vector<Value> args) {
+Result<Value> Client::Forward(FunctionId f, std::vector<Value> args,
+                              Lsn min_lsn) {
   Request req;
   req.type = RequestType::kForward;
   req.id = NextId();
   req.function = f;
   req.args = std::move(args);
+  req.min_lsn = min_lsn;
   GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
   GOMFM_RETURN_IF_ERROR(ToStatus(resp));
   if (resp.rows.size() != 1 || resp.rows[0].size() != 1) {
@@ -144,7 +222,8 @@ Result<Value> Client::Forward(FunctionId f, std::vector<Value> args) {
 }
 
 Result<RowSet> Client::Backward(FunctionId f, double lo, double hi,
-                                bool lo_inclusive, bool hi_inclusive) {
+                                bool lo_inclusive, bool hi_inclusive,
+                                Lsn min_lsn) {
   Request req;
   req.type = RequestType::kBackward;
   req.id = NextId();
@@ -153,6 +232,7 @@ Result<RowSet> Client::Backward(FunctionId f, double lo, double hi,
   req.hi = hi;
   req.lo_inclusive = lo_inclusive;
   req.hi_inclusive = hi_inclusive;
+  req.min_lsn = min_lsn;
   GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
   GOMFM_RETURN_IF_ERROR(ToStatus(resp));
   return std::move(resp.rows);
@@ -163,6 +243,138 @@ Result<std::string> Client::ServerStats() {
   req.type = RequestType::kStats;
   req.id = NextId();
   GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.text);
+}
+
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kOverloaded || code == StatusCode::kStale;
+}
+
+FailoverClient::FailoverClient(std::vector<uint16_t> ports,
+                               ClientOptions copts, RetryOptions ropts)
+    : ports_(std::move(ports)), ropts_(ropts), client_(copts) {}
+
+Result<Response> FailoverClient::Issue(Request request) {
+  if (ports_.empty()) {
+    return Status::FailedPrecondition("failover client has no endpoints");
+  }
+  int64_t deadline =
+      ropts_.deadline_ms > 0 ? NowMs() + ropts_.deadline_ms : 0;
+  int attempt = 0;
+  int backoff = ropts_.initial_backoff_ms;
+  Status last = Status::IoError("no attempt made");
+
+  auto out_of_budget = [&]() {
+    return attempt > ropts_.max_retries ||
+           (deadline != 0 && NowMs() >= deadline);
+  };
+  auto sleep_backoff = [&]() {
+    int64_t ms = backoff;
+    if (deadline != 0) {
+      int64_t left = deadline - NowMs();
+      if (left < ms) ms = left > 0 ? left : 0;
+    }
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    backoff = std::min(backoff * 2, ropts_.max_backoff_ms);
+  };
+
+  while (true) {
+    if (!client_.connected()) {
+      Status st = client_.Connect(ports_[active_]);
+      if (!st.ok()) {
+        // Dead endpoint: advance to the next one. Connect failures count
+        // as attempts so an all-down list terminates.
+        last = st;
+        ++attempt;
+        if (out_of_budget()) return last;
+        active_ = (active_ + 1) % ports_.size();
+        ++stats_.failovers;
+        sleep_backoff();
+        continue;
+      }
+      ++stats_.reconnects;
+    }
+    request.id = client_.NextId();  // fresh correlation id per attempt
+    ++stats_.attempts;
+    Result<Response> resp = client_.Call(request);
+    if (!resp.ok()) {
+      // Transport failure mid-call (peer died, read deadline): the
+      // connection is unusable — drop it and fail over.
+      client_.Close();
+      last = resp.status();
+      ++attempt;
+      if (out_of_budget()) return last;
+      active_ = (active_ + 1) % ports_.size();
+      ++stats_.failovers;
+      sleep_backoff();
+      continue;
+    }
+    if (IsRetryableCode(resp->code)) {
+      // Typed shed/staleness: same endpoint, backed off — an overloaded
+      // server drains and a lagging replica catches up.
+      last = ToStatus(*resp);
+      ++attempt;
+      ++stats_.retries;
+      if (out_of_budget()) return *resp;
+      sleep_backoff();
+      continue;
+    }
+    return resp;
+  }
+}
+
+Status FailoverClient::Ping() {
+  Request req;
+  req.type = RequestType::kPing;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Issue(std::move(req)));
+  return ToStatus(resp);
+}
+
+Result<RowSet> FailoverClient::RunGomql(const std::string& text) {
+  Request req;
+  req.type = RequestType::kGomql;
+  req.text = text;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Issue(std::move(req)));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.rows);
+}
+
+Result<Value> FailoverClient::Forward(FunctionId f, std::vector<Value> args,
+                                      Lsn min_lsn) {
+  Request req;
+  req.type = RequestType::kForward;
+  req.function = f;
+  req.args = std::move(args);
+  req.min_lsn = min_lsn;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Issue(std::move(req)));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  if (resp.rows.size() != 1 || resp.rows[0].size() != 1) {
+    return Status::Internal("malformed forward response shape");
+  }
+  return std::move(resp.rows[0][0]);
+}
+
+Result<RowSet> FailoverClient::Backward(FunctionId f, double lo, double hi,
+                                        bool lo_inclusive, bool hi_inclusive,
+                                        Lsn min_lsn) {
+  Request req;
+  req.type = RequestType::kBackward;
+  req.function = f;
+  req.lo = lo;
+  req.hi = hi;
+  req.lo_inclusive = lo_inclusive;
+  req.hi_inclusive = hi_inclusive;
+  req.min_lsn = min_lsn;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Issue(std::move(req)));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.rows);
+}
+
+Result<std::string> FailoverClient::ServerStats() {
+  Request req;
+  req.type = RequestType::kStats;
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Issue(std::move(req)));
   GOMFM_RETURN_IF_ERROR(ToStatus(resp));
   return std::move(resp.text);
 }

@@ -9,6 +9,19 @@
 
 namespace gom::server {
 
+/// Connection behaviour knobs. Zeros reproduce the original blocking
+/// client exactly.
+struct ClientOptions {
+  /// Bound on Connect(): a non-responding peer (SYN black hole, dead
+  /// listener mid-handshake) fails with kIoError instead of hanging.
+  /// 0 = blocking connect.
+  int connect_deadline_ms = 0;
+  /// Bound on Receive(): no response frame within this window closes the
+  /// connection (the stream position is unknowable once a response may be
+  /// half-read) and fails with kIoError. 0 = wait forever.
+  int read_deadline_ms = 0;
+};
+
 /// Blocking client for the GOM service protocol. One Client is one
 /// loopback TCP connection; it is NOT thread-safe — drive it from a single
 /// thread (the load generator opens one Client per worker).
@@ -17,15 +30,20 @@ namespace gom::server {
 /// request/response. Send()/Receive() are exposed separately so tests can
 /// pipeline several requests onto the connection (which is how the
 /// per-connection admission cap is exercised).
+///
+/// Transient signals never kill the process or the call: sends use
+/// MSG_NOSIGNAL (a dead peer surfaces as kIoError, not SIGPIPE) and every
+/// syscall loop restarts on EINTR.
 class Client {
  public:
   Client() = default;
+  explicit Client(ClientOptions options) : options_(options) {}
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to 127.0.0.1:port.
+  /// Connects to 127.0.0.1:port (bounded by `connect_deadline_ms`).
   Status Connect(uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
@@ -45,15 +63,88 @@ class Client {
   Status Ping();
   Result<RowSet> RunGomql(const std::string& text);
   Result<std::string> Explain(const std::string& text);
-  Result<Value> Forward(FunctionId f, std::vector<Value> args);
+  /// `min_lsn` is the staleness bound forwarded to replicas: a replica
+  /// whose applied LSN is behind answers kStale (retryable) instead of
+  /// serving old data. 0 = any state is acceptable (and is what primaries
+  /// ignore).
+  Result<Value> Forward(FunctionId f, std::vector<Value> args,
+                        Lsn min_lsn = 0);
   Result<RowSet> Backward(FunctionId f, double lo, double hi,
-                          bool lo_inclusive = true, bool hi_inclusive = true);
+                          bool lo_inclusive = true, bool hi_inclusive = true,
+                          Lsn min_lsn = 0);
   Result<std::string> ServerStats();
 
  private:
   int fd_ = -1;
   uint64_t last_id_ = 0;
+  ClientOptions options_;
   std::vector<uint8_t> recv_buf_;
+};
+
+/// Bounded-retry policy for transient failures.
+struct RetryOptions {
+  /// Retries *beyond* the first attempt. 0 = single shot.
+  int max_retries = 4;
+  /// Backoff before retry k is min(initial << k, max) milliseconds.
+  int initial_backoff_ms = 20;
+  int max_backoff_ms = 500;
+  /// Wall-clock cap across all attempts (connects, calls, backoffs).
+  /// 0 = unbounded.
+  int deadline_ms = 0;
+};
+
+/// True for response codes worth retrying on the SAME endpoint:
+/// kOverloaded (admission shed — back off and re-offer) and kStale (a
+/// replica that has not yet caught up to the demanded min_lsn).
+bool IsRetryableCode(StatusCode code);
+
+/// A client that survives the failures the replication rig injects:
+/// retries kOverloaded/kStale with capped exponential backoff, and on
+/// transport errors (peer died, connect refused, read deadline) fails over
+/// to the next endpoint in its list, round-robin. The list is typically
+/// [primary, replica...] or — for the failover drill — [old primary,
+/// promoted replica].
+///
+/// Same threading contract as Client: one instance, one thread.
+class FailoverClient {
+ public:
+  struct Stats {
+    uint64_t attempts = 0;     // requests actually sent
+    uint64_t retries = 0;      // kOverloaded/kStale re-offers
+    uint64_t failovers = 0;    // endpoint advances
+    uint64_t reconnects = 0;   // sockets re-established
+  };
+
+  FailoverClient(std::vector<uint16_t> ports, ClientOptions copts,
+                 RetryOptions ropts);
+  explicit FailoverClient(std::vector<uint16_t> ports)
+      : FailoverClient(std::move(ports), ClientOptions(), RetryOptions()) {}
+
+  /// The retry/failover engine: assigns a fresh correlation id per
+  /// attempt, reconnects and walks the endpoint list as needed. Returns
+  /// the last error once retries or the deadline are exhausted.
+  Result<Response> Issue(Request request);
+
+  // -- Convenience wrappers mirroring Client's.
+  Status Ping();
+  Result<RowSet> RunGomql(const std::string& text);
+  Result<Value> Forward(FunctionId f, std::vector<Value> args,
+                        Lsn min_lsn = 0);
+  Result<RowSet> Backward(FunctionId f, double lo, double hi,
+                          bool lo_inclusive = true, bool hi_inclusive = true,
+                          Lsn min_lsn = 0);
+  Result<std::string> ServerStats();
+
+  /// Index into the port list currently connected (or next to try).
+  size_t active_endpoint() const { return active_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<uint16_t> ports_;
+  RetryOptions ropts_;
+  Client client_;
+  size_t active_ = 0;
+  Stats stats_;
 };
 
 }  // namespace gom::server

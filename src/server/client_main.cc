@@ -1,10 +1,22 @@
-// gomfm_client — one-shot command-line client for a running gomfm_serve.
+// gomfm_client — one-shot command-line client for a running gomfm_serve
+// (or a promoted gomfm_replica; the wire protocol is the same).
 //
 // Usage:
-//   gomfm_client --port=N query   '<GOMql statement>'
-//   gomfm_client --port=N explain '<GOMql retrieve>'
-//   gomfm_client --port=N ping
-//   gomfm_client --port=N stats
+//   gomfm_client --port=N [flags] query   '<GOMql statement>'
+//   gomfm_client --port=N [flags] explain '<GOMql retrieve>'
+//   gomfm_client --port=N [flags] ping
+//   gomfm_client --port=N [flags] stats
+//
+// Flags:
+//   --port=N         endpoint port (repeatable as --ports=A,B,C below)
+//   --ports=A,B,...  failover list: tried round-robin on transport errors
+//                    (dead primary → promoted replica is the drill)
+//   --max-retries=N  retries beyond the first attempt (default 4); covers
+//                    kOverloaded sheds, kStale replicas and reconnects
+//   --deadline-ms=N  wall-clock budget across all attempts (default 0 =
+//                    unbounded); also bounds each connect and read
+//   --min-lsn=N      staleness bound for query reads (replicas answer
+//                    kStale below it, which retries absorb)
 //
 // Query rows print one per line, values comma-separated. Exit code 0 on a
 // kOk response, 2 on a server-reported error (message on stderr), 1 on
@@ -14,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "server/client.h"
 
@@ -31,41 +44,73 @@ void PrintRows(const server::RowSet& rows) {
   }
 }
 
+std::vector<uint16_t> ParsePorts(const std::string& list) {
+  std::vector<uint16_t> out;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    long p = std::strtol(list.substr(pos, comma - pos).c_str(), nullptr, 10);
+    if (p > 0 && p <= 65535) out.push_back(static_cast<uint16_t>(p));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  long port = 0;
+  std::vector<uint16_t> ports;
+  long max_retries = 4;
+  long deadline_ms = 0;
+  long min_lsn = 0;
   std::string command;
   std::string text;
   for (int i = 1; i < argc; ++i) {
     std::string arg(argv[i]);
     if (arg.rfind("--port=", 0) == 0) {
-      port = std::strtol(arg.substr(7).c_str(), nullptr, 10);
+      long p = std::strtol(arg.substr(7).c_str(), nullptr, 10);
+      if (p > 0 && p <= 65535) ports.push_back(static_cast<uint16_t>(p));
+    } else if (arg.rfind("--ports=", 0) == 0) {
+      for (uint16_t p : ParsePorts(arg.substr(8))) ports.push_back(p);
+    } else if (arg.rfind("--max-retries=", 0) == 0) {
+      max_retries = std::strtol(arg.substr(14).c_str(), nullptr, 10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::strtol(arg.substr(14).c_str(), nullptr, 10);
+    } else if (arg.rfind("--min-lsn=", 0) == 0) {
+      min_lsn = std::strtol(arg.substr(10).c_str(), nullptr, 10);
     } else if (command.empty()) {
       command = arg;
     } else {
       text = arg;
     }
   }
-  if (port <= 0 || port > 65535 || command.empty()) {
+  if (ports.empty() || command.empty()) {
     std::fprintf(stderr,
-                 "usage: gomfm_client --port=N "
+                 "usage: gomfm_client --port=N [--ports=A,B] "
+                 "[--max-retries=N] [--deadline-ms=N] [--min-lsn=N] "
                  "{query|explain|ping|stats} ['<statement>']\n");
     return 1;
   }
 
-  server::Client client;
-  Status st = client.Connect(static_cast<uint16_t>(port));
-  if (!st.ok()) {
-    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
-    return 1;
+  server::ClientOptions copts;
+  if (deadline_ms > 0) {
+    // One attempt never eats the whole budget: connects and reads are
+    // individually bounded so failover has time to try other endpoints.
+    copts.connect_deadline_ms = static_cast<int>(deadline_ms);
+    copts.read_deadline_ms = static_cast<int>(deadline_ms);
   }
+  server::RetryOptions ropts;
+  ropts.max_retries = static_cast<int>(max_retries >= 0 ? max_retries : 0);
+  ropts.deadline_ms = static_cast<int>(deadline_ms);
+  server::FailoverClient client(ports, copts, ropts);
+  (void)min_lsn;  // threaded into query reads below
 
   if (command == "ping") {
-    st = client.Ping();
+    Status st = client.Ping();
     if (!st.ok()) {
       std::fprintf(stderr, "ping failed: %s\n", st.ToString().c_str());
-      return 2;
+      return st.code() == StatusCode::kIoError ? 1 : 2;
     }
     std::printf("pong\n");
     return 0;
@@ -75,7 +120,7 @@ int main(int argc, char** argv) {
     if (!stats.ok()) {
       std::fprintf(stderr, "stats failed: %s\n",
                    stats.status().ToString().c_str());
-      return 2;
+      return stats.status().code() == StatusCode::kIoError ? 1 : 2;
     }
     std::printf("%s\n", stats->c_str());
     return 0;
@@ -85,19 +130,24 @@ int main(int argc, char** argv) {
     if (!rows.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    rows.status().ToString().c_str());
-      return 2;
+      return rows.status().code() == StatusCode::kIoError ? 1 : 2;
     }
     PrintRows(*rows);
     return 0;
   }
   if (command == "explain") {
-    auto plan = client.Explain(text);
-    if (!plan.ok()) {
-      std::fprintf(stderr, "explain failed: %s\n",
-                   plan.status().ToString().c_str());
-      return 2;
+    // EXPLAIN has no FailoverClient wrapper (it is a debugging verb);
+    // issue it through the engine directly.
+    server::Request req;
+    req.type = server::RequestType::kExplain;
+    req.text = text;
+    auto resp = client.Issue(std::move(req));
+    Status st = resp.ok() ? server::ToStatus(*resp) : resp.status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "explain failed: %s\n", st.ToString().c_str());
+      return st.code() == StatusCode::kIoError ? 1 : 2;
     }
-    std::printf("%s\n", plan->c_str());
+    std::printf("%s\n", resp->text.c_str());
     return 0;
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());

@@ -17,6 +17,18 @@
 //   --queue-depth=N        admission queue bound (default 128)
 //   --inflight=N           per-connection in-flight cap (default 8)
 //   --idle-ms=N            connection idle timeout (default 30000)
+//   --repl-port=N          host the replication ship port (default off;
+//                          0 = ephemeral, printed). Enables the WAL and
+//                          base-object image logging — replication is
+//                          strictly opt-in, a plain gomfm_serve stays
+//                          bit-identical to the pre-replication build.
+//   --storms=N             apply N update storms immediately after boot,
+//                          then print "storms done digest ... lsn ..." and
+//                          keep serving — the CI smoke's convergence
+//                          oracle (replicas must report the same digest)
+//
+// SIGUSR2 (with --repl-port) re-prints the current digest/LSN line, so a
+// smoke script can ask for the oracle after kill-and-reconnect churn.
 
 #include <poll.h>
 #include <signal.h>
@@ -25,9 +37,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <shared_mutex>
 #include <string>
 
 #include "common/rng.h"
+#include "repl/ship_server.h"
+#include "repl/snapshot.h"
 #include "server/server.h"
 #include "workload/stack.h"
 
@@ -38,8 +53,13 @@ namespace {
 int g_signal_pipe[2] = {-1, -1};
 
 void OnSignal(int) {
-  char byte = 1;
+  char byte = 'q';
   // Only async-signal-safe calls here; the main loop does the real work.
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+void OnDigest(int) {
+  char byte = 'd';
   [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -71,6 +91,23 @@ Status ApplyStorm(workload::CompanyStack& s, Rng& rng) {
   return batch.Commit();
 }
 
+/// The convergence oracle line: WAL flushed + digest of the replicated
+/// state, taken with the writer side quiet (main thread IS the only
+/// writer; the pool gate held shared keeps it honest anyway).
+void PrintDigestLine(workload::CompanyStack& s, const char* tag) {
+  if (s.env.wal != nullptr) (void)s.env.wal->Flush();
+  uint32_t digest = 0;
+  {
+    std::shared_lock<std::shared_mutex> gate(s.env.session_pool->gate());
+    auto d = repl::StateDigest(&s.env);
+    if (d.ok()) digest = *d;
+  }
+  Lsn lsn = s.env.wal != nullptr ? s.env.wal->flushed_lsn() : 0;
+  std::printf("gomfm_serve %s digest %08x lsn %llu\n", tag, digest,
+              static_cast<unsigned long long>(lsn));
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,12 +116,15 @@ int main(int argc, char** argv) {
   long cuboids = FlagValue(argc, argv, "cuboids", 1000);
   long stall_us = FlagValue(argc, argv, "stall-us", 0);
   long storm_ms = FlagValue(argc, argv, "storm-interval-ms", 0);
+  long repl_port = FlagValue(argc, argv, "repl-port", -1);
+  long storms_burst = FlagValue(argc, argv, "storms", 0);
 
   workload::StackOptions opts;
   opts.buffer_pages = 4096;
   opts.num_cuboids = static_cast<size_t>(cuboids > 0 ? cuboids : 1000);
   opts.materialize_volume = true;
   opts.notify = true;
+  if (repl_port >= 0) opts.storage.enable_wal = true;
   auto stack = workload::MakeCompanyStack(opts);
   if (!stack->setup.ok()) {
     std::fprintf(stderr, "FAILED (stack setup): %s\n",
@@ -93,6 +133,13 @@ int main(int argc, char** argv) {
   }
   if (stall_us > 0) {
     stack->env.mgr.set_io_stall_us(static_cast<int>(stall_us));
+  }
+  if (repl_port >= 0) {
+    // Population predates the attach; replicas get that state via
+    // snapshot. From here on, base-object writes are logged as absolute
+    // images alongside the GMR maintenance records.
+    (void)stack->env.wal->Flush();
+    stack->env.om.AttachReplicationLog(stack->env.wal.get());
   }
 
   server::ServerOptions sopts;
@@ -114,6 +161,23 @@ int main(int argc, char** argv) {
   std::printf("gomfm_serve listening on 127.0.0.1:%u\n", server.port());
   std::fflush(stdout);
 
+  repl::ShipServer ship(&stack->env,
+                        repl::ShipServerOptions{
+                            static_cast<uint16_t>(repl_port > 0 ? repl_port
+                                                                : 0),
+                            /*poll_interval_ms=*/10});
+  if (repl_port >= 0) {
+    Status rst = ship.Start();
+    if (!rst.ok()) {
+      std::fprintf(stderr, "FAILED (ship start): %s\n",
+                   rst.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::printf("gomfm_serve shipping on 127.0.0.1:%u\n", ship.port());
+    std::fflush(stdout);
+  }
+
   if (pipe(g_signal_pipe) != 0) {
     std::fprintf(stderr, "FAILED (pipe): %s\n", std::strerror(errno));
     return 1;
@@ -122,18 +186,48 @@ int main(int argc, char** argv) {
   sa.sa_handler = OnSignal;
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sd{};
+  sd.sa_handler = OnDigest;
+  sigaction(SIGUSR2, &sd, nullptr);
+
+  Rng rng(20260806);
+
+  // Storm burst: drive the replicas hard right away, then publish the
+  // convergence oracle (digest + flushed LSN) and keep serving.
+  if (storms_burst > 0) {
+    for (long i = 0; i < storms_burst; ++i) {
+      Status storm;
+      {
+        workload::SessionPool::WriterLock lock(stack->env.session_pool.get());
+        storm = ApplyStorm(*stack, rng);
+      }
+      if (!storm.ok()) {
+        std::fprintf(stderr, "FAILED (storm): %s\n", storm.ToString().c_str());
+        ship.Stop();
+        server.Stop();
+        return 1;
+      }
+    }
+    PrintDigestLine(*stack, "storms done");
+  }
 
   // Main loop: wait for a signal byte; optionally fire update storms on
   // the way. Storm errors are fatal — a half-applied storm would poison
   // every later answer.
-  Rng rng(20260806);
   uint64_t storms = 0;
   while (true) {
     pollfd p{g_signal_pipe[0], POLLIN, 0};
     int timeout = storm_ms > 0 ? static_cast<int>(storm_ms) : -1;
     int r = poll(&p, 1, timeout);
     if (r < 0 && errno == EINTR) continue;
-    if (r > 0) break;  // signal arrived
+    if (r > 0) {
+      char byte = 0;
+      if (read(g_signal_pipe[0], &byte, 1) == 1 && byte == 'd') {
+        PrintDigestLine(*stack, "digest");
+        continue;
+      }
+      break;  // terminate signal arrived
+    }
     if (r == 0 && storm_ms > 0) {
       Status storm;
       {
@@ -150,6 +244,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  ship.Stop();
   server.Stop();
   std::printf("gomfm_serve drained: %s\n", server.StatsJson().c_str());
   std::printf("gomfm_serve applied %llu update storms\n",

@@ -314,15 +314,25 @@ Response Server::Execute(Connection& conn, const Request& request) {
       break;
     }
     case RequestType::kForward: {
-      auto value = conn.session->ForwardQuery(request.function, request.args);
+      auto value =
+          options_.read_hooks != nullptr && options_.read_hooks->forward
+              ? options_.read_hooks->forward(request.function, request.args,
+                                             request.min_lsn)
+              : conn.session->ForwardQuery(request.function, request.args);
       if (!value.ok()) return ErrorResponse(request.id, value.status());
       response.rows.push_back({std::move(*value)});
       break;
     }
     case RequestType::kBackward: {
-      auto rows = conn.session->BackwardQuery(
-          request.function, request.lo, request.hi, request.lo_inclusive,
-          request.hi_inclusive);
+      auto rows =
+          options_.read_hooks != nullptr && options_.read_hooks->backward
+              ? options_.read_hooks->backward(
+                    request.function, request.lo, request.hi,
+                    request.lo_inclusive, request.hi_inclusive,
+                    request.min_lsn)
+              : conn.session->BackwardQuery(request.function, request.lo,
+                                            request.hi, request.lo_inclusive,
+                                            request.hi_inclusive);
       if (!rows.ok()) return ErrorResponse(request.id, rows.status());
       response.rows = std::move(*rows);
       break;

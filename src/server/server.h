@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,6 +22,23 @@ struct Environment;
 
 namespace gom::server {
 
+/// Replica read overrides: when installed, forward and backward queries
+/// are answered by these hooks instead of the connection's Session. A
+/// replica serves reads from its replicated state only — no lazy
+/// rematerialization, no row insertion — and honors the request's
+/// `min_lsn` staleness bound (answering kStale when behind, which clients
+/// retry). GOMql, EXPLAIN, ping and stats keep their normal paths.
+///
+/// Hooks are called concurrently from worker threads; the installer is
+/// responsible for internal synchronization (gomfm_replica wraps them in a
+/// shared hold of the session-pool gate, against the apply thread's
+/// exclusive hold).
+struct ReadHooks {
+  std::function<Result<Value>(FunctionId, std::vector<Value>, Lsn)> forward;
+  std::function<Result<RowSet>(FunctionId, double, double, bool, bool, Lsn)>
+      backward;
+};
+
 struct ServerOptions {
   /// TCP port on 127.0.0.1; 0 binds an ephemeral port (query `port()`
   /// after Start). The server is loopback-only by design — it is a test
@@ -28,6 +46,8 @@ struct ServerOptions {
   uint16_t port = 0;
   size_t num_workers = 4;
   AdmissionOptions admission;
+  /// Non-null switches forward/backward execution to replica mode.
+  std::shared_ptr<ReadHooks> read_hooks;
 };
 
 /// The GOM service front door: a multithreaded TCP/loopback server

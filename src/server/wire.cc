@@ -70,7 +70,8 @@ Result<RowSet> ReadRows(WalPayloadReader* r) {
   return rows;
 }
 
-/// Wraps a finished payload into a frame appended to `*frame`.
+}  // namespace
+
 void WrapFrame(std::vector<uint8_t> payload, std::vector<uint8_t>* frame) {
   size_t base = frame->size();
   frame->resize(base + kFrameHeaderBytes);
@@ -79,8 +80,6 @@ void WrapFrame(std::vector<uint8_t> payload, std::vector<uint8_t>* frame) {
   PutU32(frame, base + 8, Crc32(payload.data(), payload.size()));
   frame->insert(frame->end(), payload.begin(), payload.end());
 }
-
-}  // namespace
 
 const char* RequestTypeName(RequestType type) {
   switch (type) {
@@ -132,6 +131,10 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* frame) {
       break;
     }
   }
+  if (request.type == RequestType::kForward ||
+      request.type == RequestType::kBackward) {
+    w.U64(request.min_lsn);
+  }
   WrapFrame(w.Take(), frame);
 }
 
@@ -180,6 +183,10 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
       req.hi_inclusive = (flags & 2) != 0;
       break;
     }
+  }
+  if (req.type == RequestType::kForward ||
+      req.type == RequestType::kBackward) {
+    GOMFM_ASSIGN_OR_RETURN(req.min_lsn, r.U64());
   }
   if (!r.exhausted()) {
     return Status::InvalidArgument("wire: trailing bytes after request");
@@ -235,11 +242,96 @@ Result<size_t> TryDecodeFrame(const uint8_t* buf, size_t n,
 }
 
 Result<StatusCode> StatusCodeFromWire(uint8_t code) {
-  if (code > static_cast<uint8_t>(StatusCode::kOverloaded)) {
+  if (code > static_cast<uint8_t>(StatusCode::kStale)) {
     return Status::InvalidArgument("wire: unknown status code " +
                                    std::to_string(code));
   }
   return static_cast<StatusCode>(code);
+}
+
+const char* ReplMsgTypeName(ReplMsgType type) {
+  switch (type) {
+    case ReplMsgType::kHello:
+      return "hello";
+    case ReplMsgType::kSnapshotBegin:
+      return "snapshot-begin";
+    case ReplMsgType::kSnapshotChunk:
+      return "snapshot-chunk";
+    case ReplMsgType::kSnapshotEnd:
+      return "snapshot-end";
+    case ReplMsgType::kWalShip:
+      return "wal-ship";
+    case ReplMsgType::kWalAck:
+      return "wal-ack";
+  }
+  return "unknown";
+}
+
+void EncodeReplMsg(const ReplMsg& msg, std::vector<uint8_t>* frame) {
+  WalPayloadWriter w;
+  w.U8(static_cast<uint8_t>(msg.type));
+  w.U64(msg.lsn);
+  w.U32(msg.seq);
+  w.U32(static_cast<uint32_t>(msg.bytes.size()));
+  w.Bytes(msg.bytes);
+  w.U32(static_cast<uint32_t>(msg.records.size()));
+  for (const WalRecord& rec : msg.records) {
+    w.U64(rec.lsn);
+    w.U8(static_cast<uint8_t>(rec.type));
+    w.U32(static_cast<uint32_t>(rec.payload.size()));
+    w.Bytes(rec.payload);
+  }
+  WrapFrame(w.Take(), frame);
+}
+
+Result<ReplMsg> DecodeReplMsg(const std::vector<uint8_t>& payload) {
+  WalPayloadReader r(payload);
+  ReplMsg msg;
+  GOMFM_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+  if (type < static_cast<uint8_t>(ReplMsgType::kHello) ||
+      type > static_cast<uint8_t>(ReplMsgType::kWalAck)) {
+    return Status::InvalidArgument("wire: unknown repl message type " +
+                                   std::to_string(type));
+  }
+  msg.type = static_cast<ReplMsgType>(type);
+  GOMFM_ASSIGN_OR_RETURN(msg.lsn, r.U64());
+  GOMFM_ASSIGN_OR_RETURN(msg.seq, r.U32());
+  GOMFM_ASSIGN_OR_RETURN(uint32_t nbytes, r.U32());
+  if (static_cast<size_t>(r.end() - *r.cursor()) < nbytes) {
+    return Status::InvalidArgument("wire: truncated repl chunk bytes");
+  }
+  msg.bytes.assign(*r.cursor(), *r.cursor() + nbytes);
+  *r.cursor() += nbytes;
+  GOMFM_ASSIGN_OR_RETURN(uint32_t nrecords, r.U32());
+  // Every record carries at least its 13-byte fixed header; a hostile count
+  // larger than the remaining bytes could hold cannot inflate the reserve.
+  if (static_cast<size_t>(r.end() - *r.cursor()) <
+      static_cast<size_t>(nrecords) * 13) {
+    return Status::InvalidArgument("wire: record count exceeds payload");
+  }
+  msg.records.reserve(nrecords);
+  for (uint32_t i = 0; i < nrecords; ++i) {
+    WalRecord rec;
+    GOMFM_ASSIGN_OR_RETURN(rec.lsn, r.U64());
+    GOMFM_ASSIGN_OR_RETURN(uint8_t rtype, r.U8());
+    if (rtype < static_cast<uint8_t>(WalRecordType::kUpdateIntent) ||
+        rtype > static_cast<uint8_t>(WalRecordType::kObjDelete)) {
+      return Status::InvalidArgument("wire: unknown WAL record type " +
+                                     std::to_string(rtype));
+    }
+    rec.type = static_cast<WalRecordType>(rtype);
+    GOMFM_ASSIGN_OR_RETURN(uint32_t len, r.U32());
+    if (static_cast<size_t>(r.end() - *r.cursor()) < len) {
+      return Status::InvalidArgument("wire: truncated WAL record payload");
+    }
+    rec.payload.assign(*r.cursor(), *r.cursor() + len);
+    *r.cursor() += len;
+    msg.records.push_back(std::move(rec));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire: trailing bytes after repl message");
+  }
+  return msg;
 }
 
 Response ErrorResponse(uint64_t id, const Status& status) {

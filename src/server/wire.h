@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "gom/ids.h"
 #include "gom/value.h"
+#include "storage/wal.h"
 
 namespace gom::server {
 
@@ -55,6 +56,10 @@ struct Request {
   std::vector<Value> args;                   // kForward
   double lo = 0, hi = 0;                     // kBackward
   bool lo_inclusive = true, hi_inclusive = true;
+  /// kForward / kBackward staleness bound: the server must have applied at
+  /// least this LSN (replicas answer kStale below it; primaries always
+  /// satisfy it). 0 = read whatever is there.
+  Lsn min_lsn = 0;
 };
 
 /// One server response. `code != kOk` carries `message`; query answers
@@ -91,6 +96,50 @@ Result<size_t> TryDecodeFrame(const uint8_t* buf, size_t n,
 /// Maps a wire status byte back to a StatusCode, rejecting values outside
 /// the enum (a corrupt-but-CRC-valid peer bug, not silently kInternal).
 Result<StatusCode> StatusCodeFromWire(uint8_t code);
+
+/// Wraps a finished payload into a frame appended to `*frame` (the framing
+/// shared by the request/response and replication protocols).
+void WrapFrame(std::vector<uint8_t> payload, std::vector<uint8_t>* frame);
+
+// --- Replication protocol ---------------------------------------------------
+//
+// WAL shipping runs on its own connections (the primary's ship port), never
+// interleaved with the request/response protocol; frames use the same
+// `[magic][len][crc]` envelope. The replica opens with kHello carrying its
+// durable applied LSN; the primary answers either with a snapshot
+// (kSnapshotBegin, kSnapshotChunk…, kSnapshotEnd — when the requested resume
+// point was truncated away) followed by the live stream, or directly with
+// kWalShip batches resuming at applied + 1. The replica acks its applied
+// position with kWalAck; the minimum over all replicas pins WAL retention.
+
+enum class ReplMsgType : uint8_t {
+  kHello = 1,         // replica → primary: `lsn` = durable applied LSN,
+                      //   `seq` = stable replica id (retention pins key on it
+                      //   so they survive reconnects)
+  kSnapshotBegin = 2, // primary → replica: `lsn` = snapshot LSN, `seq` = #chunks
+  kSnapshotChunk = 3, // primary → replica: `seq` = chunk index, `bytes`
+  kSnapshotEnd = 4,   // primary → replica: `seq` = CRC32 of the whole snapshot
+  kWalShip = 5,       // primary → replica: `records`, `lsn` = primary flushed
+  kWalAck = 6,        // replica → primary: `lsn` = applied LSN
+};
+
+const char* ReplMsgTypeName(ReplMsgType type);
+
+/// One replication-protocol message; which fields are meaningful depends on
+/// `type` (see the enum comments).
+struct ReplMsg {
+  ReplMsgType type = ReplMsgType::kHello;
+  Lsn lsn = kNullLsn;
+  uint32_t seq = 0;
+  std::vector<uint8_t> bytes;
+  std::vector<WalRecord> records;
+};
+
+/// Serializes the message into a complete frame appended to `*frame`.
+void EncodeReplMsg(const ReplMsg& msg, std::vector<uint8_t>* frame);
+
+/// Decodes a frame payload previously validated by `TryDecodeFrame`.
+Result<ReplMsg> DecodeReplMsg(const std::vector<uint8_t>& payload);
 
 /// Shorthand: a response carrying `status` for request `id`.
 Response ErrorResponse(uint64_t id, const Status& status);

@@ -92,12 +92,14 @@ Result<Lsn> WriteAheadLog::Append(WalRecordType type,
   if (pages_.empty() || CurrentPage().used + frame_size > kWalPageCapacity) {
     LogPage page;
     page.id = disk_->AllocatePage();
-    page.seq = static_cast<uint32_t>(pages_.size());
+    page.seq = next_seq_++;
     page.image.assign(kPageSize, 0);
     pages_.push_back(std::move(page));
   }
   LogPage& page = CurrentPage();
   const Lsn lsn = next_lsn_++;
+  if (page.first_lsn == kNullLsn) page.first_lsn = lsn;
+  page.last_lsn = lsn;
   uint8_t* frame = page.image.data() + kWalHeaderSize + page.used;
   PutU16(frame, static_cast<uint16_t>(body_size));
   uint8_t* body = frame + kFrameOverhead;
@@ -163,13 +165,16 @@ Status WriteAheadLog::Open() {
               return a.id < b.id;
             });
 
-  // Accept the longest contiguous seq prefix 0,1,2,… and within it the
-  // longest record chain that passes checksum and LSN-continuity checks.
+  // Accept the longest contiguous seq run starting at the lowest surviving
+  // sequence number (a segment-truncated log no longer starts at 0) and
+  // within it the longest record chain that passes checksum and
+  // LSN-continuity checks. The chain's first record defines the LSN base —
+  // 1 for a never-truncated log, floor + 1 after retention truncation.
   // Everything after the first break is a lost tail: a crash interrupted
   // the flush that would have made it durable.
-  Lsn expected_lsn = 1;
+  Lsn expected_lsn = 0;  // unset until the first record is read
   bool truncated = false;
-  uint32_t next_seq = 0;
+  uint32_t next_seq = candidates.empty() ? 0 : candidates.front().seq;
   size_t chain_end = 0;  // candidates[0, chain_end) joined the chain
   for (const Candidate& cand : candidates) {
     if (truncated || cand.seq != next_seq) break;
@@ -196,7 +201,9 @@ Status WriteAheadLog::Open() {
         break;
       }
       const Lsn lsn = GetU64(body);
-      if (lsn != expected_lsn) {
+      if (expected_lsn == 0) {
+        expected_lsn = lsn;  // chain base: the oldest retained record
+      } else if (lsn != expected_lsn) {
         truncated = true;
         break;
       }
@@ -205,6 +212,8 @@ Status WriteAheadLog::Open() {
       rec.type = static_cast<WalRecordType>(body[8]);
       rec.payload.assign(body + kBodyHeader, body + body_size);
       recovered_.push_back(std::move(rec));
+      if (page.first_lsn == kNullLsn) page.first_lsn = lsn;
+      page.last_lsn = lsn;
       ++expected_lsn;
       offset += kFrameOverhead + body_size;
     }
@@ -225,11 +234,73 @@ Status WriteAheadLog::Open() {
     GOMFM_RETURN_IF_ERROR(disk_->WritePage(candidates[i].id, zero.data()));
   }
 
+  if (expected_lsn == 0) expected_lsn = 1;  // empty log
   next_lsn_ = expected_lsn;
   flushed_lsn_ = expected_lsn - 1;
+  oldest_lsn_ = recovered_.empty() ? next_lsn_ : recovered_.front().lsn;
+  next_seq_ = pages_.empty() ? 0 : pages_.back().seq + 1;
   unflushed_bytes_ = 0;
   // The last chain page (possibly holding a truncated tail) stays current:
   // the next append overwrites the garbage and the next flush re-seals it.
+  return Status::Ok();
+}
+
+Result<std::vector<WalRecord>> WriteAheadLog::ReadFlushedSince(
+    Lsn after, size_t max_records) const {
+  std::vector<WalRecord> out;
+  if (after + 1 < oldest_lsn_) {
+    return Status::OutOfRange(
+        "WAL tail read from LSN " + std::to_string(after + 1) +
+        " but the log was truncated up to " + std::to_string(oldest_lsn_ - 1));
+  }
+  for (const LogPage& page : pages_) {
+    if (page.first_lsn == kNullLsn || page.last_lsn <= after) continue;
+    if (page.first_lsn > flushed_lsn_) break;
+    size_t offset = 0;
+    while (offset + kFrameOverhead <= page.used) {
+      const uint8_t* frame = page.image.data() + kWalHeaderSize + offset;
+      const uint16_t body_size = GetU16(frame);
+      if (body_size < kBodyHeader ||
+          offset + kFrameOverhead + body_size > page.used) {
+        return Status::Internal("WAL tail read hit a malformed frame");
+      }
+      const uint8_t* body = frame + kFrameOverhead;
+      const Lsn lsn = GetU64(body);
+      if (lsn > flushed_lsn_) return out;  // unflushed tail: never shipped
+      if (lsn > after) {
+        WalRecord rec;
+        rec.lsn = lsn;
+        rec.type = static_cast<WalRecordType>(body[8]);
+        rec.payload.assign(body + kBodyHeader, body + body_size);
+        out.push_back(std::move(rec));
+        if (max_records != 0 && out.size() >= max_records) return out;
+      }
+      offset += kFrameOverhead + body_size;
+    }
+  }
+  return out;
+}
+
+Status WriteAheadLog::TruncateUpTo(Lsn floor) {
+  std::vector<uint8_t> zero(kPageSize, 0);
+  size_t dropped = 0;
+  // The current append page is never dropped (the next Append writes into
+  // it), and a dirty page still holds undurable records.
+  while (pages_.size() - dropped > 1) {
+    const LogPage& page = pages_[dropped];
+    if (page.dirty || page.last_lsn == kNullLsn || page.last_lsn > floor) {
+      break;
+    }
+    GOMFM_RETURN_IF_ERROR(disk_->WritePage(page.id, zero.data()));
+    ++dropped;
+  }
+  if (dropped > 0) {
+    pages_.erase(pages_.begin(),
+                 pages_.begin() + static_cast<ptrdiff_t>(dropped));
+    oldest_lsn_ = pages_.front().first_lsn != kNullLsn
+                      ? pages_.front().first_lsn
+                      : next_lsn_;
+  }
   return Status::Ok();
 }
 

@@ -74,6 +74,19 @@ enum class WalRecordType : uint8_t {
   /// intent/batch regions exactly like kRematResult. Payload: gmr u32,
   /// col u32, argc u16, args, value, oidc u16, oids.
   kDeltaApply = 12,
+  /// Full post-update image of one base object (replication shipping,
+  /// opt-in via ObjectManager::AttachReplicationLog). The image is
+  /// *absolute* — apply is idempotent — and excludes the ObjDepFct marks,
+  /// which the receiver maintains from the maintenance records it replays.
+  /// Large objects span several kObjPut records (part/total chunking in
+  /// the payload); see gom/obj_wal_records.h for the codec.
+  kObjPut = 13,
+  /// A base object was created. Same image codec as kObjPut; the receiver
+  /// additionally registers the oid in the type extent and bumps its oid
+  /// allocator past it.
+  kObjCreate = 14,
+  /// A base object was deleted. Payload: oid u64.
+  kObjDelete = 15,
 };
 
 struct WalRecord {
@@ -120,10 +133,34 @@ class WriteAheadLog {
   Lsn last_lsn() const { return next_lsn_ - 1; }
   Lsn flushed_lsn() const { return flushed_lsn_; }
 
+  /// LSN of the oldest record the log still holds (kNullLsn + 1 == 1 for a
+  /// never-truncated log). After `TruncateUpTo(f)` this is f + 1. A reader
+  /// wanting to resume from LSN r can be served iff oldest_lsn() <= r + 1.
+  Lsn oldest_lsn() const { return oldest_lsn_; }
+
+  /// Tailing (replication shipping): decodes the *durable* records with
+  /// `lsn > after` out of the in-memory page images, up to `max_records`
+  /// per call (0 = unlimited). Never touches the disk and never returns
+  /// unflushed records — the shipped stream is exactly the crash-safe
+  /// prefix. kOutOfRange when `after + 1` has already been truncated away
+  /// (the reader must bootstrap from a snapshot instead).
+  Result<std::vector<WalRecord>> ReadFlushedSince(Lsn after,
+                                                  size_t max_records) const;
+
+  /// Segment retention: drops every *sealed* log page whose records are all
+  /// <= `floor` (the current append page is never dropped), zeroing the
+  /// pages on disk so a later Open() cannot resurrect them. The caller
+  /// guarantees a snapshot at or above `floor` exists somewhere — replayng
+  /// the remaining suffix alone only recovers state past that snapshot.
+  Status TruncateUpTo(Lsn floor);
+
   /// Recovery: scans the disk image for log pages and rebuilds the record
-  /// chain, truncating at the first break. The log is then positioned to
-  /// continue appending after the last durable record. Records recovered
-  /// are retained for `Replay`.
+  /// chain, truncating at the first break. The chain may start at a
+  /// non-zero page sequence / LSN when the log was segment-truncated before
+  /// the crash — the contiguous run beginning at the *lowest surviving*
+  /// sequence number is accepted. The log is then positioned to continue
+  /// appending after the last durable record. Records recovered are
+  /// retained for `Replay`.
   Status Open();
 
   /// Iterates the records recovered by `Open()` in LSN order.
@@ -145,6 +182,8 @@ class WriteAheadLog {
     uint32_t seq = 0;
     uint16_t used = 0;  // record bytes after the header
     bool dirty = false;
+    Lsn first_lsn = kNullLsn;  // LSN range held, for tailing & truncation
+    Lsn last_lsn = kNullLsn;
     std::vector<uint8_t> image;  // kPageSize, header maintained on write
   };
 
@@ -156,6 +195,10 @@ class WriteAheadLog {
   std::vector<WalRecord> recovered_;
   Lsn next_lsn_ = 1;
   Lsn flushed_lsn_ = kNullLsn;
+  Lsn oldest_lsn_ = 1;
+  /// Page sequence numbers are monotonic across truncation (pages_.size()
+  /// would collide with dropped sequences at recovery).
+  uint32_t next_seq_ = 0;
   size_t unflushed_bytes_ = 0;
   uint64_t appends_ = 0;
   uint64_t flushes_ = 0;

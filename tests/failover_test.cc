@@ -1,0 +1,382 @@
+// TCP-level replication and client failover: a real ShipServer streaming
+// to a real socket-fed ReplicaCore (kill-and-reconnect included), the
+// replica-mode query server answering staleness-bounded reads, and the
+// FailoverClient walking dead endpoints, retrying kStale and following a
+// promotion.
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "repl/replica.h"
+#include "repl/ship_server.h"
+#include "repl/snapshot.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/stack.h"
+
+namespace gom::repl {
+namespace {
+
+std::unique_ptr<workload::CompanyStack> MakePrimaryStack(size_t cuboids) {
+  workload::StackOptions opts;
+  opts.buffer_pages = 256;
+  opts.num_cuboids = cuboids;
+  opts.materialize_volume = true;
+  opts.notify = true;
+  opts.storage.enable_wal = true;
+  auto stack = workload::MakeCompanyStack(opts);
+  if (stack->setup.ok()) {
+    EXPECT_TRUE(stack->env.wal->Flush().ok());
+    stack->env.om.AttachReplicationLog(stack->env.wal.get());
+  }
+  return stack;
+}
+
+std::unique_ptr<workload::CompanyStack> MakeReplicaStack() {
+  workload::StackOptions opts;
+  opts.buffer_pages = 256;
+  opts.num_cuboids = 0;
+  opts.materialize_volume = true;
+  opts.notify = false;
+  auto stack = workload::MakeCompanyStack(opts);
+  return stack;
+}
+
+Status ApplyStorm(workload::CompanyStack& s, Rng& rng) {
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  GmrManager::UpdateBatch batch(&s.env.mgr);
+  for (size_t i = 0; i < 8; ++i) {
+    Oid c = s.cuboids[rng.UniformInt(0, s.cuboids.size() - 1)];
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> vertices,
+                           s.geo.VerticesOf(&s.env.om, c));
+    GOMFM_RETURN_IF_ERROR(s.env.om.SetAttribute(
+        vertices[rng.UniformInt(1, 3)], kCoords[rng.UniformInt(0, 2)],
+        Value::Float(rng.UniformDouble(1, 15))));
+  }
+  return batch.Commit();
+}
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendFrame(int fd, const server::ReplMsg& msg) {
+  std::vector<uint8_t> frame;
+  server::EncodeReplMsg(msg, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Socket-fed replica pump: connect, Hello(applied), apply frames until
+/// `target` is reached or `budget_ms` expires. Returns true on catch-up.
+bool PumpReplicaOnce(uint16_t ship_port, uint32_t id, ReplicaCore* core,
+                     Lsn target, int budget_ms) {
+  int fd = ConnectLoopback(ship_port);
+  if (fd < 0) return false;
+  server::ReplMsg hello = core->Hello();
+  hello.seq = id;
+  if (!SendFrame(fd, hello)) {
+    ::close(fd);
+    return false;
+  }
+  std::vector<uint8_t> rx;
+  std::vector<uint8_t> chunk(64 * 1024);
+  bool ok = false;
+  for (int waited = 0; waited < budget_ms;) {
+    if (core->applied_lsn() != kNullLsn && core->applied_lsn() >= target) {
+      ok = true;
+      break;
+    }
+    pollfd p{fd, POLLIN, 0};
+    int r = ::poll(&p, 1, 50);
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      waited += 50;
+      continue;
+    }
+    if (r < 0) break;
+    ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+    if (n <= 0) break;
+    rx.insert(rx.end(), chunk.begin(), chunk.begin() + n);
+    bool broken = false;
+    while (!broken) {
+      std::vector<uint8_t> payload;
+      auto consumed = server::TryDecodeFrame(rx.data(), rx.size(), &payload);
+      if (!consumed.ok()) {
+        broken = true;
+        break;
+      }
+      if (*consumed == 0) break;
+      rx.erase(rx.begin(), rx.begin() + *consumed);
+      auto msg = server::DecodeReplMsg(payload);
+      if (!msg.ok()) {
+        broken = true;
+        break;
+      }
+      auto ack = core->Handle(*msg);
+      if (!ack.ok()) {
+        broken = true;
+        break;
+      }
+      if (ack->has_value() && !SendFrame(fd, **ack)) broken = true;
+    }
+    if (broken) break;
+  }
+  ::close(fd);
+  return ok;
+}
+
+TEST(FailoverTest, TcpShipCatchUpSurvivesKilledConnection) {
+  auto primary = MakePrimaryStack(10);
+  ASSERT_TRUE(primary->setup.ok()) << primary->setup.ToString();
+  ShipServer ship(&primary->env);
+  ASSERT_TRUE(ship.Start().ok());
+
+  auto replica = MakeReplicaStack();
+  ASSERT_TRUE(replica->setup.ok()) << replica->setup.ToString();
+  ReplicaCore core(&replica->env);
+
+  // Bootstrap + first storm burst.
+  Rng rng(424242);
+  for (int i = 0; i < 3; ++i) {
+    workload::SessionPool::WriterLock lock(primary->env.session_pool.get());
+    ASSERT_TRUE(ApplyStorm(*primary, rng).ok());
+  }
+  ASSERT_TRUE(primary->env.wal->Flush().ok());
+  Lsn target1 = primary->env.wal->flushed_lsn();
+  ASSERT_TRUE(PumpReplicaOnce(ship.port(), 1, &core, target1, 10000));
+
+  // Kill the connection (PumpReplicaOnce closed it), storm more, then
+  // reconnect: the replica resumes from its applied LSN, no snapshot.
+  uint64_t snapshots_before = core.stats().snapshots_installed;
+  for (int i = 0; i < 3; ++i) {
+    workload::SessionPool::WriterLock lock(primary->env.session_pool.get());
+    ASSERT_TRUE(ApplyStorm(*primary, rng).ok());
+  }
+  ASSERT_TRUE(primary->env.wal->Flush().ok());
+  Lsn target2 = primary->env.wal->flushed_lsn();
+  ASSERT_GT(target2, target1);
+  ASSERT_TRUE(PumpReplicaOnce(ship.port(), 1, &core, target2, 10000));
+  EXPECT_EQ(core.stats().snapshots_installed, snapshots_before);
+
+  // Zero divergence, over real sockets.
+  auto want = StateDigest(&primary->env);
+  auto got = StateDigest(&replica->env);
+  ASSERT_TRUE(want.ok() && got.ok());
+  EXPECT_EQ(*got, *want);
+
+  ship.Stop();
+}
+
+TEST(FailoverTest, ReplicaQueryServerHonorsStalenessBound) {
+  auto primary = MakePrimaryStack(8);
+  ASSERT_TRUE(primary->setup.ok()) << primary->setup.ToString();
+  ShipServer ship(&primary->env);
+  ASSERT_TRUE(ship.Start().ok());
+
+  auto replica = MakeReplicaStack();
+  ASSERT_TRUE(replica->setup.ok()) << replica->setup.ToString();
+  ReplicaCore core(&replica->env);
+  replica->env.ReleaseSession(replica->env.MakeSession());
+
+  auto hooks = std::make_shared<server::ReadHooks>();
+  workload::Environment* renv = &replica->env;
+  ReplicaCore* core_ptr = &core;
+  hooks->forward = [renv, core_ptr](FunctionId f, std::vector<Value> args,
+                                    Lsn min_lsn) -> Result<Value> {
+    std::shared_lock<std::shared_mutex> gate(renv->session_pool->gate());
+    return core_ptr->ForwardRead(f, std::move(args), min_lsn);
+  };
+  hooks->backward = [renv, core_ptr](
+                        FunctionId f, double lo, double hi, bool lo_inc,
+                        bool hi_inc, Lsn min_lsn) -> Result<server::RowSet> {
+    std::shared_lock<std::shared_mutex> gate(renv->session_pool->gate());
+    return core_ptr->BackwardRead(f, lo, hi, lo_inc, hi_inc, min_lsn);
+  };
+  server::ServerOptions sopts;
+  sopts.read_hooks = hooks;
+  server::Server qserver(&replica->env, sopts);
+  ASSERT_TRUE(qserver.Start().ok());
+
+  ASSERT_TRUE(primary->env.wal->Flush().ok());
+  Lsn target = primary->env.wal->flushed_lsn();
+  ASSERT_TRUE(PumpReplicaOnce(ship.port(), 1, &core, target, 10000));
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect(qserver.port()).ok());
+  Oid c = primary->cuboids.front();
+  auto want = primary->env.mgr.ForwardLookup(primary->geo.volume,
+                                             {Value::Ref(c)});
+  ASSERT_TRUE(want.ok());
+  // That lookup may have materialized a row: ship it before comparing.
+  ASSERT_TRUE(primary->env.wal->Flush().ok());
+  ASSERT_TRUE(PumpReplicaOnce(ship.port(), 1, &core,
+                              primary->env.wal->flushed_lsn(), 10000));
+
+  auto got = client.Forward(primary->geo.volume, {Value::Ref(c)},
+                            /*min_lsn=*/core.applied_lsn());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_DOUBLE_EQ(got->as_float(), want->as_float());
+
+  // Demanding an LSN the replica has not applied is a typed kStale on the
+  // wire, not a wrong answer and not a hang.
+  auto stale = client.Forward(primary->geo.volume, {Value::Ref(c)},
+                              core.applied_lsn() + 1000);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kStale);
+
+  qserver.Stop();
+  ship.Stop();
+}
+
+TEST(FailoverTest, FailoverClientWalksDeadEndpoints) {
+  auto primary = MakePrimaryStack(6);
+  ASSERT_TRUE(primary->setup.ok()) << primary->setup.ToString();
+  server::Server live(&primary->env, server::ServerOptions{});
+  ASSERT_TRUE(live.Start().ok());
+
+  // Find a port nothing listens on by binding-and-closing one.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  server::ClientOptions copts;
+  copts.connect_deadline_ms = 2000;
+  server::RetryOptions ropts;
+  ropts.max_retries = 4;
+  server::FailoverClient client({dead_port, live.port()}, copts, ropts);
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_GE(client.stats().failovers, 1u);
+  EXPECT_EQ(client.active_endpoint(), 1u);
+
+  // Kill the live server: the next call fails over back around the list
+  // and ultimately reports the failure instead of hanging.
+  live.Stop();
+  Status st = client.Ping();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(FailoverTest, FailoverClientRetriesStaleBoundedly) {
+  // Replica-mode server over an empty, never-fed replica: every bounded
+  // read is kStale. With min_lsn=0 reads pass through immediately.
+  auto replica = MakeReplicaStack();
+  ASSERT_TRUE(replica->setup.ok()) << replica->setup.ToString();
+  ReplicaCore core(&replica->env);
+  replica->env.ReleaseSession(replica->env.MakeSession());
+  auto hooks = std::make_shared<server::ReadHooks>();
+  workload::Environment* renv = &replica->env;
+  ReplicaCore* core_ptr = &core;
+  hooks->forward = [renv, core_ptr](FunctionId f, std::vector<Value> args,
+                                    Lsn min_lsn) -> Result<Value> {
+    std::shared_lock<std::shared_mutex> gate(renv->session_pool->gate());
+    return core_ptr->ForwardRead(f, std::move(args), min_lsn);
+  };
+  server::ServerOptions sopts;
+  sopts.read_hooks = hooks;
+  server::Server qserver(&replica->env, sopts);
+  ASSERT_TRUE(qserver.Start().ok());
+
+  server::RetryOptions ropts;
+  ropts.max_retries = 2;
+  ropts.initial_backoff_ms = 1;
+  ropts.max_backoff_ms = 4;
+  server::FailoverClient client({qserver.port()}, server::ClientOptions{},
+                                ropts);
+  auto stale = client.Forward(replica->geo.volume, {Value::Ref(kNilOid)},
+                              /*min_lsn=*/100);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kStale);
+  // It did not give up on the first kStale.
+  EXPECT_GE(client.stats().retries, 2u);
+  EXPECT_EQ(client.stats().attempts, 3u);
+
+  qserver.Stop();
+}
+
+TEST(FailoverTest, PromotedReplicaAnswersThroughFailover) {
+  auto primary = MakePrimaryStack(8);
+  ASSERT_TRUE(primary->setup.ok()) << primary->setup.ToString();
+  server::Server pserver(&primary->env, server::ServerOptions{});
+  ASSERT_TRUE(pserver.Start().ok());
+  ShipServer ship(&primary->env);
+  ASSERT_TRUE(ship.Start().ok());
+
+  auto replica = MakeReplicaStack();
+  ASSERT_TRUE(replica->setup.ok()) << replica->setup.ToString();
+  ReplicaCore core(&replica->env);
+  replica->env.ReleaseSession(replica->env.MakeSession());
+
+  ASSERT_TRUE(primary->env.wal->Flush().ok());
+  ASSERT_TRUE(PumpReplicaOnce(ship.port(), 1, &core,
+                              primary->env.wal->flushed_lsn(), 10000));
+
+  // Promote, then serve the *normal* (primary) read path: after promotion
+  // the node runs without read hooks, exactly like gomfm_serve.
+  {
+    workload::SessionPool::WriterLock lock(replica->env.session_pool.get());
+    ASSERT_TRUE(core.Promote().ok());
+  }
+  server::Server rserver(&replica->env, server::ServerOptions{});
+  ASSERT_TRUE(rserver.Start().ok());
+
+  Oid c = primary->cuboids.front();
+  auto want = primary->env.mgr.ForwardLookup(primary->geo.volume,
+                                             {Value::Ref(c)});
+  ASSERT_TRUE(want.ok());
+
+  // Old primary dies; the client's endpoint list carries it over to the
+  // promoted node, which answers from replicated (now writable) state.
+  ship.Stop();
+  pserver.Stop();
+  server::ClientOptions copts;
+  copts.connect_deadline_ms = 2000;
+  server::FailoverClient client({pserver.port(), rserver.port()}, copts,
+                                server::RetryOptions{});
+  auto got = client.Forward(primary->geo.volume, {Value::Ref(c)});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_DOUBLE_EQ(got->as_float(), want->as_float());
+  EXPECT_GE(client.stats().failovers, 1u);
+
+  rserver.Stop();
+}
+
+}  // namespace
+}  // namespace gom::repl

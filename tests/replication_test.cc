@@ -1,0 +1,266 @@
+// Replication convergence: the seeded fault sweep, snapshot bootstrap,
+// strict-LSN apply discipline, staleness-bounded replica reads and
+// promotion with an oracle check on post-promotion writes.
+
+#include <cstdio>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "repl/rig.h"
+#include "repl/snapshot.h"
+
+namespace gom::repl {
+namespace {
+
+TEST(ReplicationTest, SnapshotBootstrapConverges) {
+  RigOptions opts;
+  opts.num_cuboids = 8;
+  ReplicationRig rig(opts);
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  ASSERT_TRUE(rig.AddReplica().ok());
+  ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());
+  auto conv = rig.Converged();
+  ASSERT_TRUE(conv.ok()) << conv.status().ToString();
+  EXPECT_TRUE(*conv);
+  // Bootstrap over a truncated-away resume point is a snapshot, not a
+  // record stream.
+  EXPECT_EQ(rig.replica(0).stats().snapshots_installed, 1u);
+}
+
+TEST(ReplicationTest, SnapshotEncodeDecodeRoundTrips) {
+  RigOptions opts;
+  opts.num_cuboids = 6;
+  ReplicationRig rig(opts);
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  ASSERT_TRUE(rig.RunMix(20, 7).ok());
+  auto snap = CaptureSnapshot(&rig.primary());
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  std::vector<uint8_t> bytes = EncodeSnapshot(*snap);
+  auto back = DecodeSnapshot(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->lsn, snap->lsn);
+  EXPECT_EQ(back->next_oid, snap->next_oid);
+  EXPECT_EQ(back->objects.size(), snap->objects.size());
+  EXPECT_EQ(back->rows.size(), snap->rows.size());
+  EXPECT_EQ(back->rrr.size(), snap->rrr.size());
+  EXPECT_EQ(EncodeSnapshot(*back), bytes);
+}
+
+TEST(ReplicationTest, CleanStreamTracksUpdateMix) {
+  RigOptions opts;
+  opts.num_cuboids = 10;
+  ReplicationRig rig(opts);
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  ASSERT_TRUE(rig.AddReplica().ok());
+  ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());
+  for (uint64_t round = 0; round < 5; ++round) {
+    ASSERT_TRUE(rig.RunMix(25, 100 + round).ok());
+    ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());
+    auto conv = rig.Converged();
+    ASSERT_TRUE(conv.ok()) << conv.status().ToString();
+    EXPECT_TRUE(*conv) << "diverged after mix round " << round;
+  }
+  // A fault-free stream never needs a reconnect or sees a gap.
+  EXPECT_EQ(rig.reconnects(0), 0u);
+  EXPECT_EQ(rig.replica(0).stats().gaps_detected, 0u);
+}
+
+TEST(ReplicationTest, ReplicaReadsServeMaterializedResults) {
+  RigOptions opts;
+  opts.num_cuboids = 8;
+  ReplicationRig rig(opts);
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  ASSERT_TRUE(rig.AddReplica().ok());
+  ASSERT_TRUE(rig.RunMix(30, 11).ok());
+  ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());
+
+  Oid c = rig.cuboids().front();
+  auto want = rig.primary().mgr.ForwardLookup(rig.geo().volume,
+                                              {Value::Ref(c)});
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());  // the lookup may have logged
+
+  auto got = rig.replica(0).ForwardRead(rig.geo().volume, {Value::Ref(c)},
+                                        /*min_lsn=*/0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_DOUBLE_EQ(got->as_float(), want->as_float());
+
+  // Staleness bound: demanding an LSN beyond the applied position is a
+  // typed, retryable refusal.
+  Lsn beyond = rig.replica(0).applied_lsn() + 1000;
+  auto stale = rig.replica(0).ForwardRead(rig.geo().volume, {Value::Ref(c)},
+                                          beyond);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kStale);
+}
+
+// The tentpole acceptance sweep: >= 200 distinct fault schedules (drops,
+// duplicates, reorders, corruption, mid-frame cuts, stalls — alone and
+// combined), each followed by a convergence check that the replica's
+// digest of objects + GMR extensions + RRR is bit-identical to the
+// primary's.
+TEST(ReplicationTest, FaultSweepConvergesBitIdentical) {
+  constexpr size_t kPoints = 200;
+  FaultyLink::Counters totals;
+  uint64_t total_reconnects = 0;
+  uint64_t total_dups_skipped = 0;
+  uint64_t total_gaps = 0;
+
+  for (size_t point = 0; point < kPoints; ++point) {
+    RigOptions opts;
+    opts.num_cuboids = 6;
+    opts.populate_seed = 97 + point;
+    opts.faults.seed = 1000 + point;
+    // Walk a lattice of fault mixes; every class gets exercised alone and
+    // in combination across the sweep.
+    opts.faults.drop_rate = 0.05 * (point % 5);
+    opts.faults.corrupt_rate = 0.04 * ((point / 5) % 3);
+    opts.faults.duplicate_rate = 0.06 * ((point / 3) % 3);
+    opts.faults.reorder_rate = 0.05 * ((point / 7) % 4);
+    opts.faults.cut_rate = 0.03 * ((point / 11) % 3);
+    opts.faults.stall_rate = 0.06 * ((point / 13) % 3);
+    // Small ship batches turn each catch-up into a multi-frame stream, so
+    // mid-stream drops surface as detectable gaps and duplicated frames
+    // actually get drained (a faulted tail frame only ever times out).
+    opts.ship.max_records_per_ship = 8;
+
+    ReplicationRig rig(opts);
+    ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+    ASSERT_TRUE(rig.AddReplica().ok());
+    for (uint64_t round = 0; round < 3; ++round) {
+      ASSERT_TRUE(rig.RunMix(8, 5000 + point * 7 + round).ok());
+      Status pumped = rig.PumpUntilCaughtUp();
+      ASSERT_TRUE(pumped.ok())
+          << "point " << point << ": " << pumped.ToString();
+    }
+    auto conv = rig.Converged();
+    ASSERT_TRUE(conv.ok()) << conv.status().ToString();
+    ASSERT_TRUE(*conv) << "digest divergence at sweep point " << point;
+
+    const FaultyLink::Counters& c = rig.link(0).counters();
+    totals.cut += c.cut;
+    totals.dropped += c.dropped;
+    totals.corrupted += c.corrupted;
+    totals.duplicated += c.duplicated;
+    totals.reordered += c.reordered;
+    totals.stalled += c.stalled;
+    total_reconnects += rig.reconnects(0);
+    total_dups_skipped += rig.replica(0).stats().duplicates_skipped;
+    total_gaps += rig.replica(0).stats().gaps_detected;
+  }
+
+  // The sweep must actually have injected every fault class and forced
+  // the recovery machinery through its paces — otherwise the 200 green
+  // points prove nothing.
+  EXPECT_GT(totals.cut, 0u);
+  EXPECT_GT(totals.dropped, 0u);
+  EXPECT_GT(totals.corrupted, 0u);
+  EXPECT_GT(totals.duplicated, 0u);
+  EXPECT_GT(totals.reordered, 0u);
+  EXPECT_GT(totals.stalled, 0u);
+  EXPECT_GT(total_reconnects, 0u);
+  EXPECT_GT(total_dups_skipped, 0u);
+  EXPECT_GT(total_gaps, 0u);
+  std::printf(
+      "sweep: %llu cuts, %llu drops, %llu corruptions, %llu duplicates, "
+      "%llu reorders, %llu stalls, %llu reconnects, %llu dup-skips, "
+      "%llu gaps\n",
+      static_cast<unsigned long long>(totals.cut),
+      static_cast<unsigned long long>(totals.dropped),
+      static_cast<unsigned long long>(totals.corrupted),
+      static_cast<unsigned long long>(totals.duplicated),
+      static_cast<unsigned long long>(totals.reordered),
+      static_cast<unsigned long long>(totals.stalled),
+      static_cast<unsigned long long>(total_reconnects),
+      static_cast<unsigned long long>(total_dups_skipped),
+      static_cast<unsigned long long>(total_gaps));
+}
+
+TEST(ReplicationTest, TwoReplicasConvergeIndependently) {
+  RigOptions opts;
+  opts.num_cuboids = 8;
+  opts.faults.seed = 42;
+  opts.faults.drop_rate = 0.1;
+  opts.faults.duplicate_rate = 0.1;
+  opts.faults.reorder_rate = 0.1;
+  ReplicationRig rig(opts);
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  ASSERT_TRUE(rig.AddReplica().ok());
+  ASSERT_TRUE(rig.AddReplica().ok());
+  ASSERT_TRUE(rig.RunMix(40, 77).ok());
+  ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());
+  auto conv = rig.Converged();
+  ASSERT_TRUE(conv.ok()) << conv.status().ToString();
+  EXPECT_TRUE(*conv);
+}
+
+// Promotion: a caught-up replica becomes a writable primary. Post-
+// promotion writes are oracle-checked — a cuboid created on the promoted
+// node with known edge lengths must answer volume = a·b·c through the
+// GMR, and updating a vertex must invalidate-and-recompute, never serve
+// the stale result.
+TEST(ReplicationTest, PromotionServesOracleCheckedWrites) {
+  RigOptions opts;
+  opts.num_cuboids = 8;
+  opts.faults.seed = 9;
+  opts.faults.drop_rate = 0.1;  // promotion after a bumpy stream
+  ReplicationRig rig(opts);
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  ASSERT_TRUE(rig.AddReplica().ok());
+  ASSERT_TRUE(rig.RunMix(30, 13).ok());
+  ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());
+  auto conv = rig.Converged();
+  ASSERT_TRUE(conv.ok() && *conv);
+
+  ReplicaCore& core = rig.replica(0);
+  ASSERT_TRUE(core.Promote().ok());
+  EXPECT_TRUE(core.promoted());
+  // Idempotent, and shipped traffic is refused from now on.
+  EXPECT_TRUE(core.Promote().ok());
+  server::ReplMsg ship;
+  ship.type = server::ReplMsgType::kWalShip;
+  EXPECT_EQ(core.Handle(ship).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  workload::Environment& env = rig.replica_env(0);
+  const workload::CuboidSchema& geo = rig.replica_geo(0);
+
+  // Oracle 1: fresh cuboid with known edges answers a·b·c.
+  auto made = geo.MakeCuboid(&env.om, 2.0, 3.0, 4.0, rig.iron());
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto vol = env.mgr.ForwardLookup(geo.volume, {Value::Ref(*made)});
+  ASSERT_TRUE(vol.ok()) << vol.status().ToString();
+  EXPECT_DOUBLE_EQ(vol->as_float(), 24.0);
+
+  // Oracle 2: updating replicated state recomputes through the notifier.
+  Oid existing = kNilOid;
+  for (Oid c : rig.cuboids()) {
+    if (env.om.Exists(c)) {
+      existing = c;
+      break;
+    }
+  }
+  ASSERT_NE(existing, kNilOid);
+  auto before = env.mgr.ForwardLookup(geo.volume, {Value::Ref(existing)});
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  auto v1 = env.om.GetAttribute(existing, "V1");
+  ASSERT_TRUE(v1.ok());
+  // Move V1 far along X: the box spanned by the vertices changes volume.
+  auto x = env.om.GetAttribute(v1->as_ref(), "X");
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(env.om
+                  .SetAttribute(v1->as_ref(), "X",
+                                Value::Float(x->as_float() + 5.0))
+                  .ok());
+  auto after = env.mgr.ForwardLookup(geo.volume, {Value::Ref(existing)});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after->as_float(), before->as_float());
+
+  // Oracle 3: the plain interpreter agrees with the GMR answer.
+  auto plain = env.interp.Invoke(geo.volume, {Value::Ref(existing)});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_DOUBLE_EQ(after->as_float(), plain->as_float());
+}
+
+}  // namespace
+}  // namespace gom::repl

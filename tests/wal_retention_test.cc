@@ -1,0 +1,154 @@
+// WAL segment retention under replication: the truncation floor is pinned
+// by the slowest replica's acked LSN, the `wal_oldest_needed_lsn` gauge
+// tracks it, Disconnect keeps the pin (the replica will be back) while
+// Drop releases it, and a replica resuming below the retained range gets
+// a snapshot instead of an impossible record stream.
+
+#include "gtest/gtest.h"
+#include "repl/rig.h"
+#include "server/wire.h"
+
+namespace gom::repl {
+namespace {
+
+/// A rig with no replicas is just a WAL-enabled primary plus a shipper —
+/// the retention tests drive the shipper by hand to control exactly who
+/// acked what.
+ReplicationRig MakePrimary() {
+  RigOptions opts;
+  opts.num_cuboids = 6;
+  return ReplicationRig(opts);
+}
+
+Lsn Flushed(ReplicationRig& rig) {
+  EXPECT_TRUE(rig.primary().wal->Flush().ok());
+  return rig.primary().wal->flushed_lsn();
+}
+
+TEST(WalRetentionTest, FloorIsMinOverAckedReplicas) {
+  ReplicationRig rig = MakePrimary();
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  WalShipper& shipper = rig.shipper();
+
+  // Both replicas bootstrap via snapshot (fresh, nothing applied).
+  auto t1 = shipper.Connect(1, kNullLsn);
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  ASSERT_FALSE(t1->empty());
+  EXPECT_EQ(t1->front().type, server::ReplMsgType::kSnapshotBegin);
+  auto t2 = shipper.Connect(2, kNullLsn);
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString();
+  Lsn snap_lsn = t1->front().lsn;
+
+  // The snapshot itself counts as acked-up-to-snapshot: nothing at or
+  // below it is ever needed again by these replicas.
+  EXPECT_EQ(shipper.retention_floor(), snap_lsn);
+
+  ASSERT_TRUE(rig.RunMix(25, 3).ok());
+  Lsn head = Flushed(rig);
+  ASSERT_GT(head, snap_lsn);
+
+  // Replica 1 catches all the way up; replica 2 stays at the snapshot.
+  ASSERT_TRUE(shipper.Ack(1, head).ok());
+  EXPECT_EQ(shipper.retention_floor(), snap_lsn);
+  // The gauge mirrors the floor.
+  EXPECT_EQ(rig.primary().mgr.stats().wal_oldest_needed_lsn.load(), snap_lsn);
+  // Records above the slow replica's ack must survive truncation.
+  EXPECT_LE(rig.primary().wal->oldest_lsn(), snap_lsn + 1);
+  auto still_there = rig.primary().wal->ReadFlushedSince(snap_lsn, 1u << 20);
+  ASSERT_TRUE(still_there.ok()) << still_there.status().ToString();
+  EXPECT_FALSE(still_there->empty());
+
+  // The slow replica advances: the floor follows the new minimum and the
+  // log actually shrinks behind it (page-granular, so the oldest retained
+  // LSN lands at or below floor + 1 but strictly past where it was).
+  Lsn oldest_before = rig.primary().wal->oldest_lsn();
+  ASSERT_TRUE(shipper.Ack(2, head).ok());
+  EXPECT_EQ(shipper.retention_floor(), head);
+  EXPECT_LE(rig.primary().wal->oldest_lsn(), head + 1);
+  EXPECT_GT(rig.primary().wal->oldest_lsn(), oldest_before);
+  EXPECT_EQ(rig.primary().mgr.stats().wal_oldest_needed_lsn.load(), head);
+}
+
+TEST(WalRetentionTest, DisconnectKeepsPinDropReleasesIt) {
+  ReplicationRig rig = MakePrimary();
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  WalShipper& shipper = rig.shipper();
+
+  auto t1 = shipper.Connect(1, kNullLsn);
+  ASSERT_TRUE(t1.ok());
+  auto t2 = shipper.Connect(2, kNullLsn);
+  ASSERT_TRUE(t2.ok());
+  Lsn snap_lsn = t1->front().lsn;
+
+  ASSERT_TRUE(rig.RunMix(20, 5).ok());
+  Lsn head = Flushed(rig);
+  ASSERT_TRUE(shipper.Ack(1, head).ok());
+
+  // A disconnected replica is expected back: its pin must hold, or its
+  // resume point would be truncated away while it reboots.
+  shipper.Disconnect(2);
+  EXPECT_EQ(shipper.retention_floor(), snap_lsn);
+  EXPECT_GT(head, snap_lsn);
+
+  // Dropping it for good releases the pin; the floor jumps to the
+  // remaining replica and truncation catches up (page-granular).
+  Lsn oldest_before = rig.primary().wal->oldest_lsn();
+  shipper.Drop(2);
+  EXPECT_EQ(shipper.retention_floor(), head);
+  EXPECT_LE(rig.primary().wal->oldest_lsn(), head + 1);
+  EXPECT_GT(rig.primary().wal->oldest_lsn(), oldest_before);
+}
+
+TEST(WalRetentionTest, ResumeBelowRetainedRangeGetsSnapshot) {
+  ReplicationRig rig = MakePrimary();
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  WalShipper& shipper = rig.shipper();
+
+  auto t1 = shipper.Connect(1, kNullLsn);
+  ASSERT_TRUE(t1.ok());
+  Lsn snap_lsn = t1->front().lsn;
+  ASSERT_TRUE(rig.RunMix(20, 9).ok());
+  Lsn head = Flushed(rig);
+  ASSERT_TRUE(shipper.Ack(1, head).ok());
+  // Truncated up to `head` now. A replica claiming an applied position
+  // whose successor record is gone cannot be streamed to.
+  ASSERT_GT(head, snap_lsn);
+  auto resume = shipper.Connect(2, snap_lsn);
+  ASSERT_TRUE(resume.ok()) << resume.status().ToString();
+  ASSERT_FALSE(resume->empty());
+  EXPECT_EQ(resume->front().type, server::ReplMsgType::kSnapshotBegin);
+  EXPECT_EQ(resume->back().type, server::ReplMsgType::kSnapshotEnd);
+
+  // A replica already at the head resumes with an empty train (records
+  // flow through Poll from here).
+  auto at_head = shipper.Connect(3, head);
+  ASSERT_TRUE(at_head.ok()) << at_head.status().ToString();
+  EXPECT_TRUE(at_head->empty());
+}
+
+TEST(WalRetentionTest, RigSweepNeverStarvesAReplica) {
+  // End-to-end: with auto-truncation on and a flaky link forcing repeated
+  // reconnects, a resume point is never truncated past — the replica
+  // either streams or re-bootstraps, and always converges.
+  RigOptions opts;
+  opts.num_cuboids = 6;
+  opts.faults.seed = 77;
+  opts.faults.drop_rate = 0.15;
+  opts.faults.cut_rate = 0.05;
+  ReplicationRig rig(opts);
+  ASSERT_TRUE(rig.setup.ok()) << rig.setup.ToString();
+  ASSERT_TRUE(rig.AddReplica().ok());
+  ASSERT_TRUE(rig.AddReplica().ok());
+  for (uint64_t round = 0; round < 4; ++round) {
+    ASSERT_TRUE(rig.RunMix(15, 300 + round).ok());
+    ASSERT_TRUE(rig.PumpUntilCaughtUp().ok());
+    auto conv = rig.Converged();
+    ASSERT_TRUE(conv.ok() && *conv) << "round " << round;
+    // Retention never outruns the slowest replica.
+    EXPECT_LE(rig.primary().wal->oldest_lsn(),
+              rig.shipper().retention_floor() + 1);
+  }
+}
+
+}  // namespace
+}  // namespace gom::repl
