@@ -6,8 +6,17 @@
 // mostly forward queries, some narrow backward ranges, a rare GOMql text
 // query (which serializes through the pool's writer-exclusive gate, so the
 // mix keeps it infrequent the way an interactive console would be). Every
-// request's wall-clock latency is recorded; the summary reports p50/p99
-// and throughput per connection count.
+// request's wall-clock latency is recorded per operation class — reads
+// (forward + backward), updates (wire kUpdate operations), GOMql text —
+// and the summary reports p50/p99 per class plus throughput per
+// connection count: one blended latency would average sub-millisecond
+// shared-latch reads with exclusive-gate traffic and describe neither.
+//
+// `--mixed` adds geometry traffic to the company workload: MeshPart
+// objects with materialized mesh functions live in the same environment,
+// and the mix gains mesh forward queries plus rare wire `deform` updates
+// (RunOperation through the writer-exclusive gate), so read latencies are
+// measured while multi-kilobyte update operations stall the gate.
 //
 // The same injected probe stall as mt_harness (`set_io_stall_us(200)`)
 // models disk latency, so concurrency has something real to overlap. The
@@ -24,6 +33,7 @@
 // existing JSON summary (BENCH_serve.json is the tracked baseline).
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "geomwl/geom_stack.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "workload/stack.h"
@@ -44,13 +55,22 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Operation classes for per-class latency: shared-latch reads (forward +
+/// backward), writer-gate updates (wire kUpdate), GOMql text queries.
+enum OpClass { kRead = 0, kUpdate = 1, kGomql = 2, kNumClasses = 3 };
+
+struct ClassLatency {
+  double p50_us = 0;
+  double p99_us = 0;
+  size_t count = 0;
+};
+
 struct ScalePoint {
   size_t connections = 0;
   double wall_ms = 0;
   double qps = 0;
   double speedup = 1.0;
-  double p50_us = 0;
-  double p99_us = 0;
+  ClassLatency cls[kNumClasses];
 };
 
 double Percentile(std::vector<double>& sorted, double p) {
@@ -106,8 +126,13 @@ bool MergeConnectionScaling(const std::string& path,
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
+  bool mixed = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--mixed") mixed = true;
+  }
 
   const size_t num_cuboids = args.quick ? 400 : 1000;
+  const size_t num_parts = args.quick ? 12 : 24;
   const size_t queries_per_conn =
       args.queries > 0 ? args.queries : (args.quick ? 500 : 1500);
   const int duration_ms = args.duration_ms;
@@ -122,6 +147,25 @@ int main(int argc, char** argv) {
   auto stack = workload::MakeCompanyStack(opts);
   if (!stack->setup.ok()) Fail(stack->setup, "stack setup");
   CompanyStack& s = *stack;
+
+  // --mixed: geometry tenants in the same environment — MeshParts with
+  // the ⟨⟨surface_area, …⟩⟩ GMR materialized, reached over the same wire.
+  geomwl::MeshSchema mesh;
+  std::vector<Oid> parts;
+  if (mixed) {
+    Status geo_setup = [&]() -> Status {
+      GOMFM_ASSIGN_OR_RETURN(
+          mesh, geomwl::MeshSchema::Declare(&s.env.schema, &s.env.registry));
+      mesh.DeclareRelevantAttrs(&s.env.mgr);
+      GOMFM_RETURN_IF_ERROR(geomwl::PopulateParts(
+          &s.env.om, mesh, num_parts, /*seed=*/97, /*rings=*/16,
+          /*segments=*/16, &parts));
+      GOMFM_RETURN_IF_ERROR(
+          s.env.mgr.Materialize(geomwl::MeshGmrSpec(mesh)).status());
+      return Status::Ok();
+    }();
+    if (!geo_setup.ok()) Fail(geo_setup, "mixed-mode mesh setup");
+  }
 
   // Oracle pass before any session/server exists (owner path, warm GMR).
   std::vector<double> expected(s.cuboids.size(), 0.0);
@@ -142,13 +186,18 @@ int main(int argc, char** argv) {
   if (!st.ok()) Fail(st, "server start");
 
   std::printf("# serve_harness — wire-protocol throughput over loopback\n");
-  std::printf("# %zu cuboids, %zu queries/connection%s, %d us probe stall, "
-              "%zu workers\n\n",
-              num_cuboids, queries_per_conn,
+  std::printf("# %zu cuboids%s, %zu queries/connection%s, %d us probe "
+              "stall, %zu workers\n\n",
+              num_cuboids,
+              mixed ? (", " + std::to_string(num_parts) +
+                       " mesh parts (--mixed)").c_str()
+                    : "",
+              queries_per_conn,
               duration_ms > 0 ? " (duration-capped)" : "", stall_us,
               sopts.num_workers);
-  std::printf("%6s %12s %14s %10s %10s %10s\n", "conns", "wall_ms",
-              "queries_per_s", "speedup", "p50_us", "p99_us");
+  std::printf("%6s %12s %14s %10s %9s %9s %9s %9s %9s %9s\n", "conns",
+              "wall_ms", "queries_per_s", "speedup", "rd_p50", "rd_p99",
+              "up_p50", "up_p99", "gq_p50", "gq_p99");
 
   std::vector<ScalePoint> points;
   for (size_t nconns : conn_counts) {
@@ -156,7 +205,9 @@ int main(int argc, char** argv) {
     std::atomic<size_t> mismatches{0};
     std::atomic<size_t> completed{0};
     Clock::time_point deadline{};
-    std::vector<std::vector<double>> latencies(nconns);
+    // [connection][class] latency samples in microseconds.
+    std::vector<std::array<std::vector<double>, kNumClasses>> latencies(
+        nconns);
     std::vector<std::thread> threads;
     threads.reserve(nconns);
 
@@ -167,8 +218,8 @@ int main(int argc, char** argv) {
           mismatches.fetch_add(1);
           return;
         }
-        std::vector<double>& lat = latencies[t];
-        lat.reserve(duration_ms > 0 ? 4096 : queries_per_conn);
+        auto& lat = latencies[t];
+        lat[kRead].reserve(duration_ms > 0 ? 4096 : queries_per_conn);
         while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
         size_t done = 0;
         for (size_t i = 0; duration_ms > 0 || i < queries_per_conn; ++i) {
@@ -178,11 +229,31 @@ int main(int argc, char** argv) {
           size_t idx = (t * 7919 + i) % s.cuboids.size();
           auto t0 = Clock::now();
           bool ok = true;
+          OpClass cls = kRead;
           if (i % 64 == 63) {
             // Rare text query — exclusive-gate traffic in the mix.
+            cls = kGomql;
             auto rows = client.RunGomql(
                 "range c: Cuboid retrieve c.volume where c.volume < 0.0");
             ok = rows.ok() && rows->empty();
+          } else if (mixed && i % 16 == 11) {
+            // Wire update operation: deform one mesh part through the
+            // writer-exclusive gate (kImmediate repairs its GMR row).
+            cls = kUpdate;
+            size_t pi = (t * 13 + i) % parts.size();
+            auto r = client.Update(
+                mesh.op_deform,
+                {Value::Ref(parts[pi]), Value::Int(static_cast<int64_t>(i)),
+                 Value::Float(0.02)});
+            ok = r.ok();
+          } else if (mixed && i % 8 == 5) {
+            // Mesh forward query. Deforms race these, so the oracle only
+            // demands a plausible positive answer, not a fixed value.
+            size_t pi = (t * 31 + i) % parts.size();
+            auto v = client.Forward(
+                (i & 1) != 0 ? mesh.surface_area : mesh.bbox_diag,
+                {Value::Ref(parts[pi])});
+            ok = v.ok() && v->is_numeric() && *v->AsDouble() > 0;
           } else if (i % 4 == 3) {
             // Narrow backward range around the expected value.
             auto rows = client.Backward(s.geo.volume, expected[idx],
@@ -192,9 +263,9 @@ int main(int argc, char** argv) {
             auto v = client.Forward(s.geo.volume, {Value::Ref(s.cuboids[idx])});
             ok = v.ok() && v->is_numeric() && *v->AsDouble() == expected[idx];
           }
-          lat.push_back(std::chrono::duration<double, std::micro>(
-                            Clock::now() - t0)
-                            .count());
+          lat[cls].push_back(std::chrono::duration<double, std::micro>(
+                                 Clock::now() - t0)
+                                 .count());
           if (!ok) mismatches.fetch_add(1, std::memory_order_relaxed);
           ++done;
         }
@@ -218,21 +289,27 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::vector<double> all;
-    for (auto& lat : latencies) {
-      all.insert(all.end(), lat.begin(), lat.end());
-    }
-    std::sort(all.begin(), all.end());
-
     ScalePoint p;
     p.connections = nconns;
     p.wall_ms = ms;
     p.qps = 1000.0 * static_cast<double>(completed.load()) / ms;
     p.speedup = points.empty() ? 1.0 : p.qps / points.front().qps;
-    p.p50_us = Percentile(all, 0.50);
-    p.p99_us = Percentile(all, 0.99);
-    std::printf("%6zu %12.2f %14.0f %9.2fx %10.0f %10.0f\n", p.connections,
-                p.wall_ms, p.qps, p.speedup, p.p50_us, p.p99_us);
+    for (int c = 0; c < kNumClasses; ++c) {
+      std::vector<double> all;
+      for (auto& lat : latencies) {
+        all.insert(all.end(), lat[c].begin(), lat[c].end());
+      }
+      std::sort(all.begin(), all.end());
+      p.cls[c].count = all.size();
+      p.cls[c].p50_us = Percentile(all, 0.50);
+      p.cls[c].p99_us = Percentile(all, 0.99);
+    }
+    std::printf("%6zu %12.2f %14.0f %9.2fx %9.0f %9.0f %9.0f %9.0f %9.0f "
+                "%9.0f\n",
+                p.connections, p.wall_ms, p.qps, p.speedup,
+                p.cls[kRead].p50_us, p.cls[kRead].p99_us,
+                p.cls[kUpdate].p50_us, p.cls[kUpdate].p99_us,
+                p.cls[kGomql].p50_us, p.cls[kGomql].p99_us);
     points.push_back(p);
   }
 
@@ -258,8 +335,15 @@ int main(int argc, char** argv) {
     w.Add("wall_ms", p.wall_ms);
     w.Add("queries_per_s", p.qps);
     w.Add("speedup", p.speedup);
-    w.Add("p50_us", p.p50_us);
-    w.Add("p99_us", p.p99_us);
+    w.Add("read_p50_us", p.cls[kRead].p50_us);
+    w.Add("read_p99_us", p.cls[kRead].p99_us);
+    w.Add("read_count", static_cast<uint64_t>(p.cls[kRead].count));
+    w.Add("update_p50_us", p.cls[kUpdate].p50_us);
+    w.Add("update_p99_us", p.cls[kUpdate].p99_us);
+    w.Add("update_count", static_cast<uint64_t>(p.cls[kUpdate].count));
+    w.Add("gomql_p50_us", p.cls[kGomql].p50_us);
+    w.Add("gomql_p99_us", p.cls[kGomql].p99_us);
+    w.Add("gomql_count", static_cast<uint64_t>(p.cls[kGomql].count));
     arr += "    " + w.Render(4);
     arr += (i + 1 < points.size()) ? ",\n" : "\n";
   }
@@ -269,7 +353,9 @@ int main(int argc, char** argv) {
     JsonWriter root;
     root.Add("benchmark", std::string("serve_harness"));
     root.Add("mode", std::string(args.quick ? "quick" : "full"));
+    root.Add("workload", std::string(mixed ? "mixed" : "company"));
     root.Add("num_cuboids", static_cast<uint64_t>(num_cuboids));
+    if (mixed) root.Add("num_mesh_parts", static_cast<uint64_t>(num_parts));
     root.Add("queries_per_connection",
              static_cast<uint64_t>(queries_per_conn));
     root.Add("io_stall_us", static_cast<uint64_t>(stall_us));

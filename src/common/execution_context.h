@@ -14,6 +14,7 @@ struct SessionStats {
   uint64_t forward_queries = 0;
   uint64_t backward_queries = 0;
   uint64_t gomql_queries = 0;
+  uint64_t update_ops = 0;
   uint64_t eval_nodes = 0;
   uint64_t object_reads = 0;
   uint64_t plain_evaluations = 0;  // misses served without the GMR cache

@@ -1,0 +1,59 @@
+#include "geomwl/geom_stack.h"
+
+#include "common/rng.h"
+
+namespace gom::geomwl {
+
+Status PopulateParts(ObjectManager* om, const MeshSchema& mesh,
+                     size_t num_parts, uint64_t seed, uint32_t rings,
+                     uint32_t segments, std::vector<Oid>* out) {
+  Rng rng(seed);
+  out->reserve(out->size() + num_parts);
+  for (size_t i = 0; i < num_parts; ++i) {
+    double radius = rng.UniformDouble(2, 6);
+    double density = rng.UniformDouble(1, 9);
+    TriangleMesh m = MakeRock(seed ^ (i * 0x9e3779b97f4a7c15ULL), rings,
+                              segments, radius, 0.15);
+    GOMFM_ASSIGN_OR_RETURN(
+        Oid part, mesh.MakeMeshPart(om, "part" + std::to_string(i), m,
+                                    density));
+    out->push_back(part);
+  }
+  return Status::Ok();
+}
+
+GmrSpec MeshGmrSpec(const MeshSchema& mesh) {
+  GmrSpec spec;
+  spec.name = "mesh_fns";
+  spec.arg_types = {TypeRef::Object(mesh.mesh_part)};
+  spec.functions = {mesh.surface_area, mesh.mesh_volume, mesh.mesh_weight,
+                    mesh.bbox_diag};
+  return spec;
+}
+
+GeomStack::GeomStack(const GeomStackOptions& opts)
+    : env(opts.buffer_pages, opts.gmr, opts.storage) {
+  setup = [&]() -> Status {
+    GOMFM_ASSIGN_OR_RETURN(mesh,
+                           MeshSchema::Declare(&env.schema, &env.registry));
+    mesh.DeclareRelevantAttrs(&env.mgr);
+    if (opts.num_parts > 0) {
+      GOMFM_RETURN_IF_ERROR(PopulateParts(&env.om, mesh, opts.num_parts,
+                                          opts.seed, opts.rings, opts.segments,
+                                          &parts));
+    }
+    if (opts.materialize) {
+      GOMFM_ASSIGN_OR_RETURN(mesh_gmr, env.mgr.Materialize(MeshGmrSpec(mesh)));
+    }
+    if (opts.notify) {
+      env.InstallNotifier(workload::NotifyLevel::kObjDep);
+    }
+    return Status::Ok();
+  }();
+}
+
+std::unique_ptr<GeomStack> MakeGeomStack(const GeomStackOptions& opts) {
+  return std::make_unique<GeomStack>(opts);
+}
+
+}  // namespace gom::geomwl

@@ -1,0 +1,60 @@
+#ifndef GOMFM_GEOMWL_GEOM_STACK_H_
+#define GOMFM_GEOMWL_GEOM_STACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "geomwl/mesh_schema.h"
+#include "workload/driver.h"
+
+namespace gom::geomwl {
+
+/// Options for MakeGeomStack().
+struct GeomStackOptions {
+  size_t buffer_pages = 256;
+  GmrManagerOptions gmr;
+  StorageOptions storage;
+  /// MeshParts to populate (0 leaves the base empty). Each part is a
+  /// deterministic "rock" (noisy sphere) keyed off `seed` and its index.
+  size_t num_parts = 0;
+  uint64_t seed = 1231;
+  /// Mesh resolution: rings x segments, ~2 * rings * segments triangles per
+  /// part. 32 x 32 = ~2k triangles makes one surface_area evaluation scan
+  /// roughly 25 KB of geometry.
+  uint32_t rings = 32;
+  uint32_t segments = 32;
+  /// Materialize ⟨⟨surface_area, mesh_volume, mesh_weight, bbox_diag⟩⟩ over
+  /// the part extension (one GMR, four result columns — Definition 3.1's
+  /// m > 1 case).
+  bool materialize = false;
+  /// Install the ObjDep notifier (with call interception).
+  bool notify = false;
+};
+
+/// The geometry-workload counterpart of workload::CompanyStack: one
+/// Environment with the MeshPart schema declared, the native functions'
+/// relevant attributes registered, optionally populated and materialized.
+struct GeomStack {
+  explicit GeomStack(const GeomStackOptions& opts);
+
+  workload::Environment env;
+  MeshSchema mesh;
+  std::vector<Oid> parts;
+  GmrId mesh_gmr = kInvalidGmrId;
+  Status setup = Status::Ok();  // first error during population, if any
+};
+
+std::unique_ptr<GeomStack> MakeGeomStack(const GeomStackOptions& opts = {});
+
+/// Population piece alone: `num_parts` rocks with radius uniform in [2, 6)
+/// and density uniform in [1, 9).
+Status PopulateParts(ObjectManager* om, const MeshSchema& mesh,
+                     size_t num_parts, uint64_t seed, uint32_t rings,
+                     uint32_t segments, std::vector<Oid>* out);
+
+/// The ⟨⟨surface_area, mesh_volume, mesh_weight, bbox_diag⟩⟩ spec.
+GmrSpec MeshGmrSpec(const MeshSchema& mesh);
+
+}  // namespace gom::geomwl
+
+#endif  // GOMFM_GEOMWL_GEOM_STACK_H_

@@ -1,0 +1,251 @@
+#include "geomwl/mesh.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace gom::geomwl {
+
+namespace {
+
+constexpr uint32_t kMeshMagic = 0x3148534D;  // "MSH1"
+constexpr double kPi = 3.14159265358979323846;
+
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* out, const T& v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+Status ReadRaw(const uint8_t** cursor, const uint8_t* end, T* out) {
+  if (*cursor + sizeof(T) > end) {
+    return Status::OutOfRange("TriangleMesh::DecodeBytes: truncated input");
+  }
+  std::memcpy(out, *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return Status::Ok();
+}
+
+Vec3 Sub(const Vec3& a, const Vec3& b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+Vec3 Cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+double Dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+double Norm(const Vec3& a) { return std::sqrt(Dot(a, a)); }
+
+/// splitmix64: tiny, deterministic, well-mixed — the only randomness used
+/// by the generators (std:: distributions are not bit-stable across
+/// library implementations).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [-1, 1] from a hash state.
+double SignedUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+}
+
+}  // namespace
+
+double Aabb::Diagonal() const { return Norm(Sub(hi, lo)); }
+
+std::vector<uint8_t> TriangleMesh::EncodeBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(12 + vertices.size() * 24 + indices.size() * 4);
+  AppendRaw(&out, kMeshMagic);
+  AppendRaw(&out, static_cast<uint32_t>(vertices.size()));
+  AppendRaw(&out, static_cast<uint32_t>(indices.size()));
+  for (const Vec3& v : vertices) {
+    AppendRaw(&out, v.x);
+    AppendRaw(&out, v.y);
+    AppendRaw(&out, v.z);
+  }
+  for (uint32_t i : indices) AppendRaw(&out, i);
+  return out;
+}
+
+Result<TriangleMesh> TriangleMesh::DecodeBytes(
+    const std::vector<uint8_t>& bytes) {
+  const uint8_t* cursor = bytes.data();
+  const uint8_t* end = bytes.data() + bytes.size();
+  uint32_t magic = 0, nverts = 0, nidx = 0;
+  GOMFM_RETURN_IF_ERROR(ReadRaw(&cursor, end, &magic));
+  if (magic != kMeshMagic) {
+    return Status::InvalidArgument("TriangleMesh::DecodeBytes: bad magic");
+  }
+  GOMFM_RETURN_IF_ERROR(ReadRaw(&cursor, end, &nverts));
+  GOMFM_RETURN_IF_ERROR(ReadRaw(&cursor, end, &nidx));
+  // Hostile-count guard: reject before allocating if the payload cannot
+  // possibly hold the announced data.
+  size_t need = static_cast<size_t>(nverts) * 24 + static_cast<size_t>(nidx) * 4;
+  if (static_cast<size_t>(end - cursor) < need) {
+    return Status::OutOfRange("TriangleMesh::DecodeBytes: counts exceed payload");
+  }
+  if (nidx % 3 != 0) {
+    return Status::InvalidArgument(
+        "TriangleMesh::DecodeBytes: index count not a multiple of 3");
+  }
+  TriangleMesh mesh;
+  mesh.vertices.resize(nverts);
+  for (uint32_t i = 0; i < nverts; ++i) {
+    GOMFM_RETURN_IF_ERROR(ReadRaw(&cursor, end, &mesh.vertices[i].x));
+    GOMFM_RETURN_IF_ERROR(ReadRaw(&cursor, end, &mesh.vertices[i].y));
+    GOMFM_RETURN_IF_ERROR(ReadRaw(&cursor, end, &mesh.vertices[i].z));
+  }
+  mesh.indices.resize(nidx);
+  for (uint32_t i = 0; i < nidx; ++i) {
+    GOMFM_RETURN_IF_ERROR(ReadRaw(&cursor, end, &mesh.indices[i]));
+    if (mesh.indices[i] >= nverts) {
+      return Status::InvalidArgument(
+          "TriangleMesh::DecodeBytes: index out of range");
+    }
+  }
+  return mesh;
+}
+
+double TriangleMesh::SurfaceArea() const {
+  double area = 0;
+  for (size_t t = 0; t + 2 < indices.size(); t += 3) {
+    const Vec3& a = vertices[indices[t]];
+    const Vec3& b = vertices[indices[t + 1]];
+    const Vec3& c = vertices[indices[t + 2]];
+    area += 0.5 * Norm(Cross(Sub(b, a), Sub(c, a)));
+  }
+  return area;
+}
+
+double TriangleMesh::SignedVolume() const {
+  double vol = 0;
+  for (size_t t = 0; t + 2 < indices.size(); t += 3) {
+    const Vec3& a = vertices[indices[t]];
+    const Vec3& b = vertices[indices[t + 1]];
+    const Vec3& c = vertices[indices[t + 2]];
+    vol += Dot(a, Cross(b, c)) / 6.0;
+  }
+  return vol;
+}
+
+Aabb TriangleMesh::Bounds() const {
+  Aabb box;
+  if (vertices.empty()) return box;
+  box.lo = box.hi = vertices[0];
+  for (const Vec3& v : vertices) {
+    box.lo.x = std::min(box.lo.x, v.x);
+    box.lo.y = std::min(box.lo.y, v.y);
+    box.lo.z = std::min(box.lo.z, v.z);
+    box.hi.x = std::max(box.hi.x, v.x);
+    box.hi.y = std::max(box.hi.y, v.y);
+    box.hi.z = std::max(box.hi.z, v.z);
+  }
+  return box;
+}
+
+TriangleMesh MakeSphere(uint32_t rings, uint32_t segments, double radius) {
+  if (rings < 2) rings = 2;
+  if (segments < 3) segments = 3;
+  TriangleMesh m;
+  // North pole, (rings - 1) interior rings of `segments` vertices, south pole.
+  m.vertices.push_back({0, 0, radius});
+  for (uint32_t i = 1; i < rings; ++i) {
+    double phi = kPi * i / rings;
+    double z = radius * std::cos(phi), rr = radius * std::sin(phi);
+    for (uint32_t j = 0; j < segments; ++j) {
+      double theta = 2 * kPi * j / segments;
+      m.vertices.push_back({rr * std::cos(theta), rr * std::sin(theta), z});
+    }
+  }
+  m.vertices.push_back({0, 0, -radius});
+  uint32_t south = static_cast<uint32_t>(m.vertices.size()) - 1;
+  auto ring_vertex = [&](uint32_t ring, uint32_t seg) {
+    return 1 + (ring - 1) * segments + (seg % segments);
+  };
+  // Top cap (outward winding: counter-clockwise seen from outside).
+  for (uint32_t j = 0; j < segments; ++j) {
+    m.indices.insert(m.indices.end(),
+                     {0u, ring_vertex(1, j), ring_vertex(1, j + 1)});
+  }
+  // Interior quads.
+  for (uint32_t i = 1; i + 1 < rings; ++i) {
+    for (uint32_t j = 0; j < segments; ++j) {
+      uint32_t a = ring_vertex(i, j), b = ring_vertex(i, j + 1);
+      uint32_t c = ring_vertex(i + 1, j), d = ring_vertex(i + 1, j + 1);
+      m.indices.insert(m.indices.end(), {a, c, d});
+      m.indices.insert(m.indices.end(), {a, d, b});
+    }
+  }
+  // Bottom cap.
+  for (uint32_t j = 0; j < segments; ++j) {
+    m.indices.insert(m.indices.end(), {south, ring_vertex(rings - 1, j + 1),
+                                       ring_vertex(rings - 1, j)});
+  }
+  return m;
+}
+
+TriangleMesh MakeTorus(uint32_t rings, uint32_t segments, double major_radius,
+                       double tube_radius) {
+  if (rings < 3) rings = 3;
+  if (segments < 3) segments = 3;
+  TriangleMesh m;
+  for (uint32_t i = 0; i < rings; ++i) {
+    double u = 2 * kPi * i / rings;
+    double cu = std::cos(u), su = std::sin(u);
+    for (uint32_t j = 0; j < segments; ++j) {
+      double v = 2 * kPi * j / segments;
+      double w = major_radius + tube_radius * std::cos(v);
+      m.vertices.push_back({w * cu, w * su, tube_radius * std::sin(v)});
+    }
+  }
+  auto at = [&](uint32_t i, uint32_t j) {
+    return (i % rings) * segments + (j % segments);
+  };
+  for (uint32_t i = 0; i < rings; ++i) {
+    for (uint32_t j = 0; j < segments; ++j) {
+      uint32_t a = at(i, j), b = at(i + 1, j), c = at(i + 1, j + 1),
+               d = at(i, j + 1);
+      m.indices.insert(m.indices.end(), {a, b, c});
+      m.indices.insert(m.indices.end(), {a, c, d});
+    }
+  }
+  return m;
+}
+
+TriangleMesh MakeRock(uint64_t seed, uint32_t rings, uint32_t segments,
+                      double radius, double noise) {
+  TriangleMesh m = MakeSphere(rings, segments, radius);
+  DeformMesh(&m, seed, radius * noise);
+  return m;
+}
+
+void DeformMesh(TriangleMesh* mesh, uint64_t seed, double magnitude) {
+  for (size_t i = 0; i < mesh->vertices.size(); ++i) {
+    Vec3& v = mesh->vertices[i];
+    double n = Norm(v);
+    if (n == 0) continue;
+    double d = SignedUnit(SplitMix64(seed ^ (i * 0x9e3779b97f4a7c15ULL)));
+    double f = 1.0 + magnitude * d / n;
+    v.x *= f;
+    v.y *= f;
+    v.z *= f;
+  }
+}
+
+void ScaleMesh(TriangleMesh* mesh, double factor) {
+  for (Vec3& v : mesh->vertices) {
+    v.x *= factor;
+    v.y *= factor;
+    v.z *= factor;
+  }
+}
+
+}  // namespace gom::geomwl

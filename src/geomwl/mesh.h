@@ -1,0 +1,81 @@
+#ifndef GOMFM_GEOMWL_MESH_H_
+#define GOMFM_GEOMWL_MESH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gom::geomwl {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec3 lo, hi;
+
+  /// Euclidean length of the box diagonal.
+  double Diagonal() const;
+};
+
+/// An indexed triangle mesh: the variable-size geometry payload of the
+/// geometry workload. Meshes travel through the object base as opaque
+/// `ValueKind::kBytes` attributes (EncodeBytes/DecodeBytes), so a single
+/// MeshPart attribute can be kilobytes — which is exactly what makes its
+/// derived functions (surface area, volume, bounds) worth materializing.
+struct TriangleMesh {
+  std::vector<Vec3> vertices;
+  /// Three indices per triangle, each < vertices.size().
+  std::vector<uint32_t> indices;
+
+  size_t triangle_count() const { return indices.size() / 3; }
+
+  /// Serialized form: magic, counts, raw vertex doubles, raw indices.
+  /// Stable across runs (no pointers, no padding) so materialized results
+  /// derived from the bytes are reproducible bit for bit.
+  std::vector<uint8_t> EncodeBytes() const;
+  static Result<TriangleMesh> DecodeBytes(const std::vector<uint8_t>& bytes);
+
+  /// Sum of triangle areas, 0.5 * |(b-a) x (c-a)| each. O(#triangles).
+  double SurfaceArea() const;
+
+  /// Signed volume via the divergence theorem: sum of signed tetrahedra
+  /// dot(a, cross(b, c)) / 6 against the origin. Positive for outward-wound
+  /// closed meshes. O(#triangles).
+  double SignedVolume() const;
+
+  /// Min/max corner over all vertices. Zero box for an empty mesh.
+  Aabb Bounds() const;
+};
+
+/// Deterministic procedural generators (no global RNG: every run with the
+/// same parameters produces identical bytes).
+
+/// UV sphere: `rings` latitude bands (>= 2), `segments` longitude steps
+/// (>= 3). Vertex count rises as rings*segments, so the analytic functions
+/// above get genuinely expensive at a few thousand triangles.
+TriangleMesh MakeSphere(uint32_t rings, uint32_t segments, double radius);
+
+/// Torus with major radius R and tube radius r on a rings x segments grid.
+TriangleMesh MakeTorus(uint32_t rings, uint32_t segments, double major_radius,
+                       double tube_radius);
+
+/// Sphere with per-vertex radial noise in [-noise, +noise] * radius, keyed
+/// off `seed` and the vertex index (splitmix64), so distinct parts differ
+/// while staying reproducible.
+TriangleMesh MakeRock(uint64_t seed, uint32_t rings, uint32_t segments,
+                      double radius, double noise);
+
+/// In-place radial deformation used by the MeshPart `deform` operation:
+/// displaces every vertex along its position direction by a pseudo-random
+/// fraction of `magnitude`, keyed off `seed` and the vertex index.
+void DeformMesh(TriangleMesh* mesh, uint64_t seed, double magnitude);
+
+/// In-place uniform scale about the origin.
+void ScaleMesh(TriangleMesh* mesh, double factor);
+
+}  // namespace gom::geomwl
+
+#endif  // GOMFM_GEOMWL_MESH_H_

@@ -1,0 +1,239 @@
+#include "geomwl/mesh_schema.h"
+
+#include <cmath>
+
+#include "funclang/interpreter.h"
+
+namespace gom::geomwl {
+
+using funclang::EvalContext;
+using funclang::FunctionDef;
+
+namespace {
+
+/// Tracked read + decode of the receiver's mesh. Going through
+/// `ctx.GetAttr` records the (object, Mesh) property access in the trace,
+/// which is how a materialized caller's reverse references get built.
+Result<TriangleMesh> ReadMesh(EvalContext& ctx, const Value& self_val) {
+  GOMFM_ASSIGN_OR_RETURN(Oid self, self_val.AsRef());
+  GOMFM_ASSIGN_OR_RETURN(Value mesh_bytes, ctx.GetAttr(self, "Mesh"));
+  GOMFM_ASSIGN_OR_RETURN(const std::vector<uint8_t>* bytes,
+                         mesh_bytes.AsBytes());
+  return TriangleMesh::DecodeBytes(*bytes);
+}
+
+/// Native update operation rewriting the receiver's mesh inside an
+/// operation bracket, so invalidation sees one relevant `set_Mesh` write.
+Result<Value> RewriteMesh(EvalContext& ctx, Oid self, FunctionId op,
+                          const std::vector<Value>& args,
+                          const std::function<void(TriangleMesh*)>& fn) {
+  ObjectManager& om = ctx.om();
+  GOMFM_RETURN_IF_ERROR(om.BeginOperation(self, op, args));
+  Status failure = Status::Ok();
+  auto mesh_bytes = om.GetAttribute(self, "Mesh");
+  if (!mesh_bytes.ok()) {
+    failure = mesh_bytes.status();
+  } else {
+    auto bytes = mesh_bytes->AsBytes();
+    if (!bytes.ok()) {
+      failure = bytes.status();
+    } else {
+      auto mesh = TriangleMesh::DecodeBytes(**bytes);
+      if (!mesh.ok()) {
+        failure = mesh.status();
+      } else {
+        fn(&*mesh);
+        failure = om.SetAttribute(self, "Mesh", Value::Bytes(mesh->EncodeBytes()));
+      }
+    }
+  }
+  GOMFM_RETURN_IF_ERROR(om.EndOperation(self, op));
+  GOMFM_RETURN_IF_ERROR(failure);
+  return Value::Null();
+}
+
+}  // namespace
+
+Result<MeshSchema> MeshSchema::Declare(Schema* schema,
+                                       funclang::FunctionRegistry* registry) {
+  MeshSchema s;
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.mesh_part,
+      schema->DeclareTupleType(
+          {"MeshPart",
+           kInvalidTypeId,
+           {{"Name", TypeRef::String()},
+            {"Mesh", TypeRef::Bytes()},
+            {"Density", TypeRef::Float()}},
+           {"Name", "set_Name", "Mesh", "set_Mesh", "Density", "set_Density",
+            "surface_area", "mesh_volume", "mesh_weight", "bbox_diag",
+            "bounds", "deform", "scale_mesh"},
+           false}));
+  const TypeDescriptor* td = *schema->Get(s.mesh_part);
+  s.name_attr = td->AttrIndex("Name");
+  s.mesh_attr = td->AttrIndex("Mesh");
+  s.density_attr = td->AttrIndex("Density");
+
+  // --- Side-effect-free derived functions (native: the analyzer cannot
+  // see into mesh bytes, so RelAttrs are declared explicitly) --------------
+
+  GOMFM_ASSIGN_OR_RETURN(
+      s.surface_area,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "surface_area",
+          {{"self", TypeRef::Object(s.mesh_part)}},
+          TypeRef::Float(),
+          {},
+          [](EvalContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(TriangleMesh mesh, ReadMesh(ctx, args[0]));
+            return Value::Float(mesh.SurfaceArea());
+          },
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.mesh_volume,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "mesh_volume",
+          {{"self", TypeRef::Object(s.mesh_part)}},
+          TypeRef::Float(),
+          {},
+          [](EvalContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(TriangleMesh mesh, ReadMesh(ctx, args[0]));
+            return Value::Float(std::fabs(mesh.SignedVolume()));
+          },
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.mesh_weight,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "mesh_weight",
+          {{"self", TypeRef::Object(s.mesh_part)}},
+          TypeRef::Float(),
+          {},
+          [](EvalContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(TriangleMesh mesh, ReadMesh(ctx, args[0]));
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            GOMFM_ASSIGN_OR_RETURN(Value density, ctx.GetAttr(self, "Density"));
+            GOMFM_ASSIGN_OR_RETURN(double d, density.AsDouble());
+            return Value::Float(std::fabs(mesh.SignedVolume()) * d);
+          },
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.bbox_diag,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "bbox_diag",
+          {{"self", TypeRef::Object(s.mesh_part)}},
+          TypeRef::Float(),
+          {},
+          [](EvalContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(TriangleMesh mesh, ReadMesh(ctx, args[0]));
+            return Value::Float(mesh.Bounds().Diagonal());
+          },
+          true}));
+  GOMFM_ASSIGN_OR_RETURN(
+      s.bounds,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "bounds",
+          {{"self", TypeRef::Object(s.mesh_part)}},
+          TypeRef::Any(),  // composite [lo.x, lo.y, lo.z, hi.x, hi.y, hi.z]
+          {},
+          [](EvalContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(TriangleMesh mesh, ReadMesh(ctx, args[0]));
+            Aabb box = mesh.Bounds();
+            return Value::Composite(
+                {Value::Float(box.lo.x), Value::Float(box.lo.y),
+                 Value::Float(box.lo.z), Value::Float(box.hi.x),
+                 Value::Float(box.hi.y), Value::Float(box.hi.z)});
+          },
+          true}));
+
+  // --- Native update operations -------------------------------------------
+
+  FunctionId op_deform_id = static_cast<FunctionId>(registry->size());
+  GOMFM_ASSIGN_OR_RETURN(
+      s.op_deform,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "deform",
+          {{"self", TypeRef::Object(s.mesh_part)},
+           {"seed", TypeRef::Int()},
+           {"magnitude", TypeRef::Float()}},
+          TypeRef::Void(),
+          {},
+          [op_deform_id](EvalContext& ctx,
+                         const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            uint64_t seed = static_cast<uint64_t>(args[1].as_int());
+            GOMFM_ASSIGN_OR_RETURN(double mag, args[2].AsDouble());
+            return RewriteMesh(ctx, self, op_deform_id, args,
+                               [&](TriangleMesh* m) {
+                                 DeformMesh(m, seed, mag);
+                               });
+          },
+          false}));
+  FunctionId op_scale_id = static_cast<FunctionId>(registry->size());
+  GOMFM_ASSIGN_OR_RETURN(
+      s.op_scale_mesh,
+      registry->Register(FunctionDef{
+          kInvalidFunctionId,
+          "scale_mesh",
+          {{"self", TypeRef::Object(s.mesh_part)},
+           {"factor", TypeRef::Float()}},
+          TypeRef::Void(),
+          {},
+          [op_scale_id](EvalContext& ctx,
+                        const std::vector<Value>& args) -> Result<Value> {
+            GOMFM_ASSIGN_OR_RETURN(Oid self, args[0].AsRef());
+            GOMFM_ASSIGN_OR_RETURN(double f, args[1].AsDouble());
+            return RewriteMesh(ctx, self, op_scale_id, args,
+                               [&](TriangleMesh* m) { ScaleMesh(m, f); });
+          },
+          false}));
+
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.mesh_part, "surface_area", s.surface_area));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.mesh_part, "mesh_volume", s.mesh_volume));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.mesh_part, "mesh_weight", s.mesh_weight));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.mesh_part, "bbox_diag", s.bbox_diag));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.mesh_part, "bounds", s.bounds));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.mesh_part, "deform", s.op_deform));
+  GOMFM_RETURN_IF_ERROR(
+      schema->AttachOperation(s.mesh_part, "scale_mesh", s.op_scale_mesh));
+
+  return s;
+}
+
+void MeshSchema::DeclareRelevantAttrs(GmrManager* mgr) const {
+  funclang::RelevantProperty mesh_prop{mesh_part, mesh_attr};
+  funclang::RelevantProperty density_prop{mesh_part, density_attr};
+  mgr->DeclareRelAttr(surface_area, {mesh_prop});
+  mgr->DeclareRelAttr(mesh_volume, {mesh_prop});
+  mgr->DeclareRelAttr(mesh_weight, {mesh_prop, density_prop});
+  mgr->DeclareRelAttr(bbox_diag, {mesh_prop});
+  mgr->DeclareRelAttr(bounds, {mesh_prop});
+}
+
+Result<Oid> MeshSchema::MakeMeshPart(ObjectManager* om, const std::string& name,
+                                     const TriangleMesh& mesh,
+                                     double density) const {
+  return om->CreateTuple(mesh_part,
+                         {Value::String(name), Value::Bytes(mesh.EncodeBytes()),
+                          Value::Float(density)});
+}
+
+Result<TriangleMesh> MeshSchema::MeshOf(ObjectManager* om, Oid part) const {
+  GOMFM_ASSIGN_OR_RETURN(Value v, om->GetAttribute(part, "Mesh"));
+  GOMFM_ASSIGN_OR_RETURN(const std::vector<uint8_t>* bytes, v.AsBytes());
+  return TriangleMesh::DecodeBytes(*bytes);
+}
+
+}  // namespace gom::geomwl

@@ -1,0 +1,58 @@
+#ifndef GOMFM_GEOMWL_MESH_SCHEMA_H_
+#define GOMFM_GEOMWL_MESH_SCHEMA_H_
+
+#include <string>
+
+#include "funclang/function_registry.h"
+#include "geomwl/mesh.h"
+#include "gmr/gmr_manager.h"
+#include "gom/object_manager.h"
+
+namespace gom::geomwl {
+
+/// The geometry workload schema: a MeshPart carries a full triangle mesh as
+/// an opaque bytes attribute, plus a density. Its derived functions scan
+/// every triangle (thousands per part), which makes them the expensive,
+/// materialization-worthy functions this workload is about — and its
+/// `deform` operation rewrites the whole mesh, invalidating all of them at
+/// once.
+///
+/// The functions are native (the path analyzer cannot see into mesh bytes),
+/// so their dependencies are declared explicitly through
+/// `DeclareRelevantAttrs` and discovered dynamically through the tracked
+/// EvalContext reads — the programmer-supplied-RelAttr pattern of §4.3.
+struct MeshSchema {
+  TypeId mesh_part = kInvalidTypeId;
+
+  AttrId name_attr = kInvalidAttrId;
+  AttrId mesh_attr = kInvalidAttrId;
+  AttrId density_attr = kInvalidAttrId;
+
+  FunctionId surface_area = kInvalidFunctionId;  // MeshPart -> float
+  FunctionId mesh_volume = kInvalidFunctionId;   // MeshPart -> float, |signed|
+  FunctionId mesh_weight = kInvalidFunctionId;   // volume * Density
+  FunctionId bbox_diag = kInvalidFunctionId;     // AABB diagonal length
+  FunctionId bounds = kInvalidFunctionId;        // composite [lo..., hi...]
+
+  FunctionId op_deform = kInvalidFunctionId;      // self, seed:int, mag:float
+  FunctionId op_scale_mesh = kInvalidFunctionId;  // self, factor:float
+
+  /// Declares the MeshPart type and all functions/operations.
+  static Result<MeshSchema> Declare(Schema* schema,
+                                    funclang::FunctionRegistry* registry);
+
+  /// Registers the native functions' relevant properties with the GMR
+  /// manager so updates to Mesh/Density invalidate materialized results.
+  void DeclareRelevantAttrs(GmrManager* mgr) const;
+
+  /// Creates a MeshPart holding `mesh` (encoded) with the given density.
+  Result<Oid> MakeMeshPart(ObjectManager* om, const std::string& name,
+                           const TriangleMesh& mesh, double density) const;
+
+  /// Decoded mesh of an existing part.
+  Result<TriangleMesh> MeshOf(ObjectManager* om, Oid part) const;
+};
+
+}  // namespace gom::geomwl
+
+#endif  // GOMFM_GEOMWL_MESH_SCHEMA_H_

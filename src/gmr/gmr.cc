@@ -121,6 +121,7 @@ Result<RowId> Gmr::Insert(std::vector<Value> args) {
   clock_->Advance(cost_.cpu_index_op_seconds);
   rows_.push_back(std::move(row));
   handles_.push_back(std::move(handle));
+  hot_slots_.push_back(0);
   ++live_rows_;
   return rid;
 }
@@ -133,7 +134,8 @@ Result<RowId> Gmr::FindRow(const std::vector<Value>& args) const {
 
 Result<std::optional<Value>> Gmr::ReadResult(const std::vector<Value>& args,
                                              size_t fn_idx,
-                                             const ExecutionContext* ctx) const {
+                                             const ExecutionContext* ctx,
+                                             RowId* row_out) const {
   if (fn_idx >= spec_.function_count()) {
     return Status::InvalidArgument("GMR: bad function index");
   }
@@ -145,10 +147,60 @@ Result<std::optional<Value>> Gmr::ReadResult(const std::vector<Value>& args,
   if (row >= rows_.size() || !rows_[row].live) {
     return Status::NotFound("GMR '" + spec_.name + "': no such row");
   }
+  if (row_out != nullptr) *row_out = row;
   GOMFM_RETURN_IF_ERROR(rows_store_.Touch(handles_[row]));
   const Row& r = rows_[row];
   if (!r.valid[fn_idx]) return std::optional<Value>();
   return std::optional<Value>(r.results[fn_idx]);
+}
+
+void Gmr::RecordAccess(RowId row) const {
+  if (!demand_.enabled || row >= hot_slots_.size()) return;
+  uint32_t epoch_span = demand_.epoch_accesses == 0 ? 1 : demand_.epoch_accesses;
+  uint64_t epoch =
+      demand_accesses_.fetch_add(1, std::memory_order_relaxed) / epoch_span;
+  uint32_t e32 = static_cast<uint32_t>(epoch);
+  std::atomic_ref<uint64_t> slot(hot_slots_[row]);
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  for (;;) {
+    uint32_t slot_epoch = static_cast<uint32_t>(cur >> 32);
+    uint64_t next;
+    if (slot_epoch == e32) {
+      uint16_t c = static_cast<uint16_t>(cur & 0xffff);
+      if (c == 0xffff) return;  // saturated; further bumps change nothing
+      next = (cur & ~0xffffULL) | static_cast<uint64_t>(c + 1);
+    } else if (slot_epoch + 1 == e32) {
+      // One window behind: current count ages into the previous-window slot.
+      uint16_t c = static_cast<uint16_t>(cur & 0xffff);
+      next = (static_cast<uint64_t>(e32) << 32) |
+             (static_cast<uint64_t>(c) << 16) | 1;
+    } else {
+      // Two or more windows behind: all history has decayed away.
+      next = (static_cast<uint64_t>(e32) << 32) | 1;
+    }
+    if (slot.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool Gmr::IsHot(RowId row) const {
+  if (!demand_.enabled) return true;  // eager repair when the policy is off
+  if (row >= hot_slots_.size()) return false;
+  uint32_t epoch_span = demand_.epoch_accesses == 0 ? 1 : demand_.epoch_accesses;
+  uint32_t e32 = static_cast<uint32_t>(
+      demand_accesses_.load(std::memory_order_relaxed) / epoch_span);
+  uint64_t v =
+      std::atomic_ref<uint64_t>(hot_slots_[row]).load(std::memory_order_relaxed);
+  uint32_t slot_epoch = static_cast<uint32_t>(v >> 32);
+  uint32_t count = 0;
+  if (slot_epoch == e32) {
+    count = static_cast<uint32_t>((v >> 16) & 0xffff) +
+            static_cast<uint32_t>(v & 0xffff);
+  } else if (slot_epoch + 1 == e32) {
+    count = static_cast<uint32_t>(v & 0xffff);
+  }
+  return count >= demand_.hot_threshold;
 }
 
 Result<const Gmr::Row*> Gmr::Get(RowId row) {

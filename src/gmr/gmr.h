@@ -27,6 +27,19 @@ inline constexpr GmrId kInvalidGmrId = UINT32_MAX;
 using RowId = uint64_t;
 inline constexpr RowId kInvalidRowId = UINT64_MAX;
 
+/// Demand-driven materialization policy (opt-in). When enabled, an update
+/// hitting a *cold* row only invalidates it — the rematerialization happens
+/// on the next forward query, exactly as under RematStrategy::kLazy. Rows
+/// that are *hot* (accessed at least `hot_threshold` times across the
+/// current and previous aging window) are repaired eagerly so readers keep
+/// their cache hits. Windows age every `epoch_accesses` tracked accesses of
+/// the extension, so hotness decays without any timer thread.
+struct DemandOptions {
+  bool enabled = false;
+  uint32_t hot_threshold = 3;
+  uint32_t epoch_accesses = 256;
+};
+
 /// §6.2: restriction of an atomic argument. Functions with atomic argument
 /// types cannot be materialized for all values; float arguments must be
 /// value-restricted, int arguments may be value- or range-restricted.
@@ -141,9 +154,33 @@ class Gmr {
   /// (copied out); nullopt means the row exists but the result is invalid.
   /// Pages are touched (disk time charges the shared global clock); CPU
   /// charges go to `ctx` when supplied. Safe under a shared `latch()`.
-  Result<std::optional<Value>> ReadResult(
-      const std::vector<Value>& args, size_t fn_idx,
-      const ExecutionContext* ctx = nullptr) const;
+  /// When `row_out` is non-null it receives the resolved RowId so callers
+  /// can RecordAccess() it (the one permitted piece of bookkeeping: lock-free
+  /// hotness counters, still safe under a shared latch).
+  Result<std::optional<Value>> ReadResult(const std::vector<Value>& args,
+                                          size_t fn_idx,
+                                          const ExecutionContext* ctx = nullptr,
+                                          RowId* row_out = nullptr) const;
+
+  /// --- Demand-driven hotness tracking -------------------------------------
+  /// Reconfigures the policy; requires exclusive access (maintenance plane).
+  void set_demand(const DemandOptions& d) { demand_ = d; }
+  const DemandOptions& demand() const { return demand_; }
+
+  /// Counts one access of `row` toward its hotness. Lock-free (atomic slot
+  /// per row) and safe under a shared latch; no-op while the policy is off,
+  /// so tracking cannot perturb runs with the policy disabled.
+  void RecordAccess(RowId row) const;
+
+  /// True when `row` was accessed >= hot_threshold times over the current
+  /// plus previous aging window. With the policy disabled every row reports
+  /// hot (eager repair, i.e. the pre-policy behavior).
+  bool IsHot(RowId row) const;
+
+  /// Tracked accesses since the policy was (re)configured.
+  uint64_t demand_access_count() const {
+    return demand_accesses_.load(std::memory_order_relaxed);
+  }
 
   /// Validity bit of one result, without touching storage (bookkeeping
   /// read, like ForEachRow — callers Get() any row *data* they consume).
@@ -245,6 +282,13 @@ class Gmr {
   size_t live_rows_ = 0;
   uint64_t access_counter_ = 0;
   uint64_t invalidations_ = 0;
+  /// Hotness slot per row, packed epoch:32 | prev_count:16 | cur_count:16.
+  /// Plain storage accessed through std::atomic_ref: the vector only grows
+  /// in Insert (exclusive access), while readers under a shared latch bump
+  /// slots lock-free.
+  mutable std::vector<uint64_t> hot_slots_;
+  mutable std::atomic<uint64_t> demand_accesses_{0};
+  DemandOptions demand_;
   mutable std::atomic<uint64_t> lookups_{0};
   mutable MaintCounters maint_counters_;
   mutable std::shared_mutex latch_;

@@ -264,13 +264,26 @@ Status GmrMaintenance::EnumerateCombosFixed(
 }
 
 Result<GmrId> GmrMaintenance::RegisterGmr(GmrSpec spec) {
-  return catalog_->Register(
-      std::move(spec),
-      [this](bool inserted, GmrId id, const std::vector<Value>& args) {
-        return LogRowChange(inserted ? WalRecordType::kRowInsert
-                                     : WalRecordType::kRowRemove,
-                            id, args);
-      });
+  GOMFM_ASSIGN_OR_RETURN(
+      GmrId id,
+      catalog_->Register(
+          std::move(spec),
+          [this](bool inserted, GmrId gid, const std::vector<Value>& args) {
+            return LogRowChange(inserted ? WalRecordType::kRowInsert
+                                         : WalRecordType::kRowRemove,
+                                gid, args);
+          }));
+  GOMFM_ASSIGN_OR_RETURN(Gmr * g, catalog_->Get(id));
+  g->set_demand(options_.demand);
+  return id;
+}
+
+void GmrMaintenance::set_demand_policy(const DemandOptions& d) {
+  ExclusiveRegion region(this);
+  options_.demand = d;
+  for (const auto& gmr : catalog_->gmrs()) {
+    if (gmr != nullptr) gmr->set_demand(d);
+  }
 }
 
 Result<GmrId> GmrMaintenance::Materialize(GmrSpec spec) {
@@ -517,6 +530,15 @@ Status GmrMaintenance::HandleFunctionEntry(Gmr* gmr, size_t fn_idx,
     delta_pending_.erase(
         BatchKey{gmr->id(), static_cast<uint32_t>(fn_idx), *row});
   }
+  if (options_.demand.enabled && !gmr->IsHot(*row)) {
+    // Demand-driven materialization: the row is cold, so eager repair would
+    // likely be wasted work. Take exactly the lazy path — flag the result
+    // invalid and let the next forward query (if any) recompute it.
+    ++stats_->demand_cold_invalidations;
+    GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
+    return RemoveReverseRef(entry);
+  }
+  if (options_.demand.enabled) ++stats_->demand_hot_remats;
   if (options_.remat == RematStrategy::kLazy) {
     GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, fn_idx));
     return RemoveReverseRef(entry);

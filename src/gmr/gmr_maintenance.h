@@ -33,6 +33,11 @@ struct GmrManagerOptions {
   /// figures stay bit-identical; uncovered updates always fall back to the
   /// remat path regardless of this flag.
   bool enable_delta = false;
+  /// Demand-driven materialization (see DemandOptions in gmr.h): cold rows
+  /// are only invalidated on update and repaired at next access; hot rows
+  /// keep the configured remat strategy. Off by default — when disabled no
+  /// access tracking happens at all, so existing figures stay bit-identical.
+  DemandOptions demand;
 };
 
 /// The elementary update an invalidation stems from, threaded from the
@@ -143,6 +148,13 @@ class GmrMaintenance {
 
   void set_remat_strategy(RematStrategy s) { options_.remat = s; }
   RematStrategy remat_strategy() const { return options_.remat; }
+
+  /// Demand-driven materialization knob: records the policy and pushes the
+  /// configuration into every registered extension (exclusive access; safe
+  /// while reader sessions are live). Extensions registered later inherit
+  /// the policy automatically.
+  void set_demand_policy(const DemandOptions& d);
+  const DemandOptions& demand_policy() const { return options_.demand; }
 
   /// Re-entrancy guard for call interception on the owner/writer thread:
   /// >0 while this plane is (re)computing a function. Atomic because reader

@@ -241,6 +241,15 @@ class GmrManager {
     return maintenance_.remat_strategy();
   }
 
+  /// Demand-driven materialization: enable/retune the hotness-tracked cold
+  /// row policy across all extensions (current and future).
+  void set_demand_policy(const DemandOptions& d) {
+    maintenance_.set_demand_policy(d);
+  }
+  const DemandOptions& demand_policy() const {
+    return maintenance_.demand_policy();
+  }
+
   DependencyTables& deps() { return catalog_.deps(); }
   const DependencyTables& deps() const { return catalog_.deps(); }
   Rrr& rrr() { return catalog_.rrr(); }

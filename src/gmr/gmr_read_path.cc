@@ -52,6 +52,7 @@ Result<Value> GmrReadPath::OwnerForward(FunctionId f,
   size_t col = loc->second;
   auto row = gmr->FindRow(args);
   if (row.ok()) {
+    gmr->RecordAccess(*row);
     GOMFM_ASSIGN_OR_RETURN(const Gmr::Row* r, gmr->Get(*row));
     if (r->valid[col]) {
       ++stats_->forward_hits;
@@ -159,7 +160,9 @@ Result<Value> GmrReadPath::ConcurrentForward(const ExecutionContext* ctx,
       GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(loc->first));
       std::shared_lock<std::shared_mutex> ext(gmr->latch());
       MaybeStall();
-      auto cached = gmr->ReadResult(args, loc->second, ctx);
+      RowId accessed = kInvalidRowId;
+      auto cached = gmr->ReadResult(args, loc->second, ctx, &accessed);
+      if (accessed != kInvalidRowId) gmr->RecordAccess(accessed);
       if (cached.ok()) {
         if (cached->has_value()) {
           ++stats_->forward_hits;

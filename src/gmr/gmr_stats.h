@@ -29,6 +29,10 @@ struct GmrStats {
                                               // derived update function
   std::atomic<uint64_t> delta_fallbacks{0};   // delta plane enabled but the
                                               // update fell back to remat
+  std::atomic<uint64_t> demand_hot_remats{0};  // demand policy: row was hot,
+                                               // repaired eagerly
+  std::atomic<uint64_t> demand_cold_invalidations{0};  // demand policy: row was
+                                                       // cold, left invalid
   /// Gauge (not a counter): the oldest WAL LSN still pinned by a consumer —
   /// the slowest replica's acked position when shipping, else the last
   /// retention floor. Records at or below it are truncatable. 0 = no
@@ -53,6 +57,8 @@ struct GmrStats {
     uint64_t batch_flushes = 0;
     uint64_t delta_applies = 0;
     uint64_t delta_fallbacks = 0;
+    uint64_t demand_hot_remats = 0;
+    uint64_t demand_cold_invalidations = 0;
     uint64_t wal_oldest_needed_lsn = 0;
   };
 
@@ -74,6 +80,8 @@ struct GmrStats {
     c.batch_flushes = batch_flushes.load(kR);
     c.delta_applies = delta_applies.load(kR);
     c.delta_fallbacks = delta_fallbacks.load(kR);
+    c.demand_hot_remats = demand_hot_remats.load(kR);
+    c.demand_cold_invalidations = demand_cold_invalidations.load(kR);
     c.wal_oldest_needed_lsn = wal_oldest_needed_lsn.load(kR);
     return c;
   }
@@ -95,6 +103,8 @@ struct GmrStats {
     batch_flushes.store(0, kR);
     delta_applies.store(0, kR);
     delta_fallbacks.store(0, kR);
+    demand_hot_remats.store(0, kR);
+    demand_cold_invalidations.store(0, kR);
     wal_oldest_needed_lsn.store(0, kR);
   }
 };

@@ -95,6 +95,9 @@ Status ObjectManager::CheckValueConforms(const Value& value,
     case ValueKind::kComposite:
       return Status::TypeMismatch("composite values cannot be stored in "
                                   "typed attributes");
+    case ValueKind::kBytes:
+      actual = TypeRef::Bytes();
+      break;
     case ValueKind::kNull:
       return Status::Ok();
   }

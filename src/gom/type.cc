@@ -18,6 +18,8 @@ std::string TypeRef::ToString() const {
       return "type#" + std::to_string(object_type);
     case Tag::kAny:
       return "ANY";
+    case Tag::kBytes:
+      return "bytes";
   }
   return "?";
 }

@@ -23,6 +23,7 @@ struct TypeRef {
     kString,
     kObject,  // a declared tuple/set/list type; see `object_type`
     kAny,     // the implicit supertype ANY
+    kBytes,   // opaque binary payload attribute (ValueKind::kBytes)
   };
 
   Tag tag = Tag::kVoid;
@@ -35,6 +36,7 @@ struct TypeRef {
   static TypeRef String() { return {Tag::kString, kInvalidTypeId}; }
   static TypeRef Object(TypeId t) { return {Tag::kObject, t}; }
   static TypeRef Any() { return {Tag::kAny, kInvalidTypeId}; }
+  static TypeRef Bytes() { return {Tag::kBytes, kInvalidTypeId}; }
 
   bool is_object() const { return tag == Tag::kObject; }
   bool is_atomic() const {

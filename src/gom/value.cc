@@ -20,6 +20,8 @@ const char* ValueKindName(ValueKind kind) {
       return "ref";
     case ValueKind::kComposite:
       return "composite";
+    case ValueKind::kBytes:
+      return "bytes";
   }
   return "unknown";
 }
@@ -50,6 +52,14 @@ Result<Oid> Value::AsRef() const {
                                 ValueKindName(kind()));
   }
   return as_ref();
+}
+
+Result<const std::vector<uint8_t>*> Value::AsBytes() const {
+  if (kind() != ValueKind::kBytes) {
+    return Status::TypeMismatch(std::string("expected bytes, got ") +
+                                ValueKindName(kind()));
+  }
+  return &as_bytes();
 }
 
 Result<int> Value::Compare(const Value& other) const {
@@ -107,6 +117,9 @@ std::string Value::ToString() const {
       out += "]";
       return out;
     }
+    case ValueKind::kBytes:
+      // Bulk payloads render as a size summary, never the raw bytes.
+      return "bytes[" + std::to_string(as_bytes().size()) + "]";
   }
   return "?";
 }
@@ -159,6 +172,11 @@ void Value::Serialize(std::vector<uint8_t>* out) const {
       for (const Value& e : elements()) e.Serialize(out);
       break;
     }
+    case ValueKind::kBytes: {
+      AppendRaw(out, static_cast<uint32_t>(as_bytes().size()));
+      out->insert(out->end(), as_bytes().begin(), as_bytes().end());
+      break;
+    }
   }
 }
 
@@ -181,6 +199,9 @@ size_t Value::SerializedSize() const {
     case ValueKind::kComposite:
       n += 4;
       for (const Value& e : elements()) n += e.SerializedSize();
+      break;
+    case ValueKind::kBytes:
+      n += 4 + as_bytes().size();
       break;
   }
   return n;
@@ -235,6 +256,16 @@ Result<Value> Value::Deserialize(const uint8_t** cursor, const uint8_t* end) {
         elems.push_back(std::move(v));
       }
       return Value::Composite(std::move(elems));
+    }
+    case ValueKind::kBytes: {
+      uint32_t len;
+      GOMFM_RETURN_IF_ERROR(ReadRaw(cursor, end, &len));
+      if (*cursor + len > end) {
+        return Status::OutOfRange("Value::Deserialize: truncated bytes");
+      }
+      std::vector<uint8_t> bytes(*cursor, *cursor + len);
+      *cursor += len;
+      return Value::Bytes(std::move(bytes));
     }
   }
   return Status::InvalidArgument("Value::Deserialize: bad kind tag");

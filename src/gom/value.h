@@ -19,6 +19,7 @@ enum class ValueKind : uint8_t {
   kString = 4,
   kRef = 5,        // reference to an object (an OID)
   kComposite = 6,  // transient structured result (e.g. one MatrixLine tuple)
+  kBytes = 7,      // opaque binary payload (e.g. a packed triangle mesh)
 };
 
 const char* ValueKindName(ValueKind kind);
@@ -31,7 +32,9 @@ const char* ValueKindName(ValueKind kind);
 /// are implicit in GOM, so a `kRef` value is just the OID. `kComposite` is a
 /// transient ordered collection of values used for complex function results
 /// (such as the department–project `matrix` of §7.2) that are not themselves
-/// stored objects.
+/// stored objects. `kBytes` is an opaque variable-size binary payload —
+/// storable in attributes, opaque to GOMql comparisons — used for bulk
+/// domain data such as the geometry workload's packed triangle meshes.
 class Value {
  public:
   Value() : data_(std::monostate{}) {}
@@ -44,6 +47,9 @@ class Value {
   static Value Ref(Oid oid) { return Value(Data(oid)); }
   static Value Composite(std::vector<Value> elems) {
     return Value(Data(std::move(elems)));
+  }
+  static Value Bytes(std::vector<uint8_t> bytes) {
+    return Value(Data(std::move(bytes)));
   }
 
   ValueKind kind() const { return static_cast<ValueKind>(data_.index()); }
@@ -65,11 +71,15 @@ class Value {
   std::vector<Value>& mutable_elements() {
     return std::get<std::vector<Value>>(data_);
   }
+  const std::vector<uint8_t>& as_bytes() const {
+    return std::get<std::vector<uint8_t>>(data_);
+  }
 
   /// Numeric coercion: int and float both convert; anything else errors.
   Result<double> AsDouble() const;
   Result<bool> AsBool() const;
   Result<Oid> AsRef() const;
+  Result<const std::vector<uint8_t>*> AsBytes() const;
 
   /// Deep structural equality (used e.g. by set `remove`).
   bool operator==(const Value& other) const { return data_ == other.data_; }
@@ -92,8 +102,9 @@ class Value {
   static Result<Value> Deserialize(const uint8_t** cursor, const uint8_t* end);
 
  private:
+  // Alternative order mirrors ValueKind: `kind()` is the variant index.
   using Data = std::variant<std::monostate, bool, int64_t, double, std::string,
-                            Oid, std::vector<Value>>;
+                            Oid, std::vector<Value>, std::vector<uint8_t>>;
   explicit Value(Data data) : data_(std::move(data)) {}
 
   Data data_;

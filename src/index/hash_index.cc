@@ -1,5 +1,7 @@
 #include "index/hash_index.h"
 
+#include <string_view>
+
 namespace gom {
 
 namespace {
@@ -27,6 +29,10 @@ size_t HashValue(const Value& v) {
       for (const Value& e : v.elements()) HashCombine(&seed, HashValue(e));
       return seed;
     }
+    case ValueKind::kBytes:
+      return std::hash<std::string_view>()(std::string_view(
+          reinterpret_cast<const char*>(v.as_bytes().data()),
+          v.as_bytes().size()));
   }
   return 0;
 }

@@ -221,6 +221,20 @@ Result<Value> Client::Forward(FunctionId f, std::vector<Value> args,
   return std::move(resp.rows[0][0]);
 }
 
+Result<Value> Client::Update(FunctionId op, std::vector<Value> args) {
+  Request req;
+  req.type = RequestType::kUpdate;
+  req.id = NextId();
+  req.function = op;
+  req.args = std::move(args);
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Call(req));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  if (resp.rows.size() != 1 || resp.rows[0].size() != 1) {
+    return Status::Internal("malformed update response shape");
+  }
+  return std::move(resp.rows[0][0]);
+}
+
 Result<RowSet> Client::Backward(FunctionId f, double lo, double hi,
                                 bool lo_inclusive, bool hi_inclusive,
                                 Lsn min_lsn) {
@@ -351,6 +365,19 @@ Result<Value> FailoverClient::Forward(FunctionId f, std::vector<Value> args,
   GOMFM_RETURN_IF_ERROR(ToStatus(resp));
   if (resp.rows.size() != 1 || resp.rows[0].size() != 1) {
     return Status::Internal("malformed forward response shape");
+  }
+  return std::move(resp.rows[0][0]);
+}
+
+Result<Value> FailoverClient::Update(FunctionId op, std::vector<Value> args) {
+  Request req;
+  req.type = RequestType::kUpdate;
+  req.function = op;
+  req.args = std::move(args);
+  GOMFM_ASSIGN_OR_RETURN(Response resp, Issue(std::move(req)));
+  GOMFM_RETURN_IF_ERROR(ToStatus(resp));
+  if (resp.rows.size() != 1 || resp.rows[0].size() != 1) {
+    return Status::Internal("malformed update response shape");
   }
   return std::move(resp.rows[0][0]);
 }

@@ -72,6 +72,8 @@ class Client {
   Result<RowSet> Backward(FunctionId f, double lo, double hi,
                           bool lo_inclusive = true, bool hi_inclusive = true,
                           Lsn min_lsn = 0);
+  /// Invokes the update operation op(args) on the server's writer gate.
+  Result<Value> Update(FunctionId op, std::vector<Value> args);
   Result<std::string> ServerStats();
 
  private:
@@ -133,6 +135,7 @@ class FailoverClient {
   Result<RowSet> Backward(FunctionId f, double lo, double hi,
                           bool lo_inclusive = true, bool hi_inclusive = true,
                           Lsn min_lsn = 0);
+  Result<Value> Update(FunctionId op, std::vector<Value> args);
   Result<std::string> ServerStats();
 
   /// Index into the port list currently connected (or next to try).

@@ -340,6 +340,12 @@ Response Server::Execute(Connection& conn, const Request& request) {
     case RequestType::kStats:
       response.text = StatsJson();
       break;
+    case RequestType::kUpdate: {
+      auto value = conn.session->RunOperation(request.function, request.args);
+      if (!value.ok()) return ErrorResponse(request.id, value.status());
+      response.rows.push_back({std::move(*value)});
+      break;
+    }
   }
   return response;
 }
@@ -419,6 +425,7 @@ std::string Server::StatsJson() const {
   add("backward",
       s.requests_by_type[static_cast<size_t>(RequestType::kBackward)]);
   add("stats", s.requests_by_type[static_cast<size_t>(RequestType::kStats)]);
+  add("update", s.requests_by_type[static_cast<size_t>(RequestType::kUpdate)]);
   add("admitted", s.admission.admitted);
   add("shed_queue_full", s.admission.shed_queue_full);
   add("shed_conn_cap", s.admission.shed_conn_cap);

@@ -100,7 +100,7 @@ class Server {
     uint64_t idle_closes = 0;
     uint64_t requests_ok = 0;
     uint64_t requests_error = 0;
-    uint64_t requests_by_type[7] = {0, 0, 0, 0, 0, 0, 0};  // RequestType idx
+    uint64_t requests_by_type[8] = {0, 0, 0, 0, 0, 0, 0, 0};  // RequestType idx
     size_t open_connections = 0;
     AdmissionController::Snapshot admission;
   };

@@ -95,6 +95,8 @@ const char* RequestTypeName(RequestType type) {
       return "backward";
     case RequestType::kStats:
       return "stats";
+    case RequestType::kUpdate:
+      return "update";
   }
   return "unknown";
 }
@@ -111,7 +113,8 @@ void EncodeRequest(const Request& request, std::vector<uint8_t>* frame) {
     case RequestType::kExplain:
       WriteString(&w, request.text);
       break;
-    case RequestType::kForward: {
+    case RequestType::kForward:
+    case RequestType::kUpdate: {
       w.U32(request.function);
       w.U16(static_cast<uint16_t>(request.args.size()));
       std::vector<uint8_t> bytes;
@@ -143,7 +146,7 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
   Request req;
   GOMFM_ASSIGN_OR_RETURN(uint8_t type, r.U8());
   if (type < static_cast<uint8_t>(RequestType::kPing) ||
-      type > static_cast<uint8_t>(RequestType::kStats)) {
+      type > static_cast<uint8_t>(RequestType::kUpdate)) {
     return Status::InvalidArgument("wire: unknown request type " +
                                    std::to_string(type));
   }
@@ -158,7 +161,8 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
       GOMFM_ASSIGN_OR_RETURN(req.text, ReadString(&r));
       break;
     }
-    case RequestType::kForward: {
+    case RequestType::kForward:
+    case RequestType::kUpdate: {
       GOMFM_ASSIGN_OR_RETURN(req.function, r.U32());
       GOMFM_ASSIGN_OR_RETURN(uint16_t argc, r.U16());
       req.args.reserve(argc);

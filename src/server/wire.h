@@ -39,6 +39,7 @@ enum class RequestType : uint8_t {
   kForward = 4,   // forward query f(args) through the GMR
   kBackward = 5,  // backward range query over a materialized function
   kStats = 6,     // server statistics snapshot (JSON text)
+  kUpdate = 7,    // invoke an update operation op(args) on the writer gate
 };
 
 const char* RequestTypeName(RequestType type);
@@ -52,8 +53,8 @@ struct Request {
   /// the client re-associates them.
   uint64_t id = 0;
   std::string text;                          // kGomql / kExplain
-  FunctionId function = kInvalidFunctionId;  // kForward / kBackward
-  std::vector<Value> args;                   // kForward
+  FunctionId function = kInvalidFunctionId;  // kForward / kBackward / kUpdate
+  std::vector<Value> args;                   // kForward / kUpdate
   double lo = 0, hi = 0;                     // kBackward
   bool lo_inclusive = true, hi_inclusive = true;
   /// kForward / kBackward staleness bound: the server must have applied at

@@ -54,6 +54,21 @@ Result<std::string> Session::ExplainGomql(const std::string& text) {
   return plan.Explain(&env_->registry);
 }
 
+Result<Value> Session::RunOperation(FunctionId op, std::vector<Value> args) {
+  GOMFM_ASSIGN_OR_RETURN(const funclang::FunctionDef* def,
+                         env_->registry.Get(op));
+  if (def->side_effect_free) {
+    return Status::InvalidArgument("RunOperation: '" + def->name +
+                                   "' is side-effect-free; use a forward "
+                                   "query");
+  }
+  std::unique_lock<std::shared_mutex> gate(pool_->gate_);
+  ++stats_.update_ops;
+  // Owner-mode invoke (no concurrent ctx): the exclusive gate makes this
+  // thread the writer, so in-place repairs during invalidation are safe.
+  return env_->interp.Invoke(op, std::move(args));
+}
+
 Session* SessionPool::CreateSession() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!free_.empty()) {

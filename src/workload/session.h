@@ -48,6 +48,14 @@ class Session {
   /// costing inspects live extension state.
   Result<std::string> ExplainGomql(const std::string& text);
 
+  /// Invokes an update operation op(args) — a registered function that is
+  /// not side-effect-free. Takes the gate *exclusively* (it is a one-call
+  /// update storm): the operation mutates objects, and the invalidation /
+  /// rematerialization it triggers runs on this thread in owner mode.
+  /// Side-effect-free functions are rejected — reads go through
+  /// ForwardQuery, which stays concurrent.
+  Result<Value> RunOperation(FunctionId op, std::vector<Value> args);
+
   uint32_t id() const { return id_; }
   const SessionStats& stats() const { return stats_; }
   SimClock& clock() { return clock_; }

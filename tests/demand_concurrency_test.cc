@@ -1,0 +1,259 @@
+// Demand-policy concurrency: Zipf-skewed reader sessions race density
+// update storms while the hotness tracker decides, per row, between eager
+// repair and flag-only invalidation. An eager twin environment replays the
+// identical storm sequence as the oracle — every value a reader observes
+// must be some storm-prefix state, cold rows must still converge, and the
+// final extension must equal the oracle's bit for bit.
+//
+// Runs under the TSan job together with concurrency_test: readers bump the
+// lock-free hotness slots under a shared latch while the writer holds the
+// exclusive maintenance plane.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "geomwl/geom_stack.h"
+#include "workload/session.h"
+
+namespace gom {
+namespace {
+
+using geomwl::GeomStack;
+using geomwl::GeomStackOptions;
+using geomwl::MakeGeomStack;
+using workload::Session;
+using workload::SessionPool;
+
+constexpr size_t kNumParts = 16;
+constexpr size_t kStorms = 20;
+constexpr size_t kWritesPerStorm = 5;
+constexpr size_t kReaders = 4;
+constexpr size_t kQueriesPerReader = 200;
+constexpr size_t kWeightCol = 2;  // mesh_weight in MeshGmrSpec order
+
+GeomStackOptions TestStack() {
+  GeomStackOptions opts;
+  opts.buffer_pages = 2048;
+  opts.gmr.remat = RematStrategy::kImmediate;
+  opts.num_parts = kNumParts;
+  opts.seed = 97;
+  opts.rings = 10;
+  opts.segments = 10;
+  opts.materialize = true;
+  opts.notify = true;
+  return opts;
+}
+
+DemandOptions TestPolicy() {
+  DemandOptions d;
+  d.enabled = true;
+  d.hot_threshold = 4;
+  d.epoch_accesses = 64;
+  return d;
+}
+
+double ForwardWeight(GeomStack& s, size_t part) {
+  auto v = s.env.mgr.ForwardLookup(nullptr, s.mesh.mesh_weight,
+                                   {Value::Ref(s.parts[part])});
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() ? v->as_float() : 0.0;
+}
+
+/// One density storm, identical for the live and oracle environments. The
+/// caller's Rng carries the sequence, so replaying storms 0..k reproduces
+/// the exact base (and, after repair, derived) state after storm k.
+Status ApplyStorm(GeomStack& s, Rng& rng) {
+  GmrManager::UpdateBatch batch(&s.env.mgr);
+  for (size_t i = 0; i < kWritesPerStorm; ++i) {
+    Oid part = s.parts[rng.UniformInt(0, static_cast<int64_t>(kNumParts) - 1)];
+    GOMFM_RETURN_IF_ERROR(s.env.om.SetAttribute(
+        part, "Density", Value::Float(rng.UniformDouble(1, 9))));
+  }
+  return batch.Commit();
+}
+
+/// Zipf-skewed part sequence (weight (i+1)^-s), deterministic per seed —
+/// the head parts stay hot, the tail stays cold.
+std::vector<size_t> ZipfSequence(size_t n, double zipf_s, uint64_t seed) {
+  std::vector<double> cdf(kNumParts);
+  double total = 0;
+  for (size_t i = 0; i < kNumParts; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -zipf_s);
+    cdf[i] = total;
+  }
+  Rng rng(seed);
+  std::vector<size_t> seq(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.UniformDouble(0, total);
+    size_t lo = 0, hi = kNumParts - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    seq[i] = lo;
+  }
+  return seq;
+}
+
+TEST(DemandConcurrencyTest, SkewedReadersDuringStormsMatchEagerOracle) {
+  // Oracle pass: eager, single-threaded. Every storm-prefix weight is a
+  // legal observation (the session gate serializes readers against whole
+  // storms).
+  auto oracle = MakeGeomStack(TestStack());
+  ASSERT_TRUE(oracle->setup.ok()) << oracle->setup.ToString();
+  std::vector<std::set<double>> allowed(kNumParts);
+  auto snapshot = [&](GeomStack& s) {
+    for (size_t i = 0; i < kNumParts; ++i) {
+      allowed[i].insert(ForwardWeight(s, i));
+    }
+  };
+  {
+    Rng storms(19);
+    snapshot(*oracle);
+    for (size_t k = 0; k < kStorms; ++k) {
+      ASSERT_TRUE(ApplyStorm(*oracle, storms).ok());
+      snapshot(*oracle);
+    }
+  }
+
+  // Live pass: identical storms, demand policy on, skewed readers racing
+  // the writer through the session gate.
+  auto live = MakeGeomStack(TestStack());
+  ASSERT_TRUE(live->setup.ok()) << live->setup.ToString();
+  GeomStack& s = *live;
+  // Populate every row before enabling the policy, so hotness reflects
+  // only the racing reads below.
+  for (size_t i = 0; i < kNumParts; ++i) ForwardWeight(s, i);
+  s.env.mgr.set_demand_policy(TestPolicy());
+  s.env.mgr.ResetStats();
+
+  std::vector<Session*> sessions;
+  std::vector<std::vector<size_t>> schedules;
+  for (size_t t = 0; t < kReaders; ++t) {
+    sessions.push_back(s.env.MakeSession());
+    schedules.push_back(ZipfSequence(kQueriesPerReader, 1.5, 1000 + t));
+  }
+
+  struct Observation {
+    size_t part;
+    double weight;
+  };
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      Session* session = sessions[t];
+      observed[t].reserve(kQueriesPerReader);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (size_t part : schedules[t]) {
+        auto v = session->ForwardQuery(s.mesh.mesh_weight,
+                                       {Value::Ref(s.parts[part])});
+        if (!v.ok() || !v->is_numeric()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        observed[t].push_back({part, *v->AsDouble()});
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  {
+    Rng storms(19);
+    for (size_t k = 0; k < kStorms; ++k) {
+      Status st;
+      {
+        SessionPool::WriterLock lock(s.env.session_pool.get());
+        st = ApplyStorm(s, storms);
+      }
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      std::this_thread::yield();
+    }
+  }
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  size_t total = 0;
+  for (size_t t = 0; t < kReaders; ++t) {
+    for (const Observation& o : observed[t]) {
+      ASSERT_TRUE(allowed[o.part].count(o.weight) != 0)
+          << "reader " << t << " saw weight " << o.weight << " for part "
+          << o.part << " — not any storm-prefix state";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kReaders * kQueriesPerReader);
+
+  // Cold rows that absorbed storms repair on this sweep; afterwards the
+  // live extension must agree with the eager oracle exactly.
+  for (size_t i = 0; i < kNumParts; ++i) {
+    EXPECT_EQ(ForwardWeight(s, i), ForwardWeight(*oracle, i)) << "part " << i;
+  }
+
+  // The policy actually exercised both branches under skew, and the two
+  // counters partition every invalidation.
+  auto c = s.env.mgr.stats().Snapshot();
+  EXPECT_GT(c.demand_cold_invalidations, 0u);
+  EXPECT_EQ(c.demand_hot_remats + c.demand_cold_invalidations,
+            c.invalidations);
+}
+
+TEST(DemandConcurrencyTest, HotTrackingRacesAreBenignOnQuiescentState) {
+  auto stack = MakeGeomStack(TestStack());
+  ASSERT_TRUE(stack->setup.ok()) << stack->setup.ToString();
+  GeomStack& s = *stack;
+  for (size_t i = 0; i < kNumParts; ++i) ForwardWeight(s, i);
+  s.env.mgr.set_demand_policy(TestPolicy());
+
+  std::vector<double> expected(kNumParts);
+  for (size_t i = 0; i < kNumParts; ++i) expected[i] = ForwardWeight(s, i);
+
+  // No writers: racing readers only exercise the lock-free hotness slots;
+  // every answer must be the quiescent value.
+  std::vector<Session*> sessions;
+  for (size_t t = 0; t < kReaders; ++t) sessions.push_back(s.env.MakeSession());
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      Session* session = sessions[t];
+      std::vector<size_t> seq =
+          ZipfSequence(kQueriesPerReader, 2.0, 500 + t);
+      for (size_t part : seq) {
+        auto v = session->ForwardQuery(s.mesh.mesh_weight,
+                                       {Value::Ref(s.parts[part])});
+        if (!v.ok() || *v->AsDouble() != expected[part]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Tracking observed the traffic (the policy was live), yet no repair or
+  // invalidation happened without a write.
+  auto g = s.env.mgr.Get(s.mesh_gmr);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GE((*g)->demand_access_count(), kReaders * kQueriesPerReader);
+  auto c = s.env.mgr.stats().Snapshot();
+  EXPECT_EQ(c.demand_hot_remats, 0u);
+  EXPECT_EQ(c.demand_cold_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace gom

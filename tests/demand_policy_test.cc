@@ -1,0 +1,242 @@
+// Demand-driven materialization policy: hotness-tracked rows decide per
+// update between eager repair (hot) and flag-only invalidation (cold).
+// These tests pin the observable contract — classification, aging,
+// propagation, inertness when disabled, and convergence to the same
+// answers as the lazy strategy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "geomwl/geom_stack.h"
+
+namespace gom {
+namespace {
+
+using geomwl::GeomStack;
+using geomwl::GeomStackOptions;
+using geomwl::MakeGeomStack;
+
+// Column order in MeshGmrSpec: surface_area, mesh_volume, mesh_weight,
+// bbox_diag.
+constexpr size_t kWeightCol = 2;
+
+std::unique_ptr<GeomStack> MakeStack(RematStrategy remat) {
+  GeomStackOptions opts;
+  opts.buffer_pages = 1024;
+  opts.gmr.remat = remat;
+  opts.num_parts = 6;
+  opts.rings = 8;
+  opts.segments = 8;
+  opts.materialize = true;
+  opts.notify = true;
+  auto stack = MakeGeomStack(opts);
+  EXPECT_TRUE(stack->setup.ok()) << stack->setup.ToString();
+  return stack;
+}
+
+FunctionId FnByColumn(const GeomStack& s, size_t col) {
+  const FunctionId fns[] = {s.mesh.surface_area, s.mesh.mesh_volume,
+                            s.mesh.mesh_weight, s.mesh.bbox_diag};
+  return fns[col];
+}
+
+double Forward(GeomStack* s, size_t part, size_t col) {
+  auto v = s->env.mgr.ForwardLookup(nullptr, FnByColumn(*s, col),
+                                    {Value::Ref(s->parts[part])});
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() ? v->as_float() : 0.0;
+}
+
+// All-valid starting point: lookups populate/repair every row of every
+// column, exactly like the harness warmup.
+void Warm(GeomStack* s) {
+  for (size_t p = 0; p < s->parts.size(); ++p) {
+    for (size_t c = 0; c < 4; ++c) Forward(s, p, c);
+  }
+}
+
+Gmr* Ext(GeomStack* s) {
+  auto g = s->env.mgr.Get(s->mesh_gmr);
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+RowId RowOf(GeomStack* s, size_t part) {
+  RowId row = kInvalidRowId;
+  auto r = Ext(s)->ReadResult({Value::Ref(s->parts[part])}, kWeightCol,
+                              nullptr, &row);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return row;
+}
+
+bool WeightValid(GeomStack* s, size_t part) {
+  auto valid = Ext(s)->ResultValid(RowOf(s, part), kWeightCol);
+  EXPECT_TRUE(valid.ok());
+  return valid.ok() && *valid;
+}
+
+TEST(DemandPolicyTest, HotRowRepairedEagerlyColdRowLeftInvalid) {
+  auto s = MakeStack(RematStrategy::kImmediate);
+  Warm(s.get());
+
+  DemandOptions d;
+  d.enabled = true;
+  d.hot_threshold = 3;
+  d.epoch_accesses = 100000;  // no aging within this test
+  s->env.mgr.set_demand_policy(d);
+  s->env.mgr.ResetStats();
+
+  // Part 0 becomes hot (>= threshold accesses); part 1 stays cold.
+  for (int i = 0; i < 4; ++i) Forward(s.get(), 0, kWeightCol);
+
+  Status up = s->env.om.SetAttribute(s->parts[0], "Density",
+                                     Value::Float(5.5));
+  ASSERT_TRUE(up.ok()) << up.ToString();
+  auto c = s->env.mgr.stats().Snapshot();
+  EXPECT_GE(c.demand_hot_remats, 1u);
+  EXPECT_EQ(c.demand_cold_invalidations, 0u);
+  EXPECT_TRUE(WeightValid(s.get(), 0));  // repaired on the spot
+
+  up = s->env.om.SetAttribute(s->parts[1], "Density", Value::Float(2.25));
+  ASSERT_TRUE(up.ok()) << up.ToString();
+  c = s->env.mgr.stats().Snapshot();
+  EXPECT_GE(c.demand_cold_invalidations, 1u);
+  EXPECT_FALSE(WeightValid(s.get(), 1));  // left invalid, lazy-style
+
+  // With the policy on, every invalidation is classified one way or the
+  // other — the two counters partition the total.
+  EXPECT_EQ(c.demand_hot_remats + c.demand_cold_invalidations,
+            c.invalidations);
+
+  // The cold row still converges: the next forward query recomputes from
+  // the new base state.
+  auto mesh = s->mesh.MeshOf(&s->env.om, s->parts[1]);
+  ASSERT_TRUE(mesh.ok());
+  double expect = std::fabs(mesh->SignedVolume()) * 2.25;
+  EXPECT_DOUBLE_EQ(Forward(s.get(), 1, kWeightCol), expect);
+  EXPECT_TRUE(WeightValid(s.get(), 1));
+  EXPECT_GT(s->env.mgr.stats().Snapshot().forward_invalid, 0u);
+}
+
+TEST(DemandPolicyTest, HotnessDecaysAfterTwoIdleEpochs) {
+  auto s = MakeStack(RematStrategy::kImmediate);
+  Warm(s.get());
+
+  DemandOptions d;
+  d.enabled = true;
+  d.hot_threshold = 2;
+  d.epoch_accesses = 4;
+  s->env.mgr.set_demand_policy(d);
+  s->env.mgr.ResetStats();
+
+  for (int i = 0; i < 3; ++i) Forward(s.get(), 0, kWeightCol);
+  Status up = s->env.om.SetAttribute(s->parts[0], "Density",
+                                     Value::Float(3.0));
+  ASSERT_TRUE(up.ok());
+  EXPECT_GE(s->env.mgr.stats().Snapshot().demand_hot_remats, 1u);
+  EXPECT_TRUE(WeightValid(s.get(), 0));
+
+  // Two-plus epochs of traffic on other rows; part 0's history decays.
+  for (int i = 0; i < 9; ++i) Forward(s.get(), 1, kWeightCol);
+  up = s->env.om.SetAttribute(s->parts[0], "Density", Value::Float(4.0));
+  ASSERT_TRUE(up.ok());
+  EXPECT_GE(s->env.mgr.stats().Snapshot().demand_cold_invalidations, 1u);
+  EXPECT_FALSE(WeightValid(s.get(), 0));
+
+  // And the decayed row still answers correctly on demand.
+  auto mesh = s->mesh.MeshOf(&s->env.om, s->parts[0]);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_DOUBLE_EQ(Forward(s.get(), 0, kWeightCol),
+                   std::fabs(mesh->SignedVolume()) * 4.0);
+}
+
+TEST(DemandPolicyTest, DisabledPolicyIsInert) {
+  auto s = MakeStack(RematStrategy::kImmediate);
+  Warm(s.get());
+  s->env.mgr.ResetStats();
+
+  Gmr* g = Ext(s.get());
+  // Off: every row reports hot (the pre-policy eager behavior) and access
+  // tracking is a no-op, so runs without the policy cannot be perturbed.
+  EXPECT_TRUE(g->IsHot(0));
+  for (int i = 0; i < 8; ++i) Forward(s.get(), 0, kWeightCol);
+  EXPECT_EQ(g->demand_access_count(), 0u);
+
+  Status up = s->env.om.SetAttribute(s->parts[0], "Density",
+                                     Value::Float(7.0));
+  ASSERT_TRUE(up.ok());
+  auto c = s->env.mgr.stats().Snapshot();
+  EXPECT_GT(c.invalidations, 0u);
+  EXPECT_EQ(c.demand_hot_remats, 0u);
+  EXPECT_EQ(c.demand_cold_invalidations, 0u);
+  EXPECT_TRUE(WeightValid(s.get(), 0));  // eager repair as before
+}
+
+TEST(DemandPolicyTest, SetDemandPolicyPropagatesToExistingExtensions) {
+  auto s = MakeStack(RematStrategy::kImmediate);
+
+  DemandOptions d;
+  d.enabled = true;
+  d.hot_threshold = 7;
+  d.epoch_accesses = 31;
+  s->env.mgr.set_demand_policy(d);
+
+  EXPECT_TRUE(s->env.mgr.demand_policy().enabled);
+  const DemandOptions& got = Ext(s.get())->demand();
+  EXPECT_TRUE(got.enabled);
+  EXPECT_EQ(got.hot_threshold, 7u);
+  EXPECT_EQ(got.epoch_accesses, 31u);
+
+  d.enabled = false;
+  s->env.mgr.set_demand_policy(d);
+  EXPECT_FALSE(Ext(s.get())->demand().enabled);
+  EXPECT_TRUE(Ext(s.get())->IsHot(0));  // back to eager semantics
+}
+
+// End-to-end equivalence on one interleaved schedule: the demand policy
+// must land on exactly the answers the plain lazy strategy produces.
+TEST(DemandPolicyTest, ConvergesBitForBitWithLazyStrategy) {
+  auto run = [](RematStrategy remat, bool demand) {
+    auto s = MakeStack(remat);
+    Warm(s.get());
+    if (demand) {
+      DemandOptions d;
+      d.enabled = true;
+      d.hot_threshold = 3;
+      d.epoch_accesses = 16;
+      s->env.mgr.set_demand_policy(d);
+    }
+    // Deterministic interleaving: skewed reads (part i%3) and density
+    // writes sweeping all parts.
+    for (int r = 0; r < 24; ++r) {
+      Status up = s->env.om.SetAttribute(
+          s->parts[static_cast<size_t>(r) % s->parts.size()], "Density",
+          Value::Float(1.0 + (r * 7) % 11));
+      EXPECT_TRUE(up.ok());
+      for (int k = 0; k < 4; ++k) {
+        Forward(s.get(), static_cast<size_t>(r + k) % 3,
+                static_cast<size_t>(k) % 4);
+      }
+    }
+    std::vector<double> final_values;
+    for (size_t p = 0; p < s->parts.size(); ++p) {
+      for (size_t c = 0; c < 4; ++c) {
+        final_values.push_back(Forward(s.get(), p, c));
+      }
+    }
+    return final_values;
+  };
+
+  std::vector<double> lazy = run(RematStrategy::kLazy, false);
+  std::vector<double> demand = run(RematStrategy::kImmediate, true);
+  ASSERT_EQ(lazy.size(), demand.size());
+  for (size_t i = 0; i < lazy.size(); ++i) {
+    EXPECT_EQ(lazy[i], demand[i]) << "value " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gom

@@ -1,0 +1,181 @@
+// Geometry-kernel tests: procedural generators against analytic ground
+// truth, byte-codec round-trips (the mesh bytes are the reproducibility
+// anchor of every materialized mesh function), and rejection of hostile
+// encodings — truncations, bad counts, out-of-range indices.
+
+#include "geomwl/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace gom::geomwl {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(MeshTest, SphereConvergesToAnalyticAreaAndVolume) {
+  const double r = 3.0;
+  // Inscribed polyhedra approach from below; the relative error shrinks
+  // with resolution.
+  double prev_area_err = 1.0, prev_vol_err = 1.0;
+  for (uint32_t n : {8u, 16u, 32u}) {
+    TriangleMesh m = MakeSphere(n, 2 * n, r);
+    double area_err = std::fabs(m.SurfaceArea() - 4 * kPi * r * r) /
+                      (4 * kPi * r * r);
+    double vol_err = std::fabs(m.SignedVolume() - 4.0 / 3.0 * kPi * r * r * r) /
+                     (4.0 / 3.0 * kPi * r * r * r);
+    EXPECT_LT(area_err, prev_area_err);
+    EXPECT_LT(vol_err, prev_vol_err);
+    prev_area_err = area_err;
+    prev_vol_err = vol_err;
+  }
+  EXPECT_LT(prev_area_err, 0.01);
+  EXPECT_LT(prev_vol_err, 0.01);
+}
+
+TEST(MeshTest, SphereIsClosedAndOutwardWound) {
+  TriangleMesh m = MakeSphere(12, 24, 2.0);
+  // Positive signed volume == outward winding everywhere.
+  EXPECT_GT(m.SignedVolume(), 0.0);
+  // Every edge of a closed 2-manifold is shared by exactly two triangles
+  // with opposite orientation: each directed edge appears exactly once.
+  std::vector<std::pair<uint32_t, uint32_t>> directed;
+  for (size_t t = 0; t < m.triangle_count(); ++t) {
+    uint32_t a = m.indices[3 * t], b = m.indices[3 * t + 1],
+             c = m.indices[3 * t + 2];
+    directed.push_back({a, b});
+    directed.push_back({b, c});
+    directed.push_back({c, a});
+  }
+  for (const auto& e : directed) {
+    size_t fwd = 0, rev = 0;
+    for (const auto& f : directed) {
+      if (f == e) ++fwd;
+      if (f.first == e.second && f.second == e.first) ++rev;
+    }
+    ASSERT_EQ(fwd, 1u) << "duplicate directed edge";
+    ASSERT_EQ(rev, 1u) << "unmatched edge (open surface)";
+    if (&e - directed.data() > 200) break;  // spot check is enough
+  }
+}
+
+TEST(MeshTest, TorusMatchesAnalyticArea) {
+  const double R = 5.0, r = 1.0;
+  TriangleMesh m = MakeTorus(48, 48, R, r);
+  // Area 4 pi^2 R r, volume 2 pi^2 R r^2.
+  EXPECT_NEAR(m.SurfaceArea(), 4 * kPi * kPi * R * r,
+              0.02 * 4 * kPi * kPi * R * r);
+  EXPECT_NEAR(std::fabs(m.SignedVolume()), 2 * kPi * kPi * R * r * r,
+              0.02 * 2 * kPi * kPi * R * r * r);
+}
+
+TEST(MeshTest, BoundsOfSphereAreTheEnclosingCube) {
+  const double r = 2.5;
+  TriangleMesh m = MakeSphere(24, 48, r);
+  Aabb box = m.Bounds();
+  EXPECT_NEAR(box.lo.x, -r, 0.05);
+  EXPECT_NEAR(box.hi.x, r, 0.05);
+  EXPECT_NEAR(box.lo.z, -r, 1e-12);  // poles are exact vertices
+  EXPECT_NEAR(box.hi.z, r, 1e-12);
+  EXPECT_NEAR(box.Diagonal(), 2 * r * std::sqrt(3.0), 0.2);
+}
+
+TEST(MeshTest, ScaleMeshScalesAreaQuadraticallyVolumeCubically) {
+  TriangleMesh m = MakeRock(99, 12, 12, 2.0, 0.1);
+  double area = m.SurfaceArea(), vol = m.SignedVolume();
+  ScaleMesh(&m, 2.0);
+  EXPECT_NEAR(m.SurfaceArea(), 4 * area, 1e-9 * area);
+  EXPECT_NEAR(m.SignedVolume(), 8 * vol, 1e-9 * std::fabs(vol));
+}
+
+TEST(MeshTest, GeneratorsAndDeformAreDeterministic) {
+  TriangleMesh a = MakeRock(1231, 16, 16, 3.0, 0.15);
+  TriangleMesh b = MakeRock(1231, 16, 16, 3.0, 0.15);
+  EXPECT_EQ(a.EncodeBytes(), b.EncodeBytes());
+
+  TriangleMesh c = MakeRock(1232, 16, 16, 3.0, 0.15);
+  EXPECT_NE(a.EncodeBytes(), c.EncodeBytes());
+
+  DeformMesh(&a, 7, 0.05);
+  DeformMesh(&b, 7, 0.05);
+  EXPECT_EQ(a.EncodeBytes(), b.EncodeBytes());
+  DeformMesh(&b, 8, 0.05);
+  EXPECT_NE(a.EncodeBytes(), b.EncodeBytes());
+}
+
+TEST(MeshTest, EncodeDecodeRoundTripsBitForBit) {
+  TriangleMesh m = MakeRock(4242, 20, 20, 4.0, 0.2);
+  std::vector<uint8_t> bytes = m.EncodeBytes();
+  EXPECT_GT(bytes.size(), 4096u);  // genuinely multi-KB
+
+  auto back = TriangleMesh::DecodeBytes(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->vertices.size(), m.vertices.size());
+  ASSERT_EQ(back->indices, m.indices);
+  EXPECT_EQ(std::memcmp(back->vertices.data(), m.vertices.data(),
+                        m.vertices.size() * sizeof(Vec3)),
+            0);
+  // Derived quantities are consequently identical, not merely close.
+  EXPECT_EQ(back->SurfaceArea(), m.SurfaceArea());
+  EXPECT_EQ(back->SignedVolume(), m.SignedVolume());
+}
+
+TEST(MeshTest, DecodeRejectsHostileEncodings) {
+  TriangleMesh m = MakeSphere(6, 6, 1.0);
+  std::vector<uint8_t> good = m.EncodeBytes();
+
+  // Every strict prefix fails (no partial meshes).
+  for (size_t n = 0; n < good.size(); n += 7) {
+    std::vector<uint8_t> cut(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(n));
+    EXPECT_FALSE(TriangleMesh::DecodeBytes(cut).ok()) << "prefix " << n;
+  }
+
+  // Bad magic.
+  std::vector<uint8_t> bad = good;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(TriangleMesh::DecodeBytes(bad).ok());
+
+  // Hostile vertex count: huge count with a tiny buffer must fail the
+  // size check, not attempt a gigabyte allocation.
+  bad = good;
+  uint32_t huge = 0x7fffffff;
+  std::memcpy(bad.data() + 4, &huge, 4);
+  EXPECT_FALSE(TriangleMesh::DecodeBytes(bad).ok());
+
+  // Index count not divisible by 3.
+  bad = good;
+  uint32_t nidx;
+  std::memcpy(&nidx, bad.data() + 8, 4);
+  uint32_t off_by_one = nidx - 1;
+  std::memcpy(bad.data() + 8, &off_by_one, 4);
+  EXPECT_FALSE(TriangleMesh::DecodeBytes(bad).ok());
+
+  // Out-of-range vertex index in the tail.
+  bad = good;
+  uint32_t bogus = 0x00ffffff;
+  std::memcpy(bad.data() + bad.size() - 4, &bogus, 4);
+  EXPECT_FALSE(TriangleMesh::DecodeBytes(bad).ok());
+
+  // Empty buffer.
+  EXPECT_FALSE(TriangleMesh::DecodeBytes({}).ok());
+}
+
+TEST(MeshTest, DeformPreservesTopologyAndStaysBounded) {
+  TriangleMesh m = MakeSphere(10, 20, 2.0);
+  std::vector<uint32_t> indices = m.indices;
+  size_t nverts = m.vertices.size();
+  DeformMesh(&m, 55, 0.05);
+  EXPECT_EQ(m.indices, indices);  // connectivity untouched
+  EXPECT_EQ(m.vertices.size(), nverts);
+  // 5% radial displacement keeps every vertex within ~5% of the sphere.
+  Aabb box = m.Bounds();
+  EXPECT_LT(box.hi.x, 2.0 * 1.06);
+  EXPECT_GT(box.lo.x, -2.0 * 1.06);
+}
+
+}  // namespace
+}  // namespace gom::geomwl
