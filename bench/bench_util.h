@@ -31,6 +31,7 @@ struct BenchArgs {
   std::string merge;
   std::string baseline;
   std::vector<size_t> counts;  // --threads / --connections sweep
+  std::vector<size_t> shards;  // --shards sweep (perf_harness scaling)
   size_t queries = 0;          // per worker; 0 = harness default
   int duration_ms = 0;         // > 0: run each sweep point for this long
 
@@ -69,6 +70,8 @@ struct BenchArgs {
         args.counts = ParseSizeList(arg.substr(10));
       } else if (arg.rfind("--connections=", 0) == 0) {
         args.counts = ParseSizeList(arg.substr(14));
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        args.shards = ParseSizeList(arg.substr(9));
       } else if (arg.rfind("--queries=", 0) == 0) {
         args.queries = static_cast<size_t>(
             std::strtoul(arg.substr(10).c_str(), nullptr, 10));

@@ -101,6 +101,12 @@ struct ModeResult {
   double read_sim_s = 0;
   double total_sim_s = 0;
   GmrStats::Counters stats;
+  /// Per-row hotness at the end of the timed storm (demand mode only;
+  /// zero otherwise): how many rows the policy currently classifies hot,
+  /// against the extension's live row count.
+  uint64_t hot_rows = 0;
+  uint64_t live_rows = 0;
+  uint64_t demand_accesses = 0;
   /// Final forward answers for every part x function column, for the
   /// bit-for-bit cross-mode comparison.
   std::vector<double> final_values;
@@ -176,6 +182,17 @@ ModeResult RunMode(const Shape& shape, const std::vector<ScheduledOp>& ops,
   }
   out.total_sim_s = env.clock.seconds();
   out.stats = env.mgr.stats().Snapshot();
+
+  // Hotness snapshot while the storm's access pattern is still current
+  // (the deform burst and final sweep below would dilute it). Sharded
+  // runs sum over the per-plane partitions of the extension.
+  for (size_t sh = 0; sh < env.mgr.shard_count(); ++sh) {
+    auto gmr = env.mgr.GetAt(sh, stack->mesh_gmr);
+    if (!gmr.ok()) Fail(gmr.status(), "mesh gmr");
+    out.hot_rows += (*gmr)->HotRowCount();
+    out.live_rows += (*gmr)->live_rows();
+    out.demand_accesses += (*gmr)->demand_access_count();
+  }
 
   // Untimed deform burst: full-mesh rewrites invalidating every column of
   // the touched rows, so the converged-answer comparison below also covers
@@ -270,6 +287,11 @@ int main(int argc, char** argv) {
         (unsigned long long)demand.stats.demand_cold_invalidations,
         (unsigned long long)demand.stats.demand_hot_remats, update_ratio,
         total_ratio, mismatches);
+    std::printf("# demand hotness: %llu/%llu rows hot after storm, "
+                "%llu tracked accesses\n",
+                (unsigned long long)demand.hot_rows,
+                (unsigned long long)demand.live_rows,
+                (unsigned long long)demand.demand_accesses);
 
     char key[32];
     std::snprintf(key, sizeof(key), "skew_%.1f", s);
@@ -285,6 +307,9 @@ int main(int argc, char** argv) {
     sec.Add("demand_cold_invalidations",
             demand.stats.demand_cold_invalidations);
     sec.Add("demand_hot_remats", demand.stats.demand_hot_remats);
+    sec.Add("demand_hot_rows", demand.hot_rows);
+    sec.Add("demand_live_rows", demand.live_rows);
+    sec.Add("demand_access_count", demand.demand_accesses);
     sec.Add("update_ratio", update_ratio);
     sec.Add("mismatches", static_cast<uint64_t>(mismatches));
     doc.AddRaw(key, sec.Render(2));

@@ -23,6 +23,14 @@
 //                           vertices of the same cuboid inside a batch —
 //                           four invalidations of one (GMR, row, column),
 //                           so batch dedup provably coalesces them
+//   shard_scaling           one deterministic multi-writer storm at
+//                           --shards={1,2,4,8}: the task list is fixed,
+//                           only its partitioning across maintenance
+//                           planes varies. Writers hold per-shard gates
+//                           (SessionPool::WriterLock with a shard set) and
+//                           every rematerialization pays an injected
+//                           wall-clock stall, so independent planes overlap
+//                           their maintenance; one plane serializes it.
 //
 // In-run regression gates (exit 1): the batched storm must perform strictly
 // fewer rematerializations than the unbatched one; the delta storm must cut
@@ -39,10 +47,13 @@
 // same 25% headroom) and says so.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "bench_util.h"
+#include "workload/session.h"
 #include "workload/stack.h"
 
 using namespace gom;
@@ -328,6 +339,160 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(gmr_fallbacks));
   }
 
+  // --- shard scaling: one storm, N maintenance planes ----------------------
+  // The same deterministic task list runs at every shard count; each task
+  // is three relevant vertex writes against one cuboid, each of which
+  // immediately rematerializes volume under an injected wall-clock stall
+  // (the in-memory recompute is too cheap to show gate overlap otherwise —
+  // the stall stands in for the I/O a disk-backed remat would pay). Four
+  // writer threads partition the work by home shard: with one plane they
+  // all serialize behind gate 0, with four they overlap their stalls.
+  const std::vector<size_t> shard_counts =
+      args.shards.empty() ? std::vector<size_t>{1, 2, 4, 8} : args.shards;
+  const size_t shard_tasks = args.quick ? 48 : 160;
+  const size_t shard_writers = 4;
+  const int maint_stall_us = 2000;
+
+  struct StormTask {
+    size_t cuboid_idx;
+    double vals[3];
+  };
+  std::vector<StormTask> tasks(shard_tasks);
+  {
+    Rng task_rng(131);
+    for (StormTask& t : tasks) {
+      t.cuboid_idx = static_cast<size_t>(
+          task_rng.UniformInt(0, static_cast<int64_t>(num_cuboids) - 1));
+      for (double& v : t.vals) v = task_rng.UniformDouble(0, 5);
+    }
+  }
+
+  std::printf("\n# shard scaling: %zu-task storm, %zu writer threads, "
+              "%d us remat stall, WAL off\n",
+              shard_tasks, shard_writers, maint_stall_us);
+  std::printf("%8s %12s %10s %10s\n", "shards", "wall_ms", "remats",
+              "speedup");
+
+  struct ShardPoint {
+    size_t shards = 0;
+    double wall_ms = 0;
+    uint64_t remats = 0;
+    double speedup = 1.0;
+  };
+  std::vector<ShardPoint> shard_points;
+  for (size_t nshards : shard_counts) {
+    GmrManagerOptions sharded_gmr;
+    sharded_gmr.shards = nshards;
+    auto sh_owner = MakeHarnessStack(num_cuboids, {}, sharded_gmr);
+    CompanyStack& sh = *sh_owner;
+    // Builds the pool (one gate per plane) and flips the catalogs into
+    // concurrent mode; the session itself is not used — the writers below
+    // run the owner path under their shard's exclusive gate.
+    (void)sh.env.MakeSession();
+    sh.env.mgr.set_maintenance_stall_us(maint_stall_us);
+
+    std::vector<std::vector<const StormTask*>> by_shard(nshards);
+    for (const StormTask& t : tasks) {
+      by_shard[sh.env.mgr.ShardOfObject(sh.cuboids[t.cuboid_idx])]
+          .push_back(&t);
+    }
+
+    uint64_t remats_before = sh.env.mgr.AggregateStats().rematerializations;
+    std::atomic<bool> go{false};
+    std::atomic<size_t> write_failures{0};
+    std::vector<std::thread> shard_threads;
+    shard_threads.reserve(shard_writers);
+    for (size_t w = 0; w < shard_writers; ++w) {
+      shard_threads.emplace_back([&, w] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (size_t s = w; s < nshards; s += shard_writers) {
+          workload::SessionPool::WriterLock gate(sh.env.session_pool.get(),
+                                                 {s});
+          for (const StormTask* t : by_shard[s]) {
+            Oid c = sh.cuboids[t->cuboid_idx];
+            auto v1 = sh.env.om.GetAttribute(c, "V1");
+            if (!v1.ok()) {
+              write_failures.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            for (size_t k = 0; k < 3; ++k) {
+              Status st = sh.env.om.SetAttribute(v1->as_ref(), kCoords[k],
+                                                 Value::Float(t->vals[k]));
+              if (!st.ok()) {
+                write_failures.fetch_add(1, std::memory_order_relaxed);
+                return;
+              }
+            }
+          }
+        }
+      });
+    }
+    auto shard_t0 = Clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& th : shard_threads) th.join();
+    double shard_ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - shard_t0)
+                          .count();
+    if (write_failures.load() != 0) {
+      std::fprintf(stderr,
+                   "FAILED: %zu writer errors in the %zu-shard storm\n",
+                   write_failures.load(), nshards);
+      return 1;
+    }
+    ShardPoint p;
+    p.shards = nshards;
+    p.wall_ms = shard_ms;
+    p.remats = sh.env.mgr.AggregateStats().rematerializations - remats_before;
+    if (!shard_points.empty() && shard_points.front().shards == 1) {
+      p.speedup = shard_points.front().wall_ms / shard_ms;
+    }
+    std::printf("%8zu %12.2f %10llu %9.2fx\n", p.shards, p.wall_ms,
+                static_cast<unsigned long long>(p.remats), p.speedup);
+    shard_points.push_back(p);
+  }
+  // The maintenance performed must not depend on the partitioning: every
+  // shard count rematerializes exactly the same results.
+  for (const ShardPoint& p : shard_points) {
+    if (p.remats != shard_points.front().remats) {
+      std::fprintf(stderr,
+                   "FAILED: %zu-shard storm performed %llu "
+                   "rematerializations, %zu-shard performed %llu — the "
+                   "partitioning changed the maintenance\n",
+                   p.shards, static_cast<unsigned long long>(p.remats),
+                   shard_points.front().shards,
+                   static_cast<unsigned long long>(shard_points.front().remats));
+      return 1;
+    }
+  }
+  double shard_speedup_4 = 0;
+  for (const ShardPoint& p : shard_points) {
+    if (p.shards == 4) shard_speedup_4 = p.speedup;
+  }
+  if (shard_points.front().shards == 1 && shard_speedup_4 > 0) {
+    std::printf("# 4-shard storm speedup over 1 shard: %.2fx "
+                "(gate: >= 2.5x)\n",
+                shard_speedup_4);
+    if (shard_speedup_4 < 2.5) {
+      std::fprintf(stderr,
+                   "FAILED: 4-shard update-storm speedup %.2fx < 2.5x — "
+                   "per-shard gates are not overlapping maintenance\n",
+                   shard_speedup_4);
+      return 1;
+    }
+  }
+  std::string shard_arr = "[\n";
+  for (size_t i = 0; i < shard_points.size(); ++i) {
+    const ShardPoint& p = shard_points[i];
+    JsonWriter w;
+    w.Add("shards", static_cast<uint64_t>(p.shards));
+    w.Add("wall_ms", p.wall_ms);
+    w.Add("remats", p.remats);
+    w.Add("speedup", p.speedup);
+    shard_arr += "    " + w.Render(4);
+    shard_arr += (i + 1 < shard_points.size()) ? ",\n" : "\n";
+  }
+  shard_arr += "  ]";
+
   // Read the committed baseline before --out possibly overwrites the same
   // path below.
   std::string baseline_doc;
@@ -368,6 +533,10 @@ int main(int argc, char** argv) {
     root.Add("batch_flushes", batched_env.env.mgr.stats().batch_flushes);
     root.Add("batch_dedup_hits", dedup_hits);
     root.Add("batch_dedup_records", dedup_records);
+    root.AddRaw("shard_scaling", shard_arr);
+    root.Add("shard_storm_tasks", static_cast<uint64_t>(shard_tasks));
+    root.Add("shard_storm_writers", static_cast<uint64_t>(shard_writers));
+    root.Add("shard_maint_stall_us", static_cast<uint64_t>(maint_stall_us));
     if (!root.WriteFile(args.out)) {
       std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());
       return 1;

@@ -1,0 +1,30 @@
+#ifndef GOMFM_COMMON_SHARD_H_
+#define GOMFM_COMMON_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gom {
+
+/// SplitMix64 finalizer: the shard hash. OIDs are allocated sequentially,
+/// so a plain modulo would stripe adjacent objects across shards in
+/// lockstep with allocation order; the finalizer decorrelates the two.
+/// The function is fixed (not seeded) so a WAL stream written at N shards
+/// is replayed onto the same shards after a crash.
+inline uint64_t ShardMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Shard of a raw OID under `shard_count` shards. shard_count <= 1 always
+/// maps to shard 0 (the unsharded configuration).
+inline size_t ShardOfRaw(uint64_t raw, size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<size_t>(ShardMix64(raw) % shard_count);
+}
+
+}  // namespace gom
+
+#endif  // GOMFM_COMMON_SHARD_H_

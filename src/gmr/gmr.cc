@@ -203,6 +203,15 @@ bool Gmr::IsHot(RowId row) const {
   return count >= demand_.hot_threshold;
 }
 
+size_t Gmr::HotRowCount() const {
+  if (!demand_.enabled) return 0;
+  size_t hot = 0;
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].live && IsHot(r)) ++hot;
+  }
+  return hot;
+}
+
 Result<const Gmr::Row*> Gmr::Get(RowId row) {
   if (row >= rows_.size() || !rows_[row].live) {
     return Status::NotFound("GMR '" + spec_.name + "': no such row");

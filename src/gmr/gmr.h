@@ -182,6 +182,11 @@ class Gmr {
     return demand_accesses_.load(std::memory_order_relaxed);
   }
 
+  /// Number of live rows currently hot under the demand policy (0 while the
+  /// policy is off — IsHot's "everything is hot" answer there encodes eager
+  /// repair, not observed demand). Safe under a shared latch.
+  size_t HotRowCount() const;
+
   /// Validity bit of one result, without touching storage (bookkeeping
   /// read, like ForEachRow — callers Get() any row *data* they consume).
   Result<bool> ResultValid(RowId row, size_t fn_idx) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 #include "gmr/wal_records.h"
 
@@ -24,17 +26,29 @@ Result<Value> GmrMaintenance::ComputeTracked(FunctionId f,
                                              const std::vector<Value>& args,
                                              funclang::Trace* trace) {
   ++stats_->rematerializations;
+  int stall = maint_stall_us_.load(std::memory_order_relaxed);
+  if (stall > 0) {
+    // Simulated maintenance I/O (wall clock): writers on different shards
+    // overlap these sleeps once the writer-exclusive gate is per shard.
+    std::this_thread::sleep_for(std::chrono::microseconds(stall));
+  }
   compute_depth_.fetch_add(1, std::memory_order_relaxed);
   Result<Value> result = interp_->Invoke(f, args, trace);
   compute_depth_.fetch_sub(1, std::memory_order_relaxed);
   return result;
 }
 
+Rrr* GmrMaintenance::rrr_for(Oid o) {
+  return shard_count_ <= 1
+             ? &catalog_->rrr()
+             : shard_dir_->RrrAt(shard_dir_->ShardOfObject(o));
+}
+
 Status GmrMaintenance::RecordReverseRefs(FunctionId f,
                                          const std::vector<Value>& args,
                                          const funclang::Trace& trace) {
   for (Oid o : trace.accessed_objects) {
-    GOMFM_ASSIGN_OR_RETURN(bool inserted, catalog_->rrr().Insert(o, f, args));
+    GOMFM_ASSIGN_OR_RETURN(bool inserted, rrr_for(o)->Insert(o, f, args));
     if (inserted && om_->Exists(o)) {
       GOMFM_RETURN_IF_ERROR(om_->MarkUsedBy(o, f));
     }
@@ -43,9 +57,10 @@ Status GmrMaintenance::RecordReverseRefs(FunctionId f,
 }
 
 Status GmrMaintenance::RemoveReverseRef(const Rrr::Entry& entry) {
+  Rrr* rrr = rrr_for(entry.object);
   GOMFM_RETURN_IF_ERROR(
-      catalog_->rrr().Remove(entry.object, entry.function, entry.args));
-  if (catalog_->rrr().CountFor(entry.object, entry.function) == 0 &&
+      rrr->Remove(entry.object, entry.function, entry.args));
+  if (rrr->CountFor(entry.object, entry.function) == 0 &&
       om_->Exists(entry.object)) {
     GOMFM_RETURN_IF_ERROR(om_->UnmarkUsedBy(entry.object, entry.function));
   }
@@ -56,7 +71,7 @@ Status GmrMaintenance::RecordReverseRefsFromOids(FunctionId f,
                                                  const std::vector<Value>& args,
                                                  const std::vector<Oid>& oids) {
   for (Oid o : oids) {
-    GOMFM_ASSIGN_OR_RETURN(bool inserted, catalog_->rrr().Insert(o, f, args));
+    GOMFM_ASSIGN_OR_RETURN(bool inserted, rrr_for(o)->Insert(o, f, args));
     if (inserted && om_->Exists(o)) {
       GOMFM_RETURN_IF_ERROR(om_->MarkUsedBy(o, f));
     }
@@ -206,6 +221,11 @@ Status GmrMaintenance::MaterializeRow(Gmr* gmr, RowId row) {
 
 Status GmrMaintenance::AdmitCombo(Gmr* gmr, const std::vector<Value>& args,
                                   bool force_materialize) {
+  // Sharded admission guard: population runs (Materialize, NewObject,
+  // Refresh) are broadcast to every plane, but exactly one plane owns each
+  // argument combination — the rest skip it here, before the predicate is
+  // evaluated, so predicate counts match the unsharded run.
+  if (!OwnsArgs(args)) return Status::Ok();
   if (gmr->FindRow(args).ok()) return Status::Ok();  // already present
   bool snapshot = gmr->spec().snapshot;
   if (gmr->spec().predicate != kInvalidFunctionId) {
@@ -641,19 +661,26 @@ Status GmrMaintenance::InvalidateGuarded(Oid o, const FidSet* relevant,
 
 Status GmrMaintenance::InvalidateImpl(Oid o, const FidSet* relevant,
                                       const DeltaUpdate* update) {
+  // The reverse references of `o` live in its home shard's RRR partition
+  // (this plane's, when the facade routed here), but each affected row
+  // lives in the plane owning its argument combination — dispatch there so
+  // batch/delta state and stats land on the row's plane.
   GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
-                         catalog_->rrr().EntriesFor(o));
+                         rrr_for(o)->EntriesFor(o));
   for (const Rrr::Entry& entry : entries) {
     if (relevant != nullptr && !relevant->contains(entry.function)) continue;
-    if (const GmrId* pid = catalog_->predicates().Find(entry.function)) {
-      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(*pid));
-      GOMFM_RETURN_IF_ERROR(HandlePredicateEntry(gmr, entry));
+    GmrMaintenance* owner = PlaneForArgs(entry.args);
+    if (const GmrId* pid =
+            owner->catalog_->predicates().Find(entry.function)) {
+      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, owner->catalog_->Get(*pid));
+      GOMFM_RETURN_IF_ERROR(owner->HandlePredicateEntry(gmr, entry));
       continue;
     }
-    auto loc = catalog_->Locate(entry.function);
+    auto loc = owner->catalog_->Locate(entry.function);
     if (!loc.ok()) continue;  // stale entry of a dematerialized function
-    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(loc->first));
-    GOMFM_RETURN_IF_ERROR(HandleFunctionEntry(gmr, loc->second, entry, update));
+    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, owner->catalog_->Get(loc->first));
+    GOMFM_RETURN_IF_ERROR(
+        owner->HandleFunctionEntry(gmr, loc->second, entry, update));
   }
   return Status::Ok();
 }
@@ -762,6 +789,11 @@ Status GmrMaintenance::ApplyDeferredDelta(const BatchKey& key,
 }
 
 Status GmrMaintenance::EndBatch() {
+  GOMFM_RETURN_IF_ERROR(EndBatchPhase1());
+  return EndBatchPhase2();
+}
+
+Status GmrMaintenance::EndBatchPhase1() {
   if (batch_depth_ == 0) {
     return Status::FailedPrecondition("EndBatch() without BeginBatch()");
   }
@@ -795,6 +827,16 @@ Status GmrMaintenance::EndBatch() {
   for (const BatchKey& key : order) {
     GOMFM_RETURN_IF_ERROR(RematerializeDeferred(key));
   }
+  batch_flush_open_ = true;
+  return Status::Ok();
+}
+
+Status GmrMaintenance::EndBatchPhase2() {
+  // No-op unless phase 1 just performed the outermost flush (inner closes
+  // and error paths never open the flag).
+  if (!batch_flush_open_) return Status::Ok();
+  batch_flush_open_ = false;
+  ExclusiveRegion region(this);
   GOMFM_RETURN_IF_ERROR(LogMarker(WalRecordType::kBatchCommit));
   if (wal_ != nullptr) {
     // Group flush: one durability point for the whole batch. EndBatch()
@@ -840,7 +882,7 @@ Status GmrMaintenance::ForgetObject(Oid o) {
   // which never mutates the RRR; the entries themselves go in one
   // RemoveAllFor below.
   Value as_ref = Value::Ref(o);
-  GOMFM_RETURN_IF_ERROR(catalog_->rrr().ForEachEntry(
+  GOMFM_RETURN_IF_ERROR(rrr_for(o)->ForEachEntry(
       o, [&](const Rrr::Entry& entry) -> Status {
         bool is_argument = false;
         for (const Value& a : entry.args) {
@@ -850,26 +892,30 @@ Status GmrMaintenance::ForgetObject(Oid o) {
           }
         }
         if (!is_argument) return Status::Ok();
+        // The row for these arguments lives in the plane owning them.
+        GmrMaintenance* owner = PlaneForArgs(entry.args);
         GmrId gid = kInvalidGmrId;
-        if (const GmrId* pid = catalog_->predicates().Find(entry.function)) {
+        if (const GmrId* pid =
+                owner->catalog_->predicates().Find(entry.function)) {
           gid = *pid;
-        } else if (auto loc = catalog_->Locate(entry.function); loc.ok()) {
+        } else if (auto loc = owner->catalog_->Locate(entry.function);
+                   loc.ok()) {
           gid = loc->first;
         } else {
           return Status::Ok();
         }
-        GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(gid));
+        GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, owner->catalog_->Get(gid));
         auto row = gmr->FindRow(entry.args);
         if (row.ok()) {
           GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
-          ++stats_->rows_removed;
+          ++owner->stats_->rows_removed;
         }
         return Status::Ok();
       }));
   // Drop all reverse references for the deleted object; entries of other
   // objects mentioning o in their argument lists stay as blind references
   // and are detected lazily (§4.2).
-  return catalog_->rrr().RemoveAllFor(o);
+  return rrr_for(o)->RemoveAllFor(o);
 }
 
 Status GmrMaintenance::Compensate(Oid receiver, TypeId type, FunctionId op,
@@ -881,16 +927,20 @@ Status GmrMaintenance::Compensate(Oid receiver, TypeId type, FunctionId op,
     if (!action.ok()) continue;
     auto loc = catalog_->Locate(f);
     if (!loc.ok()) continue;
-    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, catalog_->Get(loc->first));
     // Rows influenced by the receiver: found through its reverse
-    // references for f.
+    // references for f (in the receiver's home RRR partition); each row
+    // itself lives in the plane owning its argument combination, whose WAL
+    // stream also takes the kRematResult record. GmrIds are registered in
+    // lockstep across planes, so `loc` resolves on any of them.
     GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
-                           catalog_->rrr().EntriesFor(receiver));
+                           rrr_for(receiver)->EntriesFor(receiver));
     for (const Rrr::Entry& entry : entries) {
       if (entry.function != f) continue;
+      GmrMaintenance* owner = PlaneForArgs(entry.args);
+      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, owner->catalog_->Get(loc->first));
       auto row = gmr->FindRow(entry.args);
       if (!row.ok()) {
-        ++stats_->blind_references;
+        ++owner->stats_->blind_references;
         GOMFM_RETURN_IF_ERROR(RemoveReverseRef(entry));
         continue;
       }
@@ -904,12 +954,12 @@ Status GmrMaintenance::Compensate(Oid receiver, TypeId type, FunctionId op,
       funclang::Trace trace;
       GOMFM_ASSIGN_OR_RETURN(Value updated,
                              interp_->Invoke(*action, action_args, &trace));
-      GOMFM_RETURN_IF_ERROR(LogRemat(gmr->id(), loc->second, entry.args,
-                                     updated, trace.accessed_objects));
+      GOMFM_RETURN_IF_ERROR(owner->LogRemat(gmr->id(), loc->second, entry.args,
+                                            updated, trace.accessed_objects));
       GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, loc->second,
                                            std::move(updated)));
-      GOMFM_RETURN_IF_ERROR(RecordReverseRefs(f, entry.args, trace));
-      ++stats_->compensations;
+      GOMFM_RETURN_IF_ERROR(owner->RecordReverseRefs(f, entry.args, trace));
+      ++owner->stats_->compensations;
     }
   }
   return Status::Ok();

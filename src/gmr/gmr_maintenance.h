@@ -38,6 +38,30 @@ struct GmrManagerOptions {
   /// keep the configured remat strategy. Off by default — when disabled no
   /// access tracking happens at all, so existing figures stay bit-identical.
   DemandOptions demand;
+  /// Number of maintenance planes the GmrManager partitions its state into
+  /// (catalog, RRR, batch/delta state, WAL stream, gate — one set per
+  /// shard, keyed by OID hash of the affinity root). 1 = the unsharded
+  /// configuration; every code path then reduces to the pre-sharding
+  /// behavior bit for bit.
+  size_t shards = 1;
+};
+
+/// Cross-plane routing interface a sharded GmrManager implements: the
+/// maintenance planes use it to find the plane owning an object's reverse
+/// references or a row's argument combination. Declared here (not in
+/// gmr_manager.h) to break the header cycle — maintenance never needs the
+/// facade, only this directory.
+class GmrMaintenance;
+class ShardDirectory {
+ public:
+  virtual ~ShardDirectory() = default;
+  /// Shard of the object (by OID hash of its affinity root).
+  virtual size_t ShardOfObject(Oid o) const = 0;
+  /// Home shard of an argument combination: the shard of the first
+  /// object-typed argument (shard 0 for all-atomic combinations).
+  virtual size_t ShardOfArgs(const std::vector<Value>& args) const = 0;
+  virtual GmrMaintenance* MaintenanceAt(size_t shard) = 0;
+  virtual Rrr* RrrAt(size_t shard) = 0;
 };
 
 /// The elementary update an invalidation stems from, threaded from the
@@ -127,6 +151,18 @@ class GmrMaintenance {
   Status EndBatch();
   bool InBatch() const { return batch_depth_ > 0; }
 
+  /// Two-phase close for sharded batches. Phase 1 closes the innermost
+  /// batch and — when outermost — performs the coalesced delta applies and
+  /// rematerializations, writing this plane's kBatchFlush marker and remat
+  /// records to its own WAL stream. Phase 2 writes the kBatchCommit marker
+  /// and flushes. A sharded EndBatch runs phase 1 on every plane before any
+  /// plane's phase 2, so a crash leaves each stream either entirely before
+  /// its flush or with a durable commit — per-shard atomicity with one
+  /// coordination point. EndBatch() == Phase1 + Phase2 back to back, which
+  /// is exactly the unsharded code path.
+  Status EndBatchPhase1();
+  Status EndBatchPhase2();
+
   // --- Column / extension repair ---------------------------------------------
 
   /// Recomputes every invalid result in f's column.
@@ -162,6 +198,51 @@ class GmrMaintenance {
   int compute_depth() const {
     return compute_depth_.load(std::memory_order_relaxed);
   }
+
+  /// Simulated maintenance-I/O latency: every rematerialization sleeps this
+  /// long (wall clock). The write-path analogue of
+  /// GmrReadPath::set_io_stall_us — it models the I/O-dominated regime
+  /// where update-storm scaling comes from writers on *different* shards
+  /// overlapping their stalls, which per-shard gates permit and the single
+  /// writer-exclusive gate forbids. 0 (the default) never sleeps, so
+  /// simulated-time figures are unaffected.
+  void set_maintenance_stall_us(int us) {
+    maint_stall_us_.store(us, std::memory_order_relaxed);
+  }
+
+  // --- Sharding --------------------------------------------------------------
+
+  /// Wires this plane into a sharded manager: `dir` resolves cross-plane
+  /// routing, `index` is this plane's shard, `count` the total. Never
+  /// called in the unsharded configuration — all helpers below then
+  /// short-circuit to plane-local behavior.
+  void ConfigureShard(ShardDirectory* dir, size_t index, size_t count) {
+    shard_dir_ = dir;
+    shard_index_ = index;
+    shard_count_ = count;
+  }
+  size_t shard_index() const { return shard_index_; }
+
+  /// True when this plane is the home of `args` (always true unsharded).
+  /// Gates admission: broadcast population (Materialize, NewObject) calls
+  /// AdmitCombo on every plane, and exactly one owns each combination.
+  bool OwnsArgs(const std::vector<Value>& args) const {
+    return shard_count_ <= 1 || shard_dir_->ShardOfArgs(args) == shard_index_;
+  }
+
+ private:
+  /// Plane owning the row for `args` (this plane unsharded).
+  GmrMaintenance* PlaneForArgs(const std::vector<Value>& args) {
+    return shard_count_ <= 1
+               ? this
+               : shard_dir_->MaintenanceAt(shard_dir_->ShardOfArgs(args));
+  }
+
+  /// RRR partition holding the reverse references of `o` (the local
+  /// catalog's RRR unsharded).
+  Rrr* rrr_for(Oid o);
+
+ public:
 
   // --- Component-internal API (read path, recovery) --------------------------
 
@@ -312,8 +393,16 @@ class GmrMaintenance {
 
   std::atomic<int> compute_depth_{0};
   int exclusive_depth_ = 0;  // ExclusiveRegion nesting on the single writer
+  std::atomic<int> maint_stall_us_{0};
+
+  ShardDirectory* shard_dir_ = nullptr;
+  size_t shard_index_ = 0;
+  size_t shard_count_ = 1;
 
   int batch_depth_ = 0;
+  /// Set by EndBatchPhase1 when it performed the outermost flush; consumed
+  /// by EndBatchPhase2 (inner closes make phase 2 a no-op).
+  bool batch_flush_open_ = false;
   FlatHashSet<BatchKey, BatchKeyHash> batch_pending_;
   /// Flush order: first-invalidation order, for deterministic replay of the
   /// simulated clock charges.

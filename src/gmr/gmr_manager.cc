@@ -5,23 +5,64 @@ namespace gom {
 GmrManager::GmrManager(ObjectManager* om, funclang::Interpreter* interp,
                        const funclang::FunctionRegistry* registry,
                        StorageManager* storage, GmrManagerOptions options)
-    : interp_(interp),
-      catalog_(om, registry, storage, options.second_chance_rrr),
-      maintenance_(om, interp, registry, &catalog_, &stats_, options),
-      read_path_(om, interp, &catalog_, &maintenance_, &stats_) {}
+    : om_(om),
+      interp_(interp),
+      shards_(options.shards == 0 ? 1 : options.shards) {
+  planes_.reserve(shards_);
+  for (size_t s = 0; s < shards_; ++s) {
+    planes_.push_back(
+        std::make_unique<Plane>(om, interp, registry, storage, options));
+  }
+  if (shards_ > 1) {
+    for (size_t s = 0; s < shards_; ++s) {
+      planes_[s]->maintenance.ConfigureShard(this, s, shards_);
+    }
+  }
+}
+
+GmrStats::Counters GmrManager::AggregateStats() const {
+  GmrStats::Counters total = planes_[0]->stats.Snapshot();
+  for (size_t s = 1; s < shards_; ++s) {
+    GmrStats::Counters c = planes_[s]->stats.Snapshot();
+    total.invalidations += c.invalidations;
+    total.rematerializations += c.rematerializations;
+    total.compensations += c.compensations;
+    total.forward_hits += c.forward_hits;
+    total.forward_invalid += c.forward_invalid;
+    total.forward_misses += c.forward_misses;
+    total.backward_queries += c.backward_queries;
+    total.blind_references += c.blind_references;
+    total.rows_created += c.rows_created;
+    total.rows_removed += c.rows_removed;
+    total.batch_records += c.batch_records;
+    total.batch_dedup_hits += c.batch_dedup_hits;
+    total.batch_flushes += c.batch_flushes;
+    total.delta_applies += c.delta_applies;
+    total.delta_fallbacks += c.delta_fallbacks;
+    total.demand_hot_remats += c.demand_hot_remats;
+    total.demand_cold_invalidations += c.demand_cold_invalidations;
+    // wal_oldest_needed_lsn is a gauge owned by plane 0's publisher.
+  }
+  return total;
+}
 
 void GmrManager::InstallCallInterception() {
   interp_->SetCallInterceptor(
       [this](const ExecutionContext* ctx, FunctionId f,
              const std::vector<Value>& args, Result<Value>* out) {
-        // Re-entrancy: the maintenance plane's depth covers the owner /
-        // writer thread, the context's depth covers concurrent sessions
+        // Re-entrancy: the maintenance planes' depth covers the owner /
+        // writer threads (summed — any plane mid-computation suppresses
+        // interception), the context's depth covers concurrent sessions
         // evaluating a fallback (which must not re-enter the read path —
-        // this thread may already hold the catalog latch shared).
-        int depth = maintenance_.compute_depth();
+        // this thread may already hold a catalog latch shared).
+        int depth = 0;
+        for (auto& p : planes_) depth += p->maintenance.compute_depth();
         if (ctx != nullptr) depth += ctx->compute_depth;
-        if (depth > 0 || !read_path_.IsMaterializedShared(f)) return false;
-        *out = read_path_.ForwardLookup(ctx, f, args);
+        if (depth > 0 || !planes_[0]->read_path.IsMaterializedShared(f)) {
+          return false;
+        }
+        Plane& owner = *planes_[ShardOfArgs(args)];
+        *out = owner.read_path.ForwardLookup(ctx, f, args);
         return true;
       });
 }

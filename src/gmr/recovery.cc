@@ -6,6 +6,55 @@ Status RecoveryManager::Recover(std::vector<GmrSpec> specs) {
   return Recover(std::move(specs), kNullLsn);
 }
 
+Status RecoveryManager::RecoverShardedStreams(
+    GmrManager* mgr, ObjectManager* om,
+    const std::vector<WriteAheadLog*>& wals, std::vector<GmrSpec> specs,
+    std::vector<Stats>* out_stats) {
+  if (wals.size() != mgr->shard_count()) {
+    return Status::InvalidArgument(
+        "RecoverShardedStreams: " + std::to_string(wals.size()) +
+        " streams for " + std::to_string(mgr->shard_count()) + " planes");
+  }
+  // The surviving ObjDepFct marks describe the pre-crash RRR; both are
+  // rebuilt from the streams, replay re-marking exactly what it restores.
+  GOMFM_RETURN_IF_ERROR(om->ClearAllUsedBy());
+  // Replay must not write fresh records for the mutations it re-executes.
+  for (size_t s = 0; s < wals.size(); ++s) mgr->AttachWalAt(s, nullptr);
+  std::vector<std::unique_ptr<RecoveryManager>> rms;
+  rms.reserve(wals.size());
+  Status replayed = [&]() -> Status {
+    // Specs register once through the facade (lockstep: the same GmrIds on
+    // every plane, so every stream's records resolve identically).
+    for (GmrSpec& spec : specs) {
+      GOMFM_ASSIGN_OR_RETURN(GmrId id, mgr->RegisterGmr(std::move(spec)));
+      (void)id;
+    }
+    for (size_t s = 0; s < wals.size(); ++s) {
+      rms.push_back(std::make_unique<RecoveryManager>(mgr, om, wals[s], s));
+      RecoveryManager& rm = *rms.back();
+      GOMFM_RETURN_IF_ERROR(wals[s]->Open());
+      GOMFM_RETURN_IF_ERROR(wals[s]->Replay(
+          [&rm](const WalRecord& rec) { return rm.ReplayRecord(rec); }));
+    }
+    return Status::Ok();
+  }();
+  for (size_t s = 0; s < wals.size(); ++s) mgr->AttachWalAt(s, wals[s]);
+  GOMFM_RETURN_IF_ERROR(replayed);
+  for (auto& rm : rms) {
+    // Regions without a durable commit crashed mid-flight; discarding them
+    // is safe — their conservative invalidations already applied.
+    rm->DiscardOpenFrames();
+    GOMFM_RETURN_IF_ERROR(rm->Reconcile());
+    if (out_stats != nullptr) out_stats->push_back(rm->stats_);
+  }
+  // Reconciliation row changes were appended to the (reattached) streams;
+  // make the recovered state itself crash-survivable.
+  for (WriteAheadLog* w : wals) {
+    GOMFM_RETURN_IF_ERROR(w->Flush());
+  }
+  return Status::Ok();
+}
+
 Status RecoveryManager::Recover(std::vector<GmrSpec> specs, Lsn base_lsn) {
   stats_ = Stats();
   frames_.clear();
@@ -67,12 +116,14 @@ Status RecoveryManager::ReplayRecord(const WalRecord& rec) {
     case WalRecordType::kDeleteIntent: {
       GOMFM_ASSIGN_OR_RETURN(Oid o, DecodeOidPayload(rec.payload));
       // Re-execute the deletion's maintenance against the reconstructed
-      // RRR (the log is detached, so nothing is re-logged).
-      return mgr_->ForgetObject(o);
+      // RRR (the log is detached, so nothing is re-logged). Plane-local:
+      // the intent was logged by the object's home plane's stream.
+      return mgr_->maintenance_at(plane_).ForgetObject(o);
     }
     case WalRecordType::kRowInsert: {
       GOMFM_ASSIGN_OR_RETURN(RowChangePayload p, DecodeRowChange(rec.payload));
-      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(p.gmr));
+      GOMFM_ASSIGN_OR_RETURN(
+          Gmr * gmr, mgr_->GetAt(mgr_->ShardOfArgs(p.args), p.gmr));
       auto row = gmr->Insert(std::move(p.args));
       if (!row.ok() && row.status().code() != StatusCode::kAlreadyExists) {
         return row.status();
@@ -82,7 +133,8 @@ Status RecoveryManager::ReplayRecord(const WalRecord& rec) {
     }
     case WalRecordType::kRowRemove: {
       GOMFM_ASSIGN_OR_RETURN(RowChangePayload p, DecodeRowChange(rec.payload));
-      GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(p.gmr));
+      GOMFM_ASSIGN_OR_RETURN(
+          Gmr * gmr, mgr_->GetAt(mgr_->ShardOfArgs(p.args), p.gmr));
       auto row = gmr->FindRow(p.args);
       if (row.ok()) {
         GOMFM_RETURN_IF_ERROR(gmr->Remove(*row));
@@ -142,7 +194,9 @@ Status RecoveryManager::ReplayRecord(const WalRecord& rec) {
     case WalRecordType::kInvalidateAll: {
       WalPayloadReader r(rec.payload);
       GOMFM_ASSIGN_OR_RETURN(GmrId id, r.U32());
-      return mgr_->InvalidateAllResults(id);
+      // Plane-local: the live broadcast logged one such record to every
+      // plane's stream, so each stream wipes exactly its own partition.
+      return mgr_->maintenance_at(plane_).InvalidateAllResults(id);
     }
     case WalRecordType::kObjPut:
     case WalRecordType::kObjCreate: {
@@ -173,29 +227,36 @@ Status RecoveryManager::ConservativeInvalidate(Oid o) {
   // access. Restriction-predicate entries are only dropped here; membership
   // is re-established by the reconciliation predicate sweep.
   GOMFM_ASSIGN_OR_RETURN(std::vector<Rrr::Entry> entries,
-                         mgr_->catalog_.rrr().EntriesFor(o));
+                         mgr_->catalog_at(plane_).rrr().EntriesFor(o));
   for (const Rrr::Entry& entry : entries) {
-    if (mgr_->catalog_.predicates().Find(entry.function) != nullptr) {
-      GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RemoveReverseRef(entry));
+    if (mgr_->catalog_at(plane_).predicates().Find(entry.function) !=
+        nullptr) {
+      GOMFM_RETURN_IF_ERROR(
+          mgr_->maintenance_at(plane_).RemoveReverseRef(entry));
       continue;
     }
     auto loc = mgr_->Locate(entry.function);
     if (!loc.ok()) {
-      GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RemoveReverseRef(entry));
+      GOMFM_RETURN_IF_ERROR(
+          mgr_->maintenance_at(plane_).RemoveReverseRef(entry));
       continue;
     }
-    GOMFM_ASSIGN_OR_RETURN(Gmr * gmr, mgr_->Get(loc->first));
+    // The affected row lives in the plane owning its argument combination
+    // (this plane's partition holds o's entries; the rows may be elsewhere).
+    GOMFM_ASSIGN_OR_RETURN(
+        Gmr * gmr, mgr_->GetAt(mgr_->ShardOfArgs(entry.args), loc->first));
     auto row = gmr->FindRow(entry.args);
     if (row.ok()) {
       GOMFM_RETURN_IF_ERROR(gmr->InvalidateResult(*row, loc->second));
     }
-    GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RemoveReverseRef(entry));
+    GOMFM_RETURN_IF_ERROR(
+        mgr_->maintenance_at(plane_).RemoveReverseRef(entry));
   }
   return Status::Ok();
 }
 
 Status RecoveryManager::ApplyRemat(const RematPayload& p) {
-  auto gmr_or = mgr_->Get(p.gmr);
+  auto gmr_or = mgr_->GetAt(mgr_->ShardOfArgs(p.args), p.gmr);
   if (!gmr_or.ok()) return Status::Ok();  // GMR gone from the catalog
   Gmr* gmr = *gmr_or;
   if (p.col >= gmr->spec().function_count()) {
@@ -211,7 +272,8 @@ Status RecoveryManager::ApplyRemat(const RematPayload& p) {
   }
   GOMFM_RETURN_IF_ERROR(gmr->SetResult(*row, p.col, p.value));
   FunctionId f = gmr->spec().functions[p.col];
-  GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.RecordReverseRefsFromOids(f, p.args, p.accessed));
+  GOMFM_RETURN_IF_ERROR(mgr_->maintenance_at(plane_).RecordReverseRefsFromOids(
+      f, p.args, p.accessed));
   ++stats_.remats_applied;
   return Status::Ok();
 }
@@ -255,7 +317,7 @@ void RecoveryManager::DiscardOpenFrames() {
 }
 
 Status RecoveryManager::Reconcile() {
-  for (const auto& gmr_ptr : mgr_->catalog_.gmrs()) {
+  for (const auto& gmr_ptr : mgr_->catalog_at(plane_).gmrs()) {
     if (gmr_ptr == nullptr || gmr_ptr->spec().snapshot) {
       continue;  // snapshots replay verbatim and refresh wholesale anyway
     }
@@ -297,10 +359,10 @@ Status RecoveryManager::ReconcileGmr(Gmr* gmr) {
       std::vector<Value> args = r->args;
       ++stats_.predicate_rechecks;
       funclang::Trace trace;
-      GOMFM_ASSIGN_OR_RETURN(
-          Value p, mgr_->maintenance_.ComputeTracked(spec.predicate, args, &trace));
-      GOMFM_RETURN_IF_ERROR(
-          mgr_->maintenance_.RecordReverseRefs(spec.predicate, args, trace));
+      GOMFM_ASSIGN_OR_RETURN(Value p, mgr_->maintenance_at(plane_).ComputeTracked(
+                                          spec.predicate, args, &trace));
+      GOMFM_RETURN_IF_ERROR(mgr_->maintenance_at(plane_).RecordReverseRefs(
+          spec.predicate, args, trace));
       GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
       if (!admitted) {
         GOMFM_RETURN_IF_ERROR(gmr->Remove(row));
@@ -312,22 +374,26 @@ Status RecoveryManager::ReconcileGmr(Gmr* gmr) {
   // those whose insert record was lost, as invalid rows (results recompute
   // on first access).
   if (spec.complete) {
-    GOMFM_RETURN_IF_ERROR(mgr_->maintenance_.EnumerateCombos(
+    GmrMaintenance& maint = mgr_->maintenance_at(plane_);
+    GOMFM_RETURN_IF_ERROR(maint.EnumerateCombos(
         spec, [&](const std::vector<Value>& args) -> Status {
+          // Sharded: this plane re-admits only the combinations it owns
+          // (always true unsharded).
+          if (!maint.OwnsArgs(args)) return Status::Ok();
           if (gmr->FindRow(args).ok()) return Status::Ok();
           if (spec.predicate != kInvalidFunctionId) {
             ++stats_.predicate_rechecks;
             funclang::Trace trace;
             GOMFM_ASSIGN_OR_RETURN(
-                Value p, mgr_->maintenance_.ComputeTracked(spec.predicate, args, &trace));
+                Value p, maint.ComputeTracked(spec.predicate, args, &trace));
             GOMFM_RETURN_IF_ERROR(
-                mgr_->maintenance_.RecordReverseRefs(spec.predicate, args, trace));
+                maint.RecordReverseRefs(spec.predicate, args, trace));
             GOMFM_ASSIGN_OR_RETURN(bool admitted, p.AsBool());
             if (!admitted) return Status::Ok();
           }
           GOMFM_ASSIGN_OR_RETURN(RowId row, gmr->Insert(args));
           (void)row;
-          ++mgr_->stats_.rows_created;
+          ++mgr_->planes_[plane_]->stats.rows_created;
           ++stats_.rows_admitted;
           return Status::Ok();
         }));

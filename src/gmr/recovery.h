@@ -70,12 +70,30 @@ class RecoveryManager {
   /// All pointers must outlive the recovery manager. `mgr` must be freshly
   /// constructed (no GMRs registered); `wal` not yet opened. `wal` may be
   /// nullptr for a manager used only for streaming apply (`ApplyRecord`) —
-  /// then `Recover` must not be called.
-  RecoveryManager(GmrManager* mgr, ObjectManager* om, WriteAheadLog* wal)
-      : mgr_(mgr), om_(om), wal_(wal) {}
+  /// then `Recover` must not be called. `plane` selects the maintenance
+  /// plane this manager replays onto (0, the whole manager, unless driven
+  /// by `RecoverShardedStreams`).
+  RecoveryManager(GmrManager* mgr, ObjectManager* om, WriteAheadLog* wal,
+                  size_t plane = 0)
+      : mgr_(mgr), om_(om), wal_(wal), plane_(plane) {}
 
   RecoveryManager(const RecoveryManager&) = delete;
   RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Sharded recovery: `wals[s]` is plane s's stream (`wals.size()` must
+  /// equal `mgr->shard_count()`). Clears the stale ObjDepFct marks once,
+  /// registers `specs` once (lockstep across planes, so GmrIds in every
+  /// stream resolve identically), then opens and replays each stream onto
+  /// its plane independently — intents, batch regions and remat records of
+  /// one stream never reference another stream's state, the cross-shard
+  /// protocol's two-phase EndBatch guaranteeing each stream is
+  /// self-contained. Reconciliation then runs per plane (admission guarded
+  /// by the plane's `OwnsArgs`), the logs are reattached and flushed.
+  /// `out_stats`, when non-null, receives one Stats per stream.
+  static Status RecoverShardedStreams(GmrManager* mgr, ObjectManager* om,
+                                      const std::vector<WriteAheadLog*>& wals,
+                                      std::vector<GmrSpec> specs,
+                                      std::vector<Stats>* out_stats = nullptr);
 
   /// Recovers the GMR state: clears the stale ObjDepFct marks, re-registers
   /// `specs` (in the original materialization order, so GmrIds in the log
@@ -138,6 +156,8 @@ class RecoveryManager {
   GmrManager* mgr_;
   ObjectManager* om_;
   WriteAheadLog* wal_;
+  /// Maintenance plane this manager replays onto (always 0 unsharded).
+  size_t plane_ = 0;
   std::vector<Frame> frames_;
   ObjImageAssembler assembler_;
   Stats stats_;

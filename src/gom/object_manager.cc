@@ -209,6 +209,7 @@ Status ObjectManager::Delete(Oid oid) {
     }
   }
   objects_.erase(oid);
+  affinity_roots_.erase(oid);
   ++deleted_;
   clock_->Advance(cost_.cpu_object_op_seconds);
   if (repl_log_ != nullptr) {

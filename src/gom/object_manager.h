@@ -173,6 +173,27 @@ class ObjectManager {
   /// promoted replica never re-issues a replicated OID).
   uint64_t next_oid() const { return next_oid_; }
 
+  // --- Shard affinity --------------------------------------------------------
+
+  /// Pins `o` to the shard of `root`. Schemas call this for objects that
+  /// are private components of a composite (a cuboid's vertices, a robot's
+  /// position) so the maintenance closure of a materialized function over
+  /// the composite stays on one shard. The root defaults to the object
+  /// itself; the mapping is dropped when the object is deleted.
+  void SetAffinityRoot(Oid o, Oid root) {
+    if (root == o) {
+      affinity_roots_.erase(o);
+    } else {
+      affinity_roots_[o] = root;
+    }
+  }
+
+  /// The object whose OID hash decides `o`'s shard (o itself by default).
+  Oid AffinityRoot(Oid o) const {
+    auto it = affinity_roots_.find(o);
+    return it == affinity_roots_.end() ? o : it->second;
+  }
+
   /// Raises the OID allocator floor (snapshot install; never lowers it).
   void BumpNextOid(uint64_t at_least) {
     if (next_oid_ < at_least) next_oid_ = at_least;
@@ -291,6 +312,8 @@ class ObjectManager {
 
   std::unordered_map<Oid, Object, OidHash> objects_;
   std::unordered_map<Oid, Placement, OidHash> placements_;
+  /// Sparse: only objects pinned to another object's shard have an entry.
+  std::unordered_map<Oid, Oid, OidHash> affinity_roots_;
   std::unordered_map<TypeId, SegmentId> segments_;
   std::vector<std::vector<Oid>> extents_;  // indexed by TypeId
 

@@ -17,9 +17,13 @@ void BufferPool::StampRecoveryLsn(Frame& frame) {
 
 Status BufferPool::WriteBack(PageId id, Frame& frame) {
   // Write-ahead rule: the log records describing this page's content must
-  // be durable before the page image itself is.
+  // be durable before the page image itself is. Extra (per-shard) streams
+  // flush wholesale — their LSNs are not tracked per page.
   if (wal_ != nullptr) {
     GOMFM_RETURN_IF_ERROR(wal_->FlushTo(frame.recovery_lsn));
+  }
+  for (WriteAheadLog* extra : extra_wals_) {
+    GOMFM_RETURN_IF_ERROR(extra->Flush());
   }
   return disk_->WritePage(id, frame.page.image().data());
 }

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -151,6 +152,21 @@ class BufferPool {
   void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
   WriteAheadLog* wal() { return wal_; }
 
+  /// Registers an additional WAL stream the write-ahead rule must also
+  /// respect (sharded environments run one stream per maintenance plane;
+  /// the primary stream carries the recovery-LSN bookkeeping). Before a
+  /// dirty page is written back every extra stream is flushed wholesale —
+  /// coarser than the primary's FlushTo, but safely so, and the flush is a
+  /// no-op when the stream has no unflushed tail. Call during setup, before
+  /// concurrent work starts; nullptr streams are ignored.
+  void AttachExtraWal(WriteAheadLog* wal) {
+    if (wal != nullptr) extra_wals_.push_back(wal);
+  }
+
+  /// Drops every extra stream (simulated restart: the crash rigs rebuild
+  /// their logs and re-attach). The primary detaches via AttachWal(nullptr).
+  void ClearExtraWals() { extra_wals_.clear(); }
+
  private:
   struct Frame {
     Page page;
@@ -175,6 +191,7 @@ class BufferPool {
 
   SimDisk* disk_;
   WriteAheadLog* wal_ = nullptr;
+  std::vector<WriteAheadLog*> extra_wals_;
   size_t capacity_;
   mutable std::mutex mu_;
   std::unordered_map<PageId, Frame> frames_;

@@ -5,11 +5,13 @@
 namespace gom {
 
 PageId SimDisk::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.emplace_back(kPageSize, 0);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status SimDisk::ReadPage(PageId id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("SimDisk::ReadPage: page " + std::to_string(id) +
                               " beyond end of disk");
@@ -24,6 +26,7 @@ Status SimDisk::ReadPage(PageId id, uint8_t* out) {
 }
 
 Status SimDisk::WritePage(PageId id, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("SimDisk::WritePage: page " + std::to_string(id) +
                               " beyond end of disk");

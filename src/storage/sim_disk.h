@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/sim_clock.h"
@@ -40,7 +41,10 @@ class SimDisk {
   /// Overwrites the page image from `data` (kPageSize bytes).
   Status WritePage(PageId id, const uint8_t* data);
 
-  size_t page_count() const { return pages_.size(); }
+  size_t page_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
 
@@ -68,6 +72,10 @@ class SimDisk {
   SimClock* clock_;
   CostModel cost_;
   FaultInjector* injector_ = nullptr;
+  /// Guards the page array: per-shard WAL streams and writer threads under
+  /// different shard gates share one device. Uncontended in single-threaded
+  /// runs and free of simulated-time charges either way.
+  mutable std::mutex mu_;
   std::vector<std::vector<uint8_t>> pages_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};

@@ -57,8 +57,11 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
-bool HasWalMagic(const uint8_t* page) {
-  return std::memcmp(page, kWalMagic.data(), kWalMagic.size()) == 0;
+/// Stream `s` pages carry the shared 7-byte prefix plus a per-stream final
+/// byte ('L' + s, so stream 0 keeps the original 8-byte magic verbatim).
+bool HasWalMagic(const uint8_t* page, uint8_t stream) {
+  return std::memcmp(page, kWalMagic.data(), kWalMagic.size() - 1) == 0 &&
+         page[kWalMagic.size() - 1] == static_cast<uint8_t>('L' + stream);
 }
 
 }  // namespace
@@ -76,12 +79,14 @@ WriteAheadLog::LogPage& WriteAheadLog::CurrentPage() { return pages_.back(); }
 
 void WriteAheadLog::SealHeader(LogPage& page) {
   std::memcpy(page.image.data(), kWalMagic.data(), kWalMagic.size());
+  page.image[kWalMagic.size() - 1] = static_cast<uint8_t>('L' + stream_);
   PutU32(page.image.data() + kWalMagic.size(), page.seq);
   PutU16(page.image.data() + kWalMagic.size() + 4, page.used);
 }
 
 Result<Lsn> WriteAheadLog::Append(WalRecordType type,
                                   std::vector<uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t body_size = kBodyHeader + payload.size();
   const size_t frame_size = kFrameOverhead + body_size;
   if (frame_size > kWalPageCapacity) {
@@ -104,7 +109,9 @@ Result<Lsn> WriteAheadLog::Append(WalRecordType type,
   PutU16(frame, static_cast<uint16_t>(body_size));
   uint8_t* body = frame + kFrameOverhead;
   PutU64(body, lsn);
-  body[8] = static_cast<uint8_t>(type);
+  // Type in the low nibble, stream id in the high nibble (types are 1..15).
+  body[8] = static_cast<uint8_t>(static_cast<uint8_t>(type) |
+                                 static_cast<uint8_t>(stream_ << 4));
   if (!payload.empty()) {
     std::memcpy(body + kBodyHeader, payload.data(), payload.size());
   }
@@ -117,6 +124,11 @@ Result<Lsn> WriteAheadLog::Append(WalRecordType type,
 }
 
 Status WriteAheadLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status WriteAheadLog::FlushLocked() {
   bool wrote = false;
   for (LogPage& page : pages_) {
     if (!page.dirty) continue;
@@ -127,17 +139,19 @@ Status WriteAheadLog::Flush() {
     ++page_writes_;
   }
   if (wrote) ++flushes_;
-  flushed_lsn_ = last_lsn();
+  flushed_lsn_ = next_lsn_ - 1;
   unflushed_bytes_ = 0;
   return Status::Ok();
 }
 
 Status WriteAheadLog::FlushTo(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (lsn == kNullLsn || lsn <= flushed_lsn_) return Status::Ok();
-  return Flush();
+  return FlushLocked();
 }
 
 Status WriteAheadLog::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!pages_.empty() || next_lsn_ != 1) {
     return Status::FailedPrecondition(
         "WriteAheadLog::Open: log has already been written to");
@@ -155,7 +169,7 @@ Status WriteAheadLog::Open() {
   const size_t disk_pages = disk_->page_count();
   for (PageId pid = 0; pid < disk_pages; ++pid) {
     GOMFM_RETURN_IF_ERROR(disk_->ReadPage(pid, buf.data()));
-    if (!HasWalMagic(buf.data())) continue;
+    if (!HasWalMagic(buf.data(), stream_)) continue;
     candidates.push_back(
         Candidate{GetU32(buf.data() + kWalMagic.size()), pid, buf});
   }
@@ -209,7 +223,8 @@ Status WriteAheadLog::Open() {
       }
       WalRecord rec;
       rec.lsn = lsn;
-      rec.type = static_cast<WalRecordType>(body[8]);
+      rec.type = static_cast<WalRecordType>(body[8] & 0x0F);
+      rec.stream = static_cast<uint8_t>(body[8] >> 4);
       rec.payload.assign(body + kBodyHeader, body + body_size);
       recovered_.push_back(std::move(rec));
       if (page.first_lsn == kNullLsn) page.first_lsn = lsn;
@@ -247,6 +262,7 @@ Status WriteAheadLog::Open() {
 
 Result<std::vector<WalRecord>> WriteAheadLog::ReadFlushedSince(
     Lsn after, size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<WalRecord> out;
   if (after + 1 < oldest_lsn_) {
     return Status::OutOfRange(
@@ -270,7 +286,8 @@ Result<std::vector<WalRecord>> WriteAheadLog::ReadFlushedSince(
       if (lsn > after) {
         WalRecord rec;
         rec.lsn = lsn;
-        rec.type = static_cast<WalRecordType>(body[8]);
+        rec.type = static_cast<WalRecordType>(body[8] & 0x0F);
+        rec.stream = static_cast<uint8_t>(body[8] >> 4);
         rec.payload.assign(body + kBodyHeader, body + body_size);
         out.push_back(std::move(rec));
         if (max_records != 0 && out.size() >= max_records) return out;
@@ -282,6 +299,7 @@ Result<std::vector<WalRecord>> WriteAheadLog::ReadFlushedSince(
 }
 
 Status WriteAheadLog::TruncateUpTo(Lsn floor) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint8_t> zero(kPageSize, 0);
   size_t dropped = 0;
   // The current append page is never dropped (the next Append writes into

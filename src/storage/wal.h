@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -92,6 +93,10 @@ enum class WalRecordType : uint8_t {
 struct WalRecord {
   Lsn lsn = kNullLsn;
   WalRecordType type = WalRecordType::kBatchBegin;
+  /// Shard stream the record was written by (0 = the primary/unsharded
+  /// stream). Carried in the high nibble of the on-disk type byte, so the
+  /// record format is byte-identical to the pre-sharding one at stream 0.
+  uint8_t stream = 0;
   std::vector<uint8_t> payload;
 };
 
@@ -113,8 +118,13 @@ uint32_t Crc32(const uint8_t* data, size_t size);
 /// completed survives a crash.
 class WriteAheadLog {
  public:
-  /// `disk` must outlive the log.
-  explicit WriteAheadLog(SimDisk* disk) : disk_(disk) {}
+  /// `disk` must outlive the log. `stream_id` (0..15) tags every page and
+  /// record this log writes: sharded configurations run one log per
+  /// maintenance plane on the same disk, and `Open()` only accepts pages of
+  /// its own stream. Stream 0 — the only stream unsharded configurations
+  /// ever use — is byte-identical to the pre-sharding format.
+  explicit WriteAheadLog(SimDisk* disk, uint8_t stream_id = 0)
+      : disk_(disk), stream_(stream_id & 0x0F) {}
 
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
@@ -130,13 +140,24 @@ class WriteAheadLog {
   /// dirty-page rule calls this with the page's recovery LSN.
   Status FlushTo(Lsn lsn);
 
-  Lsn last_lsn() const { return next_lsn_ - 1; }
-  Lsn flushed_lsn() const { return flushed_lsn_; }
+  uint8_t stream_id() const { return stream_; }
+
+  Lsn last_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_ - 1;
+  }
+  Lsn flushed_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flushed_lsn_;
+  }
 
   /// LSN of the oldest record the log still holds (kNullLsn + 1 == 1 for a
   /// never-truncated log). After `TruncateUpTo(f)` this is f + 1. A reader
   /// wanting to resume from LSN r can be served iff oldest_lsn() <= r + 1.
-  Lsn oldest_lsn() const { return oldest_lsn_; }
+  Lsn oldest_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return oldest_lsn_;
+  }
 
   /// Tailing (replication shipping): decodes the *durable* records with
   /// `lsn > after` out of the in-memory page images, up to `max_records`
@@ -189,8 +210,19 @@ class WriteAheadLog {
 
   LogPage& CurrentPage();
   void SealHeader(LogPage& page);
+  /// Flush body; callers hold `mu_` (FlushTo → Flush must not re-lock).
+  Status FlushLocked();
+
+  /// Serializes appends/flushes against each other: the maintenance plane
+  /// appends under its shard gate while the buffer pool's
+  /// flush-log-before-dirty-page rule may flush from whichever writer
+  /// thread faults a page. Never held across a callback; accessors the
+  /// single-threaded paths use take it uncontended (no simulated-time
+  /// charge, so figures are unaffected).
+  mutable std::mutex mu_;
 
   SimDisk* disk_;
+  uint8_t stream_ = 0;
   std::vector<LogPage> pages_;
   std::vector<WalRecord> recovered_;
   Lsn next_lsn_ = 1;

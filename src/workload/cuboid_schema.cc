@@ -341,7 +341,11 @@ Result<Oid> CuboidSchema::MakeRobot(ObjectManager* om, double x, double y,
   GOMFM_ASSIGN_OR_RETURN(
       Oid pos, om->CreateTuple(vertex, {Value::Float(x), Value::Float(y),
                                         Value::Float(z)}));
-  return om->CreateTuple(robot, {Value::Ref(pos)});
+  // Pin the position to the robot's shard (see MakeCuboid for the pattern).
+  om->SetAffinityRoot(pos, Oid(om->next_oid()));
+  GOMFM_ASSIGN_OR_RETURN(Oid r, om->CreateTuple(robot, {Value::Ref(pos)}));
+  if (om->AffinityRoot(pos) != r) om->SetAffinityRoot(pos, r);
+  return r;
 }
 
 Result<Oid> CuboidSchema::MakeCuboid(ObjectManager* om, double l, double w,
@@ -362,7 +366,25 @@ Result<Oid> CuboidSchema::MakeCuboid(ObjectManager* om, double l, double w,
   }
   fields.push_back(Value::Ref(mat));
   fields.push_back(Value::Float(value));
-  return om->CreateTuple(cuboid, std::move(fields));
+  // Pin the vertices to the cuboid's shard *before* the cuboid is created:
+  // creation fires AfterCreate -> GmrManager::NewObject, which materializes
+  // volume(cuboid) and records reverse references for the vertices — their
+  // shard must already be final at that point. The allocator hands out OIDs
+  // sequentially, so the cuboid's OID is next_oid(); if an exotic notifier
+  // allocated objects mid-create the roots are repaired after the fact.
+  Oid predicted(om->next_oid());
+  for (const Value& f : fields) {
+    if (f.kind() == ValueKind::kRef) {
+      Result<Oid> v = f.AsRef();
+      if (v.ok() && *v != mat) om->SetAffinityRoot(*v, predicted);
+    }
+  }
+  GOMFM_ASSIGN_OR_RETURN(Oid c, om->CreateTuple(cuboid, std::move(fields)));
+  if (c != predicted) {
+    GOMFM_ASSIGN_OR_RETURN(std::vector<Oid> vs, VerticesOf(om, c));
+    for (Oid v : vs) om->SetAffinityRoot(v, c);
+  }
+  return c;
 }
 
 Result<std::vector<Oid>> CuboidSchema::VerticesOf(ObjectManager* om,

@@ -27,7 +27,7 @@ NotifyLevel LevelFor(ProgramVersion v) {
 
 Session* Environment::MakeSession() {
   if (session_pool == nullptr) {
-    session_pool = std::make_unique<SessionPool>(this);
+    session_pool = std::make_unique<SessionPool>(this, mgr.shard_count());
     mgr.EnableConcurrentReads();
   }
   return session_pool->CreateSession();

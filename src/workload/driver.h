@@ -32,9 +32,27 @@ struct Environment {
         interp(&om, &registry),
         mgr(&om, &interp, &registry, &storage, options) {
     if (storage_options.enable_wal) {
-      wal = std::make_unique<WriteAheadLog>(&disk);
-      pool.AttachWal(wal.get());
-      mgr.AttachWal(wal.get());
+      if (mgr.shard_count() > 1) {
+        // One WAL stream per maintenance plane, all on the shared disk,
+        // distinguished by stream id in page magic and record headers.
+        // Stream 0 doubles as the buffer pool's primary (recovery-LSN
+        // tracked) log; the extra streams flush wholesale before dirty
+        // page write-back.
+        shard_wals.reserve(mgr.shard_count());
+        for (size_t s = 0; s < mgr.shard_count(); ++s) {
+          shard_wals.push_back(std::make_unique<WriteAheadLog>(
+              &disk, static_cast<uint8_t>(s)));
+          mgr.AttachWalAt(s, shard_wals[s].get());
+        }
+        pool.AttachWal(shard_wals[0].get());
+        for (size_t s = 1; s < mgr.shard_count(); ++s) {
+          pool.AttachExtraWal(shard_wals[s].get());
+        }
+      } else {
+        wal = std::make_unique<WriteAheadLog>(&disk);
+        pool.AttachWal(wal.get());
+        mgr.AttachWal(wal.get());
+      }
     }
   }
 
@@ -83,6 +101,9 @@ struct Environment {
   funclang::Interpreter interp;
   GmrManager mgr;
   std::unique_ptr<WriteAheadLog> wal;
+  /// Sharded configurations: stream s is plane s's log (empty unsharded,
+  /// where `wal` is the single stream-0 log).
+  std::vector<std::unique_ptr<WriteAheadLog>> shard_wals;
   std::unique_ptr<MaterializationNotifier> notifier;
   std::unique_ptr<SessionPool> session_pool;
 };

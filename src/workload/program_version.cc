@@ -4,6 +4,10 @@
 
 namespace gom::workload {
 
+thread_local std::vector<MaterializationNotifier::PendingOp>
+    MaterializationNotifier::op_stack_;
+thread_local FidSet MaterializationNotifier::pending_elementary_compensated_;
+
 FidSet MaterializationNotifier::IntersectObjDep(Oid oid,
                                                 const FidSet& candidates) {
   ++objdep_checks_;

@@ -1,6 +1,8 @@
 #ifndef GOMFM_WORKLOAD_PROGRAM_VERSION_H_
 #define GOMFM_WORKLOAD_PROGRAM_VERSION_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,12 +53,20 @@ class MaterializationNotifier : public UpdateNotifier {
 
   /// Number of times the notifier ran its in-object ObjDepFct check — the
   /// small residual penalty of "innocent" updates (§5.2, Figure 10).
-  uint64_t objdep_checks() const { return objdep_checks_; }
+  uint64_t objdep_checks() const {
+    return objdep_checks_.load(std::memory_order_relaxed);
+  }
   /// Number of GMR-manager invocations actually made.
-  uint64_t manager_calls() const { return manager_calls_; }
-  /// The last error any hook encountered (hooks cannot propagate statuses
-  /// through the object manager, so they latch here).
-  const Status& first_error() const { return first_error_; }
+  uint64_t manager_calls() const {
+    return manager_calls_.load(std::memory_order_relaxed);
+  }
+  /// The first error any hook encountered (hooks cannot propagate statuses
+  /// through the object manager, so they latch here). Mutex-guarded: under
+  /// sharded maintenance several writer threads share one notifier.
+  Status first_error() const {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    return first_error_;
+  }
 
  private:
   /// AttrId key of the elementary update in SchemaDepFct's domain.
@@ -70,7 +80,9 @@ class MaterializationNotifier : public UpdateNotifier {
   FidSet IntersectObjDep(Oid oid, const FidSet& candidates);
 
   void Latch(const Status& status) {
-    if (first_error_.ok() && !status.ok()) first_error_ = status;
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (first_error_.ok()) first_error_ = status;
   }
 
   GmrManager* mgr_;
@@ -85,11 +97,15 @@ class MaterializationNotifier : public UpdateNotifier {
     FidSet compensated;
     FidSet to_invalidate;
   };
-  std::vector<PendingOp> op_stack_;
-  FidSet pending_elementary_compensated_;
+  /// Bracket state is per writer thread: under the sharded maintenance
+  /// plane several writers drive the same notifier concurrently, but an
+  /// update's Before/After hooks always run on the thread that issued it.
+  static thread_local std::vector<PendingOp> op_stack_;
+  static thread_local FidSet pending_elementary_compensated_;
 
-  uint64_t objdep_checks_ = 0;
-  uint64_t manager_calls_ = 0;
+  std::atomic<uint64_t> objdep_checks_{0};
+  std::atomic<uint64_t> manager_calls_{0};
+  mutable std::mutex error_mu_;
   Status first_error_;
 };
 

@@ -15,7 +15,7 @@ Session::Session(Environment* env, SessionPool* pool, uint32_t id)
 }
 
 Result<Value> Session::ForwardQuery(FunctionId f, std::vector<Value> args) {
-  std::shared_lock<std::shared_mutex> gate(pool_->gate_);
+  SessionPool::ReaderLock gate(pool_);
   ++stats_.forward_queries;
   return env_->mgr.ForwardLookup(&ctx_, f, std::move(args));
 }
@@ -23,7 +23,7 @@ Result<Value> Session::ForwardQuery(FunctionId f, std::vector<Value> args) {
 Result<std::vector<std::vector<Value>>> Session::BackwardQuery(
     FunctionId f, double lo, double hi, bool lo_inclusive,
     bool hi_inclusive) {
-  std::shared_lock<std::shared_mutex> gate(pool_->gate_);
+  SessionPool::ReaderLock gate(pool_);
   ++stats_.backward_queries;
   return env_->mgr.BackwardRange(&ctx_, f, lo, hi, lo_inclusive,
                                  hi_inclusive);
@@ -31,7 +31,7 @@ Result<std::vector<std::vector<Value>>> Session::BackwardQuery(
 
 Result<std::vector<std::vector<Value>>> Session::RunGomql(
     const std::string& text) {
-  std::unique_lock<std::shared_mutex> gate(pool_->gate_);
+  SessionPool::WriterLock gate(pool_);
   ++stats_.gomql_queries;
   gomql::Parser parser(&env_->schema, &env_->registry);
   GOMFM_ASSIGN_OR_RETURN(gomql::ParsedQuery query, parser.Parse(text));
@@ -41,7 +41,7 @@ Result<std::vector<std::vector<Value>>> Session::RunGomql(
 }
 
 Result<std::string> Session::ExplainGomql(const std::string& text) {
-  std::unique_lock<std::shared_mutex> gate(pool_->gate_);
+  SessionPool::WriterLock gate(pool_);
   ++stats_.gomql_queries;
   gomql::Parser parser(&env_->schema, &env_->registry);
   GOMFM_ASSIGN_OR_RETURN(gomql::ParsedQuery query, parser.Parse(text));
@@ -62,7 +62,7 @@ Result<Value> Session::RunOperation(FunctionId op, std::vector<Value> args) {
                                    "' is side-effect-free; use a forward "
                                    "query");
   }
-  std::unique_lock<std::shared_mutex> gate(pool_->gate_);
+  SessionPool::WriterLock gate(pool_);
   ++stats_.update_ops;
   // Owner-mode invoke (no concurrent ctx): the exclusive gate makes this
   // thread the writer, so in-place repairs during invalidation are safe.

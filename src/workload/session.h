@@ -1,6 +1,7 @@
 #ifndef GOMFM_WORKLOAD_SESSION_H_
 #define GOMFM_WORKLOAD_SESSION_H_
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -25,8 +26,9 @@ class SessionPool;
 ///
 /// Sessions are created on the coordinating thread via
 /// `Environment::MakeSession()` and may then be driven from one worker
-/// thread each. Queries take the pool's read/write gate shared, so they
-/// interleave freely with each other but never overlap an update storm.
+/// thread each. Queries take every shard gate shared (in index order), so
+/// they interleave freely with each other but never overlap an update storm
+/// on any shard.
 class Session {
  public:
   Result<Value> ForwardQuery(FunctionId f, std::vector<Value> args);
@@ -35,7 +37,7 @@ class Session {
       bool hi_inclusive = true);
 
   /// Parses and runs one GOMql statement (retrieve or materialize).
-  /// GOMql statements take the gate *exclusively*: materialize mutates the
+  /// GOMql statements take the gates *exclusively*: materialize mutates the
   /// catalog, and retrieve plans execute through the owner-mode read path,
   /// whose in-place repairs (lazy rematerialization, self-healing rows)
   /// must not overlap shared-latch readers. Text queries therefore
@@ -49,10 +51,11 @@ class Session {
   Result<std::string> ExplainGomql(const std::string& text);
 
   /// Invokes an update operation op(args) — a registered function that is
-  /// not side-effect-free. Takes the gate *exclusively* (it is a one-call
+  /// not side-effect-free. Takes the gates *exclusively* (it is a one-call
   /// update storm): the operation mutates objects, and the invalidation /
-  /// rematerialization it triggers runs on this thread in owner mode.
-  /// Side-effect-free functions are rejected — reads go through
+  /// rematerialization it triggers runs on this thread in owner mode. (All
+  /// gates, not one shard's — a general operation may touch objects of any
+  /// shard.) Side-effect-free functions are rejected — reads go through
   /// ForwardQuery, which stays concurrent.
   Result<Value> RunOperation(FunctionId op, std::vector<Value> args);
 
@@ -73,15 +76,28 @@ class Session {
   ExecutionContext ctx_;
 };
 
-/// Owns the environment's sessions and the read/write gate that separates
-/// reader queries from update storms: sessions hold the gate shared per
-/// query, a writer takes it exclusively per storm (WriterLock). Together
-/// with the component latches this gives update-storm granularity
-/// equivalence — a reader observes the extension either entirely before or
-/// entirely after any given storm, never mid-storm.
+/// Owns the environment's sessions and the read/write gates that separate
+/// reader queries from update storms. Unsharded there is one gate; a
+/// sharded environment has one gate per maintenance plane, so update storms
+/// confined to disjoint shard sets hold disjoint gates and proceed in
+/// parallel. Sessions hold *every* gate shared per query, a writer takes
+/// its shard set exclusively per storm (WriterLock); all acquisition is in
+/// ascending gate index, which makes deadlock impossible. Together with the
+/// component latches this gives update-storm granularity equivalence — a
+/// reader observes the extension either entirely before or entirely after
+/// any given storm, never mid-storm.
 class SessionPool {
  public:
-  explicit SessionPool(Environment* env) : env_(env) {}
+  /// `shard_gates` is the environment's maintenance-plane count (clamped to
+  /// ≥ 1); pass 1 for the classic single writer-exclusive gate.
+  explicit SessionPool(Environment* env, size_t shard_gates = 1)
+      : env_(env) {
+    if (shard_gates == 0) shard_gates = 1;
+    gates_.reserve(shard_gates);
+    for (size_t s = 0; s < shard_gates; ++s) {
+      gates_.push_back(std::make_unique<std::shared_mutex>());
+    }
+  }
 
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
@@ -100,21 +116,58 @@ class SessionPool {
   size_t session_count() const;
   size_t free_count() const;
 
-  /// RAII exclusive hold of the gate for one update storm.
+  /// RAII exclusive hold of gates for one update storm. The default
+  /// constructor takes every gate (the classic global storm); the shard-set
+  /// constructor takes only the named shards' gates, so storms on disjoint
+  /// sets run concurrently. Either way gates lock in ascending index order.
   class WriterLock {
    public:
     explicit WriterLock(SessionPool* pool) : pool_(pool) {
-      pool_->gate_.lock();
+      held_.reserve(pool_->gates_.size());
+      for (size_t s = 0; s < pool_->gates_.size(); ++s) held_.push_back(s);
+      for (size_t s : held_) pool_->gates_[s]->lock();
     }
-    ~WriterLock() { pool_->gate_.unlock(); }
+    WriterLock(SessionPool* pool, std::vector<size_t> shards)
+        : pool_(pool), held_(std::move(shards)) {
+      std::sort(held_.begin(), held_.end());
+      held_.erase(std::unique(held_.begin(), held_.end()), held_.end());
+      for (size_t s : held_) pool_->gates_[s]->lock();
+    }
+    ~WriterLock() {
+      for (size_t i = held_.size(); i-- > 0;) pool_->gates_[held_[i]]->unlock();
+    }
     WriterLock(const WriterLock&) = delete;
     WriterLock& operator=(const WriterLock&) = delete;
 
    private:
     SessionPool* pool_;
+    std::vector<size_t> held_;  // ascending, deduplicated
   };
 
-  std::shared_mutex& gate() { return gate_; }
+  /// RAII shared hold of every gate (reader side; ascending order).
+  class ReaderLock {
+   public:
+    explicit ReaderLock(SessionPool* pool) : pool_(pool) {
+      for (auto& g : pool_->gates_) g->lock_shared();
+    }
+    ~ReaderLock() {
+      for (size_t i = pool_->gates_.size(); i-- > 0;) {
+        pool_->gates_[i]->unlock_shared();
+      }
+    }
+    ReaderLock(const ReaderLock&) = delete;
+    ReaderLock& operator=(const ReaderLock&) = delete;
+
+   private:
+    SessionPool* pool_;
+  };
+
+  /// The classic single gate (gate 0). External coordinators built before
+  /// sharding (replication, server) run single-gate environments, where
+  /// this *is* the writer-exclusive gate.
+  std::shared_mutex& gate() { return *gates_[0]; }
+  std::shared_mutex& gate_at(size_t shard) { return *gates_[shard]; }
+  size_t gate_count() const { return gates_.size(); }
 
  private:
   friend class Session;
@@ -123,7 +176,7 @@ class SessionPool {
   mutable std::mutex mu_;  // guards sessions_ and free_
   std::vector<std::unique_ptr<Session>> sessions_;
   std::vector<Session*> free_;  // released, awaiting reuse
-  std::shared_mutex gate_;
+  std::vector<std::unique_ptr<std::shared_mutex>> gates_;
 };
 
 }  // namespace gom::workload

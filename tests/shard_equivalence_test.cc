@@ -1,0 +1,271 @@
+// Cross-shard equivalence property suite: the sharded maintenance plane is
+// a pure partitioning — it must never change WHAT is maintained, only WHERE.
+// One deterministic update/query storm runs at shards ∈ {1, 2, 4} from the
+// same seed; the union of the per-plane GMR extensions, the union of the
+// per-plane reverse-reference relations, every forward/backward answer and
+// the summed maintenance counters must then be bit-identical to the
+// 1-shard oracle. The storm covers relevant writes, coalesced batches,
+// inserts (complete-extension growth), deletes, forward lookups and
+// backward range queries, under both the immediate and the lazy strategy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/stack.h"
+
+namespace gom {
+namespace {
+
+using workload::CompanyStack;
+using workload::StackOptions;
+
+constexpr size_t kNumCuboids = 24;
+constexpr size_t kMixSteps = 160;
+
+std::unique_ptr<CompanyStack> MakeStack(size_t shards, RematStrategy remat) {
+  StackOptions opts;
+  opts.buffer_pages = 512;
+  opts.gmr.shards = shards;
+  opts.gmr.remat = remat;
+  opts.num_cuboids = kNumCuboids;
+  opts.seed = 97;
+  opts.materialize_volume = true;
+  opts.notify = true;
+  auto stack = workload::MakeCompanyStack(opts);
+  EXPECT_TRUE(stack->setup.ok()) << stack->setup.ToString();
+  return stack;
+}
+
+/// The same seeded mix as a plain function of the rig: identical seeds make
+/// identical draws, so every shard count performs the identical logical
+/// storm. Single-threaded on purpose — equivalence is about the
+/// partitioning, not the interleaving (concurrency_test and the perf
+/// harness cover the multi-writer side).
+void RunMix(CompanyStack& s, uint64_t seed) {
+  static const char* kVertices[] = {"V1", "V2", "V4", "V5"};
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  Rng rng(seed);
+  std::set<Oid> deleted;
+  auto mat = s.env.om.GetAttribute(s.cuboids[0], "Mat");
+  ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+  Oid iron = mat->as_ref();
+  for (size_t step = 0; step < kMixSteps; ++step) {
+    double pick = rng.UniformDouble(0, 1);
+    size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(s.cuboids.size()) - 1));
+    Oid c = s.cuboids[idx];
+    bool alive = deleted.count(c) == 0 && s.env.om.Exists(c);
+    Status st;
+    if (pick < 0.30) {
+      // Relevant write: one vertex coordinate.
+      const char* vertex = kVertices[rng.UniformInt(0, 3)];
+      const char* coord = kCoords[rng.UniformInt(0, 2)];
+      double v = rng.UniformDouble(2, 10);
+      if (!alive) continue;
+      auto vo = s.env.om.GetAttribute(c, vertex);
+      ASSERT_TRUE(vo.ok()) << vo.status().ToString();
+      st = s.env.om.SetAttribute(vo->as_ref(), coord, Value::Float(v));
+    } else if (pick < 0.45) {
+      // Batched storm against two cuboids — exercises the two-phase
+      // EndBatch and the per-plane batch queues (dedup included: the
+      // second write of the same vertex collides in the owner plane).
+      size_t idx2 = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(s.cuboids.size()) - 1));
+      Oid c2 = s.cuboids[idx2];
+      const char* vertex = kVertices[rng.UniformInt(0, 3)];
+      double a = rng.UniformDouble(1, 10);
+      double b = rng.UniformDouble(1, 10);
+      if (!alive) continue;
+      GmrManager::UpdateBatch batch(&s.env.mgr);
+      auto vo = s.env.om.GetAttribute(c, vertex);
+      ASSERT_TRUE(vo.ok()) << vo.status().ToString();
+      st = s.env.om.SetAttribute(vo->as_ref(), "X", Value::Float(a));
+      if (st.ok()) {
+        st = s.env.om.SetAttribute(vo->as_ref(), "Y", Value::Float(b));
+      }
+      if (st.ok() && deleted.count(c2) == 0 && s.env.om.Exists(c2)) {
+        auto vo2 = s.env.om.GetAttribute(c2, vertex);
+        ASSERT_TRUE(vo2.ok()) << vo2.status().ToString();
+        st = s.env.om.SetAttribute(vo2->as_ref(), "Z",
+                                   Value::Float(a + b));
+      }
+      Status commit = batch.Commit();
+      if (st.ok()) st = commit;
+    } else if (pick < 0.65) {
+      if (!alive) continue;
+      auto v = s.env.mgr.ForwardLookup(s.geo.volume, {Value::Ref(c)});
+      st = v.status();
+    } else if (pick < 0.75) {
+      double lo = rng.UniformDouble(0, 6000);
+      auto rows = s.env.mgr.BackwardRange(s.geo.volume, lo, lo + 800,
+                                          true, true);
+      st = rows.status();
+    } else if (pick < 0.88) {
+      // Insert: complete GMRs extend via the broadcast NewObject path,
+      // where exactly one plane must admit the new combination.
+      double a = rng.UniformDouble(1, 20);
+      double b = rng.UniformDouble(1, 20);
+      double d = rng.UniformDouble(1, 20);
+      auto made = s.geo.MakeCuboid(&s.env.om, a, b, d, iron);
+      ASSERT_TRUE(made.ok()) << made.status().ToString();
+      s.cuboids.push_back(*made);
+      auto v = s.env.mgr.ForwardLookup(s.geo.volume, {Value::Ref(*made)});
+      st = v.status();
+    } else {
+      if (!alive || s.cuboids.size() - deleted.size() <= 6) continue;
+      st = s.geo.DeleteCuboid(&s.env.om, c);
+      if (st.ok()) deleted.insert(c);
+    }
+    ASSERT_TRUE(st.ok()) << "step " << step << ": " << st.ToString();
+  }
+}
+
+/// Canonical, order-independent dump of everything the partitioning must
+/// preserve.
+struct StateDump {
+  std::vector<std::string> rows;      // extension union, sorted
+  std::vector<std::string> rrr;       // RRR union, sorted
+  std::vector<std::string> backward;  // one full-range backward answer
+  GmrStats::Counters totals;
+  size_t shard_count = 1;
+};
+
+StateDump DumpState(CompanyStack& s) {
+  StateDump dump;
+  dump.shard_count = s.env.mgr.shard_count();
+  for (size_t sh = 0; sh < s.env.mgr.shard_count(); ++sh) {
+    auto gmr = s.env.mgr.GetAt(sh, s.volume_gmr);
+    EXPECT_TRUE(gmr.ok()) << gmr.status().ToString();
+    (*gmr)->ForEachRow([&](RowId, const Gmr::Row& row) {
+      std::string repr;
+      for (const Value& a : row.args) repr += a.ToString() + "|";
+      repr += "->";
+      for (size_t i = 0; i < row.results.size(); ++i) {
+        repr += row.valid[i] ? row.results[i].ToString() : "<invalid>";
+        repr += "|";
+      }
+      dump.rows.push_back(std::move(repr));
+      return true;
+    });
+    for (const Rrr::Entry& e : s.env.mgr.catalog_at(sh).rrr().AllEntries()) {
+      std::string repr = e.object.ToString() + "/" +
+                         std::to_string(e.function) + "/";
+      for (const Value& a : e.args) repr += a.ToString() + "|";
+      dump.rrr.push_back(std::move(repr));
+    }
+  }
+  std::sort(dump.rows.begin(), dump.rows.end());
+  std::sort(dump.rrr.begin(), dump.rrr.end());
+  auto rows = s.env.mgr.BackwardRange(s.geo.volume, 0, 1e12, true, true);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  for (const auto& r : *rows) {
+    std::string repr;
+    for (const Value& v : r) repr += v.ToString() + "|";
+    dump.backward.push_back(std::move(repr));
+  }
+  std::sort(dump.backward.begin(), dump.backward.end());
+  dump.totals = s.env.mgr.AggregateStats();
+  return dump;
+}
+
+void ExpectEquivalent(const StateDump& oracle, const StateDump& sharded) {
+  EXPECT_EQ(oracle.rows, sharded.rows);
+  EXPECT_EQ(oracle.rrr, sharded.rrr);
+  EXPECT_EQ(oracle.backward, sharded.backward);
+  const GmrStats::Counters& a = oracle.totals;
+  const GmrStats::Counters& b = sharded.totals;
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.rematerializations, b.rematerializations);
+  EXPECT_EQ(a.compensations, b.compensations);
+  EXPECT_EQ(a.forward_hits, b.forward_hits);
+  EXPECT_EQ(a.forward_invalid, b.forward_invalid);
+  EXPECT_EQ(a.forward_misses, b.forward_misses);
+  EXPECT_EQ(a.rows_created, b.rows_created);
+  EXPECT_EQ(a.rows_removed, b.rows_removed);
+  EXPECT_EQ(a.batch_records, b.batch_records);
+  EXPECT_EQ(a.batch_dedup_hits, b.batch_dedup_hits);
+  // Every plane performs (and counts) its own outermost flush, so the
+  // aggregate scales with the plane count rather than staying equal.
+  EXPECT_EQ(a.batch_flushes * sharded.shard_count, b.batch_flushes);
+}
+
+void RunEquivalenceSuite(RematStrategy remat, uint64_t seed) {
+  auto oracle_stack = MakeStack(1, remat);
+  RunMix(*oracle_stack, seed);
+  StateDump oracle = DumpState(*oracle_stack);
+  ASSERT_FALSE(oracle.rows.empty());
+  ASSERT_FALSE(oracle.rrr.empty());
+
+  for (size_t shards : {2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    auto stack = MakeStack(shards, remat);
+    RunMix(*stack, seed);
+    StateDump dump = DumpState(*stack);
+    ExpectEquivalent(oracle, dump);
+
+    // The partitioning must be real: with several planes no single plane
+    // may own the whole extension (24+ cuboids hash across 2+ shards).
+    size_t max_plane_rows = 0;
+    for (size_t sh = 0; sh < shards; ++sh) {
+      size_t n = 0;
+      (*stack->env.mgr.GetAt(sh, stack->volume_gmr))
+          ->ForEachRow([&](RowId, const Gmr::Row&) {
+            ++n;
+            return true;
+          });
+      max_plane_rows = std::max(max_plane_rows, n);
+    }
+    EXPECT_LT(max_plane_rows, dump.rows.size());
+
+    // Every live answer agrees with the oracle's interpreter evaluation.
+    for (Oid c : stack->cuboids) {
+      if (!stack->env.om.Exists(c)) continue;
+      auto got =
+          stack->env.mgr.ForwardLookup(stack->geo.volume, {Value::Ref(c)});
+      auto expect =
+          stack->env.interp.Invoke(stack->geo.volume, {Value::Ref(c)});
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+      EXPECT_EQ(got->ToString(), expect->ToString());
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, ImmediateStormMatchesOneShardOracle) {
+  RunEquivalenceSuite(RematStrategy::kImmediate, /*seed=*/771);
+}
+
+TEST(ShardEquivalenceTest, LazyStormMatchesOneShardOracle) {
+  RunEquivalenceSuite(RematStrategy::kLazy, /*seed=*/772);
+}
+
+TEST(ShardEquivalenceTest, SecondSeedMatchesOneShardOracle) {
+  RunEquivalenceSuite(RematStrategy::kImmediate, /*seed=*/9001);
+}
+
+TEST(ShardEquivalenceTest, RoutingCoversEveryPlane) {
+  // Sanity on the router itself: with 4 planes the cuboid population must
+  // not collapse into one shard, components follow their composite, and
+  // the args router agrees with the object router.
+  auto stack = MakeStack(4, RematStrategy::kImmediate);
+  std::set<size_t> seen;
+  for (Oid c : stack->cuboids) {
+    size_t sh = stack->env.mgr.ShardOfObject(c);
+    seen.insert(sh);
+    EXPECT_EQ(sh, stack->env.mgr.ShardOfArgs({Value::Ref(c)}));
+    auto v1 = stack->env.om.GetAttribute(c, "V1");
+    ASSERT_TRUE(v1.ok());
+    EXPECT_EQ(sh, stack->env.mgr.ShardOfObject(v1->as_ref()))
+        << "vertex not pinned to its cuboid's shard";
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace gom

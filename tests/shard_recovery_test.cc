@@ -1,0 +1,361 @@
+// Sharded crash–recover–compare sweep: the crash_recovery_test property
+// suite re-run against a maintenance plane split across N WAL streams on
+// one fault-injected disk. Crash points land between the per-shard
+// flushes — one stream's intent or batch-flush marker durable while a
+// sibling stream's is still buffered — and
+// RecoveryManager::RecoverShardedStreams must still reconstruct a state
+// where every answer matches the from-scratch interpreter oracle. The
+// two-phase EndBatch makes each stream self-contained: a stream is either
+// entirely pre-flush (its batch is discarded) or durably committed; no
+// crash point may ever require reading another stream to decide.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "funclang/interpreter.h"
+#include "gmr/gmr_manager.h"
+#include "gmr/recovery.h"
+#include "gom/object_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injector.h"
+#include "storage/sim_disk.h"
+#include "storage/storage_manager.h"
+#include "storage/wal.h"
+#include "workload/cuboid_schema.h"
+#include "workload/program_version.h"
+
+namespace gom {
+namespace {
+
+constexpr size_t kBufferPages = 2;
+constexpr size_t kNumCuboids = 8;
+constexpr size_t kMixSteps = 40;
+
+/// CrashRig with one WAL stream per maintenance plane, all on the same
+/// fault-injected disk — a halt freezes every stream at the same instant,
+/// wherever each one's flush happened to be.
+struct ShardedCrashRig {
+  explicit ShardedCrashRig(GmrManagerOptions opts)
+      : disk(&clock, CostModel::Default()),
+        pool(&disk, kBufferPages),
+        storage(&pool),
+        om(&schema, &storage, &clock),
+        interp(&om, &registry),
+        options(opts) {
+    disk.SetFaultInjector(&fi);
+    mgr = std::make_unique<GmrManager>(&om, &interp, &registry, &storage,
+                                       options);
+    AttachLogs();
+    geo = *workload::CuboidSchema::Declare(&schema, &registry);
+
+    Rng rng(11);
+    iron = *geo.MakeMaterial(&om, "Iron", 7.86);
+    for (size_t i = 0; i < kNumCuboids; ++i) {
+      cuboids.push_back(*geo.MakeCuboid(&om, rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20),
+                                        rng.UniformDouble(1, 20), iron));
+    }
+    GmrSpec spec;
+    spec.name = "volume";
+    spec.arg_types = {TypeRef::Object(geo.cuboid)};
+    spec.functions = {geo.volume};
+    specs.push_back(spec);
+    gmr_id = *mgr->Materialize(spec);
+    InstallNotifier();
+    // Make the pre-mix state durable so crash points measure the mix only.
+    for (auto& w : wals) EXPECT_TRUE(w->Flush().ok());
+    EXPECT_TRUE(pool.FlushAll().ok());
+  }
+
+  /// Builds stream s with id s and wires it to plane s and the pool.
+  void AttachLogs() {
+    for (size_t s = 0; s < mgr->shard_count(); ++s) {
+      wals.push_back(std::make_unique<WriteAheadLog>(
+          &disk, static_cast<uint8_t>(s)));
+      mgr->AttachWalAt(s, wals[s].get());
+    }
+    pool.AttachWal(wals[0].get());
+    for (size_t s = 1; s < wals.size(); ++s) {
+      pool.AttachExtraWal(wals[s].get());
+    }
+  }
+
+  void InstallNotifier() {
+    notifier = std::make_unique<workload::MaterializationNotifier>(
+        mgr.get(), &om, workload::NotifyLevel::kObjDep);
+    om.SetNotifier(notifier.get());
+  }
+
+  /// Machine restart: object base survives, GMR machinery and all log
+  /// buffers are lost; every stream is reopened from the disk image and
+  /// replayed onto its plane.
+  std::vector<RecoveryManager::Stats> CrashAndRecover() {
+    om.SetNotifier(nullptr);
+    notifier.reset();
+    pool.AttachWal(nullptr);
+    pool.ClearExtraWals();
+    mgr.reset();
+    wals.clear();
+    fi.ClearCrash();
+    fi.ClearSchedule();
+
+    mgr = std::make_unique<GmrManager>(&om, &interp, &registry, &storage,
+                                       options);
+    std::vector<WriteAheadLog*> streams;
+    for (size_t s = 0; s < mgr->shard_count(); ++s) {
+      wals.push_back(std::make_unique<WriteAheadLog>(
+          &disk, static_cast<uint8_t>(s)));
+      streams.push_back(wals[s].get());
+    }
+    std::vector<RecoveryManager::Stats> per_stream;
+    Status recovered = RecoveryManager::RecoverShardedStreams(
+        mgr.get(), &om, streams, specs, &per_stream);
+    EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+    pool.AttachWal(wals[0].get());
+    for (size_t s = 1; s < wals.size(); ++s) {
+      pool.AttachExtraWal(wals[s].get());
+    }
+    InstallNotifier();
+    return per_stream;
+  }
+
+  SimClock clock;
+  SimDisk disk;
+  FaultInjector fi;
+  BufferPool pool;
+  StorageManager storage;
+  Schema schema;
+  ObjectManager om;
+  funclang::FunctionRegistry registry;
+  funclang::Interpreter interp;
+  GmrManagerOptions options;
+  std::unique_ptr<GmrManager> mgr;
+  std::vector<std::unique_ptr<WriteAheadLog>> wals;
+  std::unique_ptr<workload::MaterializationNotifier> notifier;
+  workload::CuboidSchema geo;
+  Oid iron;
+  std::vector<Oid> cuboids;
+  std::vector<GmrSpec> specs;
+  GmrId gmr_id = kInvalidGmrId;
+};
+
+/// The crash_recovery_test mix verbatim (identical draws per seed), so the
+/// sharded sweep covers exactly the workload shapes the unsharded one does.
+bool RunMix(ShardedCrashRig& rig, uint64_t seed, size_t batch_chunk) {
+  static const char* kVertices[] = {"V1", "V2", "V4", "V5"};
+  static const char* kCoords[] = {"X", "Y", "Z"};
+  Rng rng(seed);
+  std::set<Oid> deleted;
+  size_t step = 0;
+  while (step < kMixSteps) {
+    if (rig.fi.crashed()) return true;
+    size_t chunk = std::min(batch_chunk, kMixSteps - step);
+    std::unique_ptr<GmrManager::UpdateBatch> batch;
+    if (batch_chunk > 1) {
+      batch = std::make_unique<GmrManager::UpdateBatch>(rig.mgr.get());
+    }
+    for (size_t i = 0; i < chunk; ++i, ++step) {
+      double pick = rng.UniformDouble(0, 1);
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(rig.cuboids.size()) - 1));
+      Oid c = rig.cuboids[idx];
+      bool alive = deleted.count(c) == 0 && rig.om.Exists(c);
+      Status st;
+      if (pick < 0.35) {
+        const char* vertex = kVertices[rng.UniformInt(0, 3)];
+        const char* coord = kCoords[rng.UniformInt(0, 2)];
+        double v = rng.UniformDouble(1, 10);
+        if (!alive) continue;
+        auto vo = rig.om.GetAttribute(c, vertex);
+        if (!vo.ok()) {
+          st = vo.status();
+        } else {
+          st = rig.om.SetAttribute(vo->as_ref(), coord, Value::Float(v));
+        }
+      } else if (pick < 0.50) {
+        const char* vertex = kVertices[rng.UniformInt(0, 3)];
+        double a = rng.UniformDouble(1, 10);
+        double b = rng.UniformDouble(1, 10);
+        double d = rng.UniformDouble(1, 10);
+        if (!alive) continue;
+        auto vo = rig.om.GetAttribute(c, vertex);
+        if (!vo.ok()) {
+          st = vo.status();
+        } else {
+          Oid v = vo->as_ref();
+          st = rig.om.SetAttribute(v, "X", Value::Float(a));
+          if (st.ok()) st = rig.om.SetAttribute(v, "Y", Value::Float(b));
+          if (st.ok()) st = rig.om.SetAttribute(v, "Z", Value::Float(d));
+        }
+      } else if (pick < 0.72) {
+        if (!alive) continue;
+        auto v = rig.mgr->ForwardLookup(rig.geo.volume, {Value::Ref(c)});
+        st = v.status();
+      } else if (pick < 0.84) {
+        double a = rng.UniformDouble(1, 20);
+        double b = rng.UniformDouble(1, 20);
+        double d = rng.UniformDouble(1, 20);
+        auto made = rig.geo.MakeCuboid(&rig.om, a, b, d, rig.iron);
+        if (made.ok()) {
+          rig.cuboids.push_back(*made);
+          auto v = rig.mgr->ForwardLookup(rig.geo.volume, {Value::Ref(*made)});
+          st = v.status();
+        } else {
+          st = made.status();
+        }
+      } else {
+        if (!alive || rig.cuboids.size() - deleted.size() <= 4) continue;
+        st = rig.om.Delete(c);
+        if (st.ok()) deleted.insert(c);
+      }
+      if (rig.fi.crashed()) return true;
+      EXPECT_TRUE(st.ok()) << "non-crash failure: " << st.ToString();
+    }
+    if (batch != nullptr) {
+      Status st = batch->Commit();
+      if (rig.fi.crashed()) return true;
+      EXPECT_TRUE(st.ok()) << "non-crash failure: " << st.ToString();
+    }
+  }
+  return rig.fi.crashed();
+}
+
+/// Oracle comparison over the union of the planes: no plane may hold a
+/// stale-but-valid row, and every forward answer must be freshly correct.
+void VerifyAgainstOracle(ShardedCrashRig& rig) {
+  for (size_t sh = 0; sh < rig.mgr->shard_count(); ++sh) {
+    Gmr* gmr = *rig.mgr->GetAt(sh, rig.gmr_id);
+    ASSERT_TRUE(gmr->CheckWellFormed().ok());
+    gmr->ForEachRow([&](RowId, const Gmr::Row& row) {
+      Oid c = row.args[0].as_ref();
+      // A row belongs to the plane its argument hashes to — recovery must
+      // never re-admit a combination on the wrong plane.
+      EXPECT_EQ(rig.mgr->ShardOfArgs(row.args), sh)
+          << "row for " << c.ToString() << " recovered onto a foreign plane";
+      if (!rig.om.Exists(c) || !row.valid[0]) return true;
+      auto expect = rig.interp.Invoke(rig.geo.volume, {Value::Ref(c)});
+      EXPECT_TRUE(expect.ok());
+      if (expect.ok()) {
+        EXPECT_EQ(row.results[0].ToString(), expect->ToString())
+            << "stale valid row for " << c.ToString() << " on plane " << sh;
+      }
+      return true;
+    });
+  }
+  for (Oid c : rig.cuboids) {
+    if (!rig.om.Exists(c)) continue;
+    auto expect = rig.interp.Invoke(rig.geo.volume, {Value::Ref(c)});
+    auto got = rig.mgr->ForwardLookup(rig.geo.volume, {Value::Ref(c)});
+    ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->ToString(), expect->ToString())
+        << "wrong recovered answer for " << c.ToString();
+  }
+}
+
+struct SweepTotals {
+  size_t crash_points = 0;
+  size_t records_replayed = 0;
+  size_t intents_seen = 0;
+  size_t intents_discarded = 0;
+  size_t remats_applied = 0;
+  size_t batches_discarded = 0;
+  size_t rows_replayed = 0;
+  /// Streams (by id) that replayed at least one record over the sweep —
+  /// proof the workload actually spanned planes.
+  std::set<size_t> active_streams;
+
+  void Add(const std::vector<RecoveryManager::Stats>& per_stream) {
+    ++crash_points;
+    for (size_t s = 0; s < per_stream.size(); ++s) {
+      const RecoveryManager::Stats& st = per_stream[s];
+      records_replayed += st.records_replayed;
+      intents_seen += st.intents_seen;
+      intents_discarded += st.intents_discarded;
+      remats_applied += st.remats_applied;
+      batches_discarded += st.batches_discarded;
+      rows_replayed += st.rows_replayed;
+      if (st.records_replayed > 0) active_streams.insert(s);
+    }
+  }
+};
+
+uint64_t DryRunOps(GmrManagerOptions opts, uint64_t seed, size_t batch_chunk) {
+  ShardedCrashRig rig(opts);
+  uint64_t before = rig.fi.ops_seen();
+  bool crashed = RunMix(rig, seed, batch_chunk);
+  uint64_t total = rig.fi.ops_seen() - before;
+  EXPECT_FALSE(crashed);
+  VerifyAgainstOracle(rig);  // the fault-free sharded run is consistent too
+  return total;
+}
+
+void SweepCrashPoints(GmrManagerOptions opts, uint64_t seed,
+                      size_t batch_chunk, size_t points, SweepTotals* totals) {
+  uint64_t total_ops = DryRunOps(opts, seed, batch_chunk);
+  ASSERT_GT(total_ops, points) << "mix too small for the requested sweep";
+  for (size_t p = 0; p < points; ++p) {
+    uint64_t crash_at = p * total_ops / points;
+    ShardedCrashRig rig(opts);
+    rig.fi.CrashAfter(crash_at);
+    bool crashed = RunMix(rig, seed, batch_chunk);
+    ASSERT_TRUE(crashed) << "crash point " << crash_at << " never reached";
+    totals->Add(rig.CrashAndRecover());
+    VerifyAgainstOracle(rig);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first failing crash point: op " << crash_at;
+    }
+  }
+}
+
+TEST(ShardRecoveryTest, FourStreamSweepMatchesOracle) {
+  SweepTotals totals;
+  GmrManagerOptions opts;
+  opts.shards = 4;
+  SweepCrashPoints(opts, /*seed=*/101, /*batch_chunk=*/1, 50, &totals);
+  // Batched: crash points land between one stream's phase-1 flush and a
+  // sibling's — and between phase 1 and phase 2 of the same stream.
+  SweepCrashPoints(opts, /*seed=*/202, /*batch_chunk=*/8, 50, &totals);
+
+  EXPECT_EQ(totals.crash_points, 100u);
+  EXPECT_GT(totals.records_replayed, 0u);
+  EXPECT_GT(totals.intents_seen, 0u);
+  EXPECT_GT(totals.rows_replayed, 0u);
+  EXPECT_GT(totals.remats_applied, 0u);
+  EXPECT_GT(totals.intents_discarded, 0u);
+  EXPECT_GT(totals.batches_discarded, 0u);
+  // The population must have really spread over the planes.
+  EXPECT_GE(totals.active_streams.size(), 2u);
+}
+
+TEST(ShardRecoveryTest, TwoStreamLazySweepMatchesOracle) {
+  SweepTotals totals;
+  GmrManagerOptions opts;
+  opts.shards = 2;
+  opts.remat = RematStrategy::kLazy;
+  SweepCrashPoints(opts, /*seed=*/303, /*batch_chunk=*/1, 60, &totals);
+
+  EXPECT_EQ(totals.crash_points, 60u);
+  EXPECT_GT(totals.records_replayed, 0u);
+  EXPECT_GT(totals.remats_applied, 0u);
+  EXPECT_GT(totals.intents_discarded, 0u);
+  EXPECT_GE(totals.active_streams.size(), 2u);
+}
+
+TEST(ShardRecoveryTest, RecoveryAfterCleanShardedRunIsConsistent) {
+  GmrManagerOptions opts;
+  opts.shards = 4;
+  ShardedCrashRig rig(opts);
+  EXPECT_FALSE(RunMix(rig, /*seed=*/404, /*batch_chunk=*/4));
+  rig.CrashAndRecover();
+  VerifyAgainstOracle(rig);
+}
+
+}  // namespace
+}  // namespace gom
