@@ -1,50 +1,77 @@
 // Service-layer load generator: closed-loop clients over real loopback
 // sockets against an in-process Server.
 //
-// For each connection count (default 1/2/4/8) the harness opens that many
-// Client connections, each driven by one thread issuing a mixed workload —
-// mostly forward queries, some narrow backward ranges, a rare GOMql text
-// query (which serializes through the pool's writer-exclusive gate, so the
-// mix keeps it infrequent the way an interactive console would be). Every
-// request's wall-clock latency is recorded per operation class — reads
-// (forward + backward), updates (wire kUpdate operations), GOMql text —
-// and the summary reports p50/p99 per class plus throughput per
+// The client side is THREAD-LIGHT: one driver thread multiplexes every
+// connection of a sweep point over poll() and non-blocking sockets, with
+// one request in flight per connection (closed loop). The old
+// thread-per-connection driver oversubscribed the box at high connection
+// counts and measured its own scheduler noise; this one exercises the
+// server's epoll reactor the way an event-driven client fleet would — 64
+// connections are 64 fds in one poll set on both ends of the wire.
+//
+// For each connection count (default 4/16/32/64) the harness issues a
+// mixed workload per connection — mostly forward queries, some narrow
+// backward ranges — plus two *fixed-rate* traffic classes that do not
+// scale with the pool: a rare GOMql text query (which serializes through
+// the pool's writer-exclusive gate) and, under `--mixed`, wire `deform`
+// updates. Their global intervals stretch with the connection count so
+// the exclusive-gate load stays the load of one interactive console and
+// one writer, however wide the pool gets — scaling the gate traffic with
+// the pool would measure Amdahl's law on the gate, not the reactor.
+//
+// Every request's wall-clock latency is recorded per operation class —
+// reads (forward + backward), updates (wire kUpdate operations), GOMql
+// text — and the summary reports p50/p99 per class plus throughput per
 // connection count: one blended latency would average sub-millisecond
 // shared-latch reads with exclusive-gate traffic and describe neither.
 //
 // `--mixed` adds geometry traffic to the company workload: MeshPart
 // objects with materialized mesh functions live in the same environment,
-// and the mix gains mesh forward queries plus rare wire `deform` updates
-// (RunOperation through the writer-exclusive gate), so read latencies are
-// measured while multi-kilobyte update operations stall the gate.
+// and the mix gains mesh forward queries plus the fixed-rate wire
+// `deform` updates (RunOperation through the writer-exclusive gate), so
+// read latencies are measured while multi-kilobyte update operations
+// stall the gate.
 //
-// The same injected probe stall as mt_harness (`set_io_stall_us(200)`)
-// models disk latency, so concurrency has something real to overlap. The
-// regression gate: 8 connections must deliver >= 3x the single-connection
-// throughput (applies when the sweep reaches 8).
+// An injected probe stall (`set_io_stall_us(2000)`) models disk latency,
+// so concurrency has something real to overlap; workers are provisioned
+// >= the widest sweep point so a closed-loop request never queues for a
+// worker and tail latency isolates the serving path itself. Gates:
+//  * the widest point must deliver >= 3x the narrowest point's
+//    throughput (applies when widest >= 8x narrowest);
+//  * read-class p99 must stay FLAT: p99 at the widest point <= 2x p99 at
+//    the narrowest (same applicability) — an event loop that degrades
+//    per-connection latency as the pool grows fails here even if
+//    aggregate throughput still climbs.
 //
 // Forward answers are validated against a single-threaded oracle pass, so
 // a scaling win can never hide a torn read crossing the wire.
 //
 // Flags (shared with mt_harness via bench_util.h): `--quick`,
-// `--connections=1,2,4,8`, `--queries=N` per connection,
+// `--connections=4,16,32,64`, `--queries=N` per connection,
 // `--duration-ms=N` (overrides --queries), `--out=<path>`,
 // `--merge=<path>` splices the `connection_scaling` series into an
 // existing JSON summary (BENCH_serve.json is the tracked baseline).
 
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "geomwl/geom_stack.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "server/wire.h"
 #include "workload/stack.h"
 
 using namespace gom;
@@ -59,6 +86,15 @@ using Clock = std::chrono::steady_clock;
 /// backward), writer-gate updates (wire kUpdate), GOMql text queries.
 enum OpClass { kRead = 0, kUpdate = 1, kGomql = 2, kNumClasses = 3 };
 
+/// How to validate a response against the oracle.
+enum class Check : uint8_t {
+  kForwardExact,    // 1x1 numeric row == expect
+  kForwardPositive, // 1x1 numeric row > 0 (racing deforms)
+  kBackwardRows,    // ok and at least one row
+  kGomqlEmpty,      // ok and zero rows (impossible predicate)
+  kUpdateShape,     // ok and 1x1 row
+};
+
 struct ClassLatency {
   double p50_us = 0;
   double p99_us = 0;
@@ -70,7 +106,29 @@ struct ScalePoint {
   double wall_ms = 0;
   double qps = 0;
   double speedup = 1.0;
+  size_t completed = 0;
   ClassLatency cls[kNumClasses];
+};
+
+/// One multiplexed connection of the driver: a non-blocking socket, its
+/// pending outbound frame, reassembly buffer, and the in-flight request's
+/// class/oracle data. Exactly one request is in flight per connection.
+struct MuxConn {
+  int fd = -1;
+  size_t t = 0;     // connection index within the sweep point
+  size_t i = 0;     // queries issued so far
+  size_t done = 0;  // responses verified
+  bool inflight = false;
+  bool finished = false;
+  uint64_t id = 0;  // correlation id of the in-flight request
+  OpClass cls = kRead;
+  Check check = Check::kForwardExact;
+  double expect = 0;
+  std::vector<uint8_t> out;
+  size_t out_off = 0;
+  std::vector<uint8_t> in;
+  Clock::time_point t0;
+  std::array<std::vector<double>, kNumClasses> lat;
 };
 
 double Percentile(std::vector<double>& sorted, double p) {
@@ -134,11 +192,13 @@ int main(int argc, char** argv) {
   const size_t num_cuboids = args.quick ? 400 : 1000;
   const size_t num_parts = args.quick ? 12 : 24;
   const size_t queries_per_conn =
-      args.queries > 0 ? args.queries : (args.quick ? 500 : 1500);
+      args.queries > 0 ? args.queries : (args.quick ? 300 : 1000);
   const int duration_ms = args.duration_ms;
-  const int stall_us = 200;
+  const int stall_us = 2000;
   const std::vector<size_t> conn_counts =
-      args.counts.empty() ? std::vector<size_t>{1, 2, 4, 8} : args.counts;
+      args.counts.empty() ? std::vector<size_t>{4, 16, 32, 64} : args.counts;
+  const size_t max_conns =
+      *std::max_element(conn_counts.begin(), conn_counts.end());
 
   workload::StackOptions opts;
   opts.buffer_pages = 4096;
@@ -179,15 +239,19 @@ int main(int argc, char** argv) {
 
   s.env.mgr.set_io_stall_us(stall_us);
 
+  // Workers >= the widest sweep point: a closed-loop request never waits
+  // for a worker, so tail latency measures the serving path, not worker
+  // starvation. Stalled probes sleep, so the extra threads cost memory,
+  // not cycles.
   server::ServerOptions sopts;
-  sopts.num_workers = 8;
+  sopts.num_workers = std::max<size_t>(8, max_conns);
   server::Server server(&s.env, sopts);
   Status st = server.Start();
   if (!st.ok()) Fail(st, "server start");
 
   std::printf("# serve_harness — wire-protocol throughput over loopback\n");
   std::printf("# %zu cuboids%s, %zu queries/connection%s, %d us probe "
-              "stall, %zu workers\n\n",
+              "stall, %zu workers, 1 driver thread (poll-multiplexed)\n\n",
               num_cuboids,
               mixed ? (", " + std::to_string(num_parts) +
                        " mesh parts (--mixed)").c_str()
@@ -201,90 +265,287 @@ int main(int argc, char** argv) {
 
   std::vector<ScalePoint> points;
   for (size_t nconns : conn_counts) {
-    std::atomic<bool> go{false};
-    std::atomic<size_t> mismatches{0};
-    std::atomic<size_t> completed{0};
-    Clock::time_point deadline{};
-    // [connection][class] latency samples in microseconds.
-    std::vector<std::array<std::vector<double>, kNumClasses>> latencies(
-        nconns);
-    std::vector<std::thread> threads;
-    threads.reserve(nconns);
+    // Fixed-rate exclusive-gate traffic: the global interval stretches
+    // with the pool so gomql (and mixed updates) arrive at the narrowest
+    // point's absolute rate regardless of connection count.
+    const uint64_t gomql_interval = 16 * nconns;
+    const uint64_t update_interval = 4 * nconns;
+    uint64_t global_ops = 0;
+    size_t mismatches = 0;
+    std::string first_error;
 
+    std::vector<MuxConn> conns(nconns);
     for (size_t t = 0; t < nconns; ++t) {
-      threads.emplace_back([&, t] {
-        server::Client client;
-        if (!client.Connect(server.port()).ok()) {
-          mismatches.fetch_add(1);
-          return;
-        }
-        auto& lat = latencies[t];
-        lat[kRead].reserve(duration_ms > 0 ? 4096 : queries_per_conn);
-        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-        size_t done = 0;
-        for (size_t i = 0; duration_ms > 0 || i < queries_per_conn; ++i) {
-          if (duration_ms > 0 && (i & 31) == 0 && Clock::now() >= deadline) {
-            break;
-          }
-          size_t idx = (t * 7919 + i) % s.cuboids.size();
-          auto t0 = Clock::now();
-          bool ok = true;
-          OpClass cls = kRead;
-          if (i % 64 == 63) {
-            // Rare text query — exclusive-gate traffic in the mix.
-            cls = kGomql;
-            auto rows = client.RunGomql(
-                "range c: Cuboid retrieve c.volume where c.volume < 0.0");
-            ok = rows.ok() && rows->empty();
-          } else if (mixed && i % 16 == 11) {
-            // Wire update operation: deform one mesh part through the
-            // writer-exclusive gate (kImmediate repairs its GMR row).
-            cls = kUpdate;
-            size_t pi = (t * 13 + i) % parts.size();
-            auto r = client.Update(
-                mesh.op_deform,
-                {Value::Ref(parts[pi]), Value::Int(static_cast<int64_t>(i)),
-                 Value::Float(0.02)});
-            ok = r.ok();
-          } else if (mixed && i % 8 == 5) {
-            // Mesh forward query. Deforms race these, so the oracle only
-            // demands a plausible positive answer, not a fixed value.
-            size_t pi = (t * 31 + i) % parts.size();
-            auto v = client.Forward(
-                (i & 1) != 0 ? mesh.surface_area : mesh.bbox_diag,
-                {Value::Ref(parts[pi])});
-            ok = v.ok() && v->is_numeric() && *v->AsDouble() > 0;
-          } else if (i % 4 == 3) {
-            // Narrow backward range around the expected value.
-            auto rows = client.Backward(s.geo.volume, expected[idx],
-                                        expected[idx]);
-            ok = rows.ok() && !rows->empty();
-          } else {
-            auto v = client.Forward(s.geo.volume, {Value::Ref(s.cuboids[idx])});
-            ok = v.ok() && v->is_numeric() && *v->AsDouble() == expected[idx];
-          }
-          lat[cls].push_back(std::chrono::duration<double, std::micro>(
-                                 Clock::now() - t0)
-                                 .count());
-          if (!ok) mismatches.fetch_add(1, std::memory_order_relaxed);
-          ++done;
-        }
-        completed.fetch_add(done, std::memory_order_relaxed);
-      });
+      conns[t].t = t;
+      conns[t].lat[kRead].reserve(duration_ms > 0 ? 4096 : queries_per_conn);
     }
 
+    // Raw sockets, blocking connect (loopback: completes fast), then
+    // O_NONBLOCK governs all subsequent I/O.
+    bool connect_failed = false;
+    for (size_t t = 0; t < nconns; ++t) {
+      int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd < 0) { connect_failed = true; break; }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(server.port());
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0) {
+        ::close(fd);
+        connect_failed = true;
+        break;
+      }
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      conns[t].fd = fd;
+    }
+    if (connect_failed) {
+      std::fprintf(stderr, "FAILED: could not open %zu connections: %s\n",
+                   nconns, std::strerror(errno));
+      server.Stop();
+      return 1;
+    }
+
+    // Builds and enqueues the next request on `c` (closed loop: called
+    // once at start and once per completed response).
+    auto start_next = [&](MuxConn& c) {
+      uint64_t g = global_ops++;
+      size_t idx = (c.t * 7919 + c.i) % s.cuboids.size();
+      server::Request req;
+      req.id = ++c.id;
+      if (g % gomql_interval == gomql_interval - 1) {
+        // Fixed-rate text query — exclusive-gate traffic in the mix.
+        c.cls = kGomql;
+        c.check = Check::kGomqlEmpty;
+        req.type = server::RequestType::kGomql;
+        req.text = "range c: Cuboid retrieve c.volume where c.volume < 0.0";
+      } else if (mixed && g % update_interval == update_interval - 1) {
+        // Fixed-rate wire update: deform one mesh part through the
+        // writer-exclusive gate (kImmediate repairs its GMR row).
+        c.cls = kUpdate;
+        c.check = Check::kUpdateShape;
+        size_t pi = (c.t * 13 + c.i) % parts.size();
+        req.type = server::RequestType::kUpdate;
+        req.function = mesh.op_deform;
+        req.args = {Value::Ref(parts[pi]),
+                    Value::Int(static_cast<int64_t>(c.i)), Value::Float(0.02)};
+      } else if (mixed && c.i % 8 == 5) {
+        // Mesh forward query. Deforms race these, so the oracle only
+        // demands a plausible positive answer, not a fixed value.
+        c.cls = kRead;
+        c.check = Check::kForwardPositive;
+        size_t pi = (c.t * 31 + c.i) % parts.size();
+        req.type = server::RequestType::kForward;
+        req.function = (c.i & 1) != 0 ? mesh.surface_area : mesh.bbox_diag;
+        req.args = {Value::Ref(parts[pi])};
+      } else if (c.i % 4 == 3) {
+        // Narrow backward range around the expected value.
+        c.cls = kRead;
+        c.check = Check::kBackwardRows;
+        req.type = server::RequestType::kBackward;
+        req.function = s.geo.volume;
+        req.lo = expected[idx];
+        req.hi = expected[idx];
+      } else {
+        c.cls = kRead;
+        c.check = Check::kForwardExact;
+        c.expect = expected[idx];
+        req.type = server::RequestType::kForward;
+        req.function = s.geo.volume;
+        req.args = {Value::Ref(s.cuboids[idx])};
+      }
+      c.out.clear();
+      c.out_off = 0;
+      server::EncodeRequest(req, &c.out);
+      c.inflight = true;
+      ++c.i;
+      c.t0 = Clock::now();
+    };
+
+    auto verify = [&](MuxConn& c, const server::Response& resp) -> bool {
+      if (resp.id != c.id) return false;
+      bool ok = resp.code == StatusCode::kOk;
+      switch (c.check) {
+        case Check::kForwardExact:
+          return ok && resp.rows.size() == 1 && resp.rows[0].size() == 1 &&
+                 resp.rows[0][0].is_numeric() &&
+                 *resp.rows[0][0].AsDouble() == c.expect;
+        case Check::kForwardPositive:
+          return ok && resp.rows.size() == 1 && resp.rows[0].size() == 1 &&
+                 resp.rows[0][0].is_numeric() &&
+                 *resp.rows[0][0].AsDouble() > 0;
+        case Check::kBackwardRows:
+          return ok && !resp.rows.empty();
+        case Check::kGomqlEmpty:
+          return ok && resp.rows.empty();
+        case Check::kUpdateShape:
+          return ok && resp.rows.size() == 1 && resp.rows[0].size() == 1;
+      }
+      return false;
+    };
+
+    // Drains c.out onto the socket; returns false on a dead connection.
+    auto try_send = [](MuxConn& c) -> bool {
+      while (c.out_off < c.out.size()) {
+        ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                           c.out.size() - c.out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+          c.out_off += static_cast<size_t>(n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      return true;
+    };
+
+    auto finish_conn = [&](MuxConn& c) {
+      if (c.fd >= 0) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      c.finished = true;
+    };
+
     auto t0 = Clock::now();
+    Clock::time_point deadline{};
     if (duration_ms > 0) deadline = t0 + std::chrono::milliseconds(duration_ms);
-    go.store(true, std::memory_order_release);
-    for (auto& t : threads) t.join();
+
+    size_t active = nconns;
+    for (auto& c : conns) {
+      start_next(c);
+      if (!try_send(c)) {
+        first_error = "send failed during start";
+        ++mismatches;
+        finish_conn(c);
+        --active;
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<MuxConn*> pconns;
+    while (active > 0 && mismatches == 0) {
+      pfds.clear();
+      pconns.clear();
+      for (auto& c : conns) {
+        if (c.fd < 0) continue;
+        short ev = c.out_off < c.out.size() ? (POLLIN | POLLOUT) : POLLIN;
+        pfds.push_back(pollfd{c.fd, ev, 0});
+        pconns.push_back(&c);
+      }
+      int r = ::poll(pfds.data(), pfds.size(), 1000);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        first_error = std::string("poll: ") + std::strerror(errno);
+        ++mismatches;
+        break;
+      }
+      for (size_t pi = 0; pi < pfds.size(); ++pi) {
+        MuxConn& c = *pconns[pi];
+        if (pfds[pi].revents == 0) continue;
+        if ((pfds[pi].revents & (POLLERR | POLLHUP)) != 0 &&
+            (pfds[pi].revents & POLLIN) == 0) {
+          first_error = "connection reset by server";
+          ++mismatches;
+          finish_conn(c);
+          --active;
+          continue;
+        }
+        if ((pfds[pi].revents & POLLOUT) != 0 && !try_send(c)) {
+          first_error = "send failed";
+          ++mismatches;
+          finish_conn(c);
+          --active;
+          continue;
+        }
+        if ((pfds[pi].revents & POLLIN) == 0) continue;
+        // Read everything available, then decode every complete frame.
+        bool dead = false;
+        while (true) {
+          size_t base = c.in.size();
+          c.in.resize(base + 16384);
+          ssize_t n = ::recv(c.fd, c.in.data() + base, 16384, 0);
+          if (n > 0) {
+            c.in.resize(base + static_cast<size_t>(n));
+            if (static_cast<size_t>(n) < 16384) break;
+            continue;
+          }
+          c.in.resize(base);
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          dead = true;  // peer closed or hard error
+          break;
+        }
+        if (dead) {
+          first_error = "connection closed by server";
+          ++mismatches;
+          finish_conn(c);
+          --active;
+          continue;
+        }
+        size_t consumed_total = 0;
+        while (c.inflight) {
+          std::vector<uint8_t> payload;
+          auto consumed = server::TryDecodeFrame(
+              c.in.data() + consumed_total, c.in.size() - consumed_total,
+              &payload);
+          if (!consumed.ok()) {
+            first_error = consumed.status().message();
+            ++mismatches;
+            break;
+          }
+          if (*consumed == 0) break;
+          consumed_total += *consumed;
+          auto resp = server::DecodeResponse(payload);
+          double us = std::chrono::duration<double, std::micro>(
+                          Clock::now() - c.t0)
+                          .count();
+          if (!resp.ok() || !verify(c, *resp)) {
+            if (first_error.empty()) {
+              first_error = resp.ok() ? "oracle mismatch or error response"
+                                      : resp.status().message();
+            }
+            ++mismatches;
+            break;
+          }
+          c.lat[c.cls].push_back(us);
+          c.inflight = false;
+          ++c.done;
+          bool more = duration_ms > 0 ? Clock::now() < deadline
+                                      : c.done < queries_per_conn;
+          if (more) {
+            start_next(c);
+            if (!try_send(c)) {
+              first_error = "send failed";
+              ++mismatches;
+            }
+          } else {
+            finish_conn(c);
+            --active;
+          }
+        }
+        if (consumed_total > 0) {
+          c.in.erase(c.in.begin(),
+                     c.in.begin() + static_cast<ptrdiff_t>(consumed_total));
+        }
+        if (mismatches != 0) break;
+      }
+    }
     double ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    for (auto& c : conns) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
 
-    if (mismatches.load() != 0) {
+    size_t completed = 0;
+    for (auto& c : conns) completed += c.done;
+    if (mismatches != 0) {
       std::fprintf(stderr,
-                   "FAILED: %zu of %zu wire queries failed or disagreed with "
-                   "the oracle at %zu connections\n",
-                   mismatches.load(), completed.load(), nconns);
+                   "FAILED: wire traffic failed at %zu connections after %zu "
+                   "queries: %s\n",
+                   nconns, completed, first_error.c_str());
       server.Stop();
       return 1;
     }
@@ -292,17 +553,18 @@ int main(int argc, char** argv) {
     ScalePoint p;
     p.connections = nconns;
     p.wall_ms = ms;
-    p.qps = 1000.0 * static_cast<double>(completed.load()) / ms;
+    p.completed = completed;
+    p.qps = 1000.0 * static_cast<double>(completed) / ms;
     p.speedup = points.empty() ? 1.0 : p.qps / points.front().qps;
-    for (int c = 0; c < kNumClasses; ++c) {
+    for (int cidx = 0; cidx < kNumClasses; ++cidx) {
       std::vector<double> all;
-      for (auto& lat : latencies) {
-        all.insert(all.end(), lat[c].begin(), lat[c].end());
+      for (auto& c : conns) {
+        all.insert(all.end(), c.lat[cidx].begin(), c.lat[cidx].end());
       }
       std::sort(all.begin(), all.end());
-      p.cls[c].count = all.size();
-      p.cls[c].p50_us = Percentile(all, 0.50);
-      p.cls[c].p99_us = Percentile(all, 0.99);
+      p.cls[cidx].count = all.size();
+      p.cls[cidx].p50_us = Percentile(all, 0.50);
+      p.cls[cidx].p99_us = Percentile(all, 0.99);
     }
     std::printf("%6zu %12.2f %14.0f %9.2fx %9.0f %9.0f %9.0f %9.0f %9.0f "
                 "%9.0f\n",
@@ -315,15 +577,35 @@ int main(int argc, char** argv) {
 
   server.Stop();
 
+  const ScalePoint& first = points.front();
   const ScalePoint& top = points.back();
-  std::printf("\n# %zu connections: %.2fx single-connection throughput "
-              "(gate: >= 3x at >= 8 connections)\n",
-              top.connections, top.speedup);
-  if (top.connections >= 8 && top.speedup < 3.0) {
+  const bool wide_sweep = top.connections >= 8 * first.connections ||
+                          (first.connections == 1 && top.connections >= 8);
+  double p99_ratio = first.cls[kRead].p99_us > 0
+                         ? top.cls[kRead].p99_us / first.cls[kRead].p99_us
+                         : 0;
+  // Quick mode runs ~3x fewer queries per connection, so the p99 sits on a
+  // handful of samples and wobbles on a loaded CI box; the full run keeps
+  // the tight bound.
+  const double p99_gate = args.quick ? 3.0 : 2.0;
+  std::printf("\n# %zu connections: %.2fx the %zu-connection throughput "
+              "(gate: >= 3x), read p99 %.2fx (gate: <= %.0fx)\n",
+              top.connections, top.speedup, first.connections, p99_ratio,
+              p99_gate);
+  if (wide_sweep && top.speedup < 3.0) {
     std::fprintf(stderr,
                  "FAILED: %zu-connection speedup %.2fx < 3x — the service "
                  "layer is not overlapping probe stalls across connections\n",
                  top.connections, top.speedup);
+    return 1;
+  }
+  if (wide_sweep && p99_ratio > p99_gate) {
+    std::fprintf(stderr,
+                 "FAILED: read p99 grew %.2fx from %zu to %zu connections "
+                 "(%.0f us -> %.0f us) — tail latency must stay flat as the "
+                 "pool widens (gate: <= %.0fx)\n",
+                 p99_ratio, first.connections, top.connections,
+                 first.cls[kRead].p99_us, top.cls[kRead].p99_us, p99_gate);
     return 1;
   }
 
@@ -360,6 +642,7 @@ int main(int argc, char** argv) {
              static_cast<uint64_t>(queries_per_conn));
     root.Add("io_stall_us", static_cast<uint64_t>(stall_us));
     root.Add("server_workers", static_cast<uint64_t>(sopts.num_workers));
+    root.Add("read_p99_ratio", p99_ratio);
     root.AddRaw("connection_scaling", arr);
     if (!root.WriteFile(args.out)) {
       std::fprintf(stderr, "FAILED: cannot write %s\n", args.out.c_str());

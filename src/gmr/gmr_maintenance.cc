@@ -139,14 +139,19 @@ Status GmrMaintenance::LogUpdateIntent(Oid o) {
   bool relevant = used.ok() && !(*used)->empty();
   open_intents_.push_back(OpenIntent{o, relevant});
   if (!relevant) return Status::Ok();
-  // The write-ahead rule proper: the intent must be durable before the
-  // object base mutates, else a crash could lose the invalidation the
-  // update implies (the one failure mode that produces wrong answers).
+  // The write-ahead rule proper: the intent must reach the log before the
+  // object base mutates, and must reach the *device* before any state that
+  // depends on it does (else a crash could lose the invalidation the
+  // update implies — the one failure mode that produces wrong answers).
+  // CommitIntent is that device-ordering step: a synchronous flush without
+  // group commit, relaxed to ride later flushes with it.
   Status logged = [&]() -> Status {
-    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateIntent,
-                                                 EncodeOidPayload(o)));
-    (void)lsn;
-    return wal_->Flush();
+    uint8_t oid_buf[8];
+    EncodeOidTo(oid_buf, o);
+    GOMFM_ASSIGN_OR_RETURN(
+        Lsn lsn,
+        wal_->Append(WalRecordType::kUpdateIntent, oid_buf, sizeof(oid_buf)));
+    return wal_->CommitIntent(lsn);
   }();
   if (!logged.ok()) {
     // The caller vetoes the update, so no commit/abort will ever close
@@ -163,8 +168,11 @@ Status GmrMaintenance::LogUpdateCommit(Oid o) {
     bool logged = it->logged;
     open_intents_.erase(std::next(it).base());
     if (!logged) return Status::Ok();
-    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateCommit,
-                                                 EncodeOidPayload(o)));
+    uint8_t oid_buf[8];
+    EncodeOidTo(oid_buf, o);
+    GOMFM_ASSIGN_OR_RETURN(
+        Lsn lsn,
+        wal_->Append(WalRecordType::kUpdateCommit, oid_buf, sizeof(oid_buf)));
     (void)lsn;
     return Status::Ok();
   }
@@ -178,8 +186,11 @@ Status GmrMaintenance::LogUpdateAbort(Oid o) {
     bool logged = it->logged;
     open_intents_.erase(std::next(it).base());
     if (!logged) return Status::Ok();
-    GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kUpdateAbort,
-                                                 EncodeOidPayload(o)));
+    uint8_t oid_buf[8];
+    EncodeOidTo(oid_buf, o);
+    GOMFM_ASSIGN_OR_RETURN(
+        Lsn lsn,
+        wal_->Append(WalRecordType::kUpdateAbort, oid_buf, sizeof(oid_buf)));
     (void)lsn;
     return Status::Ok();
   }
@@ -190,10 +201,12 @@ Status GmrMaintenance::LogDeleteIntent(Oid o) {
   if (wal_ == nullptr) return Status::Ok();
   auto used = om_->UsedBy(o);
   if (!used.ok() || (*used)->empty()) return Status::Ok();
-  GOMFM_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(WalRecordType::kDeleteIntent,
-                                               EncodeOidPayload(o)));
-  (void)lsn;
-  return wal_->Flush();
+  uint8_t oid_buf[8];
+  EncodeOidTo(oid_buf, o);
+  GOMFM_ASSIGN_OR_RETURN(
+      Lsn lsn,
+      wal_->Append(WalRecordType::kDeleteIntent, oid_buf, sizeof(oid_buf)));
+  return wal_->CommitIntent(lsn);
 }
 
 // --- Materialization ----------------------------------------------------------

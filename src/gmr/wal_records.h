@@ -20,6 +20,13 @@ inline std::vector<uint8_t> EncodeOidPayload(Oid o) {
   return w.Take();
 }
 
+/// Allocation-free variant for the per-update hot path (intent / commit /
+/// abort records): encodes into a caller-provided stack buffer, same bytes
+/// as EncodeOidPayload.
+inline void EncodeOidTo(uint8_t (&buf)[8], Oid o) {
+  __builtin_memcpy(buf, &o.raw, 8);
+}
+
 inline Result<Oid> DecodeOidPayload(const std::vector<uint8_t>& payload) {
   WalPayloadReader r(payload);
   GOMFM_ASSIGN_OR_RETURN(uint64_t raw, r.U64());
@@ -28,9 +35,7 @@ inline Result<Oid> DecodeOidPayload(const std::vector<uint8_t>& payload) {
 
 inline void EncodeArgs(WalPayloadWriter* w, const std::vector<Value>& args) {
   w->U16(static_cast<uint16_t>(args.size()));
-  std::vector<uint8_t> bytes;
-  for (const Value& a : args) a.Serialize(&bytes);
-  w->Bytes(bytes);
+  for (const Value& a : args) a.Serialize(w->mutable_bytes());
 }
 
 inline Result<std::vector<Value>> DecodeArgs(WalPayloadReader* r) {
@@ -81,12 +86,11 @@ inline std::vector<uint8_t> EncodeRemat(GmrId gmr, uint32_t col,
                                         const Value& value,
                                         const std::vector<Oid>& accessed) {
   WalPayloadWriter w;
+  w.Reserve(32 + 8 * accessed.size());
   w.U32(gmr);
   w.U32(col);
   EncodeArgs(&w, args);
-  std::vector<uint8_t> vbytes;
-  value.Serialize(&vbytes);
-  w.Bytes(vbytes);
+  value.Serialize(w.mutable_bytes());
   w.U16(static_cast<uint16_t>(accessed.size()));
   for (Oid o : accessed) w.U64(o.raw);
   return w.Take();

@@ -265,9 +265,25 @@ bool IsRetryableCode(StatusCode code) {
   return code == StatusCode::kOverloaded || code == StatusCode::kStale;
 }
 
+int64_t JitteredBackoffMs(int64_t base_ms, double jitter, uint64_t* state) {
+  if (jitter <= 0 || base_ms <= 0) return base_ms;
+  if (jitter > 1.0) jitter = 1.0;
+  uint64_t x = *state != 0 ? *state : 0x9e3779b97f4a7c15ull;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  double ms = static_cast<double>(base_ms) * (1.0 - jitter * (1.0 - u));
+  return static_cast<int64_t>(ms);
+}
+
 FailoverClient::FailoverClient(std::vector<uint16_t> ports,
                                ClientOptions copts, RetryOptions ropts)
-    : ports_(std::move(ports)), ropts_(ropts), client_(copts) {}
+    : ports_(std::move(ports)),
+      ropts_(ropts),
+      client_(copts),
+      jitter_state_(ropts.jitter_seed) {}
 
 Result<Response> FailoverClient::Issue(Request request) {
   if (ports_.empty()) {
@@ -284,7 +300,8 @@ Result<Response> FailoverClient::Issue(Request request) {
            (deadline != 0 && NowMs() >= deadline);
   };
   auto sleep_backoff = [&]() {
-    int64_t ms = backoff;
+    int64_t ms =
+        JitteredBackoffMs(backoff, ropts_.backoff_jitter, &jitter_state_);
     if (deadline != 0) {
       int64_t left = deadline - NowMs();
       if (left < ms) ms = left > 0 ? left : 0;

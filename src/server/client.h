@@ -93,7 +93,21 @@ struct RetryOptions {
   /// Wall-clock cap across all attempts (connects, calls, backoffs).
   /// 0 = unbounded.
   int deadline_ms = 0;
+  /// Fraction of each backoff that is randomized ("equal jitter"): retry k
+  /// sleeps base*(1-jitter) + uniform[0, base*jitter) ms. A fleet of
+  /// clients shed by the same admission burst would otherwise back off in
+  /// lockstep and re-offer as a synchronized herd, re-triggering the shed;
+  /// jitter decorrelates the re-offers. 0 restores the fixed schedule.
+  double backoff_jitter = 0.5;
+  /// Seed for the per-client jitter stream. Deterministic: two clients
+  /// with the same seed draw the same sequence, which is what tests pin.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
 };
+
+/// One draw of the jittered backoff: returns the milliseconds to sleep for
+/// a nominal backoff of `base_ms` and advances `*state` (xorshift64; must
+/// be non-zero). Exposed so tests can pin the schedule without sleeping.
+int64_t JitteredBackoffMs(int64_t base_ms, double jitter, uint64_t* state);
 
 /// True for response codes worth retrying on the SAME endpoint:
 /// kOverloaded (admission shed — back off and re-offer) and kStale (a
@@ -148,6 +162,7 @@ class FailoverClient {
   Client client_;
   size_t active_ = 0;
   Stats stats_;
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace gom::server

@@ -1,0 +1,143 @@
+#include "server/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+namespace gom::server {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status Reactor::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    Status st = Errno("eventfd");
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(wakeup)");
+  }
+  return Status::Ok();
+}
+
+Status Reactor::Add(int fd, uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  handlers_[fd] = std::move(cb);
+  return Status::Ok();
+}
+
+Status Reactor::Mod(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  return Status::Ok();
+}
+
+void Reactor::Del(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void Reactor::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void Reactor::Wake() {
+  uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; short writes can't happen.
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::DrainTasks() {
+  // Swap out the whole batch: tasks posted *by* a task run next batch,
+  // so a task re-posting itself cannot monopolize the loop.
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) task();
+}
+
+void Reactor::Run(const std::function<void()>& tick, int tick_ms) {
+  using Clock = std::chrono::steady_clock;
+  auto last_tick = Clock::now();
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    int timeout = tick_ms > 0 ? tick_ms : 200;
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        (void)!::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      // A handler earlier in this batch may have Del'd this fd.
+      if (it == handlers_.end()) continue;
+      // The callback may Del(fd) (erasing `it`) — copy nothing, call
+      // through a reference that stays valid for the duration of the call.
+      const Callback cb = it->second;
+      cb(events[i].events);
+    }
+    DrainTasks();
+    if (tick != nullptr && tick_ms > 0) {
+      auto now = Clock::now();
+      if (std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                last_tick)
+              .count() >= tick_ms) {
+        last_tick = now;
+        tick();
+      }
+    }
+  }
+  // Run whatever was posted right before/at Stop — Stop()'s contract is
+  // that previously posted tasks still execute (Server's drain relies on
+  // posted finish tasks running).
+  DrainTasks();
+}
+
+void Reactor::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wake();
+}
+
+}  // namespace gom::server

@@ -1,0 +1,82 @@
+#ifndef GOMFM_SERVER_REACTOR_H_
+#define GOMFM_SERVER_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace gom::server {
+
+/// A minimal single-threaded epoll event loop: the serving core's reactor.
+///
+/// One thread calls `Run()` and becomes the *reactor thread*; every fd
+/// callback and every posted task executes on it, so per-fd state touched
+/// only from callbacks needs no locking. Other threads interact through
+/// `Post()` (enqueue a task and wake the loop via an eventfd) and `Stop()`.
+///
+/// Registration is level-triggered: a callback that leaves bytes unread or
+/// unwritten space unfilled is simply invoked again on the next
+/// `epoll_wait`, which keeps per-event work bounded without starving other
+/// fds. Callbacks receive the raw `EPOLLIN|EPOLLOUT|EPOLLERR|EPOLLHUP`
+/// event mask.
+///
+/// The loop also drives a coarse timer: `Run(tick, tick_ms)` invokes
+/// `tick` at least every `tick_ms` milliseconds (used for idle-timeout
+/// sweeps — connection eviction does not need sub-tick precision).
+class Reactor {
+ public:
+  using Callback = std::function<void(uint32_t events)>;
+
+  Reactor() = default;
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd.
+  Status Init();
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT mask), dispatching to
+  /// `cb`. Reactor thread (or pre-Run setup) only.
+  Status Add(int fd, uint32_t events, Callback cb);
+  /// Changes the interest mask of a registered fd. Reactor thread only.
+  Status Mod(int fd, uint32_t events);
+  /// Deregisters `fd` (the callback is dropped; the fd is not closed).
+  /// Reactor thread only (or after Run returned).
+  void Del(int fd);
+
+  /// Enqueues `task` for the reactor thread and wakes the loop. Safe from
+  /// any thread, including the reactor thread itself (the task then runs
+  /// after the current dispatch batch, never reentrantly).
+  void Post(std::function<void()> task);
+
+  /// Event loop: dispatches fd events and posted tasks until Stop(). Tasks
+  /// posted before Run are executed first. `tick` (may be null) runs at
+  /// least every `tick_ms` ms.
+  void Run(const std::function<void()>& tick, int tick_ms);
+
+  /// Asks the loop to exit after the current dispatch batch. Safe from any
+  /// thread; idempotent.
+  void Stop();
+
+ private:
+  void Wake();
+  void DrainTasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, Callback> handlers_;
+
+  std::mutex tasks_mu_;
+  std::deque<std::function<void()>> tasks_;
+};
+
+}  // namespace gom::server
+
+#endif  // GOMFM_SERVER_REACTOR_H_

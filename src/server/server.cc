@@ -1,12 +1,16 @@
 #include "server/server.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <future>
 
 #include "workload/driver.h"
 
@@ -15,6 +19,10 @@ namespace gom::server {
 namespace {
 
 constexpr size_t kRecvChunk = 64 * 1024;
+/// Per-EPOLLIN read budget: level-triggered epoll re-delivers readiness,
+/// so capping the bytes consumed per event keeps one firehose connection
+/// from starving the rest of the reactor's work.
+constexpr size_t kMaxChunksPerEvent = 4;
 
 Status Errno(const char* what) {
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
@@ -22,18 +30,29 @@ Status Errno(const char* what) {
 
 }  // namespace
 
-/// Per-connection state. The reader thread and the workers share it
-/// through a shared_ptr; the handshake for teardown is `reader_done` +
-/// `inflight`: whichever side observes both "reader exited" and "no
-/// admitted request left" finishes the connection (exactly once, guarded
-/// by `finished`).
+/// Per-connection state. The reactor thread owns the socket (reads, frame
+/// reassembly, EPOLLOUT draining, teardown); workers share it through a
+/// shared_ptr to execute requests and write responses. Teardown handshake:
+/// the connection is finished — on the reactor thread, exactly once
+/// (`finished`) — when reads are closed (`reads_done`), nothing admitted
+/// is still in flight (`inflight`) and the write buffer is empty (or the
+/// client is `broken`, making its contents undeliverable).
 struct Server::Connection {
   int fd = -1;
   workload::Session* session = nullptr;
-  std::mutex write_mu;  // serializes response frames on the socket
-  std::mutex exec_mu;   // serializes Session use across workers
+
+  std::mutex write_mu;  // serializes socket sends + guards outbuf/out_off
+  std::vector<uint8_t> outbuf;  // bytes the socket wouldn't take
+  size_t out_off = 0;
+
+  // Reactor-thread-only state.
+  std::vector<uint8_t> inbuf;  // partial-frame reassembly
+  bool want_write = false;     // EPOLLOUT currently armed
+  std::chrono::steady_clock::time_point last_activity;
+
+  std::mutex exec_mu;  // serializes Session use across workers
   std::atomic<size_t> inflight{0};
-  std::atomic<bool> reader_done{false};
+  std::atomic<bool> reads_done{false};
   std::atomic<bool> broken{false};  // write failed; client is gone
   std::atomic<bool> finished{false};
 };
@@ -47,7 +66,8 @@ Status Server::Start() {
   if (running_.load()) {
     return Status::FailedPrecondition("server already running");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) return Errno("socket");
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -74,6 +94,22 @@ Status Server::Start() {
     port_ = ntohs(addr.sin_port);
   }
 
+  reactor_ = std::make_unique<Reactor>();
+  Status st = reactor_->Init();
+  if (!st.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    reactor_.reset();
+    return st;
+  }
+  st = reactor_->Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAcceptable(); });
+  if (!st.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    reactor_.reset();
+    return st;
+  }
+
   // Prime the session pool from this thread: the first MakeSession()
   // creates the pool and flips the GMR catalog into concurrent mode, and
   // Environment documents that transition as a coordinating-thread action.
@@ -88,7 +124,13 @@ Status Server::Start() {
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back(&Server::WorkerLoop, this);
   }
-  acceptor_ = std::thread(&Server::AcceptLoop, this);
+  // The idle sweep needs no sub-timeout precision; a quarter-period tick
+  // bounds eviction lag at 1.25x the configured timeout.
+  int idle_ms = admission_.options().idle_timeout_ms;
+  int tick_ms = idle_ms > 0 ? std::max(10, std::min(idle_ms / 4, 200)) : 200;
+  reactor_thread_ = std::thread([this, tick_ms] {
+    reactor_->Run([this] { IdleSweep(); }, tick_ms);
+  });
   return Status::Ok();
 }
 
@@ -96,30 +138,28 @@ void Server::Stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
 
-  if (acceptor_.joinable()) acceptor_.join();
-
-  // Stop reading new requests on every connection; readers wake from
-  // poll() with EOF and exit after enqueueing nothing further.
-  std::vector<std::shared_ptr<Connection>> conns;
+  // Phase 1 (on the reactor): stop accepting and close reads on every
+  // connection. Once this task completes no further request can be
+  // admitted — buffered-but-undecoded bytes are dropped, exactly like a
+  // reader hitting EOF mid-buffer.
   {
-    std::lock_guard<std::mutex> lock(readers_mu_);
-    conns = conns_;
-  }
-  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
-  // Join outside readers_mu_: exiting readers take that mutex in
-  // FinishConnection. No new readers can appear — the acceptor is gone.
-  std::vector<std::thread> readers;
-  {
-    std::lock_guard<std::mutex> lock(readers_mu_);
-    readers.swap(readers_);
-  }
-  for (std::thread& t : readers) {
-    if (t.joinable()) t.join();
+    std::promise<void> done;
+    reactor_->Post([this, &done] {
+      reactor_->Del(listen_fd_);
+      std::vector<std::shared_ptr<Connection>> conns;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns = conns_;
+      }
+      for (const auto& conn : conns) CloseReads(conn);
+      done.set_value();
+    });
+    done.get_future().wait();
   }
 
-  // Only now — with every reader joined and no further admission possible
-  // — may the workers finish draining the queue and exit. Every admitted
-  // request still gets its response.
+  // Phase 2: with admission over, the workers drain the queue and exit.
+  // Every admitted request still executes and gets its response written
+  // (directly or into the connection's write buffer).
   workers_quit_.store(true);
   queue_cv_.notify_all();
   for (std::thread& t : workers_) {
@@ -127,13 +167,51 @@ void Server::Stop() {
   }
   workers_.clear();
 
-  // Anything not finished through the reader/worker handshake (e.g. a
-  // connection idle at shutdown) is finished here.
+  // Phase 3 (on the reactor): push out any responses still sitting in
+  // write buffers (bounded — a stalled client forfeits its tail), then
+  // finish every remaining connection.
   {
-    std::lock_guard<std::mutex> lock(readers_mu_);
-    conns = conns_;
+    std::promise<void> done;
+    reactor_->Post([this, &done] {
+      std::vector<std::shared_ptr<Connection>> conns;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns = conns_;
+      }
+      for (const auto& conn : conns) {
+        if (!conn->broken.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> lock(conn->write_mu);
+          auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(500);
+          while (conn->out_off < conn->outbuf.size() &&
+                 std::chrono::steady_clock::now() < deadline) {
+            ssize_t w = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                               conn->outbuf.size() - conn->out_off,
+                               MSG_NOSIGNAL);
+            if (w > 0) {
+              conn->out_off += static_cast<size_t>(w);
+              continue;
+            }
+            if (w < 0 && errno == EINTR) continue;
+            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+              pollfd p{conn->fd, POLLOUT, 0};
+              ::poll(&p, 1, 50);
+              continue;
+            }
+            conn->broken.store(true, std::memory_order_release);
+            break;
+          }
+        }
+        FinishConnection(conn);
+      }
+      done.set_value();
+    });
+    done.get_future().wait();
   }
-  for (const auto& conn : conns) FinishConnection(conn);
+
+  reactor_->Stop();
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+  reactor_.reset();
 
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -141,20 +219,30 @@ void Server::Stop() {
   }
 }
 
-void Server::AcceptLoop() {
-  while (!stopping_.load()) {
-    pollfd p{listen_fd_, POLLIN, 0};
-    int r = ::poll(&p, 1, 200);
-    if (r <= 0) continue;
-    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) continue;
+void Server::OnAcceptable() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error: re-polled
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->session = env_->MakeSession();
+    conn->last_activity = std::chrono::steady_clock::now();
+    Status st = reactor_->Add(
+        fd, EPOLLIN,
+        [this, conn](uint32_t events) { OnConnEvent(conn, events); });
+    if (!st.ok()) {
+      env_->ReleaseSession(conn->session);
+      ::close(fd);
+      continue;
+    }
     {
-      std::lock_guard<std::mutex> lock(readers_mu_);
+      std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
-      readers_.emplace_back(&Server::ReaderLoop, this, conn);
     }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -164,91 +252,221 @@ void Server::AcceptLoop() {
   }
 }
 
-void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
-  std::vector<uint8_t> buf;
+void Server::OnConnEvent(const std::shared_ptr<Connection>& conn,
+                         uint32_t events) {
+  if (conn->finished.load(std::memory_order_acquire)) return;
+  if (events & EPOLLERR) {
+    // Socket error: nothing further can be read or delivered. EPOLLERR is
+    // reported regardless of the interest mask, so deregister to avoid a
+    // level-triggered spin while in-flight requests finish.
+    conn->broken.store(true, std::memory_order_release);
+    CloseReads(conn);
+    reactor_->Del(conn->fd);
+    conn->want_write = false;
+    MaybeFinish(conn);
+    return;
+  }
+  if (events & EPOLLOUT) DrainOutbuf(conn);
+  if (conn->finished.load(std::memory_order_acquire)) return;
+  if (events & (EPOLLIN | EPOLLHUP)) {
+    if (!conn->reads_done.load(std::memory_order_acquire)) {
+      HandleReadable(conn);
+    } else if (events & EPOLLHUP) {
+      // Peer fully gone after we stopped reading: buffered responses are
+      // undeliverable, and EPOLLHUP ignores the interest mask — same
+      // deregister-to-avoid-spin dance as EPOLLERR.
+      conn->broken.store(true, std::memory_order_release);
+      reactor_->Del(conn->fd);
+      conn->want_write = false;
+      MaybeFinish(conn);
+    }
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  // Pull what the socket has (bounded per event), then decode and admit
+  // every complete frame.
+  bool eof = false;
+  for (size_t chunk = 0; chunk < kMaxChunksPerEvent; ++chunk) {
+    size_t base = conn->inbuf.size();
+    conn->inbuf.resize(base + kRecvChunk);
+    ssize_t n = ::recv(conn->fd, conn->inbuf.data() + base, kRecvChunk, 0);
+    if (n > 0) {
+      conn->inbuf.resize(base + static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < kRecvChunk) break;
+      continue;
+    }
+    conn->inbuf.resize(base);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    eof = true;  // orderly close, reset, or hard error
+    break;
+  }
+
   std::vector<uint8_t> payload;
   size_t off = 0;
   bool protocol_error = false;
+  while (!conn->reads_done.load(std::memory_order_relaxed)) {
+    auto consumed = TryDecodeFrame(conn->inbuf.data() + off,
+                                   conn->inbuf.size() - off, &payload);
+    if (!consumed.ok()) {
+      // Framing is lost (bad magic / length / CRC) — nothing later in
+      // the stream can be trusted. Tell the client once and hang up.
+      WriteResponse(conn, ErrorResponse(0, consumed.status()));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      protocol_error = true;
+      break;
+    }
+    if (*consumed == 0) break;  // need more bytes
+    off += *consumed;
+    conn->last_activity = std::chrono::steady_clock::now();
+    auto request = DecodeRequest(payload);
+    if (!request.ok()) {
+      WriteResponse(conn, ErrorResponse(0, request.status()));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      protocol_error = true;
+      break;
+    }
+    AdmitDecision decision =
+        admission_.Admit(conn->inflight.load(std::memory_order_acquire));
+    if (decision != AdmitDecision::kAdmit) {
+      WriteResponse(
+          conn,
+          ErrorResponse(request->id,
+                        Status::Overloaded(
+                            decision == AdmitDecision::kShedQueueFull
+                                ? "request queue full, retry"
+                                : "connection in-flight cap hit, retry")));
+      continue;
+    }
+    conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(WorkItem{conn, std::move(*request)});
+    }
+    queue_cv_.notify_one();
+  }
+  if (off > 0) {
+    conn->inbuf.erase(conn->inbuf.begin(),
+                      conn->inbuf.begin() + static_cast<ptrdiff_t>(off));
+  }
 
-  while (!protocol_error) {
-    // Drain every complete frame currently buffered.
-    while (true) {
-      auto consumed = TryDecodeFrame(buf.data() + off, buf.size() - off,
-                                     &payload);
-      if (!consumed.ok()) {
-        // Framing is lost (bad magic / length / CRC) — nothing later in
-        // the stream can be trusted. Tell the client once and hang up.
-        WriteResponse(*conn, ErrorResponse(0, consumed.status()));
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.protocol_errors;
-        protocol_error = true;
-        break;
-      }
-      if (*consumed == 0) break;  // need more bytes
-      off += *consumed;
-      auto request = DecodeRequest(payload);
-      if (!request.ok()) {
-        WriteResponse(*conn, ErrorResponse(0, request.status()));
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.protocol_errors;
-        protocol_error = true;
-        break;
-      }
-      AdmitDecision decision =
-          admission_.Admit(conn->inflight.load(std::memory_order_acquire));
-      if (decision != AdmitDecision::kAdmit) {
-        WriteResponse(
-            *conn,
-            ErrorResponse(request->id,
-                          Status::Overloaded(
-                              decision == AdmitDecision::kShedQueueFull
-                                  ? "request queue full, retry"
-                                  : "connection in-flight cap hit, retry")));
+  if (protocol_error || eof) {
+    CloseReads(conn);
+    MaybeFinish(conn);
+  }
+}
+
+void Server::DrainOutbuf(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    while (conn->out_off < conn->outbuf.size()) {
+      ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                         conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
         continue;
       }
-      conn->inflight.fetch_add(1, std::memory_order_acq_rel);
-      {
-        std::lock_guard<std::mutex> lock(queue_mu_);
-        queue_.push_back(WorkItem{conn, std::move(*request)});
-      }
-      queue_cv_.notify_one();
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      conn->broken.store(true, std::memory_order_release);
+      break;
     }
-    if (protocol_error) break;
-    if (off > 0) {
-      buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(off));
-      off = 0;
+    conn->outbuf.clear();
+    conn->out_off = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      (void)reactor_->Mod(conn->fd,
+                          conn->reads_done.load(std::memory_order_acquire)
+                              ? 0u
+                              : static_cast<uint32_t>(EPOLLIN));
     }
-    if (stopping_.load()) break;
+  }
+  MaybeFinish(conn);
+}
 
-    int idle_ms = admission_.options().idle_timeout_ms;
-    pollfd p{conn->fd, POLLIN, 0};
-    int r = ::poll(&p, 1, idle_ms > 0 ? idle_ms : 500);
-    if (r == 0) {
-      if (idle_ms <= 0) continue;  // timeout disabled, just re-poll
-      if (conn->inflight.load() > 0) continue;  // busy, not idle
+void Server::CloseReads(const std::shared_ptr<Connection>& conn) {
+  if (conn->reads_done.exchange(true, std::memory_order_acq_rel)) return;
+  ::shutdown(conn->fd, SHUT_RD);
+  if (!conn->finished.load(std::memory_order_acquire) &&
+      !conn->broken.load(std::memory_order_acquire)) {
+    // Keep only EPOLLOUT interest (if a drain is pending): a read-closed
+    // level-triggered EPOLLIN would fire forever.
+    (void)reactor_->Mod(
+        conn->fd, conn->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  }
+}
+
+void Server::IdleSweep() {
+  int idle_ms = admission_.options().idle_timeout_ms;
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  auto now = std::chrono::steady_clock::now();
+  for (const auto& conn : conns) {
+    if (conn->finished.load(std::memory_order_acquire) ||
+        conn->reads_done.load(std::memory_order_acquire)) {
+      continue;
+    }
+    if (conn->inflight.load(std::memory_order_acquire) > 0) {
+      // Executing on a worker: busy, not idle. The timeout window restarts
+      // when the connection goes quiet.
+      conn->last_activity = now;
+      continue;
+    }
+    if (idle_ms <= 0) continue;
+    auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - conn->last_activity)
+                    .count();
+    if (idle < idle_ms) continue;
+    // Idle (or slow-loris: trickling bytes without ever completing a
+    // frame does NOT refresh last_activity — only decoded frames do).
+    {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.idle_closes;
-      break;
     }
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    size_t base = buf.size();
-    buf.resize(base + kRecvChunk);
-    ssize_t n = ::recv(conn->fd, buf.data() + base, kRecvChunk, 0);
-    if (n <= 0) {
-      buf.resize(base);
-      break;  // EOF or error: client closed (possibly mid-query)
-    }
-    buf.resize(base + static_cast<size_t>(n));
+    CloseReads(conn);
+    MaybeFinish(conn);
   }
+}
 
-  conn->reader_done.store(true, std::memory_order_release);
-  ::shutdown(conn->fd, SHUT_RD);
-  if (conn->inflight.load(std::memory_order_acquire) == 0) {
-    FinishConnection(conn);
+void Server::MaybeFinish(const std::shared_ptr<Connection>& conn) {
+  if (conn->finished.load(std::memory_order_acquire)) return;
+  if (!conn->reads_done.load(std::memory_order_acquire)) return;
+  if (conn->inflight.load(std::memory_order_acquire) != 0) return;
+  if (!conn->broken.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    // A response is still queued for the client; the EPOLLOUT drain calls
+    // back here once it empties the buffer.
+    if (conn->out_off < conn->outbuf.size()) return;
   }
+  FinishConnection(conn);
+}
+
+void Server::FinishConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->finished.exchange(true)) return;
+  if (reactor_ != nullptr) reactor_->Del(conn->fd);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ::close(conn->fd);
+  conn->fd = -1;
+  env_->ReleaseSession(conn->session);
+  conn->session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i] == conn) {
+        conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+  if (stats_.open_connections > 0) --stats_.open_connections;
 }
 
 void Server::WorkerLoop() {
@@ -273,8 +491,9 @@ void Server::WorkerLoop() {
       std::lock_guard<std::mutex> exec(item.conn->exec_mu);
       response = Execute(*item.conn, item.request);
     }
-    WriteResponse(*item.conn, response);
     {
+      // Count before the response hits the wire: once a client has read
+      // its reply, a stats() snapshot must already include the request.
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (response.code == StatusCode::kOk) {
         ++stats_.requests_ok;
@@ -282,11 +501,13 @@ void Server::WorkerLoop() {
         ++stats_.requests_error;
       }
     }
+    WriteResponse(item.conn, response);
     admission_.OnDone();
     std::shared_ptr<Connection> conn = std::move(item.conn);
     size_t left = conn->inflight.fetch_sub(1, std::memory_order_acq_rel) - 1;
-    if (left == 0 && conn->reader_done.load(std::memory_order_acquire)) {
-      FinishConnection(conn);
+    if (left == 0 && conn->reads_done.load(std::memory_order_acquire)) {
+      // Teardown belongs to the reactor thread (epoll bookkeeping).
+      reactor_->Post([this, conn] { MaybeFinish(conn); });
     }
   }
 }
@@ -350,43 +571,60 @@ Response Server::Execute(Connection& conn, const Request& request) {
   return response;
 }
 
-void Server::WriteResponse(Connection& conn, const Response& response) {
-  if (conn.broken.load(std::memory_order_acquire)) return;
+void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
+                           const Response& response) {
+  if (conn->broken.load(std::memory_order_acquire)) return;
   std::vector<uint8_t> frame;
   EncodeResponse(response, &frame);
-  std::lock_guard<std::mutex> lock(conn.write_mu);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->outbuf.empty()) {
+    // A drain is already pending; append so responses keep their order.
+    conn->outbuf.insert(conn->outbuf.end(), frame.begin(), frame.end());
+    return;
+  }
   size_t sent = 0;
   while (sent < frame.size()) {
-    ssize_t n = ::send(conn.fd, frame.data() + sent, frame.size() - sent,
+    ssize_t n = ::send(conn->fd, frame.data() + sent, frame.size() - sent,
                        MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      conn.broken.store(true, std::memory_order_release);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket full: buffer the tail and have the reactor arm EPOLLOUT.
+      conn->outbuf.assign(frame.begin() + static_cast<ptrdiff_t>(sent),
+                          frame.end());
+      conn->out_off = 0;
+      std::shared_ptr<Connection> c = conn;
+      reactor_->Post([this, c] {
+        if (c->finished.load(std::memory_order_acquire) ||
+            c->broken.load(std::memory_order_acquire) || c->want_write) {
+          return;
+        }
+        bool pending;
+        {
+          std::lock_guard<std::mutex> inner(c->write_mu);
+          pending = c->out_off < c->outbuf.size();
+        }
+        if (!pending) return;
+        Status st = reactor_->Mod(
+            c->fd, static_cast<uint32_t>(EPOLLOUT) |
+                       (c->reads_done.load(std::memory_order_acquire)
+                            ? 0u
+                            : static_cast<uint32_t>(EPOLLIN)));
+        if (st.ok()) {
+          c->want_write = true;
+        } else {
+          c->broken.store(true, std::memory_order_release);
+          MaybeFinish(c);
+        }
+      });
       return;
     }
-    sent += static_cast<size_t>(n);
+    conn->broken.store(true, std::memory_order_release);
+    return;
   }
-}
-
-void Server::FinishConnection(const std::shared_ptr<Connection>& conn) {
-  if (conn->finished.exchange(true)) return;
-  ::shutdown(conn->fd, SHUT_RDWR);
-  ::close(conn->fd);
-  conn->fd = -1;
-  env_->ReleaseSession(conn->session);
-  conn->session = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(readers_mu_);
-    for (size_t i = 0; i < conns_.size(); ++i) {
-      if (conns_[i] == conn) {
-        conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
-        break;
-      }
-    }
-  }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.connections_closed;
-  if (stats_.open_connections > 0) --stats_.open_connections;
 }
 
 Server::StatsSnapshot Server::stats() const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "server/admission.h"
+#include "server/reactor.h"
 #include "server/wire.h"
 #include "workload/session.h"
 
@@ -50,15 +51,22 @@ struct ServerOptions {
   std::shared_ptr<ReadHooks> read_hooks;
 };
 
-/// The GOM service front door: a multithreaded TCP/loopback server
+/// The GOM service front door: an event-driven TCP/loopback server
 /// answering wire-protocol requests against one `workload::Environment`.
 ///
-/// Threading model:
-///  * one acceptor thread;
-///  * one reader thread per connection — decodes frames, runs admission,
-///    enqueues work (shed requests are answered inline with kOverloaded);
-///  * `num_workers` worker threads — execute requests against the
-///    connection's `workload::Session` and write responses.
+/// Threading model (see DESIGN.md "Event-driven serving & group commit"):
+///  * one *reactor* thread running an epoll loop that owns every socket —
+///    it accepts, reassembles frames from non-blocking reads, runs
+///    admission (shed requests are answered inline with kOverloaded),
+///    drains write buffers the workers could not send without blocking,
+///    and sweeps idle connections on a coarse timer;
+///  * `num_workers` worker threads — execute admitted requests against the
+///    connection's `workload::Session` and write responses (directly on
+///    the socket when it has room, spilling to the connection's write
+///    buffer and arming EPOLLOUT otherwise).
+///
+/// Connection count therefore no longer adds threads: 64 connections cost
+/// 64 fds in one epoll set, not 64 reader stacks competing for cores.
 ///
 /// Each connection draws a Session from the environment's SessionPool on
 /// accept and releases it for reuse when the connection ends. Forward and
@@ -118,16 +126,34 @@ class Server {
     Request request;
   };
 
-  void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Connection> conn);
+  // --- reactor-thread handlers (never called from elsewhere) ---
+  void OnAcceptable();
+  void OnConnEvent(const std::shared_ptr<Connection>& conn, uint32_t events);
+  /// Drains the socket and decodes/admits every complete frame buffered.
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// EPOLLOUT: pushes the connection's write buffer into the socket.
+  void DrainOutbuf(const std::shared_ptr<Connection>& conn);
+  /// Stops reading this connection (protocol error / EOF / idle / drain):
+  /// no further admission is possible once this ran.
+  void CloseReads(const std::shared_ptr<Connection>& conn);
+  /// Timer sweep: evicts connections idle past the admission idle timeout.
+  void IdleSweep();
+  /// Closes the connection iff reads are done, no request is in flight and
+  /// the write buffer is empty (or the client is gone) — the graceful part
+  /// of graceful drain. Reactor thread only; exactly-once.
+  void MaybeFinish(const std::shared_ptr<Connection>& conn);
+  void FinishConnection(const std::shared_ptr<Connection>& conn);
+
   void WorkerLoop();
   /// Executes one admitted request against the connection's session.
   Response Execute(Connection& conn, const Request& request);
-  /// Frames and writes a response on the connection (write-mutex held
-  /// inside). Write failures mark the connection broken; the response is
-  /// then dropped — the client is gone.
-  void WriteResponse(Connection& conn, const Response& response);
-  void FinishConnection(const std::shared_ptr<Connection>& conn);
+  /// Frames and writes a response on the connection. Sends directly while
+  /// the socket keeps accepting bytes; the remainder is buffered and the
+  /// reactor is asked to arm EPOLLOUT. Write failures mark the connection
+  /// broken; the response is then dropped — the client is gone. Any
+  /// thread.
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const Response& response);
 
   workload::Environment* env_;
   ServerOptions options_;
@@ -137,15 +163,16 @@ class Server {
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  /// Workers may only exit once the readers are joined — until then a
-  /// reader can still admit buffered frames, and every admitted request
-  /// must execute and get its response written (the drain guarantee).
+  /// Workers may only exit once reads are closed on every connection —
+  /// until then the reactor can still admit buffered frames, and every
+  /// admitted request must execute and get its response written (the
+  /// drain guarantee).
   std::atomic<bool> workers_quit_{false};
 
-  std::thread acceptor_;
+  std::unique_ptr<Reactor> reactor_;
+  std::thread reactor_thread_;
   std::vector<std::thread> workers_;
-  std::mutex readers_mu_;  // guards readers_ and conns_
-  std::vector<std::thread> readers_;
+  std::mutex conns_mu_;  // guards conns_ (reactor thread + Stop + stats)
   std::vector<std::shared_ptr<Connection>> conns_;
 
   std::mutex queue_mu_;

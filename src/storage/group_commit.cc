@@ -1,0 +1,136 @@
+#include "storage/group_commit.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "storage/wal.h"
+
+namespace gom {
+
+constexpr uint32_t GroupCommitter::kWaitBucketUs[5];
+constexpr size_t GroupCommitter::kWaitBuckets;
+
+GroupCommitter::GroupCommitter(WriteAheadLog* wal,
+                               const GroupCommitOptions& options)
+    : wal_(wal), options_(options) {}
+
+Status GroupCommitter::CommitAll() { return CommitUpTo(wal_->last_lsn()); }
+
+Status GroupCommitter::CommitUpTo(Lsn lsn) {
+  if (lsn == kNullLsn) return Status::Ok();
+  // A target beyond the last appended record can never be reached by
+  // flushing (the flush pins durability at append-time last_lsn); clamp so
+  // a stale caller converges after one flush, matching FlushTo's
+  // single-flush behaviour.
+  lsn = std::min(lsn, wal_->last_lsn());
+  if (lsn == kNullLsn) return Status::Ok();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto record_wait = [&](bool piggyback) {
+    const uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    size_t b = 0;
+    while (b + 1 < kWaitBuckets && us >= kWaitBucketUs[b]) ++b;
+    ++wait_hist_[b];
+    if (piggyback) ++piggybacked_;
+  };
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++commits_;
+  if (lsn <= durable_lsn_) {
+    ++already_durable_;
+    return Status::Ok();
+  }
+
+  for (;;) {
+    if (lsn <= durable_lsn_) {
+      record_wait(/*piggyback=*/true);
+      return Status::Ok();
+    }
+    if (!flush_active_) {
+      // Leader: optionally linger so concurrent sessions (which append
+      // under the log's own mutex, unimpeded by ours) can join the group,
+      // then flush everything appended so far in one device write.
+      flush_active_ = true;
+      if (options_.max_group_delay_us > 0 && last_group_ > 1) {
+        cv_.wait_for(lock,
+                     std::chrono::microseconds(options_.max_group_delay_us));
+      }
+      lock.unlock();
+      const Lsn target = wal_->last_lsn();  // what this attempt covers
+      Status st = wal_->FlushDirect();
+      const Lsn durable = wal_->flushed_lsn();
+      lock.lock();
+      ++fsyncs_;
+      ++flush_epoch_;
+      if (st.ok()) {
+        durable_lsn_ = std::max(durable_lsn_, durable);
+        uint64_t group = 1;  // the leader itself
+        for (Lsn w : waiting_lsns_) {
+          if (w <= durable) ++group;
+        }
+        last_group_ = group;
+        grouped_commits_ += group;
+        max_group_ = std::max(max_group_, group);
+      } else {
+        // The attempt covered every record appended before the flush —
+        // in particular this leader's and every current waiter's target.
+        // None of them may claim durability; waiters covered by the
+        // attempt observe the error via attempt_{lsn,status}_.
+        attempt_lsn_ = std::max(attempt_lsn_, target);
+        attempt_status_ = st;
+        last_group_ = 1;
+      }
+      flush_active_ = false;
+      cv_.notify_all();
+      if (!st.ok()) return st;
+      if (lsn <= durable_lsn_) {
+        record_wait(/*piggyback=*/false);
+        return Status::Ok();
+      }
+      continue;  // durability raced backwards? re-elect (defensive)
+    }
+    // Follower: a leader's flush is in flight. Our record was appended
+    // before we got here, so either this flush covers it or the next
+    // leader's will.
+    waiting_lsns_.push_back(lsn);
+    const uint64_t joined = flush_epoch_;
+    cv_.wait(lock, [&] {
+      return lsn <= durable_lsn_ || flush_epoch_ != joined || !flush_active_;
+    });
+    auto it = std::find(waiting_lsns_.begin(), waiting_lsns_.end(), lsn);
+    if (it != waiting_lsns_.end()) waiting_lsns_.erase(it);
+    if (lsn <= durable_lsn_) {
+      record_wait(/*piggyback=*/true);
+      return Status::Ok();
+    }
+    if (flush_epoch_ != joined && !attempt_status_.ok() &&
+        lsn <= attempt_lsn_) {
+      // Our group's flush failed: the device refused the write that would
+      // have made us durable. Propagate; a later commit retries fresh.
+      return attempt_status_;
+    }
+    // Not covered (we arrived mid-flush with a later LSN, or the failed
+    // attempt predates us): loop and possibly lead the next group.
+  }
+}
+
+GroupCommitter::Snapshot GroupCommitter::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.commits = commits_;
+  s.already_durable = already_durable_;
+  s.fsyncs = fsyncs_;
+  s.piggybacked = piggybacked_;
+  s.max_group = max_group_;
+  s.mean_group =
+      fsyncs_ > 0 ? static_cast<double>(grouped_commits_) /
+                        static_cast<double>(fsyncs_)
+                  : 0.0;
+  for (size_t i = 0; i < kWaitBuckets; ++i) s.wait_hist[i] = wait_hist_[i];
+  return s;
+}
+
+}  // namespace gom

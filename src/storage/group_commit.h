@@ -1,0 +1,125 @@
+#ifndef GOMFM_STORAGE_GROUP_COMMIT_H_
+#define GOMFM_STORAGE_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gom {
+
+class WriteAheadLog;
+using Lsn = uint64_t;
+
+/// Knobs for one group committer (one per WAL stream).
+struct GroupCommitOptions {
+  /// How long an elected leader lingers before flushing, giving concurrent
+  /// sessions time to append their records and join the group. The linger
+  /// is adaptive: it is only paid when the *previous* flush retired more
+  /// than one commit (i.e. the stream demonstrably has company) — a
+  /// single-session stream never waits, so enabling group commit costs an
+  /// idle workload nothing. 0 disables lingering entirely; piggybacking
+  /// (joiners that arrive while a flush is in flight share the *next*
+  /// flush) still batches.
+  uint32_t max_group_delay_us = 0;
+  /// Whether an update/delete *intent* record must hit the device before
+  /// the in-memory mutation proceeds (the pre-group-commit behavior: one
+  /// fsync per relevant update). The relaxed default acknowledges intents
+  /// once appended: consistency never depended on the eager fsync —
+  /// the intent's LSN precedes every dependent record in the log (a remat
+  /// result can only become durable together with its intent) and dirty
+  /// base pages carry a recovery LSN past the intent, so the buffer pool's
+  /// flush-log-before-dirty-page rule forces the intent out before any
+  /// mutated base state can reach the device. A crash then loses the whole
+  /// in-flight suffix (intent, mutation and remat together) instead of
+  /// leaving a paid-for fsync per update; what it can never lose is an
+  /// invalidation some durable state depends on. Strict mode keeps the
+  /// per-intent `CommitUpTo` for callers that want the old durability
+  /// timing under group commit.
+  bool strict_intent_fsync = false;
+};
+
+/// InnoDB-style group commit for a `WriteAheadLog`: concurrent sessions
+/// append records (under their own gates) and then block in
+/// `CommitUpTo(lsn)` until their LSN is durable. The first committer to
+/// find no flush in flight becomes the *leader*: it optionally lingers
+/// (`max_group_delay_us`), then performs ONE device flush covering every
+/// record appended so far and wakes the whole group. Committers that
+/// arrive while the leader is flushing wait and are retired either by that
+/// flush (their LSN was covered) or by the next one (leader handoff: the
+/// first uncovered waiter to wake is elected next).
+///
+/// Error semantics: a failed flush fails every commit in the group whose
+/// LSN the attempt covered (the device said no; nobody in the group may
+/// claim durability). Later commits elect a fresh leader and retry — a
+/// transient fault does not wedge the stream.
+///
+/// Thread-safe; one instance per WAL stream. The committer never holds its
+/// mutex across the device flush, so appends to the log (which take the
+/// log's own mutex) proceed while the leader writes.
+class GroupCommitter {
+ public:
+  GroupCommitter(WriteAheadLog* wal, const GroupCommitOptions& options);
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Blocks until every record with LSN <= `lsn` is durable (possibly
+  /// flushed by another session's leader). kNullLsn returns immediately.
+  Status CommitUpTo(Lsn lsn);
+
+  /// CommitUpTo over everything appended so far (the drop-in replacement
+  /// for `WriteAheadLog::Flush`).
+  Status CommitAll();
+
+  bool strict_intent_fsync() const { return options_.strict_intent_fsync; }
+
+  /// Leader-wait histogram bucket upper bounds in microseconds; the last
+  /// bucket is open-ended.
+  static constexpr uint32_t kWaitBucketUs[5] = {10, 100, 1000, 10000, 0};
+  static constexpr size_t kWaitBuckets = 5;
+
+  struct Snapshot {
+    uint64_t commits = 0;          // CommitUpTo/CommitAll calls
+    uint64_t already_durable = 0;  // satisfied without any waiting
+    uint64_t fsyncs = 0;           // device flushes performed by leaders
+    uint64_t piggybacked = 0;      // commits retired by another's flush
+    uint64_t max_group = 0;        // most commits retired by one flush
+    double mean_group = 0;         // (commits - already_durable) / fsyncs
+    uint64_t wait_hist[kWaitBuckets] = {0, 0, 0, 0, 0};
+  };
+  Snapshot snapshot() const;
+
+ private:
+  WriteAheadLog* wal_;
+  GroupCommitOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool flush_active_ = false;
+  Lsn durable_lsn_ = 0;
+  /// Highest LSN the most recent (possibly failed) flush attempted to make
+  /// durable, and that attempt's outcome + sequence number: a waiter whose
+  /// LSN a failed attempt covered returns the attempt's error.
+  Lsn attempt_lsn_ = 0;
+  Status attempt_status_ = Status::Ok();
+  uint64_t flush_epoch_ = 0;
+  /// LSNs of committers currently blocked (leader excluded). The leader
+  /// counts the covered ones at flush end to size the group.
+  std::vector<Lsn> waiting_lsns_;
+  uint64_t last_group_ = 1;  // adaptive-linger signal
+
+  uint64_t commits_ = 0;
+  uint64_t already_durable_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t piggybacked_ = 0;
+  uint64_t grouped_commits_ = 0;
+  uint64_t max_group_ = 0;
+  uint64_t wait_hist_[kWaitBuckets] = {0, 0, 0, 0, 0};
+};
+
+}  // namespace gom
+
+#endif  // GOMFM_STORAGE_GROUP_COMMIT_H_

@@ -1,6 +1,8 @@
 #include "storage/sim_disk.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace gom {
 
@@ -26,6 +28,13 @@ Status SimDisk::ReadPage(PageId id, uint8_t* out) {
 }
 
 Status SimDisk::WritePage(PageId id, const uint8_t* data) {
+  int stall = write_stall_us_.load(std::memory_order_relaxed);
+  if (stall > 0) {
+    // Under the device mutex writes would serialize anyway; stalling before
+    // taking it lets concurrent committers reach their wait queues, which
+    // is the contention pattern group commit batches.
+    std::this_thread::sleep_for(std::chrono::microseconds(stall));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("SimDisk::WritePage: page " + std::to_string(id) +

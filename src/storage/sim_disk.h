@@ -68,6 +68,16 @@ class SimDisk {
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() { return injector_; }
 
+  /// Wall-clock stall per page write (a benchmark hook, like
+  /// GmrManager::set_maintenance_stall_us): emulates a device whose flush
+  /// takes real time, so group-commit batching has a cost to amortize —
+  /// the in-memory memcpy alone finishes before a second committer can
+  /// even block. 0 (the default) keeps writes instantaneous; simulated
+  /// time is unaffected either way.
+  void set_write_stall_us(int us) {
+    write_stall_us_.store(us, std::memory_order_relaxed);
+  }
+
  private:
   SimClock* clock_;
   CostModel cost_;
@@ -79,6 +89,7 @@ class SimDisk {
   std::vector<std::vector<uint8_t>> pages_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<int> write_stall_us_{0};
 };
 
 }  // namespace gom

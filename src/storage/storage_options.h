@@ -1,6 +1,8 @@
 #ifndef GOMFM_STORAGE_STORAGE_OPTIONS_H_
 #define GOMFM_STORAGE_STORAGE_OPTIONS_H_
 
+#include <cstdint>
+
 namespace gom {
 
 /// Knobs for the simulated storage stack. Defaults reproduce the pre-WAL
@@ -11,6 +13,29 @@ struct StorageOptions {
   /// rule for dirty data pages) and to the `GmrManager` (logical
   /// maintenance records, failure-atomic batches).
   bool enable_wal = false;
+
+  /// Route every WAL stream's Flush()/FlushTo() through an InnoDB-style
+  /// group committer: concurrent sessions block on their commit LSN while
+  /// one leader batches the device flush. Durability semantics are
+  /// unchanged; only the fsync count drops. No effect without
+  /// `enable_wal`. Sharded configurations get one committer per stream.
+  bool enable_group_commit = false;
+
+  /// Upper bound on how long an elected group-commit leader lingers before
+  /// flushing so concurrent committers can join its group (adaptive: the
+  /// linger is only paid when the previous flush actually retired more
+  /// than one commit, so single-session streams never wait). 0 = flush
+  /// immediately; piggybacking still batches whatever arrives mid-flush.
+  uint32_t max_group_delay_us = 0;
+
+  /// Only with `enable_group_commit`: keep the historical synchronous
+  /// device flush per update/delete intent instead of letting intents ride
+  /// later group flushes. Consistency never needed the eager fsync (LSN
+  /// order plus flush-log-before-dirty-page keep durable state behind its
+  /// intent — see GroupCommitOptions::strict_intent_fsync); strict mode
+  /// restores the old durability *timing* at one fsync per relevant
+  /// update. Without group commit intents always flush synchronously.
+  bool strict_intent_fsync = false;
 };
 
 }  // namespace gom

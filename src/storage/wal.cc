@@ -84,14 +84,13 @@ void WriteAheadLog::SealHeader(LogPage& page) {
   PutU16(page.image.data() + kWalMagic.size() + 4, page.used);
 }
 
-Result<Lsn> WriteAheadLog::Append(WalRecordType type,
-                                  std::vector<uint8_t> payload) {
+Result<Lsn> WriteAheadLog::Append(WalRecordType type, const uint8_t* payload,
+                                  size_t size) {
   std::lock_guard<std::mutex> lock(mu_);
-  const size_t body_size = kBodyHeader + payload.size();
+  const size_t body_size = kBodyHeader + size;
   const size_t frame_size = kFrameOverhead + body_size;
   if (frame_size > kWalPageCapacity) {
-    return Status::Internal("WAL record too large (" +
-                            std::to_string(payload.size()) +
+    return Status::Internal("WAL record too large (" + std::to_string(size) +
                             " payload bytes); records may not span pages");
   }
   if (pages_.empty() || CurrentPage().used + frame_size > kWalPageCapacity) {
@@ -112,25 +111,32 @@ Result<Lsn> WriteAheadLog::Append(WalRecordType type,
   // Type in the low nibble, stream id in the high nibble (types are 1..15).
   body[8] = static_cast<uint8_t>(static_cast<uint8_t>(type) |
                                  static_cast<uint8_t>(stream_ << 4));
-  if (!payload.empty()) {
-    std::memcpy(body + kBodyHeader, payload.data(), payload.size());
+  if (size != 0) {
+    std::memcpy(body + kBodyHeader, payload, size);
   }
   PutU32(frame + 2, Crc32(body, body_size));
   page.used = static_cast<uint16_t>(page.used + frame_size);
   page.dirty = true;
+  first_dirty_ = std::min(first_dirty_, pages_.size() - 1);
   unflushed_bytes_ += frame_size;
   ++appends_;
   return lsn;
 }
 
 Status WriteAheadLog::Flush() {
+  if (committer_ != nullptr) return committer_->CommitAll();
+  return FlushDirect();
+}
+
+Status WriteAheadLog::FlushDirect() {
   std::lock_guard<std::mutex> lock(mu_);
   return FlushLocked();
 }
 
 Status WriteAheadLog::FlushLocked() {
   bool wrote = false;
-  for (LogPage& page : pages_) {
+  for (size_t i = first_dirty_; i < pages_.size(); ++i) {
+    LogPage& page = pages_[i];
     if (!page.dirty) continue;
     SealHeader(page);
     GOMFM_RETURN_IF_ERROR(disk_->WritePage(page.id, page.image.data()));
@@ -138,6 +144,7 @@ Status WriteAheadLog::FlushLocked() {
     wrote = true;
     ++page_writes_;
   }
+  first_dirty_ = pages_.size();
   if (wrote) ++flushes_;
   flushed_lsn_ = next_lsn_ - 1;
   unflushed_bytes_ = 0;
@@ -145,9 +152,23 @@ Status WriteAheadLog::FlushLocked() {
 }
 
 Status WriteAheadLog::FlushTo(Lsn lsn) {
+  if (committer_ != nullptr) {
+    if (lsn == kNullLsn) return Status::Ok();
+    return committer_->CommitUpTo(lsn);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (lsn == kNullLsn || lsn <= flushed_lsn_) return Status::Ok();
   return FlushLocked();
+}
+
+Status WriteAheadLog::CommitIntent(Lsn lsn) {
+  if (committer_ == nullptr) return FlushDirect();
+  if (committer_->strict_intent_fsync()) return committer_->CommitUpTo(lsn);
+  return Status::Ok();
+}
+
+void WriteAheadLog::EnableGroupCommit(const GroupCommitOptions& options) {
+  committer_ = std::make_unique<GroupCommitter>(this, options);
 }
 
 Status WriteAheadLog::Open() {
@@ -254,6 +275,7 @@ Status WriteAheadLog::Open() {
   flushed_lsn_ = expected_lsn - 1;
   oldest_lsn_ = recovered_.empty() ? next_lsn_ : recovered_.front().lsn;
   next_seq_ = pages_.empty() ? 0 : pages_.back().seq + 1;
+  first_dirty_ = pages_.size();  // everything recovered is clean
   unflushed_bytes_ = 0;
   // The last chain page (possibly holding a truncated tail) stays current:
   // the next append overwrites the garbage and the next flush re-seals it.
@@ -315,6 +337,8 @@ Status WriteAheadLog::TruncateUpTo(Lsn floor) {
   if (dropped > 0) {
     pages_.erase(pages_.begin(),
                  pages_.begin() + static_cast<ptrdiff_t>(dropped));
+    // Dropped pages are never dirty, so the watermark shifts with them.
+    first_dirty_ = first_dirty_ > dropped ? first_dirty_ - dropped : 0;
     oldest_lsn_ = pages_.front().first_lsn != kNullLsn
                       ? pages_.front().first_lsn
                       : next_lsn_;

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/group_commit.h"
 #include "storage/sim_disk.h"
 
 namespace gom {
@@ -129,16 +131,52 @@ class WriteAheadLog {
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  /// Appends a record (buffered; durable only after the next Flush).
-  Result<Lsn> Append(WalRecordType type, std::vector<uint8_t> payload);
+  /// Appends a record (buffered; durable only after the next Flush). The
+  /// pointer overload is the zero-allocation path for the small fixed-size
+  /// payloads on the maintenance hot path (one intent + one commit record
+  /// per relevant update); the vector overload just forwards.
+  Result<Lsn> Append(WalRecordType type, const uint8_t* payload, size_t size);
+  Result<Lsn> Append(WalRecordType type, const std::vector<uint8_t>& payload) {
+    return Append(type, payload.data(), payload.size());
+  }
 
   /// Group flush: writes every dirty log page. After OK, all appended
-  /// records are durable.
+  /// records are durable. With group commit enabled this routes through
+  /// the committer — concurrent callers share one device flush.
   Status Flush();
 
   /// Flushes only if `lsn` is not durable yet — the flush-log-before-
-  /// dirty-page rule calls this with the page's recovery LSN.
+  /// dirty-page rule calls this with the page's recovery LSN. With group
+  /// commit enabled this blocks until `lsn` is durable, possibly riding
+  /// another session's flush.
   Status FlushTo(Lsn lsn);
+
+  /// The write-ahead rule's flush for an intent record just appended at
+  /// `lsn`. Without group commit this is a synchronous device flush (the
+  /// historical one-fsync-per-relevant-update behavior, and what the
+  /// crash-sweep tests exercise). With group commit the default is
+  /// *relaxed*: the intent is acknowledged as appended and rides the next
+  /// commit, batch flush or write-back-forced FlushTo — safe because the
+  /// log's LSN order plus the buffer pool's flush-log-before-dirty-page
+  /// rule already keep any durable dependent state behind its intent (see
+  /// GroupCommitOptions::strict_intent_fsync for the full argument).
+  Status CommitIntent(Lsn lsn);
+
+  /// Routes all subsequent Flush()/FlushTo() calls through an InnoDB-style
+  /// group committer: concurrent sessions block on their commit LSN while
+  /// one leader batches the device flush. Call once, before the log sees
+  /// concurrent traffic; every existing flush call site (maintenance
+  /// intents, EndBatch, buffer-pool write-back, replication) batches
+  /// transparently. Durability semantics are unchanged — Flush/FlushTo
+  /// still only return OK once the requested records are on the device.
+  void EnableGroupCommit(const GroupCommitOptions& options);
+  /// The attached committer, or nullptr when group commit is off
+  /// (observability: fsync count, group sizes, leader-wait histogram).
+  GroupCommitter* group_committer() const { return committer_.get(); }
+
+  /// Immediate device flush bypassing the group committer — the
+  /// committer's leader path. Everyone else wants Flush().
+  Status FlushDirect();
 
   uint8_t stream_id() const { return stream_; }
 
@@ -223,8 +261,14 @@ class WriteAheadLog {
 
   SimDisk* disk_;
   uint8_t stream_ = 0;
+  std::unique_ptr<GroupCommitter> committer_;
   std::vector<LogPage> pages_;
   std::vector<WalRecord> recovered_;
+  /// Index of the lowest possibly-dirty page: FlushLocked scans
+  /// [first_dirty_, pages_.size()) instead of the whole log, keeping each
+  /// flush O(dirty pages) — long-lived logs used to pay O(all pages) per
+  /// flush, which dominated the WAL's measured storm overhead.
+  size_t first_dirty_ = 0;
   Lsn next_lsn_ = 1;
   Lsn flushed_lsn_ = kNullLsn;
   Lsn oldest_lsn_ = 1;
@@ -247,6 +291,10 @@ class WalPayloadWriter {
   void Bytes(const std::vector<uint8_t>& v) {
     bytes_.insert(bytes_.end(), v.begin(), v.end());
   }
+  void Reserve(size_t n) { bytes_.reserve(bytes_.size() + n); }
+  /// Direct access for encoders that serialize nested structures in place
+  /// (appending; saves the temp-vector + copy round trip per record).
+  std::vector<uint8_t>* mutable_bytes() { return &bytes_; }
   std::vector<uint8_t> Take() { return std::move(bytes_); }
 
  private:

@@ -32,6 +32,9 @@ struct Environment {
         interp(&om, &registry),
         mgr(&om, &interp, &registry, &storage, options) {
     if (storage_options.enable_wal) {
+      GroupCommitOptions gc;
+      gc.max_group_delay_us = storage_options.max_group_delay_us;
+      gc.strict_intent_fsync = storage_options.strict_intent_fsync;
       if (mgr.shard_count() > 1) {
         // One WAL stream per maintenance plane, all on the shared disk,
         // distinguished by stream id in page magic and record headers.
@@ -42,6 +45,9 @@ struct Environment {
         for (size_t s = 0; s < mgr.shard_count(); ++s) {
           shard_wals.push_back(std::make_unique<WriteAheadLog>(
               &disk, static_cast<uint8_t>(s)));
+          if (storage_options.enable_group_commit) {
+            shard_wals[s]->EnableGroupCommit(gc);
+          }
           mgr.AttachWalAt(s, shard_wals[s].get());
         }
         pool.AttachWal(shard_wals[0].get());
@@ -50,6 +56,7 @@ struct Environment {
         }
       } else {
         wal = std::make_unique<WriteAheadLog>(&disk);
+        if (storage_options.enable_group_commit) wal->EnableGroupCommit(gc);
         pool.AttachWal(wal.get());
         mgr.AttachWal(wal.get());
       }

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -269,6 +270,192 @@ TEST(ServerTest, GracefulDrainUnderLoad) {
   rig.server->Stop();
   Client late;
   EXPECT_FALSE(late.Connect(rig.server->port()).ok() && late.Ping().ok());
+}
+
+// --- hostile-client behaviour against the reactor ---------------------------
+
+namespace {
+
+int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+}  // namespace
+
+TEST(ServerHostileTest, SlowLorisFrameDripDoesNotStallOtherClients) {
+  Rig rig;
+  CompanyStack& s = *rig.stack;
+
+  // A valid Ping frame, dripped one byte at a time with pauses: the
+  // reactor must buffer the partial frame without dedicating a thread to
+  // it or blocking anyone else.
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = 7;
+  std::vector<uint8_t> frame;
+  EncodeRequest(ping, &frame);
+
+  int loris = RawConnect(rig.server->port());
+  Client busy;
+  ASSERT_TRUE(busy.Connect(rig.server->port()).ok());
+
+  size_t served_during_drip = 0;
+  for (size_t off = 0; off < frame.size(); ++off) {
+    ASSERT_EQ(::send(loris, frame.data() + off, 1, 0), 1);
+    // The fast client keeps completing full round trips between bytes.
+    auto v = busy.Forward(s.geo.volume, {Value::Ref(s.cuboids[0])});
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    ++served_during_drip;
+  }
+  EXPECT_EQ(served_during_drip, frame.size());
+
+  // Once the last byte lands the dripped request is answered normally.
+  uint8_t buf[256];
+  ssize_t n = ::recv(loris, buf, sizeof(buf), 0);
+  EXPECT_GT(n, 0);
+  ::close(loris);
+}
+
+TEST(ServerHostileTest, MidFrameDisconnectIsSweptWithoutProtocolError) {
+  Rig rig;
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = 1;
+  std::vector<uint8_t> frame;
+  EncodeRequest(ping, &frame);
+
+  int fd = RawConnect(rig.server->port());
+  // Half a frame, then vanish: the buffered prefix is discarded with the
+  // connection — an EOF mid-frame is a disconnect, not a protocol crime.
+  ASSERT_GT(::send(fd, frame.data(), frame.size() / 2, 0), 0);
+  ::close(fd);
+
+  for (int i = 0; i < 400 && rig.server->stats().open_connections > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto snap = rig.server->stats();
+  EXPECT_EQ(snap.open_connections, 0u);
+  EXPECT_EQ(snap.protocol_errors, 0u);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(rig.server->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerHostileTest, OversizedFrameHeaderIsRefusedBeforeAllocation) {
+  Rig rig;
+  int fd = RawConnect(rig.server->port());
+  // Valid magic, declared payload far beyond kMaxFrameBytes: the reactor
+  // must refuse on the header alone — never reserve gigabytes on a
+  // hostile length.
+  uint8_t header[kFrameHeaderBytes];
+  uint32_t magic = kFrameMagic;
+  uint32_t len = kMaxFrameBytes + 1;
+  uint32_t crc = 0;
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &len, 4);
+  std::memcpy(header + 8, &crc, 4);
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+
+  // The server answers with an error frame (best effort) and hangs up.
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+
+  for (int i = 0; i < 400 && rig.server->stats().open_connections > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(rig.server->stats().protocol_errors, 0u);
+  Client client;
+  ASSERT_TRUE(client.Connect(rig.server->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerHostileTest, IdleConnectionsAreEvictedWhileOthersAreServed) {
+  ServerOptions sopts;
+  sopts.admission.idle_timeout_ms = 150;
+  Rig rig(sopts);
+  CompanyStack& s = *rig.stack;
+
+  // One connection goes idle after a single request; another keeps
+  // issuing traffic the whole time so the sweep runs under load.
+  Client idle;
+  ASSERT_TRUE(idle.Connect(rig.server->port()).ok());
+  ASSERT_TRUE(idle.Ping().ok());
+
+  Client busy;
+  ASSERT_TRUE(busy.Connect(rig.server->port()).ok());
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(2'000);
+  bool evicted = false;
+  size_t i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto v = busy.Forward(
+        s.geo.volume, {Value::Ref(s.cuboids[i++ % s.cuboids.size()])});
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    if (rig.server->stats().idle_closes > 0) {
+      evicted = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(evicted) << "idle connection was not evicted within 2 s";
+  // The busy connection was never the one evicted.
+  EXPECT_TRUE(busy.Ping().ok());
+  // The idle one is gone: its next call fails on a closed socket.
+  EXPECT_FALSE(idle.Ping().ok());
+}
+
+// --- retry backoff jitter ----------------------------------------------------
+
+TEST(RetryJitterTest, JitteredBackoffIsDeterministicAndBounded) {
+  uint64_t a = 42, b = 42, c = 43;
+  bool differed = false;
+  for (int round = 0; round < 64; ++round) {
+    int64_t base = 20 << (round % 5);
+    int64_t x = JitteredBackoffMs(base, 0.5, &a);
+    int64_t y = JitteredBackoffMs(base, 0.5, &b);
+    int64_t z = JitteredBackoffMs(base, 0.5, &c);
+    EXPECT_EQ(x, y);  // same seed, same schedule
+    if (x != z) differed = true;
+    // Equal jitter: always within [base/2, base].
+    EXPECT_GE(x, base / 2);
+    EXPECT_LE(x, base);
+  }
+  EXPECT_TRUE(differed) << "distinct seeds produced identical schedules";
+
+  // jitter = 0 restores the fixed schedule exactly.
+  uint64_t s = 7;
+  EXPECT_EQ(JitteredBackoffMs(80, 0.0, &s), 80);
+  EXPECT_EQ(s, 7u);  // state untouched when jitter is off
+}
+
+TEST(RetryJitterTest, FailoverClientStillRetriesWithJitterOn) {
+  // Against a dead endpoint the client must walk its (single-entry) list,
+  // back off with jitter, and give up after max_retries — jitter changes
+  // the sleep lengths, never the retry budget.
+  RetryOptions ropts;
+  ropts.max_retries = 2;
+  ropts.initial_backoff_ms = 1;
+  ropts.max_backoff_ms = 4;
+  ClientOptions copts;
+  copts.connect_deadline_ms = 50;
+  FailoverClient client({/*unused port*/ 1}, copts, ropts);
+  Status st = client.Ping();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(client.stats().attempts, 0u);  // connects never succeeded
+  EXPECT_GE(client.stats().failovers, 2u);
 }
 
 }  // namespace
